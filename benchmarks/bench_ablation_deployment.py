@@ -1,0 +1,42 @@
+"""Ablation: population-weighted/biased deployment vs uniform bias.
+
+The paper's Fig. 5 South-America reversal (Speedchecker faster) depends
+on Brazil hosting ~80% of the SA Speedchecker fleet; removing the
+documented deployment bias destroys that composition.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro import build_world
+from repro.geo.continents import Continent
+from repro.geo.countries import COUNTRIES, CountryRegistry
+
+SEED = 11
+SCALE = 0.01
+
+
+def brazil_share(world):
+    sa = [p for p in world.speedchecker.probes if p.continent is Continent.SA]
+    return sum(1 for p in sa if p.country == "BR") / len(sa)
+
+
+def test_deployment_bias(benchmark):
+    def run():
+        biased = build_world(seed=SEED, scale=SCALE)
+        uniform = build_world(
+            seed=SEED,
+            scale=SCALE,
+            countries=CountryRegistry(
+                [replace(c, speedchecker_bias=1.0, atlas_bias=1.0) for c in COUNTRIES]
+            ),
+        )
+        return brazil_share(biased), brazil_share(uniform)
+
+    biased_share, uniform_share = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        f"\nBrazil share of SA Speedchecker fleet: "
+        f"biased={biased_share:.0%}, uniform={uniform_share:.0%}"
+    )
+    assert biased_share > uniform_share

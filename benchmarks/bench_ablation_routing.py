@@ -1,0 +1,58 @@
+"""Ablation: valley-free policy routing vs plain shortest-path routing.
+
+Regenerates the Fig. 10 interconnect mix under both policies: shortest-
+path routing collapses most paths to one or two intermediates and erases
+the provider-specific interconnect contrasts the paper observes.
+"""
+
+import pytest
+
+from repro import SimulationConfig, build_world
+from repro.geo.continents import Continent
+from repro.net.asn import ASKind
+from repro.net.routing import compute_routes
+
+SEED = 11
+SCALE = 0.01
+
+
+@pytest.fixture(scope="module")
+def worlds():
+    valley_free = build_world(
+        seed=SEED, scale=SCALE, config=SimulationConfig(seed=SEED, scale=SCALE)
+    )
+    shortest = build_world(
+        seed=SEED,
+        scale=SCALE,
+        config=SimulationConfig(seed=SEED, scale=SCALE, valley_free_routing=False),
+    )
+    return valley_free, shortest
+
+
+def path_length_sum(world, provider_code="VLTR"):
+    total = 0
+    for isp in world.topology.registry.of_kind(ASKind.ACCESS):
+        distance = world.topology.routes_for(
+            provider_code, isp.continent
+        ).distance(isp.asn)
+        total += distance if distance is not None else 0
+    return total
+
+
+def test_valley_free_route_computation(benchmark, worlds):
+    valley_free, _ = worlds
+    graph = valley_free.topology.graph_for("GCP", Continent.EU)
+    cloud_asn = valley_free.topology.peerings["GCP"].cloud_asn
+    table = benchmark(compute_routes, graph, cloud_asn)
+    assert len(table) > 100
+
+
+def test_policy_lengthens_paths(benchmark, worlds):
+    valley_free, shortest = worlds
+
+    def compare():
+        return path_length_sum(valley_free), path_length_sum(shortest)
+
+    vf_total, sp_total = benchmark.pedantic(compare, rounds=1, iterations=1)
+    print(f"\nAS-path length sum: valley-free={vf_total}, shortest={sp_total}")
+    assert sp_total <= vf_total

@@ -1,0 +1,52 @@
+"""Ablation: private-WAN stretch/jitter advantage on/off.
+
+With the advantage disabled, every path behaves like public transit --
+direct peering loses both its (modest) median gain and its variance
+shrink, flattening the contrast of the paper's Figs. 12b/13b/18b.
+"""
+
+import numpy as np
+import pytest
+
+from repro import SimulationConfig, build_world
+from repro.geo.continents import Continent
+
+SEED = 11
+SCALE = 0.01
+
+
+def direct_path_stats(world, continent=Continent.AS):
+    stretches, sigmas = [], []
+    probes = [p for p in world.speedchecker.probes if p.continent is continent]
+    for probe in probes[:40]:
+        for region in world.catalog.in_continent(continent)[::4]:
+            plan = world.planner.plan(probe, region)
+            if plan.interconnect.is_direct:
+                stretches.append(plan.stretch)
+                sigmas.append(plan.jitter_sigma)
+    return float(np.mean(stretches)), float(np.mean(sigmas))
+
+
+def test_private_wan_advantage(benchmark):
+    def run():
+        base = build_world(
+            seed=SEED, scale=SCALE, config=SimulationConfig(seed=SEED, scale=SCALE)
+        )
+        flat = build_world(
+            seed=SEED,
+            scale=SCALE,
+            config=SimulationConfig(
+                seed=SEED, scale=SCALE, private_wan_advantage=False
+            ),
+        )
+        return direct_path_stats(base), direct_path_stats(flat)
+
+    (base_stretch, base_sigma), (flat_stretch, flat_sigma) = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    print(
+        f"\ndirect-path stretch: with WAN={base_stretch:.2f}, without={flat_stretch:.2f}; "
+        f"jitter sigma: with WAN={base_sigma:.3f}, without={flat_sigma:.3f}"
+    )
+    assert base_stretch < flat_stretch
+    assert base_sigma < flat_sigma

@@ -1,0 +1,8 @@
+"""Benchmark regenerating Fig. 10: interconnect mix per provider network."""
+
+from conftest import bench_experiment
+
+
+def test_fig10(benchmark, world, dataset, context):
+    result = bench_experiment(benchmark, "fig10", world, dataset, context, rounds=3)
+    assert result.data

@@ -1,0 +1,8 @@
+"""Benchmark regenerating Fig. 11: pervasiveness of provider-owned routers."""
+
+from conftest import bench_experiment
+
+
+def test_fig11(benchmark, world, dataset, context):
+    result = bench_experiment(benchmark, "fig11", world, dataset, context, rounds=3)
+    assert result.data

@@ -1,0 +1,12 @@
+"""Benchmark regenerating Figs. 12a/12b: Germany-to-UK peering case study.
+
+Case studies run their own focused measurement campaign, so the bench
+covers campaign + resolution + analysis end-to-end.
+"""
+
+from conftest import bench_experiment
+
+
+def test_fig12(benchmark, world, dataset, context):
+    result = bench_experiment(benchmark, "fig12", world, dataset, context, rounds=2)
+    assert result.data["matrix"]

@@ -1,0 +1,8 @@
+"""Benchmark regenerating Figs. 13a/13b: Japan-to-India peering case study."""
+
+from conftest import bench_experiment
+
+
+def test_fig13(benchmark, world, dataset, context):
+    result = bench_experiment(benchmark, "fig13", world, dataset, context, rounds=2)
+    assert result.data["matrix"]

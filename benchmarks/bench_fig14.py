@@ -1,0 +1,9 @@
+"""Benchmark regenerating Fig. 14 / section 3.2: probe geoDensity and
+Internet-population coverage of the two platforms."""
+
+from conftest import bench_experiment
+
+
+def test_fig14(benchmark, world, dataset, context):
+    result = bench_experiment(benchmark, "fig14", world, dataset, context, rounds=3)
+    assert result.data["speedchecker_coverage"] > result.data["atlas_coverage"]

@@ -1,0 +1,8 @@
+"""Benchmark regenerating Fig. 15: ICMP vs TCP end-to-end latencies."""
+
+from conftest import bench_experiment
+
+
+def test_fig15(benchmark, world, dataset, context):
+    result = bench_experiment(benchmark, "fig15", world, dataset, context, rounds=3)
+    assert result.data

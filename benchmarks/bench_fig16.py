@@ -1,0 +1,8 @@
+"""Benchmark regenerating Fig. 16: same-<city, ASN> platform differences."""
+
+from conftest import bench_experiment
+
+
+def test_fig16(benchmark, world, dataset, context):
+    result = bench_experiment(benchmark, "fig16", world, dataset, context, rounds=3)
+    assert result.data

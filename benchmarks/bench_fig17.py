@@ -1,0 +1,8 @@
+"""Benchmark regenerating Figs. 17a/17b: Ukraine-to-UK peering case study."""
+
+from conftest import bench_experiment
+
+
+def test_fig17(benchmark, world, dataset, context):
+    result = bench_experiment(benchmark, "fig17", world, dataset, context, rounds=2)
+    assert result.data["matrix"]

@@ -1,0 +1,8 @@
+"""Benchmark regenerating Figs. 18a/18b: Bahrain-to-India peering case study."""
+
+from conftest import bench_experiment
+
+
+def test_fig18(benchmark, world, dataset, context):
+    result = bench_experiment(benchmark, "fig18", world, dataset, context, rounds=2)
+    assert result.data["matrix"]

@@ -1,0 +1,8 @@
+"""Benchmark regenerating Fig. 19: last-mile share towards the nearest DC."""
+
+from conftest import bench_experiment
+
+
+def test_fig19(benchmark, world, dataset, context):
+    result = bench_experiment(benchmark, "fig19", world, dataset, context, rounds=3)
+    assert result.data

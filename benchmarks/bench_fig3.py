@@ -1,0 +1,8 @@
+"""Benchmark regenerating Fig. 3: median nearest-DC latency per country, banded."""
+
+from conftest import bench_experiment
+
+
+def test_fig3(benchmark, world, dataset, context):
+    result = bench_experiment(benchmark, "fig3", world, dataset, context, rounds=3)
+    assert result.data

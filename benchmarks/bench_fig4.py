@@ -1,0 +1,8 @@
+"""Benchmark regenerating Fig. 4: nearest-DC RTT distribution per continent."""
+
+from conftest import bench_experiment
+
+
+def test_fig4(benchmark, world, dataset, context):
+    result = bench_experiment(benchmark, "fig4", world, dataset, context, rounds=3)
+    assert result.data

@@ -1,0 +1,8 @@
+"""Benchmark regenerating Fig. 5: Speedchecker vs Atlas latency differences."""
+
+from conftest import bench_experiment
+
+
+def test_fig5(benchmark, world, dataset, context):
+    result = bench_experiment(benchmark, "fig5", world, dataset, context, rounds=3)
+    assert result.data

@@ -1,0 +1,12 @@
+"""Benchmarks regenerating Fig. 6a: Africa to AF/EU/NA latencies; Fig. 6b: South America to SA/NA latencies."""
+
+from conftest import bench_experiment
+
+
+def test_fig6a(benchmark, world, dataset, context):
+    result = bench_experiment(benchmark, "fig6a", world, dataset, context, rounds=3)
+    assert result.data
+
+def test_fig6b(benchmark, world, dataset, context):
+    result = bench_experiment(benchmark, "fig6b", world, dataset, context, rounds=3)
+    assert result.data

@@ -1,0 +1,12 @@
+"""Benchmarks regenerating Fig. 7a: last-mile share of total latency; Fig. 7b: absolute last-mile latency."""
+
+from conftest import bench_experiment
+
+
+def test_fig7a(benchmark, world, dataset, context):
+    result = bench_experiment(benchmark, "fig7a", world, dataset, context, rounds=3)
+    assert result.data
+
+def test_fig7b(benchmark, world, dataset, context):
+    result = bench_experiment(benchmark, "fig7b", world, dataset, context, rounds=3)
+    assert result.data

@@ -1,0 +1,8 @@
+"""Benchmarks regenerating Fig. 8: last-mile Cv per continent."""
+
+from conftest import bench_experiment
+
+
+def test_fig8(benchmark, world, dataset, context):
+    result = bench_experiment(benchmark, "fig8", world, dataset, context, rounds=3)
+    assert result.data

@@ -1,0 +1,8 @@
+"""Benchmarks regenerating Fig. 9: last-mile Cv per representative country."""
+
+from conftest import bench_experiment
+
+
+def test_fig9(benchmark, world, dataset, context):
+    result = bench_experiment(benchmark, "fig9", world, dataset, context, rounds=3)
+    assert result.data

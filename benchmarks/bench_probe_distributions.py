@@ -1,0 +1,13 @@
+"""Benchmarks regenerating Figs. 1b and 2: probe fleet distributions."""
+
+from conftest import bench_experiment
+
+
+def test_fig1b(benchmark, world, dataset, context):
+    result = bench_experiment(benchmark, "fig1b", world, dataset, context, rounds=5)
+    assert result.data["total"] > 0
+
+
+def test_fig2(benchmark, world, dataset, context):
+    result = bench_experiment(benchmark, "fig2", world, dataset, context, rounds=5)
+    assert result.data["total"] > 0

@@ -1,0 +1,29 @@
+"""Scale stress: world construction and campaign throughput at 10x the
+default scale (20% of the paper's fleet)."""
+
+import pytest
+
+from repro import build_world, run_campaign
+
+
+def test_world_build_at_20pct_scale(benchmark):
+    def build():
+        return build_world(seed=3, scale=0.2)
+
+    world = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert len(world.speedchecker) > 20_000
+    print(f"\n{world.summary()}")
+
+
+def test_campaign_day_at_20pct_scale(benchmark):
+    world = build_world(seed=3, scale=0.2)
+
+    def one_day():
+        return run_campaign(world, days=1, platforms=("speedchecker",))
+
+    dataset = benchmark.pedantic(one_day, rounds=1, iterations=1)
+    assert dataset.ping_count > 0
+    print(
+        f"\none campaign day at 20% scale: {dataset.ping_sample_count} ping "
+        f"samples, {dataset.traceroute_count} traceroutes"
+    )

@@ -1,0 +1,8 @@
+"""Benchmark for the section-3.3 sample-size computation."""
+
+from conftest import bench_experiment
+
+
+def test_stats(benchmark, world, dataset, context):
+    result = bench_experiment(benchmark, "stats", world, dataset, context, rounds=5)
+    assert result.data["paper_requirement"] == 2401

@@ -1,0 +1,8 @@
+"""Benchmark regenerating Table 1: datacenter counts per provider per continent."""
+
+from conftest import bench_experiment
+
+
+def test_table1(benchmark, world, dataset, context):
+    result = bench_experiment(benchmark, "table1", world, dataset, context, rounds=5)
+    assert result.data

@@ -1,0 +1,51 @@
+"""Shared benchmark fixtures.
+
+Each ``bench_<artifact>.py`` regenerates one table or figure of the
+paper: the benchmark measures the analysis cost over a pre-collected
+campaign dataset, and the regenerated rows/series are printed so the
+output can be compared side-by-side with the paper (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import build_world, run_campaign
+from repro.experiments import StudyContext, run_experiment
+
+BENCH_SEED = 7
+BENCH_SCALE = 0.02
+BENCH_DAYS = 21
+
+
+@pytest.fixture(scope="session")
+def world():
+    return build_world(seed=BENCH_SEED, scale=BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def dataset(world):
+    return run_campaign(world, days=BENCH_DAYS)
+
+
+@pytest.fixture(scope="session")
+def context(world, dataset):
+    context = StudyContext(world, dataset)
+    # Resolve traceroutes once up-front so individual benches measure the
+    # per-figure analysis, not the shared resolution pass.
+    context.resolved_traces
+    return context
+
+
+def bench_experiment(benchmark, experiment_id, world, dataset, context, rounds=3):
+    """Run one experiment under the benchmark and print its rendering."""
+    result = benchmark.pedantic(
+        run_experiment,
+        args=(experiment_id, world, dataset),
+        kwargs={"context": context},
+        rounds=rounds,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    return result

@@ -1,0 +1,50 @@
+"""Regenerate every table and figure of the paper in one run.
+
+This is the script used to author EXPERIMENTS.md: it builds the study
+world, runs the campaign, and prints the text rendering of all 22
+registered experiments in paper order.
+
+Run with::
+
+    python examples/full_reproduction.py [--days 21] [--scale 0.02]
+"""
+
+import argparse
+import time
+
+from repro import build_world, run_campaign
+from repro.experiments import EXPERIMENT_IDS, StudyContext, run_experiment
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--scale", type=float, default=0.02)
+    parser.add_argument("--days", type=int, default=21)
+    parser.add_argument(
+        "--only", nargs="*", default=None, help="subset of experiment ids"
+    )
+    args = parser.parse_args()
+
+    started = time.time()
+    world = build_world(seed=args.seed, scale=args.scale)
+    print(world.summary())
+    dataset = run_campaign(world, days=args.days)
+    print(
+        f"Campaign: {dataset.ping_sample_count} ping samples, "
+        f"{dataset.traceroute_count} traceroutes "
+        f"({time.time() - started:.1f}s)"
+    )
+    context = StudyContext(world, dataset)
+
+    experiment_ids = args.only or EXPERIMENT_IDS
+    for experiment_id in experiment_ids:
+        print()
+        result = run_experiment(experiment_id, world, dataset, context=context)
+        print(result.render())
+
+    print(f"\nTotal: {time.time() - started:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""The wireless last mile under the microscope (paper section 5).
+
+Extracts last-mile segments from traceroutes exactly as the paper does --
+home probes are recognised by their private first hop, cellular probes by
+a direct ISP first hop -- and reports the share, absolute latency, and
+per-probe stability (Cv) of the last mile.
+
+Run with::
+
+    python examples/last_mile_study.py [--days 21]
+"""
+
+import argparse
+
+from repro import build_world, run_campaign
+from repro.analysis.lastmile import (
+    absolute_by_continent,
+    cv_by_continent,
+    extract_last_mile,
+    share_by_continent,
+)
+from repro.analysis.report import format_table
+from repro.experiments import StudyContext
+
+
+def render(stats, title, unit) -> None:
+    rows = [
+        [
+            continent.value,
+            category,
+            box.count,
+            f"{box.q1:.1f}",
+            f"{box.median:.1f}",
+            f"{box.q3:.1f}",
+        ]
+        for (continent, category), box in sorted(
+            stats.items(), key=lambda item: (item[0][0].value, item[0][1])
+        )
+    ]
+    print(f"\n== {title} ==")
+    print(
+        format_table(
+            ["Continent", "Category", "N", f"Q1 {unit}", f"Median {unit}", f"Q3 {unit}"],
+            rows,
+        )
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--scale", type=float, default=0.02)
+    parser.add_argument("--days", type=int, default=21)
+    args = parser.parse_args()
+
+    world = build_world(seed=args.seed, scale=args.scale)
+    dataset = run_campaign(world, days=args.days)
+    context = StudyContext(world, dataset)
+    samples = extract_last_mile(context.resolved_traces)
+
+    render(
+        share_by_continent(samples),
+        "Last-mile share of total cloud latency (Fig. 7a equivalent)",
+        "[%]",
+    )
+    render(
+        absolute_by_continent(samples),
+        "Absolute last-mile latency (Fig. 7b equivalent)",
+        "[ms]",
+    )
+    render(
+        cv_by_continent(samples),
+        "Per-probe last-mile Cv (Fig. 8 equivalent)",
+        "",
+    )
+    print(
+        "\nReading: WiFi and cellular behave alike -- both sit near 20-25 ms"
+        "\nwith Cv ~0.5 -- while the wired Atlas last mile resembles the"
+        "\nhome-router-to-ISP segment at ~10 ms.  The wireless hop alone"
+        "\nnearly exhausts the 20 ms motion-to-photon budget."
+    )
+
+
+if __name__ == "__main__":
+    main()

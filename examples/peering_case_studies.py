@@ -1,0 +1,48 @@
+"""ISP-cloud peering case studies (paper section 6.2 and appendix A.4).
+
+Runs the four focused campaigns of the paper -- Germany->UK, Japan->India,
+Ukraine->UK, Bahrain->India -- classifies every traceroute into
+direct / 1 AS / 2+ AS / 1 IXP, and contrasts the latency of direct
+peering against transited paths.
+
+Run with::
+
+    python examples/peering_case_studies.py
+"""
+
+import argparse
+
+from repro import build_world
+from repro.experiments import run_experiment
+
+CASES = (
+    ("fig12", "Germany -> United Kingdom (well-provisioned Europe)"),
+    ("fig13", "Japan -> India (submarine-constrained Asia)"),
+    ("fig17", "Ukraine -> United Kingdom (Europe, no local DCs)"),
+    ("fig18", "Bahrain -> India (land-connected Asia)"),
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--scale", type=float, default=0.02)
+    args = parser.parse_args()
+
+    world = build_world(seed=args.seed, scale=args.scale)
+    for experiment_id, label in CASES:
+        print(f"\n##### {label} #####")
+        result = run_experiment(experiment_id, world)
+        print(result.render())
+
+    print(
+        "\nReading: in Europe, direct peering and transit deliver the same"
+        "\nmedians -- the public backbone is already excellent.  Over the"
+        "\nJapan->India submarine corridor direct peering shrinks the"
+        "\nlatency *variation* (box heights) rather than the median; over"
+        "\nthe land-connected Bahrain->India corridor it wins outright."
+    )
+
+
+if __name__ == "__main__":
+    main()

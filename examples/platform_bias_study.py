@@ -1,0 +1,72 @@
+"""How much does the measurement platform shape the conclusions?
+
+Reproduces the paper's section-4.2 comparison: nearest-datacenter latency
+differences between the wireless, residential Speedchecker fleet and the
+wired, managed RIPE-Atlas fleet -- globally (Fig. 5) and restricted to
+matched <city, serving-ASN, datacenter> groups (Fig. 16).
+
+Run with::
+
+    python examples/platform_bias_study.py [--days 21]
+"""
+
+import argparse
+
+from repro import build_world, run_campaign
+from repro.analysis.compare import matched_city_asn_differences, platform_differences
+from repro.analysis.report import format_percent, format_table
+from repro.experiments import StudyContext
+from repro.geo.continents import CONTINENTS
+
+
+def render(differences, title) -> None:
+    rows = []
+    for continent in CONTINENTS:
+        diff = differences.get(continent)
+        if diff is None:
+            continue
+        rows.append(
+            [
+                continent.value,
+                diff.pair_count,
+                f"{diff.median_difference_ms:+.1f}",
+                format_percent(diff.speedchecker_faster_share),
+            ]
+        )
+    print(f"\n== {title} ==")
+    print(
+        format_table(
+            ["Continent", "Pairs", "Median diff [ms]", "Speedchecker faster"],
+            rows,
+        )
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--scale", type=float, default=0.02)
+    parser.add_argument("--days", type=int, default=21)
+    args = parser.parse_args()
+
+    world = build_world(seed=args.seed, scale=args.scale)
+    dataset = run_campaign(world, days=args.days)
+
+    render(
+        platform_differences(dataset, world.rngs.stream("example.fig5")),
+        "Fig. 5 equivalent: all probes, nearest datacenter",
+    )
+    render(
+        matched_city_asn_differences(dataset, world.rngs.stream("example.fig16")),
+        "Fig. 16 equivalent: matched <city, ASN> groups only",
+    )
+    print(
+        "\nReading: positive differences mean the Atlas probe was faster."
+        "\nAtlas wins almost everywhere thanks to its wired last mile; the"
+        "\nexception is South America, where ~80% of Speedchecker probes"
+        "\nsit in Brazil next to the continent's only datacenters."
+    )
+
+
+if __name__ == "__main__":
+    main()

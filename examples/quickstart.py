@@ -1,0 +1,40 @@
+"""Quickstart: build a world, run a short campaign, reproduce Fig. 4.
+
+Run with::
+
+    python examples/quickstart.py [--seed 7] [--scale 0.02] [--days 14]
+"""
+
+import argparse
+
+from repro import build_world, run_campaign
+from repro.experiments import StudyContext, run_experiment
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--scale", type=float, default=0.02)
+    parser.add_argument("--days", type=int, default=14)
+    args = parser.parse_args()
+
+    print("Building the synthetic Internet ...")
+    world = build_world(seed=args.seed, scale=args.scale)
+    print(world.summary())
+
+    print(f"\nRunning a {args.days}-day measurement campaign ...")
+    dataset = run_campaign(world, days=args.days)
+    print(
+        f"Collected {dataset.ping_sample_count} ping samples and "
+        f"{dataset.traceroute_count} traceroutes."
+    )
+
+    context = StudyContext(world, dataset)
+    print()
+    print(run_experiment("fig4", world, dataset, context=context).render())
+    print()
+    print(run_experiment("fig3", world, dataset, context=context).render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Reproduction of "Cloudy with a Chance of Short RTTs" (IMC 2021).
+
+This package implements a synthetic-Internet measurement study that
+reproduces the analysis pipeline, experiments, and findings of the paper
+*Cloudy with a Chance of Short RTTs: Analyzing Cloud Connectivity in the
+Internet* by Dang, Mohan, Corneo, Zavodovski, Ott and Kangasharju.
+
+The public API is organised in layers, bottom-up:
+
+- :mod:`repro.geo` -- geography: coordinates, countries, continents.
+- :mod:`repro.net` -- IP prefixes, autonomous systems, AS relationships,
+  valley-free policy routing, IXPs and router-level paths.
+- :mod:`repro.cloud` -- the nine cloud providers, their 195 compute
+  regions, private WANs and peering agreements.
+- :mod:`repro.lastmile` -- WiFi, cellular and wired last-mile models.
+- :mod:`repro.platforms` -- the Speedchecker-like and RIPE-Atlas-like
+  measurement platforms and their probe deployments.
+- :mod:`repro.measure` -- ping and traceroute engines plus the six-month
+  measurement campaign scheduler.
+- :mod:`repro.resolve` -- traceroute post-processing: IP-to-ASN
+  resolution, IXP tagging, PeeringDB-style enrichment and noisy GeoIP.
+- :mod:`repro.analysis` -- the paper's statistical analyses.
+- :mod:`repro.experiments` -- one runner per table/figure of the paper.
+
+Quickstart::
+
+    from repro import build_world, run_campaign
+    from repro.experiments import run_experiment
+
+    world = build_world(seed=7, scale=0.02)
+    dataset = run_campaign(world, days=14)
+    result = run_experiment("fig4", world, dataset)
+    print(result.render())
+"""
+
+from repro.core.config import SimulationConfig
+from repro.core.scenario import build_world
+from repro.core.world import World
+from repro.measure.campaign import run_campaign
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SimulationConfig",
+    "World",
+    "build_world",
+    "run_campaign",
+    "__version__",
+]

@@ -1,0 +1,45 @@
+"""The paper's analyses: latency, platform comparison, last mile, peering.
+
+Submodules map to the paper's sections:
+
+- :mod:`repro.analysis.stats`, :mod:`repro.analysis.thresholds` -- the
+  statistical primitives and QoE thresholds (sections 2.1 and 3.3);
+- :mod:`repro.analysis.nearest`, :mod:`repro.analysis.bands` -- nearest
+  datacenter estimation and latency banding (section 4.1, Figs. 3/4);
+- :mod:`repro.analysis.compare` -- Speedchecker vs Atlas (section 4.2,
+  Figs. 5/16);
+- :mod:`repro.analysis.intercontinental` -- section 4.3, Fig. 6;
+- :mod:`repro.analysis.lastmile` -- section 5, Figs. 7-9/19;
+- :mod:`repro.analysis.peering`, :mod:`repro.analysis.pervasiveness`,
+  :mod:`repro.analysis.ingress` -- section 6, Figs. 10-13/17/18;
+- :mod:`repro.analysis.protocols` -- appendix A.2, Fig. 15;
+- :mod:`repro.analysis.density`, :mod:`repro.analysis.composition` --
+  appendix A.1 / section 3.2;
+- :mod:`repro.analysis.flattening`, :mod:`repro.analysis.georouting` --
+  background metrics and the deferred GeoIP assessment.
+"""
+
+from repro.analysis.stats import (
+    BoxStats,
+    cdf_points,
+    coefficient_of_variation,
+    fraction_below,
+    median,
+    percentile,
+    required_sample_size,
+)
+from repro.analysis.thresholds import HPL_MS, HRT_MS, MTP_MS, band_label
+
+__all__ = [
+    "BoxStats",
+    "HPL_MS",
+    "HRT_MS",
+    "MTP_MS",
+    "band_label",
+    "cdf_points",
+    "coefficient_of_variation",
+    "fraction_below",
+    "median",
+    "percentile",
+    "required_sample_size",
+]

@@ -1,0 +1,105 @@
+"""Latency banding against the QoE thresholds (paper Figs. 3 and 4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.nearest import (
+    nearest_samples_by_continent,
+    nearest_samples_by_country,
+)
+from repro.analysis.stats import fraction_below, median
+from repro.analysis.thresholds import HPL_MS, HRT_MS, MTP_MS, band_label
+from repro.geo.continents import Continent
+from repro.measure.results import MeasurementDataset, Protocol
+
+
+@dataclass(frozen=True)
+class CountryBand:
+    """One country's entry on the Fig. 3 world map."""
+
+    country: str
+    continent: Continent
+    sample_count: int
+    median_rtt_ms: float
+    band: str
+
+
+@dataclass(frozen=True)
+class ContinentDistribution:
+    """One continent's nearest-DC latency distribution (Fig. 4)."""
+
+    continent: Continent
+    sample_count: int
+    median_rtt_ms: float
+    p90_rtt_ms: float
+    below_mtp: float
+    below_hpl: float
+    below_hrt: float
+
+
+def country_latency_bands(
+    dataset: MeasurementDataset,
+    countries,
+    platform: str = "speedchecker",
+    protocol: Protocol = Protocol.TCP,
+    min_samples: int = 8,
+) -> List[CountryBand]:
+    """Median nearest-DC RTT per country with its Fig. 3 latency band.
+
+    Countries with fewer than ``min_samples`` nearest-DC samples are
+    excluded (the paper required at least 100 probes per country).
+    """
+    grouped = nearest_samples_by_country(dataset, platform, protocol)
+    bands: List[CountryBand] = []
+    for iso, samples in sorted(grouped.items()):
+        if len(samples) < min_samples:
+            continue
+        med = median(samples)
+        bands.append(
+            CountryBand(
+                country=iso,
+                continent=countries.get(iso).continent,
+                sample_count=len(samples),
+                median_rtt_ms=med,
+                band=band_label(med),
+            )
+        )
+    return bands
+
+
+def continent_distributions(
+    dataset: MeasurementDataset,
+    platform: str = "speedchecker",
+    protocol: Protocol = Protocol.TCP,
+) -> Dict[Continent, ContinentDistribution]:
+    """Fig. 4: nearest-DC RTT distribution per continent vs thresholds."""
+    grouped = nearest_samples_by_continent(dataset, platform, protocol)
+    result: Dict[Continent, ContinentDistribution] = {}
+    for continent, samples in grouped.items():
+        values = np.asarray(samples, dtype=float)
+        result[continent] = ContinentDistribution(
+            continent=continent,
+            sample_count=int(values.size),
+            median_rtt_ms=float(np.median(values)),
+            p90_rtt_ms=float(np.percentile(values, 90)),
+            below_mtp=fraction_below(values, MTP_MS),
+            below_hpl=fraction_below(values, HPL_MS),
+            below_hrt=fraction_below(values, HRT_MS),
+        )
+    return result
+
+
+def threshold_compliance(
+    bands: List[CountryBand],
+) -> Tuple[int, int, int, int]:
+    """(total, under MTP, under HPL, under HRT) country counts at the
+    median -- the paper's section 4.1 takeaway (96/120 under HPL etc.)."""
+    total = len(bands)
+    mtp = sum(1 for band in bands if band.median_rtt_ms < MTP_MS)
+    hpl = sum(1 for band in bands if band.median_rtt_ms < HPL_MS)
+    hrt = sum(1 for band in bands if band.median_rtt_ms < HRT_MS)
+    return total, mtp, hpl, hrt

@@ -1,0 +1,61 @@
+"""Dataset composition (paper section 3.3).
+
+The paper characterises its collected dataset: ~50% of data points from
+Europe, ~20% from Asia, ~10% from North America, Africa and South America
+with similar overall contributions where intra-continental measurements
+take the larger share over inter-continental ones (~70/30).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.geo.continents import Continent
+from repro.measure.results import MeasurementDataset
+
+
+@dataclass(frozen=True)
+class CompositionReport:
+    """Where the dataset's samples come from."""
+
+    total_samples: int
+    #: Share of ping samples per probe continent.
+    continent_share: Dict[Continent, float]
+    #: For continents that also measure abroad: intra-continental share.
+    intra_share: Dict[Continent, float]
+
+
+def dataset_composition(
+    dataset: MeasurementDataset, platform: str = "speedchecker"
+) -> CompositionReport:
+    """Sample-count composition of a campaign dataset."""
+    per_continent: Dict[Continent, int] = {}
+    intra: Dict[Continent, int] = {}
+    inter: Dict[Continent, int] = {}
+    total = 0
+    for ping in dataset.pings(platform=platform):
+        count = len(ping.samples)
+        continent = ping.meta.continent
+        per_continent[continent] = per_continent.get(continent, 0) + count
+        if ping.meta.region_continent is continent:
+            intra[continent] = intra.get(continent, 0) + count
+        else:
+            inter[continent] = inter.get(continent, 0) + count
+        total += count
+    if total == 0:
+        raise ValueError("dataset has no ping samples for the platform")
+    continent_share = {
+        continent: count / total for continent, count in per_continent.items()
+    }
+    intra_share = {}
+    for continent in per_continent:
+        cross = inter.get(continent, 0)
+        home = intra.get(continent, 0)
+        if cross:
+            intra_share[continent] = home / (home + cross)
+    return CompositionReport(
+        total_samples=total,
+        continent_share=continent_share,
+        intra_share=intra_share,
+    )

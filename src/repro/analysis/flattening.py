@@ -1,0 +1,84 @@
+"""Internet "flattening" metrics (paper section 2.1 background).
+
+The background literature the paper builds on (Arnold et al., Chiu et
+al.) describes the flattening of the traditionally hierarchical Internet:
+content/cloud traffic increasingly bypasses the Tier-1 core via direct
+and private interconnects.  This module quantifies flattening over the
+synthetic topology:
+
+- **AS path length distribution** towards each provider network;
+- **Tier-1 bypass share**: fraction of ISP-to-cloud paths that never
+  touch a Tier-1 backbone;
+- **one-hop share**: the "are we one hop away from a better Internet?"
+  metric -- paths where the serving ISP connects straight to the cloud.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.geo.continents import Continent
+from repro.net.asn import ASKind
+
+
+@dataclass(frozen=True)
+class FlatteningReport:
+    """Flattening metrics for one provider network."""
+
+    provider_code: str
+    path_count: int
+    mean_as_path_length: float
+    #: Share of paths with no intermediate AS at all.
+    one_hop_share: float
+    #: Share of paths that avoid every Tier-1 backbone.
+    tier1_bypass_share: float
+
+
+def flattening_report(
+    world, provider_code: str, continents: Optional[List[Continent]] = None
+) -> FlatteningReport:
+    """Flattening metrics from every access ISP towards one provider."""
+    topology = world.topology
+    registry = topology.registry
+    tier1 = set(topology.tier1_asns)
+    lengths: List[int] = []
+    one_hop = 0
+    bypass = 0
+    wanted = set(continents) if continents is not None else None
+    for isp in registry.of_kind(ASKind.ACCESS):
+        if wanted is not None and isp.continent not in wanted:
+            continue
+        path = topology.as_path(isp.asn, provider_code, isp.continent)
+        if path is None:
+            continue
+        lengths.append(len(path))
+        intermediates = path[1:-1]
+        if not intermediates:
+            one_hop += 1
+        if not (set(intermediates) & tier1):
+            bypass += 1
+    if not lengths:
+        raise ValueError(
+            f"no reachable ISPs for provider {provider_code!r} in {continents}"
+        )
+    count = len(lengths)
+    return FlatteningReport(
+        provider_code=topology.network_code(provider_code),
+        path_count=count,
+        mean_as_path_length=float(np.mean(lengths)),
+        one_hop_share=one_hop / count,
+        tier1_bypass_share=bypass / count,
+    )
+
+
+def flatness_by_provider(world) -> Dict[str, FlatteningReport]:
+    """Flattening metrics for every provider network."""
+    reports: Dict[str, FlatteningReport] = {}
+    for provider in world.providers:
+        if not provider.owns_network:
+            continue
+        reports[provider.code] = flattening_report(world, provider.code)
+    return reports

@@ -1,0 +1,84 @@
+"""WAN ingress locality (paper section 6.2, closing observation).
+
+The paper observes -- echoing Arnold et al. -- that privately
+interconnected paths can ingress the cloud WAN either close to the
+vantage point or close to the server: direct-peered traffic enters the
+provider's network near the user and rides the WAN for most of the
+distance, while public-transit traffic only reaches provider routers next
+to the datacenter.  This module measures ingress depth from resolved
+traceroutes: the relative position of the first provider-owned hop along
+the responding hop sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.analysis.peering import DIRECT, ONE_IXP, classify_trace
+from repro.cloud.providers import network_operator
+from repro.resolve.pipeline import ResolvedTrace
+
+
+@dataclass(frozen=True)
+class IngressStats:
+    """Ingress-depth distribution for one interconnect group."""
+
+    group: str
+    trace_count: int
+    #: Mean relative position (0 = at the user, 1 = at the datacenter)
+    #: of the first provider-owned hop.
+    mean_ingress_depth: float
+    median_ingress_depth: float
+
+
+def ingress_depth(trace: ResolvedTrace, cloud_asn: int) -> Optional[float]:
+    """Relative position of the first provider-owned hop, or ``None``.
+
+    Computed over responding hops only; a value near 0 means the traffic
+    entered the provider's network right after the serving ISP.
+    """
+    responded = [hop for hop in trace.hops if hop.responded]
+    if len(responded) < 2:
+        return None
+    for index, hop in enumerate(responded):
+        if hop.asn == cloud_asn:
+            return index / (len(responded) - 1)
+    return None
+
+
+def ingress_by_interconnect(
+    traces: Iterable[ResolvedTrace],
+    min_traces: int = 10,
+) -> Dict[str, IngressStats]:
+    """Ingress depth grouped by interconnect class (direct vs transited).
+
+    Reproduces the section-6.2 observation: direct peering ingresses the
+    WAN near the user (low depth); transited paths ingress near the
+    datacenter (high depth).
+    """
+    groups: Dict[str, List[float]] = {"direct": [], "intermediate": []}
+    for trace in traces:
+        category = classify_trace(trace)
+        if category is None:
+            continue
+        network = network_operator(trace.meta.provider_code)
+        depth = ingress_depth(trace, network.asn)
+        if depth is None:
+            continue
+        group = "direct" if category in (DIRECT, ONE_IXP) else "intermediate"
+        groups[group].append(depth)
+    result: Dict[str, IngressStats] = {}
+    for group, depths in groups.items():
+        if len(depths) < min_traces:
+            continue
+        values = np.asarray(depths)
+        result[group] = IngressStats(
+            group=group,
+            trace_count=int(values.size),
+            mean_ingress_depth=float(values.mean()),
+            median_ingress_depth=float(np.median(values)),
+        )
+    return result

@@ -1,0 +1,118 @@
+"""Inter-continental latency analysis (paper Fig. 6, section 4.3).
+
+For probes in under-provisioned continents, compares access latency to
+the nearest datacenter of each candidate continent: Africa -> {AF, EU,
+NA}; South America -> {SA, NA}.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.stats import BoxStats
+from repro.geo.continents import Continent
+from repro.measure.results import MeasurementDataset, Protocol
+
+#: Countries shown in the paper's Fig. 6.
+FIG6_AFRICA = ("DZ", "EG", "ET", "KE", "MA", "SN", "TN", "ZA")
+FIG6_SOUTH_AMERICA = ("AR", "BO", "BR", "CL", "CO", "EC", "PE", "VE")
+
+#: Target continents per source continent.
+TARGETS = {
+    Continent.AF: (Continent.EU, Continent.NA, Continent.AF),
+    Continent.SA: (Continent.NA, Continent.SA),
+}
+
+
+@dataclass(frozen=True)
+class CountryTargetStats:
+    """Latency summary for one (source country, target continent)."""
+
+    country: str
+    target_continent: Continent
+    stats: BoxStats
+
+
+def _nearest_region_samples(
+    dataset: MeasurementDataset,
+    platform: str,
+    protocol: Protocol,
+    countries: Sequence[str],
+    target_continents: Sequence[Continent],
+) -> Dict[Tuple[str, Continent], List[float]]:
+    """All samples grouped by (country, target continent), restricted per
+    probe to its lowest-mean region within each target continent."""
+    wanted = set(countries)
+    targets = set(target_continents)
+    # mean latency per (probe, target continent, region)
+    sums: Dict[Tuple[str, Continent, Tuple[str, str]], List[float]] = {}
+    samples: Dict[Tuple[str, Continent, Tuple[str, str]], List[float]] = {}
+    country_of: Dict[str, str] = {}
+    for ping in dataset.pings(platform=platform, protocol=protocol):
+        meta = ping.meta
+        if meta.country not in wanted:
+            continue
+        if meta.region_continent not in targets:
+            continue
+        key = (
+            meta.probe_id,
+            meta.region_continent,
+            (meta.provider_code, meta.region_id),
+        )
+        bucket = sums.setdefault(key, [0.0, 0])
+        bucket[0] += sum(ping.samples)
+        bucket[1] += len(ping.samples)
+        samples.setdefault(key, []).extend(ping.samples)
+        country_of[meta.probe_id] = meta.country
+
+    best: Dict[Tuple[str, Continent], Tuple[float, Tuple[str, str]]] = {}
+    for (probe_id, continent, region_key), (total, count) in sums.items():
+        mean = total / count
+        current = best.get((probe_id, continent))
+        if current is None or mean < current[0]:
+            best[(probe_id, continent)] = (mean, region_key)
+
+    grouped: Dict[Tuple[str, Continent], List[float]] = {}
+    for (probe_id, continent), (_, region_key) in best.items():
+        values = samples[(probe_id, continent, region_key)]
+        group = (country_of[probe_id], continent)
+        grouped.setdefault(group, []).extend(values)
+    return grouped
+
+
+def intercontinental_latency(
+    dataset: MeasurementDataset,
+    source_continent: Continent,
+    countries: Optional[Sequence[str]] = None,
+    platform: str = "speedchecker",
+    protocol: Protocol = Protocol.TCP,
+    min_samples: int = 8,
+) -> List[CountryTargetStats]:
+    """Fig. 6: per-country latency to nearest DCs per target continent."""
+    source_continent = Continent(source_continent)
+    if source_continent not in TARGETS:
+        raise ValueError(
+            f"inter-continental analysis covers AF and SA, not {source_continent}"
+        )
+    if countries is None:
+        countries = (
+            FIG6_AFRICA if source_continent is Continent.AF else FIG6_SOUTH_AMERICA
+        )
+    grouped = _nearest_region_samples(
+        dataset, platform, protocol, countries, TARGETS[source_continent]
+    )
+    results: List[CountryTargetStats] = []
+    for country in countries:
+        for target in TARGETS[source_continent]:
+            values = grouped.get((country, target))
+            if not values or len(values) < min_samples:
+                continue
+            results.append(
+                CountryTargetStats(
+                    country=country,
+                    target_continent=target,
+                    stats=BoxStats.from_samples(values),
+                )
+            )
+    return results

@@ -1,0 +1,233 @@
+"""Last-mile analysis (paper section 5; Figs. 7, 8, 9, 19).
+
+All quantities are inferred from *resolved traceroutes*, exactly as in
+the paper: the last mile is the segment between the probe and the first
+hop inside the serving ISP's AS, probes are classified home/cell from the
+privateness of their first hop, and stability is the per-probe
+coefficient of variation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.nearest import NearestMap
+from repro.analysis.stats import BoxStats, coefficient_of_variation
+from repro.geo.continents import Continent
+from repro.resolve.pipeline import ResolvedTrace
+
+#: Category labels matching the paper's Fig. 7 legend.
+HOME_USR_ISP = "SC home (USR-ISP)"
+HOME_RTR_ISP = "SC home (RTR-ISP)"
+CELL = "SC cell"
+ATLAS = "Atlas"
+
+#: Representative countries of the paper's Fig. 9, two per continent
+#: (AF, AS, EU, NA, SA in that order).
+FIG9_COUNTRIES = ("ZA", "MA", "JP", "IR", "GB", "UA", "US", "MX", "BR", "AR")
+
+
+@dataclass(frozen=True)
+class LastMileSample:
+    """One extracted last-mile observation."""
+
+    probe_id: str
+    platform: str
+    country: str
+    continent: Continent
+    category: str
+    latency_ms: float
+    share_of_total: Optional[float]
+
+
+def extract_last_mile(
+    traces: Iterable[ResolvedTrace],
+) -> List[LastMileSample]:
+    """Last-mile observations from resolved traceroutes.
+
+    Home probes contribute both a USR-ISP and an RTR-ISP observation;
+    cell probes one; Atlas (wired) probes contribute to the Atlas series.
+    Traces whose first hop could not be classified are skipped, as are
+    those without a resolvable ISP hop.
+    """
+    samples: List[LastMileSample] = []
+    for trace in traces:
+        meta = trace.meta
+        usr_isp = trace.usr_isp_rtt_ms
+        if usr_isp is None:
+            continue
+        total = trace.end_to_end_rtt_ms
+        share = (usr_isp / total) if total else None
+
+        if meta.platform == "atlas":
+            samples.append(
+                LastMileSample(
+                    probe_id=meta.probe_id,
+                    platform=meta.platform,
+                    country=meta.country,
+                    continent=meta.continent,
+                    category=ATLAS,
+                    latency_ms=usr_isp,
+                    share_of_total=share,
+                )
+            )
+            continue
+        if trace.inferred_access == "home":
+            samples.append(
+                LastMileSample(
+                    probe_id=meta.probe_id,
+                    platform=meta.platform,
+                    country=meta.country,
+                    continent=meta.continent,
+                    category=HOME_USR_ISP,
+                    latency_ms=usr_isp,
+                    share_of_total=share,
+                )
+            )
+            rtr_isp = trace.rtr_isp_rtt_ms
+            if rtr_isp is not None:
+                samples.append(
+                    LastMileSample(
+                        probe_id=meta.probe_id,
+                        platform=meta.platform,
+                        country=meta.country,
+                        continent=meta.continent,
+                        category=HOME_RTR_ISP,
+                        latency_ms=rtr_isp,
+                        share_of_total=(rtr_isp / total) if total else None,
+                    )
+                )
+        elif trace.inferred_access == "cell":
+            samples.append(
+                LastMileSample(
+                    probe_id=meta.probe_id,
+                    platform=meta.platform,
+                    country=meta.country,
+                    continent=meta.continent,
+                    category=CELL,
+                    latency_ms=usr_isp,
+                    share_of_total=share,
+                )
+            )
+    return samples
+
+
+def share_by_continent(
+    samples: Sequence[LastMileSample],
+    categories: Sequence[str] = (HOME_USR_ISP, CELL, HOME_RTR_ISP),
+    min_samples: int = 5,
+) -> Dict[Tuple[Continent, str], BoxStats]:
+    """Fig. 7a / Fig. 19: last-mile share of total latency (percent)."""
+    grouped: Dict[Tuple[Continent, str], List[float]] = {}
+    for sample in samples:
+        if sample.category not in categories:
+            continue
+        if sample.share_of_total is None:
+            continue
+        key = (sample.continent, sample.category)
+        grouped.setdefault(key, []).append(100.0 * sample.share_of_total)
+    return {
+        key: BoxStats.from_samples(values)
+        for key, values in grouped.items()
+        if len(values) >= min_samples
+    }
+
+
+def absolute_by_continent(
+    samples: Sequence[LastMileSample],
+    categories: Sequence[str] = (HOME_USR_ISP, CELL, HOME_RTR_ISP, ATLAS),
+    min_samples: int = 5,
+) -> Dict[Tuple[Continent, str], BoxStats]:
+    """Fig. 7b: absolute last-mile latency per continent and category."""
+    grouped: Dict[Tuple[Continent, str], List[float]] = {}
+    for sample in samples:
+        if sample.category not in categories:
+            continue
+        key = (sample.continent, sample.category)
+        grouped.setdefault(key, []).append(sample.latency_ms)
+    return {
+        key: BoxStats.from_samples(values)
+        for key, values in grouped.items()
+        if len(values) >= min_samples
+    }
+
+
+def per_probe_cv(
+    samples: Sequence[LastMileSample],
+    categories: Sequence[str] = (HOME_USR_ISP, CELL),
+    min_samples: int = 5,
+) -> List[Tuple[LastMileSample, float]]:
+    """Per-probe last-mile Cv (one representative sample, Cv) pairs.
+
+    Mirrors the paper's per-probe computation: all last-mile latencies of
+    one probe (within a category) form the sample set; probes with fewer
+    than ``min_samples`` observations are dropped.
+    """
+    grouped: Dict[Tuple[str, str], List[LastMileSample]] = {}
+    for sample in samples:
+        if sample.category not in categories:
+            continue
+        grouped.setdefault((sample.probe_id, sample.category), []).append(sample)
+    results: List[Tuple[LastMileSample, float]] = []
+    for (_, _), probe_samples in grouped.items():
+        if len(probe_samples) < min_samples:
+            continue
+        values = [sample.latency_ms for sample in probe_samples]
+        results.append(
+            (probe_samples[0], coefficient_of_variation(values))
+        )
+    return results
+
+
+def cv_by_continent(
+    samples: Sequence[LastMileSample],
+    min_samples: int = 5,
+    min_probes: int = 3,
+) -> Dict[Tuple[Continent, str], BoxStats]:
+    """Fig. 8: distribution of per-probe last-mile Cv per continent."""
+    per_probe = per_probe_cv(samples, min_samples=min_samples)
+    grouped: Dict[Tuple[Continent, str], List[float]] = {}
+    for sample, cv in per_probe:
+        grouped.setdefault((sample.continent, sample.category), []).append(cv)
+    return {
+        key: BoxStats.from_samples(values)
+        for key, values in grouped.items()
+        if len(values) >= min_probes
+    }
+
+
+def cv_by_country(
+    samples: Sequence[LastMileSample],
+    countries: Sequence[str] = FIG9_COUNTRIES,
+    min_samples: int = 5,
+    min_probes: int = 3,
+) -> Dict[Tuple[str, str], BoxStats]:
+    """Fig. 9: per-probe last-mile Cv for representative countries."""
+    wanted = set(countries)
+    per_probe = per_probe_cv(samples, min_samples=min_samples)
+    grouped: Dict[Tuple[str, str], List[float]] = {}
+    for sample, cv in per_probe:
+        if sample.country not in wanted:
+            continue
+        grouped.setdefault((sample.country, sample.category), []).append(cv)
+    return {
+        key: BoxStats.from_samples(values)
+        for key, values in grouped.items()
+        if len(values) >= min_probes
+    }
+
+
+def filter_to_nearest(
+    traces: Iterable[ResolvedTrace], nearest: NearestMap
+) -> List[ResolvedTrace]:
+    """Traces restricted to each probe's nearest datacenter (Fig. 19)."""
+    kept: List[ResolvedTrace] = []
+    for trace in traces:
+        meta = trace.meta
+        if nearest.region_for(meta.probe_id) == (
+            meta.provider_code,
+            meta.region_id,
+        ):
+            kept.append(trace)
+    return kept

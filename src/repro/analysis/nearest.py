@@ -1,0 +1,102 @@
+"""Latency-based nearest-datacenter estimation.
+
+The paper defines the datacenter "closest" to a probe as the one with the
+lowest *mean* latency over time (Fig. 3 footnote), restricted to the
+probe's own continent for the intra-continental analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.geo.continents import Continent
+from repro.measure.results import MeasurementDataset, PingMeasurement, Protocol
+
+#: (provider_code, region_id)
+RegionKey = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class NearestMap:
+    """Per-probe nearest-datacenter assignments."""
+
+    nearest: Dict[str, RegionKey]
+
+    def region_for(self, probe_id: str) -> Optional[RegionKey]:
+        return self.nearest.get(probe_id)
+
+    def __len__(self) -> int:
+        return len(self.nearest)
+
+
+def nearest_by_probe(
+    dataset: MeasurementDataset,
+    platform: str,
+    protocol: Protocol = Protocol.TCP,
+    same_continent_only: bool = True,
+) -> NearestMap:
+    """Estimate each probe's nearest datacenter from its measurements."""
+    sums: Dict[Tuple[str, RegionKey], List[float]] = {}
+    for ping in dataset.pings(platform=platform, protocol=protocol):
+        meta = ping.meta
+        if same_continent_only and meta.region_continent is not meta.continent:
+            continue
+        key = (meta.probe_id, (meta.provider_code, meta.region_id))
+        bucket = sums.setdefault(key, [0.0, 0])
+        bucket[0] += sum(ping.samples)
+        bucket[1] += len(ping.samples)
+    best: Dict[str, Tuple[float, RegionKey]] = {}
+    for (probe_id, region_key), (total, count) in sums.items():
+        mean = total / count
+        current = best.get(probe_id)
+        if current is None or mean < current[0]:
+            best[probe_id] = (mean, region_key)
+    return NearestMap({probe_id: region for probe_id, (_, region) in best.items()})
+
+
+def samples_to_nearest(
+    dataset: MeasurementDataset,
+    platform: str,
+    protocol: Protocol = Protocol.TCP,
+    nearest: Optional[NearestMap] = None,
+    same_continent_only: bool = True,
+) -> Iterator[Tuple[PingMeasurement, float]]:
+    """(measurement, rtt) pairs restricted to each probe's nearest DC."""
+    if nearest is None:
+        nearest = nearest_by_probe(
+            dataset, platform, protocol, same_continent_only
+        )
+    for ping in dataset.pings(platform=platform, protocol=protocol):
+        meta = ping.meta
+        if nearest.region_for(meta.probe_id) != (
+            meta.provider_code,
+            meta.region_id,
+        ):
+            continue
+        for sample in ping.samples:
+            yield ping, sample
+
+
+def nearest_samples_by_continent(
+    dataset: MeasurementDataset,
+    platform: str,
+    protocol: Protocol = Protocol.TCP,
+) -> Dict[Continent, List[float]]:
+    """All nearest-DC RTT samples grouped by probe continent (Fig. 4)."""
+    grouped: Dict[Continent, List[float]] = {}
+    for ping, sample in samples_to_nearest(dataset, platform, protocol):
+        grouped.setdefault(ping.meta.continent, []).append(sample)
+    return grouped
+
+
+def nearest_samples_by_country(
+    dataset: MeasurementDataset,
+    platform: str,
+    protocol: Protocol = Protocol.TCP,
+) -> Dict[str, List[float]]:
+    """All nearest-DC RTT samples grouped by probe country (Fig. 3)."""
+    grouped: Dict[str, List[float]] = {}
+    for ping, sample in samples_to_nearest(dataset, platform, protocol):
+        grouped.setdefault(ping.meta.country, []).append(sample)
+    return grouped

@@ -1,0 +1,216 @@
+"""ISP-cloud interconnection analysis (paper section 6; Figs. 10, 12, 13,
+17, 18).
+
+Paths are classified from resolved traceroutes using the paper's
+methodology (section 6.1): IXP hops are identified and removed from the
+AS-level topology; paths where the serving ISP and the cloud network are
+adjacent are *direct* (flagged ``1 IXP`` when the session visibly crosses
+an exchange fabric); one intermediate AS indicates *private* (carrier)
+peering; two or more indicate the *public Internet*.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.stats import BoxStats
+from repro.cloud.providers import PROVIDERS, network_operator
+from repro.resolve.pipeline import ResolvedTrace
+
+#: Classification labels, matching the paper's figure legends.
+DIRECT = "direct"
+ONE_IXP = "1 IXP"
+ONE_AS = "1 AS"
+TWO_PLUS_AS = "2+ AS"
+CATEGORIES = (DIRECT, ONE_AS, TWO_PLUS_AS, ONE_IXP)
+
+#: Provider networks shown in the peering figures (LTSL rides AMZN).
+PEERING_PROVIDERS = tuple(
+    provider.code for provider in PROVIDERS if provider.owns_network
+)
+
+
+def provider_network_asns() -> Dict[str, int]:
+    """Provider code -> cloud network ASN for all network operators."""
+    return {
+        provider.code: provider.asn
+        for provider in PROVIDERS
+        if provider.owns_network
+    }
+
+
+def classify_trace(trace: ResolvedTrace) -> Optional[str]:
+    """Interconnect category of one resolved traceroute, or ``None``
+    when the path cannot be classified (did not reach, ends missing)."""
+    network = network_operator(trace.meta.provider_code)
+    intermediates = trace.intermediate_asns(trace.meta.isp_asn, network.asn)
+    if intermediates is None:
+        return None
+    if len(intermediates) == 0:
+        if trace.ixp_after_index:
+            return ONE_IXP
+        return DIRECT
+    if len(intermediates) == 1:
+        return ONE_AS
+    return TWO_PLUS_AS
+
+
+@dataclass(frozen=True)
+class ProviderBreakdown:
+    """Fig. 10 row: interconnect shares for one provider network."""
+
+    provider_code: str
+    path_count: int
+    #: Shares over {direct, 1 AS, 2+ AS}; IXP-visible direct paths are
+    #: folded into ``direct`` as in Fig. 10.
+    direct_share: float
+    one_as_share: float
+    two_plus_share: float
+
+
+def provider_breakdowns(
+    traces: Iterable[ResolvedTrace],
+    min_paths: int = 10,
+) -> List[ProviderBreakdown]:
+    """Fig. 10: AS-level interconnect mix per provider network."""
+    counts: Dict[str, Counter] = {}
+    for trace in traces:
+        category = classify_trace(trace)
+        if category is None:
+            continue
+        network = network_operator(trace.meta.provider_code).code
+        counts.setdefault(network, Counter())[category] += 1
+    breakdowns: List[ProviderBreakdown] = []
+    for code in PEERING_PROVIDERS:
+        counter = counts.get(code)
+        if counter is None:
+            continue
+        total = sum(counter.values())
+        if total < min_paths:
+            continue
+        direct = counter[DIRECT] + counter[ONE_IXP]
+        breakdowns.append(
+            ProviderBreakdown(
+                provider_code=code,
+                path_count=total,
+                direct_share=direct / total,
+                one_as_share=counter[ONE_AS] / total,
+                two_plus_share=counter[TWO_PLUS_AS] / total,
+            )
+        )
+    return breakdowns
+
+
+@dataclass(frozen=True)
+class MatrixCell:
+    """One <ISP, provider> cell of Figs. 12a/13a/17a/18a."""
+
+    isp_asn: int
+    isp_name: str
+    provider_code: str
+    path_count: int
+    dominant_category: str
+    dominant_share: float
+
+
+def isp_provider_matrix(
+    traces: Iterable[ResolvedTrace],
+    source_country: str,
+    registry,
+    top_isps: int = 5,
+    min_paths: int = 3,
+) -> List[MatrixCell]:
+    """The per-country peering matrix: top ISPs x provider networks.
+
+    ISPs are ranked by recorded measurement volume, as in the paper
+    ("top-5 ISPs ordered by number of recorded measurements").
+    """
+    by_isp: Dict[int, List[ResolvedTrace]] = {}
+    for trace in traces:
+        if trace.meta.country != source_country:
+            continue
+        by_isp.setdefault(trace.meta.isp_asn, []).append(trace)
+    ranked = sorted(by_isp, key=lambda asn: len(by_isp[asn]), reverse=True)
+    cells: List[MatrixCell] = []
+    for isp_asn in ranked[:top_isps]:
+        isp_name = registry.get(isp_asn).name if isp_asn in registry else str(isp_asn)
+        per_provider: Dict[str, Counter] = {}
+        for trace in by_isp[isp_asn]:
+            category = classify_trace(trace)
+            if category is None:
+                continue
+            network = network_operator(trace.meta.provider_code).code
+            per_provider.setdefault(network, Counter())[category] += 1
+        for provider_code, counter in sorted(per_provider.items()):
+            total = sum(counter.values())
+            if total < min_paths:
+                continue
+            category, count = counter.most_common(1)[0]
+            cells.append(
+                MatrixCell(
+                    isp_asn=isp_asn,
+                    isp_name=isp_name,
+                    provider_code=provider_code,
+                    path_count=total,
+                    dominant_category=category,
+                    dominant_share=count / total,
+                )
+            )
+    return cells
+
+
+@dataclass(frozen=True)
+class InterconnectLatency:
+    """Fig. 12b/13b entry: latency under direct vs transited peering."""
+
+    provider_code: str
+    direct: Optional[BoxStats]
+    intermediate: Optional[BoxStats]
+
+
+def latency_by_interconnect(
+    traces: Iterable[ResolvedTrace],
+    min_measurements: int = 20,
+) -> List[InterconnectLatency]:
+    """Latency distributions per provider, direct vs intermediate-AS.
+
+    Uses traceroute end-to-end RTTs (the paper relies solely on
+    traceroute latencies for the peering analysis).  Groups below
+    ``min_measurements`` are omitted, mirroring the paper's >=100 filter
+    at full fleet scale.
+    """
+    grouped: Dict[Tuple[str, str], List[float]] = {}
+    for trace in traces:
+        category = classify_trace(trace)
+        if category is None:
+            continue
+        rtt = trace.end_to_end_rtt_ms
+        if rtt is None:
+            continue
+        group = "direct" if category in (DIRECT, ONE_IXP) else "intermediate"
+        network = network_operator(trace.meta.provider_code).code
+        grouped.setdefault((network, group), []).append(rtt)
+    results: List[InterconnectLatency] = []
+    for code in PEERING_PROVIDERS:
+        direct_values = grouped.get((code, "direct"), [])
+        transit_values = grouped.get((code, "intermediate"), [])
+        direct = (
+            BoxStats.from_samples(direct_values)
+            if len(direct_values) >= min_measurements
+            else None
+        )
+        intermediate = (
+            BoxStats.from_samples(transit_values)
+            if len(transit_values) >= min_measurements
+            else None
+        )
+        if direct is None and intermediate is None:
+            continue
+        results.append(
+            InterconnectLatency(
+                provider_code=code, direct=direct, intermediate=intermediate
+            )
+        )
+    return results

@@ -1,0 +1,76 @@
+"""Pervasiveness: how much of the user path the provider owns (Fig. 11)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cloud.providers import network_operator
+from repro.geo.continents import Continent
+from repro.resolve.pipeline import ResolvedTrace
+
+
+@dataclass(frozen=True)
+class PervasivenessEntry:
+    """Mean pervasiveness for one (provider network, probe continent)."""
+
+    provider_code: str
+    continent: Continent
+    trace_count: int
+    mean_share: float
+    median_share: float
+
+
+def pervasiveness_by_provider(
+    traces: Iterable[ResolvedTrace],
+    min_traces: int = 5,
+) -> List[PervasivenessEntry]:
+    """Fig. 11: ratio of provider-owned routers to path length.
+
+    Computed per resolved traceroute as the share of responding routers
+    whose ASN is the provider's network, averaged per (provider,
+    continent of the probe).
+    """
+    grouped: Dict[Tuple[str, Continent], List[float]] = {}
+    for trace in traces:
+        network = network_operator(trace.meta.provider_code)
+        share = trace.provider_hop_share(network.asn)
+        if share is None:
+            continue
+        key = (network.code, trace.meta.continent)
+        grouped.setdefault(key, []).append(share)
+    entries: List[PervasivenessEntry] = []
+    for (code, continent), shares in sorted(grouped.items()):
+        if len(shares) < min_traces:
+            continue
+        values = np.asarray(shares, dtype=float)
+        entries.append(
+            PervasivenessEntry(
+                provider_code=code,
+                continent=continent,
+                trace_count=int(values.size),
+                mean_share=float(values.mean()),
+                median_share=float(np.median(values)),
+            )
+        )
+    return entries
+
+
+def overall_pervasiveness(
+    entries: Iterable[PervasivenessEntry],
+) -> Dict[str, float]:
+    """Trace-weighted global mean pervasiveness per provider."""
+    totals: Dict[str, Tuple[float, int]] = {}
+    for entry in entries:
+        weight_sum, count = totals.get(entry.provider_code, (0.0, 0))
+        totals[entry.provider_code] = (
+            weight_sum + entry.mean_share * entry.trace_count,
+            count + entry.trace_count,
+        )
+    return {
+        code: weight_sum / count
+        for code, (weight_sum, count) in totals.items()
+        if count
+    }

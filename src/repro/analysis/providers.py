@@ -1,0 +1,94 @@
+"""Cross-provider consistency (paper section 8 conclusion).
+
+The paper concludes that "cloud performance is almost consistent and
+comparable across providers in continents hosting developed countries".
+This module quantifies that: for each continent, the median latency from
+every probe to its nearest region *of each provider*, and the spread
+across providers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.geo.continents import Continent
+from repro.measure.results import MeasurementDataset, Protocol
+
+
+@dataclass(frozen=True)
+class ProviderConsistency:
+    """Cross-provider latency spread for one continent."""
+
+    continent: Continent
+    #: Median nearest-region latency per provider code.
+    provider_medians: Dict[str, float]
+    #: Relative spread: (max - min) / min over provider medians.
+    relative_spread: float
+
+    @property
+    def provider_count(self) -> int:
+        return len(self.provider_medians)
+
+
+def provider_consistency(
+    dataset: MeasurementDataset,
+    platform: str = "speedchecker",
+    protocol: Protocol = Protocol.TCP,
+    min_samples: int = 20,
+) -> Dict[Continent, ProviderConsistency]:
+    """Per-continent, per-provider nearest-region latency medians.
+
+    For every (probe, provider) the nearest region is the one with the
+    lowest mean latency among that provider's measured regions in the
+    probe's continent; medians aggregate per (continent, provider).
+    """
+    sums: Dict[Tuple[str, str, str, str], List[float]] = {}
+    samples: Dict[Tuple[str, str, str, str], List[float]] = {}
+    continent_of: Dict[str, Continent] = {}
+    for ping in dataset.pings(platform=platform, protocol=protocol):
+        meta = ping.meta
+        if meta.region_continent is not meta.continent:
+            continue
+        key = (meta.probe_id, meta.provider_code, meta.region_id, "")
+        bucket = sums.setdefault(key, [0.0, 0])
+        bucket[0] += sum(ping.samples)
+        bucket[1] += len(ping.samples)
+        samples.setdefault(key, []).extend(ping.samples)
+        continent_of[meta.probe_id] = meta.continent
+
+    best: Dict[Tuple[str, str], Tuple[float, Tuple]] = {}
+    for key, (total, count) in sums.items():
+        probe_id, provider_code, _, _ = key
+        mean = total / count
+        current = best.get((probe_id, provider_code))
+        if current is None or mean < current[0]:
+            best[(probe_id, provider_code)] = (mean, key)
+
+    grouped: Dict[Tuple[Continent, str], List[float]] = {}
+    for (probe_id, provider_code), (_, key) in best.items():
+        continent = continent_of[probe_id]
+        grouped.setdefault((continent, provider_code), []).extend(samples[key])
+
+    per_continent: Dict[Continent, Dict[str, float]] = {}
+    for (continent, provider_code), values in grouped.items():
+        if len(values) < min_samples:
+            continue
+        per_continent.setdefault(continent, {})[provider_code] = float(
+            np.median(values)
+        )
+
+    result: Dict[Continent, ProviderConsistency] = {}
+    for continent, medians in per_continent.items():
+        if len(medians) < 2:
+            continue
+        values = list(medians.values())
+        spread = (max(values) - min(values)) / min(values)
+        result[continent] = ProviderConsistency(
+            continent=continent,
+            provider_medians=medians,
+            relative_spread=spread,
+        )
+    return result

@@ -1,0 +1,55 @@
+"""Plain-text rendering for experiment results."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """A fixed-width text table with right-aligned numeric columns."""
+    materialized: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in materialized:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    """A fraction as a percent string (0.512 -> '51.2%')."""
+    return f"{100.0 * value:.{digits}f}%"
+
+
+def format_ms(value: float, digits: int = 1) -> str:
+    return f"{value:.{digits}f} ms"
+
+
+def cdf_sparkline(samples: Sequence[float], bins: int = 20) -> str:
+    """A coarse text rendering of a distribution (for terminal output)."""
+    values = sorted(float(v) for v in samples)
+    if not values:
+        return "(no samples)"
+    blocks = " .:-=+*#%@"
+    lo, hi = values[0], values[-1]
+    if hi <= lo:
+        return blocks[-1] * bins
+    counts = [0] * bins
+    for value in values:
+        index = min(bins - 1, int((value - lo) / (hi - lo) * bins))
+        counts[index] += 1
+    peak = max(counts)
+    return "".join(
+        blocks[min(len(blocks) - 1, int(9 * count / peak))] for count in counts
+    )

@@ -1,0 +1,32 @@
+"""QoE latency thresholds used throughout the paper (section 2.1)."""
+
+from __future__ import annotations
+
+#: Motion-to-Photon: strict bound for immersive AR/VR applications.
+MTP_MS = 20.0
+
+#: Human Perceivable Latency: where users start noticing lag
+#: (cloud gaming etc.).
+HPL_MS = 100.0
+
+#: Human Reaction Time: bound for human-controlled remote tasks.
+HRT_MS = 250.0
+
+#: Latency bands of the paper's Fig. 3 world map, as (upper bound, label).
+FIG3_BANDS = (
+    (30.0, "<30 ms"),
+    (60.0, "30-60 ms"),
+    (100.0, "60-100 ms"),
+    (250.0, "100-250 ms"),
+    (float("inf"), ">250 ms"),
+)
+
+
+def band_label(median_rtt_ms: float) -> str:
+    """The Fig. 3 color band for a country's median RTT."""
+    if median_rtt_ms < 0:
+        raise ValueError(f"median RTT must be non-negative, got {median_rtt_ms}")
+    for upper, label in FIG3_BANDS:
+        if median_rtt_ms < upper:
+            return label
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -1,0 +1,184 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro summary                     # world inventory
+    python -m repro list                        # registered experiments
+    python -m repro campaign --days 14 -o d.jsonl.gz
+    python -m repro experiment fig4 [--dataset d.jsonl.gz]
+    python -m repro reproduce [--days 21]       # every artifact
+
+All subcommands accept ``--seed`` and ``--scale``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro import build_world, run_campaign
+from repro.experiments import (
+    EXPERIMENT_IDS,
+    StudyContext,
+    evaluate_takeaways,
+    experiment_info,
+    render_takeaways,
+    run_experiment,
+)
+from repro.measure.io import load_dataset, save_dataset
+
+
+def _add_world_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=7, help="master RNG seed")
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.02,
+        help="fleet scale factor (1.0 = the paper's 115k probes)",
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Cloudy with a Chance of Short RTTs' (IMC 2021)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    summary = subparsers.add_parser("summary", help="print the world inventory")
+    _add_world_arguments(summary)
+
+    subparsers.add_parser("list", help="list registered experiments")
+
+    campaign = subparsers.add_parser(
+        "campaign", help="run a measurement campaign and save the dataset"
+    )
+    _add_world_arguments(campaign)
+    campaign.add_argument("--days", type=int, default=14)
+    campaign.add_argument(
+        "-o", "--output", required=True, help="output path (.jsonl or .jsonl.gz)"
+    )
+
+    experiment = subparsers.add_parser(
+        "experiment", help="run one experiment by its paper artifact id"
+    )
+    _add_world_arguments(experiment)
+    experiment.add_argument("experiment_id", choices=sorted(EXPERIMENT_IDS))
+    experiment.add_argument(
+        "--dataset",
+        default=None,
+        help="dataset file from 'repro campaign' (collected fresh if omitted)",
+    )
+    experiment.add_argument("--days", type=int, default=14)
+
+    reproduce = subparsers.add_parser(
+        "reproduce", help="regenerate every table and figure"
+    )
+    _add_world_arguments(reproduce)
+    reproduce.add_argument("--days", type=int, default=21)
+
+    takeaways = subparsers.add_parser(
+        "takeaways", help="check the paper's takeaway boxes against a study"
+    )
+    _add_world_arguments(takeaways)
+    takeaways.add_argument("--days", type=int, default=14)
+    takeaways.add_argument(
+        "--dataset", default=None, help="dataset file from 'repro campaign'"
+    )
+
+    return parser
+
+
+def _command_summary(args) -> int:
+    world = build_world(seed=args.seed, scale=args.scale)
+    print(world.summary())
+    return 0
+
+
+def _command_list(args) -> int:
+    for experiment_id in EXPERIMENT_IDS:
+        info = experiment_info(experiment_id)
+        needs = "dataset" if info.needs_dataset else "world-only"
+        print(f"{experiment_id:8s}  {info.paper_artifact:24s}  [{needs}]")
+    return 0
+
+
+def _command_campaign(args) -> int:
+    world = build_world(seed=args.seed, scale=args.scale)
+    print(world.summary(), file=sys.stderr)
+    started = time.time()
+    dataset = run_campaign(world, days=args.days)
+    lines = save_dataset(dataset, args.output)
+    print(
+        f"Wrote {lines} measurements ({dataset.ping_sample_count} ping "
+        f"samples, {dataset.traceroute_count} traceroutes) to "
+        f"{args.output} in {time.time() - started:.1f}s",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _command_experiment(args) -> int:
+    world = build_world(seed=args.seed, scale=args.scale)
+    info = experiment_info(args.experiment_id)
+    dataset = None
+    if info.needs_dataset:
+        if args.dataset:
+            dataset = load_dataset(args.dataset)
+        else:
+            print(
+                f"Collecting a fresh {args.days}-day dataset ...",
+                file=sys.stderr,
+            )
+            dataset = run_campaign(world, days=args.days)
+    result = run_experiment(args.experiment_id, world, dataset)
+    print(result.render())
+    return 0
+
+
+def _command_reproduce(args) -> int:
+    world = build_world(seed=args.seed, scale=args.scale)
+    print(world.summary(), file=sys.stderr)
+    dataset = run_campaign(world, days=args.days)
+    context = StudyContext(world, dataset)
+    for experiment_id in EXPERIMENT_IDS:
+        print()
+        result = run_experiment(experiment_id, world, dataset, context=context)
+        print(result.render())
+    return 0
+
+
+def _command_takeaways(args) -> int:
+    world = build_world(seed=args.seed, scale=args.scale)
+    if args.dataset:
+        dataset = load_dataset(args.dataset)
+    else:
+        print(f"Collecting a fresh {args.days}-day dataset ...", file=sys.stderr)
+        dataset = run_campaign(world, days=args.days)
+    checks = evaluate_takeaways(world, dataset)
+    print(render_takeaways(checks))
+    return 0 if all(check.holds for check in checks) else 1
+
+
+_COMMANDS = {
+    "summary": _command_summary,
+    "list": _command_list,
+    "campaign": _command_campaign,
+    "experiment": _command_experiment,
+    "reproduce": _command_reproduce,
+    "takeaways": _command_takeaways,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""Cloud providers, their 195 compute regions, WANs and peering."""
+
+from repro.cloud.providers import (
+    PROVIDERS,
+    BackboneKind,
+    CloudProvider,
+    PeeringProfile,
+    provider_by_code,
+)
+from repro.cloud.regions import REGIONS, CloudRegion, RegionCatalog
+from repro.cloud.wan import PrivateWAN
+
+__all__ = [
+    "PROVIDERS",
+    "REGIONS",
+    "BackboneKind",
+    "CloudProvider",
+    "CloudRegion",
+    "PeeringProfile",
+    "PrivateWAN",
+    "RegionCatalog",
+    "provider_by_code",
+]

@@ -1,0 +1,114 @@
+"""Peering-agreement generation.
+
+For every provider network this module draws the concrete set of
+interconnections described by its :class:`~repro.cloud.providers.PeeringProfile`:
+
+- which Tier-1 carriers the cloud AS buys *transit* from (global);
+- which Tier-1 carriers host a *PNI / edge PoP* for the provider, and in
+  which continents those interconnects are valid;
+- which access ISPs peer *directly* with the provider, and whether the
+  session rides a public IXP fabric.
+
+The output is declarative (:class:`ProviderPeering`); the topology layer
+materialises it into relationship-graph edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cloud.providers import CloudProvider
+from repro.geo.continents import Continent
+from repro.net.asn import AS
+from repro.net.ixp import IXP
+
+
+@dataclass
+class ProviderPeering:
+    """The drawn interconnection fabric of one provider network."""
+
+    provider_code: str
+    cloud_asn: int
+    #: Tier-1 ASNs the cloud buys transit from (valid globally).
+    transit_tier1s: List[int] = field(default_factory=list)
+    #: Carrier ASNs (Tier-1 or regional transit) with a PNI, per
+    #: continent of validity.
+    pni_carriers: Dict[Continent, List[int]] = field(default_factory=dict)
+    #: Directly-peered access ISP ASNs -> IXP id (None for a PNI session).
+    direct_isps: Dict[int, Optional[int]] = field(default_factory=dict)
+
+    def has_direct(self, isp_asn: int) -> bool:
+        return isp_asn in self.direct_isps
+
+    def pni_in(self, continent: Continent) -> List[int]:
+        return list(self.pni_carriers.get(Continent(continent), []))
+
+
+def build_provider_peering(
+    provider: CloudProvider,
+    tier1_asns: Sequence[int],
+    access_isps: Sequence[AS],
+    ixps_by_continent: Dict[Continent, List[IXP]],
+    rng: np.random.Generator,
+    regionals_by_continent: Optional[Dict[Continent, Sequence[int]]] = None,
+) -> ProviderPeering:
+    """Draw one provider's interconnection fabric.
+
+    ``access_isps`` must carry ``country`` and ``continent`` so the
+    profile's per-location direct-peering propensities apply.
+    """
+    if not tier1_asns:
+        raise ValueError("at least one Tier-1 carrier is required")
+    profile = provider.peering
+    peering = ProviderPeering(provider_code=provider.code, cloud_asn=provider.asn)
+
+    # Transit: the cloud AS buys from the largest carriers first --
+    # deterministic given the ordered tier1 list, as in practice clouds
+    # multihome to the major backbones.
+    count = min(profile.transit_count, len(tier1_asns))
+    peering.transit_tier1s = list(tier1_asns[:count])
+
+    # Tier-1 PNIs: a per-continent draw over the remaining carriers.
+    for continent, share in profile.pni_carrier_share.items():
+        chosen: List[int] = []
+        for asn in tier1_asns:
+            if asn in peering.transit_tier1s:
+                continue
+            if rng.random() < share:
+                chosen.append(asn)
+        if chosen:
+            peering.pni_carriers[Continent(continent)] = chosen
+
+    # Regional PNIs: edge PoPs at regional transit providers, valid in
+    # their home continent only.
+    if regionals_by_continent:
+        for continent, share in profile.pni_regional_share.items():
+            continent = Continent(continent)
+            chosen = [
+                asn
+                for asn in regionals_by_continent.get(continent, ())
+                if rng.random() < share
+            ]
+            if chosen:
+                peering.pni_carriers.setdefault(continent, []).extend(chosen)
+
+    # Direct ISP peerings.
+    for isp in access_isps:
+        if isp.country is None or isp.continent is None:
+            continue
+        probability = profile.direct_probability(isp.country, isp.continent)
+        if rng.random() >= probability:
+            continue
+        ixp_id: Optional[int] = None
+        local_ixps = ixps_by_continent.get(isp.continent, [])
+        if local_ixps and rng.random() < profile.ixp_session_share:
+            ixp = local_ixps[int(rng.integers(0, len(local_ixps)))]
+            ixp.add_member(isp.asn)
+            ixp.add_member(provider.asn)
+            ixp_id = ixp.ixp_id
+        peering.direct_isps[isp.asn] = ixp_id
+
+    return peering

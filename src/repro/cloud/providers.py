@@ -1,0 +1,262 @@
+"""The nine cloud providers of the study (paper Table 1).
+
+Amazon Lightsail (LTSL) appears as a tenth catalog row in Table 1 but is
+operated over Amazon's network; it shares Amazon's cloud AS and peering
+fabric here, exactly as in the paper (the peering figures show nine
+provider networks).
+
+Peering profiles encode, per provider, the propensity to peer *directly*
+with serving access ISPs per continent, the share of Tier-1 carriers the
+provider interconnects with privately (PNI / edge PoPs), and the share of
+direct sessions established over public IXP fabrics.  These are the knobs
+that reproduce the paper's Fig. 10/12a/13a interconnection mixes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Optional, Tuple
+
+from repro.geo.continents import Continent
+
+
+class BackboneKind(str, Enum):
+    """Backbone network type as listed in Table 1."""
+
+    PRIVATE = "Private"
+    SEMI = "Semi"
+    PUBLIC = "Public"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class PeeringProfile:
+    """Interconnection propensities for one provider."""
+
+    #: Probability of a direct ISP<->cloud peering, keyed by continent
+    #: of the serving ISP.
+    direct_share: Dict[Continent, float]
+    #: Country-code overrides for :attr:`direct_share` (e.g. Alibaba in CN).
+    direct_share_by_country: Dict[str, float] = field(default_factory=dict)
+    #: Share of Tier-1 carriers the provider privately interconnects
+    #: with (PNI / edge PoP), keyed by continent where the PNI is valid.
+    pni_carrier_share: Dict[Continent, float] = field(default_factory=dict)
+    #: Share of *regional* transit providers hosting an edge PoP for the
+    #: provider, keyed by continent.  Regional PNIs are what turn the
+    #: long tail of non-carrier-attached ISPs into "1 intermediate AS"
+    #: (private peering) paths in the paper's Fig. 10.
+    pni_regional_share: Dict[Continent, float] = field(default_factory=dict)
+    #: Number of Tier-1 transit providers the cloud AS buys from.
+    transit_count: int = 2
+    #: Fraction of direct sessions established over a public IXP fabric.
+    ixp_session_share: float = 0.10
+
+    def direct_probability(self, country: str, continent: Continent) -> float:
+        """Direct-peering probability for an ISP in the given location."""
+        if country in self.direct_share_by_country:
+            return self.direct_share_by_country[country]
+        return self.direct_share.get(continent, 0.0)
+
+
+@dataclass(frozen=True)
+class CloudProvider:
+    """One provider of the study."""
+
+    code: str
+    name: str
+    backbone: BackboneKind
+    asn: int
+    peering: PeeringProfile
+    #: Providers that resell this provider's network (Lightsail -> Amazon).
+    network_owner: Optional[str] = None
+
+    @property
+    def owns_network(self) -> bool:
+        return self.network_owner is None
+
+
+def _everywhere(value: float) -> Dict[Continent, float]:
+    return {continent: value for continent in Continent}
+
+
+_HYPERGIANT_PEERING = PeeringProfile(
+    direct_share={
+        Continent.EU: 0.78,
+        Continent.NA: 0.75,
+        Continent.AS: 0.62,
+        Continent.OC: 0.65,
+        Continent.AF: 0.55,
+        Continent.SA: 0.58,
+    },
+    pni_carrier_share=_everywhere(0.85),
+    pni_regional_share=_everywhere(0.8),
+    transit_count=2,
+    ixp_session_share=0.08,
+)
+
+#: Table 1 plus the peering calibration.  Order matches the paper's table.
+PROVIDERS: Tuple[CloudProvider, ...] = (
+    CloudProvider(
+        code="AMZN",
+        name="Amazon EC2",
+        backbone=BackboneKind.PRIVATE,
+        asn=16509,
+        peering=_HYPERGIANT_PEERING,
+    ),
+    CloudProvider(
+        code="GCP",
+        name="Google",
+        backbone=BackboneKind.PRIVATE,
+        asn=15169,
+        peering=_HYPERGIANT_PEERING,
+    ),
+    CloudProvider(
+        code="MSFT",
+        name="Microsoft",
+        backbone=BackboneKind.PRIVATE,
+        asn=8075,
+        peering=_HYPERGIANT_PEERING,
+    ),
+    CloudProvider(
+        code="DO",
+        name="Digital Ocean",
+        backbone=BackboneKind.SEMI,
+        asn=14061,
+        peering=PeeringProfile(
+            direct_share={
+                Continent.EU: 0.18,
+                Continent.NA: 0.16,
+                Continent.AS: 0.02,
+                Continent.OC: 0.05,
+                Continent.AF: 0.03,
+                Continent.SA: 0.05,
+            },
+            # DigitalOcean's WAN is localized: PNIs exist where its PoPs
+            # are (EU/NA); in Asia it rides the public Internet (paper 6.2).
+            pni_carrier_share={Continent.EU: 0.6, Continent.NA: 0.6},
+            pni_regional_share={Continent.EU: 0.7, Continent.NA: 0.7},
+            transit_count=2,
+            ixp_session_share=0.15,
+        ),
+    ),
+    CloudProvider(
+        code="BABA",
+        name="Alibaba",
+        backbone=BackboneKind.SEMI,
+        asn=45102,
+        peering=PeeringProfile(
+            # Island datacenters outside China: ingress via public transit.
+            direct_share=_everywhere(0.04),
+            direct_share_by_country={"CN": 0.95},
+            pni_carrier_share={Continent.AS: 0.25},
+            pni_regional_share={Continent.AS: 0.3},
+            transit_count=2,
+            ixp_session_share=0.05,
+        ),
+    ),
+    CloudProvider(
+        code="VLTR",
+        name="Vultr",
+        backbone=BackboneKind.PUBLIC,
+        asn=20473,
+        peering=PeeringProfile(
+            direct_share=_everywhere(0.05),
+            pni_carrier_share={Continent.EU: 0.05, Continent.NA: 0.05},
+            pni_regional_share={Continent.EU: 0.05, Continent.NA: 0.05},
+            transit_count=1,
+            ixp_session_share=0.20,
+        ),
+    ),
+    CloudProvider(
+        code="LIN",
+        name="Linode",
+        backbone=BackboneKind.PUBLIC,
+        asn=63949,
+        peering=PeeringProfile(
+            direct_share=_everywhere(0.05),
+            pni_carrier_share={Continent.EU: 0.05, Continent.NA: 0.05},
+            pni_regional_share={Continent.EU: 0.05, Continent.NA: 0.05},
+            transit_count=1,
+            ixp_session_share=0.20,
+        ),
+    ),
+    CloudProvider(
+        code="LTSL",
+        name="Amazon Lightsail",
+        backbone=BackboneKind.PRIVATE,
+        asn=16509,
+        peering=_HYPERGIANT_PEERING,
+        network_owner="AMZN",
+    ),
+    CloudProvider(
+        code="ORCL",
+        name="Oracle",
+        backbone=BackboneKind.PRIVATE,
+        asn=31898,
+        peering=PeeringProfile(
+            # Oracle advertises a private backbone but, as the paper finds
+            # (Fig. 10), tenant ingress mostly rides the public Internet.
+            direct_share=_everywhere(0.08),
+            pni_carrier_share={Continent.EU: 0.06, Continent.NA: 0.06},
+            pni_regional_share={Continent.EU: 0.06, Continent.NA: 0.06},
+            transit_count=2,
+            ixp_session_share=0.12,
+        ),
+    ),
+    CloudProvider(
+        code="IBM",
+        name="IBM",
+        backbone=BackboneKind.SEMI,
+        asn=36351,
+        peering=PeeringProfile(
+            # Hybrid: private peering for the short EU/NA paths, public
+            # transit for the long ones in Asia (paper 6.1).
+            direct_share={
+                Continent.EU: 0.22,
+                Continent.NA: 0.20,
+                Continent.AS: 0.05,
+                Continent.OC: 0.08,
+                Continent.AF: 0.05,
+                Continent.SA: 0.06,
+            },
+            pni_carrier_share={
+                Continent.EU: 0.35,
+                Continent.NA: 0.35,
+                Continent.AS: 0.1,
+            },
+            pni_regional_share={Continent.EU: 0.4, Continent.NA: 0.4},
+            transit_count=2,
+            ixp_session_share=0.30,
+        ),
+    ),
+)
+
+_BY_CODE = {provider.code: provider for provider in PROVIDERS}
+
+#: Provider codes that operate their own network (the nine networks shown
+#: in the paper's peering figures; LTSL rides AMZN).
+NETWORK_OPERATOR_CODES: Tuple[str, ...] = tuple(
+    provider.code for provider in PROVIDERS if provider.owns_network
+)
+
+
+def provider_by_code(code: str) -> CloudProvider:
+    """Provider by its short code (e.g. ``"GCP"``)."""
+    try:
+        return _BY_CODE[code]
+    except KeyError:
+        raise KeyError(f"unknown provider code {code!r}") from None
+
+
+def network_operator(code: str) -> CloudProvider:
+    """The provider operating the network behind ``code``.
+
+    Resolves resold offerings (LTSL) to their network owner (AMZN).
+    """
+    provider = provider_by_code(code)
+    if provider.network_owner is not None:
+        return provider_by_code(provider.network_owner)
+    return provider

@@ -1,0 +1,348 @@
+"""The 195 compute cloud regions of the study (paper Table 1 / Fig. 1a).
+
+Region-to-metro assignments are synthetic-but-plausible: the per-provider,
+per-continent *counts* match Table 1 exactly (row and column sums total
+195), and metros are drawn from each provider's real-world footprint where
+public knowledge allows.  Coordinates are metro centroids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.geo.continents import Continent
+from repro.geo.coords import GeoPoint
+from repro.geo.countries import CountryRegistry, default_registry
+
+
+@dataclass(frozen=True)
+class CloudRegion:
+    """One compute region (the paper's measurement endpoint unit)."""
+
+    provider_code: str
+    region_id: str
+    city: str
+    country: str
+    continent: Continent
+    location: GeoPoint
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.provider_code}:{self.region_id}"
+
+
+# Metro pool: name -> (country, lat, lon).
+_METROS: Dict[str, Tuple[str, float, float]] = {
+    # Europe
+    "Dublin": ("IE", 53.35, -6.26),
+    "London": ("GB", 51.51, -0.13),
+    "Cardiff": ("GB", 51.48, -3.18),
+    "Frankfurt": ("DE", 50.11, 8.68),
+    "Berlin": ("DE", 52.52, 13.40),
+    "Paris": ("FR", 48.86, 2.35),
+    "Marseille": ("FR", 43.30, 5.37),
+    "Stockholm": ("SE", 59.33, 18.07),
+    "Milan": ("IT", 45.46, 9.19),
+    "Amsterdam": ("NL", 52.37, 4.90),
+    "Eemshaven": ("NL", 53.43, 6.83),
+    "Zurich": ("CH", 47.38, 8.54),
+    "Geneva": ("CH", 46.20, 6.14),
+    "Madrid": ("ES", 40.42, -3.70),
+    "Warsaw": ("PL", 52.23, 21.01),
+    "Helsinki": ("FI", 60.17, 24.94),
+    "Hamina": ("FI", 60.57, 27.20),
+    "Oslo": ("NO", 59.91, 10.75),
+    "Stavanger": ("NO", 58.97, 5.73),
+    "St. Ghislain": ("BE", 50.44, 3.82),
+    # North America
+    "Ashburn": ("US", 39.04, -77.49),
+    "Boydton": ("US", 36.67, -78.39),
+    "Columbus": ("US", 39.96, -83.00),
+    "San Jose": ("US", 37.34, -121.89),
+    "San Francisco": ("US", 37.77, -122.42),
+    "San Mateo": ("US", 37.56, -122.33),
+    "Fremont": ("US", 37.55, -121.99),
+    "Portland": ("US", 45.52, -122.68),
+    "The Dalles": ("US", 45.59, -121.18),
+    "Quincy": ("US", 47.23, -119.85),
+    "Seattle": ("US", 47.61, -122.33),
+    "Los Angeles": ("US", 34.05, -118.24),
+    "Las Vegas": ("US", 36.17, -115.14),
+    "Salt Lake City": ("US", 40.76, -111.89),
+    "Phoenix": ("US", 33.45, -112.07),
+    "Cheyenne": ("US", 41.14, -104.82),
+    "Dallas": ("US", 32.78, -96.80),
+    "San Antonio": ("US", 29.42, -98.49),
+    "Des Moines": ("US", 41.59, -93.62),
+    "Council Bluffs": ("US", 41.26, -95.86),
+    "Chicago": ("US", 41.88, -87.63),
+    "Atlanta": ("US", 33.75, -84.39),
+    "Moncks Corner": ("US", 33.20, -80.01),
+    "Miami": ("US", 25.76, -80.19),
+    "Washington": ("US", 38.91, -77.04),
+    "New York": ("US", 40.71, -74.01),
+    "Newark": ("US", 40.74, -74.17),
+    "Montreal": ("CA", 45.50, -73.57),
+    "Quebec": ("CA", 46.81, -71.21),
+    "Toronto": ("CA", 43.65, -79.38),
+    # South America
+    "Sao Paulo": ("BR", -23.55, -46.63),
+    # Asia
+    "Tokyo": ("JP", 35.68, 139.69),
+    "Osaka": ("JP", 34.69, 135.50),
+    "Seoul": ("KR", 37.57, 126.98),
+    "Busan": ("KR", 35.18, 129.08),
+    "Chuncheon": ("KR", 37.88, 127.73),
+    "Singapore": ("SG", 1.35, 103.82),
+    "Mumbai": ("IN", 19.08, 72.88),
+    "Pune": ("IN", 18.52, 73.86),
+    "Chennai": ("IN", 13.08, 80.27),
+    "Hyderabad": ("IN", 17.39, 78.49),
+    "Delhi": ("IN", 28.61, 77.21),
+    "Bangalore": ("IN", 12.97, 77.59),
+    "Hong Kong": ("CN", 22.32, 114.17),
+    "Beijing": ("CN", 39.90, 116.41),
+    "Shanghai": ("CN", 31.23, 121.47),
+    "Shenzhen": ("CN", 22.54, 114.06),
+    "Hangzhou": ("CN", 30.27, 120.16),
+    "Chengdu": ("CN", 30.57, 104.07),
+    "Qingdao": ("CN", 36.07, 120.38),
+    "Zhangjiakou": ("CN", 40.77, 114.88),
+    "Hohhot": ("CN", 40.84, 111.75),
+    "Ulanqab": ("CN", 41.02, 113.10),
+    "Heyuan": ("CN", 23.73, 114.70),
+    "Jakarta": ("ID", -6.21, 106.85),
+    "Kuala Lumpur": ("MY", 3.14, 101.69),
+    "Dubai": ("AE", 25.20, 55.27),
+    "Abu Dhabi": ("AE", 24.45, 54.38),
+    "Manama": ("BH", 26.07, 50.55),
+    # Africa
+    "Cape Town": ("ZA", -33.92, 18.42),
+    "Johannesburg": ("ZA", -26.20, 28.05),
+    # Oceania
+    "Sydney": ("AU", -33.87, 151.21),
+    "Melbourne": ("AU", -37.81, 144.96),
+    "Canberra": ("AU", -35.28, 149.13),
+    "Auckland": ("NZ", -36.85, 174.76),
+}
+
+# provider -> list of metro names; counts per continent match Table 1.
+_PROVIDER_METROS: Dict[str, List[str]] = {
+    "AMZN": [
+        # EU (6)
+        "Dublin", "London", "Frankfurt", "Paris", "Stockholm", "Milan",
+        # NA (6)
+        "Ashburn", "Columbus", "San Jose", "Portland", "Montreal", "Seattle",
+        # SA (1)
+        "Sao Paulo",
+        # AS (6)
+        "Tokyo", "Osaka", "Seoul", "Singapore", "Mumbai", "Hong Kong",
+        # AF (1)
+        "Cape Town",
+        # OC (1)
+        "Sydney",
+    ],
+    "GCP": [
+        # EU (6)
+        "London", "Frankfurt", "Amsterdam", "Zurich", "Hamina", "St. Ghislain",
+        # NA (10)
+        "Ashburn", "Moncks Corner", "Council Bluffs", "The Dalles",
+        "Los Angeles", "Salt Lake City", "Las Vegas", "Dallas",
+        "Montreal", "Toronto",
+        # SA (1)
+        "Sao Paulo",
+        # AS (8)
+        "Tokyo", "Osaka", "Seoul", "Singapore", "Mumbai", "Hong Kong",
+        "Jakarta", "Delhi",
+        # OC (1)
+        "Sydney",
+    ],
+    "MSFT": [
+        # EU (14)
+        "Dublin", "Amsterdam", "London", "Cardiff", "Frankfurt", "Berlin",
+        "Paris", "Marseille", "Oslo", "Stavanger", "Zurich", "Geneva",
+        "Warsaw", "Madrid",
+        # NA (10)
+        "Ashburn", "Boydton", "Chicago", "San Antonio", "Des Moines",
+        "Cheyenne", "Quincy", "Phoenix", "Toronto", "Quebec",
+        # SA (1)
+        "Sao Paulo",
+        # AS (15)
+        "Tokyo", "Osaka", "Seoul", "Busan", "Singapore", "Hong Kong",
+        "Shanghai", "Beijing", "Hangzhou", "Hohhot", "Mumbai", "Pune",
+        "Chennai", "Dubai", "Abu Dhabi",
+        # AF (2)
+        "Johannesburg", "Cape Town",
+        # OC (4)
+        "Sydney", "Melbourne", "Canberra", "Auckland",
+    ],
+    "DO": [
+        # EU (4)
+        "Amsterdam", "London", "Frankfurt", "Paris",
+        # NA (6)
+        "New York", "Newark", "San Francisco", "Fremont", "Toronto", "Atlanta",
+        # AS (1)
+        "Bangalore",
+    ],
+    "BABA": [
+        # EU (2)
+        "Frankfurt", "London",
+        # NA (2)
+        "Ashburn", "San Mateo",
+        # AS (16)
+        "Hangzhou", "Shanghai", "Qingdao", "Beijing", "Zhangjiakou",
+        "Hohhot", "Ulanqab", "Shenzhen", "Heyuan", "Chengdu", "Hong Kong",
+        "Tokyo", "Singapore", "Kuala Lumpur", "Jakarta", "Mumbai",
+        # OC (1)
+        "Sydney",
+    ],
+    "VLTR": [
+        # EU (4)
+        "Amsterdam", "London", "Frankfurt", "Paris",
+        # NA (9)
+        "Newark", "Chicago", "Dallas", "Seattle", "Los Angeles", "Atlanta",
+        "Miami", "San Jose", "Toronto",
+        # AS (1)
+        "Tokyo",
+        # OC (1)
+        "Sydney",
+    ],
+    "LIN": [
+        # EU (2)
+        "London", "Frankfurt",
+        # NA (5)
+        "Newark", "Atlanta", "Dallas", "Fremont", "Toronto",
+        # AS (3)
+        "Tokyo", "Singapore", "Mumbai",
+        # OC (1)
+        "Sydney",
+    ],
+    "LTSL": [
+        # EU (4)
+        "Dublin", "London", "Frankfurt", "Paris",
+        # NA (4)
+        "Ashburn", "Columbus", "Portland", "Montreal",
+        # AS (4)
+        "Tokyo", "Seoul", "Singapore", "Mumbai",
+        # OC (1)
+        "Sydney",
+    ],
+    "ORCL": [
+        # EU (4)
+        "Frankfurt", "London", "Amsterdam", "Zurich",
+        # NA (4)
+        "Ashburn", "Phoenix", "San Jose", "Toronto",
+        # SA (1)
+        "Sao Paulo",
+        # AS (7)
+        "Tokyo", "Osaka", "Seoul", "Chuncheon", "Mumbai", "Hyderabad",
+        "Dubai",
+        # OC (2)
+        "Sydney", "Melbourne",
+    ],
+    "IBM": [
+        # EU (6)
+        "Frankfurt", "London", "Amsterdam", "Paris", "Milan", "Oslo",
+        # NA (6)
+        "Dallas", "Washington", "San Jose", "Toronto", "Montreal", "Chicago",
+        # AS (1)
+        "Tokyo",
+    ],
+}
+
+
+def _build_regions(
+    countries: Optional[CountryRegistry] = None,
+) -> Tuple[CloudRegion, ...]:
+    registry = countries or default_registry()
+    regions: List[CloudRegion] = []
+    for provider_code, metros in _PROVIDER_METROS.items():
+        for index, metro in enumerate(metros, start=1):
+            country, lat, lon = _METROS[metro]
+            continent = registry.get(country).continent
+            slug = metro.lower().replace(" ", "-").replace(".", "")
+            regions.append(
+                CloudRegion(
+                    provider_code=provider_code,
+                    region_id=f"{slug}-{index}",
+                    city=metro,
+                    country=country,
+                    continent=continent,
+                    location=GeoPoint(lat, lon),
+                )
+            )
+    return tuple(regions)
+
+
+#: The canonical 195-region catalog.
+REGIONS: Tuple[CloudRegion, ...] = _build_regions()
+
+
+class RegionCatalog:
+    """Indexed access to the region catalog (a CloudHarmony equivalent)."""
+
+    def __init__(self, regions: Iterable[CloudRegion] = REGIONS):
+        self._regions: List[CloudRegion] = list(regions)
+        self._by_provider: Dict[str, List[CloudRegion]] = {}
+        self._by_continent: Dict[Continent, List[CloudRegion]] = {}
+        for region in self._regions:
+            self._by_provider.setdefault(region.provider_code, []).append(region)
+            self._by_continent.setdefault(region.continent, []).append(region)
+
+    def __len__(self) -> int:
+        return len(self._regions)
+
+    def __iter__(self):
+        return iter(self._regions)
+
+    def all(self) -> List[CloudRegion]:
+        return list(self._regions)
+
+    def for_provider(self, provider_code: str) -> List[CloudRegion]:
+        """All regions of a provider, in catalog order."""
+        return list(self._by_provider.get(provider_code, []))
+
+    def in_continent(self, continent: Continent) -> List[CloudRegion]:
+        """All regions located in a continent."""
+        return list(self._by_continent.get(Continent(continent), []))
+
+    def provider_codes(self) -> List[str]:
+        return list(self._by_provider)
+
+    def table1(self) -> Dict[str, Dict[Continent, int]]:
+        """Datacenter counts per provider per continent (paper Table 1)."""
+        table: Dict[str, Dict[Continent, int]] = {}
+        for region in self._regions:
+            row = table.setdefault(region.provider_code, {})
+            row[region.continent] = row.get(region.continent, 0) + 1
+        return table
+
+    def nearest_region(
+        self,
+        point: GeoPoint,
+        continent: Optional[Continent] = None,
+        provider_code: Optional[str] = None,
+    ) -> CloudRegion:
+        """Geographically-nearest region, optionally filtered.
+
+        This is the *geographic* notion of nearest; the analyses also use
+        a latency-based notion computed from measurements.
+        """
+        candidates = self._regions
+        if provider_code is not None:
+            candidates = [
+                region
+                for region in candidates
+                if region.provider_code == provider_code
+            ]
+        if continent is not None:
+            candidates = [
+                region
+                for region in candidates
+                if region.continent is Continent(continent)
+            ]
+        if not candidates:
+            raise ValueError(
+                f"no regions match continent={continent} provider={provider_code}"
+            )
+        return min(candidates, key=lambda region: point.distance_km(region.location))

@@ -1,0 +1,58 @@
+"""Private WAN coverage model.
+
+A provider's backbone class (Table 1) determines where tenant traffic can
+ride a privately-engineered network once it ingresses:
+
+- **Private** backbones (Amazon, Google, Microsoft, Oracle, Lightsail)
+  span all continents.
+- **Semi** backbones are private only within a home region: DigitalOcean
+  and IBM in EU/NA, Alibaba within Asia (its primary operational region).
+- **Public** backbones (Vultr, Linode) offer no private carriage at all.
+
+The measurement latency model consults this coverage to decide whether a
+path enjoys private-WAN path stretch and jitter characteristics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet
+
+from repro.cloud.providers import BackboneKind, CloudProvider
+from repro.geo.continents import Continent
+
+_ALL_CONTINENTS: FrozenSet[Continent] = frozenset(Continent)
+
+#: Home continents for Semi backbones.
+_SEMI_COVERAGE: Dict[str, FrozenSet[Continent]] = {
+    "DO": frozenset({Continent.EU, Continent.NA}),
+    "IBM": frozenset({Continent.EU, Continent.NA}),
+    "BABA": frozenset({Continent.AS}),
+}
+
+
+@dataclass(frozen=True)
+class PrivateWAN:
+    """Where a provider's backbone behaves like a private WAN."""
+
+    provider_code: str
+    backbone: BackboneKind
+    coverage: FrozenSet[Continent]
+
+    @classmethod
+    def for_provider(cls, provider: CloudProvider) -> "PrivateWAN":
+        if provider.backbone is BackboneKind.PRIVATE:
+            coverage = _ALL_CONTINENTS
+        elif provider.backbone is BackboneKind.SEMI:
+            coverage = _SEMI_COVERAGE.get(provider.code, frozenset())
+        else:
+            coverage = frozenset()
+        return cls(
+            provider_code=provider.code,
+            backbone=provider.backbone,
+            coverage=coverage,
+        )
+
+    def covers(self, continent: Continent) -> bool:
+        """True if traffic sourced in ``continent`` can ride the WAN."""
+        return Continent(continent) in self.coverage

@@ -1,0 +1,25 @@
+"""Core utilities: units, RNG streams, configuration and the World facade."""
+
+from repro.core.config import SimulationConfig
+from repro.core.rng import RngStreams
+from repro.core.units import (
+    FIBER_PATH_MS_PER_KM,
+    MS_PER_SECOND,
+    SPEED_OF_LIGHT_KM_S,
+    SPEED_IN_FIBER_KM_S,
+    geo_rtt_ms,
+    one_way_fiber_ms,
+)
+from repro.core.world import World
+
+__all__ = [
+    "FIBER_PATH_MS_PER_KM",
+    "MS_PER_SECOND",
+    "SPEED_OF_LIGHT_KM_S",
+    "SPEED_IN_FIBER_KM_S",
+    "RngStreams",
+    "SimulationConfig",
+    "World",
+    "geo_rtt_ms",
+    "one_way_fiber_ms",
+]

@@ -1,0 +1,228 @@
+"""Simulation configuration.
+
+A single :class:`SimulationConfig` object parameterises every layer of the
+synthetic Internet.  The defaults are calibrated so that the reproduced
+experiments exhibit the *shapes* reported by the paper (orderings,
+threshold crossings, variance contrasts) -- see ``DESIGN.md`` section 4
+for the calibration targets.
+
+All config classes are plain frozen dataclasses so a configuration can be
+shared between threads, hashed into cache keys, and compared in tests.
+Use :func:`dataclasses.replace` to derive variants for ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class PathModelConfig:
+    """How AS-level paths translate into propagation delay.
+
+    Path *stretch* inflates the great-circle distance between the two ends
+    to approximate the real fibre path.  Private WANs are engineered close
+    to the geodesic; public transit paths detour through carrier hotels
+    and exchange points, and the detour grows with the number of
+    intermediate ASes.
+    """
+
+    #: Stretch for paths that ride a cloud provider's private WAN
+    #: end-to-end (direct peering at the ISP edge).
+    private_wan_stretch: float = 1.22
+    #: Stretch for paths entering the WAN via a private interconnect
+    #: (one intermediate carrier AS).
+    private_peering_stretch: float = 1.38
+    #: Base stretch for public-Internet transit paths.
+    public_stretch: float = 1.62
+    #: Extra stretch added per intermediate AS beyond the first on public
+    #: paths (detours accumulate with every handoff).
+    public_stretch_per_extra_as: float = 0.14
+    #: Per-router-hop processing/forwarding delay, ms (median).
+    hop_processing_ms: float = 0.35
+    #: Minimum propagation floor for same-metro paths, ms.
+    min_path_rtt_ms: float = 2.0
+    #: Fixed RTT spent inside the serving ISP's aggregation core before
+    #: traffic reaches an inter-domain border, ms.
+    isp_core_rtt_ms: float = 3.0
+    #: Fixed RTT added per intermediate AS (border-router detours and
+    #: peering-point queueing), ms.
+    per_intermediate_as_rtt_ms: float = 1.4
+    #: Intra-continental backhaul penalty: multiplies path stretch when
+    #: the probe and the datacenter are in *different countries of the
+    #: same continent*.  Models sparse terrestrial fibre in
+    #: under-provisioned continents -- intra-African paths famously detour
+    #: via Europe, which is what pushes large parts of Africa past the
+    #: HRT threshold in the paper's Fig. 4.
+    continent_backhaul_stretch: Dict[str, float] = field(
+        default_factory=lambda: {"AF": 2.6, "SA": 1.5, "AS": 1.12}
+    )
+    #: Floor on private-WAN stretch for submarine-constrained paths
+    #: (an island endpoint, or a cross-continent path): every operator
+    #: shares the same cables, so private WANs cannot shortcut much --
+    #: this is why direct peering barely moves the JP->IN *median* while
+    #: land-connected BH->IN sees a clear gain (paper Figs. 13b/18b).
+    submarine_private_stretch_floor: float = 1.42
+
+    #: Lognormal sigma of multiplicative RTT jitter for paths that stay on
+    #: a private WAN.  Private backbones are lightly loaded and
+    #: traffic-engineered, so samples cluster tightly around the base RTT.
+    private_jitter_sigma: float = 0.045
+    #: Lognormal sigma for public transit paths; queueing at congested
+    #: peering points widens the distribution.
+    public_jitter_sigma: float = 0.16
+    #: Additional jitter sigma per 1000 km of distance on public paths --
+    #: long public paths cross more potentially-congested interconnects.
+    #: This term is what makes direct peering shrink the latency *tails*
+    #: over large distances (paper Fig. 13b) while barely moving the
+    #: median in well-provisioned regions (paper Fig. 12b).
+    public_jitter_sigma_per_1000km: float = 0.018
+    #: Probability that a public-path sample hits a transient congestion
+    #: event, and the multiplicative inflation applied when it does.
+    congestion_probability: float = 0.035
+    congestion_inflation: float = 1.9
+
+    #: ICMP handling: cloud-side load balancers and deprioritised ICMP
+    #: processing occasionally inflate ICMP RTTs relative to TCP.  The
+    #: paper finds Speedchecker TCP within ~2% of ICMP, with the largest
+    #: gap in Africa (Fig. 15); the expected inflation here is
+    #: ``probability * (factor - 1)`` ~= 1.8%.
+    icmp_penalty_probability: float = 0.10
+    icmp_penalty_factor: float = 1.18
+    #: Always-on multiplicative ICMP handling overhead (slow-path
+    #: processing at routers and endpoint load balancers).
+    icmp_base_inflation: float = 1.015
+    #: Multiplier on the penalty probability for measurements sourced in
+    #: Africa (longer public paths, more rate-limited ICMP responders).
+    icmp_africa_multiplier: float = 2.5
+    #: Probability a traceroute hop does not respond.
+    hop_unresponsive_probability: float = 0.08
+    #: Weekly congestion cycle: multiplier on the congestion probability
+    #: for weekday (Mon-Fri) and weekend measurements.  Evening/weekday
+    #: busy hours drive most transient congestion on eyeball paths.
+    weekday_congestion_multiplier: float = 1.25
+    weekend_congestion_multiplier: float = 0.6
+
+
+@dataclass(frozen=True)
+class LastMileConfig:
+    """Last-mile latency model parameters.
+
+    The paper (Fig. 7b) finds wireless last-mile medians of ~20-25 ms for
+    both WiFi and cellular with a coefficient of variation around 0.5
+    (Fig. 8), while RIPE Atlas' wired last-mile sits near 10 ms with much
+    lower variation, closely resembling the home-router-to-ISP segment.
+    """
+
+    #: Median of the WiFi hop (user device -> home router), ms.
+    wifi_air_median_ms: float = 11.0
+    #: Lognormal sigma of the WiFi hop.  Drives last-mile Cv ~= 0.5.
+    wifi_air_sigma: float = 0.70
+    #: Median of the wired home access segment (router -> ISP edge), ms.
+    home_wire_median_ms: float = 9.5
+    home_wire_sigma: float = 0.30
+    #: Median of the cellular radio leg (device -> base station + RAN), ms.
+    cellular_median_ms: float = 21.0
+    cellular_sigma: float = 0.52
+    #: Median of a managed wired connection (Atlas-style probes), ms.
+    wired_median_ms: float = 9.0
+    wired_sigma: float = 0.22
+    #: Heavy-tail mixture: probability of a bufferbloat episode and its
+    #: multiplicative inflation (applies to wireless media only).
+    bufferbloat_probability: float = 0.05
+    bufferbloat_inflation: float = 3.2
+    #: Probability that a Speedchecker device switches between WiFi and
+    #: cellular within a measurement -- the section-5 caveat that makes
+    #: the traceroute-based home/cell classification contain false
+    #: positives.
+    access_switch_probability: float = 0.03
+    #: Per-country quality multipliers applied to wireless medians.  The
+    #: paper observes China as the only country with median end-to-end RTT
+    #: under the 20 ms MTP bound, implying an unusually tight last-mile.
+    country_quality: Dict[str, float] = field(
+        default_factory=lambda: {
+            "CN": 0.33,
+            "KR": 0.78,
+            "JP": 0.80,
+            "SG": 0.75,
+        }
+    )
+
+
+@dataclass(frozen=True)
+class PlatformConfig:
+    """Probe platform parameters (Speedchecker-like and Atlas-like)."""
+
+    #: Total probes deployed world-wide at scale=1.0.
+    speedchecker_total_probes: int = 115_000
+    atlas_total_probes: int = 8_500
+    #: Fraction of Speedchecker Android probes on home WiFi; the rest are
+    #: cellular.  The paper does not publish the split; both categories
+    #: appear in similar volume in Figs. 7-9.
+    speedchecker_wifi_share: float = 0.55
+    #: Fraction of the Speedchecker fleet connected at any instant
+    #: (~29k of 115k in the paper).
+    speedchecker_availability: float = 0.25
+    #: Daily measurement budget (API calls) at scale=1.0.
+    speedchecker_daily_quota: int = 200_000
+    #: Share of Atlas probes hosted in managed (non-residential)
+    #: networks -- NRENs, ISP premises, enthusiast racks.
+    atlas_managed_share: float = 0.7
+    #: Minimum probes for a country to enter the measurement cycle
+    #: (the paper used 100 at full fleet scale).
+    min_probes_per_country: int = 100
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Six-month campaign scheduling parameters (paper section 3.3)."""
+
+    #: Campaign length in days (paper: ~180; tests use fewer).
+    days: int = 180
+    #: Hours between connected-VP snapshots.
+    vp_snapshot_interval_hours: int = 4
+    #: Self-imposed rate limit, measurement requests per minute.
+    requests_per_minute: float = 1.0
+    #: Days to sweep every country once before restarting the cycle.
+    cycle_days: int = 14
+    #: Ping samples per (probe, region) measurement request.
+    pings_per_request: int = 4
+    #: Probability a given request also issues a traceroute.
+    traceroute_share: float = 0.65
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Top-level configuration for building a :class:`~repro.core.world.World`."""
+
+    #: Master seed for all RNG streams.
+    seed: int = 7
+    #: Global scale factor applied to probe counts and quotas.  1.0
+    #: reproduces the paper's fleet sizes; tests and examples use 0.01-0.05.
+    scale: float = 0.02
+    path_model: PathModelConfig = field(default_factory=PathModelConfig)
+    last_mile: LastMileConfig = field(default_factory=LastMileConfig)
+    platforms: PlatformConfig = field(default_factory=PlatformConfig)
+    campaign: CampaignConfig = field(default_factory=CampaignConfig)
+    #: Number of access ISPs generated per country (min, max).
+    access_isps_per_country: Tuple[int, int] = (3, 6)
+    #: Use Gao-Rexford valley-free policy routing.  Switching this off
+    #: falls back to undirected shortest-path routing (ablation).
+    valley_free_routing: bool = True
+    #: Model private-WAN stretch/jitter advantages.  Switching this off
+    #: makes every path behave like public transit (ablation).
+    private_wan_advantage: bool = True
+    #: Model the wireless last-mile.  Switching this off gives every probe
+    #: a wired last-mile (ablation).
+    wireless_last_mile: bool = True
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError(f"scale must be positive, got {self.scale}")
+        if self.seed < 0:
+            raise ValueError(f"seed must be non-negative, got {self.seed}")
+
+    def scaled(self, value: int, minimum: int = 1) -> int:
+        """Scale an absolute fleet-size number by :attr:`scale`."""
+        return max(minimum, int(round(value * self.scale)))

@@ -1,0 +1,291 @@
+"""World topology: ASes, relationships, IXPs, and scoped policy routing.
+
+The builder assembles the complete synthetic Internet:
+
+- the Tier-1 full mesh (settlement-free peering among global carriers);
+- three regional transit providers per continent, multihomed to Tier-1s;
+- access ISPs per country -- the paper's named ISPs where the paper names
+  them, synthetic ones elsewhere -- buying transit from regional providers
+  and, with a continent-dependent probability, directly from a Tier-1
+  carrier (the "carrier peering" substrate of section 6.1);
+- one cloud AS per provider network with the interconnects drawn by
+  :func:`repro.cloud.peering.build_provider_peering`.
+
+PNIs are geographically scoped: a DigitalOcean PNI at a European carrier
+PoP does not shorten paths from Asian ISPs.  :class:`Topology` therefore
+computes routing tables per (provider network, source continent) over a
+graph containing only the interconnects valid for that continent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cloud.peering import ProviderPeering, build_provider_peering
+from repro.cloud.providers import PROVIDERS, CloudProvider, network_operator
+from repro.core.config import SimulationConfig
+from repro.core.rng import RngStreams
+from repro.datasets.carriers import TIER1_CARRIERS
+from repro.datasets.isps import named_isps_by_country
+from repro.datasets.ixps import IXP_SITES
+from repro.geo.continents import Continent
+from repro.geo.coords import GeoPoint, jitter_point
+from repro.geo.countries import CountryRegistry
+from repro.net.asn import AS, ASKind, ASRegistry, next_free_asn
+from repro.net.ip import IPv4Prefix, PrefixAllocator
+from repro.net.ixp import IXP, IXPRegistry
+from repro.net.relationships import RelationshipGraph
+from repro.net.routing import RoutePolicy, RoutingTable, compute_routes
+
+#: Probability that an access ISP buys transit directly from a Tier-1
+#: carrier, per continent.  High in well-provisioned regions, which is
+#: what makes "1 intermediate AS" (private/carrier peering) the dominant
+#: class for mid-sized providers in EU/NA (paper Figs. 10, 12a).
+_CARRIER_CUSTOMER_SHARE: Dict[Continent, float] = {
+    Continent.EU: 0.70,
+    Continent.NA: 0.70,
+    Continent.AS: 0.45,
+    Continent.OC: 0.50,
+    Continent.AF: 0.25,
+    Continent.SA: 0.35,
+}
+
+#: Hub city per continent for regional transit homes.
+_CONTINENT_HUBS: Dict[Continent, GeoPoint] = {
+    Continent.EU: GeoPoint(50.11, 8.68),
+    Continent.NA: GeoPoint(41.88, -87.63),
+    Continent.SA: GeoPoint(-23.55, -46.63),
+    Continent.AS: GeoPoint(1.35, 103.82),
+    Continent.AF: GeoPoint(-26.20, 28.05),
+    Continent.OC: GeoPoint(-33.87, 151.21),
+}
+
+_REGIONALS_PER_CONTINENT = 3
+#: First ASN for synthetically generated networks (real ASNs stay below).
+_SYNTHETIC_ASN_BASE = 200_000
+
+
+@dataclass
+class Topology:
+    """The assembled AS-level world with scoped routing."""
+
+    registry: ASRegistry
+    base_graph: RelationshipGraph
+    ixps: IXPRegistry
+    peerings: Dict[str, ProviderPeering]
+    policy: RoutePolicy = RoutePolicy.VALLEY_FREE
+    tier1_asns: Tuple[int, ...] = ()
+    _graph_cache: Dict[Tuple[str, Continent], RelationshipGraph] = field(
+        default_factory=dict, repr=False
+    )
+    _route_cache: Dict[Tuple[str, Continent], RoutingTable] = field(
+        default_factory=dict, repr=False
+    )
+
+    def network_code(self, provider_code: str) -> str:
+        """Resolve a provider code to its network operator's code."""
+        return network_operator(provider_code).code
+
+    def peering_for(self, provider_code: str) -> ProviderPeering:
+        return self.peerings[self.network_code(provider_code)]
+
+    def graph_for(
+        self, provider_code: str, source_continent: Continent
+    ) -> RelationshipGraph:
+        """Base graph plus the provider's interconnects valid for sources
+        in ``source_continent``."""
+        network = self.network_code(provider_code)
+        key = (network, Continent(source_continent))
+        if key in self._graph_cache:
+            return self._graph_cache[key]
+        peering = self.peerings[network]
+        graph = self.base_graph.clone()
+        cloud_asn = peering.cloud_asn
+        for tier1 in peering.transit_tier1s:
+            graph.add_customer_provider(cloud_asn, tier1)
+        for carrier in peering.pni_in(key[1]):
+            if carrier not in peering.transit_tier1s:
+                graph.add_peering(cloud_asn, carrier)
+        for isp_asn, ixp_id in peering.direct_isps.items():
+            graph.add_peering(isp_asn, cloud_asn, ixp_id=ixp_id)
+        self._graph_cache[key] = graph
+        return graph
+
+    def routes_for(
+        self, provider_code: str, source_continent: Continent
+    ) -> RoutingTable:
+        """Routing table towards the provider's cloud AS, scoped to
+        sources in ``source_continent``."""
+        network = self.network_code(provider_code)
+        key = (network, Continent(source_continent))
+        if key in self._route_cache:
+            return self._route_cache[key]
+        graph = self.graph_for(network, key[1])
+        table = compute_routes(graph, self.peerings[network].cloud_asn, self.policy)
+        self._route_cache[key] = table
+        return table
+
+    def as_path(
+        self, isp_asn: int, provider_code: str, source_continent: Continent
+    ) -> Optional[List[int]]:
+        """AS-level path from a serving ISP to a provider's network."""
+        return self.routes_for(provider_code, source_continent).as_path(isp_asn)
+
+
+def build_topology(
+    countries: CountryRegistry,
+    config: SimulationConfig,
+    rngs: RngStreams,
+) -> Topology:
+    """Assemble the full synthetic AS-level Internet."""
+    rng = rngs.stream("topology")
+    registry = ASRegistry()
+    graph = RelationshipGraph()
+    allocator = PrefixAllocator(IPv4Prefix.parse("11.0.0.0/8"))
+    ixp_allocator = PrefixAllocator(IPv4Prefix.parse("12.0.0.0/12"))
+
+    # --- IXPs ------------------------------------------------------------
+    ixps = IXPRegistry()
+    for index, site in enumerate(IXP_SITES, start=1):
+        ixps.add(
+            IXP(
+                ixp_id=index,
+                name=site.name,
+                location=site.location,
+                continent=site.continent,
+                peering_lan=ixp_allocator.allocate(24),
+            )
+        )
+
+    # --- Tier-1 mesh -------------------------------------------------------
+    tier1_asns: List[int] = []
+    for carrier in TIER1_CARRIERS:
+        registry.add(
+            AS(
+                asn=carrier.asn,
+                name=carrier.name,
+                kind=ASKind.TIER1,
+                country=carrier.country,
+                continent=countries.get(carrier.country).continent,
+                home=carrier.home,
+                prefixes=[allocator.allocate(19)],
+            )
+        )
+        tier1_asns.append(carrier.asn)
+    for i, a in enumerate(tier1_asns):
+        for b in tier1_asns[i + 1 :]:
+            graph.add_peering(a, b)
+
+    # --- Regional transit providers ---------------------------------------
+    regionals_by_continent: Dict[Continent, List[int]] = {}
+    next_asn = _SYNTHETIC_ASN_BASE
+    for continent in Continent:
+        hub = _CONTINENT_HUBS[continent]
+        regionals: List[int] = []
+        for index in range(_REGIONALS_PER_CONTINENT):
+            asn = next_free_asn(registry, next_asn)
+            next_asn = asn + 1
+            registry.add(
+                AS(
+                    asn=asn,
+                    name=f"{continent.value}-Transit-{index + 1}",
+                    kind=ASKind.TRANSIT,
+                    country=None,
+                    continent=continent,
+                    home=jitter_point(hub, 500.0, rng),
+                    prefixes=[allocator.allocate(19)],
+                )
+            )
+            regionals.append(asn)
+            # Multihome each regional to 2-3 Tier-1s.
+            upstream_count = int(rng.integers(2, 4))
+            picks = rng.choice(len(tier1_asns), size=upstream_count, replace=False)
+            for pick in sorted(int(p) for p in picks):
+                graph.add_customer_provider(asn, tier1_asns[pick])
+        regionals_by_continent[continent] = regionals
+
+    # --- Access ISPs per country -------------------------------------------
+    named = named_isps_by_country()
+    low, high = config.access_isps_per_country
+    for country in countries:
+        specs = named.get(country.iso, [])
+        target = max(len(specs), int(rng.integers(low, high + 1)))
+        for index in range(target):
+            if index < len(specs):
+                spec = specs[index]
+                asn, name = spec.asn, spec.name
+                if asn in registry:
+                    continue
+            else:
+                asn = next_free_asn(registry, next_asn)
+                next_asn = asn + 1
+                name = f"{country.name} ISP-{index + 1}"
+            isp = registry.add(
+                AS(
+                    asn=asn,
+                    name=name,
+                    kind=ASKind.ACCESS,
+                    country=country.iso,
+                    continent=country.continent,
+                    home=jitter_point(
+                        country.centroid, country.spread_radius_km * 0.5, rng
+                    ),
+                    prefixes=[allocator.allocate(18)],
+                )
+            )
+            # Transit from 1-2 regionals of the home continent.
+            regionals = regionals_by_continent[country.continent]
+            transit_count = 1 if rng.random() < 0.5 else 2
+            picks = rng.choice(len(regionals), size=min(transit_count, len(regionals)), replace=False)
+            for pick in sorted(int(p) for p in picks):
+                graph.add_customer_provider(isp.asn, regionals[pick])
+            # Optionally buy transit from a Tier-1 carrier directly.
+            if rng.random() < _CARRIER_CUSTOMER_SHARE[country.continent]:
+                carrier = tier1_asns[int(rng.integers(0, len(tier1_asns)))]
+                graph.add_customer_provider(isp.asn, carrier)
+
+    # --- Cloud provider networks --------------------------------------------
+    ixps_by_continent = {
+        continent: ixps.in_continent(continent) for continent in Continent
+    }
+    peerings: Dict[str, ProviderPeering] = {}
+    for provider in PROVIDERS:
+        if not provider.owns_network:
+            continue
+        registry.add(
+            AS(
+                asn=provider.asn,
+                name=provider.name,
+                kind=ASKind.CLOUD,
+                country=None,
+                continent=None,
+                home=GeoPoint(39.04, -77.49),
+                prefixes=[allocator.allocate(15)],
+                provider_code=provider.code,
+            )
+        )
+        peerings[provider.code] = build_provider_peering(
+            provider,
+            tier1_asns,
+            registry.of_kind(ASKind.ACCESS),
+            ixps_by_continent,
+            rngs.stream(f"peering.{provider.code}"),
+            regionals_by_continent=regionals_by_continent,
+        )
+
+    policy = (
+        RoutePolicy.VALLEY_FREE
+        if config.valley_free_routing
+        else RoutePolicy.SHORTEST
+    )
+    return Topology(
+        registry=registry,
+        base_graph=graph,
+        ixps=ixps,
+        peerings=peerings,
+        policy=policy,
+        tier1_asns=tuple(tier1_asns),
+    )

@@ -1,0 +1,41 @@
+"""Physical constants and latency unit helpers.
+
+All latencies in this package are expressed in **milliseconds** and all
+distances in **kilometres**.  Signal propagation in optical fibre runs at
+roughly two thirds of the speed of light in vacuum, which gives the
+rule-of-thumb used throughout the measurement literature: ~1 ms of one-way
+delay per 200 km of fibre, i.e. ~1 ms of RTT per 100 km of great-circle
+distance (before path stretch).
+"""
+
+from __future__ import annotations
+
+#: Speed of light in vacuum, km/s.
+SPEED_OF_LIGHT_KM_S = 299_792.458
+
+#: Effective propagation speed in optical fibre (refractive index ~1.5).
+SPEED_IN_FIBER_KM_S = SPEED_OF_LIGHT_KM_S * 2.0 / 3.0
+
+MS_PER_SECOND = 1_000.0
+
+#: One-way fibre delay per km, in milliseconds.
+FIBER_PATH_MS_PER_KM = MS_PER_SECOND / SPEED_IN_FIBER_KM_S
+
+
+def one_way_fiber_ms(distance_km: float, stretch: float = 1.0) -> float:
+    """One-way propagation delay over ``distance_km`` of great-circle
+    distance, inflated by a ``stretch`` factor for the physical fibre path.
+
+    ``stretch`` must be >= 1: fibre never takes a shorter path than the
+    great circle.
+    """
+    if distance_km < 0:
+        raise ValueError(f"distance must be non-negative, got {distance_km}")
+    if stretch < 1.0:
+        raise ValueError(f"path stretch must be >= 1, got {stretch}")
+    return distance_km * stretch * FIBER_PATH_MS_PER_KM
+
+
+def geo_rtt_ms(distance_km: float, stretch: float = 1.0) -> float:
+    """Round-trip propagation delay for a great-circle distance."""
+    return 2.0 * one_way_fiber_ms(distance_km, stretch)

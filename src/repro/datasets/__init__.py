@@ -1,0 +1,14 @@
+"""Canonical data tables: Tier-1 carriers, named access ISPs, IXPs."""
+
+from repro.datasets.carriers import TIER1_CARRIERS, CarrierSpec
+from repro.datasets.isps import NAMED_ISPS, NamedISPSpec
+from repro.datasets.ixps import IXP_SITES, IXPSite
+
+__all__ = [
+    "IXP_SITES",
+    "IXPSite",
+    "NAMED_ISPS",
+    "NamedISPSpec",
+    "TIER1_CARRIERS",
+    "CarrierSpec",
+]

@@ -1,0 +1,41 @@
+"""Tier-1 transit carriers.
+
+Real ASNs and operational homes for the settlement-free backbone mesh.
+The paper explicitly observes carrier peering via Telia (AS1299) and GTT
+(AS3257), and transit via NTT (AS2914, intra-Japan) and TATA (AS6453,
+Japan-to-India); all four appear here so the case-study experiments can
+name them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.geo.coords import GeoPoint
+
+
+@dataclass(frozen=True)
+class CarrierSpec:
+    """A Tier-1 backbone carrier."""
+
+    asn: int
+    name: str
+    country: str
+    home: GeoPoint
+
+
+TIER1_CARRIERS: Tuple[CarrierSpec, ...] = (
+    CarrierSpec(1299, "Telia Carrier", "SE", GeoPoint(59.33, 18.07)),
+    CarrierSpec(3257, "GTT Communications", "US", GeoPoint(38.88, -77.10)),
+    CarrierSpec(2914, "NTT Global IP Network", "JP", GeoPoint(35.68, 139.69)),
+    CarrierSpec(6453, "TATA Communications", "IN", GeoPoint(19.08, 72.88)),
+    CarrierSpec(174, "Cogent Communications", "US", GeoPoint(38.91, -77.04)),
+    CarrierSpec(3356, "Lumen (Level 3)", "US", GeoPoint(39.74, -104.99)),
+    CarrierSpec(6762, "Telecom Italia Sparkle", "IT", GeoPoint(41.90, 12.50)),
+    CarrierSpec(6461, "Zayo", "US", GeoPoint(40.01, -105.27)),
+    CarrierSpec(3491, "PCCW Global", "CN", GeoPoint(22.32, 114.17)),
+    CarrierSpec(5511, "Orange International", "FR", GeoPoint(48.86, 2.35)),
+    CarrierSpec(12956, "Telxius", "ES", GeoPoint(40.42, -3.70)),
+    CarrierSpec(1239, "Sprint", "US", GeoPoint(38.93, -94.67)),
+)

@@ -1,0 +1,93 @@
+"""Named access ISPs.
+
+Real ASNs for the serving ISPs that appear by name in the paper's peering
+case studies (Figs. 12a, 13a, 17a, 18a) and in the Fig. 9 representative
+countries.  Countries without named entries get synthetic ISPs generated
+by the topology builder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class NamedISPSpec:
+    """A real-world access ISP."""
+
+    asn: int
+    name: str
+    country: str
+
+
+NAMED_ISPS: Tuple[NamedISPSpec, ...] = (
+    # Germany (paper Fig. 12a)
+    NamedISPSpec(3209, "Vodafone", "DE"),
+    NamedISPSpec(3320, "D. Telekom", "DE"),
+    NamedISPSpec(6805, "Telefonica", "DE"),
+    NamedISPSpec(6830, "Liberty", "DE"),
+    NamedISPSpec(8881, "1&1", "DE"),
+    # Japan (paper Fig. 13a)
+    NamedISPSpec(2516, "KDDI", "JP"),
+    NamedISPSpec(2518, "BIGLOBE", "JP"),
+    NamedISPSpec(4713, "NTT", "JP"),
+    NamedISPSpec(17511, "OPTAGE", "JP"),
+    NamedISPSpec(17676, "SoftBank", "JP"),
+    # Ukraine (paper Fig. 17a)
+    NamedISPSpec(3255, "UARnet", "UA"),
+    NamedISPSpec(3326, "Datagroup", "UA"),
+    NamedISPSpec(6849, "UKRTELNET", "UA"),
+    NamedISPSpec(15895, "Kyivstar", "UA"),
+    NamedISPSpec(25229, "Volia", "UA"),
+    # Bahrain (paper Fig. 18a)
+    NamedISPSpec(5416, "Batelco", "BH"),
+    NamedISPSpec(31452, "ZAIN", "BH"),
+    NamedISPSpec(39273, "Kalaam", "BH"),
+    NamedISPSpec(51375, "stc", "BH"),
+    # United Kingdom
+    NamedISPSpec(2856, "BT", "GB"),
+    NamedISPSpec(5089, "Virgin Media", "GB"),
+    NamedISPSpec(5607, "Sky", "GB"),
+    NamedISPSpec(13285, "TalkTalk", "GB"),
+    # United States
+    NamedISPSpec(7922, "Comcast", "US"),
+    NamedISPSpec(20115, "Charter", "US"),
+    NamedISPSpec(7018, "AT&T", "US"),
+    NamedISPSpec(701, "Verizon", "US"),
+    # Brazil
+    NamedISPSpec(28573, "Claro BR", "BR"),
+    NamedISPSpec(27699, "Vivo", "BR"),
+    NamedISPSpec(7738, "Oi", "BR"),
+    # India
+    NamedISPSpec(55836, "Reliance Jio", "IN"),
+    NamedISPSpec(24560, "Airtel", "IN"),
+    NamedISPSpec(9829, "BSNL", "IN"),
+    # China
+    NamedISPSpec(4134, "China Telecom", "CN"),
+    NamedISPSpec(4837, "China Unicom", "CN"),
+    NamedISPSpec(9808, "China Mobile", "CN"),
+    # Iran
+    NamedISPSpec(58224, "TCI", "IR"),
+    NamedISPSpec(44244, "Irancell", "IR"),
+    # South Africa
+    NamedISPSpec(5713, "Telkom SA", "ZA"),
+    NamedISPSpec(36994, "Vodacom", "ZA"),
+    # Morocco
+    NamedISPSpec(36903, "Maroc Telecom", "MA"),
+    NamedISPSpec(36925, "INWI", "MA"),
+    # Mexico
+    NamedISPSpec(8151, "Telmex", "MX"),
+    NamedISPSpec(17072, "Totalplay", "MX"),
+    # Argentina
+    NamedISPSpec(7303, "Telecom Argentina", "AR"),
+    NamedISPSpec(22927, "Telefonica AR", "AR"),
+)
+
+
+def named_isps_by_country() -> Dict[str, List[NamedISPSpec]]:
+    """Named ISPs grouped by country code."""
+    grouped: Dict[str, List[NamedISPSpec]] = {}
+    for spec in NAMED_ISPS:
+        grouped.setdefault(spec.country, []).append(spec)
+    return grouped

@@ -1,0 +1,39 @@
+"""Internet exchange point sites (the synthetic CAIDA IXP dataset)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.geo.continents import Continent
+from repro.geo.coords import GeoPoint
+
+
+@dataclass(frozen=True)
+class IXPSite:
+    """One exchange point location."""
+
+    name: str
+    city: str
+    country: str
+    continent: Continent
+    location: GeoPoint
+
+
+IXP_SITES: Tuple[IXPSite, ...] = (
+    IXPSite("DE-CIX", "Frankfurt", "DE", Continent.EU, GeoPoint(50.11, 8.68)),
+    IXPSite("AMS-IX", "Amsterdam", "NL", Continent.EU, GeoPoint(52.37, 4.90)),
+    IXPSite("LINX", "London", "GB", Continent.EU, GeoPoint(51.51, -0.13)),
+    IXPSite("France-IX", "Paris", "FR", Continent.EU, GeoPoint(48.86, 2.35)),
+    IXPSite("Equinix-DC", "Ashburn", "US", Continent.NA, GeoPoint(39.04, -77.49)),
+    IXPSite("Any2", "Los Angeles", "US", Continent.NA, GeoPoint(34.05, -118.24)),
+    IXPSite("TorIX", "Toronto", "CA", Continent.NA, GeoPoint(43.65, -79.38)),
+    IXPSite("IX.br", "Sao Paulo", "BR", Continent.SA, GeoPoint(-23.55, -46.63)),
+    IXPSite("JPNAP", "Tokyo", "JP", Continent.AS, GeoPoint(35.68, 139.69)),
+    IXPSite("HKIX", "Hong Kong", "CN", Continent.AS, GeoPoint(22.32, 114.17)),
+    IXPSite("SGIX", "Singapore", "SG", Continent.AS, GeoPoint(1.35, 103.82)),
+    IXPSite("NIXI", "Mumbai", "IN", Continent.AS, GeoPoint(19.08, 72.88)),
+    IXPSite("NAPAfrica", "Johannesburg", "ZA", Continent.AF, GeoPoint(-26.20, 28.05)),
+    IXPSite("CAIX", "Cairo", "EG", Continent.AF, GeoPoint(30.04, 31.24)),
+    IXPSite("IX-Australia", "Sydney", "AU", Continent.OC, GeoPoint(-33.87, 151.21)),
+)

@@ -1,0 +1,31 @@
+"""Experiment runners: one per table and figure of the paper.
+
+Every experiment is registered under the paper's artifact id (``table1``,
+``fig3``, ... ``fig19``, ``stats``) and returns an
+:class:`~repro.experiments.common.ExperimentResult` whose ``data`` payload
+is asserted against the paper's qualitative findings in the test suite
+and whose ``render()`` regenerates the table/figure as text.
+"""
+
+from repro.experiments.common import ExperimentResult, StudyContext
+from repro.experiments.registry import (
+    EXPERIMENT_IDS,
+    experiment_info,
+    run_experiment,
+)
+from repro.experiments.takeaways import (
+    TakeawayCheck,
+    evaluate_takeaways,
+    render_takeaways,
+)
+
+__all__ = [
+    "EXPERIMENT_IDS",
+    "ExperimentResult",
+    "StudyContext",
+    "TakeawayCheck",
+    "evaluate_takeaways",
+    "experiment_info",
+    "render_takeaways",
+    "run_experiment",
+]

@@ -1,0 +1,65 @@
+"""Deployment-density experiment: Fig. 14 / section 3.2."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.density import geo_density, population_coverage
+from repro.analysis.report import format_percent, format_table
+from repro.experiments.common import ExperimentResult, StudyContext
+
+
+def run_fig14(world, dataset=None, context: Optional[StudyContext] = None) -> ExperimentResult:
+    """Fig. 14 + section 3.2: geoDensity and population coverage.
+
+    Compares the two platforms' probe density per continent area and the
+    share of Internet-user population living in probe-hosting ASes (the
+    paper's APNIC-based estimate: 95.6% Speedchecker vs 69.2% Atlas).
+    """
+    entries = geo_density(world.speedchecker.probes, world.atlas.probes)
+    rows = []
+    ratios = {}
+    for entry in entries:
+        ratio = entry.density_ratio
+        ratios[entry.continent.value] = ratio
+        rows.append(
+            [
+                entry.continent.value,
+                entry.speedchecker_probes,
+                entry.atlas_probes,
+                f"{entry.speedchecker_density:.1f}",
+                f"{entry.atlas_density:.1f}",
+                f"{ratio:.1f}x" if ratio != float("inf") else "inf",
+            ]
+        )
+    sc_coverage = population_coverage(
+        world.speedchecker.probes, world.countries, world.topology.registry
+    )
+    atlas_coverage = population_coverage(
+        world.atlas.probes, world.countries, world.topology.registry
+    )
+    body = format_table(
+        [
+            "Continent",
+            "SC probes",
+            "Atlas probes",
+            "SC /Mkm2",
+            "Atlas /Mkm2",
+            "Ratio",
+        ],
+        rows,
+    )
+    body += (
+        f"\nPopulation coverage: Speedchecker {format_percent(sc_coverage)}, "
+        f"Atlas {format_percent(atlas_coverage)}"
+    )
+    return ExperimentResult(
+        experiment_id="fig14",
+        title="Probe geoDensity and Internet-population coverage",
+        body=body,
+        data={
+            "density_ratio": ratios,
+            "speedchecker_coverage": sc_coverage,
+            "atlas_coverage": atlas_coverage,
+        },
+    )

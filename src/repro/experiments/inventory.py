@@ -1,0 +1,100 @@
+"""Inventory experiments: Table 1 and the probe-distribution figures."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.experiments.common import ExperimentResult, StudyContext
+from repro.analysis.report import format_table
+from repro.cloud.providers import PROVIDERS
+from repro.geo.continents import Continent
+
+#: Table 1 column order.
+_TABLE1_ORDER = (
+    Continent.EU,
+    Continent.NA,
+    Continent.SA,
+    Continent.AS,
+    Continent.AF,
+    Continent.OC,
+)
+
+#: Table 1 reference values (provider -> counts in _TABLE1_ORDER order).
+TABLE1_PAPER = {
+    "AMZN": (6, 6, 1, 6, 1, 1),
+    "GCP": (6, 10, 1, 8, 0, 1),
+    "MSFT": (14, 10, 1, 15, 2, 4),
+    "DO": (4, 6, 0, 1, 0, 0),
+    "BABA": (2, 2, 0, 16, 0, 1),
+    "VLTR": (4, 9, 0, 1, 0, 1),
+    "LIN": (2, 5, 0, 3, 0, 1),
+    "LTSL": (4, 4, 0, 4, 0, 1),
+    "ORCL": (4, 4, 1, 7, 0, 2),
+    "IBM": (6, 6, 0, 1, 0, 0),
+}
+
+
+def run_table1(world, dataset=None, context: Optional[StudyContext] = None) -> ExperimentResult:
+    """Table 1: datacenter counts per provider per continent + backbone."""
+    table = world.catalog.table1()
+    rows = []
+    data: Dict[str, tuple] = {}
+    for provider in PROVIDERS:
+        counts = tuple(
+            table.get(provider.code, {}).get(continent, 0)
+            for continent in _TABLE1_ORDER
+        )
+        data[provider.code] = counts
+        rows.append(
+            [provider.name, *counts, sum(counts), str(provider.backbone)]
+        )
+    totals = [
+        sum(data[code][i] for code in data) for i in range(len(_TABLE1_ORDER))
+    ]
+    rows.append(["Total", *totals, sum(totals), ""])
+    body = format_table(
+        ["Provider", *[c.value for c in _TABLE1_ORDER], "Sum", "Backbone"],
+        rows,
+    )
+    return ExperimentResult(
+        experiment_id="table1",
+        title="Global density of cloud provider endpoints",
+        body=body,
+        data={"counts": data, "total": sum(totals)},
+    )
+
+
+def _probe_distribution(world, platform: str) -> Dict[str, int]:
+    probes = (
+        world.speedchecker.probes if platform == "speedchecker" else world.atlas.probes
+    )
+    counts: Dict[str, int] = {}
+    for probe in probes:
+        counts[probe.continent.value] = counts.get(probe.continent.value, 0) + 1
+    return counts
+
+
+def run_fig1b(world, dataset=None, context: Optional[StudyContext] = None) -> ExperimentResult:
+    """Fig. 1b: Speedchecker probe distribution per continent."""
+    counts = _probe_distribution(world, "speedchecker")
+    ordered = sorted(counts.items(), key=lambda item: -item[1])
+    body = format_table(["Continent", "Probes"], ordered)
+    return ExperimentResult(
+        experiment_id="fig1b",
+        title="Speedchecker probe distribution",
+        body=body,
+        data={"counts": counts, "total": sum(counts.values())},
+    )
+
+
+def run_fig2(world, dataset=None, context: Optional[StudyContext] = None) -> ExperimentResult:
+    """Fig. 2: RIPE Atlas probe distribution per continent."""
+    counts = _probe_distribution(world, "atlas")
+    ordered = sorted(counts.items(), key=lambda item: -item[1])
+    body = format_table(["Continent", "Probes"], ordered)
+    return ExperimentResult(
+        experiment_id="fig2",
+        title="RIPE Atlas probe distribution",
+        body=body,
+        data={"counts": counts, "total": sum(counts.values())},
+    )

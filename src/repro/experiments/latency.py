@@ -1,0 +1,161 @@
+"""Cloud access latency experiments: Figs. 3, 4 and the inter-continental
+Fig. 6 (paper sections 4.1 and 4.3)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.bands import (
+    continent_distributions,
+    country_latency_bands,
+    threshold_compliance,
+)
+from repro.analysis.intercontinental import (
+    FIG6_AFRICA,
+    FIG6_SOUTH_AMERICA,
+    TARGETS,
+    intercontinental_latency,
+)
+from repro.analysis.report import format_ms, format_percent, format_table
+from repro.experiments.common import ExperimentResult, StudyContext, require_dataset
+from repro.geo.continents import Continent
+from repro.measure.campaign import run_intercontinental_study
+from repro.measure.results import MeasurementDataset
+
+
+def run_fig3(world, dataset=None, context: Optional[StudyContext] = None) -> ExperimentResult:
+    """Fig. 3: median nearest-DC RTT per country, banded."""
+    dataset = require_dataset(dataset, "fig3")
+    bands = country_latency_bands(dataset, world.countries)
+    rows = [
+        [
+            band.country,
+            band.continent.value,
+            band.sample_count,
+            f"{band.median_rtt_ms:.1f}",
+            band.band,
+        ]
+        for band in bands
+    ]
+    total, mtp, hpl, hrt = threshold_compliance(bands)
+    body = format_table(
+        ["Country", "Cont", "Samples", "Median RTT [ms]", "Band"], rows
+    )
+    body += (
+        f"\nCountries: {total}; median under MTP: {mtp}, "
+        f"under HPL: {hpl}, under HRT: {hrt}"
+    )
+    return ExperimentResult(
+        experiment_id="fig3",
+        title="Median latency to the closest datacenter per country",
+        body=body,
+        data={
+            "bands": {band.country: band.band for band in bands},
+            "medians": {band.country: band.median_rtt_ms for band in bands},
+            "compliance": {"total": total, "mtp": mtp, "hpl": hpl, "hrt": hrt},
+        },
+    )
+
+
+def run_fig4(world, dataset=None, context: Optional[StudyContext] = None) -> ExperimentResult:
+    """Fig. 4: nearest-DC RTT distribution per continent vs thresholds."""
+    dataset = require_dataset(dataset, "fig4")
+    distributions = continent_distributions(dataset)
+    rows = []
+    data = {}
+    for continent in Continent:
+        dist = distributions.get(continent)
+        if dist is None:
+            continue
+        rows.append(
+            [
+                continent.value,
+                dist.sample_count,
+                f"{dist.median_rtt_ms:.1f}",
+                f"{dist.p90_rtt_ms:.1f}",
+                format_percent(dist.below_mtp),
+                format_percent(dist.below_hpl),
+                format_percent(dist.below_hrt),
+            ]
+        )
+        data[continent.value] = {
+            "median": dist.median_rtt_ms,
+            "p90": dist.p90_rtt_ms,
+            "below_mtp": dist.below_mtp,
+            "below_hpl": dist.below_hpl,
+            "below_hrt": dist.below_hrt,
+        }
+    body = format_table(
+        ["Continent", "Samples", "Median", "P90", "<MTP", "<HPL", "<HRT"],
+        rows,
+    )
+    return ExperimentResult(
+        experiment_id="fig4",
+        title="RTT distribution to the nearest datacenter by continent",
+        body=body,
+        data=data,
+    )
+
+
+def _run_fig6(world, dataset, continent: Continent, countries, experiment_id, title):
+    dataset = require_dataset(dataset, experiment_id)
+    # Supplement the campaign dataset with a focused sweep: the listed
+    # countries ping the nearest per-provider regions in every target
+    # continent, exactly as the paper arranged for probes in
+    # under-provisioned continents (section 4.3).  The AF/SA fleets are
+    # small at default scale, so the main campaign alone undersamples
+    # the tail countries.
+    combined = MeasurementDataset()
+    combined.extend(dataset)
+    combined.extend(
+        run_intercontinental_study(world, countries, TARGETS[continent])
+    )
+    entries = intercontinental_latency(combined, continent, countries, min_samples=8)
+    rows = [
+        [
+            entry.country,
+            entry.target_continent.value,
+            entry.stats.count,
+            f"{entry.stats.median:.1f}",
+            f"{entry.stats.q1:.1f}",
+            f"{entry.stats.q3:.1f}",
+        ]
+        for entry in entries
+    ]
+    body = format_table(
+        ["Country", "Target", "Samples", "Median [ms]", "Q1", "Q3"], rows
+    )
+    data = {
+        (entry.country, entry.target_continent.value): entry.stats.median
+        for entry in entries
+    }
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        body=body,
+        data={"medians": data},
+    )
+
+
+def run_fig6a(world, dataset=None, context: Optional[StudyContext] = None) -> ExperimentResult:
+    """Fig. 6a: African countries to nearest DCs in AF/EU/NA."""
+    return _run_fig6(
+        world,
+        dataset,
+        Continent.AF,
+        FIG6_AFRICA,
+        "fig6a",
+        "Inter-continental latency from Africa",
+    )
+
+
+def run_fig6b(world, dataset=None, context: Optional[StudyContext] = None) -> ExperimentResult:
+    """Fig. 6b: South American countries to nearest DCs in SA/NA."""
+    return _run_fig6(
+        world,
+        dataset,
+        Continent.SA,
+        FIG6_SOUTH_AMERICA,
+        "fig6b",
+        "Inter-continental latency from South America",
+    )

@@ -1,0 +1,229 @@
+"""Interconnection experiments: Figs. 10, 11 and the case studies of
+Figs. 12, 13, 17 and 18 (paper section 6)."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.analysis.ingress import ingress_by_interconnect
+from repro.analysis.peering import (
+    isp_provider_matrix,
+    latency_by_interconnect,
+    provider_breakdowns,
+)
+from repro.analysis.pervasiveness import overall_pervasiveness, pervasiveness_by_provider
+from repro.analysis.report import format_percent, format_table
+from repro.experiments.common import ExperimentResult, StudyContext, require_dataset
+from repro.measure.campaign import run_case_study
+
+
+def _context(world, dataset, context: Optional[StudyContext]) -> StudyContext:
+    if context is not None:
+        return context
+    return StudyContext(world, dataset)
+
+
+def run_fig10(world, dataset=None, context: Optional[StudyContext] = None) -> ExperimentResult:
+    """Fig. 10: interconnect mix (direct / 1 AS / 2+ AS) per provider."""
+    dataset = require_dataset(dataset, "fig10")
+    ctx = _context(world, dataset, context)
+    breakdowns = provider_breakdowns(ctx.resolved_traces)
+    rows = [
+        [
+            entry.provider_code,
+            entry.path_count,
+            format_percent(entry.direct_share),
+            format_percent(entry.one_as_share),
+            format_percent(entry.two_plus_share),
+        ]
+        for entry in breakdowns
+    ]
+    body = format_table(["Provider", "Paths", "Direct", "1 AS", "2+ AS"], rows)
+    data = {
+        entry.provider_code: {
+            "direct": entry.direct_share,
+            "one_as": entry.one_as_share,
+            "two_plus": entry.two_plus_share,
+        }
+        for entry in breakdowns
+    }
+    return ExperimentResult(
+        experiment_id="fig10",
+        title="ISP-cloud interconnection types globally",
+        body=body,
+        data=data,
+    )
+
+
+def run_fig11(world, dataset=None, context: Optional[StudyContext] = None) -> ExperimentResult:
+    """Fig. 11: pervasiveness of provider-owned routers on user paths."""
+    dataset = require_dataset(dataset, "fig11")
+    ctx = _context(world, dataset, context)
+    entries = pervasiveness_by_provider(ctx.resolved_traces)
+    rows = [
+        [
+            entry.provider_code,
+            entry.continent.value,
+            entry.trace_count,
+            f"{entry.mean_share:.2f}",
+        ]
+        for entry in entries
+    ]
+    overall = overall_pervasiveness(entries)
+    body = format_table(["Provider", "Continent", "Traces", "Pervasiveness"], rows)
+    body += "\nOverall: " + ", ".join(
+        f"{code}={share:.2f}" for code, share in sorted(overall.items())
+    )
+    return ExperimentResult(
+        experiment_id="fig11",
+        title="Degree of pervasiveness of cloud providers",
+        body=body,
+        data={
+            "per_continent": {
+                (entry.provider_code, entry.continent.value): entry.mean_share
+                for entry in entries
+            },
+            "overall": overall,
+        },
+    )
+
+
+def _case_study(
+    world,
+    context: Optional[StudyContext],
+    experiment_id: str,
+    source_country: str,
+    dest_country: str,
+    title: str,
+    rounds: int = 0,
+    max_probes: int = 60,
+    target_traces: int = 1200,
+) -> ExperimentResult:
+    """Shared runner for the four peering case studies.
+
+    ``rounds=0`` sizes the number of measurement rounds so that roughly
+    ``target_traces`` traceroutes are collected regardless of how many
+    probes the source country hosts (Bahrain is tiny, Germany is huge).
+    """
+    if rounds < 1:
+        probe_count = min(
+            max_probes, len(world.speedchecker.probes_in_country(source_country))
+        )
+        region_count = sum(
+            1 for region in world.catalog.all() if region.country == dest_country
+        )
+        per_round = max(1, probe_count * region_count)
+        rounds = max(2, min(40, -(-target_traces // per_round)))
+    case_dataset = run_case_study(
+        world,
+        source_country,
+        dest_country,
+        rounds=rounds,
+        max_probes=max_probes,
+    )
+    ctx = context or StudyContext(world, case_dataset)
+    traces = ctx.resolve(case_dataset)
+
+    matrix = isp_provider_matrix(
+        traces, source_country, world.topology.registry
+    )
+    matrix_rows = [
+        [
+            f"{cell.isp_name} (AS {cell.isp_asn})",
+            cell.provider_code,
+            cell.path_count,
+            cell.dominant_category,
+            format_percent(cell.dominant_share),
+        ]
+        for cell in matrix
+    ]
+    latency = latency_by_interconnect(traces)
+    latency_rows = []
+    for entry in latency:
+        for label, box in (("direct", entry.direct), ("intermediate", entry.intermediate)):
+            if box is None:
+                continue
+            latency_rows.append(
+                [
+                    entry.provider_code,
+                    label,
+                    box.count,
+                    f"{box.median:.1f}",
+                    f"{box.iqr:.1f}",
+                ]
+            )
+    ingress = ingress_by_interconnect(traces)
+    ingress_line = ""
+    if ingress:
+        ingress_line = "\nWAN ingress depth (0 = at the user): " + ", ".join(
+            f"{stats.group}={stats.median_ingress_depth:.2f}"
+            for stats in ingress.values()
+        )
+    body = (
+        format_table(
+            ["ISP", "Provider", "Paths", "Dominant", "Share"], matrix_rows
+        )
+        + "\n\n"
+        + format_table(
+            ["Provider", "Peering", "N", "Median [ms]", "IQR [ms]"],
+            latency_rows,
+        )
+        + ingress_line
+    )
+    data = {
+        "ingress_depth": {
+            group: stats.median_ingress_depth for group, stats in ingress.items()
+        },
+        "matrix": {
+            (cell.isp_asn, cell.provider_code): cell.dominant_category
+            for cell in matrix
+        },
+        "latency": {
+            entry.provider_code: {
+                "direct_median": entry.direct.median if entry.direct else None,
+                "direct_iqr": entry.direct.iqr if entry.direct else None,
+                "intermediate_median": (
+                    entry.intermediate.median if entry.intermediate else None
+                ),
+                "intermediate_iqr": (
+                    entry.intermediate.iqr if entry.intermediate else None
+                ),
+            }
+            for entry in latency
+        },
+    }
+    return ExperimentResult(
+        experiment_id=experiment_id, title=title, body=body, data=data
+    )
+
+
+def run_fig12(world, dataset=None, context: Optional[StudyContext] = None) -> ExperimentResult:
+    """Figs. 12a/12b: German ISPs to UK datacenters."""
+    return _case_study(
+        world, context, "fig12", "DE", "GB",
+        "ISP-cloud peering case study: Germany to UK",
+    )
+
+
+def run_fig13(world, dataset=None, context: Optional[StudyContext] = None) -> ExperimentResult:
+    """Figs. 13a/13b: Japanese ISPs to Indian datacenters."""
+    return _case_study(
+        world, context, "fig13", "JP", "IN",
+        "ISP-cloud peering case study: Japan to India",
+    )
+
+
+def run_fig17(world, dataset=None, context: Optional[StudyContext] = None) -> ExperimentResult:
+    """Figs. 17a/17b: Ukrainian ISPs to UK datacenters."""
+    return _case_study(
+        world, context, "fig17", "UA", "GB",
+        "ISP-cloud peering case study: Ukraine to UK",
+    )
+
+
+def run_fig18(world, dataset=None, context: Optional[StudyContext] = None) -> ExperimentResult:
+    """Figs. 18a/18b: Bahraini ISPs to Indian datacenters."""
+    return _case_study(
+        world, context, "fig18", "BH", "IN",
+        "ISP-cloud peering case study: Bahrain to India",
+    )

@@ -1,0 +1,47 @@
+"""Protocol comparison experiment: Fig. 15 (ICMP vs TCP, appendix A.2)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.protocols import protocol_comparison
+from repro.analysis.report import format_percent, format_table
+from repro.experiments.common import ExperimentResult, StudyContext, require_dataset
+from repro.geo.continents import Continent
+
+
+def run_fig15(world, dataset=None, context: Optional[StudyContext] = None) -> ExperimentResult:
+    """Fig. 15: per-pair median latencies over ICMP vs TCP by continent."""
+    dataset = require_dataset(dataset, "fig15")
+    ctx = context or StudyContext(world, dataset)
+    comparisons = protocol_comparison(dataset, ctx.resolved_traces)
+    rows = []
+    data = {}
+    for continent in Continent:
+        comparison = comparisons.get(continent)
+        if comparison is None:
+            continue
+        rows.append(
+            [
+                continent.value,
+                comparison.pair_count,
+                f"{comparison.tcp.median:.1f}",
+                f"{comparison.icmp.median:.1f}",
+                format_percent(comparison.median_relative_gap, digits=2),
+            ]
+        )
+        data[continent.value] = {
+            "tcp_median": comparison.tcp.median,
+            "icmp_median": comparison.icmp.median,
+            "relative_gap": comparison.median_relative_gap,
+            "pairs": comparison.pair_count,
+        }
+    body = format_table(
+        ["Continent", "Pairs", "TCP med [ms]", "ICMP med [ms]", "Gap"], rows
+    )
+    return ExperimentResult(
+        experiment_id="fig15",
+        title="ICMP vs TCP end-to-end latencies (Speedchecker)",
+        body=body,
+        data=data,
+    )

@@ -1,0 +1,92 @@
+"""The experiment registry: id -> runner, plus metadata for docs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.experiments import comparison, density_exp, inventory, lastmile_exp
+from repro.experiments import latency, peering_exp, protocols_exp, stats_exp
+from repro.experiments.common import ExperimentResult, StudyContext
+from repro.measure.results import MeasurementDataset
+
+Runner = Callable[..., ExperimentResult]
+
+
+@dataclass(frozen=True)
+class ExperimentInfo:
+    """Registry entry for one paper artifact."""
+
+    experiment_id: str
+    paper_artifact: str
+    needs_dataset: bool
+    runner: Runner
+
+
+_REGISTRY: Dict[str, ExperimentInfo] = {}
+
+
+def _register(experiment_id: str, paper_artifact: str, needs_dataset: bool, runner: Runner) -> None:
+    if experiment_id in _REGISTRY:
+        raise ValueError(f"duplicate experiment id {experiment_id!r}")
+    _REGISTRY[experiment_id] = ExperimentInfo(
+        experiment_id=experiment_id,
+        paper_artifact=paper_artifact,
+        needs_dataset=needs_dataset,
+        runner=runner,
+    )
+
+
+_register("table1", "Table 1", False, inventory.run_table1)
+_register("fig1b", "Figure 1b", False, inventory.run_fig1b)
+_register("fig2", "Figure 2", False, inventory.run_fig2)
+_register("fig3", "Figure 3", True, latency.run_fig3)
+_register("fig4", "Figure 4", True, latency.run_fig4)
+_register("fig5", "Figure 5", True, comparison.run_fig5)
+_register("fig6a", "Figure 6a", True, latency.run_fig6a)
+_register("fig6b", "Figure 6b", True, latency.run_fig6b)
+_register("fig7a", "Figure 7a", True, lastmile_exp.run_fig7a)
+_register("fig7b", "Figure 7b", True, lastmile_exp.run_fig7b)
+_register("fig8", "Figure 8", True, lastmile_exp.run_fig8)
+_register("fig9", "Figure 9", True, lastmile_exp.run_fig9)
+_register("fig10", "Figure 10", True, peering_exp.run_fig10)
+_register("fig11", "Figure 11", True, peering_exp.run_fig11)
+_register("fig12", "Figures 12a/12b", False, peering_exp.run_fig12)
+_register("fig13", "Figures 13a/13b", False, peering_exp.run_fig13)
+_register("fig14", "Figure 14 / Section 3.2", False, density_exp.run_fig14)
+_register("fig15", "Figure 15", True, protocols_exp.run_fig15)
+_register("fig16", "Figure 16", True, comparison.run_fig16)
+_register("fig17", "Figures 17a/17b", False, peering_exp.run_fig17)
+_register("fig18", "Figures 18a/18b", False, peering_exp.run_fig18)
+_register("fig19", "Figure 19", True, lastmile_exp.run_fig19)
+_register("stats", "Section 3.3", False, stats_exp.run_stats)
+
+#: All experiment ids in paper order.
+EXPERIMENT_IDS: Tuple[str, ...] = tuple(_REGISTRY)
+
+
+def experiment_info(experiment_id: str) -> ExperimentInfo:
+    """Registry metadata for an experiment id."""
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"known: {', '.join(_REGISTRY)}"
+        ) from None
+
+
+def run_experiment(
+    experiment_id: str,
+    world,
+    dataset: Optional[MeasurementDataset] = None,
+    context: Optional[StudyContext] = None,
+) -> ExperimentResult:
+    """Run one experiment by its paper artifact id."""
+    info = experiment_info(experiment_id)
+    if info.needs_dataset and dataset is None:
+        raise ValueError(
+            f"experiment {experiment_id!r} needs a dataset; "
+            "run repro.run_campaign first"
+        )
+    return info.runner(world, dataset, context=context)

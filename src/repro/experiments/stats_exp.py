@@ -1,0 +1,51 @@
+"""Statistical-confidence experiment (paper section 3.3)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.report import format_table
+from repro.analysis.stats import required_sample_size
+from repro.experiments.common import ExperimentResult, StudyContext
+
+
+def run_stats(world, dataset=None, context: Optional[StudyContext] = None) -> ExperimentResult:
+    """Sample-size requirement n = z^2 p (1-p) / e^2.
+
+    Reproduces the paper's ">2400 measurements per country" bar at 95%
+    confidence and a 2% margin, and reports how many countries in the
+    provided dataset clear a scale-adjusted bar.
+    """
+    paper_n = required_sample_size(confidence=0.95, margin_of_error=0.02)
+    rows = [
+        ["95%", "2%", paper_n],
+        ["95%", "5%", required_sample_size(0.95, 0.05)],
+        ["99%", "2%", required_sample_size(0.99, 0.02)],
+    ]
+    body = format_table(["Confidence", "Margin", "Required n"], rows)
+    data = {"paper_requirement": paper_n}
+    if dataset is not None:
+        per_country = {}
+        for ping in dataset.pings(platform="speedchecker"):
+            per_country[ping.meta.country] = (
+                per_country.get(ping.meta.country, 0) + len(ping.samples)
+            )
+        scaled_bar = max(10, int(paper_n * world.config.scale))
+        cleared = sum(1 for count in per_country.values() if count >= scaled_bar)
+        body += (
+            f"\nScale-adjusted bar: {scaled_bar} samples; "
+            f"{cleared}/{len(per_country)} countries clear it"
+        )
+        data.update(
+            {
+                "scaled_bar": scaled_bar,
+                "countries_cleared": cleared,
+                "countries_total": len(per_country),
+            }
+        )
+    return ExperimentResult(
+        experiment_id="stats",
+        title="Measurement sample-size requirements",
+        body=body,
+        data=data,
+    )

@@ -1,0 +1,190 @@
+"""The paper's takeaway boxes, operationalized.
+
+Each section of the paper ends in a boxed takeaway.  This module turns
+every box into an executable check against a study's experiment results,
+so a single call answers: *do the paper's conclusions hold in this
+world/dataset?*  The checks mirror the assertions of
+``tests/integration/test_paper_findings.py`` but are part of the public
+API, usable on any (possibly re-configured or ablated) study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments.common import StudyContext
+from repro.experiments.registry import run_experiment
+from repro.measure.results import MeasurementDataset
+
+
+@dataclass(frozen=True)
+class TakeawayCheck:
+    """Outcome of one takeaway box evaluation."""
+
+    section: str
+    claim: str
+    holds: bool
+    evidence: str
+
+
+def _check_section_41(world, dataset, context) -> List[TakeawayCheck]:
+    fig3 = run_experiment("fig3", world, dataset, context=context)
+    compliance = fig3.data["compliance"]
+    total = max(1, compliance["total"])
+    checks = [
+        TakeawayCheck(
+            section="4.1",
+            claim="Achieving a consistent MTP threshold is near impossible",
+            holds=compliance["mtp"] <= max(1, total // 20),
+            evidence=f"{compliance['mtp']}/{total} countries under MTP at the median",
+        ),
+        TakeawayCheck(
+            section="4.1",
+            claim="A large majority of countries support HPL-governed applications",
+            holds=compliance["hpl"] / total > 0.6,
+            evidence=f"{compliance['hpl']}/{total} countries under HPL",
+        ),
+        TakeawayCheck(
+            section="4.1",
+            claim="Nearly all countries comply with the HRT threshold",
+            holds=compliance["hrt"] / total > 0.85,
+            evidence=f"{compliance['hrt']}/{total} countries under HRT",
+        ),
+    ]
+    return checks
+
+
+def _check_section_42(world, dataset, context) -> List[TakeawayCheck]:
+    fig5 = run_experiment("fig5", world, dataset, context=context)
+    non_sa = [
+        stats["median_diff"]
+        for code, stats in fig5.data.items()
+        if code != "SA"
+    ]
+    atlas_faster = sum(1 for diff in non_sa if diff > 0)
+    return [
+        TakeawayCheck(
+            section="4.2",
+            claim="RIPE Atlas generally delivers lower latency than Speedchecker",
+            holds=bool(non_sa) and atlas_faster >= 0.75 * len(non_sa),
+            evidence=f"Atlas faster (median) in {atlas_faster}/{len(non_sa)} non-SA continents",
+        )
+    ]
+
+
+def _check_section_43(world, dataset, context) -> List[TakeawayCheck]:
+    fig6a = run_experiment("fig6a", world, dataset, context=context)
+    medians = fig6a.data["medians"]
+    north_africa_wins = 0
+    comparisons = 0
+    for country in ("EG", "MA", "DZ", "TN"):
+        eu = medians.get((country, "EU"))
+        af = medians.get((country, "AF"))
+        if eu is None or af is None:
+            continue
+        comparisons += 1
+        if eu < af:
+            north_africa_wins += 1
+    return [
+        TakeawayCheck(
+            section="4.3",
+            claim=(
+                "Networking infrastructure can beat sparse in-continent "
+                "deployments (north Africa reaches EU faster than ZA)"
+            ),
+            holds=comparisons > 0 and north_africa_wins == comparisons,
+            evidence=f"EU faster than in-continent for {north_africa_wins}/{comparisons} north-African countries",
+        )
+    ]
+
+
+def _check_section_5(world, dataset, context) -> List[TakeawayCheck]:
+    fig7b = run_experiment("fig7b", world, dataset, context=context)
+    medians = fig7b.data["global_median_ms"]
+    wifi = medians.get("SC home (USR-ISP)")
+    cell = medians.get("SC cell")
+    atlas = medians.get("Atlas")
+    checks = []
+    if wifi is not None and atlas is not None:
+        checks.append(
+            TakeawayCheck(
+                section="5",
+                claim="The wireless last mile remains the primary bottleneck",
+                holds=wifi > 1.4 * atlas,
+                evidence=f"wireless median {wifi:.1f} ms vs wired {atlas:.1f} ms",
+            )
+        )
+    if wifi is not None and cell is not None:
+        checks.append(
+            TakeawayCheck(
+                section="5",
+                claim="The type of wireless access (WiFi vs cellular) matters little",
+                holds=abs(wifi - cell) / wifi < 0.4,
+                evidence=f"WiFi {wifi:.1f} ms vs cellular {cell:.1f} ms",
+            )
+        )
+    return checks
+
+
+def _check_section_6(world, dataset, context) -> List[TakeawayCheck]:
+    fig10 = run_experiment("fig10", world, dataset, context=context)
+    hypergiants = [
+        fig10.data[code]["direct"]
+        for code in ("AMZN", "GCP", "MSFT")
+        if code in fig10.data
+    ]
+    small = [
+        fig10.data[code]["two_plus"]
+        for code in ("VLTR", "LIN", "ORCL")
+        if code in fig10.data
+    ]
+    return [
+        TakeawayCheck(
+            section="6.1",
+            claim="Hypergiants usually peer directly with clients' ISPs (>50%)",
+            holds=bool(hypergiants) and min(hypergiants) > 0.5,
+            evidence=f"direct shares: {', '.join(f'{s:.0%}' for s in hypergiants)}",
+        ),
+        TakeawayCheck(
+            section="6.1",
+            claim="Smaller providers mostly rely on the public Internet",
+            holds=bool(small) and min(small) > 0.5,
+            evidence=f"2+ AS shares: {', '.join(f'{s:.0%}' for s in small)}",
+        ),
+    ]
+
+
+_SECTION_CHECKS: Dict[str, Callable] = {
+    "4.1": _check_section_41,
+    "4.2": _check_section_42,
+    "4.3": _check_section_43,
+    "5": _check_section_5,
+    "6": _check_section_6,
+}
+
+
+def evaluate_takeaways(
+    world,
+    dataset: MeasurementDataset,
+    context: Optional[StudyContext] = None,
+) -> List[TakeawayCheck]:
+    """Evaluate every takeaway box of the paper against a study."""
+    if context is None:
+        context = StudyContext(world, dataset)
+    checks: List[TakeawayCheck] = []
+    for runner in _SECTION_CHECKS.values():
+        checks.extend(runner(world, dataset, context))
+    return checks
+
+
+def render_takeaways(checks: List[TakeawayCheck]) -> str:
+    """A text report, one line per takeaway."""
+    lines = []
+    for check in checks:
+        status = "HOLDS " if check.holds else "BROKEN"
+        lines.append(f"[{status}] §{check.section}: {check.claim}")
+        lines.append(f"         evidence: {check.evidence}")
+    passed = sum(1 for check in checks if check.holds)
+    lines.append(f"{passed}/{len(checks)} takeaways hold")
+    return "\n".join(lines)

@@ -1,0 +1,17 @@
+"""Geography: coordinates, great-circle distance, countries and continents."""
+
+from repro.geo.continents import CONTINENTS, Continent, continent_name
+from repro.geo.coords import GeoPoint, haversine_km
+from repro.geo.countries import COUNTRIES, Country, CountryRegistry, default_registry
+
+__all__ = [
+    "CONTINENTS",
+    "COUNTRIES",
+    "Continent",
+    "Country",
+    "CountryRegistry",
+    "GeoPoint",
+    "continent_name",
+    "default_registry",
+    "haversine_km",
+]

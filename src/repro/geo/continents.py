@@ -1,0 +1,53 @@
+"""Continent codes as used throughout the paper (EU, NA, SA, AS, AF, OC)."""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Tuple
+
+
+class Continent(str, Enum):
+    """Two-letter continent codes matching the paper's figures."""
+
+    EU = "EU"
+    NA = "NA"
+    SA = "SA"
+    AS = "AS"
+    AF = "AF"
+    OC = "OC"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: Canonical iteration order used in the paper's figures.
+CONTINENTS: Tuple[Continent, ...] = (
+    Continent.AF,
+    Continent.AS,
+    Continent.EU,
+    Continent.NA,
+    Continent.OC,
+    Continent.SA,
+)
+
+_NAMES = {
+    Continent.EU: "Europe",
+    Continent.NA: "North America",
+    Continent.SA: "South America",
+    Continent.AS: "Asia",
+    Continent.AF: "Africa",
+    Continent.OC: "Oceania",
+}
+
+#: Neighbouring, better-provisioned continents used in the paper's
+#: inter-continental analysis (section 4.3): probes in Africa also target
+#: Europe and North America; probes in South America also target NA.
+INTERCONTINENTAL_TARGETS = {
+    Continent.AF: (Continent.EU, Continent.NA),
+    Continent.SA: (Continent.NA,),
+}
+
+
+def continent_name(code: Continent) -> str:
+    """Human-readable continent name."""
+    return _NAMES[Continent(code)]

@@ -1,0 +1,260 @@
+"""Country registry.
+
+A synthetic-but-plausible table of ~100 countries: centroid, continent,
+population, Internet penetration, a spread radius used to scatter probes
+around the centroid, and per-platform deployment biases.
+
+The biases encode the deployment skews the paper documents explicitly:
+
+- Speedchecker is densest in Germany, Great Britain, Iran and Japan
+  (5000+ probes each; section 3.2), is thin inside China (section 6.1),
+  hosts ~80% of its South American probes in Brazil (section 4.2) and its
+  African fleet mostly in the north (section 4.2 / A.1).
+- RIPE Atlas skews towards managed European networks and, inside Africa,
+  towards the south near the in-continent datacenters (section 4.2).
+
+Population and penetration figures are rounded 2020-era values; they only
+steer relative probe placement, never absolute results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.geo.continents import Continent
+from repro.geo.coords import GeoPoint
+
+
+@dataclass(frozen=True)
+class Country:
+    """A country as seen by the probe-deployment and analysis layers."""
+
+    iso: str
+    name: str
+    continent: Continent
+    centroid: GeoPoint
+    population_m: float
+    internet_share: float
+    spread_radius_km: float
+    #: Multiplier on the population-proportional Speedchecker probe share.
+    speedchecker_bias: float = 1.0
+    #: Multiplier on the population-proportional RIPE Atlas probe share.
+    atlas_bias: float = 1.0
+    #: True for countries reachable only over submarine cables; private
+    #: WANs cannot shortcut the shared cables, which caps their path
+    #: stretch advantage on such routes.
+    island: bool = False
+
+    def __post_init__(self) -> None:
+        if len(self.iso) != 2 or not self.iso.isupper():
+            raise ValueError(f"iso must be a 2-letter uppercase code, got {self.iso!r}")
+        if self.population_m <= 0:
+            raise ValueError(f"population must be positive: {self.iso}")
+        if not 0.0 < self.internet_share <= 1.0:
+            raise ValueError(f"internet share must be in (0, 1]: {self.iso}")
+
+    @property
+    def internet_users_m(self) -> float:
+        """Estimated Internet users in millions (APNIC-style population)."""
+        return self.population_m * self.internet_share
+
+
+def _c(
+    iso: str,
+    name: str,
+    continent: Continent,
+    lat: float,
+    lon: float,
+    pop: float,
+    net: float,
+    radius: float,
+    sc: float = 1.0,
+    atlas: float = 1.0,
+    island: bool = False,
+) -> Country:
+    return Country(
+        iso=iso,
+        name=name,
+        continent=continent,
+        centroid=GeoPoint(lat, lon),
+        population_m=pop,
+        internet_share=net,
+        spread_radius_km=radius,
+        speedchecker_bias=sc,
+        atlas_bias=atlas,
+        island=island,
+    )
+
+
+_EU = Continent.EU
+_NA = Continent.NA
+_SA = Continent.SA
+_AS = Continent.AS
+_AF = Continent.AF
+_OC = Continent.OC
+
+#: The canonical country table.  Ordering is stable (continent, then a
+#: rough population order) so that generated entity ids are reproducible.
+COUNTRIES: Tuple[Country, ...] = (
+    # ----- Europe -------------------------------------------------------
+    _c("DE", "Germany", _EU, 51.2, 10.4, 83.0, 0.94, 300, sc=3.0, atlas=3.0),
+    _c("GB", "United Kingdom", _EU, 54.0, -2.0, 67.0, 0.95, 300, sc=3.0, atlas=2.5, island=True),
+    _c("FR", "France", _EU, 46.6, 2.4, 65.0, 0.92, 400, sc=1.2, atlas=2.2),
+    _c("IT", "Italy", _EU, 42.8, 12.5, 60.0, 0.85, 400),
+    _c("ES", "Spain", _EU, 40.3, -3.7, 47.0, 0.91, 400),
+    _c("UA", "Ukraine", _EU, 49.0, 31.0, 44.0, 0.75, 400, sc=1.6, atlas=0.8),
+    _c("PL", "Poland", _EU, 52.0, 19.3, 38.0, 0.85, 350),
+    _c("RO", "Romania", _EU, 45.9, 25.0, 19.0, 0.79, 300),
+    _c("NL", "Netherlands", _EU, 52.2, 5.3, 17.4, 0.96, 120, atlas=3.0),
+    _c("BE", "Belgium", _EU, 50.6, 4.7, 11.5, 0.91, 120),
+    _c("CZ", "Czechia", _EU, 49.8, 15.5, 10.7, 0.88, 200, atlas=2.0),
+    _c("GR", "Greece", _EU, 39.0, 22.0, 10.7, 0.78, 300),
+    _c("PT", "Portugal", _EU, 39.6, -8.0, 10.3, 0.78, 250),
+    _c("SE", "Sweden", _EU, 62.0, 15.0, 10.4, 0.96, 500, atlas=1.5),
+    _c("HU", "Hungary", _EU, 47.2, 19.4, 9.7, 0.84, 200),
+    _c("AT", "Austria", _EU, 47.6, 14.1, 8.9, 0.88, 200, atlas=1.5),
+    _c("RS", "Serbia", _EU, 44.0, 20.9, 6.9, 0.78, 200),
+    _c("CH", "Switzerland", _EU, 46.8, 8.2, 8.6, 0.96, 150, atlas=2.0),
+    _c("BG", "Bulgaria", _EU, 42.8, 25.2, 6.9, 0.70, 250),
+    _c("DK", "Denmark", _EU, 56.0, 10.0, 5.8, 0.97, 150),
+    _c("FI", "Finland", _EU, 64.0, 26.0, 5.5, 0.96, 400),
+    _c("SK", "Slovakia", _EU, 48.7, 19.7, 5.5, 0.85, 170),
+    _c("NO", "Norway", _EU, 61.0, 9.0, 5.4, 0.98, 500),
+    _c("IE", "Ireland", _EU, 53.2, -8.2, 5.0, 0.92, 180, island=True),
+    _c("HR", "Croatia", _EU, 45.5, 16.0, 4.0, 0.81, 200),
+    _c("LT", "Lithuania", _EU, 55.3, 23.9, 2.8, 0.83, 170),
+    _c("LV", "Latvia", _EU, 56.9, 24.9, 1.9, 0.87, 160),
+    _c("EE", "Estonia", _EU, 58.7, 25.5, 1.3, 0.90, 150),
+    # ----- Asia ---------------------------------------------------------
+    _c("CN", "China", _AS, 31.5, 117.5, 1400.0, 0.70, 450, sc=0.12, atlas=0.08),
+    _c("IN", "India", _AS, 22.0, 79.0, 1380.0, 0.45, 1200, sc=1.0, atlas=0.6),
+    _c("PK", "Pakistan", _AS, 30.0, 69.3, 220.0, 0.35, 600),
+    _c("BD", "Bangladesh", _AS, 23.7, 90.3, 165.0, 0.40, 250),
+    _c("JP", "Japan", _AS, 36.5, 138.0, 126.0, 0.93, 500, sc=3.0, atlas=1.5, island=True),
+    _c("PH", "Philippines", _AS, 12.9, 121.8, 110.0, 0.60, 600, island=True),
+    _c("VN", "Vietnam", _AS, 16.0, 107.8, 97.0, 0.70, 600),
+    _c("IR", "Iran", _AS, 32.0, 53.0, 84.0, 0.70, 700, sc=3.0, atlas=0.3),
+    _c("TR", "Turkey", _AS, 39.0, 35.0, 84.0, 0.74, 600),
+    _c("ID", "Indonesia", _AS, -2.5, 118.0, 270.0, 0.54, 1500, island=True),
+    _c("TH", "Thailand", _AS, 15.0, 101.0, 70.0, 0.67, 500),
+    _c("KR", "South Korea", _AS, 36.5, 127.8, 52.0, 0.96, 200),
+    _c("IQ", "Iraq", _AS, 33.0, 43.7, 40.0, 0.55, 400),
+    _c("AF", "Afghanistan", _AS, 33.9, 67.7, 39.0, 0.18, 400),
+    _c("SA", "Saudi Arabia", _AS, 24.0, 45.0, 35.0, 0.93, 800),
+    _c("MY", "Malaysia", _AS, 4.0, 102.0, 32.0, 0.84, 400),
+    _c("NP", "Nepal", _AS, 28.2, 84.0, 29.0, 0.50, 300),
+    _c("LK", "Sri Lanka", _AS, 7.6, 80.7, 21.9, 0.47, 150, island=True),
+    _c("KZ", "Kazakhstan", _AS, 48.0, 67.0, 18.8, 0.82, 1200),
+    _c("JO", "Jordan", _AS, 31.3, 36.8, 10.2, 0.80, 200),
+    _c("AE", "United Arab Emirates", _AS, 24.0, 54.0, 9.9, 0.99, 200),
+    _c("IL", "Israel", _AS, 31.4, 35.0, 9.2, 0.87, 150),
+    _c("SG", "Singapore", _AS, 1.35, 103.82, 5.7, 0.92, 30),
+    _c("OM", "Oman", _AS, 20.6, 56.1, 5.1, 0.92, 400),
+    _c("KW", "Kuwait", _AS, 29.3, 47.6, 4.3, 0.99, 80),
+    _c("QA", "Qatar", _AS, 25.3, 51.2, 2.9, 0.99, 60),
+    _c("BH", "Bahrain", _AS, 26.07, 50.55, 1.7, 0.99, 30, sc=5.0),
+    # ----- North America ------------------------------------------------
+    _c("US", "United States", _NA, 39.8, -98.6, 331.0, 0.91, 2000, sc=2.0, atlas=2.0),
+    _c("MX", "Mexico", _NA, 23.6, -102.5, 128.0, 0.70, 800),
+    _c("CA", "Canada", _NA, 52.0, -97.0, 38.0, 0.93, 900, atlas=1.5),
+    _c("GT", "Guatemala", _NA, 15.8, -90.2, 17.0, 0.50, 150),
+    _c("CU", "Cuba", _NA, 21.5, -77.8, 11.3, 0.64, 300, island=True),
+    _c("DO", "Dominican Republic", _NA, 18.7, -70.2, 10.8, 0.77, 120, island=True),
+    _c("HN", "Honduras", _NA, 14.8, -86.6, 9.9, 0.42, 200),
+    _c("CR", "Costa Rica", _NA, 9.7, -84.2, 5.1, 0.81, 100),
+    _c("PA", "Panama", _NA, 8.5, -80.8, 4.3, 0.64, 150),
+    _c("JM", "Jamaica", _NA, 18.1, -77.3, 3.0, 0.55, 80, island=True),
+    # ----- South America ------------------------------------------------
+    _c("BR", "Brazil", _SA, -14.2, -51.9, 212.0, 0.74, 1500, sc=5.0, atlas=0.4),
+    _c("CO", "Colombia", _SA, 4.6, -74.1, 51.0, 0.69, 500, atlas=2.0),
+    _c("AR", "Argentina", _SA, -34.0, -64.0, 45.0, 0.83, 900, sc=0.8),
+    _c("PE", "Peru", _SA, -9.2, -75.0, 33.0, 0.65, 600, atlas=2.0),
+    _c("VE", "Venezuela", _SA, 8.0, -66.0, 28.0, 0.72, 500, atlas=2.0),
+    _c("CL", "Chile", _SA, -35.7, -71.5, 19.0, 0.82, 800, atlas=1.4),
+    _c("EC", "Ecuador", _SA, -1.8, -78.2, 17.6, 0.65, 250, atlas=2.0),
+    _c("BO", "Bolivia", _SA, -16.3, -63.6, 11.7, 0.55, 400),
+    _c("PY", "Paraguay", _SA, -23.4, -58.4, 7.1, 0.68, 300),
+    _c("UY", "Uruguay", _SA, -32.8, -55.8, 3.5, 0.85, 200),
+    # ----- Africa -------------------------------------------------------
+    _c("NG", "Nigeria", _AF, 9.1, 8.7, 206.0, 0.42, 600, sc=1.0, atlas=0.5),
+    _c("ET", "Ethiopia", _AF, 9.1, 40.5, 115.0, 0.19, 500, sc=0.7, atlas=0.2),
+    _c("EG", "Egypt", _AF, 26.8, 30.8, 102.0, 0.57, 400, sc=2.5, atlas=0.4),
+    _c("TZ", "Tanzania", _AF, -6.4, 34.9, 60.0, 0.25, 500),
+    _c("ZA", "South Africa", _AF, -29.0, 25.0, 59.0, 0.68, 600, sc=1.0, atlas=3.5),
+    _c("KE", "Kenya", _AF, -0.02, 37.9, 54.0, 0.40, 400, sc=1.0, atlas=0.8),
+    _c("UG", "Uganda", _AF, 1.4, 32.3, 46.0, 0.26, 300),
+    _c("DZ", "Algeria", _AF, 28.0, 2.6, 44.0, 0.60, 600, sc=2.0, atlas=0.3),
+    _c("SD", "Sudan", _AF, 12.9, 30.2, 44.0, 0.31, 500),
+    _c("MA", "Morocco", _AF, 31.8, -7.1, 37.0, 0.74, 400, sc=2.0, atlas=0.5),
+    _c("AO", "Angola", _AF, -11.2, 17.9, 33.0, 0.26, 500),
+    _c("MZ", "Mozambique", _AF, -18.7, 35.5, 31.0, 0.21, 500),
+    _c("GH", "Ghana", _AF, 7.9, -1.0, 31.0, 0.53, 300),
+    _c("CM", "Cameroon", _AF, 7.4, 12.3, 27.0, 0.34, 400),
+    _c("CI", "Ivory Coast", _AF, 7.5, -5.5, 26.0, 0.36, 300),
+    _c("ZM", "Zambia", _AF, -13.1, 27.8, 18.0, 0.28, 400),
+    _c("SN", "Senegal", _AF, 14.5, -14.5, 17.0, 0.46, 250, sc=1.2),
+    _c("ZW", "Zimbabwe", _AF, -19.0, 29.2, 15.0, 0.34, 300),
+    _c("TN", "Tunisia", _AF, 34.0, 9.5, 11.8, 0.67, 250, sc=1.5),
+    _c("LY", "Libya", _AF, 26.3, 17.2, 6.9, 0.46, 500),
+    # ----- Oceania ------------------------------------------------------
+    _c("AU", "Australia", _OC, -30.0, 145.0, 26.0, 0.90, 800, atlas=1.5, island=True),
+    _c("NZ", "New Zealand", _OC, -41.0, 174.0, 5.1, 0.91, 400, island=True),
+    _c("FJ", "Fiji", _OC, -17.7, 178.0, 0.9, 0.50, 100, island=True),
+)
+
+
+class CountryRegistry:
+    """Indexed access to the country table."""
+
+    def __init__(self, countries: Iterable[Country] = COUNTRIES):
+        self._by_iso: Dict[str, Country] = {}
+        self._by_continent: Dict[Continent, List[Country]] = {}
+        for country in countries:
+            if country.iso in self._by_iso:
+                raise ValueError(f"duplicate country code {country.iso}")
+            self._by_iso[country.iso] = country
+            self._by_continent.setdefault(country.continent, []).append(country)
+
+    def __len__(self) -> int:
+        return len(self._by_iso)
+
+    def __iter__(self):
+        return iter(self._by_iso.values())
+
+    def __contains__(self, iso: str) -> bool:
+        return iso in self._by_iso
+
+    def get(self, iso: str) -> Country:
+        """Country by ISO code; raises ``KeyError`` for unknown codes."""
+        try:
+            return self._by_iso[iso]
+        except KeyError:
+            raise KeyError(f"unknown country code {iso!r}") from None
+
+    def find(self, iso: str) -> Optional[Country]:
+        """Country by ISO code, or ``None`` if unknown."""
+        return self._by_iso.get(iso)
+
+    def in_continent(self, continent: Continent) -> List[Country]:
+        """All countries in a continent, in registry order."""
+        return list(self._by_continent.get(Continent(continent), []))
+
+    def continent_of(self, iso: str) -> Continent:
+        """Continent of a country by ISO code."""
+        return self.get(iso).continent
+
+    def total_internet_users_m(self) -> float:
+        """World-wide Internet users across the registry, in millions."""
+        return sum(country.internet_users_m for country in self._by_iso.values())
+
+
+_DEFAULT: Optional[CountryRegistry] = None
+
+
+def default_registry() -> CountryRegistry:
+    """The process-wide registry over the canonical :data:`COUNTRIES` table."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = CountryRegistry()
+    return _DEFAULT

@@ -1,0 +1,92 @@
+"""Last-mile abstractions.
+
+The paper decomposes the "last mile" -- probe to first hop inside the
+serving ISP's AS -- into segments it can observe in traceroutes
+(section 5):
+
+- ``SC home (USR-ISP)``: user device -> ISP edge, over a home router.
+  This is the *air* segment (WiFi) plus the *wire* segment (DSL/cable).
+- ``SC home (RTR-ISP)``: home router -> ISP edge; the wire segment only.
+- ``SC cell``: device -> first cellular hop; a single radio+RAN segment.
+- ``Atlas``: a managed wired connection.
+
+A :class:`LastMileDraw` carries both segments so the analysis layer can
+reproduce all four series of the paper's Fig. 7.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+
+class AccessKind(str, Enum):
+    """How a probe reaches its serving ISP."""
+
+    HOME_WIFI = "home_wifi"
+    CELLULAR = "cellular"
+    WIRED = "wired"
+
+    @property
+    def is_wireless(self) -> bool:
+        return self in (AccessKind.HOME_WIFI, AccessKind.CELLULAR)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class LastMileDraw:
+    """One latency sample of the last mile, decomposed by segment.
+
+    ``air_ms`` is the wireless leg (zero for wired access); ``wire_ms``
+    is the fixed leg between the home router / base-station aggregation
+    and the ISP edge (zero for cellular, where the radio access network
+    is folded into ``air_ms`` as in the paper's inference).
+    """
+
+    air_ms: float
+    wire_ms: float
+
+    @property
+    def total_ms(self) -> float:
+        """Probe-to-ISP latency (the paper's USR-ISP segment)."""
+        return self.air_ms + self.wire_ms
+
+    def __post_init__(self) -> None:
+        if self.air_ms < 0 or self.wire_ms < 0:
+            raise ValueError(
+                f"last-mile segments must be non-negative: {self.air_ms}, {self.wire_ms}"
+            )
+
+
+class LastMileModel(ABC):
+    """A distribution over last-mile latency draws."""
+
+    kind: AccessKind
+
+    @abstractmethod
+    def draw(self, rng: np.random.Generator) -> LastMileDraw:
+        """One last-mile latency sample."""
+
+    def median_total_ms(self) -> float:
+        """Median of the USR-ISP total (analytic, for calibration tests)."""
+        raise NotImplementedError
+
+
+def lognormal_ms(
+    median: float, sigma: float, rng: np.random.Generator
+) -> float:
+    """A lognormal latency draw parameterised by its median.
+
+    Latency distributions at the access link are right-skewed with a
+    hard floor; the lognormal is the standard fit in last-mile studies.
+    """
+    if median <= 0:
+        raise ValueError(f"median must be positive, got {median}")
+    if sigma < 0:
+        raise ValueError(f"sigma must be non-negative, got {sigma}")
+    return float(median * np.exp(sigma * rng.standard_normal()))

@@ -1,0 +1,34 @@
+"""Measurement engines: ping, traceroute, and the campaign scheduler."""
+
+from repro.measure.campaign import (
+    run_campaign,
+    run_case_study,
+    run_intercontinental_study,
+)
+from repro.measure.engine import MeasurementEngine
+from repro.measure.io import load_dataset, save_dataset
+from repro.measure.path import InterconnectKind, PlannedHop, PlannedPath
+from repro.measure.results import (
+    MeasurementDataset,
+    PingMeasurement,
+    Protocol,
+    TraceHop,
+    TracerouteMeasurement,
+)
+
+__all__ = [
+    "InterconnectKind",
+    "MeasurementDataset",
+    "MeasurementEngine",
+    "PingMeasurement",
+    "PlannedHop",
+    "PlannedPath",
+    "Protocol",
+    "TraceHop",
+    "TracerouteMeasurement",
+    "load_dataset",
+    "run_campaign",
+    "run_case_study",
+    "run_intercontinental_study",
+    "save_dataset",
+]

@@ -1,0 +1,329 @@
+"""The measurement campaign scheduler (paper section 3.3).
+
+Reproduces the paper's operational setup:
+
+- countries with enough connected probes enter a rotating cycle that
+  sweeps the world once per ``cycle_days``;
+- connected-VP snapshots are taken every four hours; probe selection per
+  country is delegated to the platform (probes cannot be pinned);
+- a daily request quota and a self-imposed rate limit bound the volume;
+- probes target the cloud regions of their own continent, plus the
+  neighbouring well-provisioned continents for Africa (EU, NA) and South
+  America (NA);
+- each request issues a TCP ping (four samples); a share of requests
+  also issues an ICMP traceroute.
+
+The Atlas fleet is measured with the same engine but without quota,
+mirroring the year-long continuous collection of Corneo et al.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cloud.regions import CloudRegion
+from repro.geo.continents import INTERCONTINENTAL_TARGETS, Continent
+from repro.measure.results import MeasurementDataset, Protocol
+from repro.platforms.probe import Probe
+from repro.platforms.speedchecker import QuotaExhausted
+
+#: Random extra in-continent regions measured per probe visit, on top of
+#: the per-provider nearest regions.
+_EXTRA_REGIONS_PER_VISIT = 5
+#: Cap on probes measured per (country, day) visit before scaling.
+_PROBES_PER_VISIT_CAP = 2000
+#: Share of a country's currently-connected probes measured per visit.
+#: Selection is proportional to the connected pool so the dataset
+#: composition mirrors the fleet's deployment skew (e.g. ~80% of South
+#: American Speedchecker samples coming from Brazil, section 4.2).
+_VISIT_SHARE = 0.25
+
+
+#: Foreign (inter-continental) regions sampled per visit for probes in
+#: Africa and South America.  Keeping this small preserves the paper's
+#: ~70/30 intra/inter dataset split (section 3.3) while still covering
+#: every foreign provider over the course of the campaign.
+_FOREIGN_REGIONS_PER_VISIT = 2
+
+
+def target_regions(world, probe: Probe, rng: np.random.Generator) -> List[CloudRegion]:
+    """Regions a probe measures on one visit.
+
+    Always includes the geographically-nearest region of every provider
+    present in the probe's continent (so nearest-DC analyses are covered)
+    and a few random in-continent regions.  Probes in Africa and South
+    America additionally sample a handful of nearest-per-provider regions
+    in the neighbouring better-provisioned continents (section 4.3),
+    keeping the intra/inter split near the paper's ~70/30.
+    """
+    catalog = world.catalog
+    chosen: Dict[Tuple[str, str], CloudRegion] = {}
+    by_provider: Dict[str, List[CloudRegion]] = {}
+    for region in catalog.in_continent(probe.continent):
+        by_provider.setdefault(region.provider_code, []).append(region)
+    for provider_code, regions in by_provider.items():
+        nearest = min(
+            regions,
+            key=lambda region: probe.location.distance_km(region.location),
+        )
+        chosen[(nearest.provider_code, nearest.region_id)] = nearest
+
+    foreign_candidates: List[CloudRegion] = []
+    for continent in INTERCONTINENTAL_TARGETS.get(probe.continent, ()):
+        foreign_by_provider: Dict[str, List[CloudRegion]] = {}
+        for region in catalog.in_continent(continent):
+            foreign_by_provider.setdefault(region.provider_code, []).append(region)
+        for provider_code, regions in foreign_by_provider.items():
+            foreign_candidates.append(
+                min(
+                    regions,
+                    key=lambda region: probe.location.distance_km(region.location),
+                )
+            )
+    if foreign_candidates:
+        take = min(_FOREIGN_REGIONS_PER_VISIT, len(foreign_candidates))
+        picks = rng.choice(len(foreign_candidates), size=take, replace=False)
+        for pick in picks:
+            region = foreign_candidates[int(pick)]
+            chosen[(region.provider_code, region.region_id)] = region
+
+    home_regions = catalog.in_continent(probe.continent)
+    if home_regions:
+        extra = min(_EXTRA_REGIONS_PER_VISIT, len(home_regions))
+        picks = rng.choice(len(home_regions), size=extra, replace=False)
+        for pick in picks:
+            region = home_regions[int(pick)]
+            chosen[(region.provider_code, region.region_id)] = region
+    return list(chosen.values())
+
+
+def run_campaign(
+    world,
+    days: Optional[int] = None,
+    platforms: Sequence[str] = ("speedchecker", "atlas"),
+) -> MeasurementDataset:
+    """Run the measurement campaign and return the collected dataset."""
+    config = world.config
+    total_days = days if days is not None else config.campaign.days
+    if total_days < 1:
+        raise ValueError(f"campaign needs at least one day, got {total_days}")
+    dataset = MeasurementDataset()
+    if "speedchecker" in platforms:
+        _run_speedchecker(world, total_days, dataset)
+    if "atlas" in platforms:
+        _run_atlas(world, total_days, dataset)
+    return dataset
+
+
+def _run_speedchecker(world, total_days: int, dataset: MeasurementDataset) -> None:
+    config = world.config
+    campaign = config.campaign
+    platform = world.speedchecker
+    engine = world.engine
+    rng = world.rngs.stream("campaign.speedchecker")
+
+    min_probes = config.scaled(
+        config.platforms.min_probes_per_country, minimum=2
+    )
+    cycle = platform.countries_with_at_least(min_probes)
+    if not cycle:
+        cycle = platform.countries()
+    per_day = max(1, math.ceil(len(cycle) / campaign.cycle_days))
+    visit_cap = config.scaled(_PROBES_PER_VISIT_CAP, minimum=3)
+    rate_cap = int(campaign.requests_per_minute * 60 * 24)
+
+    cycle_order = list(cycle)
+    for day in range(total_days):
+        platform.refresh_quota()
+        snapshots = [
+            platform.snapshot(day, hour)
+            for hour in range(0, 24, campaign.vp_snapshot_interval_hours)
+        ]
+        selection_snapshot = snapshots[0]
+        if day % campaign.cycle_days == 0:
+            # Re-shuffle each sweep so quota/rate-limit truncation does
+            # not systematically starve the same countries.
+            rng.shuffle(cycle_order)
+        cycle_position = (day % campaign.cycle_days) * per_day
+        todays = cycle_order[cycle_position : cycle_position + per_day]
+        requests_today = 0
+        for iso in todays:
+            connected = platform.connected_in_country(iso, selection_snapshot)
+            visit_count = min(
+                visit_cap, max(2, int(len(connected) * _VISIT_SHARE))
+            )
+            probes = platform.select_probes(
+                iso, selection_snapshot, visit_count
+            )
+            for probe in probes:
+                for region in target_regions(world, probe, rng):
+                    if requests_today >= rate_cap:
+                        break
+                    try:
+                        platform.charge(1)
+                    except QuotaExhausted:
+                        break
+                    requests_today += 1
+                    dataset.add_ping(
+                        engine.ping(
+                            probe,
+                            region,
+                            protocol=Protocol.TCP,
+                            samples=campaign.pings_per_request,
+                            day=day,
+                        )
+                    )
+                    if rng.random() < campaign.traceroute_share:
+                        dataset.add_traceroute(
+                            engine.traceroute(
+                                probe, region, protocol=Protocol.ICMP, day=day
+                            )
+                        )
+
+
+def _run_atlas(world, total_days: int, dataset: MeasurementDataset) -> None:
+    config = world.config
+    campaign = config.campaign
+    platform = world.atlas
+    engine = world.engine
+    rng = world.rngs.stream("campaign.atlas")
+    #: Fraction of connected Atlas probes scheduled per day.
+    daily_share = 0.35
+
+    for day in range(total_days):
+        connected = platform.connected_probes()
+        if not connected:
+            continue
+        count = max(1, int(len(connected) * daily_share))
+        picks = rng.choice(len(connected), size=count, replace=False)
+        for pick in picks:
+            probe = connected[int(pick)]
+            for region in target_regions(world, probe, rng):
+                # Corneo et al. collected ICMP pings and TCP traceroutes;
+                # we record TCP pings as well so the cross-platform
+                # latency comparison uses TCP on both sides (section 3.3).
+                dataset.add_ping(
+                    engine.ping(
+                        probe,
+                        region,
+                        protocol=Protocol.TCP,
+                        samples=campaign.pings_per_request,
+                        day=day,
+                    )
+                )
+                dataset.add_ping(
+                    engine.ping(
+                        probe,
+                        region,
+                        protocol=Protocol.ICMP,
+                        samples=campaign.pings_per_request,
+                        day=day,
+                    )
+                )
+                if rng.random() < campaign.traceroute_share:
+                    dataset.add_traceroute(
+                        engine.traceroute(
+                            probe, region, protocol=Protocol.TCP, day=day
+                        )
+                    )
+
+
+def run_intercontinental_study(
+    world,
+    countries: Sequence[str],
+    target_continents: Sequence[Continent],
+    rounds: int = 3,
+    max_probes_per_country: int = 25,
+) -> MeasurementDataset:
+    """Focused measurements for the inter-continental analysis (Fig. 6).
+
+    For every listed country, the available Speedchecker probes ping the
+    nearest region of every provider in each target continent -- the
+    paper's setup for probes in under-provisioned continents.
+    """
+    dataset = MeasurementDataset()
+    engine = world.engine
+    catalog = world.catalog
+    rng = world.rngs.stream(f"intercontinental.{'.'.join(countries)}")
+    for iso in countries:
+        probes = world.speedchecker.probes_in_country(iso)
+        if len(probes) > max_probes_per_country:
+            picks = rng.choice(
+                len(probes), size=max_probes_per_country, replace=False
+            )
+            probes = [probes[int(i)] for i in picks]
+        for probe in probes:
+            targets: Dict[Tuple[str, str], CloudRegion] = {}
+            for continent in target_continents:
+                by_provider: Dict[str, List[CloudRegion]] = {}
+                for region in catalog.in_continent(continent):
+                    by_provider.setdefault(region.provider_code, []).append(region)
+                for regions in by_provider.values():
+                    nearest = min(
+                        regions,
+                        key=lambda region: probe.location.distance_km(
+                            region.location
+                        ),
+                    )
+                    targets[(nearest.provider_code, nearest.region_id)] = nearest
+            for round_index in range(rounds):
+                for region in targets.values():
+                    dataset.add_ping(
+                        engine.ping(
+                            probe,
+                            region,
+                            protocol=Protocol.TCP,
+                            samples=world.config.campaign.pings_per_request,
+                            day=round_index,
+                        )
+                    )
+    return dataset
+
+
+def run_case_study(
+    world,
+    source_country: str,
+    dest_country: str,
+    rounds: int = 3,
+    max_probes: Optional[int] = None,
+) -> MeasurementDataset:
+    """Focused measurements from one country to another's datacenters.
+
+    Used by the peering case studies (DE->UK, JP->IN, UA->UK, BH->IN of
+    Figs. 12/13/17/18): every Speedchecker probe in ``source_country``
+    pings and traceroutes every cloud region located in ``dest_country``,
+    ``rounds`` times.
+    """
+    dataset = MeasurementDataset()
+    engine = world.engine
+    rng = world.rngs.stream(f"case.{source_country}.{dest_country}")
+    probes = world.speedchecker.probes_in_country(source_country)
+    if max_probes is not None and len(probes) > max_probes:
+        picks = rng.choice(len(probes), size=max_probes, replace=False)
+        probes = [probes[int(i)] for i in picks]
+    regions = [
+        region for region in world.catalog.all() if region.country == dest_country
+    ]
+    if not regions:
+        raise ValueError(f"no cloud regions in {dest_country!r}")
+    for round_index in range(rounds):
+        for probe in probes:
+            for region in regions:
+                dataset.add_ping(
+                    engine.ping(
+                        probe,
+                        region,
+                        protocol=Protocol.TCP,
+                        samples=world.config.campaign.pings_per_request,
+                        day=round_index,
+                    )
+                )
+                dataset.add_traceroute(
+                    engine.traceroute(
+                        probe, region, protocol=Protocol.ICMP, day=round_index
+                    )
+                )
+    return dataset

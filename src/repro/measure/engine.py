@@ -1,0 +1,199 @@
+"""The measurement engine: ping and traceroute over planned paths."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.cloud.regions import CloudRegion
+from repro.core.config import SimulationConfig
+from repro.lastmile.base import AccessKind, LastMileDraw
+from repro.lastmile.models import CellularLastMile, HomeWifiLastMile, WiredLastMile
+from repro.measure.latency import sample_hop_rtt, sample_path_rtt
+from repro.measure.path import HOME_ROUTER_ADDRESS, PathPlanner, PlannedPath
+from repro.measure.results import (
+    MeasurementMeta,
+    PingMeasurement,
+    Protocol,
+    TraceHop,
+    TracerouteMeasurement,
+)
+from repro.platforms.probe import Probe
+
+
+#: Cell size (degrees) for the <city, ASN> platform matching of Fig. 16.
+CITY_CELL_DEGREES = 2.0
+
+
+def city_key_for(probe: Probe) -> Tuple[int, int]:
+    """Quantize a probe location to a ~metro-sized grid cell."""
+    return (
+        int(round(probe.location.lat / CITY_CELL_DEGREES)),
+        int(round(probe.location.lon / CITY_CELL_DEGREES)),
+    )
+
+
+class MeasurementEngine:
+    """Executes pings and traceroutes for probes against cloud regions."""
+
+    def __init__(
+        self,
+        planner: PathPlanner,
+        config: SimulationConfig,
+        rng: np.random.Generator,
+    ):
+        self._planner = planner
+        self._config = config
+        self._rng = rng
+        self._lastmile_cache: Dict[str, object] = {}
+
+    # -- last mile -----------------------------------------------------------
+
+    def _lastmile_model(self, probe: Probe, access: Optional[AccessKind] = None):
+        access = access if access is not None else probe.access
+        key = (probe.probe_id, access)
+        model = self._lastmile_cache.get(key)
+        if model is not None:
+            return model
+        last_mile = self._config.last_mile
+        quality = probe.quality * last_mile.country_quality.get(probe.country, 1.0)
+        if access is AccessKind.HOME_WIFI:
+            model = HomeWifiLastMile(config=last_mile, quality=quality)
+        elif access is AccessKind.CELLULAR:
+            model = CellularLastMile(config=last_mile, quality=quality)
+        else:
+            model = WiredLastMile(config=last_mile, quality=quality)
+        self._lastmile_cache[key] = model
+        return model
+
+    def _measurement_access(self, probe: Probe) -> AccessKind:
+        """The access medium used for one measurement.
+
+        Android devices occasionally switch between WiFi and cellular
+        mid-study (a section-5 caveat); the switch flips the traceroute's
+        first-hop signature and produces classification false positives.
+        """
+        if not probe.access.is_wireless:
+            return probe.access
+        if self._rng.random() >= self._config.last_mile.access_switch_probability:
+            return probe.access
+        if probe.access is AccessKind.HOME_WIFI:
+            return AccessKind.CELLULAR
+        return AccessKind.HOME_WIFI
+
+    def _meta(self, probe: Probe, region: CloudRegion, day: int) -> MeasurementMeta:
+        return MeasurementMeta(
+            probe_id=probe.probe_id,
+            platform=probe.platform,
+            country=probe.country,
+            continent=probe.continent,
+            access=probe.access,
+            isp_asn=probe.isp_asn,
+            provider_code=region.provider_code,
+            region_id=region.region_id,
+            region_country=region.country,
+            region_continent=region.continent,
+            day=day,
+            city_key=city_key_for(probe),
+        )
+
+    # -- ping ------------------------------------------------------------------
+
+    def ping(
+        self,
+        probe: Probe,
+        region: CloudRegion,
+        protocol: Protocol = Protocol.TCP,
+        samples: int = 4,
+        day: int = 0,
+    ) -> PingMeasurement:
+        """One ping request: ``samples`` end-to-end RTT measurements."""
+        if samples < 1:
+            raise ValueError(f"samples must be >= 1, got {samples}")
+        path = self._planner.plan(probe, region)
+        model = self._lastmile_model(probe)
+        rtts = []
+        for _ in range(samples):
+            last_mile = model.draw(self._rng)
+            core = sample_path_rtt(
+                path,
+                Protocol(protocol),
+                probe.continent,
+                self._config,
+                self._rng,
+                day=day,
+            )
+            rtts.append(round(last_mile.total_ms + core, 3))
+        return PingMeasurement(
+            meta=self._meta(probe, region, day),
+            protocol=Protocol(protocol),
+            samples=tuple(rtts),
+        )
+
+    # -- traceroute ---------------------------------------------------------------
+
+    def traceroute(
+        self,
+        probe: Probe,
+        region: CloudRegion,
+        protocol: Protocol = Protocol.ICMP,
+        day: int = 0,
+    ) -> TracerouteMeasurement:
+        """One traceroute towards a region endpoint.
+
+        Home probes expose their NAT router as a private-address first
+        hop; cellular (and artifact) probes hit the ISP directly --
+        exactly the signal the paper's home/cell classifier keys on.
+        """
+        path = self._planner.plan(probe, region)
+        access = self._measurement_access(probe)
+        model = self._lastmile_model(probe, access)
+        last_mile: LastMileDraw = model.draw(self._rng)
+        config = self._config
+        rng = self._rng
+        hops = []
+
+        behind_router = access is AccessKind.HOME_WIFI and (
+            probe.access is not AccessKind.HOME_WIFI
+            or probe.device_address != probe.public_address
+        )
+        if behind_router:
+            # Hop 1: the home router, reached over the WiFi air segment.
+            hops.append(
+                TraceHop(
+                    address=HOME_ROUTER_ADDRESS,
+                    rtt_ms=round(last_mile.air_ms + float(rng.exponential(0.3)), 3),
+                )
+            )
+
+        unresponsive_p = config.path_model.hop_unresponsive_probability
+        for planned in path.hops:
+            is_destination = planned.address == path.dest_address
+            if not is_destination and rng.random() < unresponsive_p:
+                hops.append(TraceHop(address=None, rtt_ms=None))
+                continue
+            rtt = last_mile.total_ms + sample_hop_rtt(
+                planned.base_rtt_ms,
+                path,
+                Protocol(protocol),
+                probe.continent,
+                config,
+                rng,
+                day=day,
+            )
+            hops.append(TraceHop(address=planned.address, rtt_ms=round(rtt, 3)))
+
+        return TracerouteMeasurement(
+            meta=self._meta(probe, region, day),
+            protocol=Protocol(protocol),
+            source_address=probe.device_address,
+            dest_address=path.dest_address,
+            hops=tuple(hops),
+        )
+
+    # -- introspection -------------------------------------------------------------
+
+    def planned_path(self, probe: Probe, region: CloudRegion) -> PlannedPath:
+        """The (cached) planned path -- ground truth for validation tests."""
+        return self._planner.plan(probe, region)

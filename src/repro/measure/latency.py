@@ -1,0 +1,108 @@
+"""Latency sampling around a planned path.
+
+Separates the three noise processes the paper discusses:
+
+- multiplicative path jitter (queueing along transit; sigma depends on
+  interconnect class and distance -- computed at planning time);
+- transient congestion episodes on public paths;
+- ICMP deprioritisation / load-balancer effects, strongest in Africa
+  (paper Fig. 15 and appendix A.2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import SimulationConfig
+from repro.geo.continents import Continent
+from repro.measure.path import PlannedPath
+from repro.measure.results import Protocol
+
+
+def congestion_cycle_multiplier(day: int, config: SimulationConfig) -> float:
+    """Weekly congestion cycle: weekday rush vs quieter weekends."""
+    path_config = config.path_model
+    if day % 7 in (5, 6):
+        return path_config.weekend_congestion_multiplier
+    return path_config.weekday_congestion_multiplier
+
+
+def sample_path_rtt(
+    path: PlannedPath,
+    protocol: Protocol,
+    source_continent: Continent,
+    config: SimulationConfig,
+    rng: np.random.Generator,
+    day: int = 0,
+) -> float:
+    """One RTT sample over the path core (excludes the last mile)."""
+    rtt = path.base_path_rtt_ms * _jitter(path, rng)
+    rtt = _apply_congestion(rtt, path, rng, day, config)
+    if protocol is Protocol.ICMP:
+        rtt = _apply_icmp_penalty(rtt, source_continent, config, rng)
+    return rtt
+
+
+def sample_hop_rtt(
+    base_rtt_ms: float,
+    path: PlannedPath,
+    protocol: Protocol,
+    source_continent: Continent,
+    config: SimulationConfig,
+    rng: np.random.Generator,
+    day: int = 0,
+) -> float:
+    """One per-hop RTT sample for a traceroute probe packet.
+
+    Each hop's probe packet experiences its own queueing draw, which is
+    why raw traceroutes show non-monotone hop RTTs in practice.
+    """
+    rtt = base_rtt_ms * _jitter(path, rng)
+    rtt = _apply_congestion(rtt, path, rng, day, config)
+    if protocol is Protocol.ICMP:
+        rtt = _apply_icmp_penalty(rtt, source_continent, config, rng)
+    # Router control-plane processing of the expiring packet.
+    rtt += float(rng.exponential(0.4))
+    return rtt
+
+
+def _jitter(path: PlannedPath, rng: np.random.Generator) -> float:
+    return float(np.exp(path.jitter_sigma * rng.standard_normal()))
+
+
+def _apply_congestion(
+    rtt: float,
+    path: PlannedPath,
+    rng: np.random.Generator,
+    day: int,
+    config: SimulationConfig,
+) -> float:
+    probability = path.congestion_probability * congestion_cycle_multiplier(
+        day, config
+    )
+    if rng.random() < probability:
+        return rtt * _congestion_factor(rng)
+    return rtt
+
+
+def _congestion_factor(rng: np.random.Generator) -> float:
+    # Congestion episodes inflate by 1.3x-2.5x.
+    return 1.3 + 1.2 * float(rng.random())
+
+
+def _apply_icmp_penalty(
+    rtt: float,
+    source_continent: Continent,
+    config: SimulationConfig,
+    rng: np.random.Generator,
+) -> float:
+    path_config = config.path_model
+    rtt *= path_config.icmp_base_inflation
+    probability = path_config.icmp_penalty_probability
+    if source_continent is Continent.AF:
+        probability *= path_config.icmp_africa_multiplier
+    if rng.random() < probability:
+        return rtt * path_config.icmp_penalty_factor
+    return rtt

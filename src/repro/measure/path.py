@@ -1,0 +1,401 @@
+"""Forwarding-path planning.
+
+For a (probe, region) pair the planner resolves the AS-level route from
+the probe's serving ISP to the provider's network (scoped policy
+routing), classifies the interconnect, expands the route into router-level
+hops with addresses and geographic positions, and precomputes the base
+(noise-free) RTT profile that the ping and traceroute engines sample
+around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.cloud.regions import CloudRegion
+from repro.cloud.wan import PrivateWAN
+from repro.core.config import PathModelConfig, SimulationConfig
+from repro.core.topology import Topology
+from repro.core.units import one_way_fiber_ms
+from repro.geo.coords import GeoPoint, interpolate
+from repro.net.asn import AS, ASKind
+from repro.net.ip import parse_ip
+from repro.platforms.probe import Probe
+
+#: Home-router LAN-side address seen as the first traceroute hop of a
+#: home probe.
+HOME_ROUTER_ADDRESS = parse_ip("192.168.1.1")
+
+
+class InterconnectKind(str, Enum):
+    """Ground-truth interconnect class of a forwarding path.
+
+    Matches the categories of the paper's section 6.1: direct peering
+    (optionally over a public IXP fabric), private peering via a single
+    carrier, and the public Internet (2+ intermediate ASes).
+    """
+
+    DIRECT = "direct"
+    DIRECT_IXP = "direct_ixp"
+    PRIVATE = "private"
+    PUBLIC = "public"
+
+    @property
+    def is_direct(self) -> bool:
+        return self in (InterconnectKind.DIRECT, InterconnectKind.DIRECT_IXP)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class PlannedHop:
+    """A router (or IXP port) hop with its noise-free RTT from the ISP edge."""
+
+    address: int
+    asn: Optional[int]
+    owner_kind: str
+    position: GeoPoint
+    base_rtt_ms: float
+    ixp_id: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class PlannedPath:
+    """The planned forwarding path between a probe and a region endpoint."""
+
+    probe_id: str
+    region_id: str
+    provider_code: str
+    as_path: Tuple[int, ...]
+    interconnect: InterconnectKind
+    distance_km: float
+    stretch: float
+    jitter_sigma: float
+    congestion_probability: float
+    #: Noise-free RTT from the ISP edge to the endpoint (no last mile).
+    base_path_rtt_ms: float
+    #: Hops beyond the last mile, ISP edge first, endpoint last.
+    hops: Tuple[PlannedHop, ...]
+    dest_address: int
+
+    @property
+    def intermediate_as_count(self) -> int:
+        return max(0, len(self.as_path) - 2)
+
+
+def classify_interconnect(
+    as_path: List[int], topology: Topology, provider_code: str
+) -> InterconnectKind:
+    """Ground-truth interconnect class of an AS path (ISP first)."""
+    intermediates = len(as_path) - 2
+    if intermediates < 0:
+        raise ValueError("AS path must contain at least the ISP and the cloud")
+    if intermediates == 0:
+        peering = topology.peering_for(provider_code)
+        if peering.direct_isps.get(as_path[0]) is not None:
+            return InterconnectKind.DIRECT_IXP
+        return InterconnectKind.DIRECT
+    if intermediates == 1:
+        return InterconnectKind.PRIVATE
+    return InterconnectKind.PUBLIC
+
+
+def effective_stretch(
+    interconnect: InterconnectKind,
+    intermediates: int,
+    wan: PrivateWAN,
+    source_continent,
+    config: SimulationConfig,
+) -> float:
+    """Fibre path stretch for an interconnect class.
+
+    Private-WAN engineering only applies when the provider's backbone
+    covers the probe's continent and the advantage is enabled (ablation
+    knob ``private_wan_advantage``).
+    """
+    path_config = config.path_model
+    on_net = config.private_wan_advantage and wan.covers(source_continent)
+    if interconnect.is_direct and on_net:
+        return path_config.private_wan_stretch
+    if interconnect is InterconnectKind.PRIVATE and on_net:
+        return path_config.private_peering_stretch
+    extra = max(0, intermediates - 1)
+    return path_config.public_stretch + extra * path_config.public_stretch_per_extra_as
+
+
+def effective_jitter_sigma(
+    interconnect: InterconnectKind,
+    distance_km: float,
+    wan: PrivateWAN,
+    source_continent,
+    config: SimulationConfig,
+) -> float:
+    """Multiplicative RTT jitter sigma for an interconnect class.
+
+    Public paths accumulate queueing variance with distance; private WANs
+    keep it flat.  This asymmetry reproduces the paper's Fig. 13b (direct
+    peering shrinks latency variation over long Asian paths) without
+    materially moving the EU medians of Fig. 12b.
+    """
+    path_config = config.path_model
+    on_net = config.private_wan_advantage and wan.covers(source_continent)
+    if interconnect.is_direct and on_net:
+        return path_config.private_jitter_sigma
+    if interconnect is InterconnectKind.PRIVATE and on_net:
+        return 0.5 * (
+            path_config.private_jitter_sigma + path_config.public_jitter_sigma
+        )
+    return (
+        path_config.public_jitter_sigma
+        + (distance_km / 1000.0) * path_config.public_jitter_sigma_per_1000km
+    )
+
+
+#: Geographic share of the end-to-end path carried by the cloud AS, by
+#: interconnect class (ingress locality: direct paths enter the WAN near
+#: the user; public paths only near the datacenter).
+_CLOUD_GEO_SHARE = {
+    InterconnectKind.DIRECT: 0.70,
+    InterconnectKind.DIRECT_IXP: 0.70,
+    InterconnectKind.PRIVATE: 0.50,
+    InterconnectKind.PUBLIC: 0.15,
+}
+
+
+class PathPlanner:
+    """Builds and caches :class:`PlannedPath` objects."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        wans,
+        region_addresses,
+        config: SimulationConfig,
+        rng: np.random.Generator,
+        countries=None,
+    ):
+        self._topology = topology
+        self._wans = wans
+        self._region_addresses = region_addresses
+        self._config = config
+        self._rng = rng
+        self._countries = countries
+        self._cache: dict = {}
+
+    def plan(self, probe: Probe, region: CloudRegion) -> PlannedPath:
+        """The planned path for a (probe, region) pair, cached."""
+        key = (probe.probe_id, region.provider_code, region.region_id)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        path = self._build(probe, region)
+        self._cache[key] = path
+        return path
+
+    def _build(self, probe: Probe, region: CloudRegion) -> PlannedPath:
+        topology = self._topology
+        provider_code = region.provider_code
+        network = topology.network_code(provider_code)
+        as_path = topology.as_path(probe.isp_asn, provider_code, probe.continent)
+        if as_path is None:
+            raise RuntimeError(
+                f"no route from AS{probe.isp_asn} to provider {provider_code}"
+            )
+        interconnect = classify_interconnect(as_path, topology, provider_code)
+        wan = self._wans[network]
+        distance = probe.location.distance_km(region.location)
+        stretch = effective_stretch(
+            interconnect, len(as_path) - 2, wan, probe.continent, self._config
+        )
+        stretch = self._adjust_stretch_for_geography(stretch, probe, region, wan)
+        sigma = effective_jitter_sigma(
+            interconnect, distance, wan, probe.continent, self._config
+        )
+        hops, base_rtt = self._expand_hops(
+            probe, region, as_path, interconnect, distance, stretch
+        )
+        path_config = self._config.path_model
+        congestion = (
+            path_config.congestion_probability
+            if interconnect is InterconnectKind.PUBLIC
+            else path_config.congestion_probability * 0.25
+        )
+        return PlannedPath(
+            probe_id=probe.probe_id,
+            region_id=region.region_id,
+            provider_code=provider_code,
+            as_path=tuple(as_path),
+            interconnect=interconnect,
+            distance_km=distance,
+            stretch=stretch,
+            jitter_sigma=sigma,
+            congestion_probability=congestion,
+            base_path_rtt_ms=base_rtt,
+            hops=tuple(hops),
+            dest_address=self._region_addresses[
+                (region.provider_code, region.region_id)
+            ],
+        )
+
+    def _adjust_stretch_for_geography(
+        self, stretch: float, probe: Probe, region: CloudRegion, wan
+    ) -> float:
+        """Geography corrections to the interconnect-class stretch.
+
+        Submarine-constrained routes (island endpoint or cross-continent)
+        cap the private-WAN advantage: everyone rides the same cables.
+        Cross-country paths inside under-provisioned continents pick up a
+        terrestrial backhaul penalty (intra-African detours via Europe).
+        """
+        path_config = self._config.path_model
+        src_island = dst_island = False
+        if self._countries is not None:
+            src = self._countries.find(probe.country)
+            dst = self._countries.find(region.country)
+            src_island = src.island if src else False
+            dst_island = dst.island if dst else False
+        submarine = (
+            src_island
+            or dst_island
+            or probe.continent is not region.continent
+        )
+        if submarine:
+            stretch = max(stretch, path_config.submarine_private_stretch_floor)
+        if (
+            probe.continent is region.continent
+            and probe.country != region.country
+        ):
+            stretch *= path_config.continent_backhaul_stretch.get(
+                probe.continent.value, 1.0
+            )
+        return stretch
+
+    def _expand_hops(
+        self,
+        probe: Probe,
+        region: CloudRegion,
+        as_path: List[int],
+        interconnect: InterconnectKind,
+        distance: float,
+        stretch: float,
+    ) -> Tuple[List[PlannedHop], float]:
+        registry = self._topology.registry
+        path_config = self._config.path_model
+        rng = self._rng
+        intermediates = max(0, len(as_path) - 2)
+        # Fixed (distance-independent) overheads: the serving ISP's
+        # aggregation core, plus detours at every inter-domain handoff.
+        fixed_rtt = (
+            path_config.isp_core_rtt_ms
+            + intermediates * path_config.per_intermediate_as_rtt_ms
+        )
+
+        # Hop counts per AS.  The cloud AS carries a geography share that
+        # depends on ingress locality; the remainder splits evenly.
+        cloud_share = _CLOUD_GEO_SHARE[interconnect]
+        systems = [registry.get(asn) for asn in as_path]
+        counts: List[int] = []
+        for autonomous_system in systems:
+            if autonomous_system.kind is ASKind.CLOUD:
+                share = cloud_share
+            else:
+                share = (1.0 - cloud_share) / max(1, len(systems) - 1)
+            counts.append(_hop_count(autonomous_system, share, rng))
+
+        total_hops = sum(counts)
+        hops: List[PlannedHop] = []
+        placed = 0
+        for autonomous_system, count in zip(systems, counts):
+            prefix = autonomous_system.prefixes[0]
+            for _ in range(count):
+                placed += 1
+                fraction = placed / (total_hops + 1)
+                position = interpolate(probe.location, region.location, fraction)
+                base_rtt = (
+                    2.0 * one_way_fiber_ms(distance * fraction, stretch)
+                    + placed * path_config.hop_processing_ms
+                    + path_config.min_path_rtt_ms
+                    + fixed_rtt * fraction
+                )
+                address = prefix.address_at(
+                    int(rng.integers(16, prefix.size - 16))
+                )
+                hops.append(
+                    PlannedHop(
+                        address=address,
+                        asn=autonomous_system.asn,
+                        owner_kind=str(autonomous_system.kind),
+                        position=position,
+                        base_rtt_ms=base_rtt,
+                    )
+                )
+        # IXP port hop between the ISP hops and the cloud hops for direct
+        # sessions over a public exchange fabric.
+        if interconnect is InterconnectKind.DIRECT_IXP:
+            peering = self._topology.peering_for(region.provider_code)
+            ixp_id = peering.direct_isps.get(as_path[0])
+            if ixp_id is not None:
+                ixp = self._topology.ixps.get(ixp_id)
+                insert_at = counts[0]
+                neighbor = hops[min(insert_at, len(hops) - 1)]
+                hops.insert(
+                    insert_at,
+                    PlannedHop(
+                        address=ixp.lan_address_for(peering.cloud_asn),
+                        asn=None,
+                        owner_kind="ixp",
+                        position=ixp.location,
+                        base_rtt_ms=neighbor.base_rtt_ms,
+                        ixp_id=ixp_id,
+                    ),
+                )
+
+        # Destination endpoint hop (the VM).
+        dest_address = self._region_addresses[
+            (region.provider_code, region.region_id)
+        ]
+        base_path_rtt = (
+            2.0 * one_way_fiber_ms(distance, stretch)
+            + (total_hops + 1) * path_config.hop_processing_ms
+            + path_config.min_path_rtt_ms
+            + fixed_rtt
+        )
+        cloud_asn = as_path[-1]
+        hops.append(
+            PlannedHop(
+                address=dest_address,
+                asn=cloud_asn,
+                owner_kind=str(ASKind.CLOUD),
+                position=region.location,
+                base_rtt_ms=base_path_rtt,
+            )
+        )
+        return hops, base_path_rtt
+
+
+def _hop_count(
+    autonomous_system: AS, geographic_share: float, rng: np.random.Generator
+) -> int:
+    """Routers exposed by one AS on a path (more when it carries more
+    of the geographic distance).
+
+    Cloud WANs that ingress near the user expose their internal backbone
+    routers along most of the path, which is what drives the >60%
+    pervasiveness of hypergiants in the paper's Fig. 11.
+    """
+    share = max(0.0, min(1.0, geographic_share))
+    if autonomous_system.kind is ASKind.CLOUD:
+        base = int(rng.integers(2, 5))
+        extra = int(round(5 * share))
+    elif autonomous_system.kind is ASKind.ACCESS:
+        base = int(rng.integers(2, 4))
+        extra = int(round(3 * share))
+    else:
+        base = int(rng.integers(2, 5))
+        extra = int(round(3 * share))
+    return base + extra

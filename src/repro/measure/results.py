@@ -1,0 +1,177 @@
+"""Measurement records and the dataset container.
+
+Records intentionally carry only what a real measurement platform would
+return (addresses, RTTs) plus the probe/endpoint bookkeeping the paper's
+pipeline keeps alongside (probe id, geolocation, serving ASN, target
+region).  Everything inferred -- AS paths, last-mile segments, peering
+classes -- is derived by :mod:`repro.resolve` and :mod:`repro.analysis`,
+exactly as the paper derives it from raw traceroutes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Iterable, Iterator, List, Optional, Tuple
+
+from repro.geo.continents import Continent
+from repro.lastmile.base import AccessKind
+
+
+class Protocol(str, Enum):
+    """Measurement protocol."""
+
+    TCP = "tcp"
+    ICMP = "icmp"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class TraceHop:
+    """One traceroute hop: ``address`` is ``None`` when unresponsive."""
+
+    address: Optional[int]
+    rtt_ms: Optional[float]
+
+    @property
+    def responded(self) -> bool:
+        return self.address is not None
+
+
+@dataclass(frozen=True)
+class MeasurementMeta:
+    """Bookkeeping shared by ping and traceroute records."""
+
+    probe_id: str
+    platform: str
+    country: str
+    continent: Continent
+    access: AccessKind
+    isp_asn: int
+    provider_code: str
+    region_id: str
+    region_country: str
+    region_continent: Continent
+    day: int
+    #: Probe location quantized to ~a city (used by the same-<city, ASN>
+    #: platform comparison of Fig. 16).
+    city_key: Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class PingMeasurement:
+    """One ping request: a handful of RTT samples to a region endpoint."""
+
+    meta: MeasurementMeta
+    protocol: Protocol
+    samples: Tuple[float, ...]
+
+    @property
+    def min_rtt_ms(self) -> float:
+        return min(self.samples)
+
+    @property
+    def median_rtt_ms(self) -> float:
+        ordered = sorted(self.samples)
+        mid = len(ordered) // 2
+        if len(ordered) % 2:
+            return ordered[mid]
+        return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+@dataclass(frozen=True)
+class TracerouteMeasurement:
+    """One traceroute: hop list ending (when successful) at the endpoint."""
+
+    meta: MeasurementMeta
+    protocol: Protocol
+    source_address: int
+    dest_address: int
+    hops: Tuple[TraceHop, ...]
+
+    @property
+    def reached(self) -> bool:
+        last = self.hops[-1] if self.hops else None
+        return last is not None and last.address == self.dest_address
+
+    @property
+    def end_to_end_rtt_ms(self) -> Optional[float]:
+        """RTT of the final (destination) hop, when reached."""
+        if not self.reached:
+            return None
+        return self.hops[-1].rtt_ms
+
+
+class MeasurementDataset:
+    """An in-memory dataset of ping and traceroute measurements."""
+
+    def __init__(self) -> None:
+        self._pings: List[PingMeasurement] = []
+        self._traceroutes: List[TracerouteMeasurement] = []
+
+    # -- construction -----------------------------------------------------
+
+    def add_ping(self, measurement: PingMeasurement) -> None:
+        self._pings.append(measurement)
+
+    def add_traceroute(self, measurement: TracerouteMeasurement) -> None:
+        self._traceroutes.append(measurement)
+
+    def extend(self, other: "MeasurementDataset") -> None:
+        """Merge another dataset into this one."""
+        self._pings.extend(other._pings)
+        self._traceroutes.extend(other._traceroutes)
+
+    # -- access ------------------------------------------------------------
+
+    @property
+    def ping_count(self) -> int:
+        return len(self._pings)
+
+    @property
+    def traceroute_count(self) -> int:
+        return len(self._traceroutes)
+
+    @property
+    def ping_sample_count(self) -> int:
+        return sum(len(p.samples) for p in self._pings)
+
+    def pings(
+        self,
+        platform: Optional[str] = None,
+        protocol: Optional[Protocol] = None,
+        predicate: Optional[Callable[[PingMeasurement], bool]] = None,
+    ) -> Iterator[PingMeasurement]:
+        """Iterate pings with optional filters."""
+        for measurement in self._pings:
+            if platform is not None and measurement.meta.platform != platform:
+                continue
+            if protocol is not None and measurement.protocol is not Protocol(protocol):
+                continue
+            if predicate is not None and not predicate(measurement):
+                continue
+            yield measurement
+
+    def traceroutes(
+        self,
+        platform: Optional[str] = None,
+        protocol: Optional[Protocol] = None,
+        predicate: Optional[Callable[[TracerouteMeasurement], bool]] = None,
+    ) -> Iterator[TracerouteMeasurement]:
+        """Iterate traceroutes with optional filters."""
+        for measurement in self._traceroutes:
+            if platform is not None and measurement.meta.platform != platform:
+                continue
+            if protocol is not None and measurement.protocol is not Protocol(protocol):
+                continue
+            if predicate is not None and not predicate(measurement):
+                continue
+            yield measurement
+
+    def __repr__(self) -> str:
+        return (
+            f"MeasurementDataset(pings={len(self._pings)}, "
+            f"traceroutes={len(self._traceroutes)})"
+        )

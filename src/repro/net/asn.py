@@ -1,0 +1,148 @@
+"""Autonomous systems and the AS registry.
+
+Every network entity in the simulator -- access ISPs, regional transit
+carriers, Tier-1 backbones, and cloud providers -- is an :class:`AS` with
+an ASN, an organisational home, and one or more announced IPv4 prefixes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.geo.continents import Continent
+from repro.geo.coords import GeoPoint
+from repro.net.ip import IPv4Prefix
+
+
+class ASKind(str, Enum):
+    """Role of an AS in the topology."""
+
+    #: Global transit backbone (settlement-free peers with other Tier-1s).
+    TIER1 = "tier1"
+    #: Regional/national transit provider.
+    TRANSIT = "transit"
+    #: Eyeball / access ISP serving end users.
+    ACCESS = "access"
+    #: Cloud provider network (private WAN or island datacenters).
+    CLOUD = "cloud"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass
+class AS:
+    """An autonomous system.
+
+    ``home`` is the AS' operational centre of gravity and is used to
+    geolocate routers that cannot be tied to a more specific site.
+    """
+
+    asn: int
+    name: str
+    kind: ASKind
+    country: Optional[str]
+    continent: Optional[Continent]
+    home: GeoPoint
+    prefixes: List[IPv4Prefix] = field(default_factory=list)
+    #: For CLOUD ASes: the provider code (e.g. ``"AMZN"``).
+    provider_code: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.asn <= 0:
+            raise ValueError(f"ASN must be positive, got {self.asn}")
+
+    def announces(self, address: int) -> bool:
+        """True if the address falls inside one of this AS' prefixes."""
+        return any(prefix.contains(address) for prefix in self.prefixes)
+
+    def __hash__(self) -> int:
+        return hash(self.asn)
+
+    def __repr__(self) -> str:
+        return f"AS(asn={self.asn}, name={self.name!r}, kind={self.kind})"
+
+
+class ASRegistry:
+    """All ASes in a world, with index lookups used by the analyses."""
+
+    def __init__(self) -> None:
+        self._by_asn: Dict[int, AS] = {}
+        self._by_kind: Dict[ASKind, List[AS]] = {kind: [] for kind in ASKind}
+        self._access_by_country: Dict[str, List[AS]] = {}
+        self._cloud_by_provider: Dict[str, AS] = {}
+
+    def add(self, autonomous_system: AS) -> AS:
+        """Register an AS; ASNs must be unique."""
+        asn = autonomous_system.asn
+        if asn in self._by_asn:
+            raise ValueError(f"duplicate ASN {asn}")
+        self._by_asn[asn] = autonomous_system
+        self._by_kind[autonomous_system.kind].append(autonomous_system)
+        if autonomous_system.kind is ASKind.ACCESS and autonomous_system.country:
+            self._access_by_country.setdefault(
+                autonomous_system.country, []
+            ).append(autonomous_system)
+        if (
+            autonomous_system.kind is ASKind.CLOUD
+            and autonomous_system.provider_code
+        ):
+            self._cloud_by_provider[autonomous_system.provider_code] = (
+                autonomous_system
+            )
+        return autonomous_system
+
+    def __len__(self) -> int:
+        return len(self._by_asn)
+
+    def __iter__(self):
+        return iter(self._by_asn.values())
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._by_asn
+
+    def get(self, asn: int) -> AS:
+        try:
+            return self._by_asn[asn]
+        except KeyError:
+            raise KeyError(f"unknown ASN {asn}") from None
+
+    def find(self, asn: int) -> Optional[AS]:
+        return self._by_asn.get(asn)
+
+    def of_kind(self, kind: ASKind) -> List[AS]:
+        """All ASes of a kind, in registration order."""
+        return list(self._by_kind[ASKind(kind)])
+
+    def access_in_country(self, iso: str) -> List[AS]:
+        """Access ISPs registered to a country."""
+        return list(self._access_by_country.get(iso, []))
+
+    def cloud_for_provider(self, provider_code: str) -> AS:
+        """The cloud AS operated by a provider."""
+        try:
+            return self._cloud_by_provider[provider_code]
+        except KeyError:
+            raise KeyError(f"no cloud AS for provider {provider_code!r}") from None
+
+    def prefix_table(self) -> List[Tuple[IPv4Prefix, int]]:
+        """(prefix, asn) pairs for every announced prefix.
+
+        This is the synthetic equivalent of a RouteViews/RIB dump and is
+        the input to the PyASN-style resolver.
+        """
+        table: List[Tuple[IPv4Prefix, int]] = []
+        for autonomous_system in self._by_asn.values():
+            for prefix in autonomous_system.prefixes:
+                table.append((prefix, autonomous_system.asn))
+        return table
+
+
+def next_free_asn(registry: ASRegistry, start: int) -> int:
+    """Smallest ASN >= ``start`` not yet present in ``registry``."""
+    asn = start
+    while asn in registry:
+        asn += 1
+    return asn

@@ -1,0 +1,140 @@
+"""AS business relationships (Gao-Rexford model).
+
+Two relationship types exist between adjacent ASes:
+
+- **customer-to-provider (C2P)**: the customer pays the provider for
+  transit.  Stored directed: ``add_customer_provider(customer, provider)``.
+- **peer-to-peer (P2P)**: settlement-free exchange of each other's
+  customer routes.  Stored undirected.
+
+Edges may be annotated with the IXP at which the session is established
+(public peering over an exchange fabric) -- the traceroute engine uses the
+annotation to decide whether an IXP hop appears on the forwarding path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+
+class Relationship(str, Enum):
+    """Business relationship between two adjacent ASes."""
+
+    CUSTOMER_TO_PROVIDER = "c2p"
+    PEER_TO_PEER = "p2p"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Link:
+    """One adjacency as seen from a specific AS."""
+
+    neighbor: int
+    relationship: Relationship
+    #: IXP id if the session rides an exchange fabric, else ``None``.
+    ixp_id: Optional[int] = None
+
+
+class RelationshipGraph:
+    """The annotated AS-level adjacency structure."""
+
+    def __init__(self) -> None:
+        # asn -> {neighbor_asn: Link}
+        self._providers: Dict[int, Dict[int, Link]] = {}
+        self._customers: Dict[int, Dict[int, Link]] = {}
+        self._peers: Dict[int, Dict[int, Link]] = {}
+
+    # -- construction ----------------------------------------------------
+
+    def add_customer_provider(
+        self, customer: int, provider: int, ixp_id: Optional[int] = None
+    ) -> None:
+        """Record that ``customer`` buys transit from ``provider``."""
+        if customer == provider:
+            raise ValueError(f"AS {customer} cannot be its own provider")
+        if self.relationship_between(customer, provider) is not None:
+            raise ValueError(
+                f"ASes {customer} and {provider} already have a relationship"
+            )
+        self._providers.setdefault(customer, {})[provider] = Link(
+            provider, Relationship.CUSTOMER_TO_PROVIDER, ixp_id
+        )
+        self._customers.setdefault(provider, {})[customer] = Link(
+            customer, Relationship.CUSTOMER_TO_PROVIDER, ixp_id
+        )
+
+    def add_peering(
+        self, a: int, b: int, ixp_id: Optional[int] = None
+    ) -> None:
+        """Record a settlement-free peering between ``a`` and ``b``."""
+        if a == b:
+            raise ValueError(f"AS {a} cannot peer with itself")
+        if self.relationship_between(a, b) is not None:
+            raise ValueError(f"ASes {a} and {b} already have a relationship")
+        self._peers.setdefault(a, {})[b] = Link(b, Relationship.PEER_TO_PEER, ixp_id)
+        self._peers.setdefault(b, {})[a] = Link(a, Relationship.PEER_TO_PEER, ixp_id)
+
+    def clone(self) -> "RelationshipGraph":
+        """An independent copy; used to scope provider edges per continent."""
+        copy = RelationshipGraph()
+        copy._providers = {asn: dict(links) for asn, links in self._providers.items()}
+        copy._customers = {asn: dict(links) for asn, links in self._customers.items()}
+        copy._peers = {asn: dict(links) for asn, links in self._peers.items()}
+        return copy
+
+    # -- queries ----------------------------------------------------------
+
+    def providers_of(self, asn: int) -> List[int]:
+        return list(self._providers.get(asn, {}))
+
+    def customers_of(self, asn: int) -> List[int]:
+        return list(self._customers.get(asn, {}))
+
+    def peers_of(self, asn: int) -> List[int]:
+        return list(self._peers.get(asn, {}))
+
+    def neighbors_of(self, asn: int) -> Set[int]:
+        """All adjacent ASes regardless of relationship."""
+        return (
+            set(self._providers.get(asn, {}))
+            | set(self._customers.get(asn, {}))
+            | set(self._peers.get(asn, {}))
+        )
+
+    def relationship_between(self, a: int, b: int) -> Optional[Relationship]:
+        """Relationship on the (a, b) adjacency, or ``None``."""
+        if b in self._peers.get(a, {}):
+            return Relationship.PEER_TO_PEER
+        if b in self._providers.get(a, {}) or b in self._customers.get(a, {}):
+            return Relationship.CUSTOMER_TO_PROVIDER
+        return None
+
+    def ixp_on_link(self, a: int, b: int) -> Optional[int]:
+        """IXP id annotated on the (a, b) adjacency, if any."""
+        for table in (self._peers, self._providers, self._customers):
+            link = table.get(a, {}).get(b)
+            if link is not None:
+                return link.ixp_id
+        return None
+
+    def all_asns(self) -> Set[int]:
+        """Every AS that appears on at least one edge."""
+        asns: Set[int] = set()
+        for table in (self._peers, self._providers, self._customers):
+            for asn, links in table.items():
+                asns.add(asn)
+                asns.update(links)
+        return asns
+
+    def edge_count(self) -> int:
+        """Number of distinct adjacencies."""
+        seen: Set[Tuple[int, int]] = set()
+        for table in (self._peers, self._providers, self._customers):
+            for asn, links in table.items():
+                for neighbor in links:
+                    seen.add((min(asn, neighbor), max(asn, neighbor)))
+        return len(seen)

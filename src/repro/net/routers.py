@@ -1,0 +1,83 @@
+"""Router-level expansion of AS paths.
+
+The traceroute engine works on *router* hops, each owned by an AS and
+placed geographically along the way from the probe to the datacenter, so
+that per-hop RTTs accumulate plausibly and the paper's pervasiveness
+metric (provider-owned routers / path length, Fig. 11) can be computed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.geo.coords import GeoPoint, interpolate
+from repro.net.asn import AS, ASKind
+
+
+@dataclass(frozen=True)
+class RouterHop:
+    """One router on a forwarding path."""
+
+    address: int
+    asn: int
+    position: GeoPoint
+    #: IXP id if this hop is on an exchange peering LAN.
+    ixp_id: Optional[int] = None
+
+
+#: Router hops contributed per AS on a path, by kind: (low, high) before
+#: weighting.  Cloud WANs contribute more hops -- traffic entering a
+#: hypergiant's network near the user traverses the WAN's internal
+#: backbone for most of the geographic distance (paper Fig. 11).
+_HOPS_BY_KIND = {
+    ASKind.ACCESS: (2, 3),
+    ASKind.TRANSIT: (2, 4),
+    ASKind.TIER1: (2, 4),
+    ASKind.CLOUD: (2, 4),
+}
+
+
+def hops_for_as(
+    autonomous_system: AS,
+    rng: np.random.Generator,
+    geographic_share: float = 0.0,
+) -> int:
+    """Number of router hops an AS contributes to one path.
+
+    ``geographic_share`` is the fraction of the end-to-end distance the
+    AS carries; ASes carrying most of the path (e.g. a private WAN
+    ingressing near the user) expose proportionally more routers.
+    """
+    low, high = _HOPS_BY_KIND[autonomous_system.kind]
+    base = int(rng.integers(low, high + 1))
+    extra = int(round(4 * max(0.0, min(1.0, geographic_share))))
+    return base + extra
+
+
+def place_hops(
+    start: GeoPoint,
+    end: GeoPoint,
+    counts: Sequence[int],
+) -> List[List[GeoPoint]]:
+    """Geographic positions for router hops of consecutive path segments.
+
+    ``counts[i]`` routers are placed for segment *i*; positions advance
+    monotonically from ``start`` to ``end`` along the great circle, so
+    cumulative distances (and therefore per-hop RTTs) are monotone.
+    """
+    total = sum(counts)
+    if total == 0:
+        return [[] for _ in counts]
+    positions: List[List[GeoPoint]] = []
+    placed = 0
+    for count in counts:
+        segment: List[GeoPoint] = []
+        for _ in range(count):
+            placed += 1
+            fraction = placed / (total + 1)
+            segment.append(interpolate(start, end, fraction))
+        positions.append(segment)
+    return positions

@@ -1,0 +1,239 @@
+"""Inter-domain route computation.
+
+Implements Gao-Rexford valley-free policy routing: every AS prefers
+routes learned from customers over routes learned from peers over routes
+learned from providers, breaking ties on AS-path length and then on the
+lowest next-hop ASN (determinism).  Export rules are the standard ones:
+
+- routes learned from a customer are exported to everyone;
+- routes learned from a peer or a provider are exported to customers only.
+
+Routes are computed per destination with the classic three-stage sweep
+(customer cone, one peer hop, provider propagation), which yields exactly
+the set of valley-free best paths.  A plain shortest-path mode is provided
+as an ablation (``RoutePolicy.SHORTEST``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional
+
+from repro.net.relationships import RelationshipGraph
+
+
+class RoutePolicy(str, Enum):
+    """Route selection policy."""
+
+    VALLEY_FREE = "valley_free"
+    SHORTEST = "shortest"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class RouteClass(str, Enum):
+    """How the best route at an AS was learned."""
+
+    SELF = "self"
+    CUSTOMER = "customer"
+    PEER = "peer"
+    PROVIDER = "provider"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class RouteEntry:
+    """Best route from one AS towards the table's destination."""
+
+    next_hop: int
+    distance: int
+    route_class: RouteClass
+
+
+class RoutingTable:
+    """All best routes towards a single destination AS."""
+
+    def __init__(self, destination: int, entries: Dict[int, RouteEntry]):
+        self._destination = destination
+        self._entries = entries
+
+    @property
+    def destination(self) -> int:
+        return self._destination
+
+    def __contains__(self, asn: int) -> bool:
+        return asn == self._destination or asn in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries) + 1
+
+    def entry(self, source: int) -> Optional[RouteEntry]:
+        """The best-route entry at ``source``, or ``None`` if unreachable."""
+        if source == self._destination:
+            return RouteEntry(source, 0, RouteClass.SELF)
+        return self._entries.get(source)
+
+    def distance(self, source: int) -> Optional[int]:
+        """AS-hop count from ``source`` to the destination, or ``None``."""
+        entry = self.entry(source)
+        return None if entry is None else entry.distance
+
+    def as_path(self, source: int) -> Optional[List[int]]:
+        """The AS-level path [source, ..., destination], or ``None``.
+
+        Paths are loop-free by construction; a defensive bound guards
+        against corrupted tables.
+        """
+        if source == self._destination:
+            return [source]
+        if source not in self._entries:
+            return None
+        path = [source]
+        current = source
+        for _ in range(len(self._entries) + 2):
+            entry = self._entries.get(current)
+            if entry is None:
+                return None
+            current = entry.next_hop
+            path.append(current)
+            if current == self._destination:
+                return path
+        raise RuntimeError(
+            f"routing loop reconstructing path {source} -> {self._destination}"
+        )
+
+
+def compute_routes(
+    graph: RelationshipGraph,
+    destination: int,
+    policy: RoutePolicy = RoutePolicy.VALLEY_FREE,
+) -> RoutingTable:
+    """Best routes from every AS towards ``destination`` under ``policy``."""
+    if policy is RoutePolicy.SHORTEST:
+        return _shortest_routes(graph, destination)
+    return _valley_free_routes(graph, destination)
+
+
+def _valley_free_routes(
+    graph: RelationshipGraph, destination: int
+) -> RoutingTable:
+    entries: Dict[int, RouteEntry] = {}
+
+    # Stage 1 -- customer routes: every AS whose customer cone contains the
+    # destination hears the route from a customer.  These are the ancestors
+    # of the destination along provider edges.
+    customer_dist: Dict[int, int] = {destination: 0}
+    queue = deque([destination])
+    while queue:
+        current = queue.popleft()
+        for provider in sorted(graph.providers_of(current)):
+            if provider in customer_dist:
+                continue
+            customer_dist[provider] = customer_dist[current] + 1
+            entries[provider] = RouteEntry(
+                current, customer_dist[provider], RouteClass.CUSTOMER
+            )
+            queue.append(provider)
+    # Re-sweep stage 1 for shortest customer routes: BFS above already
+    # yields shortest distances because all edges have unit weight, but an
+    # AS may have several customers in the cone; pick the lowest-ASN
+    # next hop among equally-short options for determinism.
+    for asn in list(entries):
+        best = entries[asn]
+        for customer in sorted(graph.customers_of(asn)):
+            dist = customer_dist.get(customer)
+            if dist is None:
+                continue
+            if dist + 1 < best.distance or (
+                dist + 1 == best.distance and customer < best.next_hop
+            ):
+                best = RouteEntry(customer, dist + 1, RouteClass.CUSTOMER)
+        entries[asn] = best
+
+    # Stage 2 -- peer routes: one settlement-free hop into the customer
+    # cone.  Customer routes always win over peer routes at the same AS.
+    for asn_with_route in sorted(customer_dist):
+        for peer in sorted(graph.peers_of(asn_with_route)):
+            if peer == destination or peer in customer_dist:
+                continue
+            candidate = RouteEntry(
+                asn_with_route,
+                customer_dist[asn_with_route] + 1,
+                RouteClass.PEER,
+            )
+            existing = entries.get(peer)
+            if (
+                existing is None
+                or candidate.distance < existing.distance
+                or (
+                    candidate.distance == existing.distance
+                    and candidate.next_hop < existing.next_hop
+                )
+            ):
+                entries[peer] = candidate
+
+    # Stage 3 -- provider routes: any AS holding a route exports it to its
+    # customers; distances accumulate.  Dijkstra over customer edges with
+    # the stage-1/2 holders as multi-source seeds.
+    seeds = []
+    for asn, entry in entries.items():
+        seeds.append((entry.distance, asn))
+    seeds.append((0, destination))
+    heap = [(dist, asn) for dist, asn in sorted(seeds)]
+    settled_provider_dist: Dict[int, int] = {}
+    while heap:
+        dist, asn = heapq.heappop(heap)
+        if settled_provider_dist.get(asn, dist + 1) <= dist:
+            continue
+        settled_provider_dist[asn] = dist
+        for customer in sorted(graph.customers_of(asn)):
+            candidate_dist = dist + 1
+            existing = entries.get(customer)
+            if existing is not None and existing.route_class in (
+                RouteClass.CUSTOMER,
+                RouteClass.PEER,
+            ):
+                # Customer/peer routes always beat provider routes, and the
+                # AS will not switch -- but it still propagates its *best*
+                # route downward, which is the existing one (already seeded).
+                continue
+            if customer == destination:
+                continue
+            if (
+                existing is None
+                or candidate_dist < existing.distance
+                or (
+                    candidate_dist == existing.distance
+                    and asn < existing.next_hop
+                )
+            ):
+                entries[customer] = RouteEntry(
+                    asn, candidate_dist, RouteClass.PROVIDER
+                )
+                heapq.heappush(heap, (candidate_dist, customer))
+
+    return RoutingTable(destination, entries)
+
+
+def _shortest_routes(graph: RelationshipGraph, destination: int) -> RoutingTable:
+    """Policy-free shortest paths over the undirected adjacency (ablation)."""
+    entries: Dict[int, RouteEntry] = {}
+    dist: Dict[int, int] = {destination: 0}
+    queue = deque([destination])
+    while queue:
+        current = queue.popleft()
+        for neighbor in sorted(graph.neighbors_of(current)):
+            if neighbor in dist:
+                continue
+            dist[neighbor] = dist[current] + 1
+            entries[neighbor] = RouteEntry(
+                current, dist[neighbor], RouteClass.PROVIDER
+            )
+            queue.append(neighbor)
+    return RoutingTable(destination, entries)

@@ -1,0 +1,13 @@
+"""Measurement platforms: probes, deployment, Speedchecker and RIPE Atlas."""
+
+from repro.platforms.atlas import AtlasPlatform
+from repro.platforms.deployment import deploy_probes
+from repro.platforms.probe import Probe
+from repro.platforms.speedchecker import SpeedcheckerPlatform
+
+__all__ = [
+    "AtlasPlatform",
+    "Probe",
+    "SpeedcheckerPlatform",
+    "deploy_probes",
+]

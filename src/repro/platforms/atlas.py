@@ -1,0 +1,56 @@
+"""The RIPE-Atlas-like measurement platform.
+
+Atlas probes are dedicated hardware devices: almost always connected,
+wired, and frequently hosted in managed networks.  There is no daily
+quota in our usage model (the Corneo et al. dataset was collected over a
+year of continuous measurements).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.platforms.probe import Probe
+
+
+class AtlasPlatform:
+    """A fleet of always-on, wired hardware probes."""
+
+    name = "atlas"
+
+    def __init__(self, probes: Sequence[Probe], rng: np.random.Generator):
+        self._probes: List[Probe] = list(probes)
+        self._by_id: Dict[str, Probe] = {p.probe_id: p for p in self._probes}
+        self._by_country: Dict[str, List[Probe]] = {}
+        for probe in self._probes:
+            self._by_country.setdefault(probe.country, []).append(probe)
+        self._rng = rng
+
+    def __len__(self) -> int:
+        return len(self._probes)
+
+    @property
+    def probes(self) -> List[Probe]:
+        return list(self._probes)
+
+    def probe(self, probe_id: str) -> Probe:
+        try:
+            return self._by_id[probe_id]
+        except KeyError:
+            raise KeyError(f"unknown probe id {probe_id!r}") from None
+
+    def probes_in_country(self, iso: str) -> List[Probe]:
+        return list(self._by_country.get(iso, []))
+
+    def countries(self) -> List[str]:
+        return sorted(self._by_country)
+
+    def connected_probes(self) -> List[Probe]:
+        """Probes online right now (availability is high but not perfect)."""
+        return [
+            probe
+            for probe in self._probes
+            if self._rng.random() < probe.availability
+        ]

@@ -1,0 +1,181 @@
+"""Probe deployment engines.
+
+Probe counts per country are proportional to the country's Internet-user
+population times a per-platform bias (see
+:mod:`repro.geo.countries`), reproducing the deployment skews the paper
+documents for both platforms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.config import SimulationConfig
+from repro.geo.continents import Continent
+from repro.geo.coords import jitter_point
+from repro.geo.countries import Country, CountryRegistry
+from repro.lastmile.base import AccessKind
+from repro.net.asn import ASKind, ASRegistry
+from repro.net.ip import parse_ip
+from repro.platforms.probe import Probe
+
+#: Device-side private address used by home probes behind a NAT router.
+_HOME_DEVICE_ADDRESS = parse_ip("192.168.1.2")
+#: Fraction of home probes whose traffic appears with a public first hop
+#: (VPN / CGN artifacts) and therefore gets misclassified as cellular by
+#: the traceroute heuristic -- a caveat the paper calls out in section 5.
+_HOME_PUBLIC_ARTIFACT_SHARE = 0.02
+
+#: Continent shares of each fleet, from the paper's Fig. 1b
+#: (Speedchecker: EU 72k, AS 31k, NA 5.4k, AF 4k, SA 2.8k, OC 351) and
+#: Fig. 2 (Atlas: EU 5574, AS 1083, NA 866, AF 261, SA 216, OC 289).
+_FLEET_CONTINENT_SHARE: Dict[str, Dict[Continent, float]] = {
+    "speedchecker": {
+        Continent.EU: 0.622,
+        Continent.AS: 0.268,
+        Continent.NA: 0.047,
+        Continent.AF: 0.035,
+        Continent.SA: 0.024,
+        Continent.OC: 0.004,
+    },
+    "atlas": {
+        Continent.EU: 0.672,
+        Continent.AS: 0.131,
+        Continent.NA: 0.104,
+        Continent.AF: 0.031,
+        Continent.SA: 0.026,
+        Continent.OC: 0.036,
+    },
+}
+
+
+def _country_weights(
+    countries: CountryRegistry, platform: str, continent: Continent
+) -> Dict[str, float]:
+    weights: Dict[str, float] = {}
+    for country in countries.in_continent(continent):
+        bias = (
+            country.speedchecker_bias
+            if platform == "speedchecker"
+            else country.atlas_bias
+        )
+        weights[country.iso] = country.internet_users_m * bias
+    return weights
+
+
+def deploy_probes(
+    platform: str,
+    total: int,
+    countries: CountryRegistry,
+    registry: ASRegistry,
+    config: SimulationConfig,
+    rng: np.random.Generator,
+) -> List[Probe]:
+    """Deploy ``total`` probes for ``platform`` across all countries.
+
+    ``platform`` is ``"speedchecker"`` (Android, wireless) or ``"atlas"``
+    (hardware, wired).  Continent totals follow the paper's published
+    fleet distributions (Figs. 1b and 2); within a continent, probes are
+    placed proportionally to Internet-user population times the
+    documented per-country deployment bias.  Every country receives at
+    least one probe so analyses can always group by country.
+    """
+    if platform not in ("speedchecker", "atlas"):
+        raise ValueError(f"unknown platform {platform!r}")
+    if total < len(countries):
+        total = len(countries)
+    probes: List[Probe] = []
+    counter = 0
+    for continent, continent_share in _FLEET_CONTINENT_SHARE[platform].items():
+        weights = _country_weights(countries, platform, continent)
+        weight_sum = sum(weights.values())
+        if weight_sum == 0:
+            continue
+        continent_total = continent_share * total
+        for country in countries.in_continent(continent):
+            share = weights[country.iso] / weight_sum
+            count = max(1, int(round(continent_total * share)))
+            probes.extend(
+                _deploy_in_country(
+                    platform, country, count, registry, config, rng, counter
+                )
+            )
+            counter += count
+    return probes
+
+
+def _deploy_in_country(
+    platform: str,
+    country: Country,
+    count: int,
+    registry: ASRegistry,
+    config: SimulationConfig,
+    rng: np.random.Generator,
+    id_offset: int,
+) -> List[Probe]:
+    isps = registry.access_in_country(country.iso)
+    if not isps:
+        raise ValueError(f"no access ISPs registered in {country.iso}")
+    platform_config = config.platforms
+    probes: List[Probe] = []
+    for index in range(count):
+        isp = isps[int(rng.integers(0, len(isps)))]
+        location = jitter_point(country.centroid, country.spread_radius_km, rng)
+        probe_id = f"{platform[:2]}-{country.iso}-{id_offset + index}"
+        # Public address from the ISP's first prefix, deterministic per probe.
+        prefix = isp.prefixes[0]
+        public_address = prefix.address_at(
+            2 + ((id_offset + index) % (prefix.size - 4))
+        )
+        quality = float(np.exp(0.20 * rng.standard_normal()))
+        if platform == "speedchecker":
+            access = _speedchecker_access(platform_config, config, rng)
+            availability = float(
+                np.clip(
+                    platform_config.speedchecker_availability
+                    + 0.15 * rng.standard_normal(),
+                    0.02,
+                    0.95,
+                )
+            )
+            managed = False
+        else:
+            access = AccessKind.WIRED
+            availability = float(np.clip(0.9 + 0.08 * rng.standard_normal(), 0.5, 1.0))
+            managed = rng.random() < platform_config.atlas_managed_share
+        if access is AccessKind.HOME_WIFI:
+            if rng.random() < _HOME_PUBLIC_ARTIFACT_SHARE:
+                device_address = public_address  # VPN/CGN artifact
+            else:
+                device_address = _HOME_DEVICE_ADDRESS
+        else:
+            device_address = public_address
+        probes.append(
+            Probe(
+                probe_id=probe_id,
+                platform=platform,
+                country=country.iso,
+                continent=country.continent,
+                location=location,
+                isp_asn=isp.asn,
+                access=access,
+                device_address=device_address,
+                public_address=public_address,
+                quality=quality,
+                availability=availability,
+                managed=managed,
+            )
+        )
+    return probes
+
+
+def _speedchecker_access(
+    platform_config, config: SimulationConfig, rng: np.random.Generator
+) -> AccessKind:
+    if not config.wireless_last_mile:
+        return AccessKind.WIRED
+    if rng.random() < platform_config.speedchecker_wifi_share:
+        return AccessKind.HOME_WIFI
+    return AccessKind.CELLULAR

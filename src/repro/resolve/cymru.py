@@ -1,0 +1,38 @@
+"""Team-Cymru-style IP-to-ASN fallback service.
+
+The paper queries the Team Cymru mapping tool for router hops PyASN
+cannot resolve (section 3.3).  Our equivalent has authoritative coverage
+(it is built from the full registry) but counts queries, so tests can
+assert the pipeline only falls back when it must.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.net.asn import ASRegistry
+from repro.net.ip import is_private_ip
+from repro.resolve.pyasn import PrefixTrie
+
+
+class CymruResolver:
+    """Authoritative whois-style IP-to-ASN lookups with query accounting."""
+
+    def __init__(self, registry: ASRegistry):
+        self._trie = PrefixTrie()
+        for prefix, asn in registry.prefix_table():
+            self._trie.insert(prefix, asn)
+        self._queries = 0
+
+    @property
+    def query_count(self) -> int:
+        """Number of lookups served (the paper rate-limited these)."""
+        return self._queries
+
+    def lookup(self, address: int) -> Optional[int]:
+        """ASN for ``address``; private space is never resolved."""
+        self._queries += 1
+        if is_private_ip(address):
+            return None
+        match = self._trie.longest_match(address)
+        return None if match is None else match[0]

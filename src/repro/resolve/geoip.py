@@ -1,0 +1,67 @@
+"""Noisy IP geolocation (the GeoIPLookup equivalent).
+
+Commercial geolocation databases are known to be inaccurate, especially
+for router infrastructure; the paper explicitly refrains from
+geographical routing analyses because of this (section 3.3).  The
+synthetic database reproduces that property: lookups return the true
+position displaced by a heavy-tailed error, and a configurable share of
+entries is wildly wrong (registered-office locations etc.).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.geo.coords import GeoPoint, jitter_point
+
+
+@dataclass(frozen=True)
+class GeoIPResult:
+    """A geolocation answer with the database's (unwarranted) confidence."""
+
+    position: GeoPoint
+    claimed_accuracy_km: float
+
+
+class GeoIPDatabase:
+    """A deliberately-imperfect IP geolocation service."""
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        typical_error_km: float = 80.0,
+        gross_error_share: float = 0.08,
+        gross_error_km: float = 4000.0,
+    ):
+        if typical_error_km < 0 or gross_error_km < 0:
+            raise ValueError("error radii must be non-negative")
+        if not 0.0 <= gross_error_share <= 1.0:
+            raise ValueError("gross error share must be within [0, 1]")
+        self._rng = rng
+        self._typical_error_km = typical_error_km
+        self._gross_error_share = gross_error_share
+        self._gross_error_km = gross_error_km
+        self._cache: Dict[int, GeoIPResult] = {}
+
+    def locate(self, address: int, true_position: GeoPoint) -> GeoIPResult:
+        """Geolocate an address whose true position the simulator knows.
+
+        Answers are stable per address (the database does not change
+        between queries within a study).
+        """
+        cached = self._cache.get(address)
+        if cached is not None:
+            return cached
+        if self._rng.random() < self._gross_error_share:
+            radius = self._gross_error_km
+        else:
+            radius = self._typical_error_km
+        result = GeoIPResult(
+            position=jitter_point(true_position, radius, self._rng),
+            claimed_accuracy_km=self._typical_error_km,
+        )
+        self._cache[address] = result
+        return result

@@ -1,0 +1,60 @@
+"""PeeringDB-style enrichment.
+
+The paper queries PeeringDB to enrich AS-level topologies with
+organisation names, network types, and locations (section 3.3).  The
+synthetic equivalent serves the same records straight from the AS
+registry, with the network-type vocabulary PeeringDB uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.geo.continents import Continent
+from repro.net.asn import ASKind, ASRegistry
+
+#: PeeringDB ``info_type`` vocabulary for our AS kinds.
+_NETWORK_TYPES = {
+    ASKind.TIER1: "NSP",
+    ASKind.TRANSIT: "NSP",
+    ASKind.ACCESS: "Cable/DSL/ISP",
+    ASKind.CLOUD: "Content",
+}
+
+
+@dataclass(frozen=True)
+class PeeringDBRecord:
+    """One network record, PeeringDB style."""
+
+    asn: int
+    org_name: str
+    network_type: str
+    country: Optional[str]
+    continent: Optional[Continent]
+
+
+class SyntheticPeeringDB:
+    """Read-only PeeringDB over the synthetic AS registry."""
+
+    def __init__(self, registry: ASRegistry):
+        self._records: Dict[int, PeeringDBRecord] = {}
+        for autonomous_system in registry:
+            self._records[autonomous_system.asn] = PeeringDBRecord(
+                asn=autonomous_system.asn,
+                org_name=autonomous_system.name,
+                network_type=_NETWORK_TYPES[autonomous_system.kind],
+                country=autonomous_system.country,
+                continent=autonomous_system.continent,
+            )
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def lookup(self, asn: int) -> Optional[PeeringDBRecord]:
+        return self._records.get(asn)
+
+    def is_content_network(self, asn: int) -> bool:
+        """True for cloud/content networks (PeeringDB ``Content`` type)."""
+        record = self._records.get(asn)
+        return record is not None and record.network_type == "Content"

@@ -1,0 +1,251 @@
+"""The traceroute-resolution pipeline (paper sections 3.3 and 6.1).
+
+For every raw traceroute the pipeline:
+
+1. resolves each responding hop to an ASN with the PyASN-equivalent
+   longest-prefix-match table, falling back to the Cymru-style service
+   for unresolved public addresses;
+2. tags private-address hops (home LANs, CGN) and IXP peering-LAN hops
+   (CAIDA-style dataset);
+3. collapses the hop sequence into an AS-level path with IXPs and
+   private hops removed, recording where IXPs appeared;
+4. infers the last-mile: probes whose first hop is a private address are
+   *home* (WiFi) probes; probes whose first hop is already inside the
+   serving ISP are *cell* probes -- including the VPN/CGN false positives
+   the paper warns about;
+5. extracts the last-mile RTT segments (USR-ISP and RTR-ISP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.measure.results import TraceHop, TracerouteMeasurement
+from repro.net.asn import ASRegistry
+from repro.net.ip import is_private_ip
+from repro.net.ixp import IXPRegistry
+from repro.resolve.cymru import CymruResolver
+from repro.resolve.pyasn import PyASNResolver
+
+
+@dataclass(frozen=True)
+class ResolvedHop:
+    """One traceroute hop after resolution."""
+
+    address: Optional[int]
+    rtt_ms: Optional[float]
+    asn: Optional[int]
+    is_private: bool
+    ixp_id: Optional[int]
+    resolved_by: str
+
+    @property
+    def responded(self) -> bool:
+        return self.address is not None
+
+
+@dataclass(frozen=True)
+class ResolvedTrace:
+    """A traceroute after the full resolution pipeline."""
+
+    measurement: TracerouteMeasurement
+    hops: Tuple[ResolvedHop, ...]
+    #: AS-level path with private hops and IXPs removed, consecutive
+    #: duplicates collapsed.
+    as_path: Tuple[int, ...]
+    #: IXP ids observed, keyed by the index in :attr:`as_path` *after*
+    #: which the IXP hop appeared.
+    ixp_after_index: Tuple[Tuple[int, int], ...]
+    #: ``"home"`` (private first hop), ``"cell"`` (ISP first hop), or
+    #: ``None`` when the first hop did not respond / resolve.
+    inferred_access: Optional[str]
+    #: RTT to the home router (home probes only).
+    router_rtt_ms: Optional[float]
+    #: RTT to the first hop inside the serving ISP's AS.
+    usr_isp_rtt_ms: Optional[float]
+
+    @property
+    def meta(self):
+        return self.measurement.meta
+
+    @property
+    def reached(self) -> bool:
+        return self.measurement.reached
+
+    @property
+    def end_to_end_rtt_ms(self) -> Optional[float]:
+        return self.measurement.end_to_end_rtt_ms
+
+    @property
+    def rtr_isp_rtt_ms(self) -> Optional[float]:
+        """Wired segment of the home last mile (USR-ISP minus the air leg)."""
+        if self.router_rtt_ms is None or self.usr_isp_rtt_ms is None:
+            return None
+        return max(0.0, self.usr_isp_rtt_ms - self.router_rtt_ms)
+
+    def provider_hop_share(self, cloud_asn: int) -> Optional[float]:
+        """Share of responding routers owned by the cloud network
+        (the paper's pervasiveness metric, Fig. 11)."""
+        responded = [hop for hop in self.hops if hop.responded]
+        if not responded:
+            return None
+        owned = sum(1 for hop in responded if hop.asn == cloud_asn)
+        return owned / len(responded)
+
+    def intermediate_asns(self, isp_asn: int, cloud_asn: int) -> Optional[List[int]]:
+        """ASes strictly between the serving ISP and the cloud network.
+
+        Returns ``None`` when either end is missing from the AS path
+        (unresponsive edge hops) -- such paths are excluded from peering
+        classification, as in the paper.
+        """
+        if cloud_asn not in self.as_path:
+            return None
+        cloud_index = max(
+            i for i, asn in enumerate(self.as_path) if asn == cloud_asn
+        )
+        if isp_asn in self.as_path:
+            isp_index = self.as_path.index(isp_asn)
+        elif self.as_path and self.as_path[0] != cloud_asn:
+            # The ISP's own routers were unresponsive; treat the first
+            # observed AS as the serving side (a known methodology
+            # artifact the paper acknowledges).
+            isp_index = 0
+        else:
+            return None
+        if isp_index >= cloud_index:
+            return []
+        return list(self.as_path[isp_index + 1 : cloud_index])
+
+
+class TracerouteResolver:
+    """Resolves raw traceroutes using the full pipeline."""
+
+    def __init__(
+        self,
+        registry: ASRegistry,
+        ixps: IXPRegistry,
+        rib_coverage: float = 0.97,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if rib_coverage < 1.0 and rng is None:
+            rng = np.random.default_rng(0)
+        self._pyasn = PyASNResolver(
+            registry.prefix_table(), coverage=rib_coverage, rng=rng
+        )
+        self._cymru = CymruResolver(registry)
+        self._ixps = ixps
+        self._cache: Dict[int, Tuple[Optional[int], str]] = {}
+
+    @property
+    def cymru_query_count(self) -> int:
+        return self._cymru.query_count
+
+    def _resolve_address(self, address: int) -> Tuple[Optional[int], str]:
+        cached = self._cache.get(address)
+        if cached is not None:
+            return cached
+        result: Tuple[Optional[int], str]
+        asn = self._pyasn.lookup(address)
+        if asn is not None:
+            result = (asn, "pyasn")
+        else:
+            asn = self._cymru.lookup(address)
+            result = (asn, "cymru") if asn is not None else (None, "none")
+        self._cache[address] = result
+        return result
+
+    def resolve(self, measurement: TracerouteMeasurement) -> ResolvedTrace:
+        """Run the pipeline over one raw traceroute."""
+        hops: List[ResolvedHop] = []
+        for hop in measurement.hops:
+            hops.append(self._resolve_hop(hop))
+
+        as_path: List[int] = []
+        ixp_after: List[Tuple[int, int]] = []
+        for hop in hops:
+            if not hop.responded or hop.is_private:
+                continue
+            if hop.ixp_id is not None:
+                if as_path:
+                    ixp_after.append((len(as_path) - 1, hop.ixp_id))
+                continue
+            if hop.asn is None:
+                continue
+            if not as_path or as_path[-1] != hop.asn:
+                as_path.append(hop.asn)
+
+        inferred, router_rtt, usr_isp_rtt = self._infer_last_mile(
+            hops, measurement.meta.isp_asn
+        )
+        return ResolvedTrace(
+            measurement=measurement,
+            hops=tuple(hops),
+            as_path=tuple(as_path),
+            ixp_after_index=tuple(ixp_after),
+            inferred_access=inferred,
+            router_rtt_ms=router_rtt,
+            usr_isp_rtt_ms=usr_isp_rtt,
+        )
+
+    def _resolve_hop(self, hop: TraceHop) -> ResolvedHop:
+        if hop.address is None:
+            return ResolvedHop(
+                address=None,
+                rtt_ms=None,
+                asn=None,
+                is_private=False,
+                ixp_id=None,
+                resolved_by="none",
+            )
+        if is_private_ip(hop.address):
+            return ResolvedHop(
+                address=hop.address,
+                rtt_ms=hop.rtt_ms,
+                asn=None,
+                is_private=True,
+                ixp_id=None,
+                resolved_by="private",
+            )
+        ixp = self._ixps.ixp_for_address(hop.address)
+        if ixp is not None:
+            return ResolvedHop(
+                address=hop.address,
+                rtt_ms=hop.rtt_ms,
+                asn=None,
+                is_private=False,
+                ixp_id=ixp.ixp_id,
+                resolved_by="ixp",
+            )
+        asn, resolved_by = self._resolve_address(hop.address)
+        return ResolvedHop(
+            address=hop.address,
+            rtt_ms=hop.rtt_ms,
+            asn=asn,
+            is_private=False,
+            ixp_id=None,
+            resolved_by=resolved_by,
+        )
+
+    @staticmethod
+    def _infer_last_mile(
+        hops: List[ResolvedHop], isp_asn: int
+    ) -> Tuple[Optional[str], Optional[float], Optional[float]]:
+        first = next((hop for hop in hops if hop.responded), None)
+        if first is None:
+            return None, None, None
+        router_rtt: Optional[float] = None
+        inferred: Optional[str] = None
+        if first.is_private:
+            inferred = "home"
+            router_rtt = first.rtt_ms
+        elif first.asn == isp_asn:
+            inferred = "cell"
+        usr_isp_rtt = next(
+            (hop.rtt_ms for hop in hops if hop.responded and hop.asn == isp_asn),
+            None,
+        )
+        return inferred, router_rtt, usr_isp_rtt

@@ -1,0 +1,100 @@
+"""Longest-prefix-match IP-to-ASN resolution (the PyASN equivalent).
+
+The paper resolves traceroute hops to ASNs with PyASN over a RouteViews
+RIB snapshot (section 3.3).  This module implements the same mechanism: a
+binary radix trie over (prefix, ASN) announcements with longest-prefix
+-match lookup.  Like a real RIB snapshot, the table may be incomplete --
+the loader can drop a configurable fraction of announcements, which is
+what exercises the Team Cymru fallback path.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.net.ip import IPv4Prefix
+
+
+class _TrieNode:
+    __slots__ = ("children", "asn")
+
+    def __init__(self) -> None:
+        self.children: List[Optional["_TrieNode"]] = [None, None]
+        self.asn: Optional[int] = None
+
+
+class PrefixTrie:
+    """A binary radix trie mapping IPv4 prefixes to ASNs."""
+
+    def __init__(self) -> None:
+        self._root = _TrieNode()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def insert(self, prefix: IPv4Prefix, asn: int) -> None:
+        """Insert an announcement; later inserts overwrite equal prefixes."""
+        node = self._root
+        for depth in range(prefix.length):
+            bit = (prefix.base >> (31 - depth)) & 1
+            if node.children[bit] is None:
+                node.children[bit] = _TrieNode()
+            node = node.children[bit]
+        if node.asn is None:
+            self._size += 1
+        node.asn = asn
+
+    def longest_match(self, address: int) -> Optional[Tuple[int, int]]:
+        """(asn, prefix_length) of the most specific covering prefix."""
+        node = self._root
+        best: Optional[Tuple[int, int]] = None
+        if node.asn is not None:
+            best = (node.asn, 0)
+        for depth in range(32):
+            bit = (address >> (31 - depth)) & 1
+            node = node.children[bit]
+            if node is None:
+                break
+            if node.asn is not None:
+                best = (node.asn, depth + 1)
+        return best
+
+
+class PyASNResolver:
+    """IP-to-ASN resolver over a (possibly incomplete) RIB snapshot."""
+
+    def __init__(
+        self,
+        announcements: Iterable[Tuple[IPv4Prefix, int]],
+        coverage: float = 1.0,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        """``coverage`` < 1 drops a random share of announcements,
+        simulating an incomplete RIB snapshot."""
+        if not 0.0 < coverage <= 1.0:
+            raise ValueError(f"coverage must be in (0, 1], got {coverage}")
+        if coverage < 1.0 and rng is None:
+            raise ValueError("an rng is required when coverage < 1")
+        self._trie = PrefixTrie()
+        self._dropped = 0
+        for prefix, asn in announcements:
+            if coverage < 1.0 and rng.random() >= coverage:
+                self._dropped += 1
+                continue
+            self._trie.insert(prefix, asn)
+
+    @property
+    def announcement_count(self) -> int:
+        return len(self._trie)
+
+    @property
+    def dropped_count(self) -> int:
+        return self._dropped
+
+    def lookup(self, address: int) -> Optional[int]:
+        """ASN announcing ``address``, or ``None`` if not in the table."""
+        match = self._trie.longest_match(address)
+        return None if match is None else match[0]

@@ -1,0 +1,55 @@
+"""Shared fixtures.
+
+The world/dataset/context fixtures are session-scoped: building the
+synthetic Internet and running a multi-week campaign is the expensive
+part of the pipeline, and every integration test shares one instance.
+Tests must treat them as read-only.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+# Make tests/helpers.py importable as `helpers` from any test module.
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro import build_world, run_campaign
+from repro.experiments import StudyContext
+
+#: Seed and scale used by the shared study fixtures.
+STUDY_SEED = 7
+STUDY_SCALE = 0.02
+STUDY_DAYS = 21
+
+
+@pytest.fixture(scope="session")
+def world():
+    """A fully-built study world (read-only)."""
+    return build_world(seed=STUDY_SEED, scale=STUDY_SCALE)
+
+
+@pytest.fixture(scope="session")
+def dataset(world):
+    """A three-week campaign over both platforms (read-only)."""
+    return run_campaign(world, days=STUDY_DAYS)
+
+
+@pytest.fixture(scope="session")
+def context(world, dataset):
+    """Shared experiment context with cached resolved traceroutes."""
+    return StudyContext(world, dataset)
+
+
+@pytest.fixture(scope="session")
+def resolved_traces(context):
+    return context.resolved_traces
+
+
+@pytest.fixture()
+def rng():
+    """A fresh, per-test deterministic generator."""
+    return np.random.default_rng(1234)

@@ -1,0 +1,70 @@
+"""Builders for hand-crafted measurements used by analysis unit tests."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.geo.continents import Continent
+from repro.lastmile.base import AccessKind
+from repro.measure.results import (
+    MeasurementDataset,
+    MeasurementMeta,
+    PingMeasurement,
+    Protocol,
+    TraceHop,
+    TracerouteMeasurement,
+)
+
+
+def make_meta(
+    probe_id="p1",
+    platform="speedchecker",
+    country="DE",
+    continent=Continent.EU,
+    access=AccessKind.HOME_WIFI,
+    isp_asn=3320,
+    provider_code="GCP",
+    region_id="frankfurt-2",
+    region_country="DE",
+    region_continent=Continent.EU,
+    day=0,
+    city_key=(50, 8),
+) -> MeasurementMeta:
+    return MeasurementMeta(
+        probe_id=probe_id,
+        platform=platform,
+        country=country,
+        continent=Continent(continent),
+        access=AccessKind(access),
+        isp_asn=isp_asn,
+        provider_code=provider_code,
+        region_id=region_id,
+        region_country=region_country,
+        region_continent=Continent(region_continent),
+        day=day,
+        city_key=city_key,
+    )
+
+
+def make_ping(
+    samples: Sequence[float],
+    protocol: Protocol = Protocol.TCP,
+    **meta_kwargs,
+) -> PingMeasurement:
+    return PingMeasurement(
+        meta=make_meta(**meta_kwargs),
+        protocol=Protocol(protocol),
+        samples=tuple(float(s) for s in samples),
+    )
+
+
+def dataset_of(*measurements) -> MeasurementDataset:
+    dataset = MeasurementDataset()
+    for measurement in measurements:
+        if isinstance(measurement, PingMeasurement):
+            dataset.add_ping(measurement)
+        elif isinstance(measurement, TracerouteMeasurement):
+            dataset.add_traceroute(measurement)
+        else:
+            raise TypeError(f"unsupported measurement {measurement!r}")
+    return dataset

@@ -1,0 +1,89 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for experiment_id in ("table1", "fig4", "fig19", "stats"):
+            assert experiment_id in output
+
+
+class TestSummary:
+    def test_prints_inventory(self, capsys):
+        assert main(["summary", "--scale", "0.005", "--seed", "3"]) == 0
+        assert "195 cloud regions" in capsys.readouterr().out
+
+
+class TestCampaignAndExperiment:
+    def test_campaign_then_experiment(self, tmp_path, capsys):
+        output = tmp_path / "study.jsonl.gz"
+        assert (
+            main(
+                [
+                    "campaign",
+                    "--scale", "0.005",
+                    "--seed", "3",
+                    "--days", "3",
+                    "-o", str(output),
+                ]
+            )
+            == 0
+        )
+        assert output.exists()
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "experiment", "fig4",
+                    "--scale", "0.005",
+                    "--seed", "3",
+                    "--dataset", str(output),
+                ]
+            )
+            == 0
+        )
+        rendered = capsys.readouterr().out
+        assert "fig4" in rendered
+        assert "Continent" in rendered
+
+    def test_world_only_experiment_without_dataset(self, capsys):
+        assert (
+            main(["experiment", "table1", "--scale", "0.005", "--seed", "3"])
+            == 0
+        )
+        assert "195" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+
+class TestTakeaways:
+    def test_exit_code_reflects_outcome(self, tmp_path, capsys):
+        output = tmp_path / "study.jsonl"
+        main(
+            [
+                "campaign",
+                "--scale", "0.006",
+                "--seed", "5",
+                "--days", "4",
+                "-o", str(output),
+            ]
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "takeaways",
+                "--scale", "0.006",
+                "--seed", "5",
+                "--dataset", str(output),
+            ]
+        )
+        report = capsys.readouterr().out
+        assert "takeaways hold" in report
+        assert code in (0, 1)

@@ -1,0 +1,52 @@
+"""Reproducibility: the same seed must produce the same study."""
+
+import hashlib
+
+import pytest
+
+from repro import build_world, run_campaign
+
+
+def dataset_digest(dataset) -> str:
+    hasher = hashlib.sha256()
+    for ping in dataset.pings():
+        hasher.update(ping.meta.probe_id.encode())
+        hasher.update(ping.meta.region_id.encode())
+        hasher.update(repr(ping.samples).encode())
+    for trace in dataset.traceroutes():
+        hasher.update(trace.meta.probe_id.encode())
+        hasher.update(repr([(h.address, h.rtt_ms) for h in trace.hops]).encode())
+    return hasher.hexdigest()
+
+
+class TestDeterminism:
+    def test_same_seed_same_dataset(self):
+        first = run_campaign(build_world(seed=99, scale=0.006), days=3)
+        second = run_campaign(build_world(seed=99, scale=0.006), days=3)
+        assert dataset_digest(first) == dataset_digest(second)
+
+    def test_different_seed_different_dataset(self):
+        first = run_campaign(build_world(seed=99, scale=0.006), days=3)
+        second = run_campaign(build_world(seed=100, scale=0.006), days=3)
+        assert dataset_digest(first) != dataset_digest(second)
+
+    def test_same_seed_same_topology(self):
+        a = build_world(seed=55, scale=0.006)
+        b = build_world(seed=55, scale=0.006)
+        assert len(a.topology.registry) == len(b.topology.registry)
+        assert a.topology.base_graph.edge_count() == b.topology.base_graph.edge_count()
+        for code in ("GCP", "DO"):
+            assert (
+                a.topology.peerings[code].direct_isps
+                == b.topology.peerings[code].direct_isps
+            )
+
+    def test_same_seed_same_probe_fleet(self):
+        a = build_world(seed=55, scale=0.006)
+        b = build_world(seed=55, scale=0.006)
+        ids_a = [p.probe_id for p in a.speedchecker.probes]
+        ids_b = [p.probe_id for p in b.speedchecker.probes]
+        assert ids_a == ids_b
+        assert [p.public_address for p in a.speedchecker.probes] == [
+            p.public_address for p in b.speedchecker.probes
+        ]

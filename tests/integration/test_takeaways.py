@@ -1,0 +1,34 @@
+"""Tests for the takeaway evaluator."""
+
+import pytest
+
+from repro.experiments import evaluate_takeaways, render_takeaways
+
+
+@pytest.fixture(scope="module")
+def checks(world, dataset, context):
+    return evaluate_takeaways(world, dataset, context=context)
+
+
+class TestEvaluateTakeaways:
+    def test_all_sections_covered(self, checks):
+        sections = {check.section for check in checks}
+        assert sections == {"4.1", "4.2", "4.3", "5", "6.1"}
+
+    def test_every_takeaway_holds_on_default_study(self, checks):
+        broken = [check for check in checks if not check.holds]
+        assert not broken, render_takeaways(broken)
+
+    def test_evidence_populated(self, checks):
+        for check in checks:
+            assert check.evidence
+            assert check.claim
+
+    def test_render(self, checks):
+        report = render_takeaways(checks)
+        assert "HOLDS" in report
+        assert f"{len(checks)}/{len(checks)} takeaways hold" in report
+
+    def test_counts(self, checks):
+        # 3 (4.1) + 1 (4.2) + 1 (4.3) + 2 (5) + 2 (6.1)
+        assert len(checks) == 9

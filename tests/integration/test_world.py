@@ -1,0 +1,102 @@
+"""Integration tests for world construction."""
+
+import pytest
+
+from repro import build_world
+from repro.geo.continents import Continent
+from repro.net.asn import ASKind
+
+
+class TestWorldInventory:
+    def test_summary_mentions_components(self, world):
+        summary = world.summary()
+        assert "195 cloud regions" in summary
+        assert "countries" in summary
+
+    def test_provider_lookup(self, world):
+        assert world.provider("GCP").name == "Google"
+        with pytest.raises(KeyError):
+            world.provider("NOPE")
+
+    def test_region_lookup(self, world):
+        region = world.catalog.for_provider("GCP")[0]
+        assert world.region("GCP", region.region_id) == region
+        with pytest.raises(KeyError):
+            world.region("GCP", "nowhere-9")
+
+    def test_every_region_has_unique_address(self, world):
+        addresses = list(world.region_addresses.values())
+        assert len(addresses) == 195
+        assert len(set(addresses)) == 195
+
+    def test_region_addresses_inside_operator_prefix(self, world):
+        for region in world.catalog:
+            network = world.topology.network_code(region.provider_code)
+            cloud_as = world.topology.registry.cloud_for_provider(network)
+            assert cloud_as.announces(world.region_address(region))
+
+    def test_wans_cover_all_networks(self, world):
+        networks = {
+            world.topology.network_code(p.code) for p in world.providers
+        }
+        assert set(world.wans) == networks
+
+
+class TestTopologyShape:
+    def test_tier1_mesh(self, world):
+        tier1 = world.topology.tier1_asns
+        assert len(tier1) == 12
+        graph = world.topology.base_graph
+        for i, a in enumerate(tier1):
+            for b in tier1[i + 1:]:
+                assert graph.relationship_between(a, b) is not None
+
+    def test_every_country_has_access_isps(self, world):
+        for country in world.countries:
+            isps = world.topology.registry.access_in_country(country.iso)
+            assert len(isps) >= 3 or country.iso in ("BH",), country.iso
+
+    def test_named_isps_present(self, world):
+        registry = world.topology.registry
+        for asn, name_part in [
+            (3320, "Telekom"),
+            (4713, "NTT"),
+            (15895, "Kyivstar"),
+            (5416, "Batelco"),
+        ]:
+            assert name_part in registry.get(asn).name
+
+    def test_nine_cloud_networks(self, world):
+        clouds = world.topology.registry.of_kind(ASKind.CLOUD)
+        assert len(clouds) == 9
+
+    def test_all_isps_reach_all_providers(self, world):
+        topology = world.topology
+        for continent in Continent:
+            for provider_code in ("GCP", "VLTR", "BABA"):
+                table = topology.routes_for(provider_code, continent)
+                for isp in world.topology.registry.of_kind(ASKind.ACCESS)[::17]:
+                    assert table.as_path(isp.asn) is not None
+
+    def test_scoped_routing_differs_by_continent_for_do(self, world):
+        """DigitalOcean PNIs are EU/NA-scoped: path lengths from the same
+        ISP set must (in aggregate) be shorter when routed with EU scope
+        than with AS scope."""
+        topology = world.topology
+        eu_table = topology.routes_for("DO", Continent.EU)
+        as_table = topology.routes_for("DO", Continent.AS)
+        isps = world.topology.registry.of_kind(ASKind.ACCESS)
+        eu_lengths = [eu_table.distance(isp.asn) for isp in isps]
+        as_lengths = [as_table.distance(isp.asn) for isp in isps]
+        assert sum(eu_lengths) < sum(as_lengths)
+
+    def test_ixps_exist_in_every_continent(self, world):
+        for continent in Continent:
+            assert world.topology.ixps.in_continent(continent)
+
+
+class TestScaling:
+    def test_scale_changes_fleet_size(self):
+        small = build_world(seed=3, scale=0.005)
+        assert len(small.speedchecker) < 1500
+        assert len(small.atlas) >= 100  # floor applies

@@ -1,0 +1,97 @@
+"""Tests for repro.net.asn."""
+
+import pytest
+
+from repro.geo.continents import Continent
+from repro.geo.coords import GeoPoint
+from repro.net.asn import AS, ASKind, ASRegistry, next_free_asn
+from repro.net.ip import IPv4Prefix
+
+
+def make_as(asn, kind=ASKind.ACCESS, country="DE", provider=None, prefix="11.0.0.0/20"):
+    return AS(
+        asn=asn,
+        name=f"AS{asn}",
+        kind=kind,
+        country=country,
+        continent=Continent.EU,
+        home=GeoPoint(50.0, 8.0),
+        prefixes=[IPv4Prefix.parse(prefix)],
+        provider_code=provider,
+    )
+
+
+class TestAS:
+    def test_positive_asn_required(self):
+        with pytest.raises(ValueError, match="positive"):
+            make_as(0)
+
+    def test_announces(self):
+        autonomous_system = make_as(1, prefix="11.1.0.0/16")
+        assert autonomous_system.announces(IPv4Prefix.parse("11.1.0.0/16").base + 5)
+        assert not autonomous_system.announces(IPv4Prefix.parse("11.2.0.0/16").base)
+
+    def test_hash_by_asn(self):
+        assert hash(make_as(5)) == hash(make_as(5))
+
+
+class TestASRegistry:
+    def test_add_and_get(self):
+        registry = ASRegistry()
+        added = registry.add(make_as(10))
+        assert registry.get(10) is added
+        assert 10 in registry
+        assert len(registry) == 1
+
+    def test_duplicate_rejected(self):
+        registry = ASRegistry()
+        registry.add(make_as(10))
+        with pytest.raises(ValueError, match="duplicate"):
+            registry.add(make_as(10))
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown ASN"):
+            ASRegistry().get(99)
+
+    def test_find_returns_none(self):
+        assert ASRegistry().find(99) is None
+
+    def test_of_kind(self):
+        registry = ASRegistry()
+        registry.add(make_as(1, kind=ASKind.TIER1, country=None))
+        registry.add(make_as(2, kind=ASKind.ACCESS))
+        assert [a.asn for a in registry.of_kind(ASKind.TIER1)] == [1]
+        assert registry.of_kind(ASKind.TRANSIT) == []
+
+    def test_access_in_country(self):
+        registry = ASRegistry()
+        registry.add(make_as(1, country="DE"))
+        registry.add(make_as(2, country="FR"))
+        assert [a.asn for a in registry.access_in_country("DE")] == [1]
+        assert registry.access_in_country("XX") == []
+
+    def test_cloud_for_provider(self):
+        registry = ASRegistry()
+        registry.add(make_as(100, kind=ASKind.CLOUD, country=None, provider="GCP"))
+        assert registry.cloud_for_provider("GCP").asn == 100
+        with pytest.raises(KeyError, match="no cloud AS"):
+            registry.cloud_for_provider("AMZN")
+
+    def test_prefix_table_covers_all(self):
+        registry = ASRegistry()
+        registry.add(make_as(1, prefix="11.1.0.0/16"))
+        registry.add(make_as(2, prefix="11.2.0.0/16"))
+        table = registry.prefix_table()
+        assert len(table) == 2
+        assert {asn for _, asn in table} == {1, 2}
+
+
+class TestNextFreeAsn:
+    def test_skips_taken(self):
+        registry = ASRegistry()
+        registry.add(make_as(100))
+        registry.add(make_as(101))
+        assert next_free_asn(registry, 100) == 102
+
+    def test_returns_start_when_free(self):
+        assert next_free_asn(ASRegistry(), 500) == 500

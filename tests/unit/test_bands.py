@@ -1,0 +1,89 @@
+"""Tests for repro.analysis.bands."""
+
+import pytest
+
+from helpers import dataset_of, make_ping
+
+from repro.analysis.bands import (
+    continent_distributions,
+    country_latency_bands,
+    threshold_compliance,
+)
+from repro.geo.continents import Continent
+from repro.geo.countries import default_registry
+
+
+def banded_dataset():
+    """DE probe at ~40 ms, EG probe at ~300 ms (nearest-DC samples)."""
+    measurements = []
+    for i in range(4):
+        measurements.append(
+            make_ping([40.0, 42.0, 41.0], probe_id="de", region_id="fra")
+        )
+        measurements.append(
+            make_ping(
+                [300.0, 305.0, 310.0],
+                probe_id="eg",
+                country="EG",
+                continent=Continent.AF,
+                region_id="jnb",
+                region_country="ZA",
+                region_continent=Continent.AF,
+            )
+        )
+    return dataset_of(*measurements)
+
+
+class TestCountryLatencyBands:
+    def test_bands_and_medians(self):
+        bands = country_latency_bands(
+            banded_dataset(), default_registry(), min_samples=5
+        )
+        by_country = {band.country: band for band in bands}
+        assert by_country["DE"].band == "30-60 ms"
+        assert by_country["EG"].band == ">250 ms"
+        assert by_country["DE"].median_rtt_ms == pytest.approx(41.0)
+
+    def test_min_samples_filter(self):
+        bands = country_latency_bands(
+            banded_dataset(), default_registry(), min_samples=1000
+        )
+        assert bands == []
+
+    def test_continent_attached(self):
+        bands = country_latency_bands(
+            banded_dataset(), default_registry(), min_samples=5
+        )
+        by_country = {band.country: band for band in bands}
+        assert by_country["EG"].continent is Continent.AF
+
+
+class TestContinentDistributions:
+    def test_threshold_fractions(self):
+        distributions = continent_distributions(banded_dataset())
+        eu = distributions[Continent.EU]
+        assert eu.below_mtp == 0.0
+        assert eu.below_hpl == 1.0
+        assert eu.below_hrt == 1.0
+        af = distributions[Continent.AF]
+        assert af.below_hrt == 0.0
+
+    def test_sample_counts(self):
+        distributions = continent_distributions(banded_dataset())
+        assert distributions[Continent.EU].sample_count == 12
+
+    def test_percentiles_ordered(self):
+        for dist in continent_distributions(banded_dataset()).values():
+            assert dist.median_rtt_ms <= dist.p90_rtt_ms
+
+
+class TestThresholdCompliance:
+    def test_counts(self):
+        bands = country_latency_bands(
+            banded_dataset(), default_registry(), min_samples=5
+        )
+        total, mtp, hpl, hrt = threshold_compliance(bands)
+        assert total == 2
+        assert mtp == 0
+        assert hpl == 1  # only DE
+        assert hrt == 1  # EG above 250

@@ -1,0 +1,89 @@
+"""Tests for repro.analysis.compare (platform differences)."""
+
+import numpy as np
+import pytest
+
+from helpers import dataset_of, make_ping
+
+from repro.analysis.compare import (
+    matched_city_asn_differences,
+    platform_differences,
+)
+from repro.geo.continents import Continent
+
+
+def comparison_dataset():
+    """Speedchecker ~50 ms vs Atlas ~30 ms in EU; reversed in SA."""
+    measurements = []
+    for i in range(6):
+        measurements.append(
+            make_ping([50.0, 52.0], probe_id=f"sc{i}", platform="speedchecker")
+        )
+        measurements.append(
+            make_ping([30.0, 31.0], probe_id=f"at{i}", platform="atlas")
+        )
+        measurements.append(
+            make_ping(
+                [40.0, 41.0],
+                probe_id=f"scsa{i}",
+                platform="speedchecker",
+                country="BR",
+                continent=Continent.SA,
+                region_country="BR",
+                region_continent=Continent.SA,
+                region_id="gru",
+            )
+        )
+        measurements.append(
+            make_ping(
+                [90.0, 95.0],
+                probe_id=f"atsa{i}",
+                platform="atlas",
+                country="CO",
+                continent=Continent.SA,
+                region_country="BR",
+                region_continent=Continent.SA,
+                region_id="gru",
+            )
+        )
+    return dataset_of(*measurements)
+
+
+class TestPlatformDifferences:
+    def test_direction_per_continent(self, rng):
+        differences = platform_differences(
+            comparison_dataset(), rng, min_samples=4
+        )
+        assert differences[Continent.EU].median_difference_ms > 0  # Atlas faster
+        assert differences[Continent.SA].median_difference_ms < 0  # SC faster
+        assert differences[Continent.EU].speedchecker_faster_share == 0.0
+        assert differences[Continent.SA].speedchecker_faster_share == 1.0
+
+    def test_min_samples_excludes_thin_continents(self, rng):
+        differences = platform_differences(
+            comparison_dataset(), rng, min_samples=1000
+        )
+        assert differences == {}
+
+    def test_percentiles_monotone(self, rng):
+        differences = platform_differences(comparison_dataset(), rng, min_samples=4)
+        for diff in differences.values():
+            percentiles = list(diff.percentiles)
+            assert percentiles == sorted(percentiles)
+
+
+class TestMatchedCityAsn:
+    def test_matched_groups_compared(self, rng):
+        differences = matched_city_asn_differences(
+            comparison_dataset(), rng, min_samples=4, min_groups=1
+        )
+        # EU group matches on (city, ASN, region); SC is slower there.
+        assert Continent.EU in differences
+        assert differences[Continent.EU].median_difference_ms > 0
+
+    def test_no_intersection_no_output(self, rng):
+        dataset = dataset_of(
+            make_ping([10.0], platform="speedchecker", city_key=(1, 1)),
+            make_ping([20.0], platform="atlas", city_key=(2, 2)),
+        )
+        assert matched_city_asn_differences(dataset, rng, min_samples=1) == {}

@@ -1,0 +1,55 @@
+"""Tests for repro.analysis.composition (dataset makeup, section 3.3)."""
+
+import pytest
+
+from helpers import dataset_of, make_ping
+
+from repro.analysis.composition import dataset_composition
+from repro.geo.continents import Continent
+from repro.measure.results import MeasurementDataset
+
+
+class TestDatasetComposition:
+    def test_shares_sum_to_one(self, dataset):
+        report = dataset_composition(dataset)
+        assert sum(report.continent_share.values()) == pytest.approx(1.0)
+
+    def test_intra_dominates_for_africa(self, dataset):
+        # Paper: intra-continental measurements take the larger share
+        # (~70/30) for Africa and South America.
+        report = dataset_composition(dataset)
+        assert report.intra_share[Continent.AF] > 0.5
+        assert report.intra_share[Continent.SA] > 0.5
+
+    def test_provisioned_continents_are_purely_intra(self, dataset):
+        report = dataset_composition(dataset)
+        # EU/NA probes only target their own continent, so they never
+        # appear in the intra/inter breakdown (no inter samples).
+        assert Continent.EU not in report.intra_share
+        assert Continent.NA not in report.intra_share
+
+    def test_synthetic_counts(self):
+        dataset = dataset_of(
+            make_ping([1.0, 2.0]),  # EU intra
+            make_ping(
+                [1.0],
+                country="EG",
+                continent=Continent.AF,
+                region_continent=Continent.AF,
+                region_country="ZA",
+            ),
+            make_ping(
+                [1.0, 2.0, 3.0],
+                country="EG",
+                continent=Continent.AF,
+                region_continent=Continent.EU,
+            ),
+        )
+        report = dataset_composition(dataset)
+        assert report.total_samples == 6
+        assert report.continent_share[Continent.AF] == pytest.approx(4 / 6)
+        assert report.intra_share[Continent.AF] == pytest.approx(0.25)
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ValueError, match="no ping samples"):
+            dataset_composition(MeasurementDataset())

@@ -1,0 +1,100 @@
+"""Tests for repro.core.config."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.config import (
+    CampaignConfig,
+    LastMileConfig,
+    PathModelConfig,
+    PlatformConfig,
+    SimulationConfig,
+)
+
+
+class TestSimulationConfig:
+    def test_defaults_are_valid(self):
+        config = SimulationConfig()
+        assert config.seed >= 0
+        assert config.scale > 0
+        assert config.valley_free_routing
+        assert config.private_wan_advantage
+        assert config.wireless_last_mile
+
+    def test_scaled_rounds_and_floors(self):
+        config = SimulationConfig(scale=0.01)
+        assert config.scaled(1000) == 10
+        assert config.scaled(10, minimum=5) == 5
+
+    def test_scaled_minimum_default_is_one(self):
+        assert SimulationConfig(scale=0.0001).scaled(100) == 1
+
+    def test_zero_scale_rejected(self):
+        with pytest.raises(ValueError, match="scale"):
+            SimulationConfig(scale=0.0)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError, match="seed"):
+            SimulationConfig(seed=-3)
+
+    def test_replace_builds_ablation_variants(self):
+        config = SimulationConfig()
+        ablated = replace(config, private_wan_advantage=False)
+        assert not ablated.private_wan_advantage
+        assert config.private_wan_advantage  # original untouched
+
+
+class TestPathModelConfig:
+    def test_private_stretch_below_public(self):
+        config = PathModelConfig()
+        assert config.private_wan_stretch < config.private_peering_stretch
+        assert config.private_peering_stretch < config.public_stretch
+
+    def test_private_jitter_below_public(self):
+        config = PathModelConfig()
+        assert config.private_jitter_sigma < config.public_jitter_sigma
+
+    def test_backhaul_penalties_cover_underprovisioned_continents(self):
+        config = PathModelConfig()
+        assert config.continent_backhaul_stretch["AF"] > config.continent_backhaul_stretch["SA"]
+        assert "AS" in config.continent_backhaul_stretch
+
+    def test_icmp_penalty_is_small_in_expectation(self):
+        config = PathModelConfig()
+        expected = config.icmp_penalty_probability * (config.icmp_penalty_factor - 1)
+        assert expected < 0.05  # the paper reports a ~2% TCP/ICMP gap
+
+
+class TestLastMileConfig:
+    def test_wireless_medians_exceed_wired(self):
+        config = LastMileConfig()
+        assert config.cellular_median_ms > config.wired_median_ms
+        assert (
+            config.wifi_air_median_ms + config.home_wire_median_ms
+            > config.wired_median_ms
+        )
+
+    def test_china_has_best_quality(self):
+        config = LastMileConfig()
+        assert config.country_quality["CN"] == min(config.country_quality.values())
+
+
+class TestPlatformConfig:
+    def test_fleet_sizes_match_paper(self):
+        config = PlatformConfig()
+        assert config.speedchecker_total_probes == 115_000
+        assert config.atlas_total_probes == 8_500
+
+    def test_availability_matches_paper_ratio(self):
+        # ~29k of 115k connected at any time.
+        config = PlatformConfig()
+        assert config.speedchecker_availability == pytest.approx(0.25, abs=0.05)
+
+
+class TestCampaignConfig:
+    def test_six_month_default(self):
+        assert CampaignConfig().days == 180
+
+    def test_two_week_cycle(self):
+        assert CampaignConfig().cycle_days == 14

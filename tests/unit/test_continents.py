@@ -1,0 +1,46 @@
+"""Tests for repro.geo.continents."""
+
+import pytest
+
+from repro.geo.continents import (
+    CONTINENTS,
+    INTERCONTINENTAL_TARGETS,
+    Continent,
+    continent_name,
+)
+
+
+class TestContinent:
+    def test_six_continents(self):
+        assert len(Continent) == 6
+        assert len(CONTINENTS) == 6
+
+    def test_codes_match_paper(self):
+        assert {c.value for c in Continent} == {"EU", "NA", "SA", "AS", "AF", "OC"}
+
+    def test_string_coercion(self):
+        assert Continent("EU") is Continent.EU
+        assert str(Continent.AF) == "AF"
+
+    def test_names(self):
+        assert continent_name(Continent.EU) == "Europe"
+        assert continent_name(Continent.SA) == "South America"
+
+    def test_unknown_code_raises(self):
+        with pytest.raises(ValueError):
+            Continent("XX")
+
+
+class TestIntercontinentalTargets:
+    def test_africa_targets_europe_and_north_america(self):
+        assert INTERCONTINENTAL_TARGETS[Continent.AF] == (
+            Continent.EU,
+            Continent.NA,
+        )
+
+    def test_south_america_targets_north_america(self):
+        assert INTERCONTINENTAL_TARGETS[Continent.SA] == (Continent.NA,)
+
+    def test_well_provisioned_continents_have_no_targets(self):
+        for continent in (Continent.EU, Continent.NA, Continent.AS, Continent.OC):
+            assert continent not in INTERCONTINENTAL_TARGETS

@@ -1,0 +1,154 @@
+"""Tests for repro.geo.countries."""
+
+import pytest
+
+from repro.geo.continents import Continent
+from repro.geo.countries import COUNTRIES, Country, CountryRegistry, default_registry
+from repro.geo.coords import GeoPoint
+
+
+class TestCountryTable:
+    def test_unique_iso_codes(self):
+        codes = [country.iso for country in COUNTRIES]
+        assert len(codes) == len(set(codes))
+
+    def test_every_continent_represented(self):
+        present = {country.continent for country in COUNTRIES}
+        assert present == set(Continent)
+
+    def test_paper_case_study_countries_present(self):
+        registry = default_registry()
+        for iso in ("DE", "GB", "JP", "IN", "UA", "BH"):
+            assert iso in registry
+
+    def test_fig6_countries_present(self):
+        registry = default_registry()
+        for iso in ("DZ", "EG", "ET", "KE", "MA", "SN", "TN", "ZA"):
+            assert registry.get(iso).continent is Continent.AF
+        for iso in ("AR", "BO", "BR", "CL", "CO", "EC", "PE", "VE"):
+            assert registry.get(iso).continent is Continent.SA
+
+    def test_fig9_countries_present(self):
+        registry = default_registry()
+        for iso in ("ZA", "MA", "JP", "IR", "GB", "UA", "US", "MX", "BR", "AR"):
+            assert iso in registry
+
+    def test_documented_speedchecker_density_leaders(self):
+        # DE, GB, IR, JP have the densest Speedchecker coverage (sec 3.2).
+        registry = default_registry()
+        for iso in ("DE", "GB", "IR", "JP"):
+            assert registry.get(iso).speedchecker_bias >= 2.0
+
+    def test_atlas_skews_south_in_africa(self):
+        registry = default_registry()
+        assert registry.get("ZA").atlas_bias > registry.get("EG").atlas_bias
+
+    def test_speedchecker_skews_north_in_africa(self):
+        registry = default_registry()
+        assert registry.get("EG").speedchecker_bias > registry.get("ZA").speedchecker_bias
+
+    def test_brazil_dominates_speedchecker_sa(self):
+        registry = default_registry()
+        brazil = registry.get("BR")
+        others = [
+            country
+            for country in registry.in_continent(Continent.SA)
+            if country.iso != "BR"
+        ]
+        assert brazil.internet_users_m * brazil.speedchecker_bias > sum(
+            country.internet_users_m * country.speedchecker_bias
+            for country in others
+        )
+
+    def test_china_speedchecker_presence_is_thin(self):
+        assert default_registry().get("CN").speedchecker_bias < 0.5
+
+    def test_islands_flagged(self):
+        registry = default_registry()
+        for iso in ("JP", "GB", "ID", "NZ"):
+            assert registry.get(iso).island
+        for iso in ("DE", "IN", "BH", "US"):
+            assert not registry.get(iso).island
+
+
+class TestCountryValidation:
+    def test_lowercase_iso_rejected(self):
+        with pytest.raises(ValueError, match="iso"):
+            Country(
+                iso="de",
+                name="x",
+                continent=Continent.EU,
+                centroid=GeoPoint(0, 0),
+                population_m=1.0,
+                internet_share=0.5,
+                spread_radius_km=100,
+            )
+
+    def test_zero_population_rejected(self):
+        with pytest.raises(ValueError, match="population"):
+            Country(
+                iso="XX",
+                name="x",
+                continent=Continent.EU,
+                centroid=GeoPoint(0, 0),
+                population_m=0.0,
+                internet_share=0.5,
+                spread_radius_km=100,
+            )
+
+    def test_internet_share_above_one_rejected(self):
+        with pytest.raises(ValueError, match="internet share"):
+            Country(
+                iso="XX",
+                name="x",
+                continent=Continent.EU,
+                centroid=GeoPoint(0, 0),
+                population_m=1.0,
+                internet_share=1.5,
+                spread_radius_km=100,
+            )
+
+    def test_internet_users_product(self):
+        country = default_registry().get("DE")
+        assert country.internet_users_m == pytest.approx(
+            country.population_m * country.internet_share
+        )
+
+
+class TestCountryRegistry:
+    def test_length_matches_table(self):
+        assert len(default_registry()) == len(COUNTRIES)
+
+    def test_get_unknown_raises_keyerror(self):
+        with pytest.raises(KeyError, match="XX"):
+            default_registry().get("XX")
+
+    def test_find_returns_none_for_unknown(self):
+        assert default_registry().find("XX") is None
+
+    def test_contains(self):
+        registry = default_registry()
+        assert "DE" in registry
+        assert "XX" not in registry
+
+    def test_in_continent_filters(self):
+        for country in default_registry().in_continent(Continent.OC):
+            assert country.continent is Continent.OC
+
+    def test_continent_of(self):
+        assert default_registry().continent_of("BR") is Continent.SA
+
+    def test_duplicate_country_rejected(self):
+        country = default_registry().get("DE")
+        with pytest.raises(ValueError, match="duplicate"):
+            CountryRegistry([country, country])
+
+    def test_total_internet_users_positive(self):
+        assert default_registry().total_internet_users_m() > 2000.0
+
+    def test_iteration_yields_all(self):
+        registry = default_registry()
+        assert len(list(registry)) == len(registry)
+
+    def test_default_registry_is_cached(self):
+        assert default_registry() is default_registry()

@@ -1,0 +1,74 @@
+"""Tests for the canonical data tables (repro.datasets)."""
+
+import pytest
+
+from repro.datasets.carriers import TIER1_CARRIERS
+from repro.datasets.isps import NAMED_ISPS, named_isps_by_country
+from repro.datasets.ixps import IXP_SITES
+from repro.geo.continents import Continent
+from repro.geo.countries import default_registry
+
+
+class TestCarriers:
+    def test_twelve_carriers(self):
+        assert len(TIER1_CARRIERS) == 12
+
+    def test_unique_asns(self):
+        asns = [carrier.asn for carrier in TIER1_CARRIERS]
+        assert len(asns) == len(set(asns))
+
+    def test_paper_named_carriers_present(self):
+        """Telia (1299) and GTT (3257) are named in section 6.1; NTT
+        (2914) and TATA (6453) in section 6.2."""
+        asns = {carrier.asn for carrier in TIER1_CARRIERS}
+        assert {1299, 3257, 2914, 6453} <= asns
+
+    def test_home_countries_registered(self):
+        registry = default_registry()
+        for carrier in TIER1_CARRIERS:
+            assert carrier.country in registry
+
+
+class TestNamedIsps:
+    def test_unique_asns(self):
+        asns = [spec.asn for spec in NAMED_ISPS]
+        assert len(asns) == len(set(asns))
+
+    def test_case_study_countries_have_named_isps(self):
+        grouped = named_isps_by_country()
+        assert len(grouped["DE"]) == 5  # Fig. 12a shows five German ISPs
+        assert len(grouped["JP"]) == 5  # Fig. 13a
+        assert len(grouped["UA"]) == 5  # Fig. 17a
+        assert len(grouped["BH"]) == 4  # Fig. 18a
+
+    def test_paper_figure_asns(self):
+        by_asn = {spec.asn: spec for spec in NAMED_ISPS}
+        assert by_asn[3320].name == "D. Telekom"
+        assert by_asn[17676].name == "SoftBank"
+        assert by_asn[15895].name == "Kyivstar"
+        assert by_asn[5416].name == "Batelco"
+
+    def test_countries_registered(self):
+        registry = default_registry()
+        for spec in NAMED_ISPS:
+            assert spec.country in registry
+
+    def test_no_collision_with_tier1s(self):
+        tier1_asns = {carrier.asn for carrier in TIER1_CARRIERS}
+        assert not tier1_asns & {spec.asn for spec in NAMED_ISPS}
+
+
+class TestIxpSites:
+    def test_every_continent_has_an_ixp(self):
+        continents = {site.continent for site in IXP_SITES}
+        assert continents == set(Continent)
+
+    def test_major_exchanges_present(self):
+        names = {site.name for site in IXP_SITES}
+        assert {"DE-CIX", "AMS-IX", "LINX", "IX.br"} <= names
+
+    def test_locations_in_registered_countries(self):
+        registry = default_registry()
+        for site in IXP_SITES:
+            assert site.country in registry
+            assert registry.get(site.country).continent is site.continent

@@ -1,0 +1,62 @@
+"""Tests for repro.analysis.density (Fig. 14 / section 3.2)."""
+
+import pytest
+
+from repro.analysis.density import (
+    CONTINENT_AREA_MKM2,
+    geo_density,
+    population_coverage,
+)
+from repro.geo.continents import Continent
+
+
+class TestGeoDensity:
+    def test_entries_cover_all_continents(self, world):
+        entries = geo_density(world.speedchecker.probes, world.atlas.probes)
+        assert {entry.continent for entry in entries} == set(Continent)
+
+    def test_density_is_count_over_area(self, world):
+        entries = geo_density(world.speedchecker.probes, world.atlas.probes)
+        for entry in entries:
+            area = CONTINENT_AREA_MKM2[entry.continent]
+            assert entry.speedchecker_density == pytest.approx(
+                entry.speedchecker_probes / area
+            )
+
+    def test_speedchecker_denser_everywhere(self, world):
+        # The paper: Speedchecker geoDensity exceeds Atlas in every
+        # continent (12x EU, 6x NA, 30-40x developing regions).
+        entries = geo_density(world.speedchecker.probes, world.atlas.probes)
+        for entry in entries:
+            if entry.atlas_probes == 0:
+                continue
+            assert entry.density_ratio > 1.0, entry.continent
+
+    def test_ratio_infinite_when_atlas_absent(self):
+        entries = geo_density([], [])
+        assert all(entry.density_ratio == float("inf") for entry in entries)
+
+
+class TestPopulationCoverage:
+    def test_speedchecker_covers_more_than_atlas(self, world):
+        sc = population_coverage(
+            world.speedchecker.probes, world.countries, world.topology.registry
+        )
+        atlas = population_coverage(
+            world.atlas.probes, world.countries, world.topology.registry
+        )
+        # Paper section 3.2: 95.6% vs 69.2%.
+        assert sc > atlas
+        assert sc > 0.8
+
+    def test_no_probes_no_coverage(self, world):
+        assert (
+            population_coverage([], world.countries, world.topology.registry)
+            == 0.0
+        )
+
+    def test_bounded_by_one(self, world):
+        sc = population_coverage(
+            world.speedchecker.probes, world.countries, world.topology.registry
+        )
+        assert 0.0 <= sc <= 1.0

@@ -1,0 +1,134 @@
+"""Tests for repro.platforms.deployment and the probe dataclass."""
+
+import collections
+
+import pytest
+
+from repro.geo.continents import Continent
+from repro.lastmile.base import AccessKind
+from repro.net.ip import is_private_ip
+from repro.platforms.probe import Probe
+
+
+@pytest.fixture(scope="module")
+def sc_probes(world):
+    return world.speedchecker.probes
+
+
+@pytest.fixture(scope="module")
+def atlas_probes(world):
+    return world.atlas.probes
+
+
+class TestProbeValidation:
+    def test_invalid_quality(self, sc_probes):
+        template = sc_probes[0]
+        with pytest.raises(ValueError, match="quality"):
+            Probe(
+                probe_id="x",
+                platform="speedchecker",
+                country="DE",
+                continent=Continent.EU,
+                location=template.location,
+                isp_asn=1,
+                access=AccessKind.CELLULAR,
+                device_address=template.device_address,
+                public_address=template.public_address,
+                quality=0.0,
+            )
+
+    def test_invalid_availability(self, sc_probes):
+        template = sc_probes[0]
+        with pytest.raises(ValueError, match="availability"):
+            Probe(
+                probe_id="x",
+                platform="speedchecker",
+                country="DE",
+                continent=Continent.EU,
+                location=template.location,
+                isp_asn=1,
+                access=AccessKind.CELLULAR,
+                device_address=template.device_address,
+                public_address=template.public_address,
+                availability=0.0,
+            )
+
+    def test_ip_formatting(self, sc_probes):
+        probe = sc_probes[0]
+        assert probe.device_ip.count(".") == 3
+        assert probe.public_ip.count(".") == 3
+
+
+class TestSpeedcheckerDeployment:
+    def test_every_country_has_probes(self, world, sc_probes):
+        present = {probe.country for probe in sc_probes}
+        assert present == {country.iso for country in world.countries}
+
+    def test_all_probes_wireless(self, sc_probes):
+        assert all(probe.access.is_wireless for probe in sc_probes)
+
+    def test_wifi_cellular_mix(self, sc_probes):
+        wifi = sum(1 for p in sc_probes if p.access is AccessKind.HOME_WIFI)
+        share = wifi / len(sc_probes)
+        assert 0.4 <= share <= 0.7
+
+    def test_home_probes_mostly_behind_private_device_address(self, sc_probes):
+        home = [p for p in sc_probes if p.access is AccessKind.HOME_WIFI]
+        private = sum(1 for p in home if is_private_ip(p.device_address))
+        assert private / len(home) > 0.9  # ~2% VPN/CGN artifacts
+
+    def test_cellular_probes_have_public_device_address(self, sc_probes):
+        cell = [p for p in sc_probes if p.access is AccessKind.CELLULAR]
+        assert all(not is_private_ip(p.device_address) for p in cell)
+
+    def test_public_address_in_isp_prefix(self, world, sc_probes):
+        for probe in sc_probes[:200]:
+            isp = world.topology.registry.get(probe.isp_asn)
+            assert isp.announces(probe.public_address)
+
+    def test_germany_among_densest(self, sc_probes):
+        counts = collections.Counter(probe.country for probe in sc_probes)
+        top10 = {iso for iso, _ in counts.most_common(10)}
+        assert "DE" in top10
+
+    def test_brazil_dominates_south_america(self, world, sc_probes):
+        sa = [p for p in sc_probes if p.continent is Continent.SA]
+        brazil = sum(1 for p in sa if p.country == "BR")
+        assert brazil / len(sa) > 0.6  # paper: >80% at full scale
+
+    def test_probe_ids_unique(self, sc_probes):
+        ids = [probe.probe_id for probe in sc_probes]
+        assert len(ids) == len(set(ids))
+
+    def test_availability_transient(self, sc_probes):
+        # Most probes are transient (paper: ~25% connected at a time).
+        import numpy as np
+
+        mean = np.mean([probe.availability for probe in sc_probes])
+        assert 0.15 <= mean <= 0.4
+
+
+class TestAtlasDeployment:
+    def test_all_wired(self, atlas_probes):
+        assert all(probe.access is AccessKind.WIRED for probe in atlas_probes)
+
+    def test_mostly_managed(self, atlas_probes):
+        managed = sum(1 for probe in atlas_probes if probe.managed)
+        assert managed / len(atlas_probes) > 0.55
+
+    def test_high_availability(self, atlas_probes):
+        import numpy as np
+
+        assert np.mean([p.availability for p in atlas_probes]) > 0.75
+
+    def test_smaller_fleet_than_speedchecker(self, world):
+        assert len(world.atlas) < len(world.speedchecker)
+
+    def test_south_africa_outweighs_egypt(self, atlas_probes):
+        # The Atlas Africa fleet skews south (paper 4.2).
+        za = sum(1 for p in atlas_probes if p.country == "ZA")
+        eg = sum(1 for p in atlas_probes if p.country == "EG")
+        assert za >= eg
+
+    def test_probes_in_all_continents(self, atlas_probes):
+        assert {p.continent for p in atlas_probes} == set(Continent)

@@ -1,0 +1,51 @@
+"""Tests for the Internet-flattening metrics (section 2.1 background)."""
+
+import pytest
+
+from repro.analysis.flattening import flatness_by_provider, flattening_report
+from repro.geo.continents import Continent
+
+
+@pytest.fixture(scope="module")
+def reports(world):
+    return flatness_by_provider(world)
+
+
+class TestFlattening:
+    def test_all_nine_networks_reported(self, reports):
+        assert len(reports) == 9
+
+    def test_hypergiants_are_flattest(self, reports):
+        """Google/Amazon/Microsoft traffic bypasses the hierarchy: their
+        mean AS-path length must undercut the public-backbone providers
+        (Arnold et al.'s flat-Internet observation)."""
+        for giant in ("AMZN", "GCP", "MSFT"):
+            for small in ("VLTR", "LIN", "ORCL"):
+                assert (
+                    reports[giant].mean_as_path_length
+                    < reports[small].mean_as_path_length
+                ), (giant, small)
+
+    def test_hypergiants_bypass_tier1s(self, reports):
+        for giant in ("AMZN", "GCP", "MSFT"):
+            assert reports[giant].tier1_bypass_share > 0.5, giant
+
+    def test_one_hop_share_tracks_direct_peering(self, reports):
+        assert reports["GCP"].one_hop_share > reports["VLTR"].one_hop_share
+
+    def test_small_providers_ride_the_hierarchy(self, reports):
+        for code in ("VLTR", "LIN"):
+            assert reports[code].tier1_bypass_share < 0.6, code
+
+    def test_continent_filter(self, world):
+        eu = flattening_report(world, "GCP", continents=[Continent.EU])
+        assert eu.path_count < flattening_report(world, "GCP").path_count
+        assert eu.one_hop_share > 0.5  # EU direct-peering propensity 0.78
+
+    def test_lightsail_resolves_to_amazon(self, world):
+        report = flattening_report(world, "LTSL")
+        assert report.provider_code == "AMZN"
+
+    def test_unreachable_filter_raises(self, world):
+        with pytest.raises(ValueError, match="no reachable"):
+            flattening_report(world, "GCP", continents=[])

@@ -1,0 +1,56 @@
+"""Tests for the geo-routing assessment (why the paper refrained)."""
+
+import pytest
+
+from repro.analysis.georouting import assess_geo_routing
+from repro.resolve.geoip import GeoIPDatabase
+
+
+@pytest.fixture(scope="module")
+def planned_paths(world):
+    probes = world.speedchecker.probes[:15]
+    regions = world.catalog.all()[::30]
+    return [
+        world.planner.plan(probe, region)
+        for probe in probes
+        for region in regions
+    ]
+
+
+class TestAssessGeoRouting:
+    def test_accurate_database_gives_small_errors(self, world, planned_paths, rng):
+        geoip = GeoIPDatabase(rng, typical_error_km=5.0, gross_error_share=0.0)
+        assessment = assess_geo_routing(planned_paths, geoip)
+        assert assessment.median_hop_error_km < 6.0
+        assert assessment.unreliable_path_share < 0.5
+
+    def test_realistic_database_is_unreliable(self, world, planned_paths, rng):
+        geoip = GeoIPDatabase(rng)  # defaults: 80 km typical, 8% gross
+        assessment = assess_geo_routing(planned_paths, geoip)
+        assert assessment.median_hop_error_km > 20.0
+        # A meaningful share of paths cannot be trusted for geographic
+        # routing conclusions -- the paper's section 3.3 rationale.
+        assert assessment.unreliable_path_share > 0.05
+
+    def test_more_noise_more_error(self, world, planned_paths, rng):
+        import numpy as np
+
+        low = assess_geo_routing(
+            planned_paths,
+            GeoIPDatabase(np.random.default_rng(1), typical_error_km=10.0, gross_error_share=0.0),
+        )
+        high = assess_geo_routing(
+            planned_paths,
+            GeoIPDatabase(np.random.default_rng(1), typical_error_km=500.0, gross_error_share=0.2),
+        )
+        assert high.median_hop_error_km > low.median_hop_error_km
+        assert high.p90_hop_error_km > low.p90_hop_error_km
+
+    def test_empty_input_rejected(self, rng):
+        with pytest.raises(ValueError, match="no paths"):
+            assess_geo_routing([], GeoIPDatabase(rng))
+
+    def test_hop_count_accumulates(self, world, planned_paths, rng):
+        geoip = GeoIPDatabase(rng)
+        assessment = assess_geo_routing(planned_paths, geoip)
+        assert assessment.hop_count == sum(len(p.hops) for p in planned_paths)

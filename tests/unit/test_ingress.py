@@ -1,0 +1,38 @@
+"""Tests for WAN ingress locality (section 6.2)."""
+
+import pytest
+
+from repro.analysis.ingress import ingress_by_interconnect, ingress_depth
+from repro.analysis.peering import provider_network_asns
+
+
+class TestIngressDepth:
+    def test_direct_paths_ingress_near_user(self, resolved_traces):
+        stats = ingress_by_interconnect(resolved_traces)
+        assert "direct" in stats and "intermediate" in stats
+        assert (
+            stats["direct"].mean_ingress_depth
+            < stats["intermediate"].mean_ingress_depth
+        )
+
+    def test_direct_ingress_in_first_half(self, resolved_traces):
+        stats = ingress_by_interconnect(resolved_traces)
+        assert stats["direct"].median_ingress_depth < 0.5
+
+    def test_transit_ingress_in_second_half(self, resolved_traces):
+        stats = ingress_by_interconnect(resolved_traces)
+        assert stats["intermediate"].median_ingress_depth > 0.5
+
+    def test_depth_bounds(self, resolved_traces):
+        networks = provider_network_asns()
+        for trace in resolved_traces[:300]:
+            network = networks.get(trace.meta.provider_code)
+            if network is None:
+                continue
+            depth = ingress_depth(trace, network)
+            if depth is not None:
+                assert 0.0 <= depth <= 1.0
+
+    def test_min_traces_filter(self, resolved_traces):
+        stats = ingress_by_interconnect(resolved_traces[:2], min_traces=100)
+        assert stats == {}

@@ -1,0 +1,81 @@
+"""Tests for repro.analysis.intercontinental (Fig. 6)."""
+
+import pytest
+
+from helpers import dataset_of, make_ping
+
+from repro.analysis.intercontinental import intercontinental_latency
+from repro.geo.continents import Continent
+
+
+def egypt_dataset():
+    """Egyptian probe: EU at ~60 ms, AF (ZA) at ~200 ms, NA at ~120 ms."""
+    measurements = []
+    for i in range(4):
+        common = dict(
+            probe_id="eg1", country="EG", continent=Continent.AF
+        )
+        measurements.append(
+            make_ping(
+                [60.0, 62.0], region_id="fra",
+                region_country="DE", region_continent=Continent.EU, **common,
+            )
+        )
+        measurements.append(
+            make_ping(
+                [200.0, 205.0], region_id="jnb",
+                region_country="ZA", region_continent=Continent.AF, **common,
+            )
+        )
+        measurements.append(
+            make_ping(
+                [120.0, 121.0], region_id="iad",
+                region_country="US", region_continent=Continent.NA, **common,
+            )
+        )
+    return dataset_of(*measurements)
+
+
+class TestIntercontinentalLatency:
+    def test_per_target_medians(self):
+        entries = intercontinental_latency(
+            egypt_dataset(), Continent.AF, countries=["EG"], min_samples=4
+        )
+        by_target = {entry.target_continent: entry.stats for entry in entries}
+        assert by_target[Continent.EU].median < by_target[Continent.NA].median
+        assert by_target[Continent.NA].median < by_target[Continent.AF].median
+
+    def test_nearest_region_chosen_per_target_continent(self):
+        dataset = egypt_dataset()
+        # Add a second, slower EU region: it must not pollute the stats.
+        dataset.extend(
+            dataset_of(
+                make_ping(
+                    [150.0] * 8,
+                    probe_id="eg1", country="EG", continent=Continent.AF,
+                    region_id="sto", region_country="SE",
+                    region_continent=Continent.EU,
+                )
+            )
+        )
+        entries = intercontinental_latency(
+            dataset, Continent.AF, countries=["EG"], min_samples=4
+        )
+        eu = next(e for e in entries if e.target_continent is Continent.EU)
+        assert eu.stats.median < 100.0
+
+    def test_min_samples(self):
+        entries = intercontinental_latency(
+            egypt_dataset(), Continent.AF, countries=["EG"], min_samples=100
+        )
+        assert entries == []
+
+    def test_unknown_continent_rejected(self):
+        with pytest.raises(ValueError, match="AF and SA"):
+            intercontinental_latency(egypt_dataset(), Continent.EU)
+
+    def test_default_country_lists(self):
+        entries = intercontinental_latency(
+            egypt_dataset(), Continent.AF, min_samples=4
+        )
+        assert all(entry.country == "EG" for entry in entries)

@@ -1,0 +1,167 @@
+"""Tests for repro.net.ip."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.ip import (
+    MAX_IPV4,
+    IPv4Prefix,
+    PrefixAllocator,
+    format_ip,
+    is_private_ip,
+    parse_ip,
+)
+
+addresses = st.integers(min_value=0, max_value=MAX_IPV4)
+
+
+class TestParseFormat:
+    @pytest.mark.parametrize(
+        "text,value",
+        [
+            ("0.0.0.0", 0),
+            ("255.255.255.255", MAX_IPV4),
+            ("10.0.0.1", 0x0A000001),
+            ("192.168.1.1", 0xC0A80101),
+        ],
+    )
+    def test_parse_known(self, text, value):
+        assert parse_ip(text) == value
+
+    @pytest.mark.parametrize(
+        "text", ["1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", "1..2.3"]
+    )
+    def test_parse_malformed(self, text):
+        with pytest.raises(ValueError):
+            parse_ip(text)
+
+    def test_format_out_of_range(self):
+        with pytest.raises(ValueError):
+            format_ip(MAX_IPV4 + 1)
+        with pytest.raises(ValueError):
+            format_ip(-1)
+
+    @given(addresses)
+    @settings(max_examples=100)
+    def test_roundtrip(self, address):
+        assert parse_ip(format_ip(address)) == address
+
+
+class TestPrivateRanges:
+    @pytest.mark.parametrize(
+        "text",
+        ["10.0.0.1", "10.255.255.254", "172.16.0.1", "172.31.99.1",
+         "192.168.0.1", "192.168.255.255", "100.64.0.1", "100.127.255.1"],
+    )
+    def test_private(self, text):
+        assert is_private_ip(parse_ip(text))
+
+    @pytest.mark.parametrize(
+        "text",
+        ["11.0.0.1", "9.255.255.255", "172.32.0.1", "172.15.0.1",
+         "192.169.0.1", "100.128.0.1", "8.8.8.8"],
+    )
+    def test_public(self, text):
+        assert not is_private_ip(parse_ip(text))
+
+
+class TestIPv4Prefix:
+    def test_parse(self):
+        prefix = IPv4Prefix.parse("11.0.0.0/8")
+        assert prefix.base == parse_ip("11.0.0.0")
+        assert prefix.length == 8
+        assert prefix.size == 2**24
+
+    def test_str_roundtrip(self):
+        assert str(IPv4Prefix.parse("11.16.0.0/12")) == "11.16.0.0/12"
+
+    def test_host_bits_rejected(self):
+        with pytest.raises(ValueError, match="host bits"):
+            IPv4Prefix(parse_ip("11.0.0.1"), 24)
+
+    def test_length_out_of_range(self):
+        with pytest.raises(ValueError, match="length"):
+            IPv4Prefix(0, 33)
+
+    def test_malformed_parse(self):
+        with pytest.raises(ValueError):
+            IPv4Prefix.parse("11.0.0.0")
+
+    def test_contains(self):
+        prefix = IPv4Prefix.parse("11.1.0.0/16")
+        assert prefix.contains(parse_ip("11.1.2.3"))
+        assert not prefix.contains(parse_ip("11.2.0.0"))
+
+    def test_contains_prefix(self):
+        outer = IPv4Prefix.parse("11.0.0.0/8")
+        inner = IPv4Prefix.parse("11.1.0.0/16")
+        assert outer.contains_prefix(inner)
+        assert not inner.contains_prefix(outer)
+        assert outer.contains_prefix(outer)
+
+    def test_address_at(self):
+        prefix = IPv4Prefix.parse("11.1.0.0/24")
+        assert prefix.address_at(0) == prefix.base
+        assert prefix.address_at(255) == prefix.base + 255
+        with pytest.raises(ValueError, match="offset"):
+            prefix.address_at(256)
+
+    def test_hosts_iteration(self):
+        prefix = IPv4Prefix.parse("11.1.1.0/30")
+        assert list(prefix.hosts()) == [prefix.base + i for i in range(4)]
+
+    def test_zero_length_prefix_contains_everything(self):
+        assert IPv4Prefix(0, 0).contains(parse_ip("200.1.2.3"))
+
+
+class TestPrefixAllocator:
+    def test_sequential_disjoint(self):
+        allocator = PrefixAllocator(IPv4Prefix.parse("11.0.0.0/8"))
+        first = allocator.allocate(16)
+        second = allocator.allocate(16)
+        assert not first.contains_prefix(second)
+        assert not second.contains_prefix(first)
+
+    def test_alignment(self):
+        allocator = PrefixAllocator(IPv4Prefix.parse("11.0.0.0/8"))
+        allocator.allocate(24)
+        aligned = allocator.allocate(16)
+        assert aligned.base % aligned.size == 0
+
+    def test_allocations_inside_supernet(self):
+        supernet = IPv4Prefix.parse("11.0.0.0/12")
+        allocator = PrefixAllocator(supernet)
+        for _ in range(10):
+            assert supernet.contains_prefix(allocator.allocate(20))
+
+    def test_exhaustion(self):
+        allocator = PrefixAllocator(IPv4Prefix.parse("11.0.0.0/24"))
+        allocator.allocate(25)
+        allocator.allocate(25)
+        with pytest.raises(RuntimeError, match="exhausted"):
+            allocator.allocate(25)
+
+    def test_too_large_request(self):
+        allocator = PrefixAllocator(IPv4Prefix.parse("11.0.0.0/16"))
+        with pytest.raises(ValueError, match="cannot allocate"):
+            allocator.allocate(8)
+
+    def test_private_supernet_rejected(self):
+        with pytest.raises(ValueError, match="private"):
+            PrefixAllocator(IPv4Prefix.parse("10.0.0.0/8"))
+
+    def test_allocated_log(self):
+        allocator = PrefixAllocator(IPv4Prefix.parse("11.0.0.0/8"))
+        a = allocator.allocate(20)
+        b = allocator.allocate(18)
+        assert allocator.allocated == [a, b]
+
+    @given(st.lists(st.integers(min_value=18, max_value=28), min_size=1, max_size=30))
+    @settings(max_examples=30)
+    def test_property_all_allocations_pairwise_disjoint(self, lengths):
+        allocator = PrefixAllocator(IPv4Prefix.parse("11.0.0.0/8"))
+        allocated = [allocator.allocate(length) for length in lengths]
+        for i, a in enumerate(allocated):
+            for b in allocated[i + 1:]:
+                assert not a.contains(b.base) and not b.contains(a.base)

@@ -1,0 +1,78 @@
+"""Tests for repro.net.ixp."""
+
+import pytest
+
+from repro.geo.continents import Continent
+from repro.geo.coords import GeoPoint
+from repro.net.ip import IPv4Prefix
+from repro.net.ixp import IXP, IXPRegistry
+
+
+def make_ixp(ixp_id=1, lan="12.0.1.0/24", continent=Continent.EU):
+    return IXP(
+        ixp_id=ixp_id,
+        name=f"IX-{ixp_id}",
+        location=GeoPoint(50.0, 8.0),
+        continent=continent,
+        peering_lan=IPv4Prefix.parse(lan),
+    )
+
+
+class TestIXP:
+    def test_membership(self):
+        ixp = make_ixp()
+        ixp.add_member(100)
+        assert 100 in ixp.members
+
+    def test_lan_address_inside_prefix(self):
+        ixp = make_ixp()
+        ixp.add_member(100)
+        address = ixp.lan_address_for(100)
+        assert ixp.peering_lan.contains(address)
+        assert address != ixp.peering_lan.base
+
+    def test_lan_address_deterministic(self):
+        ixp = make_ixp()
+        ixp.add_member(100)
+        assert ixp.lan_address_for(100) == ixp.lan_address_for(100)
+
+    def test_lan_address_requires_membership(self):
+        with pytest.raises(ValueError, match="not a member"):
+            make_ixp().lan_address_for(100)
+
+
+class TestIXPRegistry:
+    def test_add_and_get(self):
+        registry = IXPRegistry()
+        ixp = registry.add(make_ixp(5))
+        assert registry.get(5) is ixp
+        assert len(registry) == 1
+
+    def test_duplicate_rejected(self):
+        registry = IXPRegistry()
+        registry.add(make_ixp(5))
+        with pytest.raises(ValueError, match="duplicate"):
+            registry.add(make_ixp(5))
+
+    def test_get_unknown(self):
+        with pytest.raises(KeyError, match="unknown IXP"):
+            IXPRegistry().get(9)
+
+    def test_in_continent(self):
+        registry = IXPRegistry()
+        registry.add(make_ixp(1, continent=Continent.EU))
+        registry.add(make_ixp(2, lan="12.0.2.0/24", continent=Continent.AS))
+        assert [ixp.ixp_id for ixp in registry.in_continent(Continent.AS)] == [2]
+
+    def test_ixp_for_address(self):
+        registry = IXPRegistry()
+        ixp = registry.add(make_ixp(1, lan="12.0.1.0/24"))
+        inside = ixp.peering_lan.address_at(10)
+        assert registry.ixp_for_address(inside) is ixp
+        assert registry.ixp_for_address(ixp.peering_lan.base - 1) is None
+
+    def test_peering_lan_prefixes(self):
+        registry = IXPRegistry()
+        registry.add(make_ixp(1, lan="12.0.1.0/24"))
+        registry.add(make_ixp(2, lan="12.0.2.0/24"))
+        assert len(registry.peering_lan_prefixes()) == 2

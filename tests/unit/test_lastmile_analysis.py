@@ -1,0 +1,168 @@
+"""Tests for repro.analysis.lastmile over hand-crafted resolved traces."""
+
+import pytest
+
+from helpers import make_meta
+
+from repro.analysis.lastmile import (
+    ATLAS,
+    CELL,
+    HOME_RTR_ISP,
+    HOME_USR_ISP,
+    absolute_by_continent,
+    cv_by_continent,
+    cv_by_country,
+    extract_last_mile,
+    per_probe_cv,
+    share_by_continent,
+)
+from repro.analysis.nearest import NearestMap
+from repro.analysis.lastmile import filter_to_nearest
+from repro.geo.continents import Continent
+from repro.lastmile.base import AccessKind
+from repro.measure.results import Protocol, TraceHop, TracerouteMeasurement
+from repro.resolve.pipeline import ResolvedTrace
+
+
+def make_resolved(
+    probe_id="p1",
+    platform="speedchecker",
+    inferred="home",
+    router_rtt=10.0,
+    usr_isp_rtt=25.0,
+    total=100.0,
+    country="DE",
+    continent=Continent.EU,
+    region_id="fra",
+):
+    dest = 999
+    measurement = TracerouteMeasurement(
+        meta=make_meta(
+            probe_id=probe_id,
+            platform=platform,
+            country=country,
+            continent=continent,
+            region_id=region_id,
+        ),
+        protocol=Protocol.ICMP,
+        source_address=1,
+        dest_address=dest,
+        hops=(TraceHop(dest, total),),
+    )
+    return ResolvedTrace(
+        measurement=measurement,
+        hops=(),
+        as_path=(),
+        ixp_after_index=(),
+        inferred_access=inferred,
+        router_rtt_ms=router_rtt,
+        usr_isp_rtt_ms=usr_isp_rtt,
+    )
+
+
+class TestExtractLastMile:
+    def test_home_contributes_two_series(self):
+        samples = extract_last_mile([make_resolved()])
+        categories = {sample.category for sample in samples}
+        assert categories == {HOME_USR_ISP, HOME_RTR_ISP}
+
+    def test_rtr_isp_is_wire_segment(self):
+        samples = extract_last_mile([make_resolved(router_rtt=10.0, usr_isp_rtt=25.0)])
+        rtr = next(s for s in samples if s.category == HOME_RTR_ISP)
+        assert rtr.latency_ms == pytest.approx(15.0)
+
+    def test_cell_single_series(self):
+        samples = extract_last_mile(
+            [make_resolved(inferred="cell", router_rtt=None)]
+        )
+        assert [s.category for s in samples] == [CELL]
+
+    def test_atlas_series(self):
+        samples = extract_last_mile(
+            [make_resolved(platform="atlas", inferred=None, router_rtt=None)]
+        )
+        assert [s.category for s in samples] == [ATLAS]
+
+    def test_unclassified_skipped(self):
+        samples = extract_last_mile(
+            [make_resolved(inferred=None, router_rtt=None)]
+        )
+        assert samples == []
+
+    def test_missing_isp_hop_skipped(self):
+        samples = extract_last_mile([make_resolved(usr_isp_rtt=None)])
+        assert samples == []
+
+    def test_share_computed(self):
+        samples = extract_last_mile([make_resolved(usr_isp_rtt=25.0, total=100.0)])
+        usr = next(s for s in samples if s.category == HOME_USR_ISP)
+        assert usr.share_of_total == pytest.approx(0.25)
+
+
+class TestAggregations:
+    def make_many(self):
+        traces = []
+        for i in range(8):
+            traces.append(
+                make_resolved(probe_id="home-probe", usr_isp_rtt=20.0 + i)
+            )
+            traces.append(
+                make_resolved(
+                    probe_id="cell-probe",
+                    inferred="cell",
+                    router_rtt=None,
+                    usr_isp_rtt=22.0 + (i % 3),
+                )
+            )
+        return traces
+
+    def test_share_by_continent(self):
+        stats = share_by_continent(extract_last_mile(self.make_many()))
+        assert (Continent.EU, HOME_USR_ISP) in stats
+        box = stats[(Continent.EU, HOME_USR_ISP)]
+        assert 15.0 <= box.median <= 30.0  # percent
+
+    def test_absolute_by_continent(self):
+        stats = absolute_by_continent(extract_last_mile(self.make_many()))
+        box = stats[(Continent.EU, CELL)]
+        assert 21.0 <= box.median <= 26.0
+
+    def test_per_probe_cv_requires_min_samples(self):
+        samples = extract_last_mile(self.make_many())
+        assert per_probe_cv(samples, min_samples=100) == []
+        results = per_probe_cv(samples, min_samples=5)
+        assert {s.probe_id for s, _ in results} == {"home-probe", "cell-probe"}
+
+    def test_cv_by_continent(self):
+        stats = cv_by_continent(
+            extract_last_mile(self.make_many()), min_samples=5, min_probes=1
+        )
+        assert (Continent.EU, HOME_USR_ISP) in stats
+        assert stats[(Continent.EU, HOME_USR_ISP)].median < 1.0
+
+    def test_cv_by_country_filters(self):
+        stats = cv_by_country(
+            extract_last_mile(self.make_many()),
+            countries=("DE",),
+            min_samples=5,
+            min_probes=1,
+        )
+        assert all(country == "DE" for country, _ in stats)
+        assert cv_by_country(
+            extract_last_mile(self.make_many()),
+            countries=("JP",),
+            min_samples=5,
+            min_probes=1,
+        ) == {}
+
+
+class TestFilterToNearest:
+    def test_keeps_only_nearest_region(self):
+        traces = [
+            make_resolved(region_id="fra"),
+            make_resolved(region_id="lon"),
+        ]
+        nearest = NearestMap({"p1": ("GCP", "fra")})
+        kept = filter_to_nearest(traces, nearest)
+        assert len(kept) == 1
+        assert kept[0].meta.region_id == "fra"

@@ -1,0 +1,117 @@
+"""Tests for repro.cloud.peering (interconnect generation)."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.peering import build_provider_peering
+from repro.cloud.providers import provider_by_code
+from repro.geo.continents import Continent
+from repro.geo.coords import GeoPoint
+from repro.net.asn import AS, ASKind
+from repro.net.ip import IPv4Prefix
+from repro.net.ixp import IXP
+
+TIER1 = [1299, 3257, 2914, 6453, 174, 3356]
+REGIONALS = {continent: [200 + 10 * i for i in range(3)] for i, continent in enumerate(Continent)}
+
+
+def make_isps(count_per_country):
+    isps = []
+    asn = 1000
+    for country, continent, count in count_per_country:
+        for _ in range(count):
+            isps.append(
+                AS(
+                    asn=asn,
+                    name=f"isp-{asn}",
+                    kind=ASKind.ACCESS,
+                    country=country,
+                    continent=continent,
+                    home=GeoPoint(0, 0),
+                    prefixes=[IPv4Prefix.parse("11.0.0.0/18")],
+                )
+            )
+            asn += 1
+    return isps
+
+
+def make_ixps():
+    return {
+        Continent.EU: [
+            IXP(1, "IX", GeoPoint(50, 8), Continent.EU, IPv4Prefix.parse("12.0.1.0/24"))
+        ]
+    }
+
+
+class TestBuildProviderPeering:
+    def test_transit_uses_leading_carriers(self, rng):
+        provider = provider_by_code("GCP")
+        peering = build_provider_peering(provider, TIER1, [], make_ixps(), rng)
+        assert peering.transit_tier1s == TIER1[: provider.peering.transit_count]
+
+    def test_requires_carriers(self, rng):
+        with pytest.raises(ValueError, match="Tier-1"):
+            build_provider_peering(provider_by_code("GCP"), [], [], {}, rng)
+
+    def test_hypergiant_direct_share_statistical(self, rng):
+        provider = provider_by_code("GCP")
+        isps = make_isps([("DE", Continent.EU, 400)])
+        peering = build_provider_peering(provider, TIER1, isps, make_ixps(), rng)
+        share = len(peering.direct_isps) / len(isps)
+        assert 0.68 <= share <= 0.88  # profile says 0.78 in EU
+
+    def test_alibaba_china_override_statistical(self, rng):
+        provider = provider_by_code("BABA")
+        isps = make_isps([("CN", Continent.AS, 200), ("JP", Continent.AS, 200)])
+        peering = build_provider_peering(provider, TIER1, isps, make_ixps(), rng)
+        chinese = sum(1 for isp in isps[:200] if isp.asn in peering.direct_isps)
+        japanese = sum(1 for isp in isps[200:] if isp.asn in peering.direct_isps)
+        assert chinese > 170
+        assert japanese < 30
+
+    def test_some_direct_sessions_at_ixps(self, rng):
+        provider = provider_by_code("IBM")  # highest IXP share
+        isps = make_isps([("DE", Continent.EU, 600)])
+        ixps = make_ixps()
+        peering = build_provider_peering(provider, TIER1, isps, ixps, rng)
+        at_ixp = [v for v in peering.direct_isps.values() if v is not None]
+        assert at_ixp, "expected at least one IXP-based session"
+        # IXP membership is recorded for both sides.
+        assert provider.asn in ixps[Continent.EU][0].members
+
+    def test_pni_carriers_exclude_transit(self, rng):
+        provider = provider_by_code("GCP")
+        peering = build_provider_peering(provider, TIER1, [], make_ixps(), rng)
+        for continent, carriers in peering.pni_carriers.items():
+            assert not set(carriers) & set(peering.transit_tier1s)
+
+    def test_regional_pnis_scoped_to_continent(self, rng):
+        provider = provider_by_code("DO")  # EU/NA regional PNIs only
+        peering = build_provider_peering(
+            provider, TIER1, [], make_ixps(), rng,
+            regionals_by_continent=REGIONALS,
+        )
+        asia_pnis = set(peering.pni_in(Continent.AS))
+        assert not asia_pnis & set(REGIONALS[Continent.AS])
+
+    def test_isps_without_location_skipped(self, rng):
+        provider = provider_by_code("GCP")
+        nomad = AS(
+            asn=77,
+            name="nomad",
+            kind=ASKind.ACCESS,
+            country=None,
+            continent=None,
+            home=GeoPoint(0, 0),
+        )
+        peering = build_provider_peering(provider, TIER1, [nomad], make_ixps(), rng)
+        assert 77 not in peering.direct_isps
+
+    def test_has_direct_and_pni_in_helpers(self, rng):
+        provider = provider_by_code("GCP")
+        isps = make_isps([("DE", Continent.EU, 50)])
+        peering = build_provider_peering(provider, TIER1, isps, make_ixps(), rng)
+        direct = next(iter(peering.direct_isps))
+        assert peering.has_direct(direct)
+        assert not peering.has_direct(999999)
+        assert isinstance(peering.pni_in(Continent.EU), list)

@@ -1,0 +1,83 @@
+"""Tests for repro.analysis.pervasiveness."""
+
+import pytest
+
+from helpers import make_meta
+
+from repro.analysis.peering import provider_network_asns
+from repro.analysis.pervasiveness import (
+    overall_pervasiveness,
+    pervasiveness_by_provider,
+)
+from repro.geo.continents import Continent
+from repro.measure.results import Protocol, TraceHop, TracerouteMeasurement
+from repro.resolve.pipeline import ResolvedHop, ResolvedTrace
+
+GCP_ASN = provider_network_asns()["GCP"]
+
+
+def make_trace_with_hops(owned, total, provider_code="GCP", continent=Continent.EU):
+    hops = []
+    for index in range(total):
+        asn = GCP_ASN if index < owned else 3320
+        hops.append(
+            ResolvedHop(
+                address=1000 + index,
+                rtt_ms=float(index),
+                asn=asn,
+                is_private=False,
+                ixp_id=None,
+                resolved_by="pyasn",
+            )
+        )
+    dest = 4242
+    measurement = TracerouteMeasurement(
+        meta=make_meta(provider_code=provider_code, continent=continent),
+        protocol=Protocol.ICMP,
+        source_address=1,
+        dest_address=dest,
+        hops=(TraceHop(dest, 10.0),),
+    )
+    return ResolvedTrace(
+        measurement=measurement,
+        hops=tuple(hops),
+        as_path=(3320, GCP_ASN),
+        ixp_after_index=(),
+        inferred_access="home",
+        router_rtt_ms=None,
+        usr_isp_rtt_ms=None,
+    )
+
+
+class TestPervasiveness:
+    def test_mean_share(self):
+        traces = [make_trace_with_hops(6, 10)] * 8
+        entries = pervasiveness_by_provider(traces, min_traces=5)
+        assert len(entries) == 1
+        assert entries[0].mean_share == pytest.approx(0.6)
+        assert entries[0].median_share == pytest.approx(0.6)
+
+    def test_min_traces_filter(self):
+        traces = [make_trace_with_hops(6, 10)] * 2
+        assert pervasiveness_by_provider(traces, min_traces=5) == []
+
+    def test_groups_by_continent(self):
+        traces = [make_trace_with_hops(6, 10)] * 5 + [
+            make_trace_with_hops(2, 10, continent=Continent.AS)
+        ] * 5
+        entries = pervasiveness_by_provider(traces, min_traces=5)
+        by_continent = {entry.continent: entry.mean_share for entry in entries}
+        assert by_continent[Continent.EU] == pytest.approx(0.6)
+        assert by_continent[Continent.AS] == pytest.approx(0.2)
+
+    def test_overall_is_trace_weighted(self):
+        traces = [make_trace_with_hops(6, 10)] * 10 + [
+            make_trace_with_hops(0, 10, continent=Continent.AS)
+        ] * 30
+        entries = pervasiveness_by_provider(traces, min_traces=5)
+        overall = overall_pervasiveness(entries)
+        assert overall["GCP"] == pytest.approx(0.15)
+
+    def test_empty_hop_traces_skipped(self):
+        trace = make_trace_with_hops(0, 0)
+        assert pervasiveness_by_provider([trace] * 10, min_traces=1) == []

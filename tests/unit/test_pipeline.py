@@ -1,0 +1,188 @@
+"""Tests for repro.resolve.pipeline (the traceroute-resolution pipeline)."""
+
+import pytest
+
+from repro.geo.continents import Continent
+from repro.lastmile.base import AccessKind
+from repro.measure.results import (
+    MeasurementMeta,
+    Protocol,
+    TraceHop,
+    TracerouteMeasurement,
+)
+from repro.net.ip import is_private_ip, parse_ip
+from repro.resolve.pipeline import TracerouteResolver
+
+
+@pytest.fixture(scope="module")
+def resolver(world):
+    return TracerouteResolver(
+        world.topology.registry, world.topology.ixps, rib_coverage=1.0
+    )
+
+
+@pytest.fixture(scope="module")
+def de_isp(world):
+    return world.topology.registry.get(3320)  # D. Telekom
+
+
+def synthetic_trace(world, isp, hops, device=None):
+    meta = MeasurementMeta(
+        probe_id="px",
+        platform="speedchecker",
+        country="DE",
+        continent=Continent.EU,
+        access=AccessKind.HOME_WIFI,
+        isp_asn=isp.asn,
+        provider_code="GCP",
+        region_id="frankfurt-2",
+        region_country="DE",
+        region_continent=Continent.EU,
+        day=0,
+        city_key=(50, 8),
+    )
+    return TracerouteMeasurement(
+        meta=meta,
+        protocol=Protocol.ICMP,
+        source_address=device if device is not None else parse_ip("192.168.1.2"),
+        dest_address=hops[-1][0] if hops[-1][0] else 0,
+        hops=tuple(TraceHop(address, rtt) for address, rtt in hops),
+    )
+
+
+class TestSyntheticResolution:
+    def test_home_classification_and_segments(self, world, resolver, de_isp):
+        gcp = world.topology.registry.cloud_for_provider("GCP")
+        hops = [
+            (parse_ip("192.168.1.1"), 11.0),          # home router
+            (de_isp.prefixes[0].address_at(40), 21.0),  # ISP edge
+            (gcp.prefixes[0].address_at(500), 30.0),   # cloud
+        ]
+        trace = resolver.resolve(synthetic_trace(world, de_isp, hops))
+        assert trace.inferred_access == "home"
+        assert trace.router_rtt_ms == 11.0
+        assert trace.usr_isp_rtt_ms == 21.0
+        assert trace.rtr_isp_rtt_ms == 10.0
+        assert trace.as_path == (de_isp.asn, gcp.asn)
+
+    def test_cell_classification(self, world, resolver, de_isp):
+        gcp = world.topology.registry.cloud_for_provider("GCP")
+        hops = [
+            (de_isp.prefixes[0].address_at(41), 18.0),
+            (gcp.prefixes[0].address_at(501), 29.0),
+        ]
+        trace = resolver.resolve(
+            synthetic_trace(world, de_isp, hops, device=de_isp.prefixes[0].address_at(9))
+        )
+        assert trace.inferred_access == "cell"
+        assert trace.router_rtt_ms is None
+        assert trace.usr_isp_rtt_ms == 18.0
+
+    def test_unresponsive_first_hop_unclassified(self, world, resolver, de_isp):
+        gcp = world.topology.registry.cloud_for_provider("GCP")
+        hops = [
+            (None, None),
+            (gcp.prefixes[0].address_at(502), 35.0),
+        ]
+        trace = resolver.resolve(synthetic_trace(world, de_isp, hops))
+        assert trace.inferred_access is None
+
+    def test_ixp_hops_removed_from_as_path(self, world, resolver, de_isp):
+        gcp = world.topology.registry.cloud_for_provider("GCP")
+        ixp = next(iter(world.topology.ixps))
+        ixp.add_member(gcp.asn)
+        hops = [
+            (de_isp.prefixes[0].address_at(42), 15.0),
+            (ixp.lan_address_for(gcp.asn), 17.0),
+            (gcp.prefixes[0].address_at(503), 25.0),
+        ]
+        trace = resolver.resolve(synthetic_trace(world, de_isp, hops))
+        assert trace.as_path == (de_isp.asn, gcp.asn)
+        assert trace.ixp_after_index == ((0, ixp.ixp_id),)
+
+    def test_consecutive_hops_collapse(self, world, resolver, de_isp):
+        gcp = world.topology.registry.cloud_for_provider("GCP")
+        hops = [
+            (de_isp.prefixes[0].address_at(50), 12.0),
+            (de_isp.prefixes[0].address_at(51), 13.0),
+            (gcp.prefixes[0].address_at(504), 24.0),
+            (gcp.prefixes[0].address_at(505), 25.0),
+        ]
+        trace = resolver.resolve(synthetic_trace(world, de_isp, hops))
+        assert trace.as_path == (de_isp.asn, gcp.asn)
+
+    def test_intermediate_asns(self, world, resolver, de_isp):
+        gcp = world.topology.registry.cloud_for_provider("GCP")
+        telia = world.topology.registry.get(1299)
+        hops = [
+            (de_isp.prefixes[0].address_at(60), 10.0),
+            (telia.prefixes[0].address_at(60), 15.0),
+            (gcp.prefixes[0].address_at(506), 26.0),
+        ]
+        trace = resolver.resolve(synthetic_trace(world, de_isp, hops))
+        assert trace.intermediate_asns(de_isp.asn, gcp.asn) == [telia.asn]
+
+    def test_intermediates_none_when_cloud_missing(self, world, resolver, de_isp):
+        hops = [(de_isp.prefixes[0].address_at(61), 10.0)]
+        trace = resolver.resolve(synthetic_trace(world, de_isp, hops))
+        gcp = world.topology.registry.cloud_for_provider("GCP")
+        assert trace.intermediate_asns(de_isp.asn, gcp.asn) is None
+
+    def test_provider_hop_share(self, world, resolver, de_isp):
+        gcp = world.topology.registry.cloud_for_provider("GCP")
+        hops = [
+            (de_isp.prefixes[0].address_at(70), 10.0),
+            (gcp.prefixes[0].address_at(510), 20.0),
+            (gcp.prefixes[0].address_at(511), 21.0),
+            (gcp.prefixes[0].address_at(512), 22.0),
+        ]
+        trace = resolver.resolve(synthetic_trace(world, de_isp, hops))
+        assert trace.provider_hop_share(gcp.asn) == pytest.approx(0.75)
+
+
+class TestDatasetResolution:
+    def test_every_speedchecker_trace_resolves(self, world, dataset, resolved_traces):
+        assert len(resolved_traces) == dataset.traceroute_count
+
+    def test_home_cell_inference_matches_access_mostly(self, resolved_traces):
+        agree = wrong = 0
+        for trace in resolved_traces:
+            if trace.meta.platform != "speedchecker":
+                continue
+            if trace.inferred_access is None:
+                continue
+            truth = (
+                "home"
+                if trace.meta.access is AccessKind.HOME_WIFI
+                else "cell"
+            )
+            if trace.inferred_access == truth:
+                agree += 1
+            else:
+                wrong += 1
+        assert agree > 0
+        # VPN/CGN artifacts cause a small, nonzero false-positive rate.
+        assert wrong / (agree + wrong) < 0.10
+
+    def test_last_mile_rtts_consistent(self, resolved_traces):
+        for trace in resolved_traces[:500]:
+            if trace.usr_isp_rtt_ms is None or trace.router_rtt_ms is None:
+                continue
+            assert trace.rtr_isp_rtt_ms >= 0.0
+
+    def test_as_paths_never_contain_private_hops(self, world, resolved_traces):
+        registry = world.topology.registry
+        for trace in resolved_traces[:300]:
+            for asn in trace.as_path:
+                assert asn in registry
+
+    def test_cymru_fallback_used_under_partial_rib(self, world, dataset):
+        partial = TracerouteResolver(
+            world.topology.registry,
+            world.topology.ixps,
+            rib_coverage=0.7,
+            rng=world.rngs.fork("test-partial-rib", 0),
+        )
+        for trace in list(dataset.traceroutes())[:200]:
+            partial.resolve(trace)
+        assert partial.cymru_query_count > 0

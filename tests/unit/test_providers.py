@@ -1,0 +1,101 @@
+"""Tests for repro.cloud.providers."""
+
+import pytest
+
+from repro.cloud.providers import (
+    NETWORK_OPERATOR_CODES,
+    PROVIDERS,
+    BackboneKind,
+    network_operator,
+    provider_by_code,
+)
+from repro.geo.continents import Continent
+
+
+class TestCatalog:
+    def test_ten_offerings_nine_networks(self):
+        assert len(PROVIDERS) == 10
+        assert len(NETWORK_OPERATOR_CODES) == 9
+
+    def test_unique_codes(self):
+        codes = [provider.code for provider in PROVIDERS]
+        assert len(codes) == len(set(codes))
+
+    def test_backbone_classes_match_table1(self):
+        expected = {
+            "AMZN": BackboneKind.PRIVATE,
+            "GCP": BackboneKind.PRIVATE,
+            "MSFT": BackboneKind.PRIVATE,
+            "DO": BackboneKind.SEMI,
+            "BABA": BackboneKind.SEMI,
+            "VLTR": BackboneKind.PUBLIC,
+            "LIN": BackboneKind.PUBLIC,
+            "LTSL": BackboneKind.PRIVATE,
+            "ORCL": BackboneKind.PRIVATE,
+            "IBM": BackboneKind.SEMI,
+        }
+        for code, backbone in expected.items():
+            assert provider_by_code(code).backbone is backbone
+
+    def test_real_asns(self):
+        assert provider_by_code("AMZN").asn == 16509
+        assert provider_by_code("GCP").asn == 15169
+        assert provider_by_code("MSFT").asn == 8075
+
+    def test_lightsail_rides_amazon(self):
+        lightsail = provider_by_code("LTSL")
+        assert lightsail.network_owner == "AMZN"
+        assert not lightsail.owns_network
+        assert lightsail.asn == provider_by_code("AMZN").asn
+        assert network_operator("LTSL").code == "AMZN"
+
+    def test_network_operator_identity_for_owners(self):
+        assert network_operator("GCP").code == "GCP"
+
+    def test_unknown_code(self):
+        with pytest.raises(KeyError, match="unknown provider"):
+            provider_by_code("NOPE")
+
+
+class TestPeeringProfiles:
+    def test_probabilities_within_unit_interval(self):
+        for provider in PROVIDERS:
+            profile = provider.peering
+            for share in profile.direct_share.values():
+                assert 0.0 <= share <= 1.0
+            for share in profile.direct_share_by_country.values():
+                assert 0.0 <= share <= 1.0
+            for share in profile.pni_carrier_share.values():
+                assert 0.0 <= share <= 1.0
+            assert 0.0 <= profile.ixp_session_share <= 1.0
+            assert profile.transit_count >= 1
+
+    def test_hypergiants_peer_directly_everywhere(self):
+        for code in ("AMZN", "GCP", "MSFT"):
+            profile = provider_by_code(code).peering
+            for continent in Continent:
+                assert profile.direct_probability("XX", continent) > 0.5
+
+    def test_alibaba_china_override(self):
+        profile = provider_by_code("BABA").peering
+        assert profile.direct_probability("CN", Continent.AS) > 0.9
+        assert profile.direct_probability("JP", Continent.AS) < 0.1
+
+    def test_small_providers_rarely_peer_directly(self):
+        for code in ("VLTR", "LIN", "ORCL"):
+            profile = provider_by_code(code).peering
+            for continent in Continent:
+                assert profile.direct_probability("XX", continent) <= 0.1
+
+    def test_digitalocean_pnis_localized_to_eu_na(self):
+        profile = provider_by_code("DO").peering
+        assert Continent.EU in profile.pni_carrier_share
+        assert Continent.NA in profile.pni_carrier_share
+        assert Continent.AS not in profile.pni_carrier_share
+
+    def test_ibm_exchanges_most_at_ixps(self):
+        ibm_share = provider_by_code("IBM").peering.ixp_session_share
+        assert all(
+            ibm_share >= provider_by_code(code).peering.ixp_session_share
+            for code in NETWORK_OPERATOR_CODES
+        )

@@ -1,0 +1,39 @@
+"""Tests for cross-provider consistency (section 8 conclusion)."""
+
+import pytest
+
+from repro.analysis.providers import provider_consistency
+from repro.geo.continents import Continent
+
+
+@pytest.fixture(scope="module")
+def consistency(dataset):
+    return provider_consistency(dataset, min_samples=12)
+
+
+class TestProviderConsistency:
+    def test_covers_major_continents(self, consistency):
+        assert Continent.EU in consistency
+        assert Continent.AS in consistency
+
+    def test_europe_is_consistent_across_providers(self, consistency):
+        """Section 8: performance is comparable across providers in
+        developed continents."""
+        eu = consistency[Continent.EU]
+        assert eu.provider_count >= 5
+        assert eu.relative_spread < 0.8
+
+    def test_medians_positive_and_ordered_plausibly(self, consistency):
+        for entry in consistency.values():
+            for median in entry.provider_medians.values():
+                assert 5.0 < median < 500.0
+
+    def test_spread_definition(self, consistency):
+        for entry in consistency.values():
+            values = list(entry.provider_medians.values())
+            expected = (max(values) - min(values)) / min(values)
+            assert entry.relative_spread == pytest.approx(expected)
+
+    def test_min_samples_filters(self, dataset):
+        strict = provider_consistency(dataset, min_samples=10**9)
+        assert strict == {}

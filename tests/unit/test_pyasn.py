@@ -1,0 +1,95 @@
+"""Tests for repro.resolve.pyasn (radix-trie IP-to-ASN)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.ip import IPv4Prefix, parse_ip
+from repro.resolve.pyasn import PrefixTrie, PyASNResolver
+
+
+class TestPrefixTrie:
+    def test_insert_and_lookup(self):
+        trie = PrefixTrie()
+        trie.insert(IPv4Prefix.parse("11.0.0.0/8"), 100)
+        assert trie.longest_match(parse_ip("11.5.5.5")) == (100, 8)
+        assert trie.longest_match(parse_ip("12.0.0.1")) is None
+
+    def test_longest_prefix_wins(self):
+        trie = PrefixTrie()
+        trie.insert(IPv4Prefix.parse("11.0.0.0/8"), 100)
+        trie.insert(IPv4Prefix.parse("11.1.0.0/16"), 200)
+        assert trie.longest_match(parse_ip("11.1.2.3")) == (200, 16)
+        assert trie.longest_match(parse_ip("11.2.2.3")) == (100, 8)
+
+    def test_overwrite_same_prefix(self):
+        trie = PrefixTrie()
+        trie.insert(IPv4Prefix.parse("11.0.0.0/8"), 100)
+        trie.insert(IPv4Prefix.parse("11.0.0.0/8"), 300)
+        assert trie.longest_match(parse_ip("11.9.9.9")) == (300, 8)
+        assert len(trie) == 1
+
+    def test_default_route(self):
+        trie = PrefixTrie()
+        trie.insert(IPv4Prefix(0, 0), 1)
+        assert trie.longest_match(parse_ip("200.1.1.1")) == (1, 0)
+
+    def test_exact_host_route(self):
+        trie = PrefixTrie()
+        trie.insert(IPv4Prefix(parse_ip("11.1.1.1"), 32), 5)
+        assert trie.longest_match(parse_ip("11.1.1.1")) == (5, 32)
+        assert trie.longest_match(parse_ip("11.1.1.2")) is None
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=60)
+    def test_matches_naive_scan(self, address):
+        announcements = [
+            (IPv4Prefix.parse("11.0.0.0/8"), 1),
+            (IPv4Prefix.parse("11.128.0.0/9"), 2),
+            (IPv4Prefix.parse("11.128.64.0/18"), 3),
+            (IPv4Prefix.parse("13.0.0.0/8"), 4),
+            (IPv4Prefix.parse("13.13.0.0/16"), 5),
+        ]
+        trie = PrefixTrie()
+        for prefix, asn in announcements:
+            trie.insert(prefix, asn)
+        # Naive longest-prefix scan for comparison.
+        best = None
+        for prefix, asn in announcements:
+            if prefix.contains(address):
+                if best is None or prefix.length > best[1]:
+                    best = (asn, prefix.length)
+        assert trie.longest_match(address) == best
+
+
+class TestPyASNResolver:
+    def announcements(self):
+        return [
+            (IPv4Prefix.parse("11.0.0.0/16"), 10),
+            (IPv4Prefix.parse("11.1.0.0/16"), 20),
+            (IPv4Prefix.parse("11.2.0.0/16"), 30),
+        ]
+
+    def test_full_coverage_lookup(self):
+        resolver = PyASNResolver(self.announcements())
+        assert resolver.lookup(parse_ip("11.1.5.5")) == 20
+        assert resolver.lookup(parse_ip("99.0.0.1")) is None
+        assert resolver.announcement_count == 3
+        assert resolver.dropped_count == 0
+
+    def test_partial_coverage_drops_announcements(self):
+        rng = np.random.default_rng(0)
+        many = [
+            (IPv4Prefix(parse_ip("11.0.0.0") + (i << 12), 20), i + 1)
+            for i in range(200)
+        ]
+        resolver = PyASNResolver(many, coverage=0.5, rng=rng)
+        assert 40 < resolver.dropped_count < 160
+        assert resolver.announcement_count == 200 - resolver.dropped_count
+
+    def test_coverage_validation(self):
+        with pytest.raises(ValueError, match="coverage"):
+            PyASNResolver([], coverage=0.0)
+        with pytest.raises(ValueError, match="rng"):
+            PyASNResolver([], coverage=0.5)

@@ -1,0 +1,86 @@
+"""Tests for repro.cloud.regions (the 195-region catalog)."""
+
+import pytest
+
+from repro.cloud.regions import REGIONS, RegionCatalog
+from repro.experiments.inventory import TABLE1_PAPER
+from repro.geo.continents import Continent
+from repro.geo.coords import GeoPoint
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return RegionCatalog(REGIONS)
+
+
+_ORDER = (
+    Continent.EU,
+    Continent.NA,
+    Continent.SA,
+    Continent.AS,
+    Continent.AF,
+    Continent.OC,
+)
+
+
+class TestCatalogCounts:
+    def test_total_is_195(self, catalog):
+        assert len(catalog) == 195
+
+    @pytest.mark.parametrize("provider_code", sorted(TABLE1_PAPER))
+    def test_per_provider_counts_match_table1(self, catalog, provider_code):
+        table = catalog.table1()
+        counts = tuple(
+            table.get(provider_code, {}).get(continent, 0) for continent in _ORDER
+        )
+        assert counts == TABLE1_PAPER[provider_code]
+
+    def test_continent_totals_match_table1(self, catalog):
+        expected = {"EU": 52, "NA": 62, "SA": 4, "AS": 62, "AF": 3, "OC": 12}
+        for continent, total in expected.items():
+            assert len(catalog.in_continent(Continent(continent))) == total
+
+    def test_africa_hosts_only_south_african_regions(self, catalog):
+        for region in catalog.in_continent(Continent.AF):
+            assert region.country == "ZA"
+
+    def test_all_sa_regions_in_brazil(self, catalog):
+        for region in catalog.in_continent(Continent.SA):
+            assert region.country == "BR"
+
+
+class TestCatalogQueries:
+    def test_region_ids_unique_per_provider(self, catalog):
+        for provider_code in catalog.provider_codes():
+            ids = [r.region_id for r in catalog.for_provider(provider_code)]
+            assert len(ids) == len(set(ids))
+
+    def test_for_unknown_provider_empty(self, catalog):
+        assert catalog.for_provider("NOPE") == []
+
+    def test_ten_provider_codes(self, catalog):
+        assert len(catalog.provider_codes()) == 10
+
+    def test_nearest_region_prefers_geography(self, catalog):
+        frankfurt = GeoPoint(50.11, 8.68)
+        nearest = catalog.nearest_region(frankfurt, continent=Continent.EU)
+        assert nearest.city in ("Frankfurt",)
+
+    def test_nearest_region_provider_filter(self, catalog):
+        tokyo = GeoPoint(35.68, 139.69)
+        nearest = catalog.nearest_region(tokyo, provider_code="LIN")
+        assert nearest.city == "Tokyo"
+
+    def test_nearest_region_no_match_raises(self, catalog):
+        with pytest.raises(ValueError, match="no regions match"):
+            catalog.nearest_region(
+                GeoPoint(0, 0), continent=Continent.AF, provider_code="GCP"
+            )
+
+    def test_str_format(self, catalog):
+        region = catalog.all()[0]
+        assert str(region) == f"{region.provider_code}:{region.region_id}"
+
+    def test_locations_match_country_continent(self, catalog, world):
+        for region in catalog:
+            assert world.countries.get(region.country).continent is region.continent

@@ -1,0 +1,90 @@
+"""Tests for repro.net.relationships."""
+
+import pytest
+
+from repro.net.relationships import Relationship, RelationshipGraph
+
+
+class TestConstruction:
+    def test_customer_provider(self):
+        graph = RelationshipGraph()
+        graph.add_customer_provider(1, 2)
+        assert graph.providers_of(1) == [2]
+        assert graph.customers_of(2) == [1]
+        assert graph.relationship_between(1, 2) is Relationship.CUSTOMER_TO_PROVIDER
+        assert graph.relationship_between(2, 1) is Relationship.CUSTOMER_TO_PROVIDER
+
+    def test_peering_is_symmetric(self):
+        graph = RelationshipGraph()
+        graph.add_peering(1, 2)
+        assert graph.peers_of(1) == [2]
+        assert graph.peers_of(2) == [1]
+        assert graph.relationship_between(1, 2) is Relationship.PEER_TO_PEER
+
+    def test_self_loop_rejected(self):
+        graph = RelationshipGraph()
+        with pytest.raises(ValueError, match="own provider"):
+            graph.add_customer_provider(1, 1)
+        with pytest.raises(ValueError, match="peer with itself"):
+            graph.add_peering(2, 2)
+
+    def test_double_relationship_rejected(self):
+        graph = RelationshipGraph()
+        graph.add_customer_provider(1, 2)
+        with pytest.raises(ValueError, match="already"):
+            graph.add_peering(1, 2)
+        with pytest.raises(ValueError, match="already"):
+            graph.add_customer_provider(2, 1)
+
+    def test_no_relationship_returns_none(self):
+        assert RelationshipGraph().relationship_between(1, 2) is None
+
+
+class TestQueries:
+    def make_graph(self):
+        graph = RelationshipGraph()
+        graph.add_customer_provider(10, 20)
+        graph.add_customer_provider(10, 21)
+        graph.add_peering(20, 21, ixp_id=3)
+        return graph
+
+    def test_neighbors(self):
+        graph = self.make_graph()
+        assert graph.neighbors_of(10) == {20, 21}
+        assert graph.neighbors_of(20) == {10, 21}
+
+    def test_ixp_annotation(self):
+        graph = self.make_graph()
+        assert graph.ixp_on_link(20, 21) == 3
+        assert graph.ixp_on_link(21, 20) == 3
+        assert graph.ixp_on_link(10, 20) is None
+
+    def test_all_asns(self):
+        assert self.make_graph().all_asns() == {10, 20, 21}
+
+    def test_edge_count(self):
+        assert self.make_graph().edge_count() == 3
+
+    def test_empty_graph(self):
+        graph = RelationshipGraph()
+        assert graph.all_asns() == set()
+        assert graph.edge_count() == 0
+        assert graph.neighbors_of(1) == set()
+
+
+class TestClone:
+    def test_clone_is_independent(self):
+        graph = RelationshipGraph()
+        graph.add_customer_provider(1, 2)
+        copy = graph.clone()
+        copy.add_peering(1, 3)
+        assert graph.relationship_between(1, 3) is None
+        assert copy.relationship_between(1, 3) is Relationship.PEER_TO_PEER
+
+    def test_clone_preserves_edges(self):
+        graph = RelationshipGraph()
+        graph.add_customer_provider(1, 2)
+        graph.add_peering(2, 3, ixp_id=7)
+        copy = graph.clone()
+        assert copy.relationship_between(1, 2) is Relationship.CUSTOMER_TO_PROVIDER
+        assert copy.ixp_on_link(2, 3) == 7

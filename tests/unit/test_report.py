@@ -1,0 +1,42 @@
+"""Tests for repro.analysis.report."""
+
+import pytest
+
+from repro.analysis.report import cdf_sparkline, format_ms, format_percent, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_rows(self):
+        table = format_table(["A", "Bee"], [["x", 1], ["yy", 22]])
+        lines = table.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        assert lines[0].startswith("A")
+        assert "Bee" in lines[0]
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["A", "B"], [["only-one"]])
+
+    def test_empty_rows(self):
+        table = format_table(["A"], [])
+        assert len(table.splitlines()) == 2
+
+
+class TestFormatters:
+    def test_percent(self):
+        assert format_percent(0.512) == "51.2%"
+        assert format_percent(0.5, digits=0) == "50%"
+
+    def test_ms(self):
+        assert format_ms(12.34) == "12.3 ms"
+
+
+class TestCdfSparkline:
+    def test_empty(self):
+        assert cdf_sparkline([]) == "(no samples)"
+
+    def test_constant(self):
+        assert len(cdf_sparkline([5.0, 5.0], bins=10)) == 10
+
+    def test_length(self):
+        assert len(cdf_sparkline(range(100), bins=25)) == 25

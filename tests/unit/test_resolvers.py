@@ -1,0 +1,96 @@
+"""Tests for the Cymru fallback, PeeringDB enrichment, and GeoIP."""
+
+import numpy as np
+import pytest
+
+from repro.geo.coords import GeoPoint, haversine_km
+from repro.net.ip import parse_ip
+from repro.resolve.cymru import CymruResolver
+from repro.resolve.geoip import GeoIPDatabase
+from repro.resolve.peeringdb import SyntheticPeeringDB
+
+
+class TestCymruResolver:
+    def test_authoritative_over_registry(self, world):
+        resolver = CymruResolver(world.topology.registry)
+        isp = world.topology.registry.access_in_country("DE")[0]
+        address = isp.prefixes[0].address_at(100)
+        assert resolver.lookup(address) == isp.asn
+
+    def test_private_never_resolved(self, world):
+        resolver = CymruResolver(world.topology.registry)
+        assert resolver.lookup(parse_ip("192.168.1.1")) is None
+        assert resolver.lookup(parse_ip("100.64.0.5")) is None
+
+    def test_query_accounting(self, world):
+        resolver = CymruResolver(world.topology.registry)
+        assert resolver.query_count == 0
+        resolver.lookup(parse_ip("11.0.0.1"))
+        resolver.lookup(parse_ip("11.0.0.2"))
+        assert resolver.query_count == 2
+
+    def test_unknown_public_address(self, world):
+        resolver = CymruResolver(world.topology.registry)
+        assert resolver.lookup(parse_ip("203.0.113.5")) is None
+
+
+class TestSyntheticPeeringDB:
+    def test_covers_all_ases(self, world):
+        db = SyntheticPeeringDB(world.topology.registry)
+        assert len(db) == len(world.topology.registry)
+
+    def test_cloud_networks_are_content(self, world):
+        db = SyntheticPeeringDB(world.topology.registry)
+        gcp = world.topology.registry.cloud_for_provider("GCP")
+        record = db.lookup(gcp.asn)
+        assert record.network_type == "Content"
+        assert db.is_content_network(gcp.asn)
+
+    def test_access_isps_are_eyeballs(self, world):
+        db = SyntheticPeeringDB(world.topology.registry)
+        isp = world.topology.registry.access_in_country("DE")[0]
+        assert db.lookup(isp.asn).network_type == "Cable/DSL/ISP"
+        assert not db.is_content_network(isp.asn)
+
+    def test_unknown_asn(self, world):
+        db = SyntheticPeeringDB(world.topology.registry)
+        assert db.lookup(999999999) is None
+
+    def test_org_names_preserved(self, world):
+        db = SyntheticPeeringDB(world.topology.registry)
+        telekom = db.lookup(3320)
+        assert telekom is not None
+        assert "Telekom" in telekom.org_name
+
+
+class TestGeoIPDatabase:
+    def test_answers_are_cached_per_address(self, rng):
+        db = GeoIPDatabase(rng)
+        truth = GeoPoint(50.0, 8.0)
+        first = db.locate(12345, truth)
+        second = db.locate(12345, truth)
+        assert first == second
+
+    def test_typical_error_bounded(self, rng):
+        db = GeoIPDatabase(rng, typical_error_km=50.0, gross_error_share=0.0)
+        truth = GeoPoint(50.0, 8.0)
+        for address in range(200):
+            result = db.locate(address, truth)
+            assert haversine_km(truth, result.position) <= 55.0
+
+    def test_gross_errors_happen(self, rng):
+        db = GeoIPDatabase(
+            rng, typical_error_km=1.0, gross_error_share=0.5, gross_error_km=3000.0
+        )
+        truth = GeoPoint(50.0, 8.0)
+        errors = [
+            haversine_km(truth, db.locate(address, truth).position)
+            for address in range(300)
+        ]
+        assert max(errors) > 100.0  # some answers are wildly off
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError, match="non-negative"):
+            GeoIPDatabase(rng, typical_error_km=-1.0)
+        with pytest.raises(ValueError, match="share"):
+            GeoIPDatabase(rng, gross_error_share=1.5)

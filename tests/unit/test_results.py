@@ -1,0 +1,129 @@
+"""Tests for repro.measure.results."""
+
+import pytest
+
+from repro.geo.continents import Continent
+from repro.lastmile.base import AccessKind
+from repro.measure.results import (
+    MeasurementDataset,
+    MeasurementMeta,
+    PingMeasurement,
+    Protocol,
+    TraceHop,
+    TracerouteMeasurement,
+)
+
+
+def make_meta(platform="speedchecker", country="DE", provider="GCP"):
+    return MeasurementMeta(
+        probe_id="p1",
+        platform=platform,
+        country=country,
+        continent=Continent.EU,
+        access=AccessKind.HOME_WIFI,
+        isp_asn=3320,
+        provider_code=provider,
+        region_id="frankfurt-1",
+        region_country="DE",
+        region_continent=Continent.EU,
+        day=0,
+        city_key=(50, 8),
+    )
+
+
+def make_ping(samples=(10.0, 12.0, 11.0), **kwargs):
+    return PingMeasurement(
+        meta=make_meta(**kwargs), protocol=Protocol.TCP, samples=tuple(samples)
+    )
+
+
+def make_trace(reached=True, **kwargs):
+    dest = 1000
+    hops = (
+        TraceHop(5, 3.0),
+        TraceHop(None, None),
+        TraceHop(dest if reached else 7, 20.0),
+    )
+    return TracerouteMeasurement(
+        meta=make_meta(**kwargs),
+        protocol=Protocol.ICMP,
+        source_address=1,
+        dest_address=dest,
+        hops=hops,
+    )
+
+
+class TestPingMeasurement:
+    def test_min(self):
+        assert make_ping().min_rtt_ms == 10.0
+
+    def test_median_odd(self):
+        assert make_ping((3.0, 1.0, 2.0)).median_rtt_ms == 2.0
+
+    def test_median_even(self):
+        assert make_ping((1.0, 2.0, 3.0, 4.0)).median_rtt_ms == 2.5
+
+
+class TestTracerouteMeasurement:
+    def test_reached(self):
+        assert make_trace(reached=True).reached
+        assert not make_trace(reached=False).reached
+
+    def test_end_to_end_rtt(self):
+        assert make_trace(reached=True).end_to_end_rtt_ms == 20.0
+        assert make_trace(reached=False).end_to_end_rtt_ms is None
+
+    def test_hop_responded(self):
+        trace = make_trace()
+        assert trace.hops[0].responded
+        assert not trace.hops[1].responded
+
+
+class TestMeasurementDataset:
+    def test_counts(self):
+        dataset = MeasurementDataset()
+        dataset.add_ping(make_ping())
+        dataset.add_ping(make_ping())
+        dataset.add_traceroute(make_trace())
+        assert dataset.ping_count == 2
+        assert dataset.traceroute_count == 1
+        assert dataset.ping_sample_count == 6
+
+    def test_platform_filter(self):
+        dataset = MeasurementDataset()
+        dataset.add_ping(make_ping(platform="speedchecker"))
+        dataset.add_ping(make_ping(platform="atlas"))
+        assert len(list(dataset.pings(platform="atlas"))) == 1
+
+    def test_protocol_filter(self):
+        dataset = MeasurementDataset()
+        dataset.add_ping(make_ping())
+        assert len(list(dataset.pings(protocol=Protocol.ICMP))) == 0
+        assert len(list(dataset.pings(protocol="tcp"))) == 1
+
+    def test_predicate_filter(self):
+        dataset = MeasurementDataset()
+        dataset.add_ping(make_ping(country="DE"))
+        dataset.add_ping(make_ping(country="FR"))
+        filtered = list(dataset.pings(predicate=lambda m: m.meta.country == "FR"))
+        assert len(filtered) == 1
+
+    def test_traceroute_filters(self):
+        dataset = MeasurementDataset()
+        dataset.add_traceroute(make_trace(platform="atlas"))
+        assert len(list(dataset.traceroutes(platform="atlas"))) == 1
+        assert len(list(dataset.traceroutes(platform="speedchecker"))) == 0
+        assert len(list(dataset.traceroutes(protocol=Protocol.ICMP))) == 1
+
+    def test_extend(self):
+        a = MeasurementDataset()
+        a.add_ping(make_ping())
+        b = MeasurementDataset()
+        b.add_ping(make_ping())
+        b.add_traceroute(make_trace())
+        a.extend(b)
+        assert a.ping_count == 2
+        assert a.traceroute_count == 1
+
+    def test_repr(self):
+        assert "pings=0" in repr(MeasurementDataset())

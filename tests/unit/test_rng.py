@@ -1,0 +1,64 @@
+"""Tests for repro.core.rng."""
+
+import pytest
+
+from repro.core.rng import RngStreams
+
+
+class TestRngStreams:
+    def test_same_seed_same_stream_sequence(self):
+        a = RngStreams(42).stream("topology")
+        b = RngStreams(42).stream("topology")
+        assert a.random(5).tolist() == b.random(5).tolist()
+
+    def test_different_seeds_differ(self):
+        a = RngStreams(1).stream("topology")
+        b = RngStreams(2).stream("topology")
+        assert a.random(5).tolist() != b.random(5).tolist()
+
+    def test_streams_are_independent_of_creation_order(self):
+        first = RngStreams(7)
+        first.stream("a")
+        x = first.stream("b").random(3).tolist()
+        second = RngStreams(7)
+        y = second.stream("b").random(3).tolist()
+        assert x == y
+
+    def test_different_names_give_different_sequences(self):
+        streams = RngStreams(7)
+        assert (
+            streams.stream("a").random(5).tolist()
+            != streams.stream("b").random(5).tolist()
+        )
+
+    def test_stream_is_cached(self):
+        streams = RngStreams(7)
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_fork_is_deterministic_and_uncached(self):
+        streams = RngStreams(7)
+        a = streams.fork("probe", 3).random(4).tolist()
+        b = streams.fork("probe", 3).random(4).tolist()
+        assert a == b
+        assert streams.fork("probe", 3) is not streams.fork("probe", 3)
+
+    def test_fork_indices_differ(self):
+        streams = RngStreams(7)
+        assert (
+            streams.fork("probe", 0).random(4).tolist()
+            != streams.fork("probe", 1).random(4).tolist()
+        )
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            RngStreams(-1)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            RngStreams(0).stream("")
+
+    def test_seed_property(self):
+        assert RngStreams(99).seed == 99
+
+    def test_repr_mentions_seed(self):
+        assert "seed=5" in repr(RngStreams(5))

@@ -1,0 +1,191 @@
+"""Tests for repro.net.routing (Gao-Rexford valley-free policy routing)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.relationships import Relationship, RelationshipGraph
+from repro.net.routing import RouteClass, RoutePolicy, compute_routes
+
+
+def star_hierarchy():
+    """Tier1 (1) <- transit (2) <- access ISPs (3, 4); destination 9 is a
+    customer of the tier1."""
+    graph = RelationshipGraph()
+    graph.add_customer_provider(2, 1)
+    graph.add_customer_provider(3, 2)
+    graph.add_customer_provider(4, 2)
+    graph.add_customer_provider(9, 1)
+    return graph
+
+
+class TestCustomerRoutes:
+    def test_provider_learns_route_from_customer(self):
+        graph = star_hierarchy()
+        table = compute_routes(graph, 9)
+        entry = table.entry(1)
+        assert entry.route_class is RouteClass.CUSTOMER
+        assert entry.distance == 1
+
+    def test_grandprovider_chain(self):
+        graph = RelationshipGraph()
+        graph.add_customer_provider(9, 5)
+        graph.add_customer_provider(5, 6)
+        table = compute_routes(graph, 9)
+        assert table.as_path(6) == [6, 5, 9]
+
+
+class TestPeerRoutes:
+    def test_direct_peer_route(self):
+        graph = star_hierarchy()
+        graph.add_peering(3, 9)
+        table = compute_routes(graph, 9)
+        assert table.entry(3).route_class is RouteClass.PEER
+        assert table.as_path(3) == [3, 9]
+
+    def test_peer_of_provider_reaches_destination(self):
+        graph = star_hierarchy()
+        graph.add_peering(2, 9)  # transit peers with dest
+        table = compute_routes(graph, 9)
+        # access ISP 3 gets a provider route via transit 2.
+        assert table.as_path(3) == [3, 2, 9]
+
+    def test_peer_routes_not_exported_to_peers(self):
+        # 3 peers with 9; 4 peers with 3.  4 must NOT reach 9 via 3
+        # (peer-learned routes are only exported to customers).
+        graph = RelationshipGraph()
+        graph.add_peering(3, 9)
+        graph.add_peering(4, 3)
+        table = compute_routes(graph, 9)
+        assert table.as_path(4) is None
+
+
+class TestPreferences:
+    def test_customer_preferred_over_shorter_peer(self):
+        graph = RelationshipGraph()
+        # 1 has a long customer chain to 9 and a direct peering to 9.
+        graph.add_customer_provider(9, 8)
+        graph.add_customer_provider(8, 7)
+        graph.add_customer_provider(7, 1)
+        graph.add_peering(1, 9)
+        table = compute_routes(graph, 9)
+        entry = table.entry(1)
+        # Customer route wins despite being longer (Gao-Rexford).
+        assert entry.route_class is RouteClass.CUSTOMER
+        assert table.as_path(1) == [1, 7, 8, 9]
+
+    def test_peer_preferred_over_provider(self):
+        graph = star_hierarchy()
+        graph.add_peering(3, 9)
+        table = compute_routes(graph, 9)
+        # Path via peering (1 hop) preferred over 3->2->1->9.
+        assert table.as_path(3) == [3, 9]
+
+    def test_shorter_provider_route_wins(self):
+        graph = RelationshipGraph()
+        graph.add_customer_provider(9, 1)
+        graph.add_customer_provider(3, 1)      # direct provider to 1
+        graph.add_customer_provider(3, 2)
+        graph.add_customer_provider(2, 1)      # longer: 3->2->1->9
+        table = compute_routes(graph, 9)
+        assert table.as_path(3) == [3, 1, 9]
+
+    def test_tie_break_lowest_next_hop(self):
+        graph = RelationshipGraph()
+        graph.add_customer_provider(9, 5)
+        graph.add_customer_provider(9, 4)
+        graph.add_customer_provider(3, 5)
+        graph.add_customer_provider(3, 4)
+        table = compute_routes(graph, 9)
+        assert table.as_path(3) == [3, 4, 9]
+
+
+class TestReachability:
+    def test_destination_reaches_itself(self):
+        table = compute_routes(star_hierarchy(), 9)
+        assert table.as_path(9) == [9]
+        assert table.distance(9) == 0
+
+    def test_unreachable_returns_none(self):
+        graph = star_hierarchy()
+        table = compute_routes(graph, 9)
+        assert table.as_path(999) is None
+        assert table.distance(999) is None
+
+    def test_access_isps_reach_cloud_via_hierarchy(self):
+        table = compute_routes(star_hierarchy(), 9)
+        assert table.as_path(3) == [3, 2, 1, 9]
+        assert table.as_path(4) == [4, 2, 1, 9]
+
+    def test_contains_and_len(self):
+        table = compute_routes(star_hierarchy(), 9)
+        assert 9 in table and 3 in table
+        assert len(table) >= 4
+
+
+class TestShortestPolicy:
+    def test_ignores_valley_freedom(self):
+        # Under SHORTEST, the peer-export restriction does not apply.
+        graph = RelationshipGraph()
+        graph.add_peering(3, 9)
+        graph.add_peering(4, 3)
+        table = compute_routes(graph, 9, RoutePolicy.SHORTEST)
+        assert table.as_path(4) == [4, 3, 9]
+
+    def test_shortest_distance(self):
+        graph = star_hierarchy()
+        graph.add_peering(3, 9)
+        table = compute_routes(graph, 9, RoutePolicy.SHORTEST)
+        assert table.distance(3) == 1
+
+
+def _is_valley_free(graph: RelationshipGraph, path) -> bool:
+    """A path is valley-free if it is up* (c2p), at most one p2p, then
+    down* (p2c)."""
+    phase = "up"
+    for a, b in zip(path, path[1:]):
+        rel = graph.relationship_between(a, b)
+        if rel is None:
+            return False
+        if rel is Relationship.PEER_TO_PEER:
+            if phase != "up":
+                return False
+            phase = "down"
+        elif b in graph.providers_of(a):  # going up
+            if phase != "up":
+                return False
+        else:  # going down (b is a customer of a)
+            phase = "down"
+    return True
+
+
+class TestValleyFreeProperty:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_random_hierarchies_produce_valley_free_paths(self, seed):
+        rng = np.random.default_rng(seed)
+        graph = RelationshipGraph()
+        tier1 = [1, 2, 3]
+        for i, a in enumerate(tier1):
+            for b in tier1[i + 1:]:
+                graph.add_peering(a, b)
+        transits = list(range(10, 16))
+        for transit in transits:
+            for upstream in rng.choice(tier1, size=2, replace=False):
+                graph.add_customer_provider(transit, int(upstream))
+        accesses = list(range(100, 130))
+        destination = 999
+        graph.add_customer_provider(destination, 1)
+        for access in accesses:
+            upstream = int(rng.choice(transits))
+            graph.add_customer_provider(access, upstream)
+            if rng.random() < 0.3:
+                graph.add_peering(access, destination)
+        table = compute_routes(graph, destination)
+        for access in accesses:
+            path = table.as_path(access)
+            assert path is not None, f"AS {access} should reach {destination}"
+            assert path[0] == access and path[-1] == destination
+            assert len(path) == len(set(path)), "paths must be loop-free"
+            assert _is_valley_free(graph, path), f"valley in {path}"

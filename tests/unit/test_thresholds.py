@@ -1,0 +1,38 @@
+"""Tests for repro.analysis.thresholds."""
+
+import pytest
+
+from repro.analysis.thresholds import HPL_MS, HRT_MS, MTP_MS, band_label
+
+
+class TestThresholds:
+    def test_paper_values(self):
+        assert MTP_MS == 20.0
+        assert HPL_MS == 100.0
+        assert HRT_MS == 250.0
+
+    def test_ordering(self):
+        assert MTP_MS < HPL_MS < HRT_MS
+
+
+class TestBandLabel:
+    @pytest.mark.parametrize(
+        "rtt,label",
+        [
+            (0.0, "<30 ms"),
+            (29.9, "<30 ms"),
+            (30.0, "30-60 ms"),
+            (59.9, "30-60 ms"),
+            (60.0, "60-100 ms"),
+            (100.0, "100-250 ms"),
+            (249.9, "100-250 ms"),
+            (250.0, ">250 ms"),
+            (1000.0, ">250 ms"),
+        ],
+    )
+    def test_boundaries(self, rtt, label):
+        assert band_label(rtt) == label
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            band_label(-1.0)

@@ -1,0 +1,132 @@
+"""Tests for the topology builder (repro.core.topology)."""
+
+import pytest
+
+from repro import build_world
+from repro.geo.continents import Continent
+from repro.net.asn import ASKind
+from repro.net.relationships import Relationship
+from repro.net.routing import RoutePolicy
+
+
+@pytest.fixture(scope="module")
+def topology(world):
+    return world.topology
+
+
+class TestBuilderInventory:
+    def test_twelve_tier1s(self, topology):
+        assert len(topology.registry.of_kind(ASKind.TIER1)) == 12
+
+    def test_three_regionals_per_continent(self, topology):
+        regionals = topology.registry.of_kind(ASKind.TRANSIT)
+        per_continent = {}
+        for autonomous_system in regionals:
+            per_continent.setdefault(autonomous_system.continent, []).append(
+                autonomous_system
+            )
+        assert set(per_continent) == set(Continent)
+        assert all(len(v) == 3 for v in per_continent.values())
+
+    def test_every_as_has_a_prefix(self, topology):
+        for autonomous_system in topology.registry:
+            assert autonomous_system.prefixes
+
+    def test_prefixes_are_disjoint(self, topology):
+        prefixes = [p for p, _ in topology.registry.prefix_table()]
+        for i, a in enumerate(prefixes):
+            for b in prefixes[i + 1 :]:
+                assert not a.contains(b.base) and not b.contains(a.base)
+
+    def test_named_isps_use_real_asns(self, topology):
+        for asn in (3320, 3209, 4713, 2516, 15895, 5416, 7922, 2856):
+            autonomous_system = topology.registry.get(asn)
+            assert autonomous_system.kind is ASKind.ACCESS
+
+    def test_cloud_ases_not_in_base_graph(self, topology):
+        # Provider edges are scoped per (network, continent); the base
+        # graph holds only the transit hierarchy and ISPs.
+        cloud_asns = {
+            a.asn for a in topology.registry.of_kind(ASKind.CLOUD)
+        }
+        assert not cloud_asns & topology.base_graph.all_asns()
+
+
+class TestScopedGraphs:
+    def test_graph_for_caches(self, topology):
+        first = topology.graph_for("GCP", Continent.EU)
+        assert topology.graph_for("GCP", Continent.EU) is first
+
+    def test_lightsail_shares_amazon_scope(self, topology):
+        assert topology.graph_for("LTSL", Continent.EU) is topology.graph_for(
+            "AMZN", Continent.EU
+        )
+        assert topology.network_code("LTSL") == "AMZN"
+
+    def test_direct_edges_present_in_scoped_graph(self, topology):
+        peering = topology.peering_for("GCP")
+        graph = topology.graph_for("GCP", Continent.EU)
+        for isp_asn in list(peering.direct_isps)[:20]:
+            assert (
+                graph.relationship_between(isp_asn, peering.cloud_asn)
+                is Relationship.PEER_TO_PEER
+            )
+
+    def test_transit_edges_always_present(self, topology):
+        peering = topology.peering_for("VLTR")
+        for continent in Continent:
+            graph = topology.graph_for("VLTR", continent)
+            for tier1 in peering.transit_tier1s:
+                assert (
+                    graph.relationship_between(peering.cloud_asn, tier1)
+                    is Relationship.CUSTOMER_TO_PROVIDER
+                )
+
+    def test_pni_scoping(self, topology):
+        peering = topology.peering_for("DO")
+        eu_pnis = set(peering.pni_in(Continent.EU))
+        if not eu_pnis:
+            pytest.skip("draw produced no EU PNIs for DO")
+        as_graph = topology.graph_for("DO", Continent.AS)
+        as_pnis = set(peering.pni_in(Continent.AS))
+        for carrier in eu_pnis - as_pnis - set(peering.transit_tier1s):
+            assert as_graph.relationship_between(peering.cloud_asn, carrier) is None
+
+    def test_routes_cached_and_policy_respected(self, topology):
+        table = topology.routes_for("GCP", Continent.EU)
+        assert topology.routes_for("GCP", Continent.EU) is table
+        assert topology.policy is RoutePolicy.VALLEY_FREE
+
+
+class TestPeeringDraws:
+    def test_hypergiant_direct_majority_in_eu(self, world, topology):
+        peering = topology.peering_for("MSFT")
+        eu_isps = [
+            isp
+            for isp in topology.registry.of_kind(ASKind.ACCESS)
+            if isp.continent is Continent.EU
+        ]
+        direct = sum(1 for isp in eu_isps if peering.has_direct(isp.asn))
+        assert direct / len(eu_isps) > 0.6
+
+    def test_alibaba_peers_with_chinese_isps(self, topology):
+        """Alibaba's direct propensity is ~0.95 inside China and ~0.04
+        elsewhere: most Chinese ISPs must be direct, while only a thin
+        scatter of foreign ones is."""
+        peering = topology.peering_for("BABA")
+        registry = topology.registry
+        chinese_isps = registry.access_in_country("CN")
+        chinese_direct = sum(
+            1 for isp in chinese_isps if peering.has_direct(isp.asn)
+        )
+        assert chinese_direct >= len(chinese_isps) - 1
+        foreign = [
+            isp
+            for isp in registry.of_kind(ASKind.ACCESS)
+            if isp.country != "CN"
+        ]
+        foreign_direct = sum(1 for isp in foreign if peering.has_direct(isp.asn))
+        assert foreign_direct / len(foreign) < 0.12
+
+    def test_all_nine_networks_have_peerings(self, topology):
+        assert len(topology.peerings) == 9

@@ -1,0 +1,50 @@
+"""Tests for repro.core.units."""
+
+import math
+
+import pytest
+
+from repro.core import units
+
+
+class TestConstants:
+    def test_speed_in_fiber_is_two_thirds_of_c(self):
+        assert units.SPEED_IN_FIBER_KM_S == pytest.approx(
+            units.SPEED_OF_LIGHT_KM_S * 2 / 3
+        )
+
+    def test_fiber_ms_per_km_matches_rule_of_thumb(self):
+        # ~1 ms one-way per 200 km.
+        assert units.FIBER_PATH_MS_PER_KM == pytest.approx(1 / 200, rel=0.01)
+
+
+class TestOneWayFiberMs:
+    def test_zero_distance(self):
+        assert units.one_way_fiber_ms(0.0) == 0.0
+
+    def test_200km_is_about_1ms(self):
+        assert units.one_way_fiber_ms(200.0) == pytest.approx(1.0, rel=0.01)
+
+    def test_stretch_scales_linearly(self):
+        base = units.one_way_fiber_ms(1000.0)
+        assert units.one_way_fiber_ms(1000.0, stretch=1.5) == pytest.approx(
+            1.5 * base
+        )
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            units.one_way_fiber_ms(-1.0)
+
+    def test_stretch_below_one_rejected(self):
+        with pytest.raises(ValueError, match="stretch"):
+            units.one_way_fiber_ms(100.0, stretch=0.9)
+
+
+class TestGeoRttMs:
+    def test_rtt_is_twice_one_way(self):
+        assert units.geo_rtt_ms(500.0, 1.3) == pytest.approx(
+            2.0 * units.one_way_fiber_ms(500.0, 1.3)
+        )
+
+    def test_100km_rtt_about_1ms(self):
+        assert units.geo_rtt_ms(100.0) == pytest.approx(1.0, rel=0.01)

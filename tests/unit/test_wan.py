@@ -1,0 +1,37 @@
+"""Tests for repro.cloud.wan."""
+
+from repro.cloud.providers import provider_by_code
+from repro.cloud.wan import PrivateWAN
+from repro.geo.continents import Continent
+
+
+class TestPrivateWANCoverage:
+    def test_private_backbone_covers_everywhere(self):
+        wan = PrivateWAN.for_provider(provider_by_code("GCP"))
+        assert all(wan.covers(continent) for continent in Continent)
+
+    def test_public_backbone_covers_nothing(self):
+        for code in ("VLTR", "LIN"):
+            wan = PrivateWAN.for_provider(provider_by_code(code))
+            assert not any(wan.covers(continent) for continent in Continent)
+
+    def test_digitalocean_semi_covers_eu_na_only(self):
+        wan = PrivateWAN.for_provider(provider_by_code("DO"))
+        assert wan.covers(Continent.EU)
+        assert wan.covers(Continent.NA)
+        assert not wan.covers(Continent.AS)
+        assert not wan.covers(Continent.AF)
+
+    def test_alibaba_semi_covers_asia_only(self):
+        wan = PrivateWAN.for_provider(provider_by_code("BABA"))
+        assert wan.covers(Continent.AS)
+        assert not wan.covers(Continent.EU)
+
+    def test_ibm_matches_digitalocean_footprint(self):
+        ibm = PrivateWAN.for_provider(provider_by_code("IBM"))
+        do = PrivateWAN.for_provider(provider_by_code("DO"))
+        assert ibm.coverage == do.coverage
+
+    def test_covers_accepts_string_codes(self):
+        wan = PrivateWAN.for_provider(provider_by_code("AMZN"))
+        assert wan.covers("EU")
