@@ -9,6 +9,7 @@ import numpy as np
 import pytest
 
 from repro import run_campaign
+from repro.measure.batch import PingRequest
 from repro.measure.results import Protocol
 from repro.resolve.pipeline import TracerouteResolver
 from repro.resolve.pyasn import PyASNResolver
@@ -47,14 +48,30 @@ def test_path_planning_throughput(benchmark, world):
 
 
 def test_ping_throughput(benchmark, world):
+    """50 pings through the vectorized batch API (one RNG pass)."""
+    probe = world.speedchecker.probes[0]
+    region = world.catalog.all()[0]
+    requests = [
+        PingRequest(probe=probe, region=region, samples=4) for _ in range(50)
+    ]
+
+    def ping_batch():
+        return world.engine.ping_batch(requests)
+
+    block = benchmark(ping_batch)
+    assert len(block) == 50
+
+
+def test_ping_throughput_scalar(benchmark, world):
+    """The pre-batch scalar path, kept for speedup comparison."""
     probe = world.speedchecker.probes[0]
     region = world.catalog.all()[0]
 
-    def ping_batch():
+    def ping_all():
         for _ in range(50):
             world.engine.ping(probe, region, samples=4)
 
-    benchmark(ping_batch)
+    benchmark(ping_all)
 
 
 def test_traceroute_resolution_throughput(benchmark, world, dataset):
@@ -74,5 +91,5 @@ def test_campaign_day_throughput(benchmark, world):
     def one_day():
         return run_campaign(world, days=1, platforms=("speedchecker",))
 
-    result = benchmark.pedantic(one_day, rounds=2, iterations=1)
+    result = benchmark.pedantic(one_day, rounds=5, iterations=1, warmup_rounds=1)
     assert result.ping_count > 0

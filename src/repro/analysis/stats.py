@@ -126,6 +126,22 @@ def _z_score(confidence: float) -> float:
     return float(math.sqrt(2.0) * erfinv(confidence))
 
 
+def ks_distance(a: Sequence[float], b: Sequence[float]) -> float:
+    """Two-sample Kolmogorov-Smirnov distance: sup |ECDF_a - ECDF_b|.
+
+    Used by the batch-engine equivalence tests to bound how far the
+    vectorized sampling path drifts from the scalar path.
+    """
+    xs = np.asarray(sorted(float(v) for v in a), dtype=np.float64)
+    ys = np.asarray(sorted(float(v) for v in b), dtype=np.float64)
+    if xs.size == 0 or ys.size == 0:
+        raise ValueError("cannot compute a KS distance of an empty sample set")
+    grid = np.concatenate([xs, ys])
+    cdf_a = np.searchsorted(xs, grid, side="right") / xs.size
+    cdf_b = np.searchsorted(ys, grid, side="right") / ys.size
+    return float(np.max(np.abs(cdf_a - cdf_b)))
+
+
 def cdf_points(samples: Sequence[float]) -> List[tuple]:
     """(value, cumulative fraction) pairs for an empirical CDF."""
     values = sorted(float(v) for v in samples)

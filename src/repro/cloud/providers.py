@@ -256,7 +256,24 @@ def network_operator(code: str) -> CloudProvider:
 
     Resolves resold offerings (LTSL) to their network owner (AMZN).
     """
-    provider = provider_by_code(code)
-    if provider.network_owner is not None:
-        return provider_by_code(provider.network_owner)
-    return provider
+    operator = _NETWORK_OPERATORS.get(code)
+    if operator is None:
+        # Unknown code: surface the usual KeyError with the code named.
+        return provider_by_code(code)
+    return operator
+
+
+#: Provider code -> operating provider, resolved once at import.
+_NETWORK_OPERATORS = {
+    provider.code: (
+        _BY_CODE[provider.network_owner]
+        if provider.network_owner is not None
+        else provider
+    )
+    for provider in PROVIDERS
+}
+
+#: Provider code -> network operator code (the hot planner lookup).
+NETWORK_CODE_BY_PROVIDER = {
+    code: operator.code for code, operator in _NETWORK_OPERATORS.items()
+}

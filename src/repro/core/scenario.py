@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import gc
 from dataclasses import replace
 from typing import Dict, Optional, Tuple
 
@@ -67,7 +68,7 @@ def build_world(
         rngs.stream("deploy.atlas"),
     )
 
-    return World(
+    world = World(
         config=config,
         rngs=rngs,
         countries=registry,
@@ -81,6 +82,14 @@ def build_world(
         atlas=AtlasPlatform(atlas_probes, rngs.stream("platform.atlas")),
         region_addresses=region_addresses,
     )
+    # The world's object graph (topology, probe fleets, routing inputs)
+    # is static for its whole lifetime but large enough that every gen-2
+    # garbage collection afterwards spends milliseconds re-traversing
+    # it.  Park it in the collector's permanent generation -- after a
+    # full collect so no garbage is frozen along with it.
+    gc.collect()
+    gc.freeze()
+    return world
 
 
 def _assign_region_addresses(

@@ -25,7 +25,12 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.cloud.peering import ProviderPeering, build_provider_peering
-from repro.cloud.providers import PROVIDERS, CloudProvider, network_operator
+from repro.cloud.providers import (
+    NETWORK_CODE_BY_PROVIDER,
+    PROVIDERS,
+    CloudProvider,
+    network_operator,
+)
 from repro.core.config import SimulationConfig
 from repro.core.rng import RngStreams
 from repro.datasets.carriers import TIER1_CARRIERS
@@ -87,7 +92,10 @@ class Topology:
 
     def network_code(self, provider_code: str) -> str:
         """Resolve a provider code to its network operator's code."""
-        return network_operator(provider_code).code
+        code = NETWORK_CODE_BY_PROVIDER.get(provider_code)
+        if code is None:
+            return network_operator(provider_code).code
+        return code
 
     def peering_for(self, provider_code: str) -> ProviderPeering:
         return self.peerings[self.network_code(provider_code)]

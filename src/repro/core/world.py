@@ -14,6 +14,7 @@ from repro.core.topology import Topology
 from repro.geo.countries import CountryRegistry
 from repro.measure.engine import MeasurementEngine
 from repro.measure.path import PathPlanner
+from repro.measure.targets import RegionTargeter
 from repro.platforms.atlas import AtlasPlatform
 from repro.platforms.speedchecker import SpeedcheckerPlatform
 
@@ -38,8 +39,10 @@ class World:
     region_addresses: Dict[Tuple[str, str], int]
     planner: PathPlanner = field(init=False)
     engine: MeasurementEngine = field(init=False)
+    targeter: RegionTargeter = field(init=False)
 
     def __post_init__(self) -> None:
+        self.targeter = RegionTargeter(self.catalog)
         self.planner = PathPlanner(
             topology=self.topology,
             wans=self.wans,

@@ -5,6 +5,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 #: Mean Earth radius in kilometres (IUGG).
 EARTH_RADIUS_KM = 6_371.0088
 
@@ -68,6 +70,37 @@ def interpolate(a: GeoPoint, b: GeoPoint, fraction: float) -> GeoPoint:
     lat = math.atan2(z, math.sqrt(x * x + y * y))
     lon = math.atan2(y, x)
     return GeoPoint(math.degrees(lat), math.degrees(lon))
+
+
+def interpolate_many(a: GeoPoint, b: GeoPoint, fractions) -> "tuple":
+    """Vectorized :func:`interpolate`: points at many fractions at once.
+
+    Returns ``(lats, lons)`` as :mod:`numpy` arrays in decimal degrees.
+    Used by the path planner to place all router hops of a path in one
+    pass instead of one spherical interpolation per hop.
+    """
+    fractions = np.asarray(fractions, dtype=np.float64)
+    if fractions.size and (fractions.min() < 0.0 or fractions.max() > 1.0):
+        raise ValueError("fractions must be within [0, 1]")
+    lat1, lon1 = math.radians(a.lat), math.radians(a.lon)
+    lat2, lon2 = math.radians(b.lat), math.radians(b.lon)
+    delta = haversine_km(a, b) / EARTH_RADIUS_KM
+    if delta < 1e-12:
+        return (
+            np.full(fractions.shape, a.lat),
+            np.full(fractions.shape, a.lon),
+        )
+    # The common 1/sin(delta) factor of the slerp weights cancels inside
+    # atan2, so both divisions are skipped.
+    scaled = fractions * delta
+    s1 = np.sin(delta - scaled)
+    s2 = np.sin(scaled)
+    x = s1 * (math.cos(lat1) * math.cos(lon1)) + s2 * (math.cos(lat2) * math.cos(lon2))
+    y = s1 * (math.cos(lat1) * math.sin(lon1)) + s2 * (math.cos(lat2) * math.sin(lon2))
+    z = s1 * math.sin(lat1) + s2 * math.sin(lat2)
+    lats = np.degrees(np.arctan2(z, np.hypot(x, y)))
+    lons = np.degrees(np.arctan2(y, x))
+    return lats, lons
 
 
 def jitter_point(

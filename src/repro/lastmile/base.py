@@ -19,6 +19,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from enum import Enum
+from typing import Tuple
 
 import numpy as np
 
@@ -63,6 +64,13 @@ class LastMileDraw:
             )
 
 
+#: Parameter vector describing a last-mile model for batched sampling:
+#: ``(air_median, air_sigma, wire_median, wire_sigma,
+#: bufferbloat_probability, bufferbloat_inflation)``.  A zero median
+#: means the segment is absent and always draws exactly zero.
+LastMileParams = Tuple[float, float, float, float, float, float]
+
+
 class LastMileModel(ABC):
     """A distribution over last-mile latency draws."""
 
@@ -71,6 +79,31 @@ class LastMileModel(ABC):
     @abstractmethod
     def draw(self, rng: np.random.Generator) -> LastMileDraw:
         """One last-mile latency sample."""
+
+    @abstractmethod
+    def batch_params(self) -> LastMileParams:
+        """The model's :data:`LastMileParams` for vectorized sampling."""
+
+    def draw_batch(
+        self, rng: np.random.Generator, n: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``n`` last-mile samples as ``(air_ms, wire_ms)`` arrays.
+
+        Distributionally identical to ``n`` :meth:`draw` calls but issues
+        exactly three array draws (air noise, bufferbloat uniforms, wire
+        noise) regardless of ``n``.
+        """
+        air_median, air_sigma, wire_median, wire_sigma, bloat_p, bloat_x = (
+            self.batch_params()
+        )
+        z_air = rng.standard_normal(n)
+        u_bloat = rng.random(n)
+        z_wire = rng.standard_normal(n)
+        air = lognormal_ms_array(air_median, air_sigma, z_air)
+        if bloat_p > 0.0:
+            air = np.where(u_bloat < bloat_p, air * bloat_x, air)
+        wire = lognormal_ms_array(wire_median, wire_sigma, z_wire)
+        return air, wire
 
     def median_total_ms(self) -> float:
         """Median of the USR-ISP total (analytic, for calibration tests)."""
@@ -90,3 +123,20 @@ def lognormal_ms(
     if sigma < 0:
         raise ValueError(f"sigma must be non-negative, got {sigma}")
     return float(median * np.exp(sigma * rng.standard_normal()))
+
+
+def lognormal_ms_array(
+    median: float, sigma: float, z: np.ndarray
+) -> np.ndarray:
+    """Vectorized :func:`lognormal_ms` over pre-drawn standard normals.
+
+    A zero ``median`` denotes an absent segment and yields exact zeros
+    (the array analogue of not drawing the segment at all).
+    """
+    if median < 0:
+        raise ValueError(f"median must be non-negative, got {median}")
+    if sigma < 0:
+        raise ValueError(f"sigma must be non-negative, got {sigma}")
+    if median == 0.0:
+        return np.zeros(np.shape(z))
+    return median * np.exp(sigma * z)

@@ -17,7 +17,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.config import LastMileConfig
-from repro.lastmile.base import AccessKind, LastMileDraw, LastMileModel, lognormal_ms
+from repro.lastmile.base import (
+    AccessKind,
+    LastMileDraw,
+    LastMileModel,
+    LastMileParams,
+    lognormal_ms,
+)
 
 
 @dataclass
@@ -60,6 +66,16 @@ class FiveGLastMile(LastMileModel):
         if rng.random() < self.config.bufferbloat_probability:
             air *= self.config.bufferbloat_inflation
         return LastMileDraw(air_ms=air, wire_ms=0.0)
+
+    def batch_params(self) -> LastMileParams:
+        return (
+            self._median_ms,
+            self.config.cellular_sigma,
+            0.0,
+            0.0,
+            self.config.bufferbloat_probability,
+            self.config.bufferbloat_inflation,
+        )
 
     def median_total_ms(self) -> float:
         return self._median_ms

@@ -13,7 +13,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.config import LastMileConfig
-from repro.lastmile.base import AccessKind, LastMileDraw, LastMileModel, lognormal_ms
+from repro.lastmile.base import (
+    AccessKind,
+    LastMileDraw,
+    LastMileModel,
+    LastMileParams,
+    lognormal_ms,
+)
 
 
 @dataclass
@@ -43,6 +49,16 @@ class HomeWifiLastMile(LastMileModel):
         )
         return LastMileDraw(air_ms=air, wire_ms=wire)
 
+    def batch_params(self) -> LastMileParams:
+        return (
+            self.config.wifi_air_median_ms * self.quality,
+            self.config.wifi_air_sigma,
+            self.config.home_wire_median_ms * self.quality,
+            self.config.home_wire_sigma,
+            self.config.bufferbloat_probability,
+            self.config.bufferbloat_inflation,
+        )
+
     def median_total_ms(self) -> float:
         return (
             self.config.wifi_air_median_ms + self.config.home_wire_median_ms
@@ -67,6 +83,16 @@ class CellularLastMile(LastMileModel):
             air *= self.config.bufferbloat_inflation
         return LastMileDraw(air_ms=air, wire_ms=0.0)
 
+    def batch_params(self) -> LastMileParams:
+        return (
+            self.config.cellular_median_ms * self.quality,
+            self.config.cellular_sigma,
+            0.0,
+            0.0,
+            self.config.bufferbloat_probability,
+            self.config.bufferbloat_inflation,
+        )
+
     def median_total_ms(self) -> float:
         return self.config.cellular_median_ms * self.quality
 
@@ -86,6 +112,16 @@ class WiredLastMile(LastMileModel):
             rng,
         )
         return LastMileDraw(air_ms=0.0, wire_ms=wire)
+
+    def batch_params(self) -> LastMileParams:
+        return (
+            0.0,
+            0.0,
+            self.config.wired_median_ms,
+            self.config.wired_sigma,
+            0.0,
+            1.0,
+        )
 
     def median_total_ms(self) -> float:
         return self.config.wired_median_ms

@@ -1,5 +1,6 @@
 """Measurement engines: ping, traceroute, and the campaign scheduler."""
 
+from repro.measure.batch import PingRequest, TraceRequest
 from repro.measure.campaign import (
     run_campaign,
     run_case_study,
@@ -9,22 +10,30 @@ from repro.measure.engine import MeasurementEngine
 from repro.measure.io import load_dataset, save_dataset
 from repro.measure.path import InterconnectKind, PlannedHop, PlannedPath
 from repro.measure.results import (
+    ColumnarPingStore,
     MeasurementDataset,
+    PingBlock,
     PingMeasurement,
     Protocol,
     TraceHop,
     TracerouteMeasurement,
 )
+from repro.measure.targets import RegionTargeter
 
 __all__ = [
+    "ColumnarPingStore",
     "InterconnectKind",
     "MeasurementDataset",
     "MeasurementEngine",
+    "PingBlock",
     "PingMeasurement",
+    "PingRequest",
     "PlannedHop",
     "PlannedPath",
     "Protocol",
+    "RegionTargeter",
     "TraceHop",
+    "TraceRequest",
     "TracerouteMeasurement",
     "load_dataset",
     "run_campaign",

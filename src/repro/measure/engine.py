@@ -2,36 +2,40 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.cloud.regions import CloudRegion
 from repro.core.config import SimulationConfig
-from repro.lastmile.base import AccessKind, LastMileDraw
+from repro.lastmile.base import AccessKind, LastMileModel
 from repro.lastmile.models import CellularLastMile, HomeWifiLastMile, WiredLastMile
-from repro.measure.latency import sample_hop_rtt, sample_path_rtt
-from repro.measure.path import HOME_ROUTER_ADDRESS, PathPlanner, PlannedPath
+from repro.measure.batch import (
+    PingRequest,
+    TraceRequest,
+    execute_ping_batch,
+    execute_traceroute_batch,
+)
+from repro.measure.latency import sample_path_rtt
+from repro.measure.path import PathPlanner, PlannedPath
 from repro.measure.results import (
     MeasurementMeta,
+    PingBlock,
     PingMeasurement,
     Protocol,
-    TraceHop,
     TracerouteMeasurement,
+    build_meta,
 )
-from repro.platforms.probe import Probe
 
+# Re-exported for backwards compatibility; the canonical home is the
+# probe module so the results layer can build metas without the engine.
+from repro.platforms.probe import CITY_CELL_DEGREES, Probe, city_key_for
 
-#: Cell size (degrees) for the <city, ASN> platform matching of Fig. 16.
-CITY_CELL_DEGREES = 2.0
-
-
-def city_key_for(probe: Probe) -> Tuple[int, int]:
-    """Quantize a probe location to a ~metro-sized grid cell."""
-    return (
-        int(round(probe.location.lat / CITY_CELL_DEGREES)),
-        int(round(probe.location.lon / CITY_CELL_DEGREES)),
-    )
+#: Bound on the per-(probe, access) last-mile model cache.  A full-scale
+#: fleet has >100k probes; without a bound a year-long campaign would
+#: hold one model object per probe x access medium forever.  Eviction is
+#: FIFO: the oldest entry is dropped once the bound is hit.
+LASTMILE_CACHE_MAX = 65_536
 
 
 class MeasurementEngine:
@@ -46,11 +50,28 @@ class MeasurementEngine:
         self._planner = planner
         self._config = config
         self._rng = rng
-        self._lastmile_cache: Dict[str, object] = {}
+        self._lastmile_cache: Dict[Tuple[str, AccessKind], LastMileModel] = {}
+
+    # -- wiring (used by the batch fast path) --------------------------------
+
+    @property
+    def planner(self) -> PathPlanner:
+        return self._planner
+
+    @property
+    def config(self) -> SimulationConfig:
+        return self._config
+
+    @property
+    def rng(self) -> np.random.Generator:
+        return self._rng
 
     # -- last mile -----------------------------------------------------------
 
-    def _lastmile_model(self, probe: Probe, access: Optional[AccessKind] = None):
+    def lastmile_model(
+        self, probe: Probe, access: Optional[AccessKind] = None
+    ) -> LastMileModel:
+        """The (cached) last-mile model for a probe's access medium."""
         access = access if access is not None else probe.access
         key = (probe.probe_id, access)
         model = self._lastmile_cache.get(key)
@@ -64,10 +85,15 @@ class MeasurementEngine:
             model = CellularLastMile(config=last_mile, quality=quality)
         else:
             model = WiredLastMile(config=last_mile, quality=quality)
+        if len(self._lastmile_cache) >= LASTMILE_CACHE_MAX:
+            self._lastmile_cache.pop(next(iter(self._lastmile_cache)))
         self._lastmile_cache[key] = model
         return model
 
-    def _measurement_access(self, probe: Probe) -> AccessKind:
+    # Backwards-compatible private alias.
+    _lastmile_model = lastmile_model
+
+    def measurement_access(self, probe: Probe) -> AccessKind:
         """The access medium used for one measurement.
 
         Android devices occasionally switch between WiFi and cellular
@@ -82,21 +108,11 @@ class MeasurementEngine:
             return AccessKind.CELLULAR
         return AccessKind.HOME_WIFI
 
+    # Backwards-compatible private alias.
+    _measurement_access = measurement_access
+
     def _meta(self, probe: Probe, region: CloudRegion, day: int) -> MeasurementMeta:
-        return MeasurementMeta(
-            probe_id=probe.probe_id,
-            platform=probe.platform,
-            country=probe.country,
-            continent=probe.continent,
-            access=probe.access,
-            isp_asn=probe.isp_asn,
-            provider_code=region.provider_code,
-            region_id=region.region_id,
-            region_country=region.country,
-            region_continent=region.continent,
-            day=day,
-            city_key=city_key_for(probe),
-        )
+        return build_meta(probe, region, day)
 
     # -- ping ------------------------------------------------------------------
 
@@ -112,7 +128,7 @@ class MeasurementEngine:
         if samples < 1:
             raise ValueError(f"samples must be >= 1, got {samples}")
         path = self._planner.plan(probe, region)
-        model = self._lastmile_model(probe)
+        model = self.lastmile_model(probe)
         rtts = []
         for _ in range(samples):
             last_mile = model.draw(self._rng)
@@ -131,6 +147,17 @@ class MeasurementEngine:
             samples=tuple(rtts),
         )
 
+    def ping_batch(self, requests: Sequence[PingRequest]) -> PingBlock:
+        """Execute a whole request batch in one vectorized pass.
+
+        The fast-path equivalent of calling :meth:`ping` once per
+        request: requests are grouped by planned path and every noise
+        process is drawn as NumPy arrays over all samples at once.
+        Returns a columnar :class:`PingBlock`; feed it to
+        :meth:`MeasurementDataset.add_ping_block`.
+        """
+        return execute_ping_batch(self, requests)
+
     # -- traceroute ---------------------------------------------------------------
 
     def traceroute(
@@ -145,52 +172,24 @@ class MeasurementEngine:
         Home probes expose their NAT router as a private-address first
         hop; cellular (and artifact) probes hit the ISP directly --
         exactly the signal the paper's home/cell classifier keys on.
+        A batch of one through the vectorized traceroute path.
         """
-        path = self._planner.plan(probe, region)
-        access = self._measurement_access(probe)
-        model = self._lastmile_model(probe, access)
-        last_mile: LastMileDraw = model.draw(self._rng)
-        config = self._config
-        rng = self._rng
-        hops = []
-
-        behind_router = access is AccessKind.HOME_WIFI and (
-            probe.access is not AccessKind.HOME_WIFI
-            or probe.device_address != probe.public_address
+        request = TraceRequest(
+            probe=probe, region=region, protocol=Protocol(protocol), day=day
         )
-        if behind_router:
-            # Hop 1: the home router, reached over the WiFi air segment.
-            hops.append(
-                TraceHop(
-                    address=HOME_ROUTER_ADDRESS,
-                    rtt_ms=round(last_mile.air_ms + float(rng.exponential(0.3)), 3),
-                )
-            )
+        return execute_traceroute_batch(self, [request])[0]
 
-        unresponsive_p = config.path_model.hop_unresponsive_probability
-        for planned in path.hops:
-            is_destination = planned.address == path.dest_address
-            if not is_destination and rng.random() < unresponsive_p:
-                hops.append(TraceHop(address=None, rtt_ms=None))
-                continue
-            rtt = last_mile.total_ms + sample_hop_rtt(
-                planned.base_rtt_ms,
-                path,
-                Protocol(protocol),
-                probe.continent,
-                config,
-                rng,
-                day=day,
-            )
-            hops.append(TraceHop(address=planned.address, rtt_ms=round(rtt, 3)))
+    def traceroute_batch(
+        self, requests: Sequence[TraceRequest]
+    ) -> list:
+        """Execute a whole traceroute batch in one vectorized pass.
 
-        return TracerouteMeasurement(
-            meta=self._meta(probe, region, day),
-            protocol=Protocol(protocol),
-            source_address=probe.device_address,
-            dest_address=path.dest_address,
-            hops=tuple(hops),
-        )
+        The fast-path equivalent of calling :meth:`traceroute` once per
+        request: every hop of every trace is sampled as flat NumPy
+        arrays.  Returns the :class:`TracerouteMeasurement` list in
+        request order.
+        """
+        return execute_traceroute_batch(self, requests)
 
     # -- introspection -------------------------------------------------------------
 

@@ -92,6 +92,51 @@ def _congestion_factor(rng: np.random.Generator) -> float:
     return 1.3 + 1.2 * float(rng.random())
 
 
+def sample_path_rtt_block(
+    base_rtt_ms: np.ndarray,
+    jitter_sigma: np.ndarray,
+    congestion_probability: np.ndarray,
+    icmp_mask: np.ndarray,
+    icmp_penalty_probability: np.ndarray,
+    config: SimulationConfig,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Vectorized :func:`sample_path_rtt` over per-sample parameter arrays.
+
+    All inputs are aligned per-sample arrays (``congestion_probability``
+    already includes the weekly cycle multiplier; see
+    :func:`congestion_cycle_multiplier`).  Draw order is fixed -- jitter
+    normals, congestion uniforms, congestion factors, ICMP uniforms -- so
+    a given seed always produces the same block.  Distributionally the
+    result matches per-sample scalar calls: the same lognormal jitter,
+    the same congestion episode mixture, and the same ICMP penalty
+    process, just drawn as whole arrays.
+    """
+    path_config = config.path_model
+    z_jitter = rng.standard_normal(base_rtt_ms.shape[0])
+    u_congestion = rng.random(base_rtt_ms.shape[0])
+    u_factor = rng.random(base_rtt_ms.shape[0])
+    u_icmp = rng.random(base_rtt_ms.shape[0])
+
+    rtt = base_rtt_ms * np.exp(jitter_sigma * z_jitter)
+    congested = u_congestion < congestion_probability
+    rtt = np.where(congested, rtt * (1.3 + 1.2 * u_factor), rtt)
+    rtt = np.where(icmp_mask, rtt * path_config.icmp_base_inflation, rtt)
+    penalized = icmp_mask & (u_icmp < icmp_penalty_probability)
+    return np.where(penalized, rtt * path_config.icmp_penalty_factor, rtt)
+
+
+def icmp_penalty_probability_for(
+    source_continent: Continent, config: SimulationConfig
+) -> float:
+    """The per-sample ICMP penalty probability for a source continent."""
+    path_config = config.path_model
+    probability = path_config.icmp_penalty_probability
+    if source_continent is Continent.AF:
+        probability *= path_config.icmp_africa_multiplier
+    return probability
+
+
 def _apply_icmp_penalty(
     rtt: float,
     source_continent: Continent,
@@ -100,9 +145,7 @@ def _apply_icmp_penalty(
 ) -> float:
     path_config = config.path_model
     rtt *= path_config.icmp_base_inflation
-    probability = path_config.icmp_penalty_probability
-    if source_continent is Continent.AF:
-        probability *= path_config.icmp_africa_multiplier
+    probability = icmp_penalty_probability_for(source_continent, config)
     if rng.random() < probability:
         return rtt * path_config.icmp_penalty_factor
     return rtt

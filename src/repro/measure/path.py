@@ -10,18 +10,17 @@ around.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from enum import Enum
-from typing import List, Optional, Tuple
+from typing import List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.cloud.regions import CloudRegion
 from repro.cloud.wan import PrivateWAN
-from repro.core.config import PathModelConfig, SimulationConfig
+from repro.core.config import SimulationConfig
 from repro.core.topology import Topology
 from repro.core.units import one_way_fiber_ms
-from repro.geo.coords import GeoPoint, interpolate
+from repro.geo.coords import EARTH_RADIUS_KM, GeoPoint
 from repro.net.asn import AS, ASKind
 from repro.net.ip import parse_ip
 from repro.platforms.probe import Probe
@@ -52,40 +51,134 @@ class InterconnectKind(str, Enum):
         return self.value
 
 
-@dataclass(frozen=True)
-class PlannedHop:
-    """A router (or IXP port) hop with its noise-free RTT from the ISP edge."""
+class PlannedHop(NamedTuple):
+    """A router (or IXP port) hop with its noise-free RTT from the ISP edge.
+
+    A named tuple of atomic fields rather than a dataclass: the planner
+    allocates one per router of every planned path, tuple construction
+    is several times cheaper, and tuples whose items are all atomic are
+    untracked by the garbage collector -- keeping the (large, permanent)
+    planner cache out of every gen-2 collection.
+    """
 
     address: int
     asn: Optional[int]
     owner_kind: str
-    position: GeoPoint
+    lat: float
+    lon: float
     base_rtt_ms: float
     ixp_id: Optional[int] = None
 
+    @property
+    def position(self) -> GeoPoint:
+        """The hop's location as a :class:`GeoPoint` (built on demand)."""
+        return GeoPoint(self.lat, self.lon)
 
-@dataclass(frozen=True)
+
 class PlannedPath:
-    """The planned forwarding path between a probe and a region endpoint."""
+    """The planned forwarding path between a probe and a region endpoint.
 
-    probe_id: str
-    region_id: str
-    provider_code: str
-    as_path: Tuple[int, ...]
-    interconnect: InterconnectKind
-    distance_km: float
-    stretch: float
-    jitter_sigma: float
-    congestion_probability: float
-    #: Noise-free RTT from the ISP edge to the endpoint (no last mile).
-    base_path_rtt_ms: float
-    #: Hops beyond the last mile, ISP edge first, endpoint last.
-    hops: Tuple[PlannedHop, ...]
-    dest_address: int
+    Hops are stored columnar -- parallel tuples of atomic values rather
+    than one object per hop.  Exact tuples of atomics are untracked by
+    the garbage collector, which keeps the planner's (large, permanent)
+    path cache out of every gen-2 collection; the hot batch engines read
+    the columns directly and :attr:`hops` materializes the classic
+    :class:`PlannedHop` view on demand for analysis code.
+    """
+
+    __slots__ = (
+        "probe_id",
+        "region_id",
+        "provider_code",
+        "as_path",
+        "interconnect",
+        "distance_km",
+        "stretch",
+        "jitter_sigma",
+        "congestion_probability",
+        "base_path_rtt_ms",
+        "hop_addresses",
+        "hop_asns",
+        "hop_kinds",
+        "hop_lats",
+        "hop_lons",
+        "hop_base_rtts",
+        "hop_ixp_ids",
+        "dest_address",
+    )
+
+    def __init__(
+        self,
+        *,
+        probe_id: str,
+        region_id: str,
+        provider_code: str,
+        as_path: Tuple[int, ...],
+        interconnect: InterconnectKind,
+        distance_km: float,
+        stretch: float,
+        jitter_sigma: float,
+        congestion_probability: float,
+        base_path_rtt_ms: float,
+        dest_address: int,
+        hops: Sequence[PlannedHop] = (),
+        hop_columns: Optional[tuple] = None,
+    ) -> None:
+        self.probe_id = probe_id
+        self.region_id = region_id
+        self.provider_code = provider_code
+        self.as_path = as_path
+        self.interconnect = interconnect
+        self.distance_km = distance_km
+        self.stretch = stretch
+        self.jitter_sigma = jitter_sigma
+        self.congestion_probability = congestion_probability
+        #: Noise-free RTT from the ISP edge to the endpoint (no last mile).
+        self.base_path_rtt_ms = base_path_rtt_ms
+        if hop_columns is None:
+            hop_columns = tuple(zip(*hops)) if hops else ((),) * 7
+        self._set_columns(hop_columns)
+        self.dest_address = dest_address
+
+    def _set_columns(self, columns) -> None:
+        #: Columnar hop storage, ISP edge first, endpoint last.
+        self.hop_addresses = columns[0]
+        self.hop_asns = columns[1]
+        self.hop_kinds = columns[2]
+        self.hop_lats = columns[3]
+        self.hop_lons = columns[4]
+        self.hop_base_rtts = columns[5]
+        self.hop_ixp_ids = columns[6]
+
+    @property
+    def hops(self) -> Tuple[PlannedHop, ...]:
+        """Hops beyond the last mile as :class:`PlannedHop` views."""
+        return tuple(
+            PlannedHop(*row)
+            for row in zip(
+                self.hop_addresses,
+                self.hop_asns,
+                self.hop_kinds,
+                self.hop_lats,
+                self.hop_lons,
+                self.hop_base_rtts,
+                self.hop_ixp_ids,
+            )
+        )
+
+    @property
+    def hop_count(self) -> int:
+        return len(self.hop_addresses)
 
     @property
     def intermediate_as_count(self) -> int:
         return max(0, len(self.as_path) - 2)
+
+    def __repr__(self) -> str:
+        return (
+            f"PlannedPath(probe_id={self.probe_id!r}, "
+            f"region_id={self.region_id!r}, hops={self.hop_count})"
+        )
 
 
 def classify_interconnect(
@@ -166,6 +259,33 @@ _CLOUD_GEO_SHARE = {
     InterconnectKind.PUBLIC: 0.15,
 }
 
+#: Pre-rendered AS-kind labels so hop assembly never re-stringifies enums.
+_KIND_LABELS = {kind: str(kind) for kind in ASKind}
+
+
+class _PathPrep(NamedTuple):
+    """Everything about a path that is decided before hop placement.
+
+    The scalar prefix of path building (routing, interconnect class,
+    stretch/jitter, per-AS hop counts) stays per-pair Python; hop
+    placement itself (fractions, spherical interpolation, base RTTs,
+    addresses) runs as one array pass over every prep in a batch.
+    """
+
+    probe: Probe
+    region: CloudRegion
+    as_path: List[int]
+    interconnect: InterconnectKind
+    distance: float
+    stretch: float
+    sigma: float
+    systems: List[AS]
+    counts: List[int]
+    fixed_rtt: float
+    total_hops: int
+    two_way_fiber: float
+    dest_address: int
+
 
 class PathPlanner:
     """Builds and caches :class:`PlannedPath` objects."""
@@ -197,7 +317,64 @@ class PathPlanner:
         self._cache[key] = path
         return path
 
+    def plan_many(
+        self, pairs: Sequence[Tuple[Probe, CloudRegion]]
+    ) -> List[PlannedPath]:
+        """Planned paths for many (probe, region) pairs at once.
+
+        Cache hits return directly; every miss in the batch shares one
+        vectorized hop-placement pass (fractions, spherical interpolation,
+        base RTTs, and hop addresses are single array expressions across
+        all new paths), so a cold campaign day pays array setup once
+        rather than per pair.
+        """
+        results: List[Optional[PlannedPath]] = [None] * len(pairs)
+        keys: List[Optional[tuple]] = [None] * len(pairs)
+        misses: List[int] = []
+        cache = self._cache
+        for i, (probe, region) in enumerate(pairs):
+            key = (probe.probe_id, region.provider_code, region.region_id)
+            cached = cache.get(key)
+            if cached is not None:
+                results[i] = cached
+            else:
+                keys[i] = key
+                misses.append(i)
+        if not misses:
+            return results
+        # Dedup repeats inside the batch, preserving first-seen order so
+        # the RNG draw sequence depends only on the request sequence.
+        first_seen: dict = {}
+        unique: List[int] = []
+        for i in misses:
+            if keys[i] not in first_seen:
+                first_seen[keys[i]] = len(unique)
+                unique.append(i)
+        preps = [self._prepare(*pairs[i]) for i in unique]
+        placed = self._place_hops(preps)
+        lat_list, lon_list, rtt_list, addr_list, offsets = placed
+        built: List[PlannedPath] = []
+        for j, prep in enumerate(preps):
+            columns, base_rtt = self._assemble(
+                prep, lat_list, lon_list, rtt_list, addr_list, offsets[j]
+            )
+            path = self._finalize(prep, columns, base_rtt)
+            cache[keys[unique[j]]] = path
+            built.append(path)
+        for i in misses:
+            results[i] = built[first_seen[keys[i]]]
+        return results
+
     def _build(self, probe: Probe, region: CloudRegion) -> PlannedPath:
+        prep = self._prepare(probe, region)
+        lat_list, lon_list, rtt_list, addr_list, _ = self._place_hops([prep])
+        columns, base_rtt = self._assemble(
+            prep, lat_list, lon_list, rtt_list, addr_list, 0
+        )
+        return self._finalize(prep, columns, base_rtt)
+
+    def _prepare(self, probe: Probe, region: CloudRegion) -> _PathPrep:
+        """The scalar (per-pair) prefix of path building."""
         topology = self._topology
         provider_code = region.provider_code
         network = topology.network_code(provider_code)
@@ -216,30 +393,208 @@ class PathPlanner:
         sigma = effective_jitter_sigma(
             interconnect, distance, wan, probe.continent, self._config
         )
-        hops, base_rtt = self._expand_hops(
-            probe, region, as_path, interconnect, distance, stretch
+        path_config = self._config.path_model
+        intermediates = max(0, len(as_path) - 2)
+        # Fixed (distance-independent) overheads: the serving ISP's
+        # aggregation core, plus detours at every inter-domain handoff.
+        fixed_rtt = (
+            path_config.isp_core_rtt_ms
+            + intermediates * path_config.per_intermediate_as_rtt_ms
         )
+        # Hop counts per AS.  The cloud AS carries a geography share that
+        # depends on ingress locality; the remainder splits evenly.
+        registry = topology.registry
+        cloud_share = _CLOUD_GEO_SHARE[interconnect]
+        systems = [registry.get(asn) for asn in as_path]
+        counts = _hop_counts(systems, cloud_share, self._rng)
+        return _PathPrep(
+            probe=probe,
+            region=region,
+            as_path=as_path,
+            interconnect=interconnect,
+            distance=distance,
+            stretch=stretch,
+            sigma=sigma,
+            systems=systems,
+            counts=counts,
+            fixed_rtt=fixed_rtt,
+            total_hops=sum(counts),
+            two_way_fiber=2.0 * one_way_fiber_ms(distance, stretch),
+            dest_address=self._region_addresses[
+                (provider_code, region.region_id)
+            ],
+        )
+
+    def _place_hops(self, preps: Sequence[_PathPrep]):
+        """Place every hop of every prep in one vectorized pass.
+
+        Fractions along each great circle, spherical interpolation, the
+        linear noise-free RTT profile, and hop addresses are all plain
+        array expressions over the concatenated hops of the whole batch.
+        Returns per-hop lat/lon/RTT/address lists plus the per-prep start
+        offsets into them.
+        """
+        path_config = self._config.path_model
+        n_hops = np.array([prep.total_hops for prep in preps], dtype=np.int64)
+        offsets = np.zeros(len(preps) + 1, dtype=np.int64)
+        np.cumsum(n_hops, out=offsets[1:])
+        total = int(offsets[-1])
+        path_of = np.repeat(np.arange(len(preps)), n_hops)
+        ordinals = (
+            np.arange(1, total + 1, dtype=np.float64)
+            - offsets[:-1][path_of]
+        )
+        fractions = ordinals / (n_hops + 1.0)[path_of]
+
+        # Spherical interpolation across all paths at once.  The common
+        # 1/sin(delta) slerp factor cancels inside atan2 and is skipped;
+        # delta is floored at 1e-9 rad so coincident endpoints degrade to
+        # the endpoint itself instead of 0/0.
+        lat1 = np.radians([prep.probe.location.lat for prep in preps])
+        lon1 = np.radians([prep.probe.location.lon for prep in preps])
+        lat2 = np.radians([prep.region.location.lat for prep in preps])
+        lon2 = np.radians([prep.region.location.lon for prep in preps])
+        delta = np.maximum(
+            np.array([prep.distance for prep in preps]) / EARTH_RADIUS_KM,
+            1e-9,
+        )
+        cos1 = np.cos(lat1)
+        cos2 = np.cos(lat2)
+        scaled = fractions * delta[path_of]
+        s1 = np.sin(delta[path_of] - scaled)
+        s2 = np.sin(scaled)
+        x = s1 * (cos1 * np.cos(lon1))[path_of] + s2 * (cos2 * np.cos(lon2))[path_of]
+        y = s1 * (cos1 * np.sin(lon1))[path_of] + s2 * (cos2 * np.sin(lon2))[path_of]
+        z = s1 * np.sin(lat1)[path_of] + s2 * np.sin(lat2)[path_of]
+        lats = np.degrees(np.arctan2(z, np.hypot(x, y)))
+        lons = np.degrees(np.arctan2(y, x))
+
+        # Noise-free RTT profile: linear in the path fraction plus per-hop
+        # processing, shared minimum, and the fixed overheads.
+        grows = np.array(
+            [prep.two_way_fiber + prep.fixed_rtt for prep in preps]
+        )
+        base_rtts = (
+            grows[path_of] * fractions
+            + ordinals * path_config.hop_processing_ms
+            + path_config.min_path_rtt_ms
+        )
+
+        # One uniform draw covers every hop's address offset; each hop's
+        # offset maps onto [16, prefix.size - 16) inside its owner's
+        # prefix, matching the old per-AS integer draws in distribution.
+        as_counts: List[int] = []
+        as_bases: List[int] = []
+        as_spans: List[int] = []
+        for prep in preps:
+            for autonomous_system, count in zip(prep.systems, prep.counts):
+                prefix = autonomous_system.prefixes[0]
+                as_counts.append(count)
+                as_bases.append(prefix.base)
+                as_spans.append(prefix.size - 32)
+        spans = np.repeat(np.array(as_spans, dtype=np.float64), as_counts)
+        bases = np.repeat(np.array(as_bases, dtype=np.int64), as_counts)
+        draws = self._rng.random(total)
+        addresses = bases + 16 + (draws * spans).astype(np.int64)
+
+        return (
+            lats.tolist(),
+            lons.tolist(),
+            base_rtts.tolist(),
+            addresses.tolist(),
+            offsets.tolist(),
+        )
+
+    def _assemble(
+        self,
+        prep: _PathPrep,
+        lat_list: List[float],
+        lon_list: List[float],
+        rtt_list: List[float],
+        addr_list: List[int],
+        start: int,
+    ) -> Tuple[tuple, float]:
+        """Build one prep's columnar hop storage from the placed arrays."""
+        path_config = self._config.path_model
+        total = prep.total_hops
+        end = start + total
+        addresses = addr_list[start:end]
+        lats = lat_list[start:end]
+        lons = lon_list[start:end]
+        rtts = rtt_list[start:end]
+        asns: List[Optional[int]] = []
+        kinds: List[str] = []
+        for autonomous_system, count in zip(prep.systems, prep.counts):
+            asns.extend((autonomous_system.asn,) * count)
+            kinds.extend((_KIND_LABELS[autonomous_system.kind],) * count)
+        ixp_ids: List[Optional[int]] = [None] * total
+        # IXP port hop between the ISP hops and the cloud hops for direct
+        # sessions over a public exchange fabric.
+        if prep.interconnect is InterconnectKind.DIRECT_IXP:
+            peering = self._topology.peering_for(prep.region.provider_code)
+            ixp_id = peering.direct_isps.get(prep.as_path[0])
+            if ixp_id is not None:
+                ixp = self._topology.ixps.get(ixp_id)
+                insert_at = prep.counts[0]
+                neighbor_rtt = rtts[min(insert_at, total - 1)]
+                addresses.insert(
+                    insert_at, ixp.lan_address_for(peering.cloud_asn)
+                )
+                asns.insert(insert_at, None)
+                kinds.insert(insert_at, "ixp")
+                lats.insert(insert_at, ixp.location.lat)
+                lons.insert(insert_at, ixp.location.lon)
+                rtts.insert(insert_at, neighbor_rtt)
+                ixp_ids.insert(insert_at, ixp_id)
+
+        # Destination endpoint hop (the VM).
+        base_path_rtt = (
+            prep.two_way_fiber
+            + (total + 1) * path_config.hop_processing_ms
+            + path_config.min_path_rtt_ms
+            + prep.fixed_rtt
+        )
+        location = prep.region.location
+        addresses.append(prep.dest_address)
+        asns.append(prep.as_path[-1])
+        kinds.append(_KIND_LABELS[ASKind.CLOUD])
+        lats.append(location.lat)
+        lons.append(location.lon)
+        rtts.append(base_path_rtt)
+        ixp_ids.append(None)
+        columns = (
+            tuple(addresses),
+            tuple(asns),
+            tuple(kinds),
+            tuple(lats),
+            tuple(lons),
+            tuple(rtts),
+            tuple(ixp_ids),
+        )
+        return columns, base_path_rtt
+
+    def _finalize(
+        self, prep: _PathPrep, columns: tuple, base_rtt: float
+    ) -> PlannedPath:
         path_config = self._config.path_model
         congestion = (
             path_config.congestion_probability
-            if interconnect is InterconnectKind.PUBLIC
+            if prep.interconnect is InterconnectKind.PUBLIC
             else path_config.congestion_probability * 0.25
         )
         return PlannedPath(
-            probe_id=probe.probe_id,
-            region_id=region.region_id,
-            provider_code=provider_code,
-            as_path=tuple(as_path),
-            interconnect=interconnect,
-            distance_km=distance,
-            stretch=stretch,
-            jitter_sigma=sigma,
+            probe_id=prep.probe.probe_id,
+            region_id=prep.region.region_id,
+            provider_code=prep.region.provider_code,
+            as_path=tuple(prep.as_path),
+            interconnect=prep.interconnect,
+            distance_km=prep.distance,
+            stretch=prep.stretch,
+            jitter_sigma=prep.sigma,
             congestion_probability=congestion,
             base_path_rtt_ms=base_rtt,
-            hops=tuple(hops),
-            dest_address=self._region_addresses[
-                (region.provider_code, region.region_id)
-            ],
+            hop_columns=columns,
+            dest_address=prep.dest_address,
         )
 
     def _adjust_stretch_for_geography(
@@ -275,127 +630,33 @@ class PathPlanner:
             )
         return stretch
 
-    def _expand_hops(
-        self,
-        probe: Probe,
-        region: CloudRegion,
-        as_path: List[int],
-        interconnect: InterconnectKind,
-        distance: float,
-        stretch: float,
-    ) -> Tuple[List[PlannedHop], float]:
-        registry = self._topology.registry
-        path_config = self._config.path_model
-        rng = self._rng
-        intermediates = max(0, len(as_path) - 2)
-        # Fixed (distance-independent) overheads: the serving ISP's
-        # aggregation core, plus detours at every inter-domain handoff.
-        fixed_rtt = (
-            path_config.isp_core_rtt_ms
-            + intermediates * path_config.per_intermediate_as_rtt_ms
-        )
-
-        # Hop counts per AS.  The cloud AS carries a geography share that
-        # depends on ingress locality; the remainder splits evenly.
-        cloud_share = _CLOUD_GEO_SHARE[interconnect]
-        systems = [registry.get(asn) for asn in as_path]
-        counts: List[int] = []
-        for autonomous_system in systems:
-            if autonomous_system.kind is ASKind.CLOUD:
-                share = cloud_share
-            else:
-                share = (1.0 - cloud_share) / max(1, len(systems) - 1)
-            counts.append(_hop_count(autonomous_system, share, rng))
-
-        total_hops = sum(counts)
-        hops: List[PlannedHop] = []
-        placed = 0
-        for autonomous_system, count in zip(systems, counts):
-            prefix = autonomous_system.prefixes[0]
-            for _ in range(count):
-                placed += 1
-                fraction = placed / (total_hops + 1)
-                position = interpolate(probe.location, region.location, fraction)
-                base_rtt = (
-                    2.0 * one_way_fiber_ms(distance * fraction, stretch)
-                    + placed * path_config.hop_processing_ms
-                    + path_config.min_path_rtt_ms
-                    + fixed_rtt * fraction
-                )
-                address = prefix.address_at(
-                    int(rng.integers(16, prefix.size - 16))
-                )
-                hops.append(
-                    PlannedHop(
-                        address=address,
-                        asn=autonomous_system.asn,
-                        owner_kind=str(autonomous_system.kind),
-                        position=position,
-                        base_rtt_ms=base_rtt,
-                    )
-                )
-        # IXP port hop between the ISP hops and the cloud hops for direct
-        # sessions over a public exchange fabric.
-        if interconnect is InterconnectKind.DIRECT_IXP:
-            peering = self._topology.peering_for(region.provider_code)
-            ixp_id = peering.direct_isps.get(as_path[0])
-            if ixp_id is not None:
-                ixp = self._topology.ixps.get(ixp_id)
-                insert_at = counts[0]
-                neighbor = hops[min(insert_at, len(hops) - 1)]
-                hops.insert(
-                    insert_at,
-                    PlannedHop(
-                        address=ixp.lan_address_for(peering.cloud_asn),
-                        asn=None,
-                        owner_kind="ixp",
-                        position=ixp.location,
-                        base_rtt_ms=neighbor.base_rtt_ms,
-                        ixp_id=ixp_id,
-                    ),
-                )
-
-        # Destination endpoint hop (the VM).
-        dest_address = self._region_addresses[
-            (region.provider_code, region.region_id)
-        ]
-        base_path_rtt = (
-            2.0 * one_way_fiber_ms(distance, stretch)
-            + (total_hops + 1) * path_config.hop_processing_ms
-            + path_config.min_path_rtt_ms
-            + fixed_rtt
-        )
-        cloud_asn = as_path[-1]
-        hops.append(
-            PlannedHop(
-                address=dest_address,
-                asn=cloud_asn,
-                owner_kind=str(ASKind.CLOUD),
-                position=region.location,
-                base_rtt_ms=base_path_rtt,
-            )
-        )
-        return hops, base_path_rtt
-
-
-def _hop_count(
-    autonomous_system: AS, geographic_share: float, rng: np.random.Generator
-) -> int:
-    """Routers exposed by one AS on a path (more when it carries more
-    of the geographic distance).
+def _hop_counts(
+    systems: List[AS], cloud_share: float, rng: np.random.Generator
+) -> List[int]:
+    """Routers exposed by each AS on a path (more when an AS carries
+    more of the geographic distance).
 
     Cloud WANs that ingress near the user expose their internal backbone
     routers along most of the path, which is what drives the >60%
-    pervasiveness of hypergiants in the paper's Fig. 11.
+    pervasiveness of hypergiants in the paper's Fig. 11.  One uniform
+    draw covers the whole path; ``lo + floor(u * (hi - lo))`` reproduces
+    the per-AS ``rng.integers(lo, hi)`` distribution.
     """
-    share = max(0.0, min(1.0, geographic_share))
-    if autonomous_system.kind is ASKind.CLOUD:
-        base = int(rng.integers(2, 5))
-        extra = int(round(5 * share))
-    elif autonomous_system.kind is ASKind.ACCESS:
-        base = int(rng.integers(2, 4))
-        extra = int(round(3 * share))
-    else:
-        base = int(rng.integers(2, 5))
-        extra = int(round(3 * share))
-    return base + extra
+    other_share = (1.0 - cloud_share) / max(1, len(systems) - 1)
+    draws = rng.random(len(systems)).tolist()
+    counts: List[int] = []
+    for draw, autonomous_system in zip(draws, systems):
+        if autonomous_system.kind is ASKind.CLOUD:
+            share = max(0.0, min(1.0, cloud_share))
+            base = 2 + int(draw * 3.0)
+            extra = int(round(5 * share))
+        elif autonomous_system.kind is ASKind.ACCESS:
+            share = max(0.0, min(1.0, other_share))
+            base = 2 + int(draw * 2.0)
+            extra = int(round(3 * share))
+        else:
+            share = max(0.0, min(1.0, other_share))
+            base = 2 + int(draw * 3.0)
+            extra = int(round(3 * share))
+        counts.append(base + extra)
+    return counts

@@ -12,10 +12,22 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Callable, Iterable, Iterator, List, Optional, Tuple
+from typing import (
+    Callable,
+    Iterable,
+    Iterator,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
 
 from repro.geo.continents import Continent
 from repro.lastmile.base import AccessKind
+from repro.platforms.probe import city_key_for
 
 
 class Protocol(str, Enum):
@@ -28,9 +40,12 @@ class Protocol(str, Enum):
         return self.value
 
 
-@dataclass(frozen=True)
-class TraceHop:
-    """One traceroute hop: ``address`` is ``None`` when unresponsive."""
+class TraceHop(NamedTuple):
+    """One traceroute hop: ``address`` is ``None`` when unresponsive.
+
+    A named tuple rather than a dataclass: campaigns allocate one per
+    hop of every trace, and tuple construction is several times cheaper.
+    """
 
     address: Optional[int]
     rtt_ms: Optional[float]
@@ -104,11 +119,157 @@ class TracerouteMeasurement:
         return self.hops[-1].rtt_ms
 
 
+#: Wire codes for protocols inside columnar blocks.
+PROTOCOL_BY_CODE: Tuple[Protocol, ...] = (Protocol.TCP, Protocol.ICMP)
+PROTOCOL_CODES = {protocol: code for code, protocol in enumerate(PROTOCOL_BY_CODE)}
+
+
+def build_meta(probe, region, day: int) -> MeasurementMeta:
+    """The :class:`MeasurementMeta` for one (probe, region, day) request."""
+    return MeasurementMeta(
+        probe_id=probe.probe_id,
+        platform=probe.platform,
+        country=probe.country,
+        continent=probe.continent,
+        access=probe.access,
+        isp_asn=probe.isp_asn,
+        provider_code=region.provider_code,
+        region_id=region.region_id,
+        region_country=region.country,
+        region_continent=region.continent,
+        day=day,
+        city_key=city_key_for(probe),
+    )
+
+
+class PingBlock:
+    """One batch of ping requests in columnar form.
+
+    Instead of one frozen dataclass per request, a block holds structured
+    NumPy arrays over the whole batch -- interned probe/region codes, a
+    day column, protocol codes, and a flat sample array indexed by
+    per-request offsets.  :meth:`record` materializes the classic
+    :class:`PingMeasurement` view for one row; :meth:`records` does so for
+    the whole block and caches the result so repeated analysis passes pay
+    the materialization cost only once.
+    """
+
+    __slots__ = (
+        "probes",
+        "regions",
+        "probe_codes",
+        "region_codes",
+        "days",
+        "protocol_codes",
+        "sample_values",
+        "sample_offsets",
+        "_records",
+    )
+
+    def __init__(
+        self,
+        probes: Sequence,
+        regions: Sequence,
+        probe_codes: np.ndarray,
+        region_codes: np.ndarray,
+        days: np.ndarray,
+        protocol_codes: np.ndarray,
+        sample_values: np.ndarray,
+        sample_offsets: np.ndarray,
+    ) -> None:
+        self.probes = list(probes)
+        self.regions = list(regions)
+        self.probe_codes = np.asarray(probe_codes, dtype=np.int32)
+        self.region_codes = np.asarray(region_codes, dtype=np.int32)
+        self.days = np.asarray(days, dtype=np.int32)
+        self.protocol_codes = np.asarray(protocol_codes, dtype=np.uint8)
+        self.sample_values = np.asarray(sample_values, dtype=np.float64)
+        self.sample_offsets = np.asarray(sample_offsets, dtype=np.int64)
+        if len(self.sample_offsets) != len(self.probe_codes) + 1:
+            raise ValueError("sample_offsets must have one entry per request + 1")
+        self._records: Optional[List[PingMeasurement]] = None
+
+    def __len__(self) -> int:
+        return len(self.probe_codes)
+
+    @property
+    def sample_count(self) -> int:
+        return int(self.sample_offsets[-1]) if len(self.sample_offsets) else 0
+
+    def record(self, index: int) -> PingMeasurement:
+        """The record view of one request row."""
+        i = int(index)
+        lo = int(self.sample_offsets[i])
+        hi = int(self.sample_offsets[i + 1])
+        probe = self.probes[int(self.probe_codes[i])]
+        region = self.regions[int(self.region_codes[i])]
+        return PingMeasurement(
+            meta=build_meta(probe, region, int(self.days[i])),
+            protocol=PROTOCOL_BY_CODE[int(self.protocol_codes[i])],
+            samples=tuple(float(v) for v in self.sample_values[lo:hi]),
+        )
+
+    def records(self) -> List[PingMeasurement]:
+        """All record views, materialized once and cached."""
+        if self._records is None:
+            self._records = [self.record(i) for i in range(len(self))]
+        return self._records
+
+    def __repr__(self) -> str:
+        return f"PingBlock(requests={len(self)}, samples={self.sample_count})"
+
+
+class ColumnarPingStore:
+    """Columnar backing for batched pings: a sequence of ping blocks."""
+
+    def __init__(self) -> None:
+        self._blocks: List[PingBlock] = []
+
+    def append_block(self, block: PingBlock) -> None:
+        self._blocks.append(block)
+
+    def extend(self, other: "ColumnarPingStore") -> None:
+        self._blocks.extend(other._blocks)
+
+    @property
+    def blocks(self) -> List[PingBlock]:
+        return list(self._blocks)
+
+    @property
+    def request_count(self) -> int:
+        return sum(len(block) for block in self._blocks)
+
+    @property
+    def sample_count(self) -> int:
+        return sum(block.sample_count for block in self._blocks)
+
+    def iter_records(self) -> Iterator[PingMeasurement]:
+        for block in self._blocks:
+            yield from block.records()
+
+    def __len__(self) -> int:
+        return self.request_count
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnarPingStore(blocks={len(self._blocks)}, "
+            f"requests={self.request_count})"
+        )
+
+
 class MeasurementDataset:
-    """An in-memory dataset of ping and traceroute measurements."""
+    """An in-memory dataset of ping and traceroute measurements.
+
+    Pings arrive either as individual records (:meth:`add_ping`) or as
+    columnar :class:`PingBlock` batches from the vectorized engine
+    (:meth:`add_ping_block`); :meth:`pings` yields the uniform record
+    view over both backings, so analysis code never needs to know which
+    path produced a measurement.
+    """
 
     def __init__(self) -> None:
         self._pings: List[PingMeasurement] = []
+        self._ping_store = ColumnarPingStore()
         self._traceroutes: List[TracerouteMeasurement] = []
 
     # -- construction -----------------------------------------------------
@@ -116,19 +277,28 @@ class MeasurementDataset:
     def add_ping(self, measurement: PingMeasurement) -> None:
         self._pings.append(measurement)
 
+    def add_ping_block(self, block: PingBlock) -> None:
+        self._ping_store.append_block(block)
+
     def add_traceroute(self, measurement: TracerouteMeasurement) -> None:
         self._traceroutes.append(measurement)
 
     def extend(self, other: "MeasurementDataset") -> None:
         """Merge another dataset into this one."""
         self._pings.extend(other._pings)
+        self._ping_store.extend(other._ping_store)
         self._traceroutes.extend(other._traceroutes)
 
     # -- access ------------------------------------------------------------
 
     @property
+    def ping_store(self) -> ColumnarPingStore:
+        """The columnar backing (batched pings only)."""
+        return self._ping_store
+
+    @property
     def ping_count(self) -> int:
-        return len(self._pings)
+        return len(self._pings) + self._ping_store.request_count
 
     @property
     def traceroute_count(self) -> int:
@@ -136,7 +306,10 @@ class MeasurementDataset:
 
     @property
     def ping_sample_count(self) -> int:
-        return sum(len(p.samples) for p in self._pings)
+        return (
+            sum(len(p.samples) for p in self._pings)
+            + self._ping_store.sample_count
+        )
 
     def pings(
         self,
@@ -144,8 +317,8 @@ class MeasurementDataset:
         protocol: Optional[Protocol] = None,
         predicate: Optional[Callable[[PingMeasurement], bool]] = None,
     ) -> Iterator[PingMeasurement]:
-        """Iterate pings with optional filters."""
-        for measurement in self._pings:
+        """Iterate pings (scalar records first, then columnar blocks)."""
+        for measurement in self._iter_all_pings():
             if platform is not None and measurement.meta.platform != platform:
                 continue
             if protocol is not None and measurement.protocol is not Protocol(protocol):
@@ -153,6 +326,10 @@ class MeasurementDataset:
             if predicate is not None and not predicate(measurement):
                 continue
             yield measurement
+
+    def _iter_all_pings(self) -> Iterator[PingMeasurement]:
+        yield from self._pings
+        yield from self._ping_store.iter_records()
 
     def traceroutes(
         self,
@@ -172,6 +349,6 @@ class MeasurementDataset:
 
     def __repr__(self) -> str:
         return (
-            f"MeasurementDataset(pings={len(self._pings)}, "
+            f"MeasurementDataset(pings={self.ping_count}, "
             f"traceroutes={len(self._traceroutes)})"
         )

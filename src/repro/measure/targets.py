@@ -1,0 +1,97 @@
+"""Cached nearest-region targeting for the campaign scheduler.
+
+``target_regions`` used to re-scan every cloud region of a continent
+with a Python ``min()`` for every probe on every visit.  The nearest
+region of each provider is a pure function of *where* the probe is, and
+probe locations quantize naturally onto the ~metro-sized city grid the
+platform comparison already uses (:data:`repro.platforms.probe.CITY_CELL_DEGREES`).
+This module computes nearest-per-provider once per (city cell,
+continent) with a vectorized haversine over pre-built coordinate
+columns, then serves every later visit from the cache.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.cloud.regions import CloudRegion, RegionCatalog
+from repro.geo.continents import Continent
+from repro.geo.coords import EARTH_RADIUS_KM
+from repro.platforms.probe import CITY_CELL_DEGREES
+
+#: A city-grid cell: ``(round(lat / cell), round(lon / cell))``.
+CityCell = Tuple[int, int]
+
+
+class _ContinentIndex:
+    """Coordinate columns for one continent's regions, grouped by provider."""
+
+    __slots__ = ("regions", "lat_rad", "lon_rad", "provider_rows")
+
+    def __init__(self, regions: List[CloudRegion]):
+        self.regions = regions
+        self.lat_rad = np.radians([r.location.lat for r in regions])
+        self.lon_rad = np.radians([r.location.lon for r in regions])
+        rows: Dict[str, List[int]] = {}
+        for row, region in enumerate(regions):
+            rows.setdefault(region.provider_code, []).append(row)
+        self.provider_rows: List[Tuple[str, np.ndarray]] = [
+            (provider, np.asarray(indices))
+            for provider, indices in sorted(rows.items())
+        ]
+
+
+class RegionTargeter:
+    """Nearest-per-provider region lookup, cached per (city cell, continent)."""
+
+    def __init__(self, catalog: RegionCatalog):
+        self._catalog = catalog
+        self._indexes: Dict[Continent, _ContinentIndex] = {}
+        self._nearest: Dict[Tuple[CityCell, Continent], Tuple[CloudRegion, ...]] = {}
+
+    def _index(self, continent: Continent) -> _ContinentIndex:
+        index = self._indexes.get(continent)
+        if index is None:
+            index = _ContinentIndex(list(self._catalog.in_continent(continent)))
+            self._indexes[continent] = index
+        return index
+
+    def regions_in_continent(self, continent: Continent) -> List[CloudRegion]:
+        """The continent's region list (shared, do not mutate)."""
+        return self._index(continent).regions
+
+    def nearest_per_provider(
+        self, cell: CityCell, continent: Continent
+    ) -> Tuple[CloudRegion, ...]:
+        """The nearest region of every provider in ``continent``.
+
+        Distances are measured from the cell's center, which is what
+        makes the result cacheable per cell; at ~2 degrees the cell is
+        metro-sized, well below the resolution at which nearest-DC
+        assignments change.  Results are ordered by provider code.
+        """
+        key = (cell, continent)
+        cached = self._nearest.get(key)
+        if cached is not None:
+            return cached
+        index = self._index(continent)
+        if not index.regions:
+            nearest: Tuple[CloudRegion, ...] = ()
+        else:
+            lat = np.radians(max(-90.0, min(90.0, cell[0] * CITY_CELL_DEGREES)))
+            lon = np.radians(cell[1] * CITY_CELL_DEGREES)
+            half_dlat = (index.lat_rad - lat) / 2.0
+            half_dlon = (index.lon_rad - lon) / 2.0
+            h = (
+                np.sin(half_dlat) ** 2
+                + np.cos(lat) * np.cos(index.lat_rad) * np.sin(half_dlon) ** 2
+            )
+            distances = 2.0 * EARTH_RADIUS_KM * np.arcsin(np.minimum(1.0, np.sqrt(h)))
+            nearest = tuple(
+                index.regions[int(rows[int(np.argmin(distances[rows]))])]
+                for _, rows in index.provider_rows
+            )
+        self._nearest[key] = nearest
+        return nearest

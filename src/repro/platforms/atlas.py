@@ -26,6 +26,9 @@ class AtlasPlatform:
         self._by_country: Dict[str, List[Probe]] = {}
         for probe in self._probes:
             self._by_country.setdefault(probe.country, []).append(probe)
+        self._availability = np.array(
+            [probe.availability for probe in self._probes], dtype=np.float64
+        )
         self._rng = rng
 
     def __len__(self) -> int:
@@ -48,9 +51,11 @@ class AtlasPlatform:
         return sorted(self._by_country)
 
     def connected_probes(self) -> List[Probe]:
-        """Probes online right now (availability is high but not perfect)."""
+        """Probes online right now (availability is high but not perfect).
+
+        One vectorized availability draw covers the whole fleet.
+        """
+        draws = self._rng.random(len(self._probes))
         return [
-            probe
-            for probe in self._probes
-            if self._rng.random() < probe.availability
+            self._probes[i] for i in np.flatnonzero(draws < self._availability)
         ]

@@ -3,12 +3,15 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.geo.continents import Continent
 from repro.geo.coords import GeoPoint
 from repro.lastmile.base import AccessKind
 from repro.net.ip import format_ip
+
+#: Cell size (degrees) for the <city, ASN> platform matching of Fig. 16.
+CITY_CELL_DEGREES = 2.0
 
 
 @dataclass
@@ -63,3 +66,11 @@ class Probe:
             f"Probe({self.probe_id}, {self.country}, {self.access}, "
             f"AS{self.isp_asn})"
         )
+
+
+def city_key_for(probe: "Probe") -> Tuple[int, int]:
+    """Quantize a probe location to a ~metro-sized grid cell."""
+    return (
+        int(round(probe.location.lat / CITY_CELL_DEGREES)),
+        int(round(probe.location.lon / CITY_CELL_DEGREES)),
+    )

@@ -12,7 +12,7 @@ Models the operational quirks the paper had to work around (section 3.3):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
@@ -33,6 +33,15 @@ class VPSnapshot:
     day: int
     hour: int
     probe_ids: List[str]
+    #: Lazily-built id set, shared by every per-country membership scan
+    #: against this snapshot.
+    _id_set: Optional[frozenset] = field(default=None, repr=False, compare=False)
+
+    @property
+    def probe_id_set(self) -> frozenset:
+        if self._id_set is None:
+            self._id_set = frozenset(self.probe_ids)
+        return self._id_set
 
 
 class SpeedcheckerPlatform:
@@ -48,6 +57,9 @@ class SpeedcheckerPlatform:
             self._by_country.setdefault(probe.country, []).append(probe)
         self._config = config
         self._rng = rng
+        self._availability = np.array(
+            [probe.availability for probe in self._probes], dtype=np.float64
+        )
         self._daily_quota = config.scaled(
             config.platforms.speedchecker_daily_quota, minimum=50
         )
@@ -86,11 +98,15 @@ class SpeedcheckerPlatform:
     # -- connectivity churn --------------------------------------------------
 
     def snapshot(self, day: int, hour: int) -> VPSnapshot:
-        """Record the currently-connected probe set (4-hourly API sweep)."""
+        """Record the currently-connected probe set (4-hourly API sweep).
+
+        One vectorized availability draw covers the whole fleet instead
+        of one scalar draw per probe.
+        """
+        draws = self._rng.random(len(self._probes))
         connected = [
-            probe.probe_id
-            for probe in self._probes
-            if self._rng.random() < probe.availability
+            self._probes[i].probe_id
+            for i in np.flatnonzero(draws < self._availability)
         ]
         record = VPSnapshot(day=day, hour=hour, probe_ids=connected)
         self._snapshots.append(record)
@@ -103,7 +119,7 @@ class SpeedcheckerPlatform:
     def connected_in_country(
         self, iso: str, snapshot: VPSnapshot
     ) -> List[Probe]:
-        connected = set(snapshot.probe_ids)
+        connected = snapshot.probe_id_set
         return [
             probe
             for probe in self._by_country.get(iso, [])
@@ -113,14 +129,21 @@ class SpeedcheckerPlatform:
     # -- selection and quota ---------------------------------------------------
 
     def select_probes(
-        self, iso: str, snapshot: VPSnapshot, count: int
+        self,
+        iso: str,
+        snapshot: VPSnapshot,
+        count: int,
+        pool: Optional[List[Probe]] = None,
     ) -> List[Probe]:
         """The platform's in-built per-region probe selection.
 
         Returns up to ``count`` connected probes in the country, chosen by
         the platform (the experimenter cannot pin specific devices).
+        ``pool`` lets a caller that already scanned the country's
+        connected probes skip the second membership pass.
         """
-        pool = self.connected_in_country(iso, snapshot)
+        if pool is None:
+            pool = self.connected_in_country(iso, snapshot)
         if len(pool) <= count:
             return pool
         picks = self._rng.choice(len(pool), size=count, replace=False)

@@ -12,6 +12,7 @@ from repro.geo.coords import (
     GeoPoint,
     haversine_km,
     interpolate,
+    interpolate_many,
     jitter_point,
 )
 
@@ -109,6 +110,28 @@ class TestInterpolate:
         assert haversine_km(LONDON, point) == pytest.approx(
             fraction * total, abs=5.0
         )
+
+
+class TestInterpolateMany:
+    def test_matches_scalar_interpolate(self):
+        fractions = np.linspace(0.0, 1.0, 17)
+        lats, lons = interpolate_many(LONDON, SYDNEY, fractions)
+        for fraction, lat, lon in zip(fractions, lats, lons):
+            expected = interpolate(LONDON, SYDNEY, float(fraction))
+            assert haversine_km(GeoPoint(lat, lon), expected) < 0.5
+
+    def test_identical_points(self):
+        lats, lons = interpolate_many(LONDON, LONDON, [0.0, 0.4, 1.0])
+        assert np.allclose(lats, LONDON.lat)
+        assert np.allclose(lons, LONDON.lon)
+
+    def test_empty_fractions(self):
+        lats, lons = interpolate_many(LONDON, NEW_YORK, [])
+        assert lats.size == 0 and lons.size == 0
+
+    def test_fraction_out_of_range(self):
+        with pytest.raises(ValueError, match="fractions"):
+            interpolate_many(LONDON, NEW_YORK, [0.2, 1.2])
 
 
 class TestJitterPoint:

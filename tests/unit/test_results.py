@@ -1,17 +1,23 @@
 """Tests for repro.measure.results."""
 
+import numpy as np
 import pytest
 
+from repro.cloud.regions import CloudRegion
 from repro.geo.continents import Continent
+from repro.geo.coords import GeoPoint
 from repro.lastmile.base import AccessKind
 from repro.measure.results import (
+    ColumnarPingStore,
     MeasurementDataset,
     MeasurementMeta,
+    PingBlock,
     PingMeasurement,
     Protocol,
     TraceHop,
     TracerouteMeasurement,
 )
+from repro.platforms.probe import Probe
 
 
 def make_meta(platform="speedchecker", country="DE", provider="GCP"):
@@ -127,3 +133,128 @@ class TestMeasurementDataset:
 
     def test_repr(self):
         assert "pings=0" in repr(MeasurementDataset())
+
+
+def make_probe(probe_id="p1", country="DE"):
+    return Probe(
+        probe_id=probe_id,
+        platform="speedchecker",
+        country=country,
+        continent=Continent.EU,
+        location=GeoPoint(50.1, 8.7),
+        isp_asn=3320,
+        access=AccessKind.HOME_WIFI,
+        device_address=10,
+        public_address=20,
+    )
+
+
+def make_region(region_id="frankfurt-1"):
+    return CloudRegion(
+        provider_code="GCP",
+        region_id=region_id,
+        city="Frankfurt",
+        country="DE",
+        continent=Continent.EU,
+        location=GeoPoint(50.1, 8.7),
+    )
+
+
+def make_block(requests=2, samples_per_request=3):
+    """A small synthetic block: one probe, one region, ragged samples."""
+    probe, region = make_probe(), make_region()
+    counts = [samples_per_request + i for i in range(requests)]
+    offsets = np.concatenate([[0], np.cumsum(counts)])
+    return PingBlock(
+        probes=[probe],
+        regions=[region],
+        probe_codes=np.zeros(requests, np.int32),
+        region_codes=np.zeros(requests, np.int32),
+        days=np.arange(requests, dtype=np.int32),
+        protocol_codes=np.zeros(requests, np.uint8),
+        sample_values=np.arange(offsets[-1], dtype=np.float64) + 10.0,
+        sample_offsets=offsets,
+    )
+
+
+class TestPingBlock:
+    def test_len_and_sample_count(self):
+        block = make_block(requests=2, samples_per_request=3)
+        assert len(block) == 2
+        assert block.sample_count == 7  # 3 + 4 ragged samples
+
+    def test_record_view(self):
+        block = make_block(requests=2, samples_per_request=3)
+        first = block.record(0)
+        second = block.record(1)
+        assert isinstance(first, PingMeasurement)
+        assert first.samples == (10.0, 11.0, 12.0)
+        assert second.samples == (13.0, 14.0, 15.0, 16.0)
+        assert first.meta.probe_id == "p1"
+        assert first.meta.day == 0 and second.meta.day == 1
+        assert first.protocol is Protocol.TCP
+
+    def test_records_cached(self):
+        block = make_block()
+        assert block.records() is block.records()
+
+    def test_offsets_length_validated(self):
+        with pytest.raises(ValueError, match="sample_offsets"):
+            PingBlock(
+                probes=[make_probe()],
+                regions=[make_region()],
+                probe_codes=np.zeros(2, np.int32),
+                region_codes=np.zeros(2, np.int32),
+                days=np.zeros(2, np.int32),
+                protocol_codes=np.zeros(2, np.uint8),
+                sample_values=np.zeros(4),
+                sample_offsets=np.array([0, 2]),
+            )
+
+
+class TestColumnarPingStore:
+    def test_append_and_counts(self):
+        store = ColumnarPingStore()
+        store.append_block(make_block(requests=2, samples_per_request=3))
+        store.append_block(make_block(requests=1, samples_per_request=2))
+        assert len(store) == 3
+        assert store.request_count == 3
+        assert store.sample_count == 7 + 2
+        assert len(list(store.iter_records())) == 3
+
+    def test_extend(self):
+        a, b = ColumnarPingStore(), ColumnarPingStore()
+        a.append_block(make_block(requests=1))
+        b.append_block(make_block(requests=2))
+        a.extend(b)
+        assert a.request_count == 3
+        assert "blocks=2" in repr(a)
+
+
+class TestBlockBackedDataset:
+    def test_block_and_scalar_pings_merge(self):
+        dataset = MeasurementDataset()
+        dataset.add_ping(make_ping())
+        dataset.add_ping_block(make_block(requests=2, samples_per_request=3))
+        assert dataset.ping_count == 3
+        assert dataset.ping_sample_count == 3 + 7
+        records = list(dataset.pings())
+        assert len(records) == 3
+        assert all(isinstance(r, PingMeasurement) for r in records)
+
+    def test_filters_apply_to_block_records(self):
+        dataset = MeasurementDataset()
+        dataset.add_ping_block(make_block(requests=2))
+        assert len(list(dataset.pings(platform="speedchecker"))) == 2
+        assert len(list(dataset.pings(platform="atlas"))) == 0
+        assert len(list(dataset.pings(protocol=Protocol.ICMP))) == 0
+        assert (
+            len(list(dataset.pings(predicate=lambda m: m.meta.day == 1))) == 1
+        )
+
+    def test_extend_carries_blocks(self):
+        a, b = MeasurementDataset(), MeasurementDataset()
+        b.add_ping_block(make_block(requests=2))
+        a.extend(b)
+        assert a.ping_count == 2
+        assert a.ping_store.request_count == 2
