@@ -7,7 +7,6 @@ documented deployment bias destroys that composition.
 
 from dataclasses import replace
 
-import pytest
 
 from repro import build_world
 from repro.geo.continents import Continent

@@ -6,7 +6,6 @@ nearest-DC median drops by roughly the wireless/wired gap (~10-15 ms).
 """
 
 import numpy as np
-import pytest
 
 from repro import SimulationConfig, build_world, run_campaign
 from repro.analysis.nearest import samples_to_nearest

@@ -6,7 +6,6 @@ shrink, flattening the contrast of the paper's Figs. 12b/13b/18b.
 """
 
 import numpy as np
-import pytest
 
 from repro import SimulationConfig, build_world
 from repro.geo.continents import Continent

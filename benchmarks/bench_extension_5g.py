@@ -5,7 +5,6 @@ gains translate into only modest end-to-end improvements.
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis.thresholds import MTP_MS
 from repro.core.config import LastMileConfig

@@ -1,7 +1,6 @@
 """Scale stress: world construction and campaign throughput at 10x the
 default scale (20% of the paper's fleet)."""
 
-import pytest
 
 from repro import build_world, run_campaign
 

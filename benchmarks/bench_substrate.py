@@ -6,11 +6,9 @@ paths plan, and how fast a campaign day executes.
 """
 
 import numpy as np
-import pytest
 
 from repro import run_campaign
 from repro.measure.batch import PingRequest
-from repro.measure.results import Protocol
 from repro.resolve.pipeline import TracerouteResolver
 from repro.resolve.pyasn import PyASNResolver
 

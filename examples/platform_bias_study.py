@@ -15,7 +15,6 @@ import argparse
 from repro import build_world, run_campaign
 from repro.analysis.compare import matched_city_asn_differences, platform_differences
 from repro.analysis.report import format_percent, format_table
-from repro.experiments import StudyContext
 from repro.geo.continents import CONTINENTS
 
 

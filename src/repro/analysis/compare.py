@@ -11,7 +11,7 @@ Negative differences mean Speedchecker was faster.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 

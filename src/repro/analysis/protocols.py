@@ -8,7 +8,7 @@ Speedchecker).  Medians per pair are summarized per continent.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 import numpy as np
 

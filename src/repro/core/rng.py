@@ -22,7 +22,7 @@ class RngStreams:
     stream is independent of creation order.
     """
 
-    def __init__(self, seed: int):
+    def __init__(self, seed: int) -> None:
         if seed < 0:
             raise ValueError(f"seed must be non-negative, got {seed}")
         self._seed = int(seed)

@@ -11,7 +11,7 @@ from repro.cloud.regions import REGIONS, RegionCatalog
 from repro.cloud.wan import PrivateWAN
 from repro.core.config import SimulationConfig
 from repro.core.rng import RngStreams
-from repro.core.topology import build_topology
+from repro.core.topology import Topology, build_topology
 from repro.core.world import World
 from repro.geo.countries import CountryRegistry, default_registry
 from repro.platforms.atlas import AtlasPlatform
@@ -93,7 +93,7 @@ def build_world(
 
 
 def _assign_region_addresses(
-    topology, catalog: RegionCatalog
+    topology: Topology, catalog: RegionCatalog
 ) -> Dict[Tuple[str, str], int]:
     """One VM endpoint address per region, inside the operator's prefix.
 

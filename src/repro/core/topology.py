@@ -22,13 +22,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-import numpy as np
 
 from repro.cloud.peering import ProviderPeering, build_provider_peering
 from repro.cloud.providers import (
     NETWORK_CODE_BY_PROVIDER,
     PROVIDERS,
-    CloudProvider,
     network_operator,
 )
 from repro.core.config import SimulationConfig

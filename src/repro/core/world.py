@@ -3,9 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
-from repro.cloud.providers import PROVIDERS, CloudProvider
+from repro.cloud.providers import CloudProvider
 from repro.cloud.regions import CloudRegion, RegionCatalog
 from repro.cloud.wan import PrivateWAN
 from repro.core.config import SimulationConfig

@@ -16,7 +16,7 @@ from repro.analysis.intercontinental import (
     TARGETS,
     intercontinental_latency,
 )
-from repro.analysis.report import format_ms, format_percent, format_table
+from repro.analysis.report import format_percent, format_table
 from repro.experiments.common import ExperimentResult, StudyContext, require_dataset
 from repro.geo.continents import Continent
 from repro.measure.campaign import run_intercontinental_study

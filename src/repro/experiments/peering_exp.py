@@ -3,7 +3,7 @@ Figs. 12, 13, 17 and 18 (paper section 6)."""
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Optional
 
 from repro.analysis.ingress import ingress_by_interconnect
 from repro.analysis.peering import (

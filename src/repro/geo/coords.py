@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Tuple
 
 import numpy as np
 
@@ -72,7 +73,9 @@ def interpolate(a: GeoPoint, b: GeoPoint, fraction: float) -> GeoPoint:
     return GeoPoint(math.degrees(lat), math.degrees(lon))
 
 
-def interpolate_many(a: GeoPoint, b: GeoPoint, fractions) -> "tuple":
+def interpolate_many(
+    a: GeoPoint, b: GeoPoint, fractions: "np.ndarray"
+) -> Tuple["np.ndarray", "np.ndarray"]:
     """Vectorized :func:`interpolate`: points at many fractions at once.
 
     Returns ``(lats, lons)`` as :mod:`numpy` arrays in decimal degrees.
@@ -104,7 +107,7 @@ def interpolate_many(a: GeoPoint, b: GeoPoint, fractions) -> "tuple":
 
 
 def jitter_point(
-    point: GeoPoint, radius_km: float, rng
+    point: GeoPoint, radius_km: float, rng: "np.random.Generator"
 ) -> GeoPoint:
     """A point uniformly displaced up to ``radius_km`` from ``point``.
 

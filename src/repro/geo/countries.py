@@ -20,7 +20,7 @@ steer relative probe placement, never absolute results.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.geo.continents import Continent
 from repro.geo.coords import GeoPoint
@@ -207,7 +207,7 @@ COUNTRIES: Tuple[Country, ...] = (
 class CountryRegistry:
     """Indexed access to the country table."""
 
-    def __init__(self, countries: Iterable[Country] = COUNTRIES):
+    def __init__(self, countries: Iterable[Country] = COUNTRIES) -> None:
         self._by_iso: Dict[str, Country] = {}
         self._by_continent: Dict[Continent, List[Country]] = {}
         for country in countries:
@@ -219,7 +219,7 @@ class CountryRegistry:
     def __len__(self) -> int:
         return len(self._by_iso)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Country]:
         return iter(self._by_iso.values())
 
     def __contains__(self, iso: str) -> bool:

@@ -1,0 +1,92 @@
+"""The ``python -m repro.lint`` command line.
+
+Exit status: 0 when every checked file is clean, 1 when violations were
+found (or a file failed to parse), 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.lint.engine import all_rules, lint_paths, select_rules
+from repro.lint.reporting import render_json, render_text
+
+# Register the built-in ruleset.
+import repro.lint.rules  # noqa: F401
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "Static determinism & invariant analysis for the repro tree "
+            "(RNG discipline, determinism hazards, frozen-world safety, "
+            "batch-scalar parity)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "-f",
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids/names to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="RULES",
+        help="comma-separated rule ids/names to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _split(tokens: Optional[str]) -> Optional[List[str]]:
+    if tokens is None:
+        return None
+    return [token.strip() for token in tokens.split(",") if token.strip()]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            scope = (
+                ", ".join(rule.path_patterns) if rule.path_patterns else "all files"
+            )
+            print(f"{rule.rule_id}  {rule.name}  [{scope}]")
+            print(f"    {rule.summary}")
+        return 0
+
+    rules = select_rules(select=_split(args.select), ignore=_split(args.ignore))
+    if not rules:
+        parser.error("no rules left after --select/--ignore filtering")
+
+    result = lint_paths(args.paths, rules)
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result))
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,359 @@
+"""The analyzer core: rule registry, AST walker, and file driver.
+
+A :class:`Rule` subscribes to AST node types (``node_types``) and/or a
+whole-module pass (:meth:`Rule.check_module`).  The engine parses each
+file once, resolves import aliases so rules can match fully-qualified
+call targets (``np.random.seed`` -> ``numpy.random.seed``), walks the
+tree once while maintaining the lexical scope stack, and filters the
+collected violations through ``# repro-lint: disable=...`` suppression
+comments before reporting.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Type
+
+from repro.lint.suppressions import Suppressions, scan_suppressions
+
+#: Rule id used for files the engine cannot parse.
+PARSE_ERROR_ID = "PARSE"
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule violation at a source location."""
+
+    rule_id: str
+    rule_name: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule_id)
+
+
+@dataclass
+class LintResult:
+    """The outcome of linting a set of files."""
+
+    violations: List[Violation] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.rule_id] = counts.get(violation.rule_id, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+class LintContext:
+    """Per-file state shared by every rule during one walk.
+
+    Exposes the source path, the import alias table, the lexical scope
+    stack (maintained by the walker), and :meth:`report` for emitting
+    violations.
+    """
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        #: Forward-slash form used for rule path scoping.
+        self.posix_path = path.replace("\\", "/")
+        self.source = source
+        self.tree = tree
+        #: Local name -> fully qualified dotted import path
+        #: (``np`` -> ``numpy``, ``default_rng`` -> ``numpy.random.default_rng``).
+        self.imports: Dict[str, str] = _collect_imports(tree)
+        #: Lexical scope stack, innermost last (ClassDef / FunctionDef).
+        self.scope: List[ast.AST] = []
+        self.violations: List[Violation] = []
+
+    # -- path classification -------------------------------------------------
+
+    @property
+    def is_test_file(self) -> bool:
+        """Whether the file belongs to the test suite."""
+        parts = self.posix_path.split("/")
+        name = parts[-1]
+        return (
+            "tests" in parts
+            or name.startswith("test_")
+            or name == "conftest.py"
+        )
+
+    def path_matches(self, patterns: Sequence[str]) -> bool:
+        """Whether the file path matches any fnmatch pattern.
+
+        Patterns are matched against the trailing components of the
+        path, so ``repro/measure/*`` matches both
+        ``src/repro/measure/latency.py`` and an inline test fixture
+        named ``repro/measure/latency.py``.
+        """
+        for pattern in patterns:
+            if fnmatch.fnmatch(self.posix_path, pattern) or fnmatch.fnmatch(
+                self.posix_path, "*/" + pattern
+            ):
+                return True
+        return False
+
+    # -- scope helpers -------------------------------------------------------
+
+    @property
+    def current_function(self) -> Optional[ast.AST]:
+        for node in reversed(self.scope):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return node
+        return None
+
+    @property
+    def current_class(self) -> Optional[ast.ClassDef]:
+        for node in reversed(self.scope):
+            if isinstance(node, ast.ClassDef):
+                return node
+        return None
+
+    def enclosing_function_names(self) -> List[str]:
+        return [
+            node.name
+            for node in self.scope
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+
+    # -- name resolution -----------------------------------------------------
+
+    def qualified_name(self, node: ast.AST) -> Optional[str]:
+        """The fully qualified dotted name of a Name/Attribute chain.
+
+        Resolves the chain's root through the module's import aliases:
+        with ``import numpy as np``, ``np.random.seed`` resolves to
+        ``"numpy.random.seed"``.  Returns ``None`` for expressions that
+        are not a plain dotted chain (calls, subscripts, ...).
+        """
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.imports.get(node.id, node.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    # -- reporting -----------------------------------------------------------
+
+    def report(self, rule: "Rule", node: ast.AST, message: str) -> None:
+        self.violations.append(
+            Violation(
+                rule_id=rule.rule_id,
+                rule_name=rule.name,
+                path=self.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                message=message,
+            )
+        )
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``rule_id`` (stable, used in reports and suppression
+    comments), ``name`` (human slug), ``summary`` (one line for
+    ``--list-rules``), and optionally ``path_patterns`` to scope the
+    rule to parts of the tree.  Node-level checks subscribe via
+    ``node_types`` and implement :meth:`visit`; whole-module checks
+    implement :meth:`check_module`.
+    """
+
+    rule_id: str = ""
+    name: str = ""
+    summary: str = ""
+    #: When set, the rule only runs on files matching one of these
+    #: fnmatch patterns (see :meth:`LintContext.path_matches`).
+    path_patterns: Optional[Tuple[str, ...]] = None
+    #: AST node classes :meth:`visit` subscribes to.
+    node_types: Tuple[Type[ast.AST], ...] = ()
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        if self.path_patterns is None:
+            return True
+        return ctx.path_matches(self.path_patterns)
+
+    def visit(self, node: ast.AST, ctx: LintContext) -> None:
+        """Called for every node whose type is in ``node_types``."""
+
+    def check_module(self, tree: ast.Module, ctx: LintContext) -> None:
+        """Called once per module, before the node walk."""
+
+
+#: The global rule registry, keyed by rule id.
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule (one shared instance) to the registry."""
+    rule = cls()
+    if not rule.rule_id:
+        raise ValueError(f"{cls.__name__} must define rule_id")
+    if rule.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.rule_id}")
+    _REGISTRY[rule.rule_id] = rule
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, ordered by id."""
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def select_rules(
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[Rule]:
+    """The registered rules filtered by id/name include and exclude lists."""
+    chosen = all_rules()
+    if select is not None:
+        wanted = {token.upper() for token in select}
+        chosen = [
+            rule
+            for rule in chosen
+            if rule.rule_id.upper() in wanted or rule.name.upper() in wanted
+        ]
+    if ignore is not None:
+        dropped = {token.upper() for token in ignore}
+        chosen = [
+            rule
+            for rule in chosen
+            if rule.rule_id.upper() not in dropped
+            and rule.name.upper() not in dropped
+        ]
+    return chosen
+
+
+def _collect_imports(tree: ast.Module) -> Dict[str, str]:
+    imports: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".", 1)[0]
+                imports[local] = alias.name if alias.asname else local
+                if alias.asname:
+                    imports[alias.asname] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                imports[local] = f"{node.module}.{alias.name}"
+    return imports
+
+
+class _Walker:
+    """Single-pass AST walker dispatching nodes to subscribed rules."""
+
+    def __init__(self, rules: Sequence[Rule], ctx: LintContext) -> None:
+        self._ctx = ctx
+        self._dispatch: Dict[Type[ast.AST], List[Rule]] = {}
+        for rule in rules:
+            for node_type in rule.node_types:
+                self._dispatch.setdefault(node_type, []).append(rule)
+
+    def walk(self, node: ast.AST) -> None:
+        ctx = self._ctx
+        for rule in self._dispatch.get(type(node), ()):
+            rule.visit(node, ctx)
+        is_scope = isinstance(node, _SCOPE_NODES)
+        if is_scope:
+            ctx.scope.append(node)
+        for child in ast.iter_child_nodes(node):
+            self.walk(child)
+        if is_scope:
+            ctx.scope.pop()
+
+
+def lint_source(
+    source: str,
+    filename: str = "<string>",
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Violation]:
+    """Lint one source string; the workhorse behind :func:`lint_paths`.
+
+    ``filename`` participates in rule path scoping, so tests can probe
+    path-scoped rules with names like ``src/repro/measure/x.py``.
+    """
+    if rules is None:
+        rules = all_rules()
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as exc:
+        return [
+            Violation(
+                rule_id=PARSE_ERROR_ID,
+                rule_name="syntax-error",
+                path=filename,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                message=f"cannot parse file: {exc.msg}",
+            )
+        ]
+    ctx = LintContext(filename, source, tree)
+    active = [rule for rule in rules if rule.applies_to(ctx)]
+    for rule in active:
+        rule.check_module(tree, ctx)
+    _Walker(active, ctx).walk(tree)
+    suppressions = scan_suppressions(source)
+    kept = [v for v in ctx.violations if not _suppressed(v, suppressions)]
+    kept.sort(key=Violation.sort_key)
+    return kept
+
+
+def _suppressed(violation: Violation, suppressions: Suppressions) -> bool:
+    return suppressions.is_disabled(
+        violation.line, violation.rule_id, violation.rule_name
+    )
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
+    """Python files under ``paths`` (files listed directly, dirs walked)."""
+    seen: Set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            if "__pycache__" in candidate.parts:
+                continue
+            if any(part.startswith(".") and part != "." for part in candidate.parts):
+                continue
+            resolved = candidate.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            yield candidate
+
+
+def lint_paths(
+    paths: Iterable[str],
+    rules: Optional[Sequence[Rule]] = None,
+) -> LintResult:
+    """Lint every Python file under ``paths``."""
+    result = LintResult()
+    for path in iter_python_files(paths):
+        source = path.read_text(encoding="utf-8")
+        result.violations.extend(lint_source(source, str(path), rules))
+        result.files_checked += 1
+    result.violations.sort(key=Violation.sort_key)
+    return result

@@ -1,0 +1,56 @@
+"""Human-readable and JSON reporters for lint results."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.engine import LintResult
+
+
+def render_text(result: LintResult) -> str:
+    """A pycodestyle-style report: one ``path:line:col: ID message`` per hit."""
+    lines = []
+    for violation in result.violations:
+        lines.append(
+            f"{violation.path}:{violation.line}:{violation.col + 1}: "
+            f"{violation.rule_id} [{violation.rule_name}] {violation.message}"
+        )
+    if result.violations:
+        lines.append("")
+        counts = ", ".join(
+            f"{rule_id}: {count}"
+            for rule_id, count in result.counts_by_rule().items()
+        )
+        lines.append(
+            f"Found {len(result.violations)} violation"
+            f"{'s' if len(result.violations) != 1 else ''} "
+            f"in {result.files_checked} file"
+            f"{'s' if result.files_checked != 1 else ''} ({counts})."
+        )
+    else:
+        lines.append(
+            f"Checked {result.files_checked} file"
+            f"{'s' if result.files_checked != 1 else ''}: no violations."
+        )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """The machine-readable report (stable key order, one JSON object)."""
+    payload = {
+        "files_checked": result.files_checked,
+        "violation_count": len(result.violations),
+        "counts_by_rule": result.counts_by_rule(),
+        "violations": [
+            {
+                "rule_id": violation.rule_id,
+                "rule_name": violation.rule_name,
+                "path": violation.path,
+                "line": violation.line,
+                "col": violation.col,
+                "message": violation.message,
+            }
+            for violation in result.violations
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)

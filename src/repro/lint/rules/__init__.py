@@ -1,0 +1,7 @@
+"""Built-in ruleset: importing this package registers every rule."""
+
+from __future__ import annotations
+
+from repro.lint.rules import determinism, frozen, parity, rng
+
+__all__ = ["determinism", "frozen", "parity", "rng"]

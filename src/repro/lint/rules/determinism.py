@@ -1,0 +1,140 @@
+"""Determinism-hazard rules (``DET001``-``DET002``).
+
+Scoped to the measurement core (``repro/measure``, ``repro/core``):
+these are the modules whose outputs feed the paper's figures, so any
+wall-clock read, OS-entropy read, or unordered-container iteration there
+silently breaks the same-seed-same-dataset guarantee the longitudinal
+comparisons (paper section 4.2) rely on.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.engine import LintContext, Rule, register_rule
+
+#: Call targets whose results depend on the wall clock or OS entropy.
+WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+        "os.urandom",
+        "os.getrandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+        "secrets.token_urlsafe",
+        "secrets.randbelow",
+        "secrets.choice",
+    }
+)
+
+#: Where the determinism rules apply.
+CORE_PATHS = ("repro/measure/*", "repro/core/*")
+
+
+@register_rule
+class WallClockRule(Rule):
+    """No wall-clock or OS-entropy reads inside the measurement core."""
+
+    rule_id = "DET001"
+    name = "wall-clock"
+    summary = (
+        "no time.time()/datetime.now()/os.urandom in repro.measure "
+        "and repro.core; simulated time is the `day` parameter"
+    )
+    path_patterns = CORE_PATHS
+    node_types = (ast.Call,)
+
+    def visit(self, node: ast.AST, ctx: LintContext) -> None:
+        assert isinstance(node, ast.Call)
+        qualified = ctx.qualified_name(node.func)
+        if qualified in WALL_CLOCK_CALLS:
+            ctx.report(
+                self,
+                node,
+                f"{qualified}() is nondeterministic; measurement-core "
+                "results must depend only on the seed and the simulated "
+                "day",
+            )
+
+
+@register_rule
+class SetIterationRule(Rule):
+    """Iteration order over a ``set`` is an implementation detail.
+
+    With string keys it additionally varies with ``PYTHONHASHSEED``, so
+    any result that flows out of a bare set iteration can differ between
+    runs with identical seeds.  Wrap the set in ``sorted(...)``.
+    """
+
+    rule_id = "DET002"
+    name = "set-iteration"
+    summary = (
+        "no bare set iteration feeding results in repro.measure / "
+        "repro.core; wrap in sorted(...)"
+    )
+    path_patterns = CORE_PATHS
+    node_types = (ast.For, ast.comprehension, ast.Call)
+
+    #: Functions that materialize their argument in iteration order.
+    _ORDER_SENSITIVE_WRAPPERS = frozenset(
+        {"list", "tuple", "enumerate", "iter", "next"}
+    )
+
+    def visit(self, node: ast.AST, ctx: LintContext) -> None:
+        if isinstance(node, ast.For):
+            self._check_iterable(node.iter, ctx)
+        elif isinstance(node, ast.comprehension):
+            self._check_iterable(node.iter, ctx)
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Name)
+                and func.id in self._ORDER_SENSITIVE_WRAPPERS
+                and node.args
+            ):
+                if self._is_set_expression(node.args[0]):
+                    ctx.report(
+                        self,
+                        node,
+                        f"{func.id}() over a set materializes "
+                        "implementation-defined order; use sorted(...)",
+                    )
+
+    def _check_iterable(self, iterable: ast.AST, ctx: LintContext) -> None:
+        if self._is_set_expression(iterable):
+            ctx.report(
+                self,
+                iterable,
+                "iterating a set feeds implementation-defined order into "
+                "results; iterate sorted(...) instead",
+            )
+
+    def _is_set_expression(self, node: ast.AST) -> bool:
+        """Whether an expression syntactically produces a ``set``."""
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            return isinstance(func, ast.Name) and func.id in (
+                "set",
+                "frozenset",
+            )
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitAnd, ast.BitOr, ast.BitXor, ast.Sub)
+        ):
+            # set(a) & set(b) and friends: set-typed if either side is.
+            return self._is_set_expression(node.left) or self._is_set_expression(
+                node.right
+            )
+        return False

@@ -1,0 +1,175 @@
+"""Frozen-world safety (``FRZ001``).
+
+A :class:`~repro.core.world.World` and the planner's ``PlannedPath``
+objects are built once and then shared across campaigns, caches, and
+batch engines.  Mutating one mid-campaign desynchronizes every
+component that captured it (the planner cache keeps paths alive for the
+whole run), so attribute assignment on these types is only legal inside
+the types themselves and in their builder functions.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional
+
+from repro.lint.engine import LintContext, Rule, register_rule
+
+#: Class names whose instances must not be mutated after construction.
+FROZEN_TYPES = frozenset({"World", "PlannedPath"})
+
+#: Variable names assumed (absent stronger evidence) to hold frozen
+#: instances -- the idiomatic names used across the tree.
+FROZEN_NAME_HINTS: Dict[str, str] = {
+    "world": "World",
+    "planned_path": "PlannedPath",
+}
+
+#: Constructor / factory calls whose result is a frozen instance.
+FROZEN_FACTORIES: Dict[str, str] = {
+    "World": "World",
+    "PlannedPath": "PlannedPath",
+    "build_world": "World",
+}
+
+
+@register_rule
+class FrozenMutationRule(Rule):
+    """No attribute assignment on World / PlannedPath after construction."""
+
+    rule_id = "FRZ001"
+    name = "frozen-world-mutation"
+    summary = (
+        "World / PlannedPath objects are frozen after construction; "
+        "no attribute assignment outside their class or build_* functions"
+    )
+    node_types = (ast.Assign, ast.AugAssign, ast.AnnAssign)
+
+    def visit(self, node: ast.AST, ctx: LintContext) -> None:
+        targets: list
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        else:
+            return
+        for target in targets:
+            for attr in self._attribute_targets(target):
+                frozen_type = self._frozen_receiver_type(attr.value, ctx)
+                if frozen_type is None:
+                    continue
+                if self._in_allowed_context(frozen_type, ctx):
+                    continue
+                ctx.report(
+                    self,
+                    attr,
+                    f"assignment to attribute '{attr.attr}' of a "
+                    f"{frozen_type} instance; {frozen_type} objects are "
+                    "frozen once built (mutate only in the class itself "
+                    "or a build_* function)",
+                )
+
+    @staticmethod
+    def _attribute_targets(target: ast.AST) -> list:
+        """Attribute nodes assigned to within a (possibly nested) target."""
+        if isinstance(target, ast.Attribute):
+            return [target]
+        if isinstance(target, (ast.Tuple, ast.List)):
+            found = []
+            for element in target.elts:
+                found.extend(FrozenMutationRule._attribute_targets(element))
+            return found
+        if isinstance(target, ast.Starred):
+            return FrozenMutationRule._attribute_targets(target.value)
+        return []
+
+    def _in_allowed_context(self, frozen_type: str, ctx: LintContext) -> bool:
+        current_class = ctx.current_class
+        if current_class is not None and current_class.name in FROZEN_TYPES:
+            return True
+        for name in ctx.enclosing_function_names():
+            if name.startswith("build") or name.startswith("_build"):
+                return True
+            if name.endswith("_builder") or name.endswith("builder"):
+                return True
+        return False
+
+    def _frozen_receiver_type(
+        self, receiver: ast.AST, ctx: LintContext
+    ) -> Optional[str]:
+        """The frozen type a receiver expression statically holds, if any.
+
+        Evidence, strongest first: a parameter or variable annotation
+        naming the type, assignment from a known factory call, then the
+        idiomatic-variable-name hint.
+        """
+        if not isinstance(receiver, ast.Name):
+            return None
+        name = receiver.id
+        function = ctx.current_function
+        if function is not None:
+            annotated = _annotation_type(function, name)
+            if annotated is not None:
+                return annotated if annotated in FROZEN_TYPES else None
+            assigned = _assignment_type(function, name)
+            if assigned is not None:
+                return assigned if assigned in FROZEN_TYPES else None
+        return FROZEN_NAME_HINTS.get(name)
+
+
+def _annotation_name(annotation: Optional[ast.AST]) -> Optional[str]:
+    """The class name an annotation refers to (handles Optional["World"])."""
+    if annotation is None:
+        return None
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        return annotation.value.rsplit(".", 1)[-1]
+    if isinstance(annotation, ast.Name):
+        return annotation.id
+    if isinstance(annotation, ast.Attribute):
+        return annotation.attr
+    if isinstance(annotation, ast.Subscript):
+        outer = _annotation_name(annotation.value)
+        if outer == "Optional":
+            return _annotation_name(annotation.slice)
+        return outer
+    return None
+
+
+def _annotation_type(func: ast.AST, name: str) -> Optional[str]:
+    """The annotated type of ``name`` inside ``func`` (params and AnnAssign)."""
+    assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+    args = func.args
+    for arg in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs):
+        if arg.arg == name:
+            return _annotation_name(arg.annotation)
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.AnnAssign)
+            and isinstance(node.target, ast.Name)
+            and node.target.id == name
+        ):
+            return _annotation_name(node.annotation)
+    return None
+
+
+def _assignment_type(func: ast.AST, name: str) -> Optional[str]:
+    """The frozen type ``name`` is assigned from a known factory, if any."""
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(
+            isinstance(target, ast.Name) and target.id == name
+            for target in node.targets
+        ):
+            continue
+        value = node.value
+        if isinstance(value, ast.Call):
+            callee = value.func
+            callee_name = (
+                callee.id
+                if isinstance(callee, ast.Name)
+                else callee.attr if isinstance(callee, ast.Attribute) else None
+            )
+            if callee_name in FROZEN_FACTORIES:
+                return FROZEN_FACTORIES[callee_name]
+    return None

@@ -1,0 +1,127 @@
+"""Batch-scalar parity (``PAR001``).
+
+PR 1 introduced a vectorized fast path that must stay distributionally
+equivalent to the scalar one.  Each noise process therefore lives twice
+-- a scalar form and an array (``_block``/``_batch``/``_many``/
+``_array``) form -- and the KS-equivalence tests compare the two.  The
+easiest way to break that contract is to add or change one side and
+forget the other, so this rule flags any noise-process function in the
+scoped modules whose counterpart is missing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Tuple
+
+from repro.lint.engine import LintContext, Rule, register_rule
+
+#: Suffixes marking the vectorized form of a noise process.
+BATCH_SUFFIXES: Tuple[str, ...] = ("_block", "_batch", "_many", "_array")
+
+#: Modules that hold dual-form noise processes.
+PARITY_PATHS = ("repro/measure/latency.py", "repro/lastmile/*")
+
+
+@register_rule
+class BatchScalarParityRule(Rule):
+    """Every noise process needs both its scalar and its batch form."""
+
+    rule_id = "PAR001"
+    name = "batch-scalar-parity"
+    summary = (
+        "noise-process functions in measure/latency.py and lastmile/ "
+        "must expose both scalar and _block/_batch/_many/_array forms"
+    )
+    path_patterns = PARITY_PATHS
+
+    def check_module(self, tree: ast.Module, ctx: LintContext) -> None:
+        self._check_namespace(
+            [n for n in tree.body if isinstance(n, ast.FunctionDef)],
+            ctx,
+            owner="module",
+        )
+        for node in tree.body:
+            if isinstance(node, ast.ClassDef):
+                # A subclass may inherit its counterpart, which a
+                # single-module pass cannot see; only standalone classes
+                # are checked member-by-member.
+                bases = {
+                    base.id
+                    for base in node.bases
+                    if isinstance(base, ast.Name)
+                }
+                inherits = bool(
+                    node.bases and bases - {"object", "ABC"}
+                ) or any(isinstance(base, ast.Attribute) for base in node.bases)
+                methods = [
+                    member
+                    for member in node.body
+                    if isinstance(member, ast.FunctionDef)
+                ]
+                self._check_namespace(
+                    methods, ctx, owner=node.name, skip_missing=inherits
+                )
+
+    def _check_namespace(
+        self,
+        functions: List[ast.FunctionDef],
+        ctx: LintContext,
+        owner: str,
+        skip_missing: bool = False,
+    ) -> None:
+        names = {function.name for function in functions}
+        for function in functions:
+            if function.name.startswith("_"):
+                continue
+            base = _batch_base_name(function.name)
+            if base is not None:
+                # A batch form: its scalar twin must exist.
+                if base not in names and not skip_missing:
+                    ctx.report(
+                        self,
+                        function,
+                        f"batch form {owner}.{function.name}() has no "
+                        f"scalar counterpart {base}(); add it (or rename) "
+                        "so KS-equivalence tests can compare the two",
+                    )
+                continue
+            if not _draws_randomness(function):
+                continue
+            if skip_missing:
+                continue
+            if not any(
+                function.name + suffix in names for suffix in BATCH_SUFFIXES
+            ):
+                expected = " / ".join(
+                    function.name + suffix for suffix in BATCH_SUFFIXES[:2]
+                )
+                ctx.report(
+                    self,
+                    function,
+                    f"noise process {owner}.{function.name}() has no "
+                    f"vectorized form ({expected}); the batch engine "
+                    "cannot stay distributionally equivalent without one",
+                )
+
+
+def _batch_base_name(name: str) -> "str | None":
+    for suffix in BATCH_SUFFIXES:
+        if name.endswith(suffix) and len(name) > len(suffix):
+            return name[: -len(suffix)]
+    return None
+
+
+def _parameter_names(function: ast.FunctionDef) -> Iterable[str]:
+    args = function.args
+    for arg in (
+        list(args.posonlyargs)
+        + list(args.args)
+        + list(args.kwonlyargs)
+    ):
+        yield arg.arg
+
+
+def _draws_randomness(function: ast.FunctionDef) -> bool:
+    """A scalar noise process: takes an ``rng`` parameter to draw from."""
+    return any(name == "rng" for name in _parameter_names(function))

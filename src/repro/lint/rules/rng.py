@@ -1,0 +1,314 @@
+"""RNG discipline rules (``RNG001``-``RNG004``).
+
+The reproduction's determinism contract: every stochastic draw flows
+through an explicitly threaded, explicitly seeded
+:class:`numpy.random.Generator` (see ``repro.core.rng.RngStreams``).
+These rules reject the three ways that contract silently erodes --
+legacy global-state numpy calls, the stdlib :mod:`random` module, and
+generators materialized out of thin air instead of being passed in.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional, Set
+
+from repro.lint.engine import LintContext, Rule, register_rule
+
+#: Legacy functions of the module-level ``numpy.random`` RandomState.
+#: ``default_rng`` / ``SeedSequence`` / ``Generator`` / bit generators
+#: are the modern seed-threaded API and stay allowed.
+LEGACY_NP_RANDOM = frozenset(
+    {
+        "beta",
+        "binomial",
+        "bytes",
+        "chisquare",
+        "choice",
+        "dirichlet",
+        "exponential",
+        "f",
+        "gamma",
+        "geometric",
+        "get_state",
+        "gumbel",
+        "hypergeometric",
+        "laplace",
+        "logistic",
+        "lognormal",
+        "logseries",
+        "multinomial",
+        "multivariate_normal",
+        "negative_binomial",
+        "noncentral_chisquare",
+        "noncentral_f",
+        "normal",
+        "pareto",
+        "permutation",
+        "poisson",
+        "power",
+        "rand",
+        "randint",
+        "randn",
+        "random",
+        "random_integers",
+        "random_sample",
+        "ranf",
+        "rayleigh",
+        "sample",
+        "seed",
+        "set_state",
+        "shuffle",
+        "standard_cauchy",
+        "standard_exponential",
+        "standard_gamma",
+        "standard_normal",
+        "standard_t",
+        "triangular",
+        "uniform",
+        "vonmises",
+        "wald",
+        "weibull",
+        "zipf",
+    }
+)
+
+#: Draw methods of :class:`numpy.random.Generator`; a call to one of
+#: these consumes random state.
+GENERATOR_DRAW_METHODS = frozenset(
+    {
+        "beta",
+        "binomial",
+        "chisquare",
+        "choice",
+        "dirichlet",
+        "exponential",
+        "gamma",
+        "geometric",
+        "gumbel",
+        "integers",
+        "laplace",
+        "logistic",
+        "lognormal",
+        "multinomial",
+        "multivariate_normal",
+        "normal",
+        "pareto",
+        "permutation",
+        "permuted",
+        "poisson",
+        "random",
+        "rayleigh",
+        "shuffle",
+        "standard_cauchy",
+        "standard_exponential",
+        "standard_gamma",
+        "standard_normal",
+        "triangular",
+        "uniform",
+        "vonmises",
+        "wald",
+        "weibull",
+        "zipf",
+    }
+)
+
+
+@register_rule
+class LegacyNumpyRandomRule(Rule):
+    """``np.random.<fn>()`` draws from hidden module-global state."""
+
+    rule_id = "RNG001"
+    name = "numpy-legacy-random"
+    summary = (
+        "no module-level numpy.random calls (rand, seed, normal, ...); "
+        "use an explicit numpy.random.Generator"
+    )
+    node_types = (ast.Call, ast.ImportFrom)
+
+    def visit(self, node: ast.AST, ctx: LintContext) -> None:
+        if isinstance(node, ast.ImportFrom):
+            if node.module == "numpy.random" and node.level == 0:
+                for alias in node.names:
+                    if alias.name in LEGACY_NP_RANDOM:
+                        ctx.report(
+                            self,
+                            node,
+                            f"importing legacy numpy.random.{alias.name}; "
+                            "draw from an explicit Generator instead",
+                        )
+            return
+        assert isinstance(node, ast.Call)
+        qualified = ctx.qualified_name(node.func)
+        if qualified is None:
+            return
+        if (
+            qualified.startswith("numpy.random.")
+            and qualified.rsplit(".", 1)[1] in LEGACY_NP_RANDOM
+        ):
+            ctx.report(
+                self,
+                node,
+                f"call to legacy {qualified}() uses hidden global RNG "
+                "state; thread an explicit numpy.random.Generator",
+            )
+
+
+@register_rule
+class StdlibRandomRule(Rule):
+    """The stdlib :mod:`random` module is globally seeded and untyped."""
+
+    rule_id = "RNG002"
+    name = "stdlib-random"
+    summary = "no stdlib random module; use numpy.random.Generator streams"
+    node_types = (ast.Import, ast.ImportFrom)
+
+    def visit(self, node: ast.AST, ctx: LintContext) -> None:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith("random."):
+                    ctx.report(
+                        self,
+                        node,
+                        "stdlib random draws from process-global state; "
+                        "use a seeded numpy.random.Generator",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0 and (
+                node.module == "random"
+                or (node.module or "").startswith("random.")
+            ):
+                ctx.report(
+                    self,
+                    node,
+                    "stdlib random draws from process-global state; "
+                    "use a seeded numpy.random.Generator",
+                )
+
+
+@register_rule
+class UnseededDefaultRngRule(Rule):
+    """``default_rng()`` without a seed pulls OS entropy: unreproducible."""
+
+    rule_id = "RNG003"
+    name = "unseeded-default-rng"
+    summary = "default_rng() must get an explicit seed outside tests"
+    node_types = (ast.Call,)
+
+    def visit(self, node: ast.AST, ctx: LintContext) -> None:
+        assert isinstance(node, ast.Call)
+        if ctx.is_test_file:
+            return
+        qualified = ctx.qualified_name(node.func)
+        if qualified != "numpy.random.default_rng":
+            return
+        if node.args or node.keywords:
+            seed = node.args[0] if node.args else node.keywords[0].value
+            if isinstance(seed, ast.Constant) and seed.value is None:
+                ctx.report(
+                    self,
+                    node,
+                    "default_rng(None) seeds from OS entropy; pass an "
+                    "explicit integer seed or SeedSequence",
+                )
+            return
+        ctx.report(
+            self,
+            node,
+            "default_rng() without a seed is unreproducible; pass an "
+            "explicit integer seed or SeedSequence",
+        )
+
+
+@register_rule
+class UntrackedRngSourceRule(Rule):
+    """Draws must come from threaded parameters or local, seeded state.
+
+    A public module-level function that calls a Generator draw method on
+    a name that is neither one of its parameters nor assigned inside the
+    function is drawing from module-global (or closure) RNG state -- the
+    caller can no longer control the stream.  Locally *created*
+    generators are accepted here; an unseeded creation is already
+    ``RNG003``.
+    """
+
+    rule_id = "RNG004"
+    name = "untracked-rng-source"
+    summary = (
+        "public functions that draw randomness must take an rng "
+        "parameter (no module-global generators)"
+    )
+    node_types = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+    def visit(self, node: ast.AST, ctx: LintContext) -> None:
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        if ctx.is_test_file:
+            return
+        # Methods hold their generator via constructor injection and
+        # nested functions close over the enclosing scope; the rule
+        # targets module-level public functions.
+        if ctx.scope or node.name.startswith("_"):
+            return
+        bound = _locally_bound_names(node)
+        for call in ast.walk(node):
+            if not isinstance(call, ast.Call):
+                continue
+            func = call.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr not in GENERATOR_DRAW_METHODS:
+                continue
+            receiver = func.value
+            root = _root_name(receiver)
+            if root is None:
+                # Drawing off a call/subscript result: creation-site
+                # rules (RNG003) govern those.
+                continue
+            resolved = ctx.imports.get(root, root)
+            if resolved == "numpy" or resolved.startswith("numpy."):
+                # np.random.<draw> is RNG001's finding; don't double-report.
+                continue
+            if root not in bound:
+                ctx.report(
+                    self,
+                    call,
+                    f"{node.name}() draws via '{root}.{func.attr}()' but "
+                    f"'{root}' is neither a parameter nor created locally; "
+                    "thread an explicit rng parameter",
+                )
+
+
+def _root_name(node: ast.AST) -> Optional[str]:
+    """The root identifier of a Name/Attribute chain, else ``None``."""
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _locally_bound_names(func: ast.AST) -> Set[str]:
+    """Every name bound inside ``func``: parameters (of it and any nested
+    function), assignment/loop/with/walrus targets, and comprehension
+    variables."""
+    bound: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = node.args
+            for arg in (
+                list(args.posonlyargs)
+                + list(args.args)
+                + list(args.kwonlyargs)
+                + ([args.vararg] if args.vararg else [])
+                + ([args.kwarg] if args.kwarg else [])
+            ):
+                bound.add(arg.arg)
+            bound.add(node.name)
+        elif isinstance(node, ast.Lambda):
+            for arg in node.args.args:
+                bound.add(arg.arg)
+        elif isinstance(node, ast.Name) and isinstance(
+            node.ctx, (ast.Store, ast.Del)
+        ):
+            bound.add(node.id)
+    return bound

@@ -1,0 +1,78 @@
+"""Suppression comments.
+
+Two directive forms, matching the usual linter conventions:
+
+- ``# repro-lint: disable=RNG001`` silences the named rule(s) for
+  violations reported *on that line* (comma-separate several ids;
+  rule names work too; ``all`` silences every rule on the line).
+- ``# repro-lint: disable-file=DET002`` anywhere in the file silences
+  the rule(s) for the whole file.
+
+Comments are found with :mod:`tokenize` so directives inside string
+literals never count; files that fail to tokenize fall back to a
+line-oriented scan.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+_DIRECTIVE_RE = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>disable-file|disable)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_,\- ]+)"
+)
+
+#: Token silencing every rule.
+ALL = "ALL"
+
+
+@dataclass
+class Suppressions:
+    """Parsed suppression directives for one file."""
+
+    #: Line number -> upper-cased rule tokens disabled on that line.
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+    #: Upper-cased rule tokens disabled for the whole file.
+    file_level: Set[str] = field(default_factory=set)
+
+    def is_disabled(self, line: int, rule_id: str, rule_name: str = "") -> bool:
+        tokens = {rule_id.upper(), rule_name.upper()} - {""}
+        if self.file_level & tokens or ALL in self.file_level:
+            return True
+        line_tokens = self.by_line.get(line)
+        if not line_tokens:
+            return False
+        return bool(line_tokens & tokens) or ALL in line_tokens
+
+
+def _parse_directive(comment: str, line: int, out: Suppressions) -> None:
+    for match in _DIRECTIVE_RE.finditer(comment):
+        tokens = {
+            token.strip().upper()
+            for token in match.group("rules").split(",")
+            if token.strip()
+        }
+        if match.group("kind") == "disable-file":
+            out.file_level |= tokens
+        else:
+            out.by_line.setdefault(line, set()).update(tokens)
+
+
+def scan_suppressions(source: str) -> Suppressions:
+    """Collect every suppression directive in ``source``."""
+    result = Suppressions()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                _parse_directive(token.string, token.start[0], result)
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # Unfinished brackets etc.: degrade to a plain line scan.
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            if "#" in text:
+                _parse_directive(text, lineno, result)
+    return result

@@ -34,6 +34,7 @@ from repro.lastmile.base import AccessKind
 from repro.measure.latency import (
     congestion_cycle_multiplier,
     icmp_penalty_probability_for,
+    sample_hop_rtt_block,
     sample_path_rtt_block,
 )
 from repro.measure.path import HOME_ROUTER_ADDRESS
@@ -346,7 +347,7 @@ def execute_traceroute_batch(
         np.float64,
         count=total,
     )
-    core = sample_path_rtt_block(
+    hop_core = sample_hop_rtt_block(
         base,
         sigma[hop_of],
         congestion_p[hop_of],
@@ -355,9 +356,7 @@ def execute_traceroute_batch(
         config,
         rng,
     )
-    rtts = np.round(
-        lastmile_total[hop_of] + core + rng.exponential(0.4, total), 3
-    ).tolist()
+    rtts = np.round(lastmile_total[hop_of] + hop_core, 3).tolist()
     unresponsive_draws = rng.random(total).tolist()
 
     results: List[TracerouteMeasurement] = []

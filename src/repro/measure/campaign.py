@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import gc
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -34,6 +34,9 @@ from repro.geo.continents import INTERCONTINENTAL_TARGETS, Continent
 from repro.measure.batch import PingRequest, TraceRequest
 from repro.measure.results import MeasurementDataset, Protocol
 from repro.platforms.probe import Probe, city_key_for
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.world import World
 
 #: Random extra in-continent regions measured per probe visit, on top of
 #: the per-provider nearest regions.
@@ -54,7 +57,9 @@ _VISIT_SHARE = 0.25
 _FOREIGN_REGIONS_PER_VISIT = 2
 
 
-def target_regions(world, probe: Probe, rng: np.random.Generator) -> List[CloudRegion]:
+def target_regions(
+    world: "World", probe: Probe, rng: np.random.Generator
+) -> List[CloudRegion]:
     """Regions a probe measures on one visit.
 
     Always includes the geographically-nearest region of every provider
@@ -95,7 +100,7 @@ def target_regions(world, probe: Probe, rng: np.random.Generator) -> List[CloudR
 
 
 def run_campaign(
-    world,
+    world: "World",
     days: Optional[int] = None,
     platforms: Sequence[str] = ("speedchecker", "atlas"),
 ) -> MeasurementDataset:
@@ -125,7 +130,9 @@ def run_campaign(
     return dataset
 
 
-def _run_speedchecker(world, total_days: int, dataset: MeasurementDataset) -> None:
+def _run_speedchecker(
+    world: "World", total_days: int, dataset: MeasurementDataset
+) -> None:
     config = world.config
     campaign = config.campaign
     platform = world.speedchecker
@@ -207,7 +214,9 @@ def _run_speedchecker(world, total_days: int, dataset: MeasurementDataset) -> No
             dataset.add_traceroute(measurement)
 
 
-def _run_atlas(world, total_days: int, dataset: MeasurementDataset) -> None:
+def _run_atlas(
+    world: "World", total_days: int, dataset: MeasurementDataset
+) -> None:
     config = world.config
     campaign = config.campaign
     platform = world.atlas
@@ -256,7 +265,7 @@ def _run_atlas(world, total_days: int, dataset: MeasurementDataset) -> None:
 
 
 def run_intercontinental_study(
-    world,
+    world: "World",
     countries: Sequence[str],
     target_continents: Sequence[Continent],
     rounds: int = 3,
@@ -308,7 +317,7 @@ def run_intercontinental_study(
 
 
 def run_case_study(
-    world,
+    world: "World",
     source_country: str,
     dest_country: str,
     rounds: int = 3,

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -29,7 +29,7 @@ from repro.measure.results import (
 
 # Re-exported for backwards compatibility; the canonical home is the
 # probe module so the results layer can build metas without the engine.
-from repro.platforms.probe import CITY_CELL_DEGREES, Probe, city_key_for
+from repro.platforms.probe import CITY_CELL_DEGREES, Probe, city_key_for  # noqa: F401
 
 #: Bound on the per-(probe, access) last-mile model cache.  A full-scale
 #: fleet has >100k probes; without a bound a year-long campaign would
@@ -46,7 +46,7 @@ class MeasurementEngine:
         planner: PathPlanner,
         config: SimulationConfig,
         rng: np.random.Generator,
-    ):
+    ) -> None:
         self._planner = planner
         self._config = config
         self._rng = rng
@@ -181,7 +181,7 @@ class MeasurementEngine:
 
     def traceroute_batch(
         self, requests: Sequence[TraceRequest]
-    ) -> list:
+    ) -> List[TracerouteMeasurement]:
         """Execute a whole traceroute batch in one vectorized pass.
 
         The fast-path equivalent of calling :meth:`traceroute` once per

@@ -15,7 +15,7 @@ from __future__ import annotations
 import gzip
 import json
 from pathlib import Path
-from typing import IO, Iterator, Union
+from typing import IO, Union
 
 from repro.geo.continents import Continent
 from repro.lastmile.base import AccessKind

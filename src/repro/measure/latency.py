@@ -11,7 +11,6 @@ Separates the three noise processes the paper discusses:
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
@@ -124,6 +123,34 @@ def sample_path_rtt_block(
     rtt = np.where(icmp_mask, rtt * path_config.icmp_base_inflation, rtt)
     penalized = icmp_mask & (u_icmp < icmp_penalty_probability)
     return np.where(penalized, rtt * path_config.icmp_penalty_factor, rtt)
+
+
+def sample_hop_rtt_block(
+    base_rtt_ms: np.ndarray,
+    jitter_sigma: np.ndarray,
+    congestion_probability: np.ndarray,
+    icmp_mask: np.ndarray,
+    icmp_penalty_probability: np.ndarray,
+    config: SimulationConfig,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Vectorized :func:`sample_hop_rtt` over per-hop parameter arrays.
+
+    The hop process is the path process plus the router's control-plane
+    handling of the expiring probe packet; the draw order (path-block
+    draws first, then one exponential array) is fixed so a given seed
+    always produces the same block.
+    """
+    core = sample_path_rtt_block(
+        base_rtt_ms,
+        jitter_sigma,
+        congestion_probability,
+        icmp_mask,
+        icmp_penalty_probability,
+        config,
+        rng,
+    )
+    return core + rng.exponential(0.4, base_rtt_ms.shape[0])
 
 
 def icmp_penalty_probability_for(

@@ -11,7 +11,7 @@ around.
 from __future__ import annotations
 
 from enum import Enum
-from typing import List, NamedTuple, Optional, Sequence, Tuple
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -20,7 +20,9 @@ from repro.cloud.wan import PrivateWAN
 from repro.core.config import SimulationConfig
 from repro.core.topology import Topology
 from repro.core.units import one_way_fiber_ms
+from repro.geo.continents import Continent
 from repro.geo.coords import EARTH_RADIUS_KM, GeoPoint
+from repro.geo.countries import CountryRegistry
 from repro.net.asn import AS, ASKind
 from repro.net.ip import parse_ip
 from repro.platforms.probe import Probe
@@ -28,6 +30,19 @@ from repro.platforms.probe import Probe
 #: Home-router LAN-side address seen as the first traceroute hop of a
 #: home probe.
 HOME_ROUTER_ADDRESS = parse_ip("192.168.1.1")
+
+#: Columnar hop storage: parallel per-hop tuples of (addresses, ASNs,
+#: owner kinds, latitudes, longitudes, base RTTs, IXP ids) -- the same
+#: field order as :class:`PlannedHop`.
+HopColumns = Tuple[
+    Tuple[int, ...],
+    Tuple[Optional[int], ...],
+    Tuple[str, ...],
+    Tuple[float, ...],
+    Tuple[float, ...],
+    Tuple[float, ...],
+    Tuple[Optional[int], ...],
+]
 
 
 class InterconnectKind(str, Enum):
@@ -122,7 +137,7 @@ class PlannedPath:
         base_path_rtt_ms: float,
         dest_address: int,
         hops: Sequence[PlannedHop] = (),
-        hop_columns: Optional[tuple] = None,
+        hop_columns: Optional[HopColumns] = None,
     ) -> None:
         self.probe_id = probe_id
         self.region_id = region_id
@@ -140,7 +155,7 @@ class PlannedPath:
         self._set_columns(hop_columns)
         self.dest_address = dest_address
 
-    def _set_columns(self, columns) -> None:
+    def _set_columns(self, columns: HopColumns) -> None:
         #: Columnar hop storage, ISP edge first, endpoint last.
         self.hop_addresses = columns[0]
         self.hop_asns = columns[1]
@@ -202,7 +217,7 @@ def effective_stretch(
     interconnect: InterconnectKind,
     intermediates: int,
     wan: PrivateWAN,
-    source_continent,
+    source_continent: Continent,
     config: SimulationConfig,
 ) -> float:
     """Fibre path stretch for an interconnect class.
@@ -225,7 +240,7 @@ def effective_jitter_sigma(
     interconnect: InterconnectKind,
     distance_km: float,
     wan: PrivateWAN,
-    source_continent,
+    source_continent: Continent,
     config: SimulationConfig,
 ) -> float:
     """Multiplicative RTT jitter sigma for an interconnect class.
@@ -293,19 +308,19 @@ class PathPlanner:
     def __init__(
         self,
         topology: Topology,
-        wans,
-        region_addresses,
+        wans: Dict[str, PrivateWAN],
+        region_addresses: Dict[Tuple[str, str], int],
         config: SimulationConfig,
         rng: np.random.Generator,
-        countries=None,
-    ):
+        countries: Optional[CountryRegistry] = None,
+    ) -> None:
         self._topology = topology
         self._wans = wans
         self._region_addresses = region_addresses
         self._config = config
         self._rng = rng
         self._countries = countries
-        self._cache: dict = {}
+        self._cache: Dict[Tuple[str, str, str], PlannedPath] = {}
 
     def plan(self, probe: Probe, region: CloudRegion) -> PlannedPath:
         """The planned path for a (probe, region) pair, cached."""
@@ -425,7 +440,11 @@ class PathPlanner:
             ],
         )
 
-    def _place_hops(self, preps: Sequence[_PathPrep]):
+    def _place_hops(
+        self, preps: Sequence[_PathPrep]
+    ) -> Tuple[
+        List[float], List[float], List[float], List[int], List[int]
+    ]:
         """Place every hop of every prep in one vectorized pass.
 
         Fractions along each great circle, spherical interpolation, the
@@ -513,7 +532,7 @@ class PathPlanner:
         rtt_list: List[float],
         addr_list: List[int],
         start: int,
-    ) -> Tuple[tuple, float]:
+    ) -> Tuple[HopColumns, float]:
         """Build one prep's columnar hop storage from the placed arrays."""
         path_config = self._config.path_model
         total = prep.total_hops
@@ -598,7 +617,7 @@ class PathPlanner:
         )
 
     def _adjust_stretch_for_geography(
-        self, stretch: float, probe: Probe, region: CloudRegion, wan
+        self, stretch: float, probe: Probe, region: CloudRegion, wan: PrivateWAN
     ) -> float:
         """Geography corrections to the interconnect-class stretch.
 

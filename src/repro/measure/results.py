@@ -10,11 +10,11 @@ exactly as the paper derives it from raw traceroutes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import (
+    TYPE_CHECKING,
     Callable,
-    Iterable,
     Iterator,
     List,
     NamedTuple,
@@ -27,7 +27,10 @@ import numpy as np
 
 from repro.geo.continents import Continent
 from repro.lastmile.base import AccessKind
-from repro.platforms.probe import city_key_for
+from repro.platforms.probe import Probe, city_key_for
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cloud.regions import CloudRegion
 
 
 class Protocol(str, Enum):
@@ -124,7 +127,7 @@ PROTOCOL_BY_CODE: Tuple[Protocol, ...] = (Protocol.TCP, Protocol.ICMP)
 PROTOCOL_CODES = {protocol: code for code, protocol in enumerate(PROTOCOL_BY_CODE)}
 
 
-def build_meta(probe, region, day: int) -> MeasurementMeta:
+def build_meta(probe: Probe, region: "CloudRegion", day: int) -> MeasurementMeta:
     """The :class:`MeasurementMeta` for one (probe, region, day) request."""
     return MeasurementMeta(
         probe_id=probe.probe_id,

@@ -30,7 +30,7 @@ class _ContinentIndex:
 
     __slots__ = ("regions", "lat_rad", "lon_rad", "provider_rows")
 
-    def __init__(self, regions: List[CloudRegion]):
+    def __init__(self, regions: List[CloudRegion]) -> None:
         self.regions = regions
         self.lat_rad = np.radians([r.location.lat for r in regions])
         self.lon_rad = np.radians([r.location.lon for r in regions])
@@ -46,7 +46,7 @@ class _ContinentIndex:
 class RegionTargeter:
     """Nearest-per-provider region lookup, cached per (city cell, continent)."""
 
-    def __init__(self, catalog: RegionCatalog):
+    def __init__(self, catalog: RegionCatalog) -> None:
         self._catalog = catalog
         self._indexes: Dict[Continent, _ContinentIndex] = {}
         self._nearest: Dict[Tuple[CityCell, Continent], Tuple[CloudRegion, ...]] = {}

@@ -10,7 +10,7 @@ This module is the synthetic equivalent of that dataset.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Dict, List, Optional, Set
 
 from repro.geo.continents import Continent
 from repro.geo.coords import GeoPoint

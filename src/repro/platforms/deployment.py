@@ -8,7 +8,7 @@ documents for both platforms.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import numpy as np
 
@@ -17,7 +17,7 @@ from repro.geo.continents import Continent
 from repro.geo.coords import jitter_point
 from repro.geo.countries import Country, CountryRegistry
 from repro.lastmile.base import AccessKind
-from repro.net.asn import ASKind, ASRegistry
+from repro.net.asn import ASRegistry
 from repro.net.ip import parse_ip
 from repro.platforms.probe import Probe
 

@@ -13,12 +13,11 @@ Models the operational quirks the paper had to work around (section 3.3):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.config import SimulationConfig
-from repro.geo.continents import Continent
 from repro.platforms.probe import Probe
 
 

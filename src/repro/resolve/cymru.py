@@ -8,7 +8,7 @@ assert the pipeline only falls back when it must.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Optional
 
 from repro.net.asn import ASRegistry
 from repro.net.ip import is_private_ip

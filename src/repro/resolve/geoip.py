@@ -11,7 +11,7 @@ entries is wildly wrong (registered-office locations etc.).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 

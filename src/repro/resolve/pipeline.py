@@ -30,6 +30,14 @@ from repro.net.ixp import IXPRegistry
 from repro.resolve.cymru import CymruResolver
 from repro.resolve.pyasn import PyASNResolver
 
+#: Seed of the resolver's own RIB-coverage stream when the caller does
+#: not thread a generator.  Fixed (and independent of the campaign's
+#: master seed) so that *which* addresses fall outside the simulated RIB
+#: snapshot stays identical across runs and across campaign seeds --
+#: resolution noise must never vary between otherwise-identical
+#: longitudinal datasets.
+DEFAULT_RESOLVER_SEED = 0
+
 
 @dataclass(frozen=True)
 class ResolvedHop:
@@ -130,9 +138,10 @@ class TracerouteResolver:
         ixps: IXPRegistry,
         rib_coverage: float = 0.97,
         rng: Optional[np.random.Generator] = None,
+        seed: int = DEFAULT_RESOLVER_SEED,
     ):
         if rib_coverage < 1.0 and rng is None:
-            rng = np.random.default_rng(0)
+            rng = np.random.default_rng(seed)
         self._pyasn = PyASNResolver(
             registry.prefix_table(), coverage=rib_coverage, rng=rng
         )

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from repro.geo.continents import Continent
 from repro.lastmile.base import AccessKind
@@ -11,24 +11,23 @@ from repro.measure.results import (
     MeasurementMeta,
     PingMeasurement,
     Protocol,
-    TraceHop,
     TracerouteMeasurement,
 )
 
 
 def make_meta(
-    probe_id="p1",
-    platform="speedchecker",
-    country="DE",
-    continent=Continent.EU,
-    access=AccessKind.HOME_WIFI,
-    isp_asn=3320,
-    provider_code="GCP",
-    region_id="frankfurt-2",
-    region_country="DE",
-    region_continent=Continent.EU,
-    day=0,
-    city_key=(50, 8),
+    probe_id: str = "p1",
+    platform: str = "speedchecker",
+    country: str = "DE",
+    continent: Continent = Continent.EU,
+    access: AccessKind = AccessKind.HOME_WIFI,
+    isp_asn: int = 3320,
+    provider_code: str = "GCP",
+    region_id: str = "frankfurt-2",
+    region_country: str = "DE",
+    region_continent: Continent = Continent.EU,
+    day: int = 0,
+    city_key: Tuple[int, int] = (50, 8),
 ) -> MeasurementMeta:
     return MeasurementMeta(
         probe_id=probe_id,
@@ -49,7 +48,7 @@ def make_meta(
 def make_ping(
     samples: Sequence[float],
     protocol: Protocol = Protocol.TCP,
-    **meta_kwargs,
+    **meta_kwargs: object,
 ) -> PingMeasurement:
     return PingMeasurement(
         meta=make_meta(**meta_kwargs),
@@ -58,7 +57,9 @@ def make_ping(
     )
 
 
-def dataset_of(*measurements) -> MeasurementDataset:
+def dataset_of(
+    *measurements: "PingMeasurement | TracerouteMeasurement",
+) -> MeasurementDataset:
     dataset = MeasurementDataset()
     for measurement in measurements:
         if isinstance(measurement, PingMeasurement):

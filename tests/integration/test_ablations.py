@@ -1,15 +1,12 @@
 """Ablations of the design choices called out in DESIGN.md section 5."""
 
-from dataclasses import replace
 
 import numpy as np
-import pytest
 
 from repro import SimulationConfig, build_world, run_campaign
 from repro.analysis.nearest import samples_to_nearest
 from repro.geo.continents import Continent
 from repro.lastmile.base import AccessKind
-from repro.measure.path import InterconnectKind
 
 _SCALE = 0.008
 _SEED = 31
@@ -115,7 +112,7 @@ class TestDeploymentSkew:
     def test_uniform_deployment_changes_sa_composition(self):
         """With the documented Brazil bias removed, Brazil no longer
         dominates the South American Speedchecker fleet."""
-        from repro.geo.countries import COUNTRIES, Country, CountryRegistry
+        from repro.geo.countries import COUNTRIES, CountryRegistry
         from dataclasses import replace as dc_replace
 
         unbiased = CountryRegistry(

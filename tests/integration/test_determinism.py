@@ -2,7 +2,6 @@
 
 import hashlib
 
-import pytest
 
 from repro import build_world, run_campaign
 

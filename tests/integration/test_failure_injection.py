@@ -3,11 +3,9 @@ measurement conditions (dark traceroutes, empty RIBs, starved quotas)."""
 
 from dataclasses import replace
 
-import pytest
 
 from repro import SimulationConfig, build_world, run_campaign
 from repro.core.config import CampaignConfig, PathModelConfig, PlatformConfig
-from repro.geo.continents import Continent
 from repro.resolve.pipeline import TracerouteResolver
 
 SEED = 41

@@ -9,7 +9,6 @@ simulator at 2% fleet scale); the *shapes* must not.
 import pytest
 
 from repro.experiments import run_experiment
-from repro.geo.continents import Continent
 
 
 @pytest.fixture(scope="module")

@@ -1,8 +1,6 @@
 """Tests for scenario building edge cases."""
 
-from dataclasses import replace
 
-import pytest
 
 from repro import SimulationConfig, build_world
 from repro.core.scenario import build_world as scenario_build

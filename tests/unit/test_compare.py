@@ -1,7 +1,5 @@
 """Tests for repro.analysis.compare (platform differences)."""
 
-import numpy as np
-import pytest
 
 from helpers import dataset_of, make_ping
 

@@ -1,6 +1,5 @@
 """Tests for the canonical data tables (repro.datasets)."""
 
-import pytest
 
 from repro.datasets.carriers import TIER1_CARRIERS
 from repro.datasets.isps import NAMED_ISPS, named_isps_by_country

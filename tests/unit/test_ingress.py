@@ -1,6 +1,5 @@
 """Tests for WAN ingress locality (section 6.2)."""
 
-import pytest
 
 from repro.analysis.ingress import ingress_by_interconnect, ingress_depth
 from repro.analysis.peering import provider_network_asns

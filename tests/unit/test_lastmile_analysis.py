@@ -19,7 +19,6 @@ from repro.analysis.lastmile import (
 from repro.analysis.nearest import NearestMap
 from repro.analysis.lastmile import filter_to_nearest
 from repro.geo.continents import Continent
-from repro.lastmile.base import AccessKind
 from repro.measure.results import Protocol, TraceHop, TracerouteMeasurement
 from repro.resolve.pipeline import ResolvedTrace
 

@@ -1,6 +1,5 @@
 """Tests for repro.analysis.nearest."""
 
-import pytest
 
 from helpers import dataset_of, make_ping
 

@@ -5,7 +5,6 @@ import pytest
 from repro.geo.continents import Continent
 from repro.lastmile.base import AccessKind
 from repro.measure.path import InterconnectKind, classify_interconnect
-from repro.net.asn import ASKind
 
 
 @pytest.fixture(scope="module")

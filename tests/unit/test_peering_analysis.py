@@ -15,7 +15,6 @@ from repro.analysis.peering import (
     provider_breakdowns,
     provider_network_asns,
 )
-from repro.geo.continents import Continent
 from repro.measure.results import Protocol, TraceHop, TracerouteMeasurement
 from repro.resolve.pipeline import ResolvedTrace
 

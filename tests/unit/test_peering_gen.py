@@ -1,6 +1,5 @@
 """Tests for repro.cloud.peering (interconnect generation)."""
 
-import numpy as np
 import pytest
 
 from repro.cloud.peering import build_provider_peering

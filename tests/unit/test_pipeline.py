@@ -10,7 +10,7 @@ from repro.measure.results import (
     TraceHop,
     TracerouteMeasurement,
 )
-from repro.net.ip import is_private_ip, parse_ip
+from repro.net.ip import parse_ip
 from repro.resolve.pipeline import TracerouteResolver
 
 

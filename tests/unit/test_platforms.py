@@ -1,11 +1,9 @@
 """Tests for the Speedchecker and Atlas platform mechanics."""
 
-import numpy as np
 import pytest
 
 from repro import build_world
-from repro.platforms.atlas import AtlasPlatform
-from repro.platforms.speedchecker import QuotaExhausted, SpeedcheckerPlatform
+from repro.platforms.speedchecker import QuotaExhausted
 
 
 @pytest.fixture(scope="module")

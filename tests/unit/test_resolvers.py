@@ -1,6 +1,5 @@
 """Tests for the Cymru fallback, PeeringDB enrichment, and GeoIP."""
 
-import numpy as np
 import pytest
 
 from repro.geo.coords import GeoPoint, haversine_km

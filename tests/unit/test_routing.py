@@ -1,7 +1,6 @@
 """Tests for repro.net.routing (Gao-Rexford valley-free policy routing)."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

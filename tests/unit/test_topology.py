@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro import build_world
 from repro.geo.continents import Continent
 from repro.net.asn import ASKind
 from repro.net.relationships import Relationship

@@ -1,6 +1,5 @@
 """Tests for repro.core.units."""
 
-import math
 
 import pytest
 
