@@ -1,0 +1,133 @@
+"""Binary store vs JSONL: serialization and load benchmarks.
+
+The headline claim of ``repro.store`` (docs/STORAGE.md): opening a
+binary store and materializing its blocks is an order of magnitude
+faster than parsing the same dataset from JSONL, because columns memmap
+straight off disk instead of passing every measurement through the JSON
+parser.  ``test_binary_load_speedup`` asserts the >=10x ratio in CI; the
+``bench_*`` cases record the absolute numbers alongside the other
+benchmark artifacts.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.measure.io import load_dataset, save_dataset
+from repro.store import DatasetStore
+
+@pytest.fixture(scope="module")
+def jsonl_path(dataset, tmp_path_factory):
+    path = tmp_path_factory.mktemp("bench-store") / "dataset.jsonl"
+    save_dataset(dataset, path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def store_dir(dataset, tmp_path_factory):
+    """The campaign dataset re-sharded into a binary store."""
+    from collections import defaultdict
+
+    from repro.measure.results import (
+        ping_block_from_records,
+        trace_block_from_records,
+    )
+
+    run_dir = tmp_path_factory.mktemp("bench-store") / "run"
+    pings_by_unit = defaultdict(list)
+    traces_by_unit = defaultdict(list)
+    for ping in dataset.pings():
+        pings_by_unit[(ping.meta.platform, ping.meta.day)].append(ping)
+    for trace in dataset.traceroutes():
+        traces_by_unit[(trace.meta.platform, trace.meta.day)].append(trace)
+    store = DatasetStore.create(run_dir, source="benchmark")
+    for platform, day in sorted(set(pings_by_unit) | set(traces_by_unit)):
+        store.flush_unit(
+            f"{platform}:{day:03d}",
+            ping_block=ping_block_from_records(
+                pings_by_unit.get((platform, day), [])
+            ),
+            trace_block=trace_block_from_records(
+                traces_by_unit.get((platform, day), [])
+            ),
+        )
+    return run_dir
+
+
+def _load_binary(store_dir):
+    """Open a store and touch every block's columns (mmap reads)."""
+    store = DatasetStore.open(store_dir)
+    pings = 0
+    samples = 0
+    traces = 0
+    for block in store.iter_ping_blocks():
+        pings += len(block)
+        samples += block.sample_count
+    for block in store.iter_trace_blocks():
+        traces += len(block)
+    return pings, samples, traces
+
+
+def _load_jsonl(jsonl_path):
+    dataset = load_dataset(jsonl_path)
+    return (
+        dataset.ping_count,
+        dataset.ping_sample_count,
+        dataset.traceroute_count,
+    )
+
+
+def test_binary_load_speedup(jsonl_path, store_dir):
+    """Binary store loads must beat JSONL parsing by >=10x (CI gate)."""
+    # Warm both paths once: imports, page cache, dtype lookups.
+    binary_counts = _load_binary(store_dir)
+    jsonl_counts = _load_jsonl(jsonl_path)
+    assert binary_counts[0] == jsonl_counts[0]
+    assert binary_counts[2] == jsonl_counts[2]
+
+    rounds = 3
+    binary_best = min(
+        _timed(_load_binary, store_dir) for _ in range(rounds)
+    )
+    jsonl_best = min(_timed(_load_jsonl, jsonl_path) for _ in range(rounds))
+    speedup = jsonl_best / binary_best
+    print(
+        f"\nbinary load: {binary_best * 1e3:.2f} ms, "
+        f"jsonl parse: {jsonl_best * 1e3:.2f} ms, "
+        f"speedup: {speedup:.1f}x"
+    )
+    assert speedup >= 10.0, (
+        f"binary store load is only {speedup:.1f}x faster than JSONL "
+        f"(contract: >=10x)"
+    )
+
+
+def _timed(fn, *args):
+    start = time.perf_counter()
+    fn(*args)
+    return time.perf_counter() - start
+
+
+def test_store_binary_load(benchmark, store_dir):
+    """Open + iterate every block of the binary store."""
+    pings, samples, traces = benchmark(_load_binary, store_dir)
+    print(f"\n{pings} pings ({samples} samples), {traces} traceroutes")
+
+
+def test_store_jsonl_load(benchmark, jsonl_path):
+    """Parse the same dataset from line-delimited JSON."""
+    pings, samples, traces = benchmark(_load_jsonl, jsonl_path)
+    print(f"\n{pings} pings ({samples} samples), {traces} traceroutes")
+
+
+def test_store_jsonl_export(benchmark, store_dir, tmp_path):
+    """Columnar fast-path JSONL export straight off the memmapped store."""
+    store = DatasetStore.open(store_dir)
+
+    def _export():
+        return save_dataset(store.dataset(), tmp_path / "export.jsonl")
+
+    lines = benchmark(_export)
+    print(f"\n{lines} lines exported")

@@ -17,6 +17,8 @@ The public API is organised in layers, bottom-up:
   measurement platforms and their probe deployments.
 - :mod:`repro.measure` -- ping and traceroute engines plus the six-month
   measurement campaign scheduler.
+- :mod:`repro.store` -- the binary columnar dataset warehouse with
+  journaled, crash-resumable campaign runs.
 - :mod:`repro.resolve` -- traceroute post-processing: IP-to-ASN
   resolution, IXP tagging, PeeringDB-style enrichment and noisy GeoIP.
 - :mod:`repro.analysis` -- the paper's statistical analyses.
@@ -36,14 +38,22 @@ Quickstart::
 from repro.core.config import SimulationConfig
 from repro.core.scenario import build_world
 from repro.core.world import World
-from repro.measure.campaign import run_campaign
+from repro.measure.campaign import (
+    resume_campaign,
+    run_campaign,
+    run_campaign_checkpointed,
+)
+from repro.store import DatasetStore
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "DatasetStore",
     "SimulationConfig",
     "World",
     "build_world",
+    "resume_campaign",
     "run_campaign",
+    "run_campaign_checkpointed",
     "__version__",
 ]

@@ -16,9 +16,10 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 from typing import List, Optional
 
-from repro import build_world, run_campaign
+from repro import build_world, run_campaign, run_campaign_checkpointed
 from repro.experiments import (
     EXPERIMENT_IDS,
     StudyContext,
@@ -28,6 +29,14 @@ from repro.experiments import (
     run_experiment,
 )
 from repro.measure.io import load_dataset, save_dataset
+from repro.store import DatasetStore, StoreError
+
+
+def _load_any_dataset(path: str):
+    """Load a dataset argument: a JSONL file or a store run directory."""
+    if Path(path).is_dir():
+        return DatasetStore.open(path).dataset()
+    return load_dataset(path)
 
 
 def _add_world_arguments(parser: argparse.ArgumentParser) -> None:
@@ -59,8 +68,17 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_world_arguments(campaign)
     campaign.add_argument("--days", type=int, default=14)
-    campaign.add_argument(
-        "-o", "--output", required=True, help="output path (.jsonl or .jsonl.gz)"
+    output_group = campaign.add_mutually_exclusive_group(required=True)
+    output_group.add_argument(
+        "-o", "--output", help="output path (.jsonl or .jsonl.gz)"
+    )
+    output_group.add_argument(
+        "--store",
+        help=(
+            "checkpointed run directory: each completed (platform, day) "
+            "unit is journaled as binary shards; re-running with the same "
+            "directory resumes an interrupted campaign"
+        ),
     )
 
     experiment = subparsers.add_parser(
@@ -71,7 +89,10 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "--dataset",
         default=None,
-        help="dataset file from 'repro campaign' (collected fresh if omitted)",
+        help=(
+            "dataset file or store run directory from 'repro campaign' "
+            "(collected fresh if omitted)"
+        ),
     )
     experiment.add_argument("--days", type=int, default=14)
 
@@ -87,7 +108,9 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_world_arguments(takeaways)
     takeaways.add_argument("--days", type=int, default=14)
     takeaways.add_argument(
-        "--dataset", default=None, help="dataset file from 'repro campaign'"
+        "--dataset",
+        default=None,
+        help="dataset file or store run directory from 'repro campaign'",
     )
 
     return parser
@@ -111,6 +134,17 @@ def _command_campaign(args) -> int:
     world = build_world(seed=args.seed, scale=args.scale)
     print(world.summary(), file=sys.stderr)
     started = time.time()
+    if args.store:
+        store = run_campaign_checkpointed(world, args.store, days=args.days)
+        print(
+            f"Store {store.run_dir} complete: {store.ping_count} pings "
+            f"({store.ping_sample_count} samples), "
+            f"{store.traceroute_count} traceroutes across "
+            f"{len(store.completed_units())} units "
+            f"in {time.time() - started:.1f}s",
+            file=sys.stderr,
+        )
+        return 0
     dataset = run_campaign(world, days=args.days)
     lines = save_dataset(dataset, args.output)
     print(
@@ -128,7 +162,7 @@ def _command_experiment(args) -> int:
     dataset = None
     if info.needs_dataset:
         if args.dataset:
-            dataset = load_dataset(args.dataset)
+            dataset = _load_any_dataset(args.dataset)
         else:
             print(
                 f"Collecting a fresh {args.days}-day dataset ...",
@@ -155,7 +189,7 @@ def _command_reproduce(args) -> int:
 def _command_takeaways(args) -> int:
     world = build_world(seed=args.seed, scale=args.scale)
     if args.dataset:
-        dataset = load_dataset(args.dataset)
+        dataset = _load_any_dataset(args.dataset)
     else:
         print(f"Collecting a fresh {args.days}-day dataset ...", file=sys.stderr)
         dataset = run_campaign(world, days=args.days)
@@ -177,7 +211,11 @@ _COMMANDS = {
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

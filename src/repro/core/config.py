@@ -13,6 +13,9 @@ Use :func:`dataclasses.replace` to derive variants for ablations.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Dict, Tuple
 
@@ -226,3 +229,19 @@ class SimulationConfig:
     def scaled(self, value: int, minimum: int = 1) -> int:
         """Scale an absolute fleet-size number by :attr:`scale`."""
         return max(minimum, int(round(value * self.scale)))
+
+
+def config_digest(config: SimulationConfig) -> str:
+    """A stable hex digest of a full configuration.
+
+    Recorded by :mod:`repro.store` run journals and checked on resume, so
+    a checkpointed campaign can only be continued under the exact
+    configuration that started it.  The digest covers every field
+    (recursively, via :func:`dataclasses.asdict`) with sorted keys, so it
+    is independent of field declaration order tweaks but changes whenever
+    any parameter value does.
+    """
+    payload = json.dumps(
+        dataclasses.asdict(config), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -14,6 +14,19 @@ from typing import Dict
 import numpy as np
 
 
+def name_digest(name: str) -> int:
+    """A stable, platform-independent 63-bit digest of a stream name.
+
+    Used as the ``spawn_key`` of derived seed sequences so the mapping
+    from name to stream is identical across processes and Python
+    versions (unlike :func:`hash`, which is salted).
+    """
+    digest = 0
+    for ch in name:
+        digest = (digest * 1_000_003 + ord(ch)) % (2**63)
+    return digest
+
+
 class RngStreams:
     """A factory of independent, named :class:`numpy.random.Generator`.
 
@@ -42,10 +55,7 @@ class RngStreams:
         if not name:
             raise ValueError("stream name must be a non-empty string")
         if name not in self._streams:
-            # A stable, platform-independent 64-bit digest of the name.
-            digest = 0
-            for ch in name:
-                digest = (digest * 1_000_003 + ord(ch)) % (2**63)
+            digest = name_digest(name)
             seq = np.random.SeedSequence(entropy=self._seed, spawn_key=(digest,))
             self._streams[name] = np.random.default_rng(seq)
         return self._streams[name]
@@ -55,9 +65,7 @@ class RngStreams:
 
         Unlike :meth:`stream` the result is not cached; callers own it.
         """
-        digest = 0
-        for ch in name:
-            digest = (digest * 1_000_003 + ord(ch)) % (2**63)
+        digest = name_digest(name)
         seq = np.random.SeedSequence(
             entropy=self._seed, spawn_key=(digest, int(index))
         )

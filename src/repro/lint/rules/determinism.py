@@ -1,10 +1,12 @@
 """Determinism-hazard rules (``DET001``-``DET002``).
 
-Scoped to the measurement core (``repro/measure``, ``repro/core``):
-these are the modules whose outputs feed the paper's figures, so any
-wall-clock read, OS-entropy read, or unordered-container iteration there
-silently breaks the same-seed-same-dataset guarantee the longitudinal
-comparisons (paper section 4.2) rely on.
+Scoped to the measurement core (``repro/measure``, ``repro/core``) and
+the dataset warehouse (``repro/store``): these are the modules whose
+outputs feed the paper's figures -- and, for the store, whose bytes the
+crash-resume equivalence guarantee covers -- so any wall-clock read,
+OS-entropy read, or unordered-container iteration there silently breaks
+the same-seed-same-dataset guarantee the longitudinal comparisons
+(paper section 4.2) rely on.
 """
 
 from __future__ import annotations
@@ -39,7 +41,7 @@ WALL_CLOCK_CALLS = frozenset(
 )
 
 #: Where the determinism rules apply.
-CORE_PATHS = ("repro/measure/*", "repro/core/*")
+CORE_PATHS = ("repro/measure/*", "repro/core/*", "repro/store/*")
 
 
 @register_rule

@@ -25,7 +25,7 @@ processes, different stream consumption); the KS-equivalence tests in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -74,7 +74,9 @@ class TraceRequest:
 
 
 def execute_ping_batch(
-    engine: "MeasurementEngine", requests: Sequence[PingRequest]
+    engine: "MeasurementEngine",
+    requests: Sequence[PingRequest],
+    rng: Optional[np.random.Generator] = None,
 ) -> PingBlock:
     """Execute a request batch in one vectorized pass.
 
@@ -83,10 +85,15 @@ def execute_ping_batch(
     last-mile parameters are interned, and probe/region code columns are
     built.  Phase 2 is pure array math over every sample of every
     request.
+
+    ``rng`` overrides the engine's measurement stream -- checkpointed
+    campaigns pass a per-unit generator so a unit's draws are independent
+    of every other unit's.
     """
     n = len(requests)
     config = engine.config
-    rng = engine.rng
+    if rng is None:
+        rng = engine.rng
     if n == 0:
         return PingBlock(
             probes=[],
@@ -247,7 +254,9 @@ def execute_ping_batch(
 
 
 def execute_traceroute_batch(
-    engine: "MeasurementEngine", requests: Sequence["TraceRequest"]
+    engine: "MeasurementEngine",
+    requests: Sequence["TraceRequest"],
+    rng: Optional[np.random.Generator] = None,
 ) -> List[TracerouteMeasurement]:
     """Execute a traceroute batch in one vectorized pass.
 
@@ -256,12 +265,16 @@ def execute_traceroute_batch(
     their private first hop.  Phase 2 samples jitter / congestion / ICMP
     penalty / control-plane processing for *every hop of every trace* as
     flat arrays, then slices the results back into per-trace hop lists.
+
+    ``rng`` overrides the engine's measurement stream (see
+    :func:`execute_ping_batch`).
     """
     n = len(requests)
     if n == 0:
         return []
     config = engine.config
-    rng = engine.rng
+    if rng is None:
+        rng = engine.rng
     path_config = config.path_model
     unresponsive_p = path_config.hop_unresponsive_probability
 

@@ -25,15 +25,27 @@ from __future__ import annotations
 
 import gc
 import math
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.cloud.regions import CloudRegion
+from repro.core.config import config_digest
 from repro.geo.continents import INTERCONTINENTAL_TARGETS, Continent
 from repro.measure.batch import PingRequest, TraceRequest
-from repro.measure.results import MeasurementDataset, Protocol
+from repro.measure.engine import MeasurementEngine
+from repro.measure.path import PathPlanner
+from repro.measure.results import (
+    MeasurementDataset,
+    PingBlock,
+    Protocol,
+    TraceBlock,
+    TracerouteMeasurement,
+    trace_block_from_records,
+)
 from repro.platforms.probe import Probe, city_key_for
+from repro.store.warehouse import DatasetStore, StoreError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.world import World
@@ -262,6 +274,304 @@ def _run_atlas(
         ]
         for measurement in engine.traceroute_batch(traces):
             dataset.add_traceroute(measurement)
+
+
+# -- checkpointed campaigns ----------------------------------------------
+#
+# The classic run_campaign() draws every stochastic decision from two
+# long-lived streams, so day k's randomness depends on every draw of
+# days 0..k-1 and the run cannot be split.  The checkpointed runner
+# makes each (platform, day) *unit* a pure function of (seed, config,
+# unit id): scheduling, availability and measurement noise come from
+# per-unit ``RngStreams.fork`` streams, and path planning uses the
+# planner's pair-deterministic mode.  Completed units are flushed to a
+# :class:`~repro.store.warehouse.DatasetStore` and journaled, so an
+# interrupted run resumed later produces a byte-identical store.
+
+#: Platforms the checkpointed runner knows how to schedule.
+CHECKPOINT_PLATFORMS = ("speedchecker", "atlas")
+
+#: Fraction of connected Atlas probes scheduled per day (matches the
+#: classic runner's schedule density).
+_ATLAS_DAILY_SHARE = 0.35
+
+PathLike = Union[str, Path]
+
+
+def plan_units(days: int, platforms: Sequence[str]) -> List[str]:
+    """The ordered unit ids of a checkpointed campaign.
+
+    One unit per (platform, day), platform-major -- the same order the
+    classic runner visits work in.
+    """
+    if days < 1:
+        raise ValueError(f"campaign needs at least one day, got {days}")
+    units: List[str] = []
+    for platform in platforms:
+        if platform not in CHECKPOINT_PLATFORMS:
+            raise ValueError(f"unknown campaign platform {platform!r}")
+        for day in range(days):
+            units.append(f"{platform}:{day:03d}")
+    return units
+
+
+def _checkpoint_engine(world: "World") -> MeasurementEngine:
+    """An engine whose path planning is pair-deterministic.
+
+    The world's own planner consumes a shared sequential stream, which
+    would make planned paths depend on plan order -- fatal for resume.
+    This engine plans each (probe, region) pair from a generator derived
+    from the pair's stable name, so paths are identical no matter which
+    units ran before.  The engine's fallback stream is never used: every
+    batch call below passes an explicit per-unit generator.
+    """
+    planner = PathPlanner(
+        topology=world.topology,
+        wans=world.wans,
+        region_addresses=world.region_addresses,
+        config=world.config,
+        countries=world.countries,
+        pair_entropy=world.rngs.seed,
+    )
+    return MeasurementEngine(
+        planner=planner,
+        config=world.config,
+        rng=world.rngs.stream("checkpoint.engine"),
+    )
+
+
+def _trace_block(
+    requests: Sequence[TraceRequest],
+    records: Sequence[TracerouteMeasurement],
+) -> TraceBlock:
+    """Columnarize a unit's traceroutes, interning the real objects."""
+    probes_by_id = {req.probe.probe_id: req.probe for req in requests}
+    regions_by_key = {
+        (req.region.provider_code, req.region.region_id): req.region
+        for req in requests
+    }
+    return trace_block_from_records(records, probes_by_id, regions_by_key)
+
+
+def _speedchecker_unit(
+    world: "World", engine: MeasurementEngine, day: int
+) -> Tuple[PingBlock, TraceBlock]:
+    """Execute one Speedchecker day from per-unit RNG streams."""
+    config = world.config
+    campaign = config.campaign
+    platform = world.speedchecker
+    rngs = world.rngs
+
+    min_probes = config.scaled(
+        config.platforms.min_probes_per_country, minimum=2
+    )
+    cycle = platform.countries_with_at_least(min_probes)
+    if not cycle:
+        cycle = platform.countries()
+    per_day = max(1, math.ceil(len(cycle) / campaign.cycle_days))
+    visit_cap = config.scaled(_PROBES_PER_VISIT_CAP, minimum=3)
+    rate_cap = int(campaign.requests_per_minute * 60 * 24)
+
+    # Each sweep's country order is a fresh shuffle of the sorted cycle
+    # keyed by the sweep index -- day k's slice of the order never
+    # depends on earlier sweeps having run.
+    sweep = day // campaign.cycle_days
+    cycle_order = list(cycle)
+    rngs.fork("checkpoint.speedchecker.cycle", sweep).shuffle(cycle_order)
+    cycle_position = (day % campaign.cycle_days) * per_day
+    todays = cycle_order[cycle_position : cycle_position + per_day]
+
+    platform.refresh_quota()
+    snapshot = platform.snapshot(
+        day, hour=0, rng=rngs.fork("checkpoint.speedchecker.snapshot", day)
+    )
+    sched_rng = rngs.fork("checkpoint.speedchecker.schedule", day)
+    budget = min(rate_cap, platform.remaining_quota)
+    requests: List[PingRequest] = []
+    traces: List[TraceRequest] = []
+    for iso in todays:
+        if len(requests) >= budget:
+            break
+        connected = platform.connected_in_country(iso, snapshot)
+        visit_count = min(visit_cap, max(2, int(len(connected) * _VISIT_SHARE)))
+        probes = platform.select_probes(
+            iso, snapshot, visit_count, pool=connected, rng=sched_rng
+        )
+        for probe in probes:
+            if len(requests) >= budget:
+                break
+            for region in target_regions(world, probe, sched_rng):
+                if len(requests) >= budget:
+                    break
+                requests.append(
+                    PingRequest(
+                        probe=probe,
+                        region=region,
+                        protocol=Protocol.TCP,
+                        samples=campaign.pings_per_request,
+                        day=day,
+                    )
+                )
+                if sched_rng.random() < campaign.traceroute_share:
+                    traces.append(
+                        TraceRequest(
+                            probe=probe,
+                            region=region,
+                            protocol=Protocol.ICMP,
+                            day=day,
+                        )
+                    )
+    if requests:
+        platform.charge(len(requests))
+    engine_rng = rngs.fork("checkpoint.speedchecker.engine", day)
+    ping_block = engine.ping_batch(requests, rng=engine_rng)
+    records = engine.traceroute_batch(traces, rng=engine_rng)
+    return ping_block, _trace_block(traces, records)
+
+
+def _atlas_unit(
+    world: "World", engine: MeasurementEngine, day: int
+) -> Tuple[PingBlock, TraceBlock]:
+    """Execute one Atlas day from per-unit RNG streams."""
+    campaign = world.config.campaign
+    platform = world.atlas
+    rngs = world.rngs
+
+    connected = platform.connected_probes(
+        rng=rngs.fork("checkpoint.atlas.connected", day)
+    )
+    sched_rng = rngs.fork("checkpoint.atlas.schedule", day)
+    pairs: List[Tuple[Probe, CloudRegion]] = []
+    requests: List[PingRequest] = []
+    if connected:
+        count = max(1, int(len(connected) * _ATLAS_DAILY_SHARE))
+        picks = sched_rng.choice(len(connected), size=count, replace=False)
+        for pick in picks:
+            probe = connected[int(pick)]
+            for region in target_regions(world, probe, sched_rng):
+                pairs.append((probe, region))
+                for protocol in (Protocol.TCP, Protocol.ICMP):
+                    requests.append(
+                        PingRequest(
+                            probe=probe,
+                            region=region,
+                            protocol=protocol,
+                            samples=campaign.pings_per_request,
+                            day=day,
+                        )
+                    )
+    engine_rng = rngs.fork("checkpoint.atlas.engine", day)
+    ping_block = engine.ping_batch(requests, rng=engine_rng)
+    traceroute_draws = sched_rng.random(len(pairs))
+    traces = [
+        TraceRequest(probe=probe, region=region, protocol=Protocol.TCP, day=day)
+        for (probe, region), draw in zip(pairs, traceroute_draws)
+        if draw < campaign.traceroute_share
+    ]
+    records = engine.traceroute_batch(traces, rng=engine_rng)
+    return ping_block, _trace_block(traces, records)
+
+
+def run_campaign_checkpointed(
+    world: "World",
+    run_dir: PathLike,
+    days: Optional[int] = None,
+    platforms: Sequence[str] = CHECKPOINT_PLATFORMS,
+    max_units: Optional[int] = None,
+) -> DatasetStore:
+    """Run a campaign with per-unit checkpointing into a dataset store.
+
+    Each completed (platform, day) unit is flushed to ``run_dir`` as
+    binary shards and journaled before the next unit starts.  Calling
+    this again on a partially-filled ``run_dir`` (or via
+    :func:`resume_campaign`) skips journaled units and continues; the
+    final store is byte-identical to an uninterrupted run.
+
+    ``max_units`` stops after that many *newly executed* units -- the
+    hook the crash-resume tests use to interrupt a run at a precise
+    point without killing the process.
+    """
+    config = world.config
+    total_days = days if days is not None else config.campaign.days
+    units = plan_units(total_days, list(platforms))
+    digest = config_digest(config)
+
+    store = DatasetStore.open_or_create(
+        Path(run_dir),
+        seed=config.seed,
+        config_hash=digest,
+        scale=config.scale,
+        source="campaign",
+    )
+    begin = store.journal.begin_entry()
+    plan = {
+        "seed": config.seed,
+        "config_hash": digest,
+        "scale": config.scale,
+        "days": total_days,
+        "platforms": list(platforms),
+        "units": units,
+    }
+    if begin is None:
+        store.begin_run(plan)
+    else:
+        for key in ("seed", "config_hash", "days", "platforms"):
+            if begin.get(key) != plan[key]:
+                raise StoreError(
+                    f"{store.run_dir}: cannot resume -- journal records "
+                    f"{key}={begin.get(key)!r}, current run has {plan[key]!r}"
+                )
+
+    completed = set(store.completed_units())
+    engine = _checkpoint_engine(world)
+    executed = 0
+    # As in run_campaign: bulk record allocation with no reference
+    # cycles, so suspend the collector for the duration.
+    was_enabled = gc.isenabled()
+    if was_enabled:
+        gc.disable()
+    try:
+        for unit in units:
+            if unit in completed:
+                continue
+            if max_units is not None and executed >= max_units:
+                break
+            platform_name, day_text = unit.split(":")
+            day = int(day_text)
+            if platform_name == "speedchecker":
+                ping_block, trace_block = _speedchecker_unit(world, engine, day)
+            else:
+                ping_block, trace_block = _atlas_unit(world, engine, day)
+            store.flush_unit(unit, ping_block=ping_block, trace_block=trace_block)
+            executed += 1
+    finally:
+        if was_enabled:
+            gc.enable()
+    return store
+
+
+def resume_campaign(
+    world: "World",
+    run_dir: PathLike,
+    max_units: Optional[int] = None,
+) -> DatasetStore:
+    """Resume an interrupted checkpointed campaign from its journal.
+
+    The day count and platform list come from the journal's ``begin``
+    entry; the world must be built from the same seed and configuration
+    (enforced via the journaled config hash).
+    """
+    store = DatasetStore.open(Path(run_dir))
+    begin = store.journal.begin_entry()
+    if begin is None:
+        raise StoreError(f"{store.run_dir}: no begun campaign to resume")
+    return run_campaign_checkpointed(
+        world,
+        run_dir,
+        days=int(begin["days"]),
+        platforms=tuple(begin["platforms"]),
+        max_units=max_units,
+    )
 
 
 def run_intercontinental_study(

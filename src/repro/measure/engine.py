@@ -147,16 +147,21 @@ class MeasurementEngine:
             samples=tuple(rtts),
         )
 
-    def ping_batch(self, requests: Sequence[PingRequest]) -> PingBlock:
+    def ping_batch(
+        self,
+        requests: Sequence[PingRequest],
+        rng: Optional[np.random.Generator] = None,
+    ) -> PingBlock:
         """Execute a whole request batch in one vectorized pass.
 
         The fast-path equivalent of calling :meth:`ping` once per
         request: requests are grouped by planned path and every noise
         process is drawn as NumPy arrays over all samples at once.
         Returns a columnar :class:`PingBlock`; feed it to
-        :meth:`MeasurementDataset.add_ping_block`.
+        :meth:`MeasurementDataset.add_ping_block`.  ``rng`` overrides the
+        engine's stream (used by checkpointed campaign units).
         """
-        return execute_ping_batch(self, requests)
+        return execute_ping_batch(self, requests, rng=rng)
 
     # -- traceroute ---------------------------------------------------------------
 
@@ -180,16 +185,19 @@ class MeasurementEngine:
         return execute_traceroute_batch(self, [request])[0]
 
     def traceroute_batch(
-        self, requests: Sequence[TraceRequest]
+        self,
+        requests: Sequence[TraceRequest],
+        rng: Optional[np.random.Generator] = None,
     ) -> List[TracerouteMeasurement]:
         """Execute a whole traceroute batch in one vectorized pass.
 
         The fast-path equivalent of calling :meth:`traceroute` once per
         request: every hop of every trace is sampled as flat NumPy
         arrays.  Returns the :class:`TracerouteMeasurement` list in
-        request order.
+        request order.  ``rng`` overrides the engine's stream (used by
+        checkpointed campaign units).
         """
-        return execute_traceroute_batch(self, requests)
+        return execute_traceroute_batch(self, requests, rng=rng)
 
     # -- introspection -------------------------------------------------------------
 

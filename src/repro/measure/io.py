@@ -20,13 +20,17 @@ from typing import IO, Union
 from repro.geo.continents import Continent
 from repro.lastmile.base import AccessKind
 from repro.measure.results import (
+    PROTOCOL_BY_CODE,
     MeasurementDataset,
     MeasurementMeta,
+    PingBlock,
     PingMeasurement,
     Protocol,
+    TraceBlock,
     TraceHop,
     TracerouteMeasurement,
 )
+from repro.platforms.probe import Probe, city_key_for
 
 FORMAT_NAME = "repro-dataset"
 FORMAT_VERSION = 1
@@ -116,10 +120,118 @@ def _open(path: PathLike, mode: str) -> IO:
     return open(path, mode, encoding="utf-8")
 
 
+# -- columnar fast path ------------------------------------------------------
+#
+# Block-backed datasets hold tens of thousands of measurements per block;
+# routing them through the record view would allocate one frozen
+# MeasurementMeta + PingMeasurement per row just to tear them straight
+# back down into dicts.  The writers below compose each line's meta dict
+# from fragments cached per interned (probe, region) pair -- identical
+# bytes, no per-record dataclass churn.
+
+
+def _probe_meta_fragment(probe: Probe) -> dict:
+    """The probe-derived prefix of a meta dict (key order matters)."""
+    return {
+        "probe_id": probe.probe_id,
+        "platform": probe.platform,
+        "country": probe.country,
+        "continent": probe.continent.value,
+        "access": probe.access.value,
+        "isp_asn": probe.isp_asn,
+    }
+
+
+def _block_meta_cache(block) -> "tuple[list, list, list]":
+    """Per-code meta fragments for one block's interned tables."""
+    probe_fragments = [_probe_meta_fragment(probe) for probe in block.probes]
+    city_keys = [list(city_key_for(probe)) for probe in block.probes]
+    region_fragments = [
+        {
+            "provider_code": region.provider_code,
+            "region_id": region.region_id,
+            "region_country": region.country,
+            "region_continent": region.continent.value,
+        }
+        for region in block.regions
+    ]
+    return probe_fragments, city_keys, region_fragments
+
+
+def _write_ping_block(fh: IO, block: PingBlock) -> int:
+    """Serialize one ping block without materializing record objects."""
+    probe_fragments, city_keys, region_fragments = _block_meta_cache(block)
+    protocol_values = [protocol.value for protocol in PROTOCOL_BY_CODE]
+    probe_codes = block.probe_codes.tolist()
+    region_codes = block.region_codes.tolist()
+    days = block.days.tolist()
+    protocol_codes = block.protocol_codes.tolist()
+    offsets = block.sample_offsets.tolist()
+    samples = block.sample_values.tolist()
+    for i in range(len(probe_codes)):
+        probe_code = probe_codes[i]
+        meta = dict(probe_fragments[probe_code])
+        meta.update(region_fragments[region_codes[i]])
+        meta["day"] = days[i]
+        meta["city_key"] = city_keys[probe_code]
+        payload = {
+            "kind": "ping",
+            "meta": meta,
+            "protocol": protocol_values[protocol_codes[i]],
+            "samples": samples[offsets[i] : offsets[i + 1]],
+        }
+        fh.write(json.dumps(payload) + "\n")
+    return len(probe_codes)
+
+
+def _write_trace_block(fh: IO, block: TraceBlock) -> int:
+    """Serialize one trace block without materializing record objects."""
+    probe_fragments, city_keys, region_fragments = _block_meta_cache(block)
+    protocol_values = [protocol.value for protocol in PROTOCOL_BY_CODE]
+    probe_codes = block.probe_codes.tolist()
+    region_codes = block.region_codes.tolist()
+    days = block.days.tolist()
+    protocol_codes = block.protocol_codes.tolist()
+    sources = block.source_addresses.tolist()
+    dests = block.dest_addresses.tolist()
+    offsets = block.hop_offsets.tolist()
+    hop_addresses = block.hop_addresses.tolist()
+    hop_rtts = block.hop_rtts.tolist()
+    no_address = TraceBlock.NO_ADDRESS
+    for i in range(len(probe_codes)):
+        probe_code = probe_codes[i]
+        meta = dict(probe_fragments[probe_code])
+        meta.update(region_fragments[region_codes[i]])
+        meta["day"] = days[i]
+        meta["city_key"] = city_keys[probe_code]
+        hops = [
+            [None, None]
+            if hop_addresses[position] == no_address
+            else [hop_addresses[position], hop_rtts[position]]
+            for position in range(offsets[i], offsets[i + 1])
+        ]
+        payload = {
+            "kind": "traceroute",
+            "meta": meta,
+            "protocol": protocol_values[protocol_codes[i]],
+            "source_address": sources[i],
+            "dest_address": dests[i],
+            "hops": hops,
+        }
+        fh.write(json.dumps(payload) + "\n")
+    return len(probe_codes)
+
+
 def save_dataset(dataset: MeasurementDataset, path: PathLike) -> int:
     """Write a dataset as line-delimited JSON (gzip if path ends ``.gz``).
 
-    Returns the number of measurement lines written.
+    Returns the number of measurement lines written.  Record order
+    matches iteration order: scalar records first, then columnar blocks;
+    block-backed measurements take the columnar fast path (no per-record
+    object materialization).  Besides :class:`MeasurementDataset` this
+    accepts any dataset exposing the same read API -- notably the lazy
+    :class:`repro.store.view.StoredDataset`, which is streamed
+    shard-at-a-time.
     """
     lines = 0
     with _open(path, "w") as fh:
@@ -131,12 +243,16 @@ def save_dataset(dataset: MeasurementDataset, path: PathLike) -> int:
             "traceroutes": dataset.traceroute_count,
         }
         fh.write(json.dumps(header) + "\n")
-        for ping in dataset.pings():
+        for ping in dataset.iter_scalar_pings():
             fh.write(json.dumps(_ping_to_dict(ping)) + "\n")
             lines += 1
-        for trace in dataset.traceroutes():
+        for ping_block in dataset.ping_blocks():
+            lines += _write_ping_block(fh, ping_block)
+        for trace in dataset.iter_scalar_traceroutes():
             fh.write(json.dumps(_trace_to_dict(trace)) + "\n")
             lines += 1
+        for trace_block in dataset.trace_blocks():
+            lines += _write_trace_block(fh, trace_block)
     return lines
 
 

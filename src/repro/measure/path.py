@@ -18,6 +18,7 @@ import numpy as np
 from repro.cloud.regions import CloudRegion
 from repro.cloud.wan import PrivateWAN
 from repro.core.config import SimulationConfig
+from repro.core.rng import name_digest
 from repro.core.topology import Topology
 from repro.core.units import one_way_fiber_ms
 from repro.geo.continents import Continent
@@ -300,10 +301,26 @@ class _PathPrep(NamedTuple):
     total_hops: int
     two_way_fiber: float
     dest_address: int
+    #: Generator serving this pair's draws (the shared planner stream in
+    #: sequential mode, a per-pair derived generator in pair mode).
+    rng: np.random.Generator
 
 
 class PathPlanner:
-    """Builds and caches :class:`PlannedPath` objects."""
+    """Builds and caches :class:`PlannedPath` objects.
+
+    Two randomness disciplines are supported:
+
+    - *sequential* (``rng=...``): all paths draw from one shared stream
+      in planning order -- the historical mode, cheapest, but the result
+      of a plan depends on every plan that preceded it;
+    - *pair-deterministic* (``pair_entropy=...``): every (probe, region)
+      pair draws from its own generator derived from the entropy and a
+      stable digest of the pair key, so a planned path is a pure function
+      of (entropy, probe, region) regardless of planning order.  This is
+      what makes checkpointed campaigns resumable: a resumed process
+      replans only the remaining units yet produces bit-identical paths.
+    """
 
     def __init__(
         self,
@@ -311,16 +328,32 @@ class PathPlanner:
         wans: Dict[str, PrivateWAN],
         region_addresses: Dict[Tuple[str, str], int],
         config: SimulationConfig,
-        rng: np.random.Generator,
+        rng: Optional[np.random.Generator] = None,
         countries: Optional[CountryRegistry] = None,
+        pair_entropy: Optional[int] = None,
     ) -> None:
+        if rng is None and pair_entropy is None:
+            raise ValueError("PathPlanner needs either rng or pair_entropy")
         self._topology = topology
         self._wans = wans
         self._region_addresses = region_addresses
         self._config = config
         self._rng = rng
+        self._pair_entropy = pair_entropy
         self._countries = countries
         self._cache: Dict[Tuple[str, str, str], PlannedPath] = {}
+
+    def _pair_generator(
+        self, probe: Probe, region: CloudRegion
+    ) -> np.random.Generator:
+        """The derived generator owning one pair's planning draws."""
+        digest = name_digest(
+            f"path.{probe.probe_id}.{region.provider_code}.{region.region_id}"
+        )
+        seq = np.random.SeedSequence(
+            entropy=self._pair_entropy, spawn_key=(digest,)
+        )
+        return np.random.default_rng(seq)
 
     def plan(self, probe: Probe, region: CloudRegion) -> PlannedPath:
         """The planned path for a (probe, region) pair, cached."""
@@ -421,7 +454,12 @@ class PathPlanner:
         registry = topology.registry
         cloud_share = _CLOUD_GEO_SHARE[interconnect]
         systems = [registry.get(asn) for asn in as_path]
-        counts = _hop_counts(systems, cloud_share, self._rng)
+        if self._pair_entropy is not None:
+            pair_rng = self._pair_generator(probe, region)
+        else:
+            assert self._rng is not None
+            pair_rng = self._rng
+        counts = _hop_counts(systems, cloud_share, pair_rng)
         return _PathPrep(
             probe=probe,
             region=region,
@@ -438,6 +476,7 @@ class PathPlanner:
             dest_address=self._region_addresses[
                 (provider_code, region.region_id)
             ],
+            rng=pair_rng,
         )
 
     def _place_hops(
@@ -513,7 +552,16 @@ class PathPlanner:
                 as_spans.append(prefix.size - 32)
         spans = np.repeat(np.array(as_spans, dtype=np.float64), as_counts)
         bases = np.repeat(np.array(as_bases, dtype=np.int64), as_counts)
-        draws = self._rng.random(total)
+        if self._pair_entropy is None:
+            assert self._rng is not None
+            draws = self._rng.random(total)
+        else:
+            # Pair mode: each prep's address draws come from its own
+            # generator (which already served its hop counts), keeping
+            # the planned path independent of batch composition.
+            draws = np.concatenate(
+                [prep.rng.random(prep.total_hops) for prep in preps]
+            )
         addresses = bases + 16 + (draws * spans).astype(np.int64)
 
         return (

@@ -10,13 +10,15 @@ exactly as the paper derives it from raw traceroutes.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from enum import Enum
 from typing import (
-    TYPE_CHECKING,
     Callable,
+    Dict,
     Iterator,
     List,
+    Mapping,
     NamedTuple,
     Optional,
     Sequence,
@@ -25,12 +27,11 @@ from typing import (
 
 import numpy as np
 
+from repro.cloud.regions import CloudRegion
 from repro.geo.continents import Continent
+from repro.geo.coords import GeoPoint
 from repro.lastmile.base import AccessKind
-from repro.platforms.probe import Probe, city_key_for
-
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.cloud.regions import CloudRegion
+from repro.platforms.probe import CITY_CELL_DEGREES, Probe, city_key_for
 
 
 class Protocol(str, Enum):
@@ -218,20 +219,120 @@ class PingBlock:
             self._records = [self.record(i) for i in range(len(self))]
         return self._records
 
+    def validate(self) -> None:
+        """Check the block's columns against the canonical schema.
+
+        Raises :class:`TypeError` on dtype mismatches and
+        :class:`ValueError` on internal inconsistencies (offset shape,
+        out-of-range interned codes).
+        """
+        n = len(self)
+        _validate_columns(
+            self, PING_COLUMN_DTYPES, n, "sample_offsets", ("sample_values",)
+        )
+        if n:
+            if int(self.probe_codes.min()) < 0 or int(
+                self.probe_codes.max()
+            ) >= len(self.probes):
+                raise ValueError("probe_codes reference rows outside the table")
+            if int(self.region_codes.min()) < 0 or int(
+                self.region_codes.max()
+            ) >= len(self.regions):
+                raise ValueError("region_codes reference rows outside the table")
+            if int(self.protocol_codes.max()) >= len(PROTOCOL_BY_CODE):
+                raise ValueError("protocol_codes contain unknown wire codes")
+
     def __repr__(self) -> str:
         return f"PingBlock(requests={len(self)}, samples={self.sample_count})"
 
 
+#: The canonical column schema of a :class:`PingBlock`: attribute name ->
+#: expected NumPy dtype.  Shared by the in-memory store validation and
+#: the on-disk shard format of :mod:`repro.store`.
+PING_COLUMN_DTYPES: Dict[str, np.dtype] = {
+    "probe_codes": np.dtype(np.int32),
+    "region_codes": np.dtype(np.int32),
+    "days": np.dtype(np.int32),
+    "protocol_codes": np.dtype(np.uint8),
+    "sample_values": np.dtype(np.float64),
+    "sample_offsets": np.dtype(np.int64),
+}
+
+#: The canonical column schema of a :class:`TraceBlock`.
+TRACE_COLUMN_DTYPES: Dict[str, np.dtype] = {
+    "probe_codes": np.dtype(np.int32),
+    "region_codes": np.dtype(np.int32),
+    "days": np.dtype(np.int32),
+    "protocol_codes": np.dtype(np.uint8),
+    "source_addresses": np.dtype(np.int64),
+    "dest_addresses": np.dtype(np.int64),
+    "hop_offsets": np.dtype(np.int64),
+    "hop_addresses": np.dtype(np.int64),
+    "hop_rtts": np.dtype(np.float64),
+}
+
+
+def _validate_columns(
+    block: object,
+    schema: Mapping[str, np.dtype],
+    rows: int,
+    offsets_name: str,
+    values_names: Sequence[str],
+) -> None:
+    """Schema/consistency checks shared by ping and trace blocks."""
+    for name, expected in schema.items():
+        column = getattr(block, name)
+        if not isinstance(column, np.ndarray):
+            raise TypeError(
+                f"{type(block).__name__}.{name} must be a numpy array, "
+                f"got {type(column).__name__}"
+            )
+        if column.dtype != expected:
+            raise TypeError(
+                f"{type(block).__name__}.{name} has dtype {column.dtype}, "
+                f"expected {expected}"
+            )
+        if column.ndim != 1:
+            raise ValueError(
+                f"{type(block).__name__}.{name} must be one-dimensional"
+            )
+    offsets = getattr(block, offsets_name)
+    if len(offsets) != rows + 1:
+        raise ValueError(
+            f"{offsets_name} must have {rows + 1} entries, got {len(offsets)}"
+        )
+    if rows and (int(offsets[0]) != 0 or np.any(np.diff(offsets) < 0)):
+        raise ValueError(f"{offsets_name} must start at 0 and be nondecreasing")
+    total = int(offsets[-1]) if len(offsets) else 0
+    for values_name in values_names:
+        values = getattr(block, values_name)
+        if len(values) != total:
+            raise ValueError(
+                f"{values_name} has {len(values)} entries but "
+                f"{offsets_name} addresses {total}"
+            )
+
+
 class ColumnarPingStore:
-    """Columnar backing for batched pings: a sequence of ping blocks."""
+    """Columnar backing for batched pings: a sequence of ping blocks.
+
+    Every block entering the store -- via :meth:`append_block` or a
+    merge through :meth:`extend` -- is schema-validated first, so a
+    malformed block (wrong dtypes, inconsistent offsets, out-of-range
+    codes) fails loudly at insertion instead of corrupting analyses or
+    serialized shards later.
+    """
 
     def __init__(self) -> None:
         self._blocks: List[PingBlock] = []
 
     def append_block(self, block: PingBlock) -> None:
+        block.validate()
         self._blocks.append(block)
 
     def extend(self, other: "ColumnarPingStore") -> None:
+        for block in other._blocks:
+            block.validate()
         self._blocks.extend(other._blocks)
 
     @property
@@ -260,6 +361,327 @@ class ColumnarPingStore:
         )
 
 
+class TraceBlock:
+    """One batch of traceroutes in columnar form.
+
+    The traceroute counterpart of :class:`PingBlock`: interned
+    probe/region codes, day and protocol columns, endpoint address
+    columns, and a flat hop array indexed by per-trace offsets.
+    Unresponsive hops are encoded in-band (address ``-1``, RTT ``NaN``)
+    so the hop columns stay fixed-dtype and memmap-friendly.
+    """
+
+    #: In-band encoding of an unresponsive hop's address.
+    NO_ADDRESS = -1
+
+    __slots__ = (
+        "probes",
+        "regions",
+        "probe_codes",
+        "region_codes",
+        "days",
+        "protocol_codes",
+        "source_addresses",
+        "dest_addresses",
+        "hop_offsets",
+        "hop_addresses",
+        "hop_rtts",
+        "_records",
+    )
+
+    def __init__(
+        self,
+        probes: Sequence[Probe],
+        regions: Sequence[CloudRegion],
+        probe_codes: np.ndarray,
+        region_codes: np.ndarray,
+        days: np.ndarray,
+        protocol_codes: np.ndarray,
+        source_addresses: np.ndarray,
+        dest_addresses: np.ndarray,
+        hop_offsets: np.ndarray,
+        hop_addresses: np.ndarray,
+        hop_rtts: np.ndarray,
+    ) -> None:
+        self.probes = list(probes)
+        self.regions = list(regions)
+        self.probe_codes = np.asarray(probe_codes, dtype=np.int32)
+        self.region_codes = np.asarray(region_codes, dtype=np.int32)
+        self.days = np.asarray(days, dtype=np.int32)
+        self.protocol_codes = np.asarray(protocol_codes, dtype=np.uint8)
+        self.source_addresses = np.asarray(source_addresses, dtype=np.int64)
+        self.dest_addresses = np.asarray(dest_addresses, dtype=np.int64)
+        self.hop_offsets = np.asarray(hop_offsets, dtype=np.int64)
+        self.hop_addresses = np.asarray(hop_addresses, dtype=np.int64)
+        self.hop_rtts = np.asarray(hop_rtts, dtype=np.float64)
+        if len(self.hop_offsets) != len(self.probe_codes) + 1:
+            raise ValueError("hop_offsets must have one entry per trace + 1")
+        self._records: Optional[List[TracerouteMeasurement]] = None
+
+    def __len__(self) -> int:
+        return len(self.probe_codes)
+
+    @property
+    def hop_count(self) -> int:
+        return int(self.hop_offsets[-1]) if len(self.hop_offsets) else 0
+
+    def record(self, index: int) -> TracerouteMeasurement:
+        """The record view of one trace row."""
+        i = int(index)
+        lo = int(self.hop_offsets[i])
+        hi = int(self.hop_offsets[i + 1])
+        probe = self.probes[int(self.probe_codes[i])]
+        region = self.regions[int(self.region_codes[i])]
+        hops = []
+        for address, rtt in zip(
+            self.hop_addresses[lo:hi].tolist(), self.hop_rtts[lo:hi].tolist()
+        ):
+            if address == TraceBlock.NO_ADDRESS:
+                hops.append(TraceHop(address=None, rtt_ms=None))
+            else:
+                hops.append(TraceHop(address=address, rtt_ms=rtt))
+        return TracerouteMeasurement(
+            meta=build_meta(probe, region, int(self.days[i])),
+            protocol=PROTOCOL_BY_CODE[int(self.protocol_codes[i])],
+            source_address=int(self.source_addresses[i]),
+            dest_address=int(self.dest_addresses[i]),
+            hops=tuple(hops),
+        )
+
+    def records(self) -> List[TracerouteMeasurement]:
+        """All record views, materialized once and cached."""
+        if self._records is None:
+            self._records = [self.record(i) for i in range(len(self))]
+        return self._records
+
+    def validate(self) -> None:
+        """Check the block's columns against the canonical schema."""
+        n = len(self)
+        _validate_columns(
+            self,
+            TRACE_COLUMN_DTYPES,
+            n,
+            "hop_offsets",
+            ("hop_addresses", "hop_rtts"),
+        )
+        if n:
+            if int(self.probe_codes.min()) < 0 or int(
+                self.probe_codes.max()
+            ) >= len(self.probes):
+                raise ValueError("probe_codes reference rows outside the table")
+            if int(self.region_codes.min()) < 0 or int(
+                self.region_codes.max()
+            ) >= len(self.regions):
+                raise ValueError("region_codes reference rows outside the table")
+            if int(self.protocol_codes.max()) >= len(PROTOCOL_BY_CODE):
+                raise ValueError("protocol_codes contain unknown wire codes")
+
+    def __repr__(self) -> str:
+        return f"TraceBlock(traces={len(self)}, hops={self.hop_count})"
+
+
+class ColumnarTraceStore:
+    """Columnar backing for batched traceroutes: a sequence of blocks."""
+
+    def __init__(self) -> None:
+        self._blocks: List[TraceBlock] = []
+
+    def append_block(self, block: TraceBlock) -> None:
+        block.validate()
+        self._blocks.append(block)
+
+    def extend(self, other: "ColumnarTraceStore") -> None:
+        for block in other._blocks:
+            block.validate()
+        self._blocks.extend(other._blocks)
+
+    @property
+    def blocks(self) -> List[TraceBlock]:
+        return list(self._blocks)
+
+    @property
+    def request_count(self) -> int:
+        return sum(len(block) for block in self._blocks)
+
+    def iter_records(self) -> Iterator[TracerouteMeasurement]:
+        for block in self._blocks:
+            yield from block.records()
+
+    def __len__(self) -> int:
+        return self.request_count
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnarTraceStore(blocks={len(self._blocks)}, "
+            f"traces={self.request_count})"
+        )
+
+
+def standin_probe(meta: MeasurementMeta) -> Probe:
+    """A placeholder :class:`Probe` carrying exactly a record's meta.
+
+    Used when columnarizing records whose originating probe objects are
+    gone (e.g. a JSONL import): the stand-in reproduces every
+    :class:`MeasurementMeta` field bit-for-bit -- the location is the
+    city-cell centre, which quantizes back to the same ``city_key`` --
+    while fields outside the meta (addresses, quality) take neutral
+    defaults.
+    """
+    return Probe(
+        probe_id=meta.probe_id,
+        platform=meta.platform,
+        country=meta.country,
+        continent=meta.continent,
+        location=GeoPoint(
+            meta.city_key[0] * CITY_CELL_DEGREES,
+            meta.city_key[1] * CITY_CELL_DEGREES,
+        ),
+        isp_asn=meta.isp_asn,
+        access=meta.access,
+        device_address=0,
+        public_address=0,
+    )
+
+
+def standin_region(meta: MeasurementMeta) -> CloudRegion:
+    """A placeholder :class:`CloudRegion` carrying a record's meta."""
+    return CloudRegion(
+        provider_code=meta.provider_code,
+        region_id=meta.region_id,
+        city="",
+        country=meta.region_country,
+        continent=meta.region_continent,
+        location=GeoPoint(0.0, 0.0),
+    )
+
+
+class _BlockInterner:
+    """Shared probe/region interning for the record -> block builders."""
+
+    def __init__(
+        self,
+        probes_by_id: Optional[Mapping[str, Probe]],
+        regions_by_key: Optional[Mapping[Tuple[str, str], CloudRegion]],
+    ) -> None:
+        self._probes_by_id = probes_by_id or {}
+        self._regions_by_key = regions_by_key or {}
+        self.probes: List[Probe] = []
+        self.regions: List[CloudRegion] = []
+        self._probe_codes: Dict[str, int] = {}
+        self._region_codes: Dict[Tuple[str, str], int] = {}
+
+    def probe_code(self, meta: MeasurementMeta) -> int:
+        code = self._probe_codes.get(meta.probe_id)
+        if code is None:
+            code = len(self.probes)
+            probe = self._probes_by_id.get(meta.probe_id)
+            self.probes.append(probe if probe is not None else standin_probe(meta))
+            self._probe_codes[meta.probe_id] = code
+        return code
+
+    def region_code(self, meta: MeasurementMeta) -> int:
+        key = (meta.provider_code, meta.region_id)
+        code = self._region_codes.get(key)
+        if code is None:
+            code = len(self.regions)
+            region = self._regions_by_key.get(key)
+            self.regions.append(
+                region if region is not None else standin_region(meta)
+            )
+            self._region_codes[key] = code
+        return code
+
+
+def ping_block_from_records(
+    records: Sequence[PingMeasurement],
+    probes_by_id: Optional[Mapping[str, Probe]] = None,
+    regions_by_key: Optional[Mapping[Tuple[str, str], CloudRegion]] = None,
+) -> PingBlock:
+    """Columnarize ping records into one :class:`PingBlock`.
+
+    The inverse of :meth:`PingBlock.records`.  When the optional lookup
+    tables do not cover a record, a stand-in probe/region reproducing
+    the record's meta exactly is interned instead -- see
+    :func:`standin_probe`.
+    """
+    interner = _BlockInterner(probes_by_id, regions_by_key)
+    probe_codes: List[int] = []
+    region_codes: List[int] = []
+    days: List[int] = []
+    protocol_codes: List[int] = []
+    sample_values: List[float] = []
+    sample_offsets: List[int] = [0]
+    for record in records:
+        probe_codes.append(interner.probe_code(record.meta))
+        region_codes.append(interner.region_code(record.meta))
+        days.append(record.meta.day)
+        protocol_codes.append(PROTOCOL_CODES[record.protocol])
+        sample_values.extend(record.samples)
+        sample_offsets.append(len(sample_values))
+    return PingBlock(
+        probes=interner.probes,
+        regions=interner.regions,
+        probe_codes=np.array(probe_codes, np.int32),
+        region_codes=np.array(region_codes, np.int32),
+        days=np.array(days, np.int32),
+        protocol_codes=np.array(protocol_codes, np.uint8),
+        sample_values=np.array(sample_values, np.float64),
+        sample_offsets=np.array(sample_offsets, np.int64),
+    )
+
+
+def trace_block_from_records(
+    records: Sequence[TracerouteMeasurement],
+    probes_by_id: Optional[Mapping[str, Probe]] = None,
+    regions_by_key: Optional[Mapping[Tuple[str, str], CloudRegion]] = None,
+) -> TraceBlock:
+    """Columnarize traceroute records into one :class:`TraceBlock`.
+
+    The inverse of :meth:`TraceBlock.records`; unresponsive hops are
+    encoded as (``TraceBlock.NO_ADDRESS``, ``NaN``).
+    """
+    interner = _BlockInterner(probes_by_id, regions_by_key)
+    probe_codes: List[int] = []
+    region_codes: List[int] = []
+    days: List[int] = []
+    protocol_codes: List[int] = []
+    source_addresses: List[int] = []
+    dest_addresses: List[int] = []
+    hop_addresses: List[int] = []
+    hop_rtts: List[float] = []
+    hop_offsets: List[int] = [0]
+    for record in records:
+        probe_codes.append(interner.probe_code(record.meta))
+        region_codes.append(interner.region_code(record.meta))
+        days.append(record.meta.day)
+        protocol_codes.append(PROTOCOL_CODES[record.protocol])
+        source_addresses.append(record.source_address)
+        dest_addresses.append(record.dest_address)
+        for hop in record.hops:
+            if hop.address is None:
+                hop_addresses.append(TraceBlock.NO_ADDRESS)
+                hop_rtts.append(math.nan)
+            else:
+                hop_addresses.append(hop.address)
+                hop_rtts.append(
+                    hop.rtt_ms if hop.rtt_ms is not None else math.nan
+                )
+        hop_offsets.append(len(hop_addresses))
+    return TraceBlock(
+        probes=interner.probes,
+        regions=interner.regions,
+        probe_codes=np.array(probe_codes, np.int32),
+        region_codes=np.array(region_codes, np.int32),
+        days=np.array(days, np.int32),
+        protocol_codes=np.array(protocol_codes, np.uint8),
+        source_addresses=np.array(source_addresses, np.int64),
+        dest_addresses=np.array(dest_addresses, np.int64),
+        hop_offsets=np.array(hop_offsets, np.int64),
+        hop_addresses=np.array(hop_addresses, np.int64),
+        hop_rtts=np.array(hop_rtts, np.float64),
+    )
+
+
 class MeasurementDataset:
     """An in-memory dataset of ping and traceroute measurements.
 
@@ -274,6 +696,7 @@ class MeasurementDataset:
         self._pings: List[PingMeasurement] = []
         self._ping_store = ColumnarPingStore()
         self._traceroutes: List[TracerouteMeasurement] = []
+        self._trace_store = ColumnarTraceStore()
 
     # -- construction -----------------------------------------------------
 
@@ -286,11 +709,15 @@ class MeasurementDataset:
     def add_traceroute(self, measurement: TracerouteMeasurement) -> None:
         self._traceroutes.append(measurement)
 
+    def add_trace_block(self, block: TraceBlock) -> None:
+        self._trace_store.append_block(block)
+
     def extend(self, other: "MeasurementDataset") -> None:
         """Merge another dataset into this one."""
         self._pings.extend(other._pings)
         self._ping_store.extend(other._ping_store)
         self._traceroutes.extend(other._traceroutes)
+        self._trace_store.extend(other._trace_store)
 
     # -- access ------------------------------------------------------------
 
@@ -300,12 +727,17 @@ class MeasurementDataset:
         return self._ping_store
 
     @property
+    def trace_store(self) -> ColumnarTraceStore:
+        """The columnar backing (block-backed traceroutes only)."""
+        return self._trace_store
+
+    @property
     def ping_count(self) -> int:
         return len(self._pings) + self._ping_store.request_count
 
     @property
     def traceroute_count(self) -> int:
-        return len(self._traceroutes)
+        return len(self._traceroutes) + self._trace_store.request_count
 
     @property
     def ping_sample_count(self) -> int:
@@ -340,8 +772,8 @@ class MeasurementDataset:
         protocol: Optional[Protocol] = None,
         predicate: Optional[Callable[[TracerouteMeasurement], bool]] = None,
     ) -> Iterator[TracerouteMeasurement]:
-        """Iterate traceroutes with optional filters."""
-        for measurement in self._traceroutes:
+        """Iterate traceroutes (scalar records first, then columnar blocks)."""
+        for measurement in self._iter_all_traceroutes():
             if platform is not None and measurement.meta.platform != platform:
                 continue
             if protocol is not None and measurement.protocol is not Protocol(protocol):
@@ -350,8 +782,28 @@ class MeasurementDataset:
                 continue
             yield measurement
 
+    def _iter_all_traceroutes(self) -> Iterator[TracerouteMeasurement]:
+        yield from self._traceroutes
+        yield from self._trace_store.iter_records()
+
+    def iter_scalar_pings(self) -> Iterator[PingMeasurement]:
+        """The individually-added ping records (no columnar blocks)."""
+        return iter(self._pings)
+
+    def iter_scalar_traceroutes(self) -> Iterator[TracerouteMeasurement]:
+        """The individually-added traceroutes (no columnar blocks)."""
+        return iter(self._traceroutes)
+
+    def ping_blocks(self) -> List[PingBlock]:
+        """The columnar ping blocks (batched pings only)."""
+        return self._ping_store.blocks
+
+    def trace_blocks(self) -> List[TraceBlock]:
+        """The columnar traceroute blocks."""
+        return self._trace_store.blocks
+
     def __repr__(self) -> str:
         return (
             f"MeasurementDataset(pings={self.ping_count}, "
-            f"traceroutes={len(self._traceroutes)})"
+            f"traceroutes={self.traceroute_count})"
         )

@@ -8,7 +8,7 @@ year of continuous measurements).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -50,12 +50,18 @@ class AtlasPlatform:
     def countries(self) -> List[str]:
         return sorted(self._by_country)
 
-    def connected_probes(self) -> List[Probe]:
+    def connected_probes(
+        self, rng: Optional[np.random.Generator] = None
+    ) -> List[Probe]:
         """Probes online right now (availability is high but not perfect).
 
-        One vectorized availability draw covers the whole fleet.
+        One vectorized availability draw covers the whole fleet.  ``rng``
+        overrides the platform's churn stream (checkpointed campaigns
+        pass a per-day generator).
         """
-        draws = self._rng.random(len(self._probes))
+        draws = (rng if rng is not None else self._rng).random(
+            len(self._probes)
+        )
         return [
             self._probes[i] for i in np.flatnonzero(draws < self._availability)
         ]

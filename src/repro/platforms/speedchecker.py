@@ -96,13 +96,19 @@ class SpeedcheckerPlatform:
 
     # -- connectivity churn --------------------------------------------------
 
-    def snapshot(self, day: int, hour: int) -> VPSnapshot:
+    def snapshot(
+        self, day: int, hour: int, rng: Optional[np.random.Generator] = None
+    ) -> VPSnapshot:
         """Record the currently-connected probe set (4-hourly API sweep).
 
         One vectorized availability draw covers the whole fleet instead
-        of one scalar draw per probe.
+        of one scalar draw per probe.  ``rng`` overrides the platform's
+        churn stream -- checkpointed campaigns pass a per-day generator
+        so a day's connected set does not depend on earlier days.
         """
-        draws = self._rng.random(len(self._probes))
+        draws = (rng if rng is not None else self._rng).random(
+            len(self._probes)
+        )
         connected = [
             self._probes[i].probe_id
             for i in np.flatnonzero(draws < self._availability)
@@ -133,19 +139,24 @@ class SpeedcheckerPlatform:
         snapshot: VPSnapshot,
         count: int,
         pool: Optional[List[Probe]] = None,
+        rng: Optional[np.random.Generator] = None,
     ) -> List[Probe]:
         """The platform's in-built per-region probe selection.
 
         Returns up to ``count`` connected probes in the country, chosen by
         the platform (the experimenter cannot pin specific devices).
         ``pool`` lets a caller that already scanned the country's
-        connected probes skip the second membership pass.
+        connected probes skip the second membership pass.  ``rng``
+        overrides the platform's selection stream (checkpointed
+        campaigns pass a per-day generator).
         """
         if pool is None:
             pool = self.connected_in_country(iso, snapshot)
         if len(pool) <= count:
             return pool
-        picks = self._rng.choice(len(pool), size=count, replace=False)
+        picks = (rng if rng is not None else self._rng).choice(
+            len(pool), size=count, replace=False
+        )
         return [pool[int(i)] for i in picks]
 
     @property

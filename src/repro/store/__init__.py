@@ -1,0 +1,34 @@
+"""repro.store: the binary columnar dataset warehouse.
+
+Persists campaign measurements as memmap-friendly binary shards (one
+per campaign unit) under a journaled run directory, and serves them back
+lazily -- see ``docs/STORAGE.md`` for the format and the resume
+semantics, and ``python -m repro.store --help`` for the CLI.
+"""
+
+from repro.store.format import ShardFormatError, read_columns, verify_shard, write_shard
+from repro.store.journal import JournalError, RunJournal
+from repro.store.shards import (
+    read_ping_shard,
+    read_trace_shard,
+    write_ping_shard,
+    write_trace_shard,
+)
+from repro.store.view import StoredDataset
+from repro.store.warehouse import DatasetStore, StoreError
+
+__all__ = [
+    "DatasetStore",
+    "JournalError",
+    "RunJournal",
+    "ShardFormatError",
+    "StoreError",
+    "StoredDataset",
+    "read_columns",
+    "read_ping_shard",
+    "read_trace_shard",
+    "verify_shard",
+    "write_ping_shard",
+    "write_trace_shard",
+    "write_shard",
+]

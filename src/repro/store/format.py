@@ -1,0 +1,207 @@
+"""The binary shard container format.
+
+A *shard* is one self-describing file holding a set of named NumPy
+columns plus a JSON header:
+
+.. code-block:: text
+
+    offset  size          content
+    0       8             magic ``b"RPROSHRD"``
+    8       4             container version, little-endian uint32
+    12      8             header length in bytes, little-endian uint64
+    20      header_len    header JSON (UTF-8, sorted keys)
+    ...     padding       zero bytes up to the next 64-byte boundary
+    ...                   column payloads, each 64-byte aligned
+
+The header carries a ``columns`` list -- one descriptor per column with
+its dtype string, shape, offset *relative to the data section*, byte
+length and CRC32 -- plus arbitrary caller metadata (shard kind, interned
+probe/region tables, counts).  Column payloads are raw C-contiguous
+little-endian array bytes, so a reader can map any column with
+:class:`numpy.memmap` without parsing or copying: loads are O(columns),
+not O(measurements).
+
+Writes are deterministic: the same columns and metadata always produce
+byte-identical shards (sorted-key JSON, no timestamps), which is what
+lets the resume tests compare whole run directories bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from pathlib import Path
+from typing import Any, Dict, Mapping, Tuple, Union
+
+import numpy as np
+
+PathLike = Union[str, Path]
+
+#: Shard file magic.
+MAGIC = b"RPROSHRD"
+#: Container format version.
+CONTAINER_VERSION = 1
+#: Alignment (bytes) of the data section and of every column payload.
+ALIGNMENT = 64
+#: Fixed-size preamble: magic + version (u32) + header length (u64).
+_PREAMBLE = struct.Struct("<4x")  # placeholder, real layout built inline
+_PREAMBLE_LEN = len(MAGIC) + 4 + 8
+
+
+class ShardFormatError(ValueError):
+    """A shard file is malformed, truncated, or corrupt."""
+
+
+def _align(offset: int) -> int:
+    return (offset + ALIGNMENT - 1) // ALIGNMENT * ALIGNMENT
+
+
+def _column_bytes(array: np.ndarray) -> bytes:
+    """A column's payload: C-contiguous little-endian raw bytes."""
+    contiguous = np.ascontiguousarray(array)
+    little = contiguous.dtype.newbyteorder("<")
+    return contiguous.astype(little, copy=False).tobytes()
+
+
+def write_shard(
+    path: PathLike,
+    columns: Mapping[str, np.ndarray],
+    metadata: Mapping[str, Any],
+) -> Dict[str, Any]:
+    """Write one shard file; returns the header that was written.
+
+    ``columns`` order is preserved in the layout.  ``metadata`` is any
+    JSON-serializable mapping; the keys ``columns``, ``container`` and
+    ``container_version`` are reserved.  The file is fsynced before
+    returning so a journal entry written afterwards never references a
+    shard the OS could still lose.
+    """
+    descriptors = []
+    payloads = []
+    offset = 0
+    for name, array in columns.items():
+        blob = _column_bytes(np.asarray(array))
+        offset = _align(offset)
+        descriptors.append(
+            {
+                "name": name,
+                "dtype": np.asarray(array).dtype.newbyteorder("<").str,
+                "shape": list(np.asarray(array).shape),
+                "offset": offset,
+                "nbytes": len(blob),
+                "crc32": zlib.crc32(blob),
+            }
+        )
+        payloads.append((offset, blob))
+        offset += len(blob)
+
+    for reserved in ("columns", "container", "container_version"):
+        if reserved in metadata:
+            raise ValueError(f"metadata key {reserved!r} is reserved")
+    header: Dict[str, Any] = dict(metadata)
+    header["container"] = "repro-shard"
+    header["container_version"] = CONTAINER_VERSION
+    header["columns"] = descriptors
+    header_bytes = json.dumps(
+        header, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+    data_start = _align(_PREAMBLE_LEN + len(header_bytes))
+    path = Path(path)
+    with open(path, "wb") as fh:
+        fh.write(MAGIC)
+        fh.write(struct.pack("<IQ", CONTAINER_VERSION, len(header_bytes)))
+        fh.write(header_bytes)
+        fh.write(b"\0" * (data_start - _PREAMBLE_LEN - len(header_bytes)))
+        position = 0
+        for column_offset, blob in payloads:
+            fh.write(b"\0" * (column_offset - position))
+            fh.write(blob)
+            position = column_offset + len(blob)
+        fh.flush()
+        os.fsync(fh.fileno())
+    return header
+
+
+def read_header(path: PathLike) -> Tuple[Dict[str, Any], int]:
+    """Read a shard's JSON header; returns ``(header, data_start)``."""
+    path = Path(path)
+    with open(path, "rb") as fh:
+        preamble = fh.read(_PREAMBLE_LEN)
+        if len(preamble) < _PREAMBLE_LEN or preamble[: len(MAGIC)] != MAGIC:
+            raise ShardFormatError(f"{path}: not a repro shard file")
+        version, header_len = struct.unpack(
+            "<IQ", preamble[len(MAGIC) :]
+        )
+        if version != CONTAINER_VERSION:
+            raise ShardFormatError(
+                f"{path}: unsupported container version {version}"
+            )
+        header_bytes = fh.read(header_len)
+        if len(header_bytes) != header_len:
+            raise ShardFormatError(f"{path}: truncated header")
+        try:
+            header = json.loads(header_bytes)
+        except json.JSONDecodeError as exc:
+            raise ShardFormatError(f"{path}: corrupt header: {exc}") from exc
+    return header, _align(_PREAMBLE_LEN + header_len)
+
+
+def read_columns(
+    path: PathLike, mmap: bool = True
+) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
+    """Read every column of a shard; returns ``(header, columns)``.
+
+    With ``mmap=True`` (the default) columns are zero-copy
+    :class:`numpy.memmap` views onto the file; pages are faulted in only
+    as analyses touch them.  ``mmap=False`` reads plain in-memory arrays
+    (useful when the caller will delete the file).
+    """
+    header, data_start = read_header(path)
+    file_size = Path(path).stat().st_size
+    columns: Dict[str, np.ndarray] = {}
+    for descriptor in header["columns"]:
+        dtype = np.dtype(descriptor["dtype"])
+        shape = tuple(descriptor["shape"])
+        offset = data_start + descriptor["offset"]
+        if offset + descriptor["nbytes"] > file_size:
+            raise ShardFormatError(
+                f"{path}: column {descriptor['name']!r} extends past "
+                "the end of the file"
+            )
+        if mmap:
+            columns[descriptor["name"]] = np.memmap(
+                path, dtype=dtype, mode="r", offset=offset, shape=shape
+            )
+        else:
+            with open(path, "rb") as fh:
+                fh.seek(offset)
+                blob = fh.read(descriptor["nbytes"])
+            columns[descriptor["name"]] = np.frombuffer(
+                blob, dtype=dtype
+            ).reshape(shape)
+    return header, columns
+
+
+def verify_shard(path: PathLike) -> Dict[str, Any]:
+    """Re-checksum every column of a shard against its header.
+
+    Returns the header on success; raises :class:`ShardFormatError`
+    naming the first corrupt column otherwise.
+    """
+    header, data_start = read_header(path)
+    with open(path, "rb") as fh:
+        for descriptor in header["columns"]:
+            fh.seek(data_start + descriptor["offset"])
+            blob = fh.read(descriptor["nbytes"])
+            if len(blob) != descriptor["nbytes"]:
+                raise ShardFormatError(
+                    f"{path}: column {descriptor['name']!r} is truncated"
+                )
+            if zlib.crc32(blob) != descriptor["crc32"]:
+                raise ShardFormatError(
+                    f"{path}: column {descriptor['name']!r} fails its CRC32"
+                )
+    return header

@@ -1,0 +1,120 @@
+"""The append-only run journal.
+
+The journal is the store's source of truth for *what completed*.  Every
+line is one JSON object with a ``type`` tag:
+
+- ``begin`` -- written once when a campaign starts: master seed, config
+  hash, scale, the planned day count, platform list and unit ids.
+- ``unit`` -- written after a unit's shards are durably on disk: the
+  unit id, shard file names, and record counts.
+
+Shard writes happen *before* their journal entry (write-ahead on the
+data, not the log), so a crash at any instant leaves either a journaled
+unit with complete shards or an unjournaled partial shard that resume
+simply overwrites.  Each append is flushed and fsynced; a torn final
+line from a crash mid-append is detected and ignored on read.
+
+No timestamps, hostnames or pids appear anywhere: two runs of the same
+campaign produce byte-identical journals, which the resume-equivalence
+tests rely on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+PathLike = Union[str, Path]
+
+#: ``type`` tags of journal entries.
+BEGIN_ENTRY = "begin"
+UNIT_ENTRY = "unit"
+
+
+class JournalError(ValueError):
+    """The journal is malformed beyond a torn trailing line."""
+
+
+class RunJournal:
+    """An append-only JSONL journal for one store run directory."""
+
+    def __init__(self, path: PathLike) -> None:
+        self._path = Path(path)
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    def exists(self) -> bool:
+        return self._path.exists()
+
+    def append(self, entry: Dict[str, Any]) -> None:
+        """Durably append one entry (flush + fsync before returning)."""
+        if "type" not in entry:
+            raise JournalError("journal entries must carry a 'type' tag")
+        line = json.dumps(entry, sort_keys=True, separators=(",", ":"))
+        with open(self._path, "a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def entries(self) -> List[Dict[str, Any]]:
+        """All well-formed entries, in append order.
+
+        A torn final line (crash mid-append) is silently dropped; a
+        malformed line anywhere *before* the end means real corruption
+        and raises :class:`JournalError`.
+        """
+        if not self._path.exists():
+            return []
+        with open(self._path, "r", encoding="utf-8") as fh:
+            lines = fh.read().split("\n")
+        # A complete journal ends with "\n", so the final split element
+        # is empty; anything else there is a torn append and is dropped.
+        lines.pop()
+        entries: List[Dict[str, Any]] = []
+        for number, line in enumerate(lines, start=1):
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise JournalError(
+                    f"{self._path}:{number}: corrupt journal line: {exc}"
+                ) from exc
+            if not isinstance(entry, dict) or "type" not in entry:
+                raise JournalError(
+                    f"{self._path}:{number}: journal line is not a tagged object"
+                )
+            entries.append(entry)
+        return entries
+
+    def begin_entry(self) -> Optional[Dict[str, Any]]:
+        """The run's ``begin`` entry, or ``None`` for an empty journal."""
+        for entry in self.entries():
+            if entry["type"] == BEGIN_ENTRY:
+                return entry
+        return None
+
+    def unit_entries(self) -> List[Dict[str, Any]]:
+        """All ``unit`` completion entries, in completion order."""
+        return [e for e in self.entries() if e["type"] == UNIT_ENTRY]
+
+    def completed_units(self) -> List[str]:
+        """Ids of journaled (i.e. durably completed) units, in order."""
+        seen = set()
+        ordered: List[str] = []
+        for entry in self.unit_entries():
+            unit = entry["unit"]
+            if unit not in seen:
+                seen.add(unit)
+                ordered.append(unit)
+        return ordered
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        return iter(self.entries())
+
+    def __repr__(self) -> str:
+        return f"RunJournal({str(self._path)!r})"

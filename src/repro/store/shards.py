@@ -1,0 +1,172 @@
+"""Encoding :class:`PingBlock`/:class:`TraceBlock` as shard files.
+
+A *ping shard* holds one :class:`~repro.measure.results.PingBlock`: the
+six canonical columns as raw arrays plus the interned probe/region
+tables serialized into the shard header.  A *trace shard* does the same
+for a :class:`~repro.measure.results.TraceBlock`.  Decoding reverses the
+mapping exactly -- ``write`` then ``read`` yields a block whose
+``records()`` equal the original's.
+
+Probe and region tables are small (hundreds of rows per shard) relative
+to the measurement columns (tens of thousands), so they live as JSON in
+the header where they stay human-inspectable; only the bulk numeric
+columns take the binary path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+import numpy as np
+
+from repro.cloud.regions import CloudRegion
+from repro.geo.continents import Continent
+from repro.geo.coords import GeoPoint
+from repro.lastmile.base import AccessKind
+from repro.measure.results import (
+    PING_COLUMN_DTYPES,
+    TRACE_COLUMN_DTYPES,
+    PingBlock,
+    TraceBlock,
+)
+from repro.platforms.probe import Probe
+from repro.store.format import (
+    PathLike,
+    ShardFormatError,
+    read_columns,
+    write_shard,
+)
+
+#: ``kind`` tags in shard headers.
+PING_SHARD_KIND = "pings"
+TRACE_SHARD_KIND = "traces"
+
+
+def probe_to_dict(probe: Probe) -> Dict[str, Any]:
+    """Serialize one interned probe-table row."""
+    return {
+        "probe_id": probe.probe_id,
+        "platform": probe.platform,
+        "country": probe.country,
+        "continent": probe.continent.value,
+        "location": [probe.location.lat, probe.location.lon],
+        "isp_asn": probe.isp_asn,
+        "access": probe.access.value,
+        "device_address": probe.device_address,
+        "public_address": probe.public_address,
+        "quality": probe.quality,
+        "availability": probe.availability,
+        "managed": probe.managed,
+    }
+
+
+def probe_from_dict(payload: Dict[str, Any]) -> Probe:
+    """Deserialize one probe-table row."""
+    return Probe(
+        probe_id=payload["probe_id"],
+        platform=payload["platform"],
+        country=payload["country"],
+        continent=Continent(payload["continent"]),
+        location=GeoPoint(payload["location"][0], payload["location"][1]),
+        isp_asn=payload["isp_asn"],
+        access=AccessKind(payload["access"]),
+        device_address=payload["device_address"],
+        public_address=payload["public_address"],
+        quality=payload["quality"],
+        availability=payload["availability"],
+        managed=payload["managed"],
+    )
+
+
+def region_to_dict(region: CloudRegion) -> Dict[str, Any]:
+    """Serialize one interned region-table row."""
+    return {
+        "provider_code": region.provider_code,
+        "region_id": region.region_id,
+        "city": region.city,
+        "country": region.country,
+        "continent": region.continent.value,
+        "location": [region.location.lat, region.location.lon],
+    }
+
+
+def region_from_dict(payload: Dict[str, Any]) -> CloudRegion:
+    """Deserialize one region-table row."""
+    return CloudRegion(
+        provider_code=payload["provider_code"],
+        region_id=payload["region_id"],
+        city=payload["city"],
+        country=payload["country"],
+        continent=Continent(payload["continent"]),
+        location=GeoPoint(payload["location"][0], payload["location"][1]),
+    )
+
+
+def _tables_metadata(kind: str, block: Any, unit: str) -> Dict[str, Any]:
+    return {
+        "kind": kind,
+        "unit": unit,
+        "probes": [probe_to_dict(probe) for probe in block.probes],
+        "regions": [region_to_dict(region) for region in block.regions],
+    }
+
+
+def write_ping_shard(path: PathLike, block: PingBlock, unit: str) -> Dict[str, Any]:
+    """Write one validated ping block as a shard file; returns the header."""
+    block.validate()
+    columns = {name: getattr(block, name) for name in PING_COLUMN_DTYPES}
+    return write_shard(path, columns, _tables_metadata(PING_SHARD_KIND, block, unit))
+
+
+def write_trace_shard(
+    path: PathLike, block: TraceBlock, unit: str
+) -> Dict[str, Any]:
+    """Write one validated trace block as a shard file; returns the header."""
+    block.validate()
+    columns = {name: getattr(block, name) for name in TRACE_COLUMN_DTYPES}
+    return write_shard(
+        path, columns, _tables_metadata(TRACE_SHARD_KIND, block, unit)
+    )
+
+
+def _decoded_tables(
+    path: PathLike, header: Dict[str, Any], kind: str
+) -> "tuple[List[Probe], List[CloudRegion]]":
+    if header.get("kind") != kind:
+        raise ShardFormatError(
+            f"{path}: expected a {kind!r} shard, found {header.get('kind')!r}"
+        )
+    probes = [probe_from_dict(row) for row in header["probes"]]
+    regions = [region_from_dict(row) for row in header["regions"]]
+    return probes, regions
+
+
+def read_ping_shard(path: PathLike, mmap: bool = True) -> PingBlock:
+    """Decode one ping shard back into a :class:`PingBlock`.
+
+    With ``mmap=True`` the block's columns are read-only memmap views --
+    record materialization faults pages in lazily and nothing is copied
+    up front.
+    """
+    header, columns = read_columns(path, mmap=mmap)
+    probes, regions = _decoded_tables(path, header, PING_SHARD_KIND)
+    block = PingBlock(
+        probes=probes,
+        regions=regions,
+        **{name: columns[name] for name in PING_COLUMN_DTYPES},
+    )
+    block.validate()
+    return block
+
+
+def read_trace_shard(path: PathLike, mmap: bool = True) -> TraceBlock:
+    """Decode one trace shard back into a :class:`TraceBlock`."""
+    header, columns = read_columns(path, mmap=mmap)
+    probes, regions = _decoded_tables(path, header, TRACE_SHARD_KIND)
+    block = TraceBlock(
+        probes=probes,
+        regions=regions,
+        **{name: columns[name] for name in TRACE_COLUMN_DTYPES},
+    )
+    block.validate()
+    return block

@@ -1,0 +1,333 @@
+"""The on-disk dataset warehouse.
+
+A *store* is one run directory:
+
+.. code-block:: text
+
+    run_dir/
+        manifest.json        static run metadata (format, seed, config hash)
+        journal.jsonl        append-only completion journal (source of truth)
+        shards/
+            speedchecker-000-pings.shard
+            speedchecker-000-traces.shard
+            atlas-000-pings.shard
+            ...
+
+One *unit* -- a (platform, day) slice of a campaign, or one import
+batch -- maps to at most one ping shard and one trace shard.  Shards are
+written and fsynced **before** the unit's journal entry, so the journal
+never references bytes the OS could still lose; conversely, any shard
+without a journal entry is a crash leftover that the next resume
+overwrites.
+
+Reads are lazy: :meth:`DatasetStore.iter_ping_blocks` decodes one shard
+at a time as memmap-backed blocks, so analyses stream a dataset far
+larger than RAM.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from repro.measure.results import (
+    MeasurementDataset,
+    PingBlock,
+    TraceBlock,
+)
+from repro.store.format import ShardFormatError, verify_shard
+from repro.store.journal import BEGIN_ENTRY, UNIT_ENTRY, RunJournal
+from repro.store.shards import (
+    read_ping_shard,
+    read_trace_shard,
+    write_ping_shard,
+    write_trace_shard,
+)
+
+PathLike = Union[str, Path]
+
+#: Store layout file names.
+MANIFEST_NAME = "manifest.json"
+JOURNAL_NAME = "journal.jsonl"
+SHARD_DIR = "shards"
+
+#: Manifest format tag and version.
+STORE_FORMAT = "repro-store"
+STORE_VERSION = 1
+
+
+class StoreError(RuntimeError):
+    """A store directory is missing, malformed, or inconsistent."""
+
+
+def unit_file_stem(unit: str) -> str:
+    """The shard file stem for a unit id (``speedchecker:003`` ->
+    ``speedchecker-003``; colons are not portable in file names)."""
+    return unit.replace(":", "-")
+
+
+class DatasetStore:
+    """One on-disk measurement dataset: manifest + journal + shards."""
+
+    def __init__(self, run_dir: Path, journal: RunJournal, manifest: Dict[str, Any]) -> None:
+        self._run_dir = run_dir
+        self._journal = journal
+        self._manifest = manifest
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        run_dir: PathLike,
+        seed: Optional[int] = None,
+        config_hash: Optional[str] = None,
+        scale: Optional[float] = None,
+        source: str = "campaign",
+    ) -> "DatasetStore":
+        """Initialise a new store; refuses a directory that already holds one."""
+        run_dir = Path(run_dir)
+        manifest_path = run_dir / MANIFEST_NAME
+        if manifest_path.exists():
+            raise StoreError(f"{run_dir}: already contains a store manifest")
+        (run_dir / SHARD_DIR).mkdir(parents=True, exist_ok=True)
+        manifest: Dict[str, Any] = {
+            "format": STORE_FORMAT,
+            "version": STORE_VERSION,
+            "seed": seed,
+            "config_hash": config_hash,
+            "scale": scale,
+            "source": source,
+        }
+        # Atomic publish: a crash mid-write leaves no manifest, and open()
+        # then correctly reports "not a store" instead of half a file.
+        tmp_path = manifest_path.with_suffix(".json.tmp")
+        with open(tmp_path, "w", encoding="utf-8") as fh:
+            json.dump(manifest, fh, sort_keys=True, indent=2)
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_path, manifest_path)
+        return cls(run_dir, RunJournal(run_dir / JOURNAL_NAME), manifest)
+
+    @classmethod
+    def open(cls, run_dir: PathLike) -> "DatasetStore":
+        """Open an existing store directory."""
+        run_dir = Path(run_dir)
+        manifest_path = run_dir / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise StoreError(f"{run_dir}: no store manifest found")
+        with open(manifest_path, "r", encoding="utf-8") as fh:
+            manifest = json.load(fh)
+        if manifest.get("format") != STORE_FORMAT:
+            raise StoreError(f"{run_dir}: not a {STORE_FORMAT} directory")
+        if manifest.get("version") != STORE_VERSION:
+            raise StoreError(
+                f"{run_dir}: unsupported store version {manifest.get('version')}"
+            )
+        return cls(run_dir, RunJournal(run_dir / JOURNAL_NAME), manifest)
+
+    @classmethod
+    def open_or_create(
+        cls,
+        run_dir: PathLike,
+        seed: Optional[int] = None,
+        config_hash: Optional[str] = None,
+        scale: Optional[float] = None,
+        source: str = "campaign",
+    ) -> "DatasetStore":
+        """Open ``run_dir`` if it already holds a store, else create one."""
+        if (Path(run_dir) / MANIFEST_NAME).exists():
+            return cls.open(run_dir)
+        return cls.create(
+            run_dir,
+            seed=seed,
+            config_hash=config_hash,
+            scale=scale,
+            source=source,
+        )
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def run_dir(self) -> Path:
+        return self._run_dir
+
+    @property
+    def manifest(self) -> Dict[str, Any]:
+        return dict(self._manifest)
+
+    @property
+    def journal(self) -> RunJournal:
+        return self._journal
+
+    @property
+    def shard_dir(self) -> Path:
+        return self._run_dir / SHARD_DIR
+
+    # -- write side --------------------------------------------------------
+
+    def begin_run(self, plan: Dict[str, Any]) -> None:
+        """Journal a campaign's ``begin`` entry (once per store)."""
+        if self._journal.begin_entry() is not None:
+            raise StoreError(f"{self._run_dir}: run already begun")
+        entry = dict(plan)
+        entry["type"] = BEGIN_ENTRY
+        self._journal.append(entry)
+
+    def flush_unit(
+        self,
+        unit: str,
+        ping_block: Optional[PingBlock] = None,
+        trace_block: Optional[TraceBlock] = None,
+    ) -> Dict[str, Any]:
+        """Durably persist one completed unit and journal it.
+
+        Shards are written (and fsynced) first; the journal entry is
+        appended only afterwards, so a crash at any point leaves the
+        store consistent.  Returns the journal entry.
+        """
+        if unit in self.completed_units():
+            raise StoreError(f"{self._run_dir}: unit {unit!r} already completed")
+        stem = unit_file_stem(unit)
+        entry: Dict[str, Any] = {
+            "type": UNIT_ENTRY,
+            "unit": unit,
+            "pings": 0,
+            "ping_samples": 0,
+            "traceroutes": 0,
+            "shards": [],
+        }
+        if ping_block is not None and len(ping_block):
+            name = f"{stem}-pings.shard"
+            write_ping_shard(self.shard_dir / name, ping_block, unit)
+            entry["pings"] = len(ping_block)
+            entry["ping_samples"] = ping_block.sample_count
+            entry["shards"].append(name)
+        if trace_block is not None and len(trace_block):
+            name = f"{stem}-traces.shard"
+            write_trace_shard(self.shard_dir / name, trace_block, unit)
+            entry["traceroutes"] = len(trace_block)
+            entry["shards"].append(name)
+        self._journal.append(entry)
+        return entry
+
+    # -- read side ---------------------------------------------------------
+
+    def completed_units(self) -> List[str]:
+        """Ids of journaled units, in completion order."""
+        return self._journal.completed_units()
+
+    def unit_entries(self) -> List[Dict[str, Any]]:
+        return self._journal.unit_entries()
+
+    def _shard_paths(self, suffix: str) -> List[Path]:
+        paths = []
+        for entry in self.unit_entries():
+            for name in entry["shards"]:
+                if name.endswith(suffix):
+                    paths.append(self.shard_dir / name)
+        return paths
+
+    def iter_ping_blocks(self, mmap: bool = True) -> Iterator[PingBlock]:
+        """Decode journaled ping shards lazily, one block at a time."""
+        for path in self._shard_paths("-pings.shard"):
+            yield read_ping_shard(path, mmap=mmap)
+
+    def iter_trace_blocks(self, mmap: bool = True) -> Iterator[TraceBlock]:
+        """Decode journaled trace shards lazily, one block at a time."""
+        for path in self._shard_paths("-traces.shard"):
+            yield read_trace_shard(path, mmap=mmap)
+
+    @property
+    def ping_count(self) -> int:
+        """Total journaled ping requests (no shard reads needed)."""
+        return sum(entry["pings"] for entry in self.unit_entries())
+
+    @property
+    def ping_sample_count(self) -> int:
+        return sum(entry["ping_samples"] for entry in self.unit_entries())
+
+    @property
+    def traceroute_count(self) -> int:
+        return sum(entry["traceroutes"] for entry in self.unit_entries())
+
+    def dataset(self) -> "StoredDataset":
+        """The lazy, dataset-compatible read view (shard-at-a-time)."""
+        from repro.store.view import StoredDataset
+
+        return StoredDataset(self)
+
+    def materialize(self) -> MeasurementDataset:
+        """Load the whole store into an in-memory dataset.
+
+        Blocks are decoded without memmaps so the result stays valid if
+        the run directory is later deleted.
+        """
+        dataset = MeasurementDataset()
+        for ping_block in self.iter_ping_blocks(mmap=False):
+            dataset.add_ping_block(ping_block)
+        for trace_block in self.iter_trace_blocks(mmap=False):
+            dataset.add_trace_block(trace_block)
+        return dataset
+
+    # -- integrity ---------------------------------------------------------
+
+    def verify(self) -> List[str]:
+        """Check the whole store; returns a list of problems (empty = ok).
+
+        Verifies that every journaled shard exists, passes its per-column
+        CRC32s, decodes into a schema-valid block, and that decoded
+        counts match the journal's.
+        """
+        problems: List[str] = []
+        for entry in self.unit_entries():
+            unit = entry["unit"]
+            counted_pings = 0
+            counted_samples = 0
+            counted_traces = 0
+            for name in entry["shards"]:
+                path = self.shard_dir / name
+                if not path.exists():
+                    problems.append(f"{unit}: missing shard {name}")
+                    continue
+                try:
+                    verify_shard(path)
+                except ShardFormatError as exc:
+                    problems.append(f"{unit}: {exc}")
+                    continue
+                try:
+                    if name.endswith("-pings.shard"):
+                        block = read_ping_shard(path)
+                        counted_pings += len(block)
+                        counted_samples += block.sample_count
+                    else:
+                        trace_block = read_trace_shard(path)
+                        counted_traces += len(trace_block)
+                except (ShardFormatError, TypeError, ValueError) as exc:
+                    problems.append(f"{unit}: {name} fails to decode: {exc}")
+            if counted_pings != entry["pings"]:
+                problems.append(
+                    f"{unit}: journal records {entry['pings']} pings, "
+                    f"shards hold {counted_pings}"
+                )
+            if counted_samples != entry["ping_samples"]:
+                problems.append(
+                    f"{unit}: journal records {entry['ping_samples']} ping "
+                    f"samples, shards hold {counted_samples}"
+                )
+            if counted_traces != entry["traceroutes"]:
+                problems.append(
+                    f"{unit}: journal records {entry['traceroutes']} "
+                    f"traceroutes, shards hold {counted_traces}"
+                )
+        return problems
+
+    def __repr__(self) -> str:
+        return (
+            f"DatasetStore({str(self._run_dir)!r}, "
+            f"units={len(self.completed_units())}, "
+            f"pings={self.ping_count}, traceroutes={self.traceroute_count})"
+        )

@@ -53,3 +53,13 @@ def resolved_traces(context):
 def rng():
     """A fresh, per-test deterministic generator."""
     return np.random.default_rng(1234)
+
+
+@pytest.fixture()
+def store_run_dir(tmp_path):
+    """A fresh directory for checkpointed-store runs.
+
+    Lives under pytest's auto-cleaned ``tmp_path``, so run directories
+    (manifest, journal, shards) never leak into the working tree.
+    """
+    return tmp_path / "store-run"
