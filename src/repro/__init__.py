@@ -19,6 +19,8 @@ The public API is organised in layers, bottom-up:
   measurement campaign scheduler.
 - :mod:`repro.store` -- the binary columnar dataset warehouse with
   journaled, crash-resumable campaign runs.
+- :mod:`repro.faults` -- deterministic fault injection and the retry /
+  circuit-breaker / degradation policies of the resilient runner.
 - :mod:`repro.resolve` -- traceroute post-processing: IP-to-ASN
   resolution, IXP tagging, PeeringDB-style enrichment and noisy GeoIP.
 - :mod:`repro.analysis` -- the paper's statistical analyses.
@@ -38,6 +40,7 @@ Quickstart::
 from repro.core.config import SimulationConfig
 from repro.core.scenario import build_world
 from repro.core.world import World
+from repro.faults import FaultConfig, RetryPolicy
 from repro.measure.campaign import (
     resume_campaign,
     run_campaign,
@@ -49,6 +52,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "DatasetStore",
+    "FaultConfig",
+    "RetryPolicy",
     "SimulationConfig",
     "World",
     "build_world",

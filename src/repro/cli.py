@@ -28,6 +28,7 @@ from repro.experiments import (
     render_takeaways,
     run_experiment,
 )
+from repro.faults import RetryPolicy, load_fault_config
 from repro.measure.io import load_dataset, save_dataset
 from repro.store import DatasetStore, StoreError
 
@@ -78,6 +79,23 @@ def _build_parser() -> argparse.ArgumentParser:
             "checkpointed run directory: each completed (platform, day) "
             "unit is journaled as binary shards; re-running with the same "
             "directory resumes an interrupted campaign"
+        ),
+    )
+    campaign.add_argument(
+        "--fault-config",
+        default=None,
+        help=(
+            "JSON file of fault-injection rates (see docs/ROBUSTNESS.md); "
+            "requires --store"
+        ),
+    )
+    campaign.add_argument(
+        "--max-attempts",
+        type=int,
+        default=None,
+        help=(
+            "retry budget per unit under fault injection (default 3); "
+            "requires --store"
         ),
     )
 
@@ -131,11 +149,27 @@ def _command_list(args) -> int:
 
 
 def _command_campaign(args) -> int:
+    if (args.fault_config or args.max_attempts is not None) and not args.store:
+        print(
+            "error: --fault-config/--max-attempts require --store",
+            file=sys.stderr,
+        )
+        return 2
     world = build_world(seed=args.seed, scale=args.scale)
     print(world.summary(), file=sys.stderr)
     started = time.time()
     if args.store:
-        store = run_campaign_checkpointed(world, args.store, days=args.days)
+        faults = (
+            load_fault_config(args.fault_config) if args.fault_config else None
+        )
+        retry = (
+            RetryPolicy(max_attempts=args.max_attempts)
+            if args.max_attempts is not None
+            else None
+        )
+        store = run_campaign_checkpointed(
+            world, args.store, days=args.days, faults=faults, retry=retry
+        )
         print(
             f"Store {store.run_dir} complete: {store.ping_count} pings "
             f"({store.ping_sample_count} samples), "
@@ -144,6 +178,14 @@ def _command_campaign(args) -> int:
             f"in {time.time() - started:.1f}s",
             file=sys.stderr,
         )
+        coverage = store.coverage()
+        if coverage.partial or coverage.skipped:
+            print(
+                f"coverage: {coverage.completed} complete, "
+                f"{coverage.partial} partial, {coverage.skipped} skipped "
+                f"of {coverage.planned} planned units",
+                file=sys.stderr,
+            )
         return 0
     dataset = run_campaign(world, days=args.days)
     lines = save_dataset(dataset, args.output)

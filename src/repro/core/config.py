@@ -17,7 +17,7 @@ import dataclasses
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Any, Dict, Tuple
 
 
 @dataclass(frozen=True)
@@ -231,17 +231,26 @@ class SimulationConfig:
         return max(minimum, int(round(value * self.scale)))
 
 
+def dataclass_digest(value: Any) -> str:
+    """A stable hex digest of any (possibly nested) dataclass instance.
+
+    The digest covers every field (recursively, via
+    :func:`dataclasses.asdict`) with sorted keys, so it is independent of
+    field declaration order tweaks but changes whenever any value does.
+    Used for :func:`config_digest` and for the fault-config digest the
+    resilient campaign runner journals.
+    """
+    payload = json.dumps(
+        dataclasses.asdict(value), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
 def config_digest(config: SimulationConfig) -> str:
     """A stable hex digest of a full configuration.
 
     Recorded by :mod:`repro.store` run journals and checked on resume, so
     a checkpointed campaign can only be continued under the exact
-    configuration that started it.  The digest covers every field
-    (recursively, via :func:`dataclasses.asdict`) with sorted keys, so it
-    is independent of field declaration order tweaks but changes whenever
-    any parameter value does.
+    configuration that started it.
     """
-    payload = json.dumps(
-        dataclasses.asdict(config), sort_keys=True, separators=(",", ":")
-    )
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+    return dataclass_digest(config)

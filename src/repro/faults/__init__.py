@@ -1,0 +1,59 @@
+"""Deterministic fault injection for chaos-testing the campaign runner.
+
+The package splits into four layers:
+
+- :mod:`repro.faults.config` -- :class:`FaultConfig` (per-class fault
+  rates) and :class:`RetryPolicy` (retry budgets, virtual backoff,
+  circuit-breaker thresholds);
+- :mod:`repro.faults.plan` -- :class:`FaultPlan`, the seeded factory
+  turning (seed, config) into per-(unit, attempt) fault generators;
+- :mod:`repro.faults.injectors` -- wrappers that inject faults at the
+  platform API, batch engine, and shard file-ops boundaries;
+- :mod:`repro.faults.errors` -- the :class:`InjectedFault` taxonomy the
+  resilient runner retries on.
+
+Faults are an overlay: nothing here touches
+:class:`~repro.core.config.SimulationConfig`, and an inactive (all-zero)
+config is byte-identical to running without fault injection at all.
+"""
+
+from repro.faults.config import (
+    FaultConfig,
+    RetryPolicy,
+    fault_digest,
+    load_fault_config,
+)
+from repro.faults.errors import (
+    FsyncFailure,
+    InjectedFault,
+    PlatformError,
+    PlatformTimeout,
+    StorageFault,
+    TornWrite,
+)
+from repro.faults.injectors import (
+    FaultyAtlas,
+    FaultyEngine,
+    FaultyFileOps,
+    FaultySpeedchecker,
+)
+from repro.faults.plan import AttemptFaults, FaultPlan
+
+__all__ = [
+    "AttemptFaults",
+    "FaultConfig",
+    "FaultPlan",
+    "FaultyAtlas",
+    "FaultyEngine",
+    "FaultyFileOps",
+    "FaultySpeedchecker",
+    "FsyncFailure",
+    "InjectedFault",
+    "PlatformError",
+    "PlatformTimeout",
+    "RetryPolicy",
+    "StorageFault",
+    "TornWrite",
+    "fault_digest",
+    "load_fault_config",
+]

@@ -1,0 +1,213 @@
+"""Fault-injection and resilience configuration.
+
+:class:`FaultConfig` is deliberately *not* a field of
+:class:`~repro.core.config.SimulationConfig`: the simulation config's
+digest is journaled by every checkpointed run, and folding fault rates
+into it would change the digest -- and therefore the journal bytes -- of
+every existing fault-free store.  Fault injection is an overlay passed
+separately to
+:func:`~repro.measure.campaign.run_campaign_checkpointed`; an inactive
+(all-zero) config is equivalent to passing none at all, which is what
+keeps the fault-free path byte-identical.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Mapping, Union
+
+import numpy as np
+
+from repro.core.config import dataclass_digest
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Per-class fault probabilities, all ``0.0`` (off) by default.
+
+    Rates are per *draw site*: an API rate of 0.1 fails roughly one in
+    ten platform calls, a storage rate of 0.1 roughly one in ten shard
+    writes.  The realized schedule for a given config is a pure function
+    of the campaign seed -- see :class:`~repro.faults.plan.FaultPlan`.
+    """
+
+    # -- platform API faults (Speedchecker/Atlas boundary) -----------------
+    #: Probability an API call (snapshot, probe selection, connected-set
+    #: query) times out.
+    api_timeout_rate: float = 0.0
+    #: Probability an API call fails with an HTTP-5xx-style error.
+    api_error_rate: float = 0.0
+    #: Probability that, once per attempt, a concurrent quota consumer
+    #: drains part of the remaining daily budget between scheduling and
+    #: charging (the mid-unit :class:`QuotaExhausted` scenario).
+    quota_race_rate: float = 0.0
+    #: Fraction of the remaining quota a winning race steals.
+    quota_race_fraction: float = 0.5
+
+    # -- measurement-level faults (batch engine boundary) ------------------
+    #: Probability each scheduled ping request is lost without a reply.
+    reply_loss_rate: float = 0.0
+    #: Probability one probe disconnects mid-batch, losing its remaining
+    #: pings and all of its traceroutes.
+    probe_disconnect_rate: float = 0.0
+    #: Probability each traceroute comes back truncated mid-path.
+    trace_truncation_rate: float = 0.0
+
+    # -- storage faults (shard file-ops boundary) --------------------------
+    #: Probability a shard write tears, leaving a prefix on disk.
+    torn_write_rate: float = 0.0
+    #: Probability a shard write silently flips one byte (caught only by
+    #: post-write CRC verification).
+    corrupt_write_rate: float = 0.0
+    #: Probability the shard's fsync fails after a complete write.
+    fsync_failure_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for config_field in dataclasses.fields(self):
+            value = getattr(self, config_field.name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(
+                    f"{config_field.name} must be in [0, 1], got {value}"
+                )
+        if self.api_timeout_rate + self.api_error_rate > 1.0:
+            raise ValueError(
+                "api_timeout_rate + api_error_rate must not exceed 1"
+            )
+        storage = (
+            self.torn_write_rate
+            + self.corrupt_write_rate
+            + self.fsync_failure_rate
+        )
+        if storage > 1.0:
+            raise ValueError("storage fault rates must not sum past 1")
+
+    # -- activity ----------------------------------------------------------
+
+    @property
+    def rates(self) -> Dict[str, float]:
+        """Every ``*_rate`` field by name (parameters like the quota-race
+        fraction are excluded)."""
+        return {
+            config_field.name: float(getattr(self, config_field.name))
+            for config_field in dataclasses.fields(self)
+            if config_field.name.endswith("_rate")
+        }
+
+    @property
+    def api_active(self) -> bool:
+        return (
+            self.api_timeout_rate + self.api_error_rate + self.quota_race_rate
+            > 0.0
+        )
+
+    @property
+    def measure_active(self) -> bool:
+        return (
+            self.reply_loss_rate
+            + self.probe_disconnect_rate
+            + self.trace_truncation_rate
+            > 0.0
+        )
+
+    @property
+    def storage_active(self) -> bool:
+        return (
+            self.torn_write_rate
+            + self.corrupt_write_rate
+            + self.fsync_failure_rate
+            > 0.0
+        )
+
+    @property
+    def active(self) -> bool:
+        """Whether any fault class can fire.  An inactive config is
+        treated exactly like no fault injection at all."""
+        return self.api_active or self.measure_active or self.storage_active
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FaultConfig":
+        """Build a config from a plain mapping, rejecting unknown keys."""
+        known = {config_field.name for config_field in dataclasses.fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(f"unknown fault config keys: {', '.join(unknown)}")
+        return cls(**{key: float(value) for key, value in payload.items()})
+
+
+def load_fault_config(path: PathLike) -> FaultConfig:
+    """Load a :class:`FaultConfig` from a JSON file of rate overrides."""
+    with open(Path(path), "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path}: fault config must be a JSON object")
+    return FaultConfig.from_dict(payload)
+
+
+def fault_digest(config: FaultConfig) -> str:
+    """A stable hex digest of a fault config.
+
+    Journaled in the ``begin`` entry of fault-injected runs and checked
+    on resume, so a faulted campaign can only be continued under the
+    exact fault schedule that started it.
+    """
+    return dataclass_digest(config)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry budget, backoff shape, and circuit-breaker thresholds.
+
+    Backoff is *virtual*: nothing sleeps.  The would-be wait after each
+    failed attempt is computed deterministically (exponential growth
+    with seeded jitter) and accounted in the run journal, which keeps
+    every campaign unit a pure function of (seed, config, unit id) --
+    the repro determinism rules (DET001) forbid wall-clock reads in the
+    measurement core.
+    """
+
+    #: Execution attempts per unit before it is journaled as skipped.
+    max_attempts: int = 3
+    #: Virtual wait after the first failed attempt, milliseconds.
+    backoff_base_ms: float = 500.0
+    #: Growth factor between consecutive backoffs.
+    backoff_multiplier: float = 2.0
+    #: Symmetric jitter fraction: each wait is scaled by a seeded draw
+    #: from ``[1 - jitter, 1 + jitter]``.
+    backoff_jitter: float = 0.1
+    #: Consecutive unit failures on one platform that open its breaker.
+    breaker_threshold: int = 3
+    #: Units skipped outright while a platform's breaker is open.
+    breaker_cooldown_units: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_base_ms < 0.0:
+            raise ValueError("backoff_base_ms must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be >= 1")
+        if not 0.0 <= self.backoff_jitter < 1.0:
+            raise ValueError("backoff_jitter must be in [0, 1)")
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
+        if self.breaker_cooldown_units < 1:
+            raise ValueError("breaker_cooldown_units must be >= 1")
+
+    def backoff_ms(self, attempt: int, rng: np.random.Generator) -> float:
+        """The virtual wait after failed attempt ``attempt`` (0-based).
+
+        ``rng`` must be the per-(unit, attempt) jitter stream from
+        :meth:`~repro.faults.plan.FaultPlan.backoff_rng` so the full
+        backoff schedule is seed-reproducible.
+        """
+        delay = self.backoff_base_ms * self.backoff_multiplier**attempt
+        if self.backoff_jitter > 0.0:
+            delay *= 1.0 + self.backoff_jitter * (2.0 * float(rng.random()) - 1.0)
+        return round(delay, 3)

@@ -1,0 +1,37 @@
+"""The injected-fault taxonomy.
+
+Every failure raised by :mod:`repro.faults` derives from
+:class:`InjectedFault`, so the resilient campaign runner can tell a
+deterministic, retryable injection apart from a genuine bug: the retry
+machinery catches :class:`InjectedFault` (plus shard corruption surfaced
+as :class:`~repro.store.format.ShardFormatError` by post-write
+verification) and never a broad ``Exception`` -- anything else
+propagates and fails the run loudly.
+"""
+
+from __future__ import annotations
+
+
+class InjectedFault(RuntimeError):
+    """Base class of every deterministically injected failure."""
+
+
+class PlatformTimeout(InjectedFault):
+    """A platform API call timed out (the commercial API stalling)."""
+
+
+class PlatformError(InjectedFault):
+    """A platform API call failed with an HTTP-5xx-style server error."""
+
+
+class StorageFault(InjectedFault):
+    """Base class of injected shard-write failures."""
+
+
+class TornWrite(StorageFault):
+    """A shard write stopped partway: only a prefix reached the disk."""
+
+
+class FsyncFailure(StorageFault):
+    """The shard's fsync failed: bytes were written but durability is
+    unknown, so the writer must treat the shard as lost."""

@@ -1,0 +1,316 @@
+"""Fault-injecting wrappers around the platform, engine, and file layers.
+
+Each wrapper delegates to a real object and consults the per-attempt
+fault generators in an :class:`~repro.faults.plan.AttemptFaults` before
+(or after) the real operation:
+
+- :class:`FaultySpeedchecker` / :class:`FaultyAtlas` fail platform API
+  calls with timeouts, HTTP-5xx-style errors, and mid-unit quota races;
+- :class:`FaultyEngine` loses ping replies, disconnects a probe
+  mid-batch, and truncates traceroutes;
+- :class:`FaultyFileOps` tears shard writes, flips bytes, and fails
+  fsyncs.
+
+Every fired fault appends a human-readable event to the attempt's log so
+the resilient runner can journal exactly what happened.  All draws come
+from the attempt's forked generators -- the schedule is a pure function
+of (seed, unit, attempt, config), never of wall-clock or call order
+across units.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.faults.errors import FsyncFailure, PlatformError, PlatformTimeout, TornWrite
+from repro.faults.plan import AttemptFaults
+from repro.measure.batch import PingRequest, TraceRequest
+from repro.measure.engine import BatchEngine
+from repro.measure.results import PingBlock, TracerouteMeasurement
+from repro.platforms.probe import Probe
+from repro.platforms.protocols import AtlasLike, SpeedcheckerLike
+from repro.platforms.speedchecker import VPSnapshot
+from repro.store.fileops import FileOps
+
+
+def _draw_api_fault(faults: AttemptFaults, platform: str, operation: str) -> None:
+    """One API-fault draw; raises if the call should fail."""
+    config = faults.config
+    if config.api_timeout_rate + config.api_error_rate <= 0.0:
+        return
+    draw = float(faults.api.random())
+    if draw < config.api_timeout_rate:
+        faults.record(f"api-timeout:{operation}")
+        raise PlatformTimeout(f"{platform}: {operation} timed out")
+    if draw < config.api_timeout_rate + config.api_error_rate:
+        faults.record(f"api-error:{operation}")
+        raise PlatformError(f"{platform}: {operation} returned HTTP 503")
+
+
+class FaultySpeedchecker:
+    """A Speedchecker platform whose API calls can fail.
+
+    Structurally a :class:`~repro.platforms.protocols.SpeedcheckerLike`.
+    Inventory queries (``countries`` etc.) are pure local bookkeeping
+    and pass straight through; the remote-API-shaped operations --
+    snapshots and probe selection -- draw for timeout/error faults, and
+    quota charging can lose a race against a simulated concurrent
+    consumer that drains part of the remaining budget.
+    """
+
+    def __init__(self, inner: SpeedcheckerLike, faults: AttemptFaults) -> None:
+        self._inner = inner
+        self._faults = faults
+        self._race_checked = False
+
+    @property
+    def name(self) -> str:
+        return self._inner.name
+
+    # -- pure passthrough --------------------------------------------------
+
+    def countries(self) -> List[str]:
+        return self._inner.countries()
+
+    def countries_with_at_least(self, minimum: int) -> List[str]:
+        return self._inner.countries_with_at_least(minimum)
+
+    def connected_in_country(
+        self, iso: str, snapshot: VPSnapshot
+    ) -> List[Probe]:
+        return self._inner.connected_in_country(iso, snapshot)
+
+    @property
+    def daily_quota(self) -> int:
+        return self._inner.daily_quota
+
+    @property
+    def remaining_quota(self) -> int:
+        return self._inner.remaining_quota
+
+    def refresh_quota(self) -> None:
+        self._inner.refresh_quota()
+
+    # -- faulted API calls -------------------------------------------------
+
+    def snapshot(
+        self, day: int, hour: int, rng: Optional[np.random.Generator] = None
+    ) -> VPSnapshot:
+        _draw_api_fault(self._faults, self.name, "snapshot")
+        return self._inner.snapshot(day, hour, rng=rng)
+
+    def select_probes(
+        self,
+        iso: str,
+        snapshot: VPSnapshot,
+        count: int,
+        pool: Optional[List[Probe]] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> List[Probe]:
+        _draw_api_fault(self._faults, self.name, "select_probes")
+        return self._inner.select_probes(iso, snapshot, count, pool=pool, rng=rng)
+
+    def _maybe_quota_race(self) -> None:
+        """At most once per attempt, a concurrent consumer may steal quota."""
+        if self._race_checked:
+            return
+        self._race_checked = True
+        config = self._faults.config
+        if config.quota_race_rate <= 0.0:
+            return
+        if float(self._faults.api.random()) >= config.quota_race_rate:
+            return
+        stolen = int(self._inner.remaining_quota * config.quota_race_fraction)
+        if stolen <= 0:
+            return
+        self._inner.charge(stolen)
+        self._faults.record(f"quota-race:{stolen}")
+
+    def charge(self, requests: int = 1) -> None:
+        self._maybe_quota_race()
+        self._inner.charge(requests)
+
+    def charge_up_to(self, requests: int) -> int:
+        self._maybe_quota_race()
+        return self._inner.charge_up_to(requests)
+
+
+class FaultyAtlas:
+    """An Atlas platform whose connected-set query can fail."""
+
+    def __init__(self, inner: AtlasLike, faults: AttemptFaults) -> None:
+        self._inner = inner
+        self._faults = faults
+
+    @property
+    def name(self) -> str:
+        return self._inner.name
+
+    def connected_probes(
+        self, rng: Optional[np.random.Generator] = None
+    ) -> List[Probe]:
+        _draw_api_fault(self._faults, self.name, "connected_probes")
+        return self._inner.connected_probes(rng=rng)
+
+
+class FaultyEngine:
+    """A batch engine with reply loss, probe disconnects, and truncation.
+
+    Structurally a :class:`~repro.measure.engine.BatchEngine`.  The
+    disconnect decision is made once per attempt, on the ping batch: the
+    victim probe keeps only the pings issued before the disconnect and
+    loses all of its traceroutes (a disconnected device answers
+    nothing).  Reply loss and trace truncation are per-request draws
+    from the measurement fault stream.
+    """
+
+    def __init__(self, inner: BatchEngine, faults: AttemptFaults) -> None:
+        self._inner = inner
+        self._faults = faults
+        self._disconnect_decided = False
+        self._disconnect_victim: Optional[str] = None
+        self._disconnect_after = 0
+
+    def _decide_disconnect(self, requests: Sequence[PingRequest]) -> None:
+        """One disconnect draw per attempt, over the ping batch."""
+        if self._disconnect_decided:
+            return
+        self._disconnect_decided = True
+        config = self._faults.config
+        if config.probe_disconnect_rate <= 0.0 or not requests:
+            return
+        if float(self._faults.measure.random()) >= config.probe_disconnect_rate:
+            return
+        probe_ids = sorted({request.probe.probe_id for request in requests})
+        victim = probe_ids[int(self._faults.measure.integers(len(probe_ids)))]
+        owned = sum(
+            1 for request in requests if request.probe.probe_id == victim
+        )
+        self._disconnect_victim = victim
+        self._disconnect_after = int(self._faults.measure.integers(owned))
+        self._faults.record(
+            f"probe-disconnect:{victim}@{self._disconnect_after}"
+        )
+
+    def _surviving_pings(
+        self, requests: List[PingRequest]
+    ) -> List[PingRequest]:
+        if self._disconnect_victim is None:
+            return requests
+        kept: List[PingRequest] = []
+        seen_of_victim = 0
+        for request in requests:
+            if request.probe.probe_id == self._disconnect_victim:
+                if seen_of_victim >= self._disconnect_after:
+                    continue
+                seen_of_victim += 1
+            kept.append(request)
+        return kept
+
+    def ping_batch(
+        self,
+        requests: Sequence[PingRequest],
+        rng: Optional[np.random.Generator] = None,
+    ) -> PingBlock:
+        batch = list(requests)
+        self._decide_disconnect(batch)
+        batch = self._surviving_pings(batch)
+        config = self._faults.config
+        if config.reply_loss_rate > 0.0 and batch:
+            draws = self._faults.measure.random(len(batch))
+            lost = int(np.count_nonzero(draws < config.reply_loss_rate))
+            if lost:
+                batch = [
+                    request
+                    for request, draw in zip(batch, draws)
+                    if draw >= config.reply_loss_rate
+                ]
+                self._faults.record(f"reply-loss:{lost}")
+        return self._inner.ping_batch(batch, rng=rng)
+
+    def traceroute_batch(
+        self,
+        requests: Sequence[TraceRequest],
+        rng: Optional[np.random.Generator] = None,
+    ) -> List[TracerouteMeasurement]:
+        batch = list(requests)
+        if self._disconnect_victim is not None:
+            survivors = [
+                request
+                for request in batch
+                if request.probe.probe_id != self._disconnect_victim
+            ]
+            if len(survivors) != len(batch):
+                self._faults.record(
+                    f"trace-drop:{len(batch) - len(survivors)}"
+                )
+            batch = survivors
+        records = self._inner.traceroute_batch(batch, rng=rng)
+        config = self._faults.config
+        if config.trace_truncation_rate > 0.0 and records:
+            draws = self._faults.measure.random(len(records))
+            truncated = 0
+            for index, record in enumerate(records):
+                if draws[index] >= config.trace_truncation_rate:
+                    continue
+                hops = record.hops
+                if len(hops) <= 1:
+                    continue
+                keep = 1 + int(self._faults.measure.integers(len(hops) - 1))
+                records[index] = dataclasses.replace(
+                    record, hops=hops[:keep]
+                )
+                truncated += 1
+            if truncated:
+                self._faults.record(f"trace-truncated:{truncated}")
+        return records
+
+
+class FaultyFileOps(FileOps):
+    """Shard file operations that can tear, corrupt, or fail fsync.
+
+    One storage draw per shard write decides its fate: a *torn write*
+    leaves an unsynced prefix on disk and raises; a *corrupt write*
+    flips one byte and returns silently (only the post-write CRC
+    verification catches it); an *fsync failure* writes everything but
+    raises before durability is guaranteed.
+    """
+
+    def __init__(self, faults: AttemptFaults) -> None:
+        self._faults = faults
+
+    def write_bytes(self, path: Path, payload: bytes) -> None:
+        config = self._faults.config
+        total = (
+            config.torn_write_rate
+            + config.corrupt_write_rate
+            + config.fsync_failure_rate
+        )
+        if total <= 0.0 or not payload:
+            super().write_bytes(path, payload)
+            return
+        draw = float(self._faults.storage.random())
+        if draw < config.torn_write_rate:
+            cut = int(self._faults.storage.integers(len(payload)))
+            with open(path, "wb") as fh:
+                fh.write(payload[:cut])
+            self._faults.record(f"torn-write:{path.name}@{cut}")
+            raise TornWrite(f"{path}: write torn at byte {cut}")
+        if draw < config.torn_write_rate + config.corrupt_write_rate:
+            index = int(self._faults.storage.integers(len(payload)))
+            corrupted = bytearray(payload)
+            corrupted[index] ^= 0xFF
+            super().write_bytes(path, bytes(corrupted))
+            self._faults.record(f"corrupt-write:{path.name}@{index}")
+            return
+        if draw < total:
+            with open(path, "wb") as fh:
+                fh.write(payload)
+                fh.flush()
+            self._faults.record(f"fsync-failure:{path.name}")
+            raise FsyncFailure(f"{path}: fsync failed after write")
+        super().write_bytes(path, payload)

@@ -1,0 +1,82 @@
+"""Deterministic fault schedules.
+
+A :class:`FaultPlan` turns ``(seed, FaultConfig)`` into per-(unit,
+attempt) fault draws, following the same forked-stream discipline as the
+checkpointed campaign scheduler in :mod:`repro.measure.campaign`: every
+channel of every attempt owns a generator derived from
+``RngStreams(seed).fork``, so
+
+- the full fault schedule is a pure function of seed + config,
+- retrying a unit re-draws its faults (attempt ``k`` and ``k + 1`` are
+  independent streams, so a retried timeout can succeed), and
+- units never share fault randomness, whatever the execution order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.core.rng import RngStreams
+from repro.faults.config import FaultConfig
+
+
+@dataclass
+class AttemptFaults:
+    """The fault context of one execution attempt of one unit.
+
+    Carries one independent generator per fault channel (API,
+    measurement, storage) plus the event log the injectors append to as
+    faults fire -- the resilient runner journals those events so
+    coverage accounting can name exactly what happened to a unit.
+    """
+
+    config: FaultConfig
+    api: np.random.Generator
+    measure: np.random.Generator
+    storage: np.random.Generator
+    #: Human-readable events in firing order, e.g.
+    #: ``api-timeout:snapshot``, ``reply-loss:12``, ``torn-write:...``.
+    events: List[str] = field(default_factory=list)
+
+    def record(self, event: str) -> None:
+        self.events.append(event)
+
+
+class FaultPlan:
+    """Seeded factory of per-(unit, attempt) fault draws."""
+
+    def __init__(self, seed: int, config: FaultConfig) -> None:
+        self._rngs = RngStreams(seed)
+        self._config = config
+
+    @property
+    def seed(self) -> int:
+        return self._rngs.seed
+
+    @property
+    def config(self) -> FaultConfig:
+        return self._config
+
+    @property
+    def active(self) -> bool:
+        return self._config.active
+
+    def attempt(self, unit: str, attempt: int) -> AttemptFaults:
+        """Fresh fault generators for attempt ``attempt`` of ``unit``."""
+        index = int(attempt)
+        return AttemptFaults(
+            config=self._config,
+            api=self._rngs.fork(f"faults.api.{unit}", index),
+            measure=self._rngs.fork(f"faults.measure.{unit}", index),
+            storage=self._rngs.fork(f"faults.storage.{unit}", index),
+        )
+
+    def backoff_rng(self, unit: str, attempt: int) -> np.random.Generator:
+        """The jitter stream for the backoff after attempt ``attempt``."""
+        return self._rngs.fork(f"faults.backoff.{unit}", int(attempt))
+
+    def __repr__(self) -> str:
+        return f"FaultPlan(seed={self.seed}, active={self.active})"

@@ -2,6 +2,6 @@
 
 from __future__ import annotations
 
-from repro.lint.rules import determinism, frozen, parity, rng
+from repro.lint.rules import determinism, frozen, parity, rng, robustness
 
-__all__ = ["determinism", "frozen", "parity", "rng"]
+__all__ = ["determinism", "frozen", "parity", "rng", "robustness"]

@@ -1,8 +1,9 @@
 """Determinism-hazard rules (``DET001``-``DET002``).
 
-Scoped to the measurement core (``repro/measure``, ``repro/core``) and
-the dataset warehouse (``repro/store``): these are the modules whose
-outputs feed the paper's figures -- and, for the store, whose bytes the
+Scoped to the measurement core (``repro/measure``, ``repro/core``), the
+dataset warehouse (``repro/store``) and the fault-injection layer
+(``repro/faults``): these are the modules whose outputs feed the paper's
+figures -- and, for the store and the fault schedules, whose bytes the
 crash-resume equivalence guarantee covers -- so any wall-clock read,
 OS-entropy read, or unordered-container iteration there silently breaks
 the same-seed-same-dataset guarantee the longitudinal comparisons
@@ -41,7 +42,12 @@ WALL_CLOCK_CALLS = frozenset(
 )
 
 #: Where the determinism rules apply.
-CORE_PATHS = ("repro/measure/*", "repro/core/*", "repro/store/*")
+CORE_PATHS = (
+    "repro/measure/*",
+    "repro/core/*",
+    "repro/store/*",
+    "repro/faults/*",
+)
 
 
 @register_rule

@@ -1,0 +1,76 @@
+"""Robustness rules (``ROB001``).
+
+A resilient runner is only trustworthy if failures stay *visible*: the
+retry machinery catches the narrow, typed exceptions it knows how to
+handle and everything else propagates.  A bare ``except:`` or a broad
+``except Exception:`` whose body swallows the error (``pass``, or a
+docstring-only body) hides genuine bugs as if they were transient
+faults, so production code in ``repro`` must not contain one.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.engine import LintContext, Rule, register_rule
+
+#: Exception names considered too broad to silently swallow.
+BROAD_EXCEPTIONS = frozenset({"Exception", "BaseException"})
+
+
+@register_rule
+class ExceptionSwallowRule(Rule):
+    """No bare ``except:`` and no silently-swallowed broad excepts."""
+
+    rule_id = "ROB001"
+    name = "exception-swallow"
+    summary = (
+        "no bare except: anywhere in repro, and no except Exception: "
+        "whose body only passes; catch the specific exceptions a "
+        "handler can actually recover from"
+    )
+    path_patterns = ("repro/*",)
+    node_types = (ast.ExceptHandler,)
+
+    def visit(self, node: ast.AST, ctx: LintContext) -> None:
+        assert isinstance(node, ast.ExceptHandler)
+        if ctx.is_test_file:
+            return
+        if node.type is None:
+            ctx.report(
+                self,
+                node,
+                "bare except: catches everything including KeyboardInterrupt; "
+                "name the exceptions this handler can recover from",
+            )
+            return
+        if self._catches_broad(node.type) and self._swallows(node.body):
+            ctx.report(
+                self,
+                node,
+                "except Exception with a body that only passes swallows "
+                "genuine bugs; catch specific exceptions or handle the "
+                "error",
+            )
+
+    def _catches_broad(self, node: ast.AST) -> bool:
+        """Whether the except clause names ``Exception``/``BaseException``."""
+        if isinstance(node, ast.Name):
+            return node.id in BROAD_EXCEPTIONS
+        if isinstance(node, ast.Attribute):
+            return node.attr in BROAD_EXCEPTIONS
+        if isinstance(node, ast.Tuple):
+            return any(self._catches_broad(item) for item in node.elts)
+        return False
+
+    def _swallows(self, body: "list[ast.stmt]") -> bool:
+        """Whether a handler body does nothing with the error."""
+        for statement in body:
+            if isinstance(statement, ast.Pass):
+                continue
+            if isinstance(statement, ast.Expr) and isinstance(
+                statement.value, ast.Constant
+            ):
+                continue
+            return False
+        return True

@@ -32,19 +32,24 @@ import numpy as np
 
 from repro.cloud.regions import CloudRegion
 from repro.core.config import config_digest
+from repro.faults.config import FaultConfig, RetryPolicy, fault_digest
+from repro.faults.injectors import FaultyAtlas, FaultyEngine, FaultySpeedchecker
+from repro.faults.plan import AttemptFaults, FaultPlan
 from repro.geo.continents import INTERCONTINENTAL_TARGETS, Continent
 from repro.measure.batch import PingRequest, TraceRequest
-from repro.measure.engine import MeasurementEngine
+from repro.measure.engine import BatchEngine, MeasurementEngine
 from repro.measure.path import PathPlanner
+from repro.measure.resilience import UnitResult, execute_plan
 from repro.measure.results import (
     MeasurementDataset,
-    PingBlock,
     Protocol,
     TraceBlock,
     TracerouteMeasurement,
     trace_block_from_records,
 )
 from repro.platforms.probe import Probe, city_key_for
+from repro.platforms.protocols import AtlasLike, SpeedcheckerLike
+from repro.platforms.speedchecker import QuotaExhausted
 from repro.store.warehouse import DatasetStore, StoreError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -354,12 +359,20 @@ def _trace_block(
 
 
 def _speedchecker_unit(
-    world: "World", engine: MeasurementEngine, day: int
-) -> Tuple[PingBlock, TraceBlock]:
-    """Execute one Speedchecker day from per-unit RNG streams."""
+    world: "World",
+    engine: BatchEngine,
+    day: int,
+    platform: Optional[SpeedcheckerLike] = None,
+) -> UnitResult:
+    """Execute one Speedchecker day from per-unit RNG streams.
+
+    ``engine`` and ``platform`` default to the world's own objects; the
+    resilient runner substitutes fault-injecting wrappers.
+    """
     config = world.config
     campaign = config.campaign
-    platform = world.speedchecker
+    if platform is None:
+        platform = world.speedchecker
     rngs = world.rngs
 
     min_probes = config.scaled(
@@ -388,7 +401,10 @@ def _speedchecker_unit(
     sched_rng = rngs.fork("checkpoint.speedchecker.schedule", day)
     budget = min(rate_cap, platform.remaining_quota)
     requests: List[PingRequest] = []
-    traces: List[TraceRequest] = []
+    # Each traceroute is tagged with the index of the ping it rides
+    # with, so quota degradation below can keep exactly the traceroutes
+    # whose ping was actually issued.
+    traces: List[Tuple[int, TraceRequest]] = []
     for iso in todays:
         if len(requests) >= budget:
             break
@@ -414,27 +430,52 @@ def _speedchecker_unit(
                 )
                 if sched_rng.random() < campaign.traceroute_share:
                     traces.append(
-                        TraceRequest(
-                            probe=probe,
-                            region=region,
-                            protocol=Protocol.ICMP,
-                            day=day,
+                        (
+                            len(requests) - 1,
+                            TraceRequest(
+                                probe=probe,
+                                region=region,
+                                protocol=Protocol.ICMP,
+                                day=day,
+                            ),
                         )
                     )
+    scheduled = len(requests)
+    issued = scheduled
     if requests:
-        platform.charge(len(requests))
+        try:
+            platform.charge(scheduled)
+        except QuotaExhausted:
+            # The budget was drained between scheduling and charging (a
+            # concurrent consumer of the shared commercial quota): issue
+            # the prefix the remaining budget still covers instead of
+            # losing the unit.  The shortfall surfaces as a partial unit
+            # in the journal -- a half-populated unit must never go
+            # uncounted.
+            issued = platform.charge_up_to(scheduled)
+    issued_requests = requests[:issued]
+    issued_traces = [trace for index, trace in traces if index < issued]
     engine_rng = rngs.fork("checkpoint.speedchecker.engine", day)
-    ping_block = engine.ping_batch(requests, rng=engine_rng)
-    records = engine.traceroute_batch(traces, rng=engine_rng)
-    return ping_block, _trace_block(traces, records)
+    ping_block = engine.ping_batch(issued_requests, rng=engine_rng)
+    records = engine.traceroute_batch(issued_traces, rng=engine_rng)
+    return UnitResult(
+        ping_block=ping_block,
+        trace_block=_trace_block(issued_traces, records),
+        scheduled_pings=scheduled,
+        scheduled_traceroutes=len(traces),
+    )
 
 
 def _atlas_unit(
-    world: "World", engine: MeasurementEngine, day: int
-) -> Tuple[PingBlock, TraceBlock]:
+    world: "World",
+    engine: BatchEngine,
+    day: int,
+    platform: Optional[AtlasLike] = None,
+) -> UnitResult:
     """Execute one Atlas day from per-unit RNG streams."""
     campaign = world.config.campaign
-    platform = world.atlas
+    if platform is None:
+        platform = world.atlas
     rngs = world.rngs
 
     connected = platform.connected_probes(
@@ -469,7 +510,12 @@ def _atlas_unit(
         if draw < campaign.traceroute_share
     ]
     records = engine.traceroute_batch(traces, rng=engine_rng)
-    return ping_block, _trace_block(traces, records)
+    return UnitResult(
+        ping_block=ping_block,
+        trace_block=_trace_block(traces, records),
+        scheduled_pings=len(requests),
+        scheduled_traceroutes=len(traces),
+    )
 
 
 def run_campaign_checkpointed(
@@ -478,6 +524,8 @@ def run_campaign_checkpointed(
     days: Optional[int] = None,
     platforms: Sequence[str] = CHECKPOINT_PLATFORMS,
     max_units: Optional[int] = None,
+    faults: Optional[FaultConfig] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> DatasetStore:
     """Run a campaign with per-unit checkpointing into a dataset store.
 
@@ -490,11 +538,18 @@ def run_campaign_checkpointed(
     ``max_units`` stops after that many *newly executed* units -- the
     hook the crash-resume tests use to interrupt a run at a precise
     point without killing the process.
+
+    ``faults`` enables deterministic fault injection (see
+    :mod:`repro.faults`); ``retry`` tunes the resilient executor's
+    budgets.  An inactive (all-zero) fault config is byte-identical to
+    passing ``None``: units run on the fault-free fast path and journal
+    the exact entries this function has always written.
     """
     config = world.config
     total_days = days if days is not None else config.campaign.days
     units = plan_units(total_days, list(platforms))
     digest = config_digest(config)
+    fault_config = faults if faults is not None and faults.active else None
 
     store = DatasetStore.open_or_create(
         Path(run_dir),
@@ -504,7 +559,7 @@ def run_campaign_checkpointed(
         source="campaign",
     )
     begin = store.journal.begin_entry()
-    plan = {
+    plan: Dict[str, object] = {
         "seed": config.seed,
         "config_hash": digest,
         "scale": config.scale,
@@ -512,6 +567,8 @@ def run_campaign_checkpointed(
         "platforms": list(platforms),
         "units": units,
     }
+    if fault_config is not None:
+        plan["fault_digest"] = fault_digest(fault_config)
     if begin is None:
         store.begin_run(plan)
     else:
@@ -521,29 +578,55 @@ def run_campaign_checkpointed(
                     f"{store.run_dir}: cannot resume -- journal records "
                     f"{key}={begin.get(key)!r}, current run has {plan[key]!r}"
                 )
+        if begin.get("fault_digest") != plan.get("fault_digest"):
+            raise StoreError(
+                f"{store.run_dir}: cannot resume -- journal records "
+                f"fault_digest={begin.get('fault_digest')!r}, current run "
+                f"has {plan.get('fault_digest')!r}"
+            )
 
-    completed = set(store.completed_units())
+    # Skipped units are closed too: resume must not retry a unit the
+    # resilient executor already gave up on (repair re-opens them).
+    completed = set(store.completed_units()) | set(store.skipped_units())
     engine = _checkpoint_engine(world)
-    executed = 0
+    fault_plan = (
+        FaultPlan(config.seed, fault_config) if fault_config is not None else None
+    )
+
+    def _execute(
+        unit: str, day: int, ctx: Optional[AttemptFaults]
+    ) -> UnitResult:
+        platform_name = unit.split(":")[0]
+        unit_engine: BatchEngine = engine
+        if platform_name == "speedchecker":
+            speedchecker: SpeedcheckerLike = world.speedchecker
+            if ctx is not None:
+                speedchecker = FaultySpeedchecker(speedchecker, ctx)
+                unit_engine = FaultyEngine(engine, ctx)
+            return _speedchecker_unit(
+                world, unit_engine, day, platform=speedchecker
+            )
+        atlas: AtlasLike = world.atlas
+        if ctx is not None:
+            atlas = FaultyAtlas(atlas, ctx)
+            unit_engine = FaultyEngine(engine, ctx)
+        return _atlas_unit(world, unit_engine, day, platform=atlas)
+
     # As in run_campaign: bulk record allocation with no reference
     # cycles, so suspend the collector for the duration.
     was_enabled = gc.isenabled()
     if was_enabled:
         gc.disable()
     try:
-        for unit in units:
-            if unit in completed:
-                continue
-            if max_units is not None and executed >= max_units:
-                break
-            platform_name, day_text = unit.split(":")
-            day = int(day_text)
-            if platform_name == "speedchecker":
-                ping_block, trace_block = _speedchecker_unit(world, engine, day)
-            else:
-                ping_block, trace_block = _atlas_unit(world, engine, day)
-            store.flush_unit(unit, ping_block=ping_block, trace_block=trace_block)
-            executed += 1
+        execute_plan(
+            store,
+            units,
+            completed,
+            _execute,
+            plan=fault_plan,
+            retry=retry,
+            max_units=max_units,
+        )
     finally:
         if was_enabled:
             gc.enable()
@@ -554,23 +637,52 @@ def resume_campaign(
     world: "World",
     run_dir: PathLike,
     max_units: Optional[int] = None,
+    faults: Optional[FaultConfig] = None,
+    retry: Optional[RetryPolicy] = None,
+    verify: bool = True,
+    repair: bool = False,
 ) -> DatasetStore:
     """Resume an interrupted checkpointed campaign from its journal.
 
     The day count and platform list come from the journal's ``begin``
     entry; the world must be built from the same seed and configuration
     (enforced via the journaled config hash).
+
+    With ``verify=True`` (the default) every journaled shard is
+    re-checksummed first.  Corruption makes the resume *refuse*, naming
+    every bad unit -- unless ``repair=True``, which quarantines the
+    corrupt units (journal entries dropped, shards unlinked) so they
+    deterministically re-run along with the pending ones.  A journal
+    corrupted mid-file (not a torn tail) always refuses with
+    :class:`~repro.store.journal.JournalError`.
     """
     store = DatasetStore.open(Path(run_dir))
     begin = store.journal.begin_entry()
     if begin is None:
         raise StoreError(f"{store.run_dir}: no begun campaign to resume")
+    if verify:
+        report = store.verify_report()
+        bad_units = sorted(
+            unit_report["unit"]
+            for unit_report in report["units"]
+            if unit_report["status"] != "ok"
+        )
+        if bad_units:
+            if not repair:
+                raise StoreError(
+                    f"{store.run_dir}: refusing to resume -- corrupt "
+                    f"units: {', '.join(bad_units)} (pass repair=True to "
+                    "quarantine and re-run them)"
+                )
+            store.quarantine_units(bad_units)
     return run_campaign_checkpointed(
         world,
         run_dir,
         days=int(begin["days"]),
         platforms=tuple(begin["platforms"]),
         max_units=max_units,
+        faults=faults,
+        retry=retry,
     )
 
 

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import typing
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -36,6 +37,28 @@ from repro.platforms.probe import CITY_CELL_DEGREES, Probe, city_key_for  # noqa
 #: hold one model object per probe x access medium forever.  Eviction is
 #: FIFO: the oldest entry is dropped once the bound is hit.
 LASTMILE_CACHE_MAX = 65_536
+
+
+class BatchEngine(typing.Protocol):
+    """The batch-execution surface campaign units depend on.
+
+    Structural, so the resilient runner can hand units either a real
+    :class:`MeasurementEngine` or a fault-injecting wrapper
+    (:class:`repro.faults.injectors.FaultyEngine`) without the unit code
+    knowing the difference.
+    """
+
+    def ping_batch(
+        self,
+        requests: Sequence[PingRequest],
+        rng: Optional[np.random.Generator] = None,
+    ) -> PingBlock: ...
+
+    def traceroute_batch(
+        self,
+        requests: Sequence[TraceRequest],
+        rng: Optional[np.random.Generator] = None,
+    ) -> List[TracerouteMeasurement]: ...
 
 
 class MeasurementEngine:

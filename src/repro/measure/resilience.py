@@ -1,0 +1,255 @@
+"""The resilient campaign executor: retries, breakers, degradation.
+
+:func:`execute_plan` drives a checkpointed campaign's unit list through
+an executor callback under a :class:`~repro.faults.config.RetryPolicy`:
+
+- **Retry with virtual backoff.**  A unit that fails with an
+  :class:`~repro.faults.errors.InjectedFault` (or post-write shard
+  corruption) is retried up to ``max_attempts`` times.  Each retry
+  re-draws the unit's faults from the next attempt's forked streams, so
+  a transient timeout can succeed on retry.  Nothing ever sleeps: the
+  exponential backoff that a live system would wait out is computed from
+  seeded jitter streams and *accounted* in the journal instead
+  (``backoff_ms``), keeping every unit a pure function of (seed, config,
+  unit id).
+- **Per-platform circuit breaker.**  ``breaker_threshold`` consecutive
+  unit failures on one platform open its breaker; the next
+  ``breaker_cooldown_units`` units of that platform are skipped outright
+  (journaled, charged no attempts), then one probe unit is allowed
+  through half-open.
+- **Graceful degradation.**  A unit that completes with fewer
+  measurements than scheduled (quota race, probe disconnect, reply
+  loss) is journaled with ``"status": "partial"`` plus its scheduled
+  counts; a unit that exhausts its retry budget is journaled as a
+  ``skip`` entry with the terminal failure.  Either way the journal
+  accounts for every planned unit -- :meth:`DatasetStore.coverage`
+  reconciles exactly.
+
+Only injected faults and shard corruption are retried.  Any other
+exception is a genuine bug and propagates unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Set
+
+from repro.faults.config import RetryPolicy
+from repro.faults.errors import InjectedFault
+from repro.faults.plan import AttemptFaults, FaultPlan
+from repro.measure.results import PingBlock, TraceBlock
+from repro.store.format import ShardFormatError
+from repro.store.warehouse import DatasetStore
+
+#: Executes one unit: ``(unit_id, day, faults) -> UnitResult``.  The
+#: faults argument is ``None`` on the fault-free fast path.
+UnitExecutor = Callable[[str, int, Optional[AttemptFaults]], "UnitResult"]
+
+
+@dataclass
+class UnitResult:
+    """One executed unit's blocks plus its scheduled-work accounting."""
+
+    ping_block: PingBlock
+    trace_block: TraceBlock
+    #: Ping requests the scheduler assembled (before degradation).
+    scheduled_pings: int
+    #: Traceroute requests the scheduler assembled.
+    scheduled_traceroutes: int
+
+    @property
+    def partial(self) -> bool:
+        """Whether degradation lost some of the scheduled measurements."""
+        return (
+            len(self.ping_block) < self.scheduled_pings
+            or len(self.trace_block) < self.scheduled_traceroutes
+        )
+
+
+class CircuitBreaker:
+    """A consecutive-failure breaker for one platform.
+
+    ``threshold`` consecutive failures open the breaker; while open,
+    :meth:`allow` rejects ``cooldown`` units, then goes half-open and
+    lets one unit probe the platform.  A half-open failure reopens
+    immediately; any success closes and resets the count.
+    """
+
+    def __init__(self, threshold: int, cooldown: int) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        if cooldown < 1:
+            raise ValueError(f"cooldown must be >= 1, got {cooldown}")
+        self._threshold = threshold
+        self._cooldown = cooldown
+        self._failures = 0
+        self._state = "closed"
+        self._cooldown_left = 0
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    def allow(self) -> bool:
+        """Whether the next unit on this platform may execute."""
+        if self._state != "open":
+            return True
+        self._cooldown_left -= 1
+        if self._cooldown_left <= 0:
+            self._state = "half-open"
+        return False
+
+    def record_success(self) -> None:
+        self._failures = 0
+        self._state = "closed"
+
+    def record_failure(self) -> None:
+        self._failures += 1
+        if self._state == "half-open" or self._failures >= self._threshold:
+            self._state = "open"
+            self._cooldown_left = self._cooldown
+
+
+def _unit_extra(
+    result: UnitResult,
+    events: List[str],
+    attempts: int,
+    backoff_ms: float,
+) -> Optional[Dict[str, object]]:
+    """Resilience accounting to merge into a unit's journal entry.
+
+    Returns ``None`` when there is nothing to record -- a clean
+    first-attempt unit journals the exact entry a fault-free run writes,
+    which is what keeps the all-rates-zero path byte-identical.
+    """
+    extra: Dict[str, object] = {}
+    if result.partial:
+        extra["status"] = "partial"
+        extra["scheduled_pings"] = result.scheduled_pings
+        extra["scheduled_traceroutes"] = result.scheduled_traceroutes
+    if attempts > 1:
+        extra["attempts"] = attempts
+    if backoff_ms:
+        extra["backoff_ms"] = round(backoff_ms, 3)
+    if events:
+        extra["faults"] = list(events)
+    return extra or None
+
+
+def _run_unit(
+    store: DatasetStore,
+    unit: str,
+    day: int,
+    execute: UnitExecutor,
+    plan: Optional[FaultPlan],
+    policy: RetryPolicy,
+) -> bool:
+    """Execute one unit to completion, retrying injected faults.
+
+    Returns ``True`` if the unit was journaled as complete (possibly
+    partial), ``False`` if it exhausted its retry budget and was
+    journaled as skipped.
+    """
+    if plan is None:
+        clean = execute(unit, day, None)
+        entry = store.write_unit_shards(
+            unit, ping_block=clean.ping_block, trace_block=clean.trace_block
+        )
+        store.journal_unit(entry, extra=_unit_extra(clean, [], 1, 0.0))
+        return True
+
+    from repro.faults.injectors import FaultyFileOps
+
+    events: List[str] = []
+    total_backoff = 0.0
+    result: Optional[UnitResult] = None
+    failure = "unknown"
+    for attempt in range(policy.max_attempts):
+        faults = plan.attempt(unit, attempt)
+        try:
+            # A successful execution whose *write* then faulted is not
+            # re-executed: the blocks are kept and only the storage step
+            # is retried, like a real runner holding results in memory.
+            if result is None:
+                result = execute(unit, day, faults)
+            fileops = (
+                FaultyFileOps(faults) if faults.config.storage_active else None
+            )
+            entry = store.write_unit_shards(
+                unit,
+                ping_block=result.ping_block,
+                trace_block=result.trace_block,
+                fileops=fileops,
+            )
+            if fileops is not None:
+                store.verify_unit_shards(entry)
+        except (InjectedFault, ShardFormatError) as exc:
+            failure = f"{type(exc).__name__}: {exc}"
+            events.extend(faults.events)
+            if attempt + 1 < policy.max_attempts:
+                total_backoff += policy.backoff_ms(
+                    attempt, plan.backoff_rng(unit, attempt)
+                )
+            continue
+        events.extend(faults.events)
+        store.journal_unit(
+            entry,
+            extra=_unit_extra(result, events, attempt + 1, total_backoff),
+        )
+        return True
+    store.journal_skip(
+        unit,
+        reason=failure,
+        attempts=policy.max_attempts,
+        backoff_ms=total_backoff,
+        faults=events,
+    )
+    return False
+
+
+def execute_plan(
+    store: DatasetStore,
+    units: Iterable[str],
+    completed: Set[str],
+    execute: UnitExecutor,
+    plan: Optional[FaultPlan] = None,
+    retry: Optional[RetryPolicy] = None,
+    max_units: Optional[int] = None,
+) -> int:
+    """Drive a unit list through the resilient executor.
+
+    ``completed`` units are skipped silently (the resume path);
+    ``max_units`` bounds the number of units *processed* this call
+    (executed, degraded, or breaker-skipped), the interruption hook the
+    crash-resume tests use.  Returns the processed count.
+    """
+    policy = retry if retry is not None else RetryPolicy()
+    breakers: Dict[str, CircuitBreaker] = {}
+    processed = 0
+    for unit in units:
+        if unit in completed:
+            continue
+        if max_units is not None and processed >= max_units:
+            break
+        platform = unit.split(":")[0]
+        if plan is not None:
+            breaker = breakers.setdefault(
+                platform,
+                CircuitBreaker(
+                    policy.breaker_threshold, policy.breaker_cooldown_units
+                ),
+            )
+            if not breaker.allow():
+                store.journal_skip(unit, reason="circuit-open", attempts=0)
+                processed += 1
+                continue
+            if _run_unit(store, unit, int(unit.split(":")[1]), execute, plan, policy):
+                breaker.record_success()
+            else:
+                breaker.record_failure()
+        else:
+            _run_unit(
+                store, unit, int(unit.split(":")[1]), execute, None, policy
+            )
+        processed += 1
+    return processed

@@ -3,11 +3,15 @@
 from repro.platforms.atlas import AtlasPlatform
 from repro.platforms.deployment import deploy_probes
 from repro.platforms.probe import Probe
-from repro.platforms.speedchecker import SpeedcheckerPlatform
+from repro.platforms.protocols import AtlasLike, SpeedcheckerLike
+from repro.platforms.speedchecker import QuotaExhausted, SpeedcheckerPlatform
 
 __all__ = [
+    "AtlasLike",
     "AtlasPlatform",
     "Probe",
+    "QuotaExhausted",
+    "SpeedcheckerLike",
     "SpeedcheckerPlatform",
     "deploy_probes",
 ]

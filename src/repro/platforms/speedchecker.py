@@ -177,6 +177,20 @@ class SpeedcheckerPlatform:
             )
         self._used_today += requests
 
+    def charge_up_to(self, requests: int) -> int:
+        """Charge as many of ``requests`` as the budget allows.
+
+        Returns the number actually granted (possibly zero).  Campaign
+        units use this to degrade gracefully when the quota runs out
+        mid-unit -- the granted prefix is kept and journaled as partial
+        instead of losing the whole unit.
+        """
+        if requests < 0:
+            raise ValueError("requests must be non-negative")
+        granted = min(requests, self.remaining_quota)
+        self._used_today += granted
+        return granted
+
     def refresh_quota(self) -> None:
         """Reset the daily budget (called at each simulated midnight)."""
         self._used_today = 0

@@ -6,7 +6,14 @@ lazily -- see ``docs/STORAGE.md`` for the format and the resume
 semantics, and ``python -m repro.store --help`` for the CLI.
 """
 
-from repro.store.format import ShardFormatError, read_columns, verify_shard, write_shard
+from repro.store.fileops import DEFAULT_FILEOPS, FileOps
+from repro.store.format import (
+    ShardFormatError,
+    read_columns,
+    verify_shard,
+    verify_shard_report,
+    write_shard,
+)
 from repro.store.journal import JournalError, RunJournal
 from repro.store.shards import (
     read_ping_shard,
@@ -15,10 +22,18 @@ from repro.store.shards import (
     write_trace_shard,
 )
 from repro.store.view import StoredDataset
-from repro.store.warehouse import DatasetStore, StoreError
+from repro.store.warehouse import (
+    Coverage,
+    DatasetStore,
+    StoreError,
+    report_problems,
+)
 
 __all__ = [
+    "Coverage",
+    "DEFAULT_FILEOPS",
     "DatasetStore",
+    "FileOps",
     "JournalError",
     "RunJournal",
     "ShardFormatError",
@@ -27,7 +42,9 @@ __all__ = [
     "read_columns",
     "read_ping_shard",
     "read_trace_shard",
+    "report_problems",
     "verify_shard",
+    "verify_shard_report",
     "write_ping_shard",
     "write_trace_shard",
     "write_shard",

@@ -17,6 +17,7 @@ memmap-fast.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections import defaultdict
 from pathlib import Path
@@ -29,7 +30,7 @@ from repro.measure.results import (
     ping_block_from_records,
     trace_block_from_records,
 )
-from repro.store.warehouse import DatasetStore, StoreError
+from repro.store.warehouse import DatasetStore, StoreError, report_problems
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -46,6 +47,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "verify", help="checksum every shard and cross-check the journal"
     )
     verify.add_argument("run_dir", help="store run directory")
+    verify.add_argument(
+        "--json",
+        dest="as_json",
+        action="store_true",
+        help="emit the full per-shard report as JSON",
+    )
 
     export = subparsers.add_parser(
         "export-jsonl", help="export a store as line-delimited JSON"
@@ -85,6 +92,12 @@ def _command_info(args: argparse.Namespace) -> int:
         print(f"progress:    {len(entries)}/{planned} units complete")
     else:
         print(f"units:       {len(entries)}")
+    coverage = store.coverage()
+    if coverage.partial or coverage.skipped:
+        print(
+            f"coverage:    {coverage.completed} complete, "
+            f"{coverage.partial} partial, {coverage.skipped} skipped"
+        )
     print(f"shards:      {len(shard_files)} files, {total_bytes} bytes")
     print(
         f"contents:    {store.ping_count} pings "
@@ -96,7 +109,11 @@ def _command_info(args: argparse.Namespace) -> int:
 
 def _command_verify(args: argparse.Namespace) -> int:
     store = DatasetStore.open(args.run_dir)
-    problems = store.verify()
+    report = store.verify_report()
+    if args.as_json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0 if report["ok"] else 1
+    problems = report_problems(report)
     units = len(store.unit_entries())
     if problems:
         for problem in problems:
@@ -107,6 +124,13 @@ def _command_verify(args: argparse.Namespace) -> int:
         f"OK {units} unit(s), {store.ping_count} pings, "
         f"{store.traceroute_count} traceroutes"
     )
+    coverage = store.coverage()
+    if coverage.partial or coverage.skipped or coverage.pending:
+        print(
+            f"coverage: {coverage.completed} complete, "
+            f"{coverage.partial} partial, {coverage.skipped} skipped, "
+            f"{coverage.pending} pending of {coverage.planned} planned"
+        )
     return 0
 
 

@@ -1,0 +1,30 @@
+"""Pluggable file operations for shard writes.
+
+:func:`repro.store.format.write_shard` funnels its file I/O through a
+:class:`FileOps` object.  The default implementation is the plain
+write-then-fsync path the warehouse has always used; the fault-injection
+layer (:class:`repro.faults.injectors.FaultyFileOps`) substitutes one
+that can tear writes, flip bytes, or fail the fsync -- deterministically
+-- so the chaos harness exercises every storage recovery path without
+patching the operating system.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+
+class FileOps:
+    """Durable file primitives used by the shard writer."""
+
+    def write_bytes(self, path: Path, payload: bytes) -> None:
+        """Write ``payload`` to ``path`` and fsync before returning."""
+        with open(path, "wb") as fh:
+            fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+
+
+#: Shared default instance (stateless).
+DEFAULT_FILEOPS = FileOps()

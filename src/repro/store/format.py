@@ -29,13 +29,14 @@ lets the resume tests compare whole run directories bit-for-bit.
 from __future__ import annotations
 
 import json
-import os
 import struct
 import zlib
 from pathlib import Path
-from typing import Any, Dict, Mapping, Tuple, Union
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
+
+from repro.store.fileops import DEFAULT_FILEOPS, FileOps
 
 PathLike = Union[str, Path]
 
@@ -69,6 +70,7 @@ def write_shard(
     path: PathLike,
     columns: Mapping[str, np.ndarray],
     metadata: Mapping[str, Any],
+    fileops: Optional[FileOps] = None,
 ) -> Dict[str, Any]:
     """Write one shard file; returns the header that was written.
 
@@ -76,7 +78,9 @@ def write_shard(
     JSON-serializable mapping; the keys ``columns``, ``container`` and
     ``container_version`` are reserved.  The file is fsynced before
     returning so a journal entry written afterwards never references a
-    shard the OS could still lose.
+    shard the OS could still lose.  ``fileops`` substitutes the file
+    primitives (the fault-injection hook); the default is the plain
+    write-then-fsync path.
     """
     descriptors = []
     payloads = []
@@ -109,19 +113,22 @@ def write_shard(
     ).encode("utf-8")
 
     data_start = _align(_PREAMBLE_LEN + len(header_bytes))
-    path = Path(path)
-    with open(path, "wb") as fh:
-        fh.write(MAGIC)
-        fh.write(struct.pack("<IQ", CONTAINER_VERSION, len(header_bytes)))
-        fh.write(header_bytes)
-        fh.write(b"\0" * (data_start - _PREAMBLE_LEN - len(header_bytes)))
-        position = 0
-        for column_offset, blob in payloads:
-            fh.write(b"\0" * (column_offset - position))
-            fh.write(blob)
-            position = column_offset + len(blob)
-        fh.flush()
-        os.fsync(fh.fileno())
+    # The whole file image is assembled in memory and handed to the
+    # file-ops layer in one call, so a substituted FileOps sees (and can
+    # fault) the complete payload -- and the default path produces bytes
+    # identical to the historical streaming writer.
+    image = bytearray()
+    image += MAGIC
+    image += struct.pack("<IQ", CONTAINER_VERSION, len(header_bytes))
+    image += header_bytes
+    image += b"\0" * (data_start - _PREAMBLE_LEN - len(header_bytes))
+    position = 0
+    for column_offset, blob in payloads:
+        image += b"\0" * (column_offset - position)
+        image += blob
+        position = column_offset + len(blob)
+    ops = fileops if fileops is not None else DEFAULT_FILEOPS
+    ops.write_bytes(Path(path), bytes(image))
     return header
 
 
@@ -144,7 +151,7 @@ def read_header(path: PathLike) -> Tuple[Dict[str, Any], int]:
             raise ShardFormatError(f"{path}: truncated header")
         try:
             header = json.loads(header_bytes)
-        except json.JSONDecodeError as exc:
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
             raise ShardFormatError(f"{path}: corrupt header: {exc}") from exc
     return header, _align(_PREAMBLE_LEN + header_len)
 
@@ -185,23 +192,44 @@ def read_columns(
     return header, columns
 
 
-def verify_shard(path: PathLike) -> Dict[str, Any]:
-    """Re-checksum every column of a shard against its header.
+def verify_shard_report(path: PathLike) -> List[str]:
+    """Every integrity problem in one shard file (empty list = clean).
 
-    Returns the header on success; raises :class:`ShardFormatError`
-    naming the first corrupt column otherwise.
+    Unlike :func:`verify_shard` this never stops early: all truncated or
+    CRC-failing columns are listed, which is what lets
+    ``python -m repro.store verify`` report every corrupt shard in one
+    pass instead of bailing at the first.
     """
-    header, data_start = read_header(path)
+    try:
+        header, data_start = read_header(path)
+    except ShardFormatError as exc:
+        return [str(exc)]
+    problems: List[str] = []
     with open(path, "rb") as fh:
         for descriptor in header["columns"]:
             fh.seek(data_start + descriptor["offset"])
             blob = fh.read(descriptor["nbytes"])
             if len(blob) != descriptor["nbytes"]:
-                raise ShardFormatError(
+                problems.append(
                     f"{path}: column {descriptor['name']!r} is truncated"
                 )
+                continue
             if zlib.crc32(blob) != descriptor["crc32"]:
-                raise ShardFormatError(
+                problems.append(
                     f"{path}: column {descriptor['name']!r} fails its CRC32"
                 )
+    return problems
+
+
+def verify_shard(path: PathLike) -> Dict[str, Any]:
+    """Re-checksum every column of a shard against its header.
+
+    Returns the header on success; raises :class:`ShardFormatError`
+    naming the first problem otherwise.  Use
+    :func:`verify_shard_report` to collect *all* problems at once.
+    """
+    problems = verify_shard_report(path)
+    if problems:
+        raise ShardFormatError(problems[0])
+    header, _ = read_header(path)
     return header

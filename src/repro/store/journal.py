@@ -6,7 +6,13 @@ line is one JSON object with a ``type`` tag:
 - ``begin`` -- written once when a campaign starts: master seed, config
   hash, scale, the planned day count, platform list and unit ids.
 - ``unit`` -- written after a unit's shards are durably on disk: the
-  unit id, shard file names, and record counts.
+  unit id, shard file names, and record counts (plus, for resilient
+  runs, the attempt count, accounted virtual backoff, fault events and
+  a ``partial`` status when degradation lost some scheduled requests).
+- ``skip`` -- written when the resilient runner gives a unit up: the
+  unit id, the reason (last failure or an open circuit breaker), and the
+  attempts spent.  Skipped units count against coverage, never silently
+  vanish.
 
 Shard writes happen *before* their journal entry (write-ahead on the
 data, not the log), so a crash at any instant leaves either a journaled
@@ -31,6 +37,7 @@ PathLike = Union[str, Path]
 #: ``type`` tags of journal entries.
 BEGIN_ENTRY = "begin"
 UNIT_ENTRY = "unit"
+SKIP_ENTRY = "skip"
 
 
 class JournalError(ValueError):
@@ -51,12 +58,24 @@ class RunJournal:
         return self._path.exists()
 
     def append(self, entry: Dict[str, Any]) -> None:
-        """Durably append one entry (flush + fsync before returning)."""
+        """Durably append one entry (flush + fsync before returning).
+
+        A torn trailing line left by a crash mid-append is truncated
+        away first -- reads already ignore it, but appending after it
+        without the trim would fuse the torn fragment and the new entry
+        into one corrupt line.
+        """
         if "type" not in entry:
             raise JournalError("journal entries must carry a 'type' tag")
         line = json.dumps(entry, sort_keys=True, separators=(",", ":"))
-        with open(self._path, "a", encoding="utf-8") as fh:
-            fh.write(line + "\n")
+        with open(self._path, "a+b") as fh:
+            size = fh.seek(0, os.SEEK_END)
+            if size:
+                fh.seek(size - 1)
+                if fh.read(1) != b"\n":
+                    fh.seek(0)
+                    fh.truncate(fh.read().rfind(b"\n") + 1)
+            fh.write((line + "\n").encode("utf-8"))
             fh.flush()
             os.fsync(fh.fileno())
 
@@ -112,6 +131,43 @@ class RunJournal:
                 seen.add(unit)
                 ordered.append(unit)
         return ordered
+
+    def skip_entries(self) -> List[Dict[str, Any]]:
+        """All ``skip`` (gave-up unit) entries, in journal order."""
+        return [e for e in self.entries() if e["type"] == SKIP_ENTRY]
+
+    def skipped_units(self) -> List[str]:
+        """Ids of journaled skipped units, deduplicated, in order."""
+        seen = set()
+        ordered: List[str] = []
+        for entry in self.skip_entries():
+            unit = entry["unit"]
+            if unit not in seen:
+                seen.add(unit)
+                ordered.append(unit)
+        return ordered
+
+    def rewrite(self, entries: List[Dict[str, Any]]) -> None:
+        """Atomically replace the journal's contents with ``entries``.
+
+        Used by store repair (quarantining corrupt units before a
+        re-run): the new journal is written to a temp file, fsynced, and
+        published with :func:`os.replace`, so a crash leaves either the
+        old journal or the new one -- never a half-written mix.
+        """
+        for entry in entries:
+            if "type" not in entry:
+                raise JournalError("journal entries must carry a 'type' tag")
+        tmp_path = self._path.with_suffix(self._path.suffix + ".tmp")
+        with open(tmp_path, "w", encoding="utf-8") as fh:
+            for entry in entries:
+                fh.write(
+                    json.dumps(entry, sort_keys=True, separators=(",", ":"))
+                    + "\n"
+                )
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_path, self._path)
 
     def __iter__(self) -> Iterator[Dict[str, Any]]:
         return iter(self.entries())

@@ -30,6 +30,7 @@ from repro.measure.results import (
     TraceBlock,
 )
 from repro.platforms.probe import Probe
+from repro.store.fileops import FileOps
 from repro.store.format import (
     PathLike,
     ShardFormatError,
@@ -111,21 +112,37 @@ def _tables_metadata(kind: str, block: Any, unit: str) -> Dict[str, Any]:
     }
 
 
-def write_ping_shard(path: PathLike, block: PingBlock, unit: str) -> Dict[str, Any]:
+def write_ping_shard(
+    path: PathLike,
+    block: PingBlock,
+    unit: str,
+    fileops: "FileOps | None" = None,
+) -> Dict[str, Any]:
     """Write one validated ping block as a shard file; returns the header."""
     block.validate()
     columns = {name: getattr(block, name) for name in PING_COLUMN_DTYPES}
-    return write_shard(path, columns, _tables_metadata(PING_SHARD_KIND, block, unit))
+    return write_shard(
+        path,
+        columns,
+        _tables_metadata(PING_SHARD_KIND, block, unit),
+        fileops=fileops,
+    )
 
 
 def write_trace_shard(
-    path: PathLike, block: TraceBlock, unit: str
+    path: PathLike,
+    block: TraceBlock,
+    unit: str,
+    fileops: "FileOps | None" = None,
 ) -> Dict[str, Any]:
     """Write one validated trace block as a shard file; returns the header."""
     block.validate()
     columns = {name: getattr(block, name) for name in TRACE_COLUMN_DTYPES}
     return write_shard(
-        path, columns, _tables_metadata(TRACE_SHARD_KIND, block, unit)
+        path,
+        columns,
+        _tables_metadata(TRACE_SHARD_KIND, block, unit),
+        fileops=fileops,
     )
 
 

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import json
 import os
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Union
 
@@ -37,8 +38,9 @@ from repro.measure.results import (
     PingBlock,
     TraceBlock,
 )
-from repro.store.format import ShardFormatError, verify_shard
-from repro.store.journal import BEGIN_ENTRY, UNIT_ENTRY, RunJournal
+from repro.store.fileops import FileOps
+from repro.store.format import ShardFormatError, verify_shard_report
+from repro.store.journal import BEGIN_ENTRY, SKIP_ENTRY, UNIT_ENTRY, RunJournal
 from repro.store.shards import (
     read_ping_shard,
     read_trace_shard,
@@ -66,6 +68,62 @@ def unit_file_stem(unit: str) -> str:
     """The shard file stem for a unit id (``speedchecker:003`` ->
     ``speedchecker-003``; colons are not portable in file names)."""
     return unit.replace(":", "-")
+
+
+@dataclass(frozen=True)
+class Coverage:
+    """Unit-level coverage accounting for one store.
+
+    ``planned`` comes from the ``begin`` entry's unit list (falling back
+    to the journaled unit count for imported stores); ``completed``
+    counts fully-populated units, ``partial`` those journaled with
+    degraded results (quota ran out, probes disconnected), ``skipped``
+    those the resilient runner gave up on.
+    """
+
+    planned: int
+    completed: int
+    partial: int
+    skipped: int
+
+    @property
+    def pending(self) -> int:
+        """Planned units not yet journaled either way."""
+        return max(0, self.planned - self.completed - self.partial - self.skipped)
+
+    @property
+    def measured_fraction(self) -> float:
+        """Fraction of planned units holding data (complete or partial)."""
+        if self.planned <= 0:
+            return 1.0
+        return (self.completed + self.partial) / self.planned
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "planned": self.planned,
+            "completed": self.completed,
+            "partial": self.partial,
+            "skipped": self.skipped,
+            "pending": self.pending,
+            "measured_fraction": round(self.measured_fraction, 6),
+        }
+
+
+def report_problems(report: Dict[str, Any]) -> List[str]:
+    """Flatten a :meth:`DatasetStore.verify_report` into problem strings.
+
+    Each string is ``"{unit}: {problem}"`` -- the exact format
+    :meth:`DatasetStore.verify` has always returned.
+    """
+    problems: List[str] = []
+    for unit_report in report["units"]:
+        unit = unit_report["unit"]
+        for shard_report in unit_report["shards"]:
+            for problem in shard_report["problems"]:
+                problems.append(f"{unit}: {problem}")
+        for problem in unit_report["problems"]:
+            problems.append(f"{unit}: {problem}")
+    return problems
 
 
 class DatasetStore:
@@ -177,17 +235,20 @@ class DatasetStore:
         entry["type"] = BEGIN_ENTRY
         self._journal.append(entry)
 
-    def flush_unit(
+    def write_unit_shards(
         self,
         unit: str,
         ping_block: Optional[PingBlock] = None,
         trace_block: Optional[TraceBlock] = None,
+        fileops: Optional[FileOps] = None,
     ) -> Dict[str, Any]:
-        """Durably persist one completed unit and journal it.
+        """Write (and fsync) one unit's shards; returns the journal entry
+        *without appending it*.
 
-        Shards are written (and fsynced) first; the journal entry is
-        appended only afterwards, so a crash at any point leaves the
-        store consistent.  Returns the journal entry.
+        The write half of :meth:`flush_unit`.  The resilient runner
+        splits the two so it can verify the shards (and retry a faulted
+        write) before anything is journaled.  ``fileops`` substitutes
+        the shard file primitives (the storage fault-injection hook).
         """
         if unit in self.completed_units():
             raise StoreError(f"{self._run_dir}: unit {unit!r} already completed")
@@ -202,15 +263,95 @@ class DatasetStore:
         }
         if ping_block is not None and len(ping_block):
             name = f"{stem}-pings.shard"
-            write_ping_shard(self.shard_dir / name, ping_block, unit)
+            write_ping_shard(
+                self.shard_dir / name, ping_block, unit, fileops=fileops
+            )
             entry["pings"] = len(ping_block)
             entry["ping_samples"] = ping_block.sample_count
             entry["shards"].append(name)
         if trace_block is not None and len(trace_block):
             name = f"{stem}-traces.shard"
-            write_trace_shard(self.shard_dir / name, trace_block, unit)
+            write_trace_shard(
+                self.shard_dir / name, trace_block, unit, fileops=fileops
+            )
             entry["traceroutes"] = len(trace_block)
             entry["shards"].append(name)
+        return entry
+
+    def verify_unit_shards(self, entry: Dict[str, Any]) -> None:
+        """Re-checksum the shards named by a pending unit entry.
+
+        Raises :class:`~repro.store.format.ShardFormatError` on the
+        first problem.  The resilient runner calls this between a
+        fault-injected write and the journal append, so a silently
+        corrupted shard is caught while the unit can still be retried.
+        """
+        for name in entry["shards"]:
+            problems = verify_shard_report(self.shard_dir / name)
+            if problems:
+                raise ShardFormatError(problems[0])
+
+    def journal_unit(
+        self, entry: Dict[str, Any], extra: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        """Append a pending unit entry (from :meth:`write_unit_shards`).
+
+        ``extra`` merges additional accounting into the entry before the
+        append -- attempt counts, virtual backoff, fault events, and the
+        ``"status": "partial"`` marker for degraded units.
+        """
+        unit = entry["unit"]
+        if unit in self.completed_units():
+            raise StoreError(f"{self._run_dir}: unit {unit!r} already completed")
+        if unit in self.skipped_units():
+            raise StoreError(f"{self._run_dir}: unit {unit!r} already skipped")
+        if extra:
+            entry = {**entry, **extra}
+        self._journal.append(entry)
+        return entry
+
+    def flush_unit(
+        self,
+        unit: str,
+        ping_block: Optional[PingBlock] = None,
+        trace_block: Optional[TraceBlock] = None,
+    ) -> Dict[str, Any]:
+        """Durably persist one completed unit and journal it.
+
+        Shards are written (and fsynced) first; the journal entry is
+        appended only afterwards, so a crash at any point leaves the
+        store consistent.  Returns the journal entry.
+        """
+        entry = self.write_unit_shards(unit, ping_block, trace_block)
+        return self.journal_unit(entry)
+
+    def journal_skip(
+        self,
+        unit: str,
+        reason: str,
+        attempts: int,
+        backoff_ms: float = 0.0,
+        faults: Optional[List[str]] = None,
+    ) -> Dict[str, Any]:
+        """Journal a unit the resilient runner gave up on.
+
+        A skipped unit is closed: it counts against coverage and resume
+        will not re-run it (use store repair to re-open units).
+        """
+        if unit in self.completed_units():
+            raise StoreError(f"{self._run_dir}: unit {unit!r} already completed")
+        if unit in self.skipped_units():
+            raise StoreError(f"{self._run_dir}: unit {unit!r} already skipped")
+        entry: Dict[str, Any] = {
+            "type": SKIP_ENTRY,
+            "unit": unit,
+            "reason": reason,
+            "attempts": attempts,
+        }
+        if backoff_ms:
+            entry["backoff_ms"] = round(backoff_ms, 3)
+        if faults:
+            entry["faults"] = list(faults)
         self._journal.append(entry)
         return entry
 
@@ -222,6 +363,33 @@ class DatasetStore:
 
     def unit_entries(self) -> List[Dict[str, Any]]:
         return self._journal.unit_entries()
+
+    def skipped_units(self) -> List[str]:
+        """Ids of units the resilient runner journaled as skipped."""
+        return self._journal.skipped_units()
+
+    def skip_entries(self) -> List[Dict[str, Any]]:
+        return self._journal.skip_entries()
+
+    def coverage(self) -> Coverage:
+        """Unit-level coverage accounting (planned/completed/partial/skipped)."""
+        unit_entries = self.unit_entries()
+        partial = sum(
+            1 for entry in unit_entries if entry.get("status") == "partial"
+        )
+        completed = len(self._journal.completed_units()) - partial
+        skipped = len(self.skipped_units())
+        begin = self._journal.begin_entry()
+        if begin is not None and "units" in begin:
+            planned = len(begin["units"])
+        else:
+            planned = completed + partial + skipped
+        return Coverage(
+            planned=planned,
+            completed=completed,
+            partial=partial,
+            skipped=skipped,
+        )
 
     def _shard_paths(self, suffix: str) -> List[Path]:
         paths = []
@@ -275,55 +443,135 @@ class DatasetStore:
 
     # -- integrity ---------------------------------------------------------
 
-    def verify(self) -> List[str]:
-        """Check the whole store; returns a list of problems (empty = ok).
+    def verify_report(self) -> Dict[str, Any]:
+        """Check the whole store; returns a structured per-shard report.
 
-        Verifies that every journaled shard exists, passes its per-column
-        CRC32s, decodes into a schema-valid block, and that decoded
-        counts match the journal's.
+        Every journaled shard is checked -- existence, per-column CRC32s,
+        decodability, and journal/shard count agreement -- and *all*
+        problems are collected, never just the first.  The report shape::
+
+            {"ok": bool,
+             "units": [{"unit": ..., "status": "ok"|"corrupt",
+                        "problems": [...],          # count mismatches
+                        "shards": [{"name": ..., "status":
+                                    "ok"|"missing"|"corrupt",
+                                    "problems": [...]}]}],
+             "coverage": {...}}
         """
-        problems: List[str] = []
+        units: List[Dict[str, Any]] = []
         for entry in self.unit_entries():
             unit = entry["unit"]
             counted_pings = 0
             counted_samples = 0
             counted_traces = 0
+            shard_reports: List[Dict[str, Any]] = []
             for name in entry["shards"]:
                 path = self.shard_dir / name
                 if not path.exists():
-                    problems.append(f"{unit}: missing shard {name}")
+                    shard_reports.append(
+                        {
+                            "name": name,
+                            "status": "missing",
+                            "problems": [f"missing shard {name}"],
+                        }
+                    )
                     continue
-                try:
-                    verify_shard(path)
-                except ShardFormatError as exc:
-                    problems.append(f"{unit}: {exc}")
-                    continue
-                try:
-                    if name.endswith("-pings.shard"):
-                        block = read_ping_shard(path)
-                        counted_pings += len(block)
-                        counted_samples += block.sample_count
-                    else:
-                        trace_block = read_trace_shard(path)
-                        counted_traces += len(trace_block)
-                except (ShardFormatError, TypeError, ValueError) as exc:
-                    problems.append(f"{unit}: {name} fails to decode: {exc}")
+                shard_problems = verify_shard_report(path)
+                if not shard_problems:
+                    try:
+                        if name.endswith("-pings.shard"):
+                            block = read_ping_shard(path)
+                            counted_pings += len(block)
+                            counted_samples += block.sample_count
+                        else:
+                            trace_block = read_trace_shard(path)
+                            counted_traces += len(trace_block)
+                    except (ShardFormatError, TypeError, ValueError) as exc:
+                        shard_problems.append(
+                            f"{name} fails to decode: {exc}"
+                        )
+                shard_reports.append(
+                    {
+                        "name": name,
+                        "status": "corrupt" if shard_problems else "ok",
+                        "problems": shard_problems,
+                    }
+                )
+            unit_problems: List[str] = []
             if counted_pings != entry["pings"]:
-                problems.append(
-                    f"{unit}: journal records {entry['pings']} pings, "
+                unit_problems.append(
+                    f"journal records {entry['pings']} pings, "
                     f"shards hold {counted_pings}"
                 )
             if counted_samples != entry["ping_samples"]:
-                problems.append(
-                    f"{unit}: journal records {entry['ping_samples']} ping "
+                unit_problems.append(
+                    f"journal records {entry['ping_samples']} ping "
                     f"samples, shards hold {counted_samples}"
                 )
             if counted_traces != entry["traceroutes"]:
-                problems.append(
-                    f"{unit}: journal records {entry['traceroutes']} "
+                unit_problems.append(
+                    f"journal records {entry['traceroutes']} "
                     f"traceroutes, shards hold {counted_traces}"
                 )
-        return problems
+            clean = not unit_problems and all(
+                shard["status"] == "ok" for shard in shard_reports
+            )
+            units.append(
+                {
+                    "unit": unit,
+                    "status": "ok" if clean else "corrupt",
+                    "problems": unit_problems,
+                    "shards": shard_reports,
+                }
+            )
+        return {
+            "ok": all(unit["status"] == "ok" for unit in units),
+            "units": units,
+            "coverage": self.coverage().as_dict(),
+        }
+
+    def verify(self) -> List[str]:
+        """Check the whole store; returns a list of problems (empty = ok).
+
+        The flat-string view of :meth:`verify_report`: every journaled
+        shard's existence, per-column CRC32s, decodability, and
+        journal/shard count agreement.
+        """
+        return report_problems(self.verify_report())
+
+    def quarantine_units(self, units: List[str]) -> List[str]:
+        """Drop the journal entries and shard files of corrupt units.
+
+        The journal is rewritten (atomically) *first*, then the orphaned
+        shard files are unlinked -- the same write-ahead discipline as
+        the forward path, so a crash mid-quarantine leaves at worst
+        unjournaled shard leftovers that the re-run overwrites.  Returns
+        the unit ids actually dropped.
+        """
+        doomed = set(units)
+        if not doomed:
+            return []
+        dropped: List[str] = []
+        kept: List[Dict[str, Any]] = []
+        shard_names: List[str] = []
+        for entry in self._journal.entries():
+            if (
+                entry["type"] in (UNIT_ENTRY, SKIP_ENTRY)
+                and entry["unit"] in doomed
+            ):
+                if entry["unit"] not in dropped:
+                    dropped.append(entry["unit"])
+                shard_names.extend(entry.get("shards", []))
+                continue
+            kept.append(entry)
+        if not dropped:
+            return []
+        self._journal.rewrite(kept)
+        for name in shard_names:
+            path = self.shard_dir / name
+            if path.exists():
+                path.unlink()
+        return dropped
 
     def __repr__(self) -> str:
         return (

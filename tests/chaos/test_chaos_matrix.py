@@ -1,0 +1,254 @@
+"""The chaos harness: campaigns under a sweep of fault regimes.
+
+Three guarantees, checked over a matrix of fault configurations:
+
+1. **Byte identity.**  With every fault rate zero the resilient runner
+   is invisible: the run directory is byte-identical to the pre-fault
+   golden digest, whether faults are disabled (``None``) or configured
+   at rate zero.
+2. **Integrity.**  Every faulted-then-recovered run passes
+   ``DatasetStore.verify`` and its coverage accounting reconciles
+   exactly: planned == completed + partial + skipped, nothing pending,
+   nothing double-counted.
+3. **Determinism.**  The same seed and fault config reproduce the same
+   fault schedule, the same journal, and the same dataset bytes.
+
+Units that recovered *without* any data-affecting fault must moreover
+hold shards byte-identical to the fault-free reference run -- retries
+and storage re-writes may never perturb clean data.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro import build_world
+from repro.faults import FaultConfig, RetryPolicy
+from repro.measure.campaign import run_campaign_checkpointed
+
+SEED = 11
+SCALE = 0.01
+DAYS = 2
+
+#: Whole-run-directory digest of the fault-free campaign above, pinned
+#: before the fault-injection subsystem existed.  If this test fails,
+#: the resilient runner has leaked into the fault-free path.
+GOLDEN = "682633313255c8a1df2a086e01f61b85675667b53c6d6d6f909d9a37f222db05"
+
+#: Fault events that legitimately change what data a unit holds.  Any
+#: other event (timeouts, torn writes, fsync failures) is recovered by
+#: retry and must leave the unit's shards byte-identical to a fault-free
+#: run.  ``corrupt-write`` is data-affecting because a flip landing in
+#: shard padding survives CRC verification by design.
+DATA_AFFECTING = (
+    "reply-loss:",
+    "probe-disconnect:",
+    "trace-drop:",
+    "trace-truncated:",
+    "quota-race:",
+    "corrupt-write:",
+)
+
+#: The fault matrix: one regime per fault family plus a kitchen sink.
+MATRIX = {
+    "api-timeout": FaultConfig(api_timeout_rate=0.35),
+    "api-error": FaultConfig(api_error_rate=0.35),
+    "quota-race": FaultConfig(quota_race_rate=1.0, quota_race_fraction=0.9),
+    "reply-loss": FaultConfig(reply_loss_rate=0.25),
+    "probe-disconnect": FaultConfig(probe_disconnect_rate=1.0),
+    "trace-truncation": FaultConfig(trace_truncation_rate=0.5),
+    "torn-write": FaultConfig(torn_write_rate=0.4),
+    "corrupt-write": FaultConfig(corrupt_write_rate=0.4),
+    "fsync-failure": FaultConfig(fsync_failure_rate=0.4),
+    "everything": FaultConfig(
+        api_timeout_rate=0.15,
+        api_error_rate=0.15,
+        quota_race_rate=0.3,
+        quota_race_fraction=0.5,
+        reply_loss_rate=0.1,
+        probe_disconnect_rate=0.3,
+        trace_truncation_rate=0.3,
+        torn_write_rate=0.15,
+        corrupt_write_rate=0.15,
+        fsync_failure_rate=0.1,
+    ),
+}
+
+RETRY = RetryPolicy(max_attempts=4)
+
+
+def run_digest(run_dir):
+    """One sha256 over every file (path and bytes) under a run dir."""
+    digest = hashlib.sha256()
+    for path in sorted(run_dir.rglob("*")):
+        if path.is_file():
+            digest.update(str(path.relative_to(run_dir)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def file_map(run_dir):
+    return {
+        path.relative_to(run_dir): path.read_bytes()
+        for path in sorted(run_dir.rglob("*"))
+        if path.is_file()
+    }
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world(seed=SEED, scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def reference(world, tmp_path_factory):
+    """The fault-free run every chaos run is compared against."""
+    run_dir = tmp_path_factory.mktemp("chaos") / "reference"
+    store = run_campaign_checkpointed(world, run_dir, days=DAYS)
+    return run_dir, store
+
+
+class TestByteIdentity:
+    def test_fault_free_run_is_byte_identical_to_golden(self, reference):
+        run_dir, _ = reference
+        assert run_digest(run_dir) == GOLDEN
+
+    def test_zero_rate_config_is_byte_identical_to_none(
+        self, world, reference, tmp_path
+    ):
+        """All-zero fault rates take the exact fault-free fast path."""
+        reference_dir, _ = reference
+        run_dir = tmp_path / "zero"
+        run_campaign_checkpointed(
+            world,
+            run_dir,
+            days=DAYS,
+            faults=FaultConfig(),
+            retry=RetryPolicy(),
+        )
+        assert file_map(run_dir) == file_map(reference_dir)
+        assert run_digest(run_dir) == GOLDEN
+
+
+def _clean_units(store):
+    """Unit entries untouched by any data-affecting fault."""
+    clean = []
+    for entry in store.unit_entries():
+        if entry.get("status") == "partial":
+            continue
+        events = entry.get("faults", [])
+        if any(e.startswith(DATA_AFFECTING) for e in events):
+            continue
+        clean.append(entry)
+    return clean
+
+
+@pytest.mark.parametrize("regime", sorted(MATRIX))
+class TestChaosMatrix:
+    def test_recovered_run_verifies_and_reconciles(
+        self, regime, world, reference, tmp_path
+    ):
+        _, reference_store = reference
+        run_dir = tmp_path / regime
+        store = run_campaign_checkpointed(
+            world, run_dir, days=DAYS, faults=MATRIX[regime], retry=RETRY
+        )
+
+        # 1. Integrity: every surviving shard checks out.
+        assert store.verify() == []
+
+        # 2. Coverage reconciles exactly against the plan.
+        coverage = store.coverage()
+        assert coverage.planned == len(reference_store.completed_units())
+        assert coverage.pending == 0
+        assert (
+            coverage.completed + coverage.partial + coverage.skipped
+            == coverage.planned
+        )
+
+        # 3. The journal agrees with the coverage arithmetic and never
+        # closes a unit twice.
+        completed = set(store.completed_units())
+        skipped = set(store.skipped_units())
+        assert completed.isdisjoint(skipped)
+        assert len(completed) == coverage.completed + coverage.partial
+        assert len(skipped) == coverage.skipped
+        for skip in store.skip_entries():
+            assert skip["reason"]
+            assert skip["attempts"] <= RETRY.max_attempts
+
+        # 4. This regime's rates are high enough that the deterministic
+        # schedule must actually inject something.
+        touched = any(
+            entry.get("faults")
+            or entry.get("attempts", 1) > 1
+            or entry.get("status") == "partial"
+            for entry in store.unit_entries()
+        )
+        assert touched or skipped
+
+        # 5. Units recovered without data-affecting faults hold shards
+        # byte-identical to the fault-free reference.
+        reference_entries = {
+            entry["unit"]: entry for entry in reference_store.unit_entries()
+        }
+        compared = 0
+        for entry in _clean_units(store):
+            expected = reference_entries[entry["unit"]]
+            assert entry["shards"] == expected["shards"]
+            assert entry["pings"] == expected["pings"]
+            assert entry["traceroutes"] == expected["traceroutes"]
+            for name in entry["shards"]:
+                assert (store.shard_dir / name).read_bytes() == (
+                    reference_store.shard_dir / name
+                ).read_bytes(), f"{regime}: {name} diverged"
+                compared += 1
+        # Regimes whose faults never alter data must actually exercise
+        # the byte comparison on every non-skipped unit.
+        if regime in ("api-timeout", "api-error", "torn-write", "fsync-failure"):
+            assert compared >= len(completed)
+            if not skipped:
+                assert compared > 0
+
+
+class TestChaosDeterminism:
+    def test_same_seed_and_config_reproduce_identical_runs(
+        self, world, tmp_path
+    ):
+        """The full kitchen-sink regime is bit-reproducible."""
+        maps = []
+        for name in ("first", "second"):
+            run_dir = tmp_path / name
+            run_campaign_checkpointed(
+                world,
+                run_dir,
+                days=DAYS,
+                faults=MATRIX["everything"],
+                retry=RETRY,
+            )
+            maps.append(file_map(run_dir))
+        assert maps[0] == maps[1]
+
+    def test_fault_schedule_is_seed_deterministic(self, world, tmp_path):
+        """Same config, same seed: identical journaled fault events."""
+        journals = []
+        for name in ("first", "second"):
+            run_dir = tmp_path / name
+            store = run_campaign_checkpointed(
+                world,
+                run_dir,
+                days=DAYS,
+                faults=MATRIX["torn-write"],
+                retry=RETRY,
+            )
+            journals.append(
+                [
+                    (e["unit"], e.get("faults"), e.get("attempts"))
+                    for e in store.unit_entries()
+                ]
+            )
+        assert journals[0] == journals[1]

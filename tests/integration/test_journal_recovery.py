@@ -1,0 +1,157 @@
+"""Recovery-from-corruption tests for the checkpointed campaign runner.
+
+Complements ``test_checkpoint_resume``: those tests prove a *clean*
+interrupted run resumes byte-identically; these prove the runner's
+behavior when the store itself is damaged -- a journal corrupted
+mid-file refuses loudly, a CRC-failing shard refuses by default, and
+``repair=True`` quarantines and deterministically re-runs the damaged
+units back to the uncorrupted reference bytes.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import build_world
+from repro.measure.campaign import resume_campaign, run_campaign_checkpointed
+from repro.store import DatasetStore, StoreError
+from repro.store.format import read_header
+from repro.store.journal import JournalError
+
+SEED = 11
+SCALE = 0.01
+DAYS = 2
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world(seed=SEED, scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def reference_run(world, tmp_path_factory):
+    """An undamaged reference run to compare recovered bytes against."""
+    run_dir = tmp_path_factory.mktemp("recovery") / "reference"
+    run_campaign_checkpointed(world, run_dir, days=DAYS)
+    return run_dir
+
+
+def _fresh_run(world, tmp_path):
+    run_dir = tmp_path / "run"
+    run_campaign_checkpointed(world, run_dir, days=DAYS)
+    return run_dir
+
+
+def _journal_lines(run_dir):
+    return (run_dir / "journal.jsonl").read_text().splitlines()
+
+
+def _file_map(run_dir):
+    return {
+        path.relative_to(run_dir): path.read_bytes()
+        for path in sorted(run_dir.rglob("*"))
+        if path.is_file()
+    }
+
+
+def _corrupt_shard_column(path):
+    """Flip one byte inside the first column payload (CRC-covered)."""
+    header, data_start = read_header(path)
+    offset = data_start + header["columns"][0]["offset"]
+    data = bytearray(path.read_bytes())
+    data[offset] ^= 0xFF
+    path.write_bytes(bytes(data))
+
+
+class TestJournalCorruption:
+    def test_multi_record_mid_journal_corruption_refuses(
+        self, world, tmp_path
+    ):
+        run_dir = _fresh_run(world, tmp_path)
+        lines = _journal_lines(run_dir)
+        assert len(lines) >= 4
+        # Garble two records in the middle -- real corruption, not a
+        # torn tail, so resume must refuse rather than guess.
+        lines[1] = lines[1][: len(lines[1]) // 2] + "\x00garbled"
+        lines[2] = "{not json at all"
+        (run_dir / "journal.jsonl").write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalError, match="corrupt journal line"):
+            resume_campaign(world, run_dir)
+
+    def test_untagged_mid_journal_record_refuses(self, world, tmp_path):
+        run_dir = _fresh_run(world, tmp_path)
+        lines = _journal_lines(run_dir)
+        lines[1] = json.dumps({"unit": "speedchecker:000"})
+        (run_dir / "journal.jsonl").write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalError, match="not a tagged object"):
+            resume_campaign(world, run_dir)
+
+    def test_torn_final_line_is_recovered(
+        self, world, tmp_path, reference_run
+    ):
+        """A crash mid-append leaves a torn tail; resume overwrites it."""
+        run_dir = tmp_path / "run"
+        run_campaign_checkpointed(world, run_dir, days=DAYS, max_units=3)
+        journal_path = run_dir / "journal.jsonl"
+        with open(journal_path, "a", encoding="utf-8") as fh:
+            fh.write('{"type":"unit","unit":"atlas:00')  # no newline
+        store = resume_campaign(world, run_dir)
+        assert store.verify() == []
+        assert _file_map(run_dir) == _file_map(reference_run)
+
+
+class TestShardCorruption:
+    def test_crc_mismatch_on_non_final_shard_refuses_by_default(
+        self, world, tmp_path
+    ):
+        run_dir = _fresh_run(world, tmp_path)
+        # Damage the *first* unit's shard: the corruption sits well
+        # before the journal tail, so only verification can find it.
+        _corrupt_shard_column(
+            run_dir / "shards" / "speedchecker-000-pings.shard"
+        )
+        with pytest.raises(StoreError, match="refusing to resume") as info:
+            resume_campaign(world, run_dir)
+        assert "speedchecker:000" in str(info.value)
+        assert "repair=True" in str(info.value)
+        # Without verification the corruption would go unnoticed -- the
+        # refusal must come from the verify pass, not a lucky crash.
+        store = DatasetStore.open(run_dir)
+        assert any("CRC32" in problem for problem in store.verify())
+
+    def test_repair_rerun_restores_reference_bytes(
+        self, world, tmp_path, reference_run
+    ):
+        run_dir = _fresh_run(world, tmp_path)
+        assert _file_map(run_dir) == _file_map(reference_run)
+        _corrupt_shard_column(
+            run_dir / "shards" / "speedchecker-000-pings.shard"
+        )
+        store = resume_campaign(world, run_dir, repair=True)
+        assert store.verify() == []
+        # The quarantined unit re-ran deterministically: every shard is
+        # byte-identical to the never-corrupted reference.
+        recovered = _file_map(run_dir)
+        reference = _file_map(reference_run)
+        shard_names = {p for p in reference if str(p).startswith("shards/")}
+        assert {p for p in recovered if str(p).startswith("shards/")} == (
+            shard_names
+        )
+        for name in sorted(shard_names):
+            assert recovered[name] == reference[name], name
+        # The journal holds the same entries; only their order differs,
+        # because the re-run appends the repaired unit at the end.
+        recovered_lines = sorted(_journal_lines(run_dir))
+        reference_lines = sorted(_journal_lines(reference_run))
+        assert recovered_lines == reference_lines
+
+    def test_repaired_store_resumes_to_full_coverage(self, world, tmp_path):
+        run_dir = _fresh_run(world, tmp_path)
+        _corrupt_shard_column(run_dir / "shards" / "atlas-001-traces.shard")
+        store = resume_campaign(world, run_dir, repair=True)
+        coverage = store.coverage()
+        assert coverage.pending == 0
+        assert coverage.skipped == 0
+        assert coverage.completed == coverage.planned

@@ -56,6 +56,7 @@ class TestRegistry:
             "DET002",
             "FRZ001",
             "PAR001",
+            "ROB001",
         } <= ids
 
     def test_select_and_ignore(self):
@@ -296,6 +297,87 @@ class TestBatchScalarParity:
     def test_functions_without_rng_exempt(self):
         src = "def classify(path):\n    return path.kind\n"
         assert lint_with("PAR001", src, filename=self.LATENCY_PATH) == []
+
+
+# -- ROB001: swallowed exceptions ---------------------------------------
+
+
+class TestExceptionSwallow:
+    def test_flags_bare_except(self):
+        src = (
+            "try:\n"
+            "    risky()\n"
+            "except:\n"
+            "    handle()\n"
+        )
+        violations = lint_with("ROB001", src)
+        assert rule_ids(violations) == ["ROB001"]
+        assert "bare except" in violations[0].message
+
+    def test_flags_swallowed_broad_except(self):
+        src = (
+            "try:\n"
+            "    risky()\n"
+            "except Exception:\n"
+            "    pass\n"
+        )
+        assert rule_ids(lint_with("ROB001", src)) == ["ROB001"]
+
+    def test_flags_swallowed_base_exception(self):
+        src = (
+            "try:\n"
+            "    risky()\n"
+            "except BaseException:\n"
+            "    '''tolerate anything'''\n"
+        )
+        assert rule_ids(lint_with("ROB001", src)) == ["ROB001"]
+
+    def test_flags_broad_member_of_tuple(self):
+        src = (
+            "try:\n"
+            "    risky()\n"
+            "except (ValueError, Exception):\n"
+            "    pass\n"
+        )
+        assert rule_ids(lint_with("ROB001", src)) == ["ROB001"]
+
+    def test_broad_except_that_handles_is_allowed(self):
+        src = (
+            "try:\n"
+            "    risky()\n"
+            "except Exception as exc:\n"
+            "    log(exc)\n"
+            "    raise\n"
+        )
+        assert lint_with("ROB001", src) == []
+
+    def test_narrow_except_pass_is_allowed(self):
+        src = (
+            "try:\n"
+            "    risky()\n"
+            "except ValueError:\n"
+            "    pass\n"
+        )
+        assert lint_with("ROB001", src) == []
+
+    def test_applies_across_repro_not_just_the_core(self):
+        src = "try:\n    risky()\nexcept:\n    pass\n"
+        assert rule_ids(
+            lint_with("ROB001", src, filename="src/repro/analysis/stats.py")
+        ) == ["ROB001"]
+
+    def test_test_files_exempt(self):
+        src = "try:\n    risky()\nexcept:\n    pass\n"
+        assert lint_with("ROB001", src, filename=TEST_PATH) == []
+
+    def test_suppression_comment(self):
+        src = (
+            "try:\n"
+            "    risky()\n"
+            "except Exception:  # repro-lint: disable=ROB001\n"
+            "    pass\n"
+        )
+        assert lint_with("ROB001", src) == []
 
 
 # -- suppression comments -----------------------------------------------

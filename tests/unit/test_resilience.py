@@ -1,0 +1,345 @@
+"""Unit tests for the resilient executor: breakers, retries, degradation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.scenario import build_world
+from repro.faults import (
+    FaultConfig,
+    FaultPlan,
+    FaultySpeedchecker,
+    PlatformTimeout,
+    RetryPolicy,
+)
+from repro.measure.campaign import _checkpoint_engine, _speedchecker_unit
+from repro.measure.resilience import CircuitBreaker, UnitResult, execute_plan
+from repro.measure.results import (
+    ping_block_from_records,
+    trace_block_from_records,
+)
+from repro.store import DatasetStore
+
+
+def _empty_result(scheduled_pings=0, scheduled_traceroutes=0):
+    return UnitResult(
+        ping_block=ping_block_from_records([]),
+        trace_block=trace_block_from_records([]),
+        scheduled_pings=scheduled_pings,
+        scheduled_traceroutes=scheduled_traceroutes,
+    )
+
+
+class TestCircuitBreaker:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(0, 1)
+        with pytest.raises(ValueError):
+            CircuitBreaker(1, 0)
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(threshold=2, cooldown=2)
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+
+    def test_success_resets_the_count(self):
+        breaker = CircuitBreaker(threshold=2, cooldown=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_cooldown_then_half_open_probe(self):
+        breaker = CircuitBreaker(threshold=1, cooldown=2)
+        breaker.record_failure()
+        assert breaker.state == "open"
+        # Two units are rejected during cooldown; the transition to
+        # half-open happens on the second rejection.
+        assert not breaker.allow()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.state == "half-open"
+        # The half-open probe is allowed through.
+        assert breaker.allow()
+
+    def test_half_open_failure_reopens(self):
+        breaker = CircuitBreaker(threshold=1, cooldown=1)
+        breaker.record_failure()
+        assert not breaker.allow()
+        assert breaker.state == "half-open"
+        breaker.record_failure()
+        assert breaker.state == "open"
+
+    def test_half_open_success_closes(self):
+        breaker = CircuitBreaker(threshold=1, cooldown=1)
+        breaker.record_failure()
+        assert not breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+
+class TestUnitResult:
+    def test_not_partial_when_counts_match(self):
+        assert not _empty_result().partial
+
+    def test_partial_when_pings_short(self):
+        assert _empty_result(scheduled_pings=3).partial
+
+    def test_partial_when_traceroutes_short(self):
+        assert _empty_result(scheduled_traceroutes=1).partial
+
+
+def _plan(config=None):
+    return FaultPlan(11, config if config is not None else FaultConfig())
+
+
+class TestExecutePlan:
+    def test_fast_path_journals_plain_entries(self, tmp_path):
+        store = DatasetStore.create(tmp_path / "run")
+        calls = []
+
+        def execute(unit, day, faults):
+            calls.append((unit, day, faults))
+            return _empty_result()
+
+        processed = execute_plan(
+            store, ["stub:000", "stub:001"], set(), execute
+        )
+        assert processed == 2
+        assert calls == [("stub:000", 0, None), ("stub:001", 1, None)]
+        entries = store.unit_entries()
+        assert [e["unit"] for e in entries] == ["stub:000", "stub:001"]
+        for entry in entries:
+            assert "status" not in entry
+            assert "attempts" not in entry
+            assert "faults" not in entry
+            assert "backoff_ms" not in entry
+
+    def test_completed_units_are_skipped_silently(self, tmp_path):
+        store = DatasetStore.create(tmp_path / "run")
+        calls = []
+
+        def execute(unit, day, faults):
+            calls.append(unit)
+            return _empty_result()
+
+        processed = execute_plan(
+            store, ["stub:000", "stub:001"], {"stub:000"}, execute
+        )
+        assert processed == 1
+        assert calls == ["stub:001"]
+
+    def test_max_units_bounds_processing(self, tmp_path):
+        store = DatasetStore.create(tmp_path / "run")
+        processed = execute_plan(
+            store,
+            ["stub:000", "stub:001", "stub:002"],
+            set(),
+            lambda unit, day, faults: _empty_result(),
+            max_units=2,
+        )
+        assert processed == 2
+        assert store.completed_units() == ["stub:000", "stub:001"]
+
+    def test_retry_then_success_accounts_attempts_and_backoff(self, tmp_path):
+        store = DatasetStore.create(tmp_path / "run")
+        attempts = []
+
+        def execute(unit, day, faults):
+            attempts.append(unit)
+            if len(attempts) == 1:
+                raise PlatformTimeout("speedchecker snapshot timed out")
+            return _empty_result()
+
+        processed = execute_plan(
+            store,
+            ["stub:000"],
+            set(),
+            execute,
+            plan=_plan(),
+            retry=RetryPolicy(max_attempts=3),
+        )
+        assert processed == 1
+        [entry] = store.unit_entries()
+        assert entry["attempts"] == 2
+        assert entry["backoff_ms"] > 0
+        assert store.skipped_units() == []
+
+    def test_exhausted_budget_journals_skip(self, tmp_path):
+        store = DatasetStore.create(tmp_path / "run")
+
+        def execute(unit, day, faults):
+            raise PlatformTimeout("speedchecker snapshot timed out")
+
+        processed = execute_plan(
+            store,
+            ["stub:000"],
+            set(),
+            execute,
+            plan=_plan(),
+            retry=RetryPolicy(max_attempts=2),
+        )
+        assert processed == 1
+        assert store.completed_units() == []
+        assert store.skipped_units() == ["stub:000"]
+        [skip] = store.skip_entries()
+        assert skip["reason"].startswith("PlatformTimeout")
+        assert skip["attempts"] == 2
+        assert skip["backoff_ms"] > 0
+
+    def test_breaker_skips_cooldown_units_then_probes(self, tmp_path):
+        store = DatasetStore.create(tmp_path / "run")
+        executed = []
+
+        def execute(unit, day, faults):
+            executed.append(unit)
+            if unit == "stub:000":
+                raise PlatformTimeout("down")
+            return _empty_result()
+
+        units = ["stub:000", "stub:001", "stub:002", "stub:003"]
+        processed = execute_plan(
+            store,
+            units,
+            set(),
+            execute,
+            plan=_plan(),
+            retry=RetryPolicy(
+                max_attempts=1, breaker_threshold=1, breaker_cooldown_units=2
+            ),
+        )
+        assert processed == 4
+        # Unit 0 fails and opens the breaker; 1 and 2 are rejected during
+        # cooldown; 3 is the half-open probe and succeeds.
+        assert executed == ["stub:000", "stub:003"]
+        assert store.completed_units() == ["stub:003"]
+        reasons = {e["unit"]: e["reason"] for e in store.skip_entries()}
+        assert reasons["stub:001"] == "circuit-open"
+        assert reasons["stub:002"] == "circuit-open"
+        assert reasons["stub:001"] == reasons["stub:002"]
+        assert store.skip_entries()[1]["attempts"] == 0
+
+    def test_breakers_are_per_platform(self, tmp_path):
+        store = DatasetStore.create(tmp_path / "run")
+
+        def execute(unit, day, faults):
+            if unit.startswith("flaky:"):
+                raise PlatformTimeout("down")
+            return _empty_result()
+
+        units = ["flaky:000", "other:000", "flaky:001", "other:001"]
+        execute_plan(
+            store,
+            units,
+            set(),
+            execute,
+            plan=_plan(),
+            retry=RetryPolicy(
+                max_attempts=1, breaker_threshold=1, breaker_cooldown_units=2
+            ),
+        )
+        # The flaky platform's breaker never touches the healthy one.
+        assert store.completed_units() == ["other:000", "other:001"]
+        assert store.skipped_units() == ["flaky:000", "flaky:001"]
+
+    def test_partial_result_is_journaled_with_scheduled_counts(self, tmp_path):
+        store = DatasetStore.create(tmp_path / "run")
+        execute_plan(
+            store,
+            ["stub:000"],
+            set(),
+            lambda unit, day, faults: _empty_result(scheduled_pings=5),
+            plan=_plan(),
+            retry=RetryPolicy(max_attempts=1),
+        )
+        [entry] = store.unit_entries()
+        assert entry["status"] == "partial"
+        assert entry["scheduled_pings"] == 5
+        assert entry["scheduled_traceroutes"] == 0
+        coverage = store.coverage()
+        assert coverage.partial == 1
+        assert coverage.completed == 0
+
+    def test_clean_faulted_run_matches_fast_path_entries(self, tmp_path):
+        """With a plan but no faults drawn, entries carry no extras."""
+        store = DatasetStore.create(tmp_path / "run")
+        execute_plan(
+            store,
+            ["stub:000"],
+            set(),
+            lambda unit, day, faults: _empty_result(),
+            plan=_plan(),
+            retry=RetryPolicy(max_attempts=3),
+        )
+        [entry] = store.unit_entries()
+        assert "status" not in entry
+        assert "attempts" not in entry
+        assert "backoff_ms" not in entry
+        assert "faults" not in entry
+
+
+@pytest.fixture(scope="module")
+def quota_world():
+    return build_world(seed=11, scale=0.01)
+
+
+class TestQuotaRaceRegression:
+    """Satellite fix: QuotaExhausted mid-unit degrades, never crashes."""
+
+    def test_mid_unit_quota_race_yields_partial_unit(self, quota_world):
+        world = quota_world
+        platform = world.speedchecker
+        original_quota = platform._daily_quota
+        try:
+            platform._daily_quota = 40
+            plan = FaultPlan(
+                world.config.seed,
+                FaultConfig(quota_race_rate=1.0, quota_race_fraction=0.5),
+            )
+            engine = _checkpoint_engine(world)
+            faults = plan.attempt("speedchecker:000", 0)
+            faulty = FaultySpeedchecker(platform, faults)
+            result = _speedchecker_unit(world, engine, 0, platform=faulty)
+            # The race stole half the remaining quota between scheduling
+            # and charging; the unit degrades to the issuable prefix.
+            assert result.partial
+            assert len(result.ping_block) < result.scheduled_pings
+            assert len(result.ping_block) > 0
+            assert len(result.trace_block) <= result.scheduled_traceroutes
+            assert any(
+                event.startswith("quota-race:") for event in faults.events
+            )
+        finally:
+            platform._daily_quota = original_quota
+            platform.refresh_quota()
+
+    def test_degraded_unit_is_deterministic(self, quota_world):
+        world = quota_world
+        platform = world.speedchecker
+        original_quota = platform._daily_quota
+        try:
+            platform._daily_quota = 40
+            config = FaultConfig(quota_race_rate=1.0, quota_race_fraction=0.5)
+            blocks = []
+            for _ in range(2):
+                plan = FaultPlan(world.config.seed, config)
+                engine = _checkpoint_engine(world)
+                faulty = FaultySpeedchecker(
+                    platform, plan.attempt("speedchecker:000", 0)
+                )
+                result = _speedchecker_unit(world, engine, 0, platform=faulty)
+                blocks.append(result)
+            first, second = blocks
+            assert len(first.ping_block) == len(second.ping_block)
+            np.testing.assert_array_equal(
+                first.ping_block.sample_values, second.ping_block.sample_values
+            )
+            assert first.scheduled_pings == second.scheduled_pings
+        finally:
+            platform._daily_quota = original_quota
+            platform.refresh_quota()

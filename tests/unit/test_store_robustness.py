@@ -1,0 +1,474 @@
+"""Robustness-layer tests for repro.store: structured verify, coverage,
+skip entries, journal rewrite, quarantine and the split flush API."""
+
+from __future__ import annotations
+
+import json
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.geo.continents import Continent
+from repro.lastmile.base import AccessKind
+from repro.measure.results import (
+    MeasurementMeta,
+    PingMeasurement,
+    Protocol,
+    TraceHop,
+    TracerouteMeasurement,
+    ping_block_from_records,
+    trace_block_from_records,
+)
+from repro.store import (
+    Coverage,
+    DatasetStore,
+    RunJournal,
+    ShardFormatError,
+    StoreError,
+    report_problems,
+    verify_shard_report,
+    write_shard,
+)
+from repro.store.cli import main as store_cli
+from repro.store.format import read_header
+from repro.store.journal import JournalError
+
+
+def _meta(probe_id="p0", day=0, platform="speedchecker"):
+    return MeasurementMeta(
+        probe_id=probe_id,
+        platform=platform,
+        country="DE",
+        continent=Continent.EU,
+        access=AccessKind.HOME_WIFI,
+        isp_asn=65001,
+        provider_code="aws",
+        region_id="eu-central-1",
+        region_country="DE",
+        region_continent=Continent.EU,
+        day=day,
+        city_key=(25, 4),
+    )
+
+
+def _ping(probe_id="p0", day=0, samples=(21.0, 22.5, 20.75)):
+    return PingMeasurement(
+        meta=_meta(probe_id, day), protocol=Protocol.TCP, samples=samples
+    )
+
+
+def _trace(probe_id="p0", day=0):
+    return TracerouteMeasurement(
+        meta=_meta(probe_id, day),
+        protocol=Protocol.ICMP,
+        source_address=167772161,
+        dest_address=167772999,
+        hops=(
+            TraceHop(address=167772162, rtt_ms=4.5),
+            TraceHop(address=167772999, rtt_ms=31.125),
+        ),
+    )
+
+
+def _unit_blocks(day=0, probes=("p0", "p1")):
+    pings = [_ping(p, day) for p in probes]
+    traces = [_trace(probes[0], day)]
+    return ping_block_from_records(pings), trace_block_from_records(traces)
+
+
+def _populated_store(tmp_path, units=("speedchecker:000", "speedchecker:001")):
+    store = DatasetStore.create(tmp_path / "run")
+    for index, unit in enumerate(units):
+        ping_block, trace_block = _unit_blocks(day=index)
+        store.flush_unit(unit, ping_block=ping_block, trace_block=trace_block)
+    return store
+
+
+def _corrupt_column(path, column_index=0, flip_at=0):
+    """Flip one byte inside a column payload (CRC-covered region)."""
+    header, data_start = read_header(path)
+    descriptor = header["columns"][column_index]
+    offset = data_start + descriptor["offset"] + flip_at
+    data = bytearray(path.read_bytes())
+    data[offset] ^= 0xFF
+    path.write_bytes(bytes(data))
+
+
+class TestVerifyShardReport:
+    def test_clean_shard_reports_nothing(self, tmp_path):
+        path = tmp_path / "x.shard"
+        write_shard(path, {"a": np.arange(8, dtype=np.int64)}, {"kind": "t"})
+        assert verify_shard_report(path) == []
+
+    def test_reports_every_corrupt_column_not_just_the_first(self, tmp_path):
+        path = tmp_path / "x.shard"
+        write_shard(
+            path,
+            {
+                "a": np.arange(16, dtype=np.int64),
+                "b": np.linspace(0.0, 1.0, 16),
+                "c": np.arange(16, dtype=np.uint32),
+            },
+            {"kind": "t"},
+        )
+        _corrupt_column(path, column_index=0)
+        _corrupt_column(path, column_index=2)
+        problems = verify_shard_report(path)
+        assert len(problems) == 2
+        assert any("'a'" in p and "CRC32" in p for p in problems)
+        assert any("'c'" in p and "CRC32" in p for p in problems)
+
+    def test_reports_truncated_column(self, tmp_path):
+        path = tmp_path / "x.shard"
+        write_shard(path, {"a": np.arange(64, dtype=np.int64)}, {"kind": "t"})
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 32])
+        problems = verify_shard_report(path)
+        assert problems == [f"{path}: column 'a' is truncated"]
+
+    def test_crc_matches_after_round_trip(self, tmp_path):
+        path = tmp_path / "x.shard"
+        header = write_shard(
+            path, {"a": np.arange(4, dtype=np.int64)}, {"kind": "t"}
+        )
+        _, data_start = read_header(path)
+        descriptor = header["columns"][0]
+        blob = path.read_bytes()[
+            data_start
+            + descriptor["offset"] : data_start
+            + descriptor["offset"]
+            + descriptor["nbytes"]
+        ]
+        assert zlib.crc32(blob) == descriptor["crc32"]
+
+
+class TestVerifyReport:
+    def test_clean_store_is_ok(self, tmp_path):
+        store = _populated_store(tmp_path)
+        report = store.verify_report()
+        assert report["ok"]
+        assert [u["status"] for u in report["units"]] == ["ok", "ok"]
+        assert all(
+            shard["status"] == "ok"
+            for unit in report["units"]
+            for shard in unit["shards"]
+        )
+        assert store.verify() == []
+
+    def test_reports_all_corrupt_units_before_exiting(self, tmp_path):
+        store = _populated_store(
+            tmp_path,
+            units=("speedchecker:000", "speedchecker:001", "atlas:000"),
+        )
+        _corrupt_column(store.shard_dir / "speedchecker-000-pings.shard")
+        _corrupt_column(store.shard_dir / "atlas-000-pings.shard")
+        report = store.verify_report()
+        assert not report["ok"]
+        statuses = {u["unit"]: u["status"] for u in report["units"]}
+        assert statuses == {
+            "speedchecker:000": "corrupt",
+            "speedchecker:001": "ok",
+            "atlas:000": "corrupt",
+        }
+        problems = store.verify()
+        assert any(
+            p.startswith("speedchecker:000: ") and "CRC32" in p
+            for p in problems
+        )
+        assert any(
+            p.startswith("atlas:000: ") and "CRC32" in p for p in problems
+        )
+        assert not any(p.startswith("speedchecker:001: ") for p in problems)
+
+    def test_missing_shard_is_reported(self, tmp_path):
+        store = _populated_store(tmp_path, units=("speedchecker:000",))
+        (store.shard_dir / "speedchecker-000-traces.shard").unlink()
+        report = store.verify_report()
+        assert not report["ok"]
+        [unit] = report["units"]
+        shard_statuses = {s["name"]: s["status"] for s in unit["shards"]}
+        assert shard_statuses["speedchecker-000-traces.shard"] == "missing"
+        assert shard_statuses["speedchecker-000-pings.shard"] == "ok"
+        assert (
+            "speedchecker:000: missing shard speedchecker-000-traces.shard"
+            in store.verify()
+        )
+
+    def test_count_mismatch_is_a_unit_problem(self, tmp_path):
+        store = _populated_store(tmp_path, units=("speedchecker:000",))
+        journal = store.journal
+        entries = journal.entries()
+        for entry in entries:
+            if entry["type"] == "unit":
+                entry["pings"] += 1
+        journal.rewrite(entries)
+        report = DatasetStore.open(store.run_dir).verify_report()
+        assert not report["ok"]
+        [unit] = report["units"]
+        assert unit["status"] == "corrupt"
+        assert any("journal records" in p for p in unit["problems"])
+        # Shards themselves are fine; the mismatch is journal-level.
+        assert all(s["status"] == "ok" for s in unit["shards"])
+
+    def test_report_includes_coverage(self, tmp_path):
+        store = _populated_store(tmp_path)
+        report = store.verify_report()
+        assert report["coverage"]["completed"] == 2
+        assert report["coverage"]["pending"] == 0
+
+    def test_report_problems_flattening(self):
+        report = {
+            "ok": False,
+            "units": [
+                {
+                    "unit": "u:000",
+                    "status": "corrupt",
+                    "problems": ["journal records 2 pings, shards hold 1"],
+                    "shards": [
+                        {
+                            "name": "u-000-pings.shard",
+                            "status": "corrupt",
+                            "problems": ["column 'a' fails its CRC32"],
+                        }
+                    ],
+                }
+            ],
+        }
+        assert report_problems(report) == [
+            "u:000: column 'a' fails its CRC32",
+            "u:000: journal records 2 pings, shards hold 1",
+        ]
+
+
+class TestVerifyCli:
+    def test_json_report_on_clean_store(self, tmp_path, capsys):
+        store = _populated_store(tmp_path)
+        code = store_cli(["verify", str(store.run_dir), "--json"])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True
+        assert {u["unit"] for u in report["units"]} == {
+            "speedchecker:000",
+            "speedchecker:001",
+        }
+        assert "coverage" in report
+
+    def test_json_report_lists_every_corrupt_shard(self, tmp_path, capsys):
+        store = _populated_store(tmp_path)
+        _corrupt_column(store.shard_dir / "speedchecker-000-pings.shard")
+        _corrupt_column(store.shard_dir / "speedchecker-001-pings.shard")
+        code = store_cli(["verify", str(store.run_dir), "--json"])
+        assert code == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is False
+        corrupt = [
+            shard["name"]
+            for unit in report["units"]
+            for shard in unit["shards"]
+            if shard["status"] == "corrupt"
+        ]
+        assert corrupt == [
+            "speedchecker-000-pings.shard",
+            "speedchecker-001-pings.shard",
+        ]
+
+    def test_text_verify_prints_every_problem(self, tmp_path, capsys):
+        store = _populated_store(tmp_path)
+        _corrupt_column(store.shard_dir / "speedchecker-000-pings.shard")
+        _corrupt_column(store.shard_dir / "speedchecker-001-pings.shard")
+        code = store_cli(["verify", str(store.run_dir)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAIL speedchecker:000: " in out
+        assert "FAIL speedchecker:001: " in out
+        assert out.count("CRC32") == 2
+        assert "6 problem(s) across 2 unit(s)" in out
+
+    def test_text_verify_reports_coverage_when_degraded(
+        self, tmp_path, capsys
+    ):
+        store = _populated_store(tmp_path, units=("speedchecker:000",))
+        store.journal_skip(
+            "speedchecker:001", reason="PlatformTimeout: down", attempts=3
+        )
+        code = store_cli(["verify", str(store.run_dir)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "OK 1 unit(s)" in out
+        assert "1 skipped" in out
+
+    def test_info_reports_coverage_when_degraded(self, tmp_path, capsys):
+        store = _populated_store(tmp_path, units=("speedchecker:000",))
+        store.journal_skip("atlas:000", reason="circuit-open", attempts=0)
+        code = store_cli(["info", str(store.run_dir)])
+        assert code == 0
+        assert "1 skipped" in capsys.readouterr().out
+
+
+class TestCoverage:
+    def test_pending_and_fraction_math(self):
+        coverage = Coverage(planned=10, completed=5, partial=2, skipped=1)
+        assert coverage.pending == 2
+        assert coverage.measured_fraction == 0.7
+        as_dict = coverage.as_dict()
+        assert as_dict["pending"] == 2
+        assert as_dict["measured_fraction"] == 0.7
+
+    def test_empty_plan_is_fully_measured(self):
+        assert Coverage(0, 0, 0, 0).measured_fraction == 1.0
+        assert Coverage(0, 0, 0, 0).pending == 0
+
+    def test_store_coverage_against_begin_plan(self, tmp_path):
+        store = DatasetStore.create(tmp_path / "run")
+        units = ["speedchecker:000", "speedchecker:001", "speedchecker:002"]
+        store.begin_run({"units": units, "days": 3, "platforms": ["speedchecker"]})
+        ping_block, trace_block = _unit_blocks(day=0)
+        store.flush_unit(units[0], ping_block=ping_block, trace_block=trace_block)
+        entry = store.write_unit_shards(units[1], ping_block=ping_block)
+        store.journal_unit(
+            entry, extra={"status": "partial", "scheduled_pings": 5}
+        )
+        coverage = store.coverage()
+        assert coverage.planned == 3
+        assert coverage.completed == 1
+        assert coverage.partial == 1
+        assert coverage.skipped == 0
+        assert coverage.pending == 1
+
+    def test_coverage_without_begin_falls_back_to_journal(self, tmp_path):
+        store = _populated_store(tmp_path)
+        coverage = store.coverage()
+        assert coverage.planned == 2
+        assert coverage.pending == 0
+
+
+class TestJournalSkips:
+    def test_skip_entries_round_trip(self, tmp_path):
+        journal = RunJournal(tmp_path / "journal.jsonl")
+        journal.append(
+            {"type": "skip", "unit": "u:000", "reason": "x", "attempts": 2}
+        )
+        journal.append(
+            {"type": "skip", "unit": "u:000", "reason": "x", "attempts": 2}
+        )
+        journal.append(
+            {"type": "skip", "unit": "u:001", "reason": "y", "attempts": 1}
+        )
+        assert len(journal.skip_entries()) == 3
+        assert journal.skipped_units() == ["u:000", "u:001"]
+
+    def test_rewrite_replaces_contents_atomically(self, tmp_path):
+        journal = RunJournal(tmp_path / "journal.jsonl")
+        journal.append({"type": "begin", "units": []})
+        journal.append({"type": "skip", "unit": "u:000", "reason": "x", "attempts": 1})
+        journal.rewrite([{"type": "begin", "units": []}])
+        assert journal.skip_entries() == []
+        assert journal.begin_entry() == {"type": "begin", "units": []}
+        assert not (tmp_path / "journal.jsonl.tmp").exists()
+
+    def test_rewrite_rejects_untagged_entries(self, tmp_path):
+        journal = RunJournal(tmp_path / "journal.jsonl")
+        with pytest.raises(JournalError):
+            journal.rewrite([{"unit": "u:000"}])
+
+    def test_closed_units_cannot_be_rejournaled(self, tmp_path):
+        store = _populated_store(tmp_path, units=("speedchecker:000",))
+        ping_block, trace_block = _unit_blocks()
+        with pytest.raises(StoreError, match="already completed"):
+            store.flush_unit("speedchecker:000", ping_block=ping_block)
+        with pytest.raises(StoreError, match="already completed"):
+            store.journal_skip("speedchecker:000", reason="late", attempts=1)
+        store.journal_skip("atlas:000", reason="down", attempts=3)
+        with pytest.raises(StoreError, match="already skipped"):
+            store.journal_skip("atlas:000", reason="down", attempts=3)
+        with pytest.raises(StoreError, match="already skipped"):
+            store.journal_unit(
+                {"type": "unit", "unit": "atlas:000", "pings": 0,
+                 "ping_samples": 0, "traceroutes": 0, "shards": []}
+            )
+
+
+class TestQuarantine:
+    def test_quarantine_drops_entries_and_shards(self, tmp_path):
+        store = _populated_store(tmp_path)
+        dropped = store.quarantine_units(["speedchecker:000"])
+        assert dropped == ["speedchecker:000"]
+        assert store.completed_units() == ["speedchecker:001"]
+        assert not (store.shard_dir / "speedchecker-000-pings.shard").exists()
+        assert (store.shard_dir / "speedchecker-001-pings.shard").exists()
+        assert store.verify() == []
+
+    def test_quarantined_unit_can_be_rerun(self, tmp_path):
+        store = _populated_store(tmp_path, units=("speedchecker:000",))
+        store.quarantine_units(["speedchecker:000"])
+        ping_block, trace_block = _unit_blocks()
+        store.flush_unit(
+            "speedchecker:000", ping_block=ping_block, trace_block=trace_block
+        )
+        assert store.completed_units() == ["speedchecker:000"]
+        assert store.verify() == []
+
+    def test_quarantine_drops_skip_entries_too(self, tmp_path):
+        store = DatasetStore.create(tmp_path / "run")
+        store.journal_skip("speedchecker:000", reason="down", attempts=3)
+        assert store.quarantine_units(["speedchecker:000"]) == [
+            "speedchecker:000"
+        ]
+        assert store.skipped_units() == []
+
+    def test_unknown_units_are_ignored(self, tmp_path):
+        store = _populated_store(tmp_path, units=("speedchecker:000",))
+        assert store.quarantine_units(["atlas:999"]) == []
+        assert store.quarantine_units([]) == []
+        assert store.completed_units() == ["speedchecker:000"]
+
+
+class TestSplitFlushApi:
+    def test_split_flush_equals_flush_unit(self, tmp_path):
+        ping_block, trace_block = _unit_blocks()
+        classic = DatasetStore.create(tmp_path / "classic")
+        classic.flush_unit(
+            "speedchecker:000", ping_block=ping_block, trace_block=trace_block
+        )
+        split = DatasetStore.create(tmp_path / "split")
+        entry = split.write_unit_shards(
+            "speedchecker:000", ping_block=ping_block, trace_block=trace_block
+        )
+        split.verify_unit_shards(entry)
+        split.journal_unit(entry)
+        for name in ("speedchecker-000-pings.shard", "speedchecker-000-traces.shard"):
+            assert (classic.shard_dir / name).read_bytes() == (
+                split.shard_dir / name
+            ).read_bytes()
+        assert (classic.run_dir / "journal.jsonl").read_bytes() == (
+            split.run_dir / "journal.jsonl"
+        ).read_bytes()
+
+    def test_write_unit_shards_does_not_journal(self, tmp_path):
+        store = DatasetStore.create(tmp_path / "run")
+        ping_block, _ = _unit_blocks()
+        store.write_unit_shards("speedchecker:000", ping_block=ping_block)
+        assert store.completed_units() == []
+        # An unjournaled shard is invisible to verify (write-ahead data).
+        assert store.verify() == []
+
+    def test_verify_unit_shards_raises_on_corruption(self, tmp_path):
+        store = DatasetStore.create(tmp_path / "run")
+        ping_block, _ = _unit_blocks()
+        entry = store.write_unit_shards("speedchecker:000", ping_block=ping_block)
+        _corrupt_column(store.shard_dir / "speedchecker-000-pings.shard")
+        with pytest.raises(ShardFormatError):
+            store.verify_unit_shards(entry)
+
+    def test_journal_unit_merges_extra(self, tmp_path):
+        store = DatasetStore.create(tmp_path / "run")
+        ping_block, _ = _unit_blocks()
+        entry = store.write_unit_shards("speedchecker:000", ping_block=ping_block)
+        journaled = store.journal_unit(
+            entry, extra={"attempts": 2, "backoff_ms": 750.0}
+        )
+        assert journaled["attempts"] == 2
+        [stored] = store.unit_entries()
+        assert stored["backoff_ms"] == 750.0
+        assert stored["pings"] == entry["pings"]
