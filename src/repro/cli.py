@@ -98,6 +98,16 @@ def _build_parser() -> argparse.ArgumentParser:
             "requires --store"
         ),
     )
+    campaign.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for unit execution (default 1 = serial); "
+            "the resulting store is byte-identical at any worker count; "
+            "requires --store (see docs/PARALLELISM.md)"
+        ),
+    )
 
     experiment = subparsers.add_parser(
         "experiment", help="run one experiment by its paper artifact id"
@@ -149,9 +159,17 @@ def _command_list(args) -> int:
 
 
 def _command_campaign(args) -> int:
-    if (args.fault_config or args.max_attempts is not None) and not args.store:
+    if (
+        args.fault_config or args.max_attempts is not None or args.workers != 1
+    ) and not args.store:
         print(
-            "error: --fault-config/--max-attempts require --store",
+            "error: --fault-config/--max-attempts/--workers require --store",
+            file=sys.stderr,
+        )
+        return 2
+    if args.workers < 1:
+        print(
+            f"error: --workers must be >= 1, got {args.workers}",
             file=sys.stderr,
         )
         return 2
@@ -168,7 +186,12 @@ def _command_campaign(args) -> int:
             else None
         )
         store = run_campaign_checkpointed(
-            world, args.store, days=args.days, faults=faults, retry=retry
+            world,
+            args.store,
+            days=args.days,
+            faults=faults,
+            retry=retry,
+            workers=args.workers,
         )
         print(
             f"Store {store.run_dir} complete: {store.ping_count} pings "

@@ -1,0 +1,77 @@
+"""Deterministic parallel campaign execution.
+
+``repro.exec`` schedules checkpointed campaign units onto a pool of
+forked worker processes while guaranteeing the resulting warehouse is
+**byte-identical to a serial run**.  The design splits execution into
+three phases:
+
+1. **Schedule** -- :class:`~repro.exec.scheduler.UnitScheduler`
+   partitions the pending unit list round-robin over the canonical
+   (serial) order, so every worker produces early-canonical units
+   quickly and the parent's reorder buffer stays small.  Per-platform
+   quota accounting stays in the parent via
+   :class:`~repro.exec.scheduler.QuotaLedger`, which re-checks every
+   committed unit against its platform's per-unit issue budget.
+2. **Stage** -- each worker executes its units in an isolated child
+   process against a *private staging store* (its own shard directory
+   and journal fragment under ``run_dir/staging/worker-NN/``, written
+   through the same :class:`~repro.store.fileops.FileOps` shim as the
+   main store).  Unit execution reuses the resilient executor
+   (:func:`repro.measure.resilience.run_unit`) unchanged: retry budgets,
+   virtual backoff and fault streams are keyed by *unit*, never by
+   worker, so the chaos matrix passes through untouched.
+3. **Commit** -- the parent merges staged shards and journal entries
+   into the main store in **canonical unit order**, re-verifying every
+   shard's CRCs before the write-ahead journal append, and replaying the
+   per-platform circuit breakers over the canonical outcome sequence so
+   breaker-skip decisions match a serial run exactly.
+
+A killed parallel run leaves a canonical-prefix journal plus orphaned
+staging directories; :func:`repro.measure.campaign.resume_campaign`
+garbage-collects the orphans and re-runs only uncommitted units, ending
+byte-identical to an uninterrupted run.  See ``docs/PARALLELISM.md``
+for the full determinism contract.
+"""
+
+from __future__ import annotations
+
+from repro.exec.digest import canonical_store_digest, merge_digest, store_digest
+from repro.exec.pool import fork_available, parallel_map
+from repro.exec.runner import execute_plan_parallel
+from repro.exec.scheduler import (
+    ExecError,
+    QuotaLedger,
+    UnitScheduler,
+    unit_day,
+    unit_platform,
+)
+from repro.exec.staging import (
+    STAGING_DIRNAME,
+    create_staging_store,
+    discard_staging,
+    merge_staged_unit,
+    staged_outcomes,
+    staging_root,
+    worker_staging_dir,
+)
+
+__all__ = [
+    "ExecError",
+    "QuotaLedger",
+    "STAGING_DIRNAME",
+    "UnitScheduler",
+    "canonical_store_digest",
+    "create_staging_store",
+    "discard_staging",
+    "execute_plan_parallel",
+    "fork_available",
+    "merge_digest",
+    "merge_staged_unit",
+    "parallel_map",
+    "staged_outcomes",
+    "staging_root",
+    "store_digest",
+    "unit_day",
+    "unit_platform",
+    "worker_staging_dir",
+]

@@ -1,0 +1,94 @@
+"""Canonical store digests for the parallel determinism contract.
+
+A parallel run is byte-identical to a serial run everywhere except two
+provenance keys (``workers``, ``merge_digest``) that the commit phase
+records in the journal's ``begin`` entry.  The canonical digest is the
+store fingerprint with exactly those keys normalized away: manifest and
+shard files are digested raw, the journal is digested after stripping
+the provenance keys from ``begin`` entries.  Two runs of the same
+campaign -- serial, 2-way, 4-way, resumed after a kill -- must have
+equal canonical digests, which the byte-identity matrix in
+``tests/integration/test_parallel_campaign.py`` and the parallel chaos
+gate enforce.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, Sequence
+
+from repro.store.journal import BEGIN_ENTRY, RunJournal
+from repro.store.warehouse import JOURNAL_NAME
+
+#: ``begin``-entry keys recording how a run was executed, not what it
+#: measured.  Excluded from the canonical digest by definition.
+PROVENANCE_KEYS = ("workers", "merge_digest")
+
+
+def _dump(entry: Dict[str, Any]) -> str:
+    """The journal's own canonical JSON serialization."""
+    return json.dumps(entry, sort_keys=True, separators=(",", ":"))
+
+
+def _canonical_journal_bytes(path: Path) -> bytes:
+    """Journal bytes with execution provenance stripped from ``begin``."""
+    lines = []
+    for entry in RunJournal(path).entries():
+        if entry["type"] == BEGIN_ENTRY:
+            entry = {
+                key: value
+                for key, value in entry.items()
+                if key not in PROVENANCE_KEYS
+            }
+        lines.append(_dump(entry))
+    return ("\n".join(lines) + "\n").encode("utf-8") if lines else b""
+
+
+def canonical_store_digest(run_dir: Path) -> Dict[str, str]:
+    """Per-file sha256 digests of a store, provenance-normalized.
+
+    Every file under ``run_dir`` is digested raw except the run
+    journal, which is digested in canonical form (see module
+    docstring).  The mapping is keyed by POSIX relative path.
+    """
+    run_dir = Path(run_dir)
+    digests: Dict[str, str] = {}
+    for path in sorted(run_dir.rglob("*")):
+        if not path.is_file():
+            continue
+        relative = path.relative_to(run_dir).as_posix()
+        if relative == JOURNAL_NAME:
+            payload = _canonical_journal_bytes(path)
+        else:
+            payload = path.read_bytes()
+        digests[relative] = hashlib.sha256(payload).hexdigest()
+    return digests
+
+
+def store_digest(run_dir: Path) -> str:
+    """One canonical sha256 over a whole run directory."""
+    digest = hashlib.sha256()
+    for relative, file_digest in sorted(canonical_store_digest(run_dir).items()):
+        digest.update(relative.encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(file_digest.encode("ascii"))
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def merge_digest(entries: Sequence[Dict[str, Any]]) -> str:
+    """The commit phase's fingerprint over merged journal entries.
+
+    One sha256 over the canonical serialization of every committed
+    ``unit``/``skip`` entry in journal order.  Recorded in the ``begin``
+    entry after a parallel run completes, so any two runs that merged
+    the same outcomes in the same canonical order carry the same
+    digest no matter how many workers produced them.
+    """
+    digest = hashlib.sha256()
+    for entry in entries:
+        digest.update(_dump(entry).encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()

@@ -1,0 +1,123 @@
+"""The forked worker pool: generic ordered fan-out.
+
+:func:`parallel_map` is the low-level primitive both parallel surfaces
+share -- the campaign runner's staging workers and the parallel store
+verifier.  Work items are partitioned round-robin across ``fork``-ed
+child processes and results stream back over a queue tagged with their
+item index, so the returned list preserves input order exactly; a
+serial caller and a parallel caller see identical results.
+
+``fork`` is required (and explicitly requested) so children inherit the
+parent's heap -- the world model, memmapped shards, warmed caches --
+without pickling.  Where ``fork`` is unavailable the pool degrades to a
+plain in-process loop, which is slower but bit-for-bit identical.
+
+Worker callables must be **top-level** functions or instances of
+top-level classes and must not mutate module-global state: mutations in
+a forked child never propagate back, so shared mutable state silently
+diverges between workers.  Lint rule ``EXE001`` enforces both
+properties statically.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import traceback
+from typing import Any, Callable, List, Sequence, TypeVar, cast
+
+from repro.exec.scheduler import ExecError
+
+ItemT = TypeVar("ItemT")
+ResultT = TypeVar("ResultT")
+
+#: Seconds between liveness checks while waiting on worker results.
+_POLL_INTERVAL_S = 0.2
+
+
+def fork_available() -> bool:
+    """Whether this platform supports the ``fork`` start method."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _pool_worker(
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    indices: Sequence[int],
+    results: Any,
+    worker_id: int,
+) -> None:
+    """One pool child: apply ``fn`` to assigned items, report by index."""
+    try:
+        for index in indices:
+            results.put(("ok", index, fn(items[index])))
+    except Exception:
+        results.put(("error", worker_id, traceback.format_exc()))
+        raise
+
+
+def parallel_map(
+    fn: Callable[[ItemT], ResultT],
+    items: Sequence[ItemT],
+    workers: int,
+) -> List[ResultT]:
+    """Apply ``fn`` to every item across ``workers`` forked processes.
+
+    Results are returned in input order.  ``workers <= 1``, trivially
+    small inputs, and platforms without ``fork`` all take the serial
+    path, which is defined to be equivalent.  A child that raises
+    surfaces as :class:`~repro.exec.scheduler.ExecError` carrying the
+    child traceback; a child that dies without reporting (OOM-kill,
+    signal) is detected by liveness polling.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if workers == 1 or len(items) <= 1 or not fork_available():
+        return [fn(item) for item in items]
+    context = multiprocessing.get_context("fork")
+    results: Any = context.Queue()
+    count = min(workers, len(items))
+    frozen = list(items)
+    processes = [
+        context.Process(
+            target=_pool_worker,
+            args=(fn, frozen, list(range(i, len(frozen), count)), results, i),
+            daemon=True,
+        )
+        for i in range(count)
+    ]
+    collected: List[Any] = [None] * len(frozen)
+    received = 0
+    try:
+        for process in processes:
+            process.start()
+        while received < len(frozen):
+            try:
+                message = results.get(timeout=_POLL_INTERVAL_S)
+            except queue_module.Empty:
+                dead = [
+                    i
+                    for i, process in enumerate(processes)
+                    if process.exitcode not in (None, 0)
+                ]
+                if dead:
+                    raise ExecError(
+                        f"pool worker(s) {dead} died without reporting "
+                        f"(exit codes "
+                        f"{[processes[i].exitcode for i in dead]})"
+                    )
+                continue
+            if message[0] == "error":
+                raise ExecError(
+                    f"pool worker {message[1]} failed:\n{message[2]}"
+                )
+            _, index, value = message
+            collected[index] = value
+            received += 1
+    finally:
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+        for process in processes:
+            process.join()
+    return cast(List[ResultT], collected)

@@ -1,0 +1,299 @@
+"""The parallel campaign runner: stage on workers, commit in order.
+
+:func:`execute_plan_parallel` is the multi-worker counterpart of
+:func:`repro.measure.resilience.execute_plan` with an identical
+observable contract: same journal entries, same shard bytes, same
+breaker-skip decisions, same processed-unit count.  The parent never
+executes measurement code; it drives the commit loop:
+
+- workers run their assigned units through the *same* resilient
+  executor (:func:`~repro.measure.resilience.run_unit`) against private
+  staging stores, announcing each finished unit over a queue;
+- the parent holds a reorder buffer and commits strictly in canonical
+  unit order -- move staged shards, re-verify CRCs, append the journal
+  entry -- replaying the per-platform circuit breakers over the
+  canonical outcome sequence so a breaker that would have skipped units
+  in a serial run skips exactly the same units here (their staged
+  results are discarded, mirroring the serial run never executing
+  them);
+- per-platform quota accounting stays in the parent: every committed
+  unit is re-checked against its platform's per-unit issue budget by
+  the :class:`~repro.exec.scheduler.QuotaLedger`.
+
+After the last commit the parent records execution provenance -- the
+worker count and a digest over the merged journal entries -- in the
+``begin`` entry (an atomic journal rewrite), then deletes the staging
+area.  A crash at any instant leaves a canonical-prefix journal plus
+orphaned staging directories that the next run garbage-collects.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import traceback
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.exec.digest import merge_digest
+from repro.exec.pool import _POLL_INTERVAL_S, fork_available
+from repro.exec.scheduler import (
+    ExecError,
+    QuotaLedger,
+    UnitScheduler,
+    unit_day,
+    unit_platform,
+)
+from repro.exec.staging import (
+    create_staging_store,
+    discard_staging,
+    merge_staged_unit,
+    staged_outcomes,
+    worker_staging_dir,
+)
+from repro.faults.config import RetryPolicy
+from repro.faults.plan import FaultPlan
+from repro.measure.resilience import CircuitBreaker, UnitExecutor, run_unit
+from repro.store.journal import BEGIN_ENTRY, SKIP_ENTRY, UNIT_ENTRY
+from repro.store.warehouse import DatasetStore
+
+
+def _campaign_worker(
+    worker_id: int,
+    run_dir: Path,
+    manifest: Dict[str, Any],
+    assigned: Sequence[str],
+    execute: UnitExecutor,
+    plan: Optional[FaultPlan],
+    policy: RetryPolicy,
+    results: Any,
+) -> None:
+    """One staging worker: execute assigned units into a private store.
+
+    Runs in a forked child.  Each unit goes through the resilient
+    executor exactly as a serial run would (same retry budgets, same
+    per-unit fault and backoff streams); circuit breakers are *not*
+    consulted here -- the parent replays them over the canonical order
+    at commit time.  Every unit lands in the staging journal either as
+    a ``unit`` or a ``skip`` entry before its id is announced.
+    """
+    try:
+        staging = create_staging_store(run_dir, worker_id, manifest)
+        for unit in assigned:
+            run_unit(staging, unit, unit_day(unit), execute, plan, policy)
+            results.put(("unit", worker_id, unit))
+        results.put(("done", worker_id))
+    except Exception:
+        results.put(("error", worker_id, traceback.format_exc()))
+        raise
+
+
+def record_execution_provenance(store: DatasetStore, workers: int) -> None:
+    """Stamp the worker count and merge digest into the ``begin`` entry.
+
+    Uses the journal's atomic rewrite, so the journal is either fully
+    stamped or untouched.  The two keys are execution provenance, not
+    measurement state: the canonical store digest excludes them by
+    definition (see :mod:`repro.exec.digest`).
+    """
+    entries = store.journal.entries()
+    digest = merge_digest(
+        [e for e in entries if e["type"] in (UNIT_ENTRY, SKIP_ENTRY)]
+    )
+    updated: List[Dict[str, Any]] = []
+    stamped = False
+    for entry in entries:
+        if entry["type"] == BEGIN_ENTRY:
+            entry = {**entry, "workers": workers, "merge_digest": digest}
+            stamped = True
+        updated.append(entry)
+    if stamped:
+        store.journal.rewrite(updated)
+
+
+def _commit_unit(
+    store: DatasetStore,
+    staging_dir: Path,
+    unit: str,
+    entry: Dict[str, Any],
+    breakers: Optional[Dict[str, CircuitBreaker]],
+    policy: RetryPolicy,
+    ledger: QuotaLedger,
+) -> None:
+    """Publish one staged outcome, replaying the serial breaker logic."""
+    platform = unit_platform(unit)
+    if breakers is not None:
+        breaker = breakers.setdefault(
+            platform,
+            CircuitBreaker(policy.breaker_threshold, policy.breaker_cooldown_units),
+        )
+        if not breaker.allow():
+            # A serial run would never have executed this unit; discard
+            # the staged result and journal the same skip entry.
+            store.journal_skip(unit, reason="circuit-open", attempts=0)
+            return
+        if entry["type"] == UNIT_ENTRY:
+            merge_staged_unit(store, staging_dir, entry)
+            store.journal_unit(entry)
+            ledger.record(unit, int(entry["pings"]))
+            breaker.record_success()
+        else:
+            store.journal_skip(
+                unit,
+                reason=str(entry["reason"]),
+                attempts=int(entry["attempts"]),
+                backoff_ms=float(entry.get("backoff_ms", 0.0)),
+                faults=entry.get("faults"),
+            )
+            breaker.record_failure()
+        return
+    if entry["type"] != UNIT_ENTRY:
+        raise ExecError(
+            f"unit {unit!r} staged a skip entry on the fault-free path"
+        )
+    merge_staged_unit(store, staging_dir, entry)
+    store.journal_unit(entry)
+    ledger.record(unit, int(entry["pings"]))
+
+
+def execute_plan_parallel(
+    store: DatasetStore,
+    units: Iterable[str],
+    completed: Set[str],
+    execute: UnitExecutor,
+    workers: int,
+    plan: Optional[FaultPlan] = None,
+    retry: Optional[RetryPolicy] = None,
+    max_units: Optional[int] = None,
+    unit_budgets: Optional[Dict[str, int]] = None,
+    abort_after_commits: Optional[int] = None,
+) -> int:
+    """Drive a unit list through the staged parallel executor.
+
+    Same contract as the serial
+    :func:`~repro.measure.resilience.execute_plan`: ``completed`` units
+    are skipped silently, ``max_units`` bounds the units processed this
+    call, and the return value is the processed count.  The resulting
+    store is byte-identical to the serial run apart from the provenance
+    keys stamped into the ``begin`` entry.
+
+    ``abort_after_commits`` is a testing hook mirroring ``max_units``:
+    it raises :class:`~repro.exec.scheduler.ExecError` *mid-commit*
+    after that many units have been published, leaving orphaned staging
+    directories behind exactly as a killed process would -- the
+    kill-and-resume regression tests use it to prove the garbage
+    collection and resume paths.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    policy = retry if retry is not None else RetryPolicy()
+    pending = [unit for unit in units if unit not in completed]
+    if max_units is not None:
+        pending = pending[:max_units]
+    if not pending:
+        return 0
+    if not fork_available():  # pragma: no cover - platform dependent
+        from repro.measure.resilience import execute_plan
+
+        return execute_plan(
+            store, pending, set(), execute, plan=plan, retry=retry
+        )
+
+    import multiprocessing
+
+    scheduler = UnitScheduler(pending, workers)
+    ledger = QuotaLedger(unit_budgets)
+    breakers: Optional[Dict[str, CircuitBreaker]] = (
+        {} if plan is not None else None
+    )
+    context = multiprocessing.get_context("fork")
+    results: Any = context.Queue()
+    manifest = store.manifest
+    processes = []
+    staging_dirs: Dict[int, Path] = {}
+    for worker_id, assigned in enumerate(scheduler.partition()):
+        if not assigned:
+            continue
+        staging_dirs[worker_id] = worker_staging_dir(store.run_dir, worker_id)
+        processes.append(
+            context.Process(
+                target=_campaign_worker,
+                args=(
+                    worker_id,
+                    store.run_dir,
+                    manifest,
+                    assigned,
+                    execute,
+                    plan,
+                    policy,
+                    results,
+                ),
+                daemon=True,
+            )
+        )
+    worker_of = scheduler.worker_of()
+    staged: Dict[str, Dict[str, Any]] = {}
+    next_index = 0
+    commits = 0
+    try:
+        for process in processes:
+            process.start()
+        while next_index < len(pending):
+            try:
+                message = results.get(timeout=_POLL_INTERVAL_S)
+            except queue_module.Empty:
+                dead = [
+                    i
+                    for i, process in enumerate(processes)
+                    if process.exitcode not in (None, 0)
+                ]
+                if dead:
+                    raise ExecError(
+                        f"campaign worker(s) {dead} died without reporting "
+                        f"(exit codes "
+                        f"{[processes[i].exitcode for i in dead]})"
+                    )
+                continue
+            if message[0] == "error":
+                raise ExecError(
+                    f"campaign worker {message[1]} failed:\n{message[2]}"
+                )
+            if message[0] == "done":
+                continue
+            _, worker_id, unit = message
+            outcome = staged_outcomes(staging_dirs[worker_id]).get(unit)
+            if outcome is None:
+                raise ExecError(
+                    f"worker {worker_id} announced unit {unit!r} without "
+                    f"journaling it"
+                )
+            staged[unit] = outcome
+            while next_index < len(pending) and pending[next_index] in staged:
+                to_commit = pending[next_index]
+                _commit_unit(
+                    store,
+                    staging_dirs[worker_of[to_commit]],
+                    to_commit,
+                    staged.pop(to_commit),
+                    breakers,
+                    policy,
+                    ledger,
+                )
+                next_index += 1
+                commits += 1
+                if (
+                    abort_after_commits is not None
+                    and commits >= abort_after_commits
+                    and next_index < len(pending)
+                ):
+                    raise ExecError(
+                        f"aborted after {commits} commits (testing hook)"
+                    )
+    finally:
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+        for process in processes:
+            process.join()
+    record_execution_provenance(store, workers)
+    discard_staging(store.run_dir)
+    return len(pending)

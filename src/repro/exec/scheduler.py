@@ -1,0 +1,131 @@
+"""Unit scheduling and parent-side quota accounting.
+
+The scheduler owns the *partitioning* question: which worker executes
+which (platform, day) unit.  Units are embarrassingly parallel by
+construction -- each one draws from forked per-unit RNG streams and
+refreshes its platform quota at unit start -- so any partition yields
+the same bytes; the round-robin partition over canonical order is
+chosen purely so every worker finishes early-canonical units soon and
+the parent's in-order commit advances steadily.
+
+Quota accounting stays in the parent: workers charge their private
+(forked) platform copies, and the :class:`QuotaLedger` re-checks every
+committed unit against its platform's per-unit issue budget, so a
+scheduling bug (or a worker double-issuing a unit) can never silently
+over-issue a daily quota across workers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+class ExecError(RuntimeError):
+    """A parallel execution invariant was violated."""
+
+
+def unit_platform(unit: str) -> str:
+    """The platform half of a ``platform:day`` unit id."""
+    return unit.split(":", 1)[0]
+
+
+def unit_day(unit: str) -> int:
+    """The day half of a ``platform:day`` unit id."""
+    return int(unit.split(":", 1)[1])
+
+
+class UnitScheduler:
+    """Partitions a campaign's pending unit list across workers.
+
+    The partition is round-robin over the canonical (serial) order:
+    worker ``i`` executes ``units[i::workers]``, each in canonical
+    order.  Every unit is assigned to exactly one worker; the commit
+    phase consumes results strictly in canonical order regardless of
+    which worker produced them.
+    """
+
+    def __init__(self, units: Sequence[str], workers: int) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if len(set(units)) != len(units):
+            raise ExecError("unit list contains duplicates")
+        self._units = list(units)
+        self._workers = workers
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    @property
+    def canonical_order(self) -> List[str]:
+        """The serial execution (and commit) order."""
+        return list(self._units)
+
+    def partition(self) -> List[List[str]]:
+        """Per-worker ordered unit lists; may contain empty lists."""
+        return [self._units[i :: self._workers] for i in range(self._workers)]
+
+    def worker_of(self) -> Dict[str, int]:
+        """Map from unit id to the worker index that executes it."""
+        return {
+            unit: index
+            for index, assigned in enumerate(self.partition())
+            for unit in assigned
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"UnitScheduler(units={len(self._units)}, "
+            f"workers={self._workers})"
+        )
+
+
+class QuotaLedger:
+    """Parent-side per-platform issue accounting for a parallel run.
+
+    ``budgets`` maps platform name to the maximum requests one unit may
+    issue (``min(rate cap, daily quota)`` for Speedchecker; platforms
+    without quota are simply absent).  :meth:`record` is called once per
+    committed unit with the number of requests the unit actually
+    issued; exceeding the per-unit budget, or committing a unit twice,
+    raises :class:`ExecError` -- quota can never be over-issued across
+    workers without the commit phase noticing.
+    """
+
+    def __init__(self, budgets: Optional[Dict[str, int]] = None) -> None:
+        self._budgets: Dict[str, int] = dict(budgets or {})
+        self._issued_by_platform: Dict[str, int] = {}
+        self._issued_by_unit: Dict[str, int] = {}
+
+    def budget(self, platform: str) -> Optional[int]:
+        """The per-unit issue budget of ``platform`` (None = unmetered)."""
+        return self._budgets.get(platform)
+
+    def record(self, unit: str, issued: int) -> None:
+        """Account one committed unit's issued request count."""
+        if unit in self._issued_by_unit:
+            raise ExecError(f"unit {unit!r} committed twice")
+        if issued < 0:
+            raise ExecError(f"unit {unit!r} reports negative issue count")
+        platform = unit_platform(unit)
+        budget = self._budgets.get(platform)
+        if budget is not None and issued > budget:
+            raise ExecError(
+                f"unit {unit!r} issued {issued} requests, over the "
+                f"per-unit budget of {budget} for platform {platform!r}"
+            )
+        self._issued_by_unit[unit] = issued
+        self._issued_by_platform[platform] = (
+            self._issued_by_platform.get(platform, 0) + issued
+        )
+
+    def issued(self, platform: str) -> int:
+        """Total requests committed for ``platform`` so far."""
+        return self._issued_by_platform.get(platform, 0)
+
+    def issued_by_unit(self) -> Dict[str, int]:
+        return dict(self._issued_by_unit)
+
+    def as_dict(self) -> Dict[str, int]:
+        """Per-platform totals, sorted by platform name."""
+        return dict(sorted(self._issued_by_platform.items()))

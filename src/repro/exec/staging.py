@@ -1,0 +1,123 @@
+"""Private worker staging stores and the canonical-order merge.
+
+Each worker owns a *staging store* -- a full mini
+:class:`~repro.store.warehouse.DatasetStore` under
+``run_dir/staging/worker-NN/`` with its own manifest, shard directory
+and journal fragment -- and executes its assigned units into it through
+the exact same write path (and :class:`~repro.store.fileops.FileOps`
+shim) as a serial run.  Staged bytes are therefore already the final
+bytes: the commit phase only *moves* shard files into the main store
+(re-verifying their CRCs first) and replays the fragment's journal
+entries in canonical order.
+
+Staging directories are transient by contract.  A completed parallel
+run deletes them; a killed run leaves orphans that the next
+``run_campaign_checkpointed``/``resume_campaign`` garbage-collects
+before executing anything -- staged-but-uncommitted units are simply
+re-run, which is safe because every unit is a pure function of (seed,
+config, unit id).
+"""
+
+from __future__ import annotations
+
+import shutil
+from pathlib import Path
+from typing import Any, Dict, List
+
+from repro.exec.scheduler import ExecError
+from repro.store.fileops import DEFAULT_FILEOPS, FileOps
+from repro.store.journal import SKIP_ENTRY, UNIT_ENTRY, RunJournal
+from repro.store.warehouse import JOURNAL_NAME, SHARD_DIR, DatasetStore
+
+#: Name of the transient staging area inside a run directory.
+STAGING_DIRNAME = "staging"
+
+
+def staging_root(run_dir: Path) -> Path:
+    """The transient staging area of a run directory."""
+    return Path(run_dir) / STAGING_DIRNAME
+
+
+def worker_staging_dir(run_dir: Path, worker_id: int) -> Path:
+    """One worker's private staging store directory."""
+    return staging_root(run_dir) / f"worker-{worker_id:02d}"
+
+
+def create_staging_store(
+    run_dir: Path, worker_id: int, manifest: Dict[str, Any]
+) -> DatasetStore:
+    """Initialise a worker's private staging store.
+
+    The staging manifest mirrors the main store's identity (seed,
+    config hash, scale) with ``source="staging"``, so a stray staging
+    directory is self-describing when inspected by hand.
+    """
+    directory = worker_staging_dir(run_dir, worker_id)
+    if directory.exists():
+        raise ExecError(f"{directory}: staging directory already exists")
+    directory.parent.mkdir(parents=True, exist_ok=True)
+    return DatasetStore.create(
+        directory,
+        seed=manifest.get("seed"),
+        config_hash=manifest.get("config_hash"),
+        scale=manifest.get("scale"),
+        source="staging",
+    )
+
+
+def staged_outcomes(staging_dir: Path) -> Dict[str, Dict[str, Any]]:
+    """Per-unit outcome entries from one worker's journal fragment.
+
+    Maps unit id to its journal entry: a ``unit`` entry for a completed
+    (possibly partial) unit, or a ``skip`` entry for one the resilient
+    executor gave up on.  Workers journal each unit exactly once.
+    """
+    journal = RunJournal(Path(staging_dir) / JOURNAL_NAME)
+    outcomes: Dict[str, Dict[str, Any]] = {}
+    for entry in journal.entries():
+        if entry["type"] in (UNIT_ENTRY, SKIP_ENTRY):
+            outcomes[str(entry["unit"])] = entry
+    return outcomes
+
+
+def merge_staged_unit(
+    store: DatasetStore,
+    staging_dir: Path,
+    entry: Dict[str, Any],
+    fileops: FileOps = DEFAULT_FILEOPS,
+) -> None:
+    """Move one staged unit's shards into the main store and verify them.
+
+    Shard files are renamed from the staging shard directory into the
+    main one (same filesystem, so the staged bytes are published
+    unchanged), then re-checksummed via
+    :meth:`~repro.store.warehouse.DatasetStore.verify_unit_shards`
+    *before* the caller appends the write-ahead journal entry -- a
+    corrupted merge can never be journaled.
+    """
+    for name in entry["shards"]:
+        source = Path(staging_dir) / SHARD_DIR / name
+        if not source.exists():
+            raise ExecError(
+                f"{staging_dir}: staged shard {name} missing for unit "
+                f"{entry['unit']!r}"
+            )
+        fileops.replace(source, store.shard_dir / name)
+    store.verify_unit_shards(entry)
+
+
+def discard_staging(run_dir: Path) -> List[str]:
+    """Garbage-collect every staging directory under ``run_dir``.
+
+    Returns the names of the removed worker directories (empty when the
+    run directory has no staging area).  Safe to call on fresh run
+    directories and on serial stores; orphaned staging dirs only exist
+    after a killed parallel run, and their staged-but-uncommitted units
+    deterministically re-run.
+    """
+    root = staging_root(run_dir)
+    if not root.exists():
+        return []
+    removed = sorted(child.name for child in root.iterdir() if child.is_dir())
+    shutil.rmtree(root)
+    return removed

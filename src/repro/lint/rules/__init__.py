@@ -2,6 +2,20 @@
 
 from __future__ import annotations
 
-from repro.lint.rules import determinism, frozen, parity, rng, robustness
+from repro.lint.rules import (
+    determinism,
+    exec_safety,
+    frozen,
+    parity,
+    rng,
+    robustness,
+)
 
-__all__ = ["determinism", "frozen", "parity", "rng", "robustness"]
+__all__ = [
+    "determinism",
+    "exec_safety",
+    "frozen",
+    "parity",
+    "rng",
+    "robustness",
+]

@@ -1,0 +1,266 @@
+"""Worker-execution safety rules (``EXE001``).
+
+The parallel campaign runner forks worker processes that execute
+measurement code against private staging stores.  Two classes of bug
+survive every unit test yet break (or silently skew) parallel runs:
+
+- **Non-top-level worker entry points.**  A lambda or nested function
+  handed to ``multiprocessing``'s ``Process(target=...)`` or to
+  :func:`repro.exec.parallel_map` cannot be pickled under spawn-based
+  start methods and hides captured state under fork -- worker entry
+  points must be importable top-level callables.
+- **Mutable module-global state reached from function scope.**  A
+  module-level list/dict/set that functions mutate is process-local
+  after a fork: each worker mutates its own copy and the parent never
+  sees any of it, so the "shared" state silently diverges between a
+  serial and a parallel run.  Constant module-level tables are fine --
+  only mutation from function scope (``global`` rebinding, mutator
+  method calls, subscript stores) is flagged.
+
+The rule is scoped to ``repro/exec/*`` and ``repro/measure/*`` -- the
+code that actually runs inside campaign workers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set
+
+from repro.lint.engine import LintContext, Rule, register_rule
+
+#: Methods that mutate a list/dict/set in place.
+MUTATOR_METHODS = frozenset(
+    {
+        "add",
+        "append",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "pop",
+        "popitem",
+        "remove",
+        "setdefault",
+        "sort",
+        "update",
+    }
+)
+
+#: Constructor calls whose module-level result is mutable state.
+MUTABLE_FACTORIES = frozenset(
+    {
+        "dict",
+        "list",
+        "set",
+        "collections.Counter",
+        "collections.OrderedDict",
+        "collections.defaultdict",
+        "collections.deque",
+    }
+)
+
+#: Mutable literal/comprehension node types.
+_MUTABLE_DISPLAYS = (
+    ast.Dict,
+    ast.DictComp,
+    ast.List,
+    ast.ListComp,
+    ast.Set,
+    ast.SetComp,
+)
+
+#: Fully-qualified (or bare) names of the worker-pool entry sinks.
+_POOL_SINKS = frozenset(
+    {"parallel_map", "repro.exec.parallel_map", "repro.exec.pool.parallel_map"}
+)
+
+
+@register_rule
+class WorkerExecSafetyRule(Rule):
+    """Worker-executed code must be top-level and share-nothing."""
+
+    rule_id = "EXE001"
+    name = "worker-exec-safety"
+    summary = (
+        "worker entry points (Process target=, parallel_map fn) must be "
+        "top-level functions, and code under repro/exec and repro/measure "
+        "must not mutate module-global mutable state from function scope "
+        "-- after a fork each worker mutates a private copy"
+    )
+    path_patterns = ("repro/exec/*", "repro/measure/*")
+
+    def check_module(self, tree: ast.Module, ctx: LintContext) -> None:
+        if ctx.is_test_file:
+            return
+        mutables = self._module_mutables(tree)
+        nested = self._nested_function_names(tree)
+        self._walk(tree, ctx, mutables, nested, function_depth=0)
+
+    # -- module survey -------------------------------------------------------
+
+    def _module_mutables(self, tree: ast.Module) -> Set[str]:
+        """Names bound at module top level to mutable containers."""
+        mutables: Set[str] = set()
+        for statement in tree.body:
+            targets: List[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(statement, ast.Assign):
+                targets, value = statement.targets, statement.value
+            elif isinstance(statement, ast.AnnAssign) and statement.value:
+                targets, value = [statement.target], statement.value
+            if value is None or not self._is_mutable_value(value):
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    mutables.add(target.id)
+        return mutables
+
+    def _is_mutable_value(self, node: ast.expr) -> bool:
+        if isinstance(node, _MUTABLE_DISPLAYS):
+            return True
+        if isinstance(node, ast.Call):
+            name = self._call_name(node)
+            return name in MUTABLE_FACTORIES
+        return False
+
+    def _call_name(self, node: ast.Call) -> Optional[str]:
+        parts: List[str] = []
+        func: ast.expr = node.func
+        while isinstance(func, ast.Attribute):
+            parts.append(func.attr)
+            func = func.value
+        if not isinstance(func, ast.Name):
+            return None
+        parts.append(func.id)
+        return ".".join(reversed(parts))
+
+    def _nested_function_names(self, tree: ast.Module) -> Set[str]:
+        """Names of functions defined inside another function."""
+        nested: Set[str] = set()
+
+        def scan(node: ast.AST, depth: int) -> None:
+            for child in ast.iter_child_nodes(node):
+                child_depth = depth
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if depth > 0:
+                        nested.add(child.name)
+                    child_depth = depth + 1
+                scan(child, child_depth)
+
+        scan(tree, 0)
+        return nested
+
+    # -- the walk ------------------------------------------------------------
+
+    def _walk(
+        self,
+        node: ast.AST,
+        ctx: LintContext,
+        mutables: Set[str],
+        nested: Set[str],
+        function_depth: int,
+    ) -> None:
+        if isinstance(node, ast.Global) and function_depth > 0:
+            ctx.report(
+                self,
+                node,
+                f"global {', '.join(node.names)}: rebinding a module global "
+                "from function scope is invisible to forked workers; pass "
+                "state explicitly or keep it per-process",
+            )
+        if isinstance(node, ast.Call):
+            self._check_worker_entry(node, ctx, nested)
+            if function_depth > 0:
+                self._check_mutator_call(node, ctx, mutables)
+        if function_depth > 0:
+            self._check_store(node, ctx, mutables)
+        child_depth = function_depth
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            child_depth = function_depth + 1
+        for child in ast.iter_child_nodes(node):
+            self._walk(child, ctx, mutables, nested, child_depth)
+
+    def _check_worker_entry(
+        self, node: ast.Call, ctx: LintContext, nested: Set[str]
+    ) -> None:
+        """Flag unpicklable callables handed to a worker-pool sink."""
+        entries: List[ast.expr] = []
+        call_name = self._call_name(node) or ""
+        resolved = ctx.qualified_name(node.func) or call_name
+        if call_name.endswith("Process") or resolved.endswith("Process"):
+            entries.extend(
+                keyword.value
+                for keyword in node.keywords
+                if keyword.arg == "target"
+            )
+        if resolved in _POOL_SINKS or call_name in _POOL_SINKS:
+            if node.args:
+                entries.append(node.args[0])
+        for entry in entries:
+            if isinstance(entry, ast.Lambda):
+                ctx.report(
+                    self,
+                    entry,
+                    "worker entry point is a lambda; lambdas cannot be "
+                    "pickled and capture parent state -- use a top-level "
+                    "function",
+                )
+            elif isinstance(entry, ast.Name) and entry.id in nested:
+                ctx.report(
+                    self,
+                    entry,
+                    f"worker entry point {entry.id!r} is a nested function; "
+                    "it cannot be pickled and captures enclosing state -- "
+                    "define it at module top level",
+                )
+
+    def _check_mutator_call(
+        self, node: ast.Call, ctx: LintContext, mutables: Set[str]
+    ) -> None:
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr not in MUTATOR_METHODS:
+            return
+        target = func.value
+        if isinstance(target, ast.Name) and target.id in mutables:
+            ctx.report(
+                self,
+                node,
+                f"{target.id}.{func.attr}(...) mutates module-global state "
+                "from function scope; forked workers each mutate a private "
+                "copy -- thread the container through arguments instead",
+            )
+
+    def _check_store(
+        self, node: ast.AST, ctx: LintContext, mutables: Set[str]
+    ) -> None:
+        """Flag subscript stores/deletes on module-global containers."""
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AugAssign):
+            targets = [node.target]
+        elif isinstance(node, ast.Delete):
+            targets = node.targets
+        for target in targets:
+            if not isinstance(target, ast.Subscript):
+                continue
+            base = target.value
+            if isinstance(base, ast.Name) and base.id in mutables:
+                ctx.report(
+                    self,
+                    node,
+                    f"{base.id}[...] store mutates module-global state from "
+                    "function scope; forked workers each mutate a private "
+                    "copy -- thread the container through arguments instead",
+                )
+
+
+#: Mapping kept for documentation tooling: what each violation class
+#: means operationally.
+VIOLATION_CLASSES: Dict[str, str] = {
+    "lambda-entry": "worker entry point is a lambda",
+    "nested-entry": "worker entry point is a nested function",
+    "global-rebind": "global statement in function scope",
+    "mutator-call": "in-place mutation of a module-global container",
+    "subscript-store": "subscript store into a module-global container",
+}

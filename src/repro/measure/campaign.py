@@ -32,6 +32,8 @@ import numpy as np
 
 from repro.cloud.regions import CloudRegion
 from repro.core.config import config_digest
+from repro.exec.runner import execute_plan_parallel
+from repro.exec.staging import discard_staging
 from repro.faults.config import FaultConfig, RetryPolicy, fault_digest
 from repro.faults.injectors import FaultyAtlas, FaultyEngine, FaultySpeedchecker
 from repro.faults.plan import AttemptFaults, FaultPlan
@@ -518,6 +520,52 @@ def _atlas_unit(
     )
 
 
+class CheckpointExecutor:
+    """Executes one checkpointed campaign unit (the ``execute`` callback).
+
+    A top-level class rather than a closure so parallel workers can run
+    it in forked child processes (lint rule ``EXE001``): the instance
+    holds only the world and the pair-deterministic engine, and every
+    call is a pure function of (seed, config, unit id) -- no state
+    crosses units, so any process may execute any unit.
+    """
+
+    def __init__(self, world: "World", engine: MeasurementEngine) -> None:
+        self._world = world
+        self._engine = engine
+
+    def __call__(
+        self, unit: str, day: int, ctx: Optional[AttemptFaults]
+    ) -> UnitResult:
+        world = self._world
+        platform_name = unit.split(":")[0]
+        unit_engine: BatchEngine = self._engine
+        if platform_name == "speedchecker":
+            speedchecker: SpeedcheckerLike = world.speedchecker
+            if ctx is not None:
+                speedchecker = FaultySpeedchecker(speedchecker, ctx)
+                unit_engine = FaultyEngine(self._engine, ctx)
+            return _speedchecker_unit(
+                world, unit_engine, day, platform=speedchecker
+            )
+        atlas: AtlasLike = world.atlas
+        if ctx is not None:
+            atlas = FaultyAtlas(atlas, ctx)
+            unit_engine = FaultyEngine(self._engine, ctx)
+        return _atlas_unit(world, unit_engine, day, platform=atlas)
+
+
+def _speedchecker_unit_budget(world: "World") -> int:
+    """The most requests one Speedchecker unit may issue.
+
+    The same bound the unit scheduler applies up front -- the day's
+    rate cap or the daily quota, whichever is smaller.  The parallel
+    commit phase re-checks every committed unit against it.
+    """
+    rate_cap = int(world.config.campaign.requests_per_minute * 60 * 24)
+    return min(rate_cap, world.speedchecker.daily_quota)
+
+
 def run_campaign_checkpointed(
     world: "World",
     run_dir: PathLike,
@@ -526,6 +574,8 @@ def run_campaign_checkpointed(
     max_units: Optional[int] = None,
     faults: Optional[FaultConfig] = None,
     retry: Optional[RetryPolicy] = None,
+    workers: int = 1,
+    abort_after_commits: Optional[int] = None,
 ) -> DatasetStore:
     """Run a campaign with per-unit checkpointing into a dataset store.
 
@@ -544,7 +594,20 @@ def run_campaign_checkpointed(
     budgets.  An inactive (all-zero) fault config is byte-identical to
     passing ``None``: units run on the fault-free fast path and journal
     the exact entries this function has always written.
+
+    ``workers`` > 1 executes units on that many forked worker processes
+    via :mod:`repro.exec`: workers stage into private stores and the
+    parent commits in canonical order, so the resulting store is
+    byte-identical to ``workers=1`` apart from the execution-provenance
+    keys stamped into the journal's ``begin`` entry (see
+    ``docs/PARALLELISM.md``).  Orphaned staging directories left by a
+    previously killed parallel run are garbage-collected before any
+    unit executes.  ``abort_after_commits`` is the parallel runner's
+    kill-mid-commit testing hook (see
+    :func:`repro.exec.execute_plan_parallel`).
     """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
     config = world.config
     total_days = days if days is not None else config.campaign.days
     units = plan_units(total_days, list(platforms))
@@ -585,6 +648,10 @@ def run_campaign_checkpointed(
                 f"has {plan.get('fault_digest')!r}"
             )
 
+    # Any staging directory is an orphan of a killed parallel run: its
+    # units never made the journal, so they re-run deterministically.
+    discard_staging(store.run_dir)
+
     # Skipped units are closed too: resume must not retry a unit the
     # resilient executor already gave up on (repair re-opens them).
     completed = set(store.completed_units()) | set(store.skipped_units())
@@ -592,25 +659,7 @@ def run_campaign_checkpointed(
     fault_plan = (
         FaultPlan(config.seed, fault_config) if fault_config is not None else None
     )
-
-    def _execute(
-        unit: str, day: int, ctx: Optional[AttemptFaults]
-    ) -> UnitResult:
-        platform_name = unit.split(":")[0]
-        unit_engine: BatchEngine = engine
-        if platform_name == "speedchecker":
-            speedchecker: SpeedcheckerLike = world.speedchecker
-            if ctx is not None:
-                speedchecker = FaultySpeedchecker(speedchecker, ctx)
-                unit_engine = FaultyEngine(engine, ctx)
-            return _speedchecker_unit(
-                world, unit_engine, day, platform=speedchecker
-            )
-        atlas: AtlasLike = world.atlas
-        if ctx is not None:
-            atlas = FaultyAtlas(atlas, ctx)
-            unit_engine = FaultyEngine(engine, ctx)
-        return _atlas_unit(world, unit_engine, day, platform=atlas)
+    executor = CheckpointExecutor(world, engine)
 
     # As in run_campaign: bulk record allocation with no reference
     # cycles, so suspend the collector for the duration.
@@ -618,15 +667,31 @@ def run_campaign_checkpointed(
     if was_enabled:
         gc.disable()
     try:
-        execute_plan(
-            store,
-            units,
-            completed,
-            _execute,
-            plan=fault_plan,
-            retry=retry,
-            max_units=max_units,
-        )
+        if workers == 1:
+            execute_plan(
+                store,
+                units,
+                completed,
+                executor,
+                plan=fault_plan,
+                retry=retry,
+                max_units=max_units,
+            )
+        else:
+            execute_plan_parallel(
+                store,
+                units,
+                completed,
+                executor,
+                workers=workers,
+                plan=fault_plan,
+                retry=retry,
+                max_units=max_units,
+                unit_budgets={
+                    "speedchecker": _speedchecker_unit_budget(world)
+                },
+                abort_after_commits=abort_after_commits,
+            )
     finally:
         if was_enabled:
             gc.enable()
@@ -641,6 +706,7 @@ def resume_campaign(
     retry: Optional[RetryPolicy] = None,
     verify: bool = True,
     repair: bool = False,
+    workers: int = 1,
 ) -> DatasetStore:
     """Resume an interrupted checkpointed campaign from its journal.
 
@@ -655,13 +721,22 @@ def resume_campaign(
     deterministically re-run along with the pending ones.  A journal
     corrupted mid-file (not a torn tail) always refuses with
     :class:`~repro.store.journal.JournalError`.
+
+    A run directory left behind by a *killed parallel run* is handled
+    transparently: the journal already holds only the canonical prefix
+    of committed units, orphaned worker staging directories are
+    detected and garbage-collected before execution, and the pending
+    units re-run (on ``workers`` processes) to a store byte-identical
+    to an uninterrupted run.  ``workers`` also parallelizes the
+    ``verify`` pass itself.
     """
     store = DatasetStore.open(Path(run_dir))
     begin = store.journal.begin_entry()
     if begin is None:
         raise StoreError(f"{store.run_dir}: no begun campaign to resume")
+    discard_staging(store.run_dir)
     if verify:
-        report = store.verify_report()
+        report = store.verify_report(workers=workers)
         bad_units = sorted(
             unit_report["unit"]
             for unit_report in report["units"]
@@ -683,6 +758,7 @@ def resume_campaign(
         max_units=max_units,
         faults=faults,
         retry=retry,
+        workers=workers,
     )
 
 

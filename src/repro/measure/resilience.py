@@ -136,7 +136,7 @@ def _unit_extra(
     return extra or None
 
 
-def _run_unit(
+def run_unit(
     store: DatasetStore,
     unit: str,
     day: int,
@@ -149,6 +149,12 @@ def _run_unit(
     Returns ``True`` if the unit was journaled as complete (possibly
     partial), ``False`` if it exhausted its retry budget and was
     journaled as skipped.
+
+    Retry, backoff and fault streams are keyed by ``unit``, never by
+    the executing process, so the parallel runner
+    (:func:`repro.exec.execute_plan_parallel`) calls this unchanged
+    against per-worker staging stores -- circuit breakers are the only
+    cross-unit state and are replayed by the parent at commit time.
     """
     if plan is None:
         clean = execute(unit, day, None)
@@ -243,12 +249,12 @@ def execute_plan(
                 store.journal_skip(unit, reason="circuit-open", attempts=0)
                 processed += 1
                 continue
-            if _run_unit(store, unit, int(unit.split(":")[1]), execute, plan, policy):
+            if run_unit(store, unit, int(unit.split(":")[1]), execute, plan, policy):
                 breaker.record_success()
             else:
                 breaker.record_failure()
         else:
-            _run_unit(
+            run_unit(
                 store, unit, int(unit.split(":")[1]), execute, None, policy
             )
         processed += 1

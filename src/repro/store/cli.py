@@ -53,6 +53,13 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the full per-shard report as JSON",
     )
+    verify.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for shard checks (default 1; the report "
+        "is identical at any worker count)",
+    )
 
     export = subparsers.add_parser(
         "export-jsonl", help="export a store as line-delimited JSON"
@@ -109,7 +116,10 @@ def _command_info(args: argparse.Namespace) -> int:
 
 def _command_verify(args: argparse.Namespace) -> int:
     store = DatasetStore.open(args.run_dir)
-    report = store.verify_report()
+    if args.workers < 1:
+        print(f"error: --workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
+    report = store.verify_report(workers=args.workers)
     if args.as_json:
         print(json.dumps(report, indent=2, sort_keys=True))
         return 0 if report["ok"] else 1

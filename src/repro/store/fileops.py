@@ -16,7 +16,7 @@ from pathlib import Path
 
 
 class FileOps:
-    """Durable file primitives used by the shard writer."""
+    """Durable file primitives used by the shard writer and merger."""
 
     def write_bytes(self, path: Path, payload: bytes) -> None:
         """Write ``payload`` to ``path`` and fsync before returning."""
@@ -24,6 +24,22 @@ class FileOps:
             fh.write(payload)
             fh.flush()
             os.fsync(fh.fileno())
+
+    def replace(self, source: Path, destination: Path) -> None:
+        """Atomically rename ``source`` over ``destination`` and fsync.
+
+        Used by the parallel commit phase to publish staged shard files
+        into the main store without copying: the staged bytes (already
+        fsynced by :meth:`write_bytes`) move unchanged, and the
+        destination is fsynced again so the rename itself is durable
+        before the unit's journal entry is appended.
+        """
+        os.replace(source, destination)
+        fd = os.open(destination, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
 
 
 #: Shared default instance (stateless).

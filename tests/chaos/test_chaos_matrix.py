@@ -215,6 +215,41 @@ class TestChaosMatrix:
                 assert compared > 0
 
 
+@pytest.mark.parametrize("regime", sorted(MATRIX))
+class TestParallelChaos:
+    """The parallel identity gate: staged execution with breaker replay
+    reproduces the serial faulted run canonically byte-for-byte under
+    every fault regime (see docs/PARALLELISM.md)."""
+
+    def test_parallel_run_matches_serial_under_faults(
+        self, regime, world, tmp_path
+    ):
+        from repro.exec import canonical_store_digest, staging_root
+
+        serial_dir = tmp_path / "serial"
+        serial_store = run_campaign_checkpointed(
+            world, serial_dir, days=DAYS, faults=MATRIX[regime], retry=RETRY
+        )
+        workers = 4 if regime == "everything" else 2
+        parallel_dir = tmp_path / f"w{workers}"
+        parallel_store = run_campaign_checkpointed(
+            world,
+            parallel_dir,
+            days=DAYS,
+            faults=MATRIX[regime],
+            retry=RETRY,
+            workers=workers,
+        )
+        assert canonical_store_digest(parallel_dir) == canonical_store_digest(
+            serial_dir
+        )
+        assert sorted(parallel_store.skipped_units()) == sorted(
+            serial_store.skipped_units()
+        )
+        assert parallel_store.verify() == []
+        assert not staging_root(parallel_dir).exists()
+
+
 class TestChaosDeterminism:
     def test_same_seed_and_config_reproduce_identical_runs(
         self, world, tmp_path

@@ -1,0 +1,304 @@
+"""Determinism contract of the parallel campaign execution engine.
+
+The tentpole guarantee of :mod:`repro.exec`: a campaign executed on N
+worker processes produces a store *file-for-file identical* to the
+serial run -- same shards, same journal entries, same skip decisions --
+apart from the execution-provenance keys (``workers``,
+``merge_digest``) stamped into the journal's ``begin`` entry, which the
+canonical digest normalizes away.  Also covered here: the
+kill-mid-commit + resume path (orphaned staging garbage collection),
+the parallel store verifier's report equivalence, and the CLI surface.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import build_world
+from repro.cli import main as repro_main
+from repro.exec import (
+    canonical_store_digest,
+    staging_root,
+    store_digest,
+)
+from repro.exec.scheduler import ExecError
+from repro.faults import FaultConfig, RetryPolicy
+from repro.measure.campaign import resume_campaign, run_campaign_checkpointed
+from repro.store import DatasetStore
+from repro.store.cli import main as store_main
+
+SEED = 11
+SCALE = 0.01
+DAYS = 3
+
+#: A regime that exercises retries, breaker-relevant skips, quota races
+#: and storage faults all at once (mirrors the chaos "everything" mix).
+FAULTS = FaultConfig(
+    api_timeout_rate=0.3,
+    quota_race_rate=0.2,
+    probe_disconnect_rate=0.2,
+    torn_write_rate=0.1,
+    corrupt_write_rate=0.05,
+)
+RETRY = RetryPolicy(max_attempts=4)
+
+
+def _file_map(run_dir):
+    return {
+        path.relative_to(run_dir).as_posix(): path.read_bytes()
+        for path in sorted(run_dir.rglob("*"))
+        if path.is_file()
+    }
+
+
+def _world():
+    return build_world(seed=SEED, scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def serial_run(tmp_path_factory):
+    """The workers=1 reference every parallel run is compared against."""
+    run_dir = tmp_path_factory.mktemp("parallel") / "serial"
+    store = run_campaign_checkpointed(_world(), run_dir, days=DAYS)
+    return run_dir, store
+
+
+@pytest.fixture(scope="module")
+def serial_faulted_run(tmp_path_factory):
+    """The workers=1 reference of the faulted identity matrix."""
+    run_dir = tmp_path_factory.mktemp("parallel") / "serial-faulted"
+    store = run_campaign_checkpointed(
+        _world(), run_dir, days=DAYS, faults=FAULTS, retry=RETRY
+    )
+    return run_dir, store
+
+
+class TestParallelByteIdentity:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_store_matches_serial_golden_digest(
+        self, workers, serial_run, tmp_path
+    ):
+        serial_dir, _ = serial_run
+        run_dir = tmp_path / f"w{workers}"
+        store = run_campaign_checkpointed(
+            _world(), run_dir, days=DAYS, workers=workers
+        )
+        assert canonical_store_digest(run_dir) == canonical_store_digest(
+            serial_dir
+        )
+        assert store_digest(run_dir) == store_digest(serial_dir)
+        assert store.verify() == []
+        assert not staging_root(run_dir).exists()
+
+    def test_only_the_journal_differs_in_raw_bytes(self, serial_run, tmp_path):
+        """Shards and manifest are raw-identical; the journal differs
+        only by the provenance keys in its ``begin`` entry."""
+        serial_dir, _ = serial_run
+        run_dir = tmp_path / "w2"
+        run_campaign_checkpointed(_world(), run_dir, days=DAYS, workers=2)
+        serial_map, parallel_map_ = _file_map(serial_dir), _file_map(run_dir)
+        assert set(serial_map) == set(parallel_map_)
+        differing = {
+            name
+            for name in serial_map
+            if serial_map[name] != parallel_map_[name]
+        }
+        assert differing == {"journal.jsonl"}
+
+    def test_parallel_run_records_provenance(self, tmp_path):
+        run_dir = tmp_path / "w2"
+        store = run_campaign_checkpointed(
+            _world(), run_dir, days=DAYS, workers=2
+        )
+        begin = store.journal.begin_entry()
+        assert begin["workers"] == 2
+        assert len(begin["merge_digest"]) == 64
+
+    def test_serial_run_journal_carries_no_provenance(self, serial_run):
+        _, store = serial_run
+        begin = store.journal.begin_entry()
+        assert "workers" not in begin
+        assert "merge_digest" not in begin
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_faulted_store_matches_serial_faulted_run(
+        self, workers, serial_faulted_run, tmp_path
+    ):
+        """Breaker replay: retries, skips and backoff accounting land
+        identically no matter how many workers executed the units."""
+        serial_dir, serial_store = serial_faulted_run
+        run_dir = tmp_path / f"w{workers}"
+        store = run_campaign_checkpointed(
+            _world(),
+            run_dir,
+            days=DAYS,
+            faults=FAULTS,
+            retry=RETRY,
+            workers=workers,
+        )
+        assert canonical_store_digest(run_dir) == canonical_store_digest(
+            serial_dir
+        )
+        assert sorted(store.skipped_units()) == sorted(
+            serial_store.skipped_units()
+        )
+
+
+class TestKillAndResume:
+    def test_abort_mid_commit_leaves_orphaned_staging(self, tmp_path):
+        run_dir = tmp_path / "killed"
+        with pytest.raises(ExecError, match="aborted after 2 commits"):
+            run_campaign_checkpointed(
+                _world(),
+                run_dir,
+                days=DAYS,
+                workers=2,
+                abort_after_commits=2,
+            )
+        store = DatasetStore.open(run_dir)
+        # The journal holds exactly the canonical prefix that committed.
+        assert len(store.completed_units()) + len(store.skipped_units()) == 2
+        orphans = sorted(
+            child.name for child in staging_root(run_dir).iterdir()
+        )
+        assert orphans == ["worker-00", "worker-01"]
+
+    def test_resume_gcs_staging_and_is_byte_identical(
+        self, serial_run, tmp_path
+    ):
+        serial_dir, _ = serial_run
+        run_dir = tmp_path / "killed"
+        with pytest.raises(ExecError, match="testing hook"):
+            run_campaign_checkpointed(
+                _world(),
+                run_dir,
+                days=DAYS,
+                workers=2,
+                abort_after_commits=2,
+            )
+        assert staging_root(run_dir).exists()
+        resumed = resume_campaign(_world(), run_dir, workers=2)
+        assert not staging_root(run_dir).exists()
+        assert canonical_store_digest(run_dir) == canonical_store_digest(
+            serial_dir
+        )
+        assert resumed.verify() == []
+
+    def test_serial_resume_of_a_killed_parallel_run(
+        self, serial_run, tmp_path
+    ):
+        """A killed parallel run may be finished serially -- the store
+        is raw byte-identical to the serial golden (the begin entry is
+        only stamped when the *completing* run is parallel)."""
+        serial_dir, _ = serial_run
+        run_dir = tmp_path / "killed"
+        with pytest.raises(ExecError, match="testing hook"):
+            run_campaign_checkpointed(
+                _world(),
+                run_dir,
+                days=DAYS,
+                workers=4,
+                abort_after_commits=1,
+            )
+        resume_campaign(_world(), run_dir, workers=1)
+        assert _file_map(run_dir) == _file_map(serial_dir)
+
+    def test_faulted_kill_and_resume_matches_serial(
+        self, serial_faulted_run, tmp_path
+    ):
+        serial_dir, _ = serial_faulted_run
+        run_dir = tmp_path / "killed"
+        with pytest.raises(ExecError, match="testing hook"):
+            run_campaign_checkpointed(
+                _world(),
+                run_dir,
+                days=DAYS,
+                faults=FAULTS,
+                retry=RETRY,
+                workers=2,
+                abort_after_commits=3,
+            )
+        resume_campaign(
+            _world(), run_dir, faults=FAULTS, retry=RETRY, workers=2
+        )
+        assert canonical_store_digest(run_dir) == canonical_store_digest(
+            serial_dir
+        )
+
+
+class TestParallelVerify:
+    def test_report_identical_at_any_worker_count(self, serial_run):
+        _, store = serial_run
+        serial_report = store.verify_report()
+        for workers in (2, 4):
+            assert store.verify_report(workers=workers) == serial_report
+
+    def test_corruption_detected_identically(self, serial_run, tmp_path):
+        serial_dir, _ = serial_run
+        run_dir = tmp_path / "corrupt"
+        store = run_campaign_checkpointed(_world(), run_dir, days=DAYS)
+        entry = store.unit_entries()[0]
+        shard = store.shard_dir / entry["shards"][0]
+        raw = bytearray(shard.read_bytes())
+        raw[-3] ^= 0xFF
+        shard.write_bytes(bytes(raw))
+        serial_report = store.verify_report()
+        parallel_report = store.verify_report(workers=4)
+        assert parallel_report == serial_report
+        assert not serial_report["ok"]
+
+
+class TestCliSurface:
+    def test_store_verify_workers_flag_same_exit_and_output(
+        self, serial_run, capsys
+    ):
+        serial_dir, _ = serial_run
+        assert store_main(["verify", str(serial_dir)]) == 0
+        serial_out = capsys.readouterr().out
+        assert store_main(["verify", str(serial_dir), "--workers", "4"]) == 0
+        assert capsys.readouterr().out == serial_out
+
+    def test_store_verify_json_report_identical(self, serial_run, capsys):
+        serial_dir, _ = serial_run
+        store_main(["verify", str(serial_dir), "--json"])
+        serial_json = json.loads(capsys.readouterr().out)
+        store_main(["verify", str(serial_dir), "--json", "--workers", "3"])
+        assert json.loads(capsys.readouterr().out) == serial_json
+
+    def test_store_verify_rejects_bad_worker_count(self, serial_run):
+        serial_dir, _ = serial_run
+        assert store_main(["verify", str(serial_dir), "--workers", "0"]) == 2
+
+    def test_campaign_workers_requires_store(self, capsys):
+        code = repro_main(
+            ["campaign", "--days", "1", "-o", "out.jsonl", "--workers", "2"]
+        )
+        assert code == 2
+        assert "--workers require --store" in capsys.readouterr().err
+
+    def test_campaign_workers_flag_matches_serial(
+        self, serial_run, tmp_path
+    ):
+        serial_dir, _ = serial_run
+        run_dir = tmp_path / "cli"
+        code = repro_main(
+            [
+                "campaign",
+                "--seed",
+                str(SEED),
+                "--scale",
+                str(SCALE),
+                "--days",
+                str(DAYS),
+                "--store",
+                str(run_dir),
+                "--workers",
+                "2",
+            ]
+        )
+        assert code == 0
+        assert canonical_store_digest(run_dir) == canonical_store_digest(
+            serial_dir
+        )

@@ -1,0 +1,306 @@
+"""Unit tests for repro.exec: scheduler, ledger, pool, staging, digests.
+
+The integration-level determinism contract (parallel campaign stores
+byte-identical to serial) lives in
+``tests/integration/test_parallel_campaign.py``; this module probes the
+building blocks in isolation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec import (
+    ExecError,
+    QuotaLedger,
+    UnitScheduler,
+    canonical_store_digest,
+    create_staging_store,
+    discard_staging,
+    merge_digest,
+    merge_staged_unit,
+    parallel_map,
+    staged_outcomes,
+    staging_root,
+    store_digest,
+    unit_day,
+    unit_platform,
+    worker_staging_dir,
+)
+from repro.exec.runner import record_execution_provenance
+from repro.measure.results import ping_block_from_records, trace_block_from_records
+from repro.store import DatasetStore
+from tests.unit.test_store import _ping, _trace
+
+UNITS = [f"speedchecker:{day:03d}" for day in range(5)] + [
+    f"atlas:{day:03d}" for day in range(5)
+]
+
+
+# -- unit id helpers ----------------------------------------------------
+
+
+class TestUnitHelpers:
+    def test_platform_and_day(self):
+        assert unit_platform("speedchecker:012") == "speedchecker"
+        assert unit_day("speedchecker:012") == 12
+        assert unit_platform("atlas:000") == "atlas"
+        assert unit_day("atlas:000") == 0
+
+
+# -- scheduler ----------------------------------------------------------
+
+
+class TestUnitScheduler:
+    def test_round_robin_partition_preserves_canonical_order(self):
+        scheduler = UnitScheduler(UNITS, workers=3)
+        partition = scheduler.partition()
+        assert len(partition) == 3
+        assert partition[0] == UNITS[0::3]
+        assert partition[1] == UNITS[1::3]
+        assert partition[2] == UNITS[2::3]
+        for assigned in partition:
+            indices = [UNITS.index(unit) for unit in assigned]
+            assert indices == sorted(indices)
+
+    def test_every_unit_assigned_exactly_once(self):
+        for workers in (1, 2, 3, 4, 7, 16):
+            partition = UnitScheduler(UNITS, workers).partition()
+            flat = [unit for assigned in partition for unit in assigned]
+            assert sorted(flat) == sorted(UNITS)
+            assert len(flat) == len(set(flat))
+
+    def test_more_workers_than_units_yields_empty_assignments(self):
+        partition = UnitScheduler(UNITS[:2], workers=5).partition()
+        assert [len(assigned) for assigned in partition] == [1, 1, 0, 0, 0]
+
+    def test_worker_of_agrees_with_partition(self):
+        scheduler = UnitScheduler(UNITS, workers=4)
+        worker_of = scheduler.worker_of()
+        for index, assigned in enumerate(scheduler.partition()):
+            for unit in assigned:
+                assert worker_of[unit] == index
+
+    def test_canonical_order_is_the_input_order(self):
+        assert UnitScheduler(UNITS, workers=2).canonical_order == UNITS
+
+    def test_duplicate_units_rejected(self):
+        with pytest.raises(ExecError, match="duplicates"):
+            UnitScheduler(["a:000", "a:000"], workers=2)
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            UnitScheduler(UNITS, workers=0)
+
+
+# -- quota ledger -------------------------------------------------------
+
+
+class TestQuotaLedger:
+    def test_accounts_per_platform_totals(self):
+        ledger = QuotaLedger({"speedchecker": 100})
+        ledger.record("speedchecker:000", 60)
+        ledger.record("speedchecker:001", 40)
+        ledger.record("atlas:000", 9999)
+        assert ledger.issued("speedchecker") == 100
+        assert ledger.issued("atlas") == 9999
+        assert ledger.as_dict() == {"atlas": 9999, "speedchecker": 100}
+        assert ledger.issued_by_unit()["speedchecker:001"] == 40
+
+    def test_per_unit_budget_never_over_issued(self):
+        ledger = QuotaLedger({"speedchecker": 100})
+        ledger.record("speedchecker:000", 100)
+        with pytest.raises(ExecError, match="over the per-unit budget"):
+            ledger.record("speedchecker:001", 101)
+
+    def test_unmetered_platform_has_no_budget(self):
+        ledger = QuotaLedger({"speedchecker": 10})
+        assert ledger.budget("atlas") is None
+        ledger.record("atlas:000", 123456)
+
+    def test_double_commit_rejected(self):
+        ledger = QuotaLedger()
+        ledger.record("atlas:000", 1)
+        with pytest.raises(ExecError, match="committed twice"):
+            ledger.record("atlas:000", 1)
+
+    def test_negative_issue_count_rejected(self):
+        with pytest.raises(ExecError, match="negative"):
+            QuotaLedger().record("atlas:000", -1)
+
+
+# -- worker pool --------------------------------------------------------
+
+
+def _square(value):
+    return value * value
+
+
+def _fail_on_three(value):
+    if value == 3:
+        raise RuntimeError("boom on three")
+    return value
+
+
+class TestParallelMap:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_results_preserve_input_order(self, workers):
+        items = list(range(23))
+        assert parallel_map(_square, items, workers) == [
+            _square(item) for item in items
+        ]
+
+    def test_single_item_takes_serial_path(self):
+        assert parallel_map(_square, [7], workers=8) == [49]
+
+    def test_empty_input(self):
+        assert parallel_map(_square, [], workers=4) == []
+
+    def test_worker_exception_surfaces_with_traceback(self):
+        with pytest.raises(ExecError, match="boom on three"):
+            parallel_map(_fail_on_three, list(range(8)), workers=2)
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            parallel_map(_square, [1, 2], workers=0)
+
+
+# -- staging stores -----------------------------------------------------
+
+
+def _flush_unit(store, unit, probe="p0"):
+    day = unit_day(unit)
+    return store.flush_unit(
+        unit,
+        ping_block=ping_block_from_records(
+            [_ping(probe, day), _ping(probe + "x", day)]
+        ),
+        trace_block=trace_block_from_records([_trace(probe, day)]),
+    )
+
+
+class TestStaging:
+    def _main_store(self, tmp_path):
+        return DatasetStore.create(
+            tmp_path / "run", seed=7, config_hash="abc", scale=0.5
+        )
+
+    def test_staging_store_mirrors_identity(self, tmp_path):
+        store = self._main_store(tmp_path)
+        staging = create_staging_store(store.run_dir, 0, store.manifest)
+        assert staging.run_dir == worker_staging_dir(store.run_dir, 0)
+        assert staging.manifest["seed"] == 7
+        assert staging.manifest["config_hash"] == "abc"
+        assert staging.manifest["source"] == "staging"
+
+    def test_existing_staging_dir_rejected(self, tmp_path):
+        store = self._main_store(tmp_path)
+        create_staging_store(store.run_dir, 0, store.manifest)
+        with pytest.raises(ExecError, match="already exists"):
+            create_staging_store(store.run_dir, 0, store.manifest)
+
+    def test_staged_outcomes_reflect_the_fragment_journal(self, tmp_path):
+        store = self._main_store(tmp_path)
+        staging = create_staging_store(store.run_dir, 0, store.manifest)
+        _flush_unit(staging, "speedchecker:000")
+        staging.journal_skip("speedchecker:001", reason="gave up", attempts=3)
+        outcomes = staged_outcomes(staging.run_dir)
+        assert set(outcomes) == {"speedchecker:000", "speedchecker:001"}
+        assert outcomes["speedchecker:000"]["type"] == "unit"
+        assert outcomes["speedchecker:001"]["type"] == "skip"
+
+    def test_merge_moves_shards_and_isolation_holds(self, tmp_path):
+        store = self._main_store(tmp_path)
+        staging = create_staging_store(store.run_dir, 0, store.manifest)
+        entry = _flush_unit(staging, "speedchecker:000")
+        # Staging is isolated: nothing in the main shard dir yet.
+        assert not any(store.shard_dir.iterdir())
+        staged_bytes = {
+            name: (staging.shard_dir / name).read_bytes()
+            for name in entry["shards"]
+        }
+        merge_staged_unit(store, staging.run_dir, entry)
+        store.journal_unit(entry)
+        for name in entry["shards"]:
+            assert (store.shard_dir / name).read_bytes() == staged_bytes[name]
+            assert not (staging.shard_dir / name).exists()
+        assert store.verify() == []
+
+    def test_merge_rejects_missing_staged_shard(self, tmp_path):
+        store = self._main_store(tmp_path)
+        staging = create_staging_store(store.run_dir, 0, store.manifest)
+        entry = _flush_unit(staging, "speedchecker:000")
+        (staging.shard_dir / entry["shards"][0]).unlink()
+        with pytest.raises(ExecError, match="missing"):
+            merge_staged_unit(store, staging.run_dir, entry)
+
+    def test_discard_staging_removes_every_worker_dir(self, tmp_path):
+        store = self._main_store(tmp_path)
+        for worker_id in (0, 1, 3):
+            create_staging_store(store.run_dir, worker_id, store.manifest)
+        removed = discard_staging(store.run_dir)
+        assert removed == ["worker-00", "worker-01", "worker-03"]
+        assert not staging_root(store.run_dir).exists()
+        assert discard_staging(store.run_dir) == []
+
+
+# -- canonical digests --------------------------------------------------
+
+
+class TestDigests:
+    def _begun_store(self, tmp_path, name):
+        store = DatasetStore.create(
+            tmp_path / name, seed=7, config_hash="abc", scale=0.5
+        )
+        store.begin_run(
+            {
+                "seed": 7,
+                "config_hash": "abc",
+                "scale": 0.5,
+                "days": 1,
+                "platforms": ["speedchecker"],
+                "units": ["speedchecker:000"],
+            }
+        )
+        _flush_unit(store, "speedchecker:000")
+        return store
+
+    def test_provenance_keys_do_not_change_canonical_digest(self, tmp_path):
+        store = self._begun_store(tmp_path, "run")
+        before_raw = store.journal.path.read_bytes()
+        before = canonical_store_digest(store.run_dir)
+        before_combined = store_digest(store.run_dir)
+        record_execution_provenance(store, workers=4)
+        begin = store.journal.begin_entry()
+        assert begin["workers"] == 4
+        assert begin["merge_digest"]
+        # The raw journal changed; the canonical view did not.
+        assert store.journal.path.read_bytes() != before_raw
+        assert canonical_store_digest(store.run_dir) == before
+        assert store_digest(store.run_dir) == before_combined
+
+    def test_identical_stores_have_identical_digests(self, tmp_path):
+        first = self._begun_store(tmp_path, "first")
+        second = self._begun_store(tmp_path, "second")
+        assert store_digest(first.run_dir) == store_digest(second.run_dir)
+
+    def test_shard_bytes_participate_in_the_digest(self, tmp_path):
+        store = self._begun_store(tmp_path, "run")
+        digests = canonical_store_digest(store.run_dir)
+        entry = store.unit_entries()[0]
+        shard = store.shard_dir / entry["shards"][0]
+        raw = bytearray(shard.read_bytes())
+        raw[-1] ^= 0xFF
+        shard.write_bytes(bytes(raw))
+        after = canonical_store_digest(store.run_dir)
+        changed = {key for key in digests if digests[key] != after[key]}
+        assert changed == {f"shards/{entry['shards'][0]}"}
+
+    def test_merge_digest_is_order_sensitive(self):
+        entries = [
+            {"type": "unit", "unit": "a:000", "pings": 1},
+            {"type": "skip", "unit": "a:001", "reason": "x"},
+        ]
+        assert merge_digest(entries) == merge_digest(list(entries))
+        assert merge_digest(entries) != merge_digest(entries[::-1])
+        assert merge_digest([]) != merge_digest(entries)

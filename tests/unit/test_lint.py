@@ -57,6 +57,7 @@ class TestRegistry:
             "FRZ001",
             "PAR001",
             "ROB001",
+            "EXE001",
         } <= ids
 
     def test_select_and_ignore(self):
@@ -378,6 +379,140 @@ class TestExceptionSwallow:
             "    pass\n"
         )
         assert lint_with("ROB001", src) == []
+
+
+# -- EXE001: worker-execution safety ------------------------------------
+
+EXEC_PATH = "src/repro/exec/runner.py"
+
+
+class TestWorkerExecSafety:
+    def test_flags_lambda_process_target(self):
+        src = (
+            "import multiprocessing\n"
+            "def launch(ctx):\n"
+            "    p = ctx.Process(target=lambda: work())\n"
+            "    p.start()\n"
+        )
+        violations = lint_with("EXE001", src, filename=EXEC_PATH)
+        assert rule_ids(violations) == ["EXE001"]
+        assert "lambda" in violations[0].message
+
+    def test_flags_nested_function_process_target(self):
+        src = (
+            "def launch(ctx):\n"
+            "    def worker():\n"
+            "        work()\n"
+            "    ctx.Process(target=worker).start()\n"
+        )
+        violations = lint_with("EXE001", src, filename=EXEC_PATH)
+        assert rule_ids(violations) == ["EXE001"]
+        assert "nested function" in violations[0].message
+
+    def test_flags_nested_function_parallel_map(self):
+        src = (
+            "from repro.exec.pool import parallel_map\n"
+            "def verify(tasks):\n"
+            "    def check(task):\n"
+            "        return task\n"
+            "    return parallel_map(check, tasks, 4)\n"
+        )
+        assert rule_ids(lint_with("EXE001", src, filename=EXEC_PATH)) == [
+            "EXE001"
+        ]
+
+    def test_top_level_worker_is_allowed(self):
+        src = (
+            "from repro.exec.pool import parallel_map\n"
+            "def _worker(task):\n"
+            "    return task\n"
+            "def verify(tasks):\n"
+            "    return parallel_map(_worker, tasks, 4)\n"
+        )
+        assert lint_with("EXE001", src, filename=EXEC_PATH) == []
+
+    def test_flags_global_statement(self):
+        src = (
+            "_COUNT = 0\n"
+            "def bump():\n"
+            "    global _COUNT\n"
+            "    _COUNT += 1\n"
+        )
+        violations = lint_with("EXE001", src, filename=EXEC_PATH)
+        assert "EXE001" in rule_ids(violations)
+
+    def test_flags_mutator_call_on_module_global(self):
+        src = (
+            "_CACHE = {}\n"
+            "def remember(key, value):\n"
+            "    _CACHE.update({key: value})\n"
+        )
+        violations = lint_with("EXE001", src, filename=EXEC_PATH)
+        assert rule_ids(violations) == ["EXE001"]
+        assert "_CACHE.update" in violations[0].message
+
+    def test_flags_subscript_store_on_module_global(self):
+        src = (
+            "_RESULTS = []\n"
+            "_CACHE = dict()\n"
+            "def remember(key, value):\n"
+            "    _CACHE[key] = value\n"
+        )
+        assert rule_ids(lint_with("EXE001", src, filename=EXEC_PATH)) == [
+            "EXE001"
+        ]
+
+    def test_read_only_module_table_is_allowed(self):
+        src = (
+            "_SHARE = {'AF': 0.2, 'EU': 0.5}\n"
+            "def lookup(continent):\n"
+            "    return _SHARE[continent]\n"
+        )
+        assert lint_with("EXE001", src, filename=EXEC_PATH) == []
+
+    def test_module_level_population_is_allowed(self):
+        src = (
+            "_TABLE = {}\n"
+            "for code in ('a', 'b'):\n"
+            "    _TABLE[code] = code.upper()\n"
+        )
+        assert lint_with("EXE001", src, filename=EXEC_PATH) == []
+
+    def test_local_shadowing_container_is_allowed(self):
+        src = (
+            "def collect(tasks):\n"
+            "    results = []\n"
+            "    for task in tasks:\n"
+            "        results.append(task)\n"
+            "    return results\n"
+        )
+        assert lint_with("EXE001", src, filename=EXEC_PATH) == []
+
+    def test_applies_to_measure_tree(self):
+        src = (
+            "_CACHE = {}\n"
+            "def remember(key, value):\n"
+            "    _CACHE[key] = value\n"
+        )
+        assert rule_ids(lint_with("EXE001", src, filename=MEASURE_PATH)) == [
+            "EXE001"
+        ]
+
+    def test_out_of_scope_tree_is_exempt(self):
+        src = (
+            "_CACHE = {}\n"
+            "def remember(key, value):\n"
+            "    _CACHE[key] = value\n"
+        )
+        assert lint_with("EXE001", src, filename=ANALYSIS_PATH) == []
+
+    def test_test_files_exempt(self):
+        src = (
+            "_CACHE = {}\n"
+            "def remember(key, value):\n"
+            "    _CACHE[key] = value\n"
+        )
+        assert lint_with("EXE001", src, filename=TEST_PATH) == []
 
 
 # -- suppression comments -----------------------------------------------
