@@ -18,6 +18,7 @@ import time
 
 import pytest
 
+from memprof import peak_rss_mb
 from repro import build_world
 from repro.exec import canonical_store_digest, fork_available
 from repro.measure.campaign import run_campaign_checkpointed
@@ -63,7 +64,9 @@ def test_parallel_speedup_gate(parallel_world, run_root):
     speedup = serial_s / parallel_s
     print(
         f"\nserial: {serial_s:.2f}s, {WORKERS} workers: {parallel_s:.2f}s, "
-        f"speedup: {speedup:.2f}x (cpus: {os.cpu_count()})"
+        f"speedup: {speedup:.2f}x (cpus: {os.cpu_count()}), peak RSS "
+        f"{peak_rss_mb():.0f} MB parent / "
+        f"{peak_rss_mb(include_children=True):.0f} MB incl. workers"
     )
 
     assert canonical_store_digest(parallel_dir) == canonical_store_digest(

@@ -2,6 +2,7 @@
 default scale (20% of the paper's fleet)."""
 
 
+from memprof import peak_rss_mb
 from repro import build_world, run_campaign
 
 
@@ -12,6 +13,7 @@ def test_world_build_at_20pct_scale(benchmark):
     world = benchmark.pedantic(build, rounds=1, iterations=1)
     assert len(world.speedchecker) > 20_000
     print(f"\n{world.summary()}")
+    print(f"peak RSS after build: {peak_rss_mb():.0f} MB")
 
 
 def test_campaign_day_at_20pct_scale(benchmark):
@@ -24,5 +26,6 @@ def test_campaign_day_at_20pct_scale(benchmark):
     assert dataset.ping_count > 0
     print(
         f"\none campaign day at 20% scale: {dataset.ping_sample_count} ping "
-        f"samples, {dataset.traceroute_count} traceroutes"
+        f"samples, {dataset.traceroute_count} traceroutes, "
+        f"peak RSS {peak_rss_mb():.0f} MB"
     )

@@ -1,0 +1,38 @@
+"""Peak-RSS measurement helpers for benchmark gates.
+
+``resource.getrusage`` reports the process' resident-set high-water mark
+(``ru_maxrss``) with no polling thread and no dependency beyond the
+standard library -- exactly what a memory *budget* gate needs.  The
+counter never goes down, so phase-level attribution requires measuring
+in a fresh process; the benchmarks here only assert ceilings, for which
+a monotone high-water mark is the right primitive.
+
+Unit caveat: Linux reports ``ru_maxrss`` in kilobytes, macOS in bytes.
+:func:`peak_rss_mb` normalizes both to megabytes.
+"""
+
+from __future__ import annotations
+
+import resource
+import sys
+
+
+def _maxrss_to_mb(maxrss: int) -> float:
+    if sys.platform == "darwin":
+        return maxrss / (1024.0 * 1024.0)
+    return maxrss / 1024.0
+
+
+def peak_rss_mb(include_children: bool = False) -> float:
+    """The process' peak resident set so far, in MB.
+
+    With ``include_children=True`` the high-water mark of waited-for
+    children (forked campaign workers) is folded in -- each worker's
+    peak is reported independently, so the result is the *largest single
+    process*, not the fleet sum.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if include_children:
+        children = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+        peak = max(peak, children)
+    return _maxrss_to_mb(peak)

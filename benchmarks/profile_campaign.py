@@ -1,0 +1,88 @@
+"""Profile a campaign day under cProfile.
+
+The profile harness behind the full-scale optimization work (see
+docs/PERFORMANCE.md, "Full scale"): builds a world, runs one or more
+checkpointed campaign days into a throwaway store, and prints the top
+functions by cumulative time.  ``-o`` dumps the raw pstats file for
+flamegraph tooling (``snakeviz``, ``gprof2dot``, ``flameprof``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/profile_campaign.py --scale 0.2
+    PYTHONPATH=src python benchmarks/profile_campaign.py \
+        --scale 1.0 --days 1 -o full_scale.pstats
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import build_world  # noqa: E402
+from repro.measure.campaign import run_campaign_checkpointed  # noqa: E402
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--scale", type=float, default=0.2)
+    parser.add_argument("--days", type=int, default=1)
+    parser.add_argument(
+        "--platforms",
+        default="speedchecker,atlas",
+        help="comma-separated campaign platforms",
+    )
+    parser.add_argument(
+        "--include-build",
+        action="store_true",
+        help="profile world construction too (default: campaign only)",
+    )
+    parser.add_argument(
+        "--sort",
+        default="cumulative",
+        choices=["cumulative", "tottime", "ncalls"],
+    )
+    parser.add_argument("--top", type=int, default=30)
+    parser.add_argument("-o", "--output", help="dump raw pstats here")
+    args = parser.parse_args(argv)
+
+    platforms = tuple(p for p in args.platforms.split(",") if p)
+    profiler = cProfile.Profile()
+
+    if args.include_build:
+        profiler.enable()
+    start = time.perf_counter()
+    world = build_world(seed=args.seed, scale=args.scale)
+    build_s = time.perf_counter() - start
+    if not args.include_build:
+        profiler.enable()
+
+    with tempfile.TemporaryDirectory(prefix="profile-campaign-") as tmp:
+        start = time.perf_counter()
+        run_campaign_checkpointed(
+            world, Path(tmp) / "run", days=args.days, platforms=platforms
+        )
+        campaign_s = time.perf_counter() - start
+    profiler.disable()
+
+    print(
+        f"scale={args.scale} seed={args.seed}: world build {build_s:.2f}s, "
+        f"{args.days}-day campaign {campaign_s:.2f}s\n"
+    )
+    stats = pstats.Stats(profiler)
+    stats.sort_stats(args.sort).print_stats(args.top)
+    if args.output:
+        stats.dump_stats(args.output)
+        print(f"pstats dumped to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

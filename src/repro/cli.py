@@ -40,13 +40,27 @@ def _load_any_dataset(path: str):
     return load_dataset(path)
 
 
+def _scale_argument(text: str) -> float:
+    """Parse ``--scale``, rejecting values outside (0, 1]."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"scale must be a number, got {text!r}")
+    if not 0.0 < value <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"scale must be in (0, 1], got {value}; 1.0 is the paper's "
+            "full 115k-probe deployment"
+        )
+    return value
+
+
 def _add_world_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=7, help="master RNG seed")
     parser.add_argument(
         "--scale",
-        type=float,
+        type=_scale_argument,
         default=0.02,
-        help="fleet scale factor (1.0 = the paper's 115k probes)",
+        help="fleet scale factor in (0, 1]; 1.0 = the paper's 115k probes",
     )
 
 

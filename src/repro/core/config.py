@@ -221,14 +221,66 @@ class SimulationConfig:
     wireless_last_mile: bool = True
 
     def __post_init__(self) -> None:
-        if self.scale <= 0:
-            raise ValueError(f"scale must be positive, got {self.scale}")
+        if not 0.0 < self.scale <= 1.0:
+            raise ValueError(
+                f"scale must be in (0, 1], got {self.scale}; 1.0 is the "
+                "paper's full 115k-probe deployment and the model is not "
+                "calibrated beyond it"
+            )
         if self.seed < 0:
             raise ValueError(f"seed must be non-negative, got {self.seed}")
 
     def scaled(self, value: int, minimum: int = 1) -> int:
         """Scale an absolute fleet-size number by :attr:`scale`."""
         return max(minimum, int(round(value * self.scale)))
+
+    def world_size(self) -> "WorldSizeEstimate":
+        """Fleet-size and memory accounting for this configuration."""
+        speedchecker = self.scaled(
+            self.platforms.speedchecker_total_probes, minimum=200
+        )
+        atlas = self.scaled(self.platforms.atlas_total_probes, minimum=100)
+        return WorldSizeEstimate(
+            scale=self.scale,
+            speedchecker_probes=speedchecker,
+            atlas_probes=atlas,
+            speedchecker_daily_quota=self.scaled(
+                self.platforms.speedchecker_daily_quota
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class WorldSizeEstimate:
+    """Predicted size of the world a configuration builds.
+
+    Computed from the configuration alone (no world construction), so
+    callers -- the full-scale benchmark gate, capacity planning in CI --
+    can budget wall-clock and memory *before* paying for the build.
+    """
+
+    scale: float
+    speedchecker_probes: int
+    atlas_probes: int
+    speedchecker_daily_quota: int
+
+    #: Resident-set model constants, calibrated against measured
+    #: ``ru_maxrss`` of world builds at scale 0.02 / 0.2 / 1.0 (see
+    #: ``benchmarks/bench_full_scale.py``; 39 / 51 / 106 MB).  The
+    #: interpreter, numpy, and the scale-independent topology dominate
+    #: the intercept; per-probe cost covers the Probe dataclass, its
+    #: prefix bookkeeping, and the platform indexes.
+    BASE_RSS_MB = 38.0
+    PER_PROBE_KB = 0.6
+
+    @property
+    def total_probes(self) -> int:
+        return self.speedchecker_probes + self.atlas_probes
+
+    @property
+    def estimated_build_rss_mb(self) -> float:
+        """Predicted peak resident set of building the world, MB."""
+        return self.BASE_RSS_MB + self.total_probes * self.PER_PROBE_KB / 1024.0
 
 
 def dataclass_digest(value: Any) -> str:

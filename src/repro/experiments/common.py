@@ -56,16 +56,14 @@ class StudyContext:
     def resolved_traces(self) -> List[ResolvedTrace]:
         """Every traceroute of the dataset, resolved (cached)."""
         if self._resolved is None:
-            resolver = self.resolver
-            self._resolved = [
-                resolver.resolve(trace) for trace in self.dataset.traceroutes()
-            ]
+            self._resolved = self.resolver.resolve_many(
+                list(self.dataset.traceroutes())
+            )
         return self._resolved
 
     def resolve(self, dataset: MeasurementDataset) -> List[ResolvedTrace]:
         """Resolve an auxiliary dataset (e.g. a peering case study)."""
-        resolver = self.resolver
-        return [resolver.resolve(trace) for trace in dataset.traceroutes()]
+        return self.resolver.resolve_many(list(dataset.traceroutes()))
 
     def nearest(self, platform: str) -> NearestMap:
         """Per-probe nearest-DC map for a platform (cached)."""

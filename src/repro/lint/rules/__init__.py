@@ -7,6 +7,7 @@ from repro.lint.rules import (
     exec_safety,
     frozen,
     parity,
+    perf,
     rng,
     robustness,
 )
@@ -16,6 +17,7 @@ __all__ = [
     "exec_safety",
     "frozen",
     "parity",
+    "perf",
     "rng",
     "robustness",
 ]

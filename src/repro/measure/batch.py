@@ -135,7 +135,9 @@ def execute_ping_batch(
     count_list: List[int] = []
     row_code_list: List[int] = []
 
-    for request in requests:
+    # Validation plus dict-based code interning -- inherently sequential
+    # (first-seen order defines the codes the RNG draws depend on).
+    for request in requests:  # repro-lint: disable=PERF001
         if request.samples < 1:
             raise ValueError(f"samples must be >= 1, got {request.samples}")
         probe = request.probe
@@ -298,7 +300,9 @@ def execute_traceroute_batch(
     # MeasurementEngine.measurement_access).
     switch_p = config.last_mile.access_switch_probability
     access_draws = rng.random(n).tolist()
-    for i, request in enumerate(requests):
+    # Per-request access resolution branches on probe state; the draws
+    # it consumes are already a single array pull above.
+    for i, request in enumerate(requests):  # repro-lint: disable=PERF001
         probe = request.probe
         path = paths[i]
         counts[i] = path.hop_count
@@ -374,7 +378,12 @@ def execute_traceroute_batch(
 
     results: List[TracerouteMeasurement] = []
     position = 0
-    for i, (request, path, access) in enumerate(zip(requests, paths, accesses)):
+    # Assembly of ragged per-trace hop lists from the flat column draws
+    # above -- the numeric work is already vectorized, this loop only
+    # slices it back into TracerouteMeasurement objects.
+    for i, (request, path, access) in enumerate(  # repro-lint: disable=PERF001
+        zip(requests, paths, accesses)
+    ):
         probe = request.probe
         hops: List[TraceHop] = []
         behind_router = access is AccessKind.HOME_WIFI and (

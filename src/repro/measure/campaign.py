@@ -347,6 +347,33 @@ def _checkpoint_engine(world: "World") -> MeasurementEngine:
     )
 
 
+def _prewarm_route_tables(world: "World") -> int:
+    """Compute every routing table a campaign day can need, in-process.
+
+    Called in the parent before forking parallel workers: the tables
+    land in the topology's route cache (and the process-wide memo in
+    :mod:`repro.net.routing`), so every forked child inherits them as
+    shared copy-on-write pages instead of each recomputing the same
+    valley-free sweeps.  Returns the number of (network, continent)
+    tables now resident.
+    """
+    continents = {
+        probe.continent
+        for platform in (world.speedchecker, world.atlas)
+        for probe in platform.probes
+    }
+    networks = {
+        world.topology.network_code(region.provider_code)
+        for region in world.catalog
+    }
+    count = 0
+    for network in sorted(networks):
+        for continent in sorted(continents, key=lambda c: c.value):
+            world.topology.routes_for(network, continent)
+            count += 1
+    return count
+
+
 def _trace_block(
     requests: Sequence[TraceRequest],
     records: Sequence[TracerouteMeasurement],
@@ -678,6 +705,11 @@ def run_campaign_checkpointed(
                 max_units=max_units,
             )
         else:
+            # Fork-based workers inherit the parent's address space:
+            # computing every route table the day mix can touch *before*
+            # forking turns N identical valley-free sweeps into one,
+            # shared copy-on-write.
+            _prewarm_route_tables(world)
             execute_plan_parallel(
                 store,
                 units,

@@ -198,7 +198,7 @@ class PlannedPath:
 
 
 def classify_interconnect(
-    as_path: List[int], topology: Topology, provider_code: str
+    as_path: Sequence[int], topology: Topology, provider_code: str
 ) -> InterconnectKind:
     """Ground-truth interconnect class of an AS path (ISP first)."""
     intermediates = len(as_path) - 2
@@ -290,12 +290,12 @@ class _PathPrep(NamedTuple):
 
     probe: Probe
     region: CloudRegion
-    as_path: List[int]
+    as_path: Sequence[int]
     interconnect: InterconnectKind
     distance: float
     stretch: float
     sigma: float
-    systems: List[AS]
+    systems: Sequence[AS]
     counts: List[int]
     fixed_rtt: float
     total_hops: int
@@ -304,6 +304,29 @@ class _PathPrep(NamedTuple):
     #: Generator serving this pair's draws (the shared planner stream in
     #: sequential mode, a per-pair derived generator in pair mode).
     rng: np.random.Generator
+
+
+class _RouteMeta(NamedTuple):
+    """The probe-location-independent prefix of path preparation.
+
+    Every field is a pure function of (serving ISP, probe country and
+    continent, region) -- many probes share one entry, so the planner
+    computes routing, interconnect classification, stretch geography and
+    the fixed RTT overheads once per (ISP, country, region) instead of
+    once per (probe, region) pair.  ``sigma_base``/``sigma_per_1000km``
+    linearize :func:`effective_jitter_sigma` so the only per-probe terms
+    left are the great-circle distance and the RNG draws.
+    """
+
+    as_path: Tuple[int, ...]
+    interconnect: InterconnectKind
+    stretch: float
+    sigma_base: float
+    sigma_per_1000km: float
+    systems: Tuple[AS, ...]
+    cloud_share: float
+    fixed_rtt: float
+    dest_address: int
 
 
 class PathPlanner:
@@ -331,6 +354,7 @@ class PathPlanner:
         rng: Optional[np.random.Generator] = None,
         countries: Optional[CountryRegistry] = None,
         pair_entropy: Optional[int] = None,
+        legacy_prep: bool = False,
     ) -> None:
         if rng is None and pair_entropy is None:
             raise ValueError("PathPlanner needs either rng or pair_entropy")
@@ -341,15 +365,42 @@ class PathPlanner:
         self._rng = rng
         self._pair_entropy = pair_entropy
         self._countries = countries
+        #: ``True`` pins preparation to the uncached per-pair reference
+        #: path (:meth:`_prepare_legacy`) -- the pre-optimization
+        #: baseline the full-scale benchmark and parity tests compare
+        #: against.  Both modes produce bit-identical preps.
+        self._legacy_prep = legacy_prep
         self._cache: Dict[Tuple[str, str, str], PlannedPath] = {}
+        self._meta_cache: Dict[
+            Tuple[int, Continent, Optional[str], str, str], _RouteMeta
+        ] = {}
+        #: Rolling-hash caches for the pair digest: ``name_digest`` is a
+        #: linear fold, so the digest of ``"path.<probe>.<prov>.<region>"``
+        #: combines a per-probe prefix digest with a per-region suffix in
+        #: O(1) instead of re-folding the whole name per pair.
+        self._probe_digest: Dict[str, int] = {}
+        self._region_digest: Dict[Tuple[str, str], Tuple[int, int]] = {}
 
     def _pair_generator(
         self, probe: Probe, region: CloudRegion
     ) -> np.random.Generator:
-        """The derived generator owning one pair's planning draws."""
-        digest = name_digest(
-            f"path.{probe.probe_id}.{region.provider_code}.{region.region_id}"
-        )
+        """The derived generator owning one pair's planning draws.
+
+        Produces the generator seeded from
+        ``name_digest(f"path.{probe_id}.{provider}.{region}")`` exactly,
+        but assembles the digest from cached prefix/suffix folds.
+        """
+        prefix = self._probe_digest.get(probe.probe_id)
+        if prefix is None:
+            prefix = name_digest(f"path.{probe.probe_id}.")
+            self._probe_digest[probe.probe_id] = prefix
+        region_key = (region.provider_code, region.region_id)
+        suffix = self._region_digest.get(region_key)
+        if suffix is None:
+            tail = f"{region.provider_code}.{region.region_id}"
+            suffix = (name_digest(tail), pow(1_000_003, len(tail), 2**63))
+            self._region_digest[region_key] = suffix
+        digest = (prefix * suffix[1] + suffix[0]) % 2**63
         seq = np.random.SeedSequence(
             entropy=self._pair_entropy, spawn_key=(digest,)
         )
@@ -380,7 +431,9 @@ class PathPlanner:
         keys: List[Optional[tuple]] = [None] * len(pairs)
         misses: List[int] = []
         cache = self._cache
-        for i, (probe, region) in enumerate(pairs):
+        # Cache probing is per-pair by design: dict hits cost ~100ns and
+        # keep the RNG draw order identical to the scalar plan() path.
+        for i, (probe, region) in enumerate(pairs):  # repro-lint: disable=PERF001
             key = (probe.probe_id, region.provider_code, region.region_id)
             cached = cache.get(key)
             if cached is not None:
@@ -402,7 +455,9 @@ class PathPlanner:
         placed = self._place_hops(preps)
         lat_list, lon_list, rtt_list, addr_list, offsets = placed
         built: List[PlannedPath] = []
-        for j, prep in enumerate(preps):
+        # Final assembly slices the vectorized hop columns back into
+        # ragged per-path tuples; the arithmetic already ran above.
+        for j, prep in enumerate(preps):  # repro-lint: disable=PERF001
             columns, base_rtt = self._assemble(
                 prep, lat_list, lon_list, rtt_list, addr_list, offsets[j]
             )
@@ -421,8 +476,110 @@ class PathPlanner:
         )
         return self._finalize(prep, columns, base_rtt)
 
+    def _route_meta(self, probe: Probe, region: CloudRegion) -> _RouteMeta:
+        """The shared (ISP, country, region) prefix of preparation, cached."""
+        key = (
+            probe.isp_asn,
+            probe.continent,
+            probe.country,
+            region.provider_code,
+            region.region_id,
+        )
+        meta = self._meta_cache.get(key)
+        if meta is not None:
+            return meta
+        topology = self._topology
+        provider_code = region.provider_code
+        network = topology.network_code(provider_code)
+        as_path = topology.as_path(probe.isp_asn, provider_code, probe.continent)
+        if as_path is None:
+            raise RuntimeError(
+                f"no route from AS{probe.isp_asn} to provider {provider_code}"
+            )
+        interconnect = classify_interconnect(as_path, topology, provider_code)
+        wan = self._wans[network]
+        stretch = effective_stretch(
+            interconnect, len(as_path) - 2, wan, probe.continent, self._config
+        )
+        stretch = self._adjust_stretch_for_geography(stretch, probe, region, wan)
+        path_config = self._config.path_model
+        # Linearized effective_jitter_sigma: base + (distance/1000) * slope
+        # evaluates to bit-identical floats for every interconnect class
+        # (the on-net classes have slope 0, and x + 0.0 == x).
+        on_net = self._config.private_wan_advantage and wan.covers(
+            probe.continent
+        )
+        if interconnect.is_direct and on_net:
+            sigma_base, sigma_slope = path_config.private_jitter_sigma, 0.0
+        elif interconnect is InterconnectKind.PRIVATE and on_net:
+            sigma_base = 0.5 * (
+                path_config.private_jitter_sigma
+                + path_config.public_jitter_sigma
+            )
+            sigma_slope = 0.0
+        else:
+            sigma_base = path_config.public_jitter_sigma
+            sigma_slope = path_config.public_jitter_sigma_per_1000km
+        intermediates = max(0, len(as_path) - 2)
+        registry = topology.registry
+        meta = _RouteMeta(
+            as_path=tuple(as_path),
+            interconnect=interconnect,
+            stretch=stretch,
+            sigma_base=sigma_base,
+            sigma_per_1000km=sigma_slope,
+            systems=tuple(registry.get(asn) for asn in as_path),
+            cloud_share=_CLOUD_GEO_SHARE[interconnect],
+            fixed_rtt=(
+                path_config.isp_core_rtt_ms
+                + intermediates * path_config.per_intermediate_as_rtt_ms
+            ),
+            dest_address=self._region_addresses[
+                (provider_code, region.region_id)
+            ],
+        )
+        self._meta_cache[key] = meta
+        return meta
+
     def _prepare(self, probe: Probe, region: CloudRegion) -> _PathPrep:
-        """The scalar (per-pair) prefix of path building."""
+        """The scalar (per-pair) prefix of path building.
+
+        Routing, classification, stretch geography and fixed overheads
+        come from the :meth:`_route_meta` cache; only the great-circle
+        distance, the distance-dependent jitter sigma, and the RNG draws
+        remain per pair.  Produces preps bit-identical to
+        :meth:`_prepare_legacy` with an identical draw sequence.
+        """
+        if self._legacy_prep:
+            return self._prepare_legacy(probe, region)
+        meta = self._route_meta(probe, region)
+        distance = probe.location.distance_km(region.location)
+        sigma = meta.sigma_base + (distance / 1000.0) * meta.sigma_per_1000km
+        if self._pair_entropy is not None:
+            pair_rng = self._pair_generator(probe, region)
+        else:
+            assert self._rng is not None
+            pair_rng = self._rng
+        counts = _hop_counts(meta.systems, meta.cloud_share, pair_rng)
+        return _PathPrep(
+            probe=probe,
+            region=region,
+            as_path=meta.as_path,
+            interconnect=meta.interconnect,
+            distance=distance,
+            stretch=meta.stretch,
+            sigma=sigma,
+            systems=meta.systems,
+            counts=counts,
+            fixed_rtt=meta.fixed_rtt,
+            total_hops=sum(counts),
+            two_way_fiber=2.0 * one_way_fiber_ms(distance, meta.stretch),
+            dest_address=meta.dest_address,
+            rng=pair_rng,
+        )
+
+    def _prepare_legacy(self, probe: Probe, region: CloudRegion) -> _PathPrep:
+        """The original uncached per-pair preparation (parity reference)."""
         topology = self._topology
         provider_code = region.provider_code
         network = topology.network_code(provider_code)
@@ -698,7 +855,7 @@ class PathPlanner:
         return stretch
 
 def _hop_counts(
-    systems: List[AS], cloud_share: float, rng: np.random.Generator
+    systems: Sequence[AS], cloud_share: float, rng: np.random.Generator
 ) -> List[int]:
     """Routers exposed by each AS on a path (more when an AS carries
     more of the geographic distance).

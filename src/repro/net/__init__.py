@@ -3,13 +3,22 @@
 from repro.net.asn import AS, ASKind, ASRegistry
 from repro.net.ip import IPv4Prefix, PrefixAllocator, format_ip, is_private_ip, parse_ip
 from repro.net.ixp import IXP, IXPRegistry
-from repro.net.relationships import Relationship, RelationshipGraph
-from repro.net.routing import RoutePolicy, RoutingTable, compute_routes
+from repro.net.relationships import AdjacencyArrays, Relationship, RelationshipGraph
+from repro.net.routing import (
+    ArrayRoutingTable,
+    RoutePolicy,
+    RoutingTable,
+    clear_route_cache,
+    compute_routes,
+    compute_routes_reference,
+)
 
 __all__ = [
     "AS",
     "ASKind",
     "ASRegistry",
+    "AdjacencyArrays",
+    "ArrayRoutingTable",
     "IPv4Prefix",
     "IXP",
     "IXPRegistry",
@@ -18,7 +27,9 @@ __all__ = [
     "RelationshipGraph",
     "RoutePolicy",
     "RoutingTable",
+    "clear_route_cache",
     "compute_routes",
+    "compute_routes_reference",
     "format_ip",
     "is_private_ip",
     "parse_ip",

@@ -14,9 +14,12 @@ annotation to decide whether an IXP hop appears on the forwarding path.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
 
 
 class Relationship(str, Enum):
@@ -39,6 +42,47 @@ class Link:
     ixp_id: Optional[int] = None
 
 
+@dataclass(frozen=True)
+class AdjacencyArrays:
+    """CSR-form adjacency of a :class:`RelationshipGraph` snapshot.
+
+    Nodes are the graph's ASNs in ascending order; ``index`` maps an ASN
+    to its row.  Each relation is stored as a compressed sparse row pair
+    (``offsets``, ``targets``) whose target lists are sorted, so batched
+    route computation can gather whole frontiers with one fancy index.
+    ``digest`` hashes the edge structure (not IXP annotations -- routing
+    does not depend on them) and keys the shared cross-world route cache.
+    """
+
+    asns: np.ndarray
+    index: Dict[int, int]
+    provider_offsets: np.ndarray
+    provider_targets: np.ndarray
+    customer_offsets: np.ndarray
+    customer_targets: np.ndarray
+    peer_offsets: np.ndarray
+    peer_targets: np.ndarray
+    digest: str
+
+    def __len__(self) -> int:
+        return len(self.asns)
+
+
+def _csr(
+    table: Dict[int, Dict[int, "Link"]],
+    asns: np.ndarray,
+    index: Dict[int, int],
+) -> Tuple[np.ndarray, np.ndarray]:
+    offsets = np.zeros(len(asns) + 1, dtype=np.int64)
+    targets: List[int] = []
+    for row, asn in enumerate(asns.tolist()):
+        neighbors = table.get(asn)
+        if neighbors:
+            targets.extend(sorted(index[n] for n in neighbors))
+        offsets[row + 1] = len(targets)
+    return offsets, np.asarray(targets, dtype=np.int64)
+
+
 class RelationshipGraph:
     """The annotated AS-level adjacency structure."""
 
@@ -47,6 +91,7 @@ class RelationshipGraph:
         self._providers: Dict[int, Dict[int, Link]] = {}
         self._customers: Dict[int, Dict[int, Link]] = {}
         self._peers: Dict[int, Dict[int, Link]] = {}
+        self._adjacency: Optional[AdjacencyArrays] = None
 
     # -- construction ----------------------------------------------------
 
@@ -66,6 +111,7 @@ class RelationshipGraph:
         self._customers.setdefault(provider, {})[customer] = Link(
             customer, Relationship.CUSTOMER_TO_PROVIDER, ixp_id
         )
+        self._adjacency = None
 
     def add_peering(
         self, a: int, b: int, ixp_id: Optional[int] = None
@@ -77,6 +123,7 @@ class RelationshipGraph:
             raise ValueError(f"ASes {a} and {b} already have a relationship")
         self._peers.setdefault(a, {})[b] = Link(b, Relationship.PEER_TO_PEER, ixp_id)
         self._peers.setdefault(b, {})[a] = Link(a, Relationship.PEER_TO_PEER, ixp_id)
+        self._adjacency = None
 
     def clone(self) -> "RelationshipGraph":
         """An independent copy; used to scope provider edges per continent."""
@@ -87,6 +134,39 @@ class RelationshipGraph:
         return copy
 
     # -- queries ----------------------------------------------------------
+
+    def adjacency(self) -> AdjacencyArrays:
+        """The CSR adjacency snapshot, rebuilt lazily after mutations."""
+        if self._adjacency is None:
+            asns = np.asarray(sorted(self.all_asns()), dtype=np.int64)
+            index = {int(asn): row for row, asn in enumerate(asns)}
+            provider = _csr(self._providers, asns, index)
+            customer = _csr(self._customers, asns, index)
+            peer = _csr(self._peers, asns, index)
+            hasher = hashlib.sha256()
+            for array in (
+                asns,
+                provider[0],
+                provider[1],
+                customer[0],
+                customer[1],
+                peer[0],
+                peer[1],
+            ):
+                hasher.update(array.tobytes())
+                hasher.update(b"\0")
+            self._adjacency = AdjacencyArrays(
+                asns=asns,
+                index=index,
+                provider_offsets=provider[0],
+                provider_targets=provider[1],
+                customer_offsets=customer[0],
+                customer_targets=customer[1],
+                peer_offsets=peer[0],
+                peer_targets=peer[1],
+                digest=hasher.hexdigest(),
+            )
+        return self._adjacency
 
     def providers_of(self, asn: int) -> List[int]:
         return list(self._providers.get(asn, {}))

@@ -132,18 +132,24 @@ def _deploy_in_country(
         quality = float(np.exp(0.20 * rng.standard_normal()))
         if platform == "speedchecker":
             access = _speedchecker_access(platform_config, config, rng)
+            # min/max instead of np.clip: bit-identical on scalars and
+            # ~8x cheaper, and this runs once per deployed probe.
             availability = float(
-                np.clip(
-                    platform_config.speedchecker_availability
-                    + 0.15 * rng.standard_normal(),
-                    0.02,
+                min(
                     0.95,
+                    max(
+                        0.02,
+                        platform_config.speedchecker_availability
+                        + 0.15 * rng.standard_normal(),
+                    ),
                 )
             )
             managed = False
         else:
             access = AccessKind.WIRED
-            availability = float(np.clip(0.9 + 0.08 * rng.standard_normal(), 0.5, 1.0))
+            availability = float(
+                min(1.0, max(0.5, 0.9 + 0.08 * rng.standard_normal()))
+            )
             managed = rng.random() < platform_config.atlas_managed_share
         if access is AccessKind.HOME_WIFI:
             if rng.random() < _HOME_PUBLIC_ARTIFACT_SHARE:

@@ -167,6 +167,45 @@ class TracerouteResolver:
         self._cache[address] = result
         return result
 
+    def resolve_many(
+        self, measurements: List[TracerouteMeasurement]
+    ) -> List[ResolvedTrace]:
+        """Run the pipeline over a traceroute batch.
+
+        All not-yet-cached public hop addresses across the batch resolve
+        in one vectorized longest-prefix-match pass (one binary search
+        per prefix length for the whole batch); only the residual misses
+        fall back to per-address Cymru queries.  Results are identical
+        to calling :meth:`resolve` per measurement -- both engines are
+        deterministic and the address cache keeps one entry per address
+        either way.
+        """
+        pending: List[int] = []
+        seen = set()
+        cache = self._cache
+        for measurement in measurements:
+            for hop in measurement.hops:
+                address = hop.address
+                if address is None or address in cache or address in seen:
+                    continue
+                if is_private_ip(address):
+                    continue
+                if self._ixps.ixp_for_address(address) is not None:
+                    continue
+                seen.add(address)
+                pending.append(address)
+        if pending:
+            asns = self._pyasn.lookup_many(np.asarray(pending, dtype=np.int64))
+            for address, asn in zip(pending, asns.tolist()):
+                if asn >= 0:
+                    cache[address] = (asn, "pyasn")
+                else:
+                    fallback = self._cymru.lookup(address)
+                    cache[address] = (
+                        (fallback, "cymru") if fallback is not None else (None, "none")
+                    )
+        return [self.resolve(measurement) for measurement in measurements]
+
     def resolve(self, measurement: TracerouteMeasurement) -> ResolvedTrace:
         """Run the pipeline over one raw traceroute."""
         hops: List[ResolvedHop] = []

@@ -1,16 +1,28 @@
 """Longest-prefix-match IP-to-ASN resolution (the PyASN equivalent).
 
 The paper resolves traceroute hops to ASNs with PyASN over a RouteViews
-RIB snapshot (section 3.3).  This module implements the same mechanism: a
-binary radix trie over (prefix, ASN) announcements with longest-prefix
--match lookup.  Like a real RIB snapshot, the table may be incomplete --
-the loader can drop a configurable fraction of announcements, which is
-what exercises the Team Cymru fallback path.
+RIB snapshot (section 3.3).  This module implements the same mechanism
+twice:
+
+- :class:`PrefixArrayTable` (the default engine) holds one sorted
+  integer array of masked prefix bases per prefix length and answers a
+  longest match with at most one binary search per populated length --
+  the pure-NumPy analogue of cidt-public-clouds' compiled graph helper.
+  :meth:`PrefixArrayTable.lookup_many` resolves a whole address batch
+  with one ``np.searchsorted`` per length.
+- :class:`PrefixTrie` is the original binary radix trie, kept as the
+  reference engine: parity tests assert both engines return identical
+  matches, duplicate inserts included.
+
+Like a real RIB snapshot, the table may be incomplete -- the loader can
+drop a configurable fraction of announcements, which is what exercises
+the Team Cymru fallback path.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Tuple
+from bisect import bisect_right
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -63,14 +75,110 @@ class PrefixTrie:
         return best
 
 
+class PrefixArrayTable:
+    """Sorted-array longest-prefix-match over (prefix, ASN) announcements.
+
+    One sorted array of masked prefix bases per populated prefix length;
+    a longest match probes lengths most-specific first with a binary
+    search each, and :meth:`lookup_many` vectorizes the same probe order
+    over a whole address batch with ``np.searchsorted``.  Later inserts
+    of an equal prefix overwrite earlier ones, matching
+    :meth:`PrefixTrie.insert`.
+    """
+
+    def __init__(
+        self, announcements: Iterable[Tuple[IPv4Prefix, int]] = ()
+    ) -> None:
+        # (length, masked base) -> asn; insertion order irrelevant, the
+        # dict keeps the last insert per prefix like the trie does.
+        self._pending: Dict[Tuple[int, int], int] = {}
+        self._lengths: List[int] = []
+        self._bases: Dict[int, np.ndarray] = {}
+        self._base_lists: Dict[int, List[int]] = {}
+        self._asns: Dict[int, np.ndarray] = {}
+        self._dirty = False
+        for prefix, asn in announcements:
+            self.insert(prefix, asn)
+
+    def __len__(self) -> int:
+        self._compile()
+        return sum(len(bases) for bases in self._bases.values())
+
+    def insert(self, prefix: IPv4Prefix, asn: int) -> None:
+        """Insert an announcement; later inserts overwrite equal prefixes."""
+        mask = 0xFFFFFFFF ^ ((1 << (32 - prefix.length)) - 1)
+        self._pending[(prefix.length, prefix.base & mask)] = asn
+        self._dirty = True
+
+    def _compile(self) -> None:
+        if not self._dirty:
+            return
+        by_length: Dict[int, List[Tuple[int, int]]] = {}
+        for (length, base), asn in self._pending.items():
+            by_length.setdefault(length, []).append((base, asn))
+        self._lengths = sorted(by_length, reverse=True)
+        self._bases, self._base_lists, self._asns = {}, {}, {}
+        for length, rows in by_length.items():
+            rows.sort()
+            self._bases[length] = np.asarray([r[0] for r in rows], dtype=np.int64)
+            self._base_lists[length] = [r[0] for r in rows]
+            self._asns[length] = np.asarray([r[1] for r in rows], dtype=np.int64)
+        self._dirty = False
+
+    def longest_match(self, address: int) -> Optional[Tuple[int, int]]:
+        """(asn, prefix_length) of the most specific covering prefix."""
+        self._compile()
+        for length in self._lengths:
+            masked = address & (0xFFFFFFFF ^ ((1 << (32 - length)) - 1))
+            bases = self._base_lists[length]
+            idx = bisect_right(bases, masked) - 1
+            if idx >= 0 and bases[idx] == masked:
+                return int(self._asns[length][idx]), length
+        return None
+
+    def match_many(
+        self, addresses: "np.ndarray | Sequence[int]"
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`longest_match` over an address batch.
+
+        Returns parallel ``(asns, lengths)`` arrays with ``-1`` marking
+        addresses no announcement covers.
+        """
+        self._compile()
+        addresses = np.asarray(addresses, dtype=np.int64)
+        asns = np.full(addresses.shape, -1, dtype=np.int64)
+        lengths = np.full(addresses.shape, -1, dtype=np.int64)
+        unresolved = np.ones(addresses.shape, dtype=bool)
+        for length in self._lengths:
+            if not np.any(unresolved):
+                break
+            mask = 0xFFFFFFFF ^ ((1 << (32 - length)) - 1)
+            masked = addresses & mask
+            bases = self._bases[length]
+            idx = np.searchsorted(bases, masked, side="right") - 1
+            hit = unresolved & (idx >= 0) & (bases[np.maximum(idx, 0)] == masked)
+            asns[hit] = self._asns[length][idx[hit]]
+            lengths[hit] = length
+            unresolved &= ~hit
+        return asns, lengths
+
+
 class PyASNResolver:
-    """IP-to-ASN resolver over a (possibly incomplete) RIB snapshot."""
+    """IP-to-ASN resolver over a (possibly incomplete) RIB snapshot.
+
+    ``engine`` picks the lookup structure: ``"array"`` (default) is the
+    sorted-array table with batch lookups, ``"trie"`` the original radix
+    trie kept as the parity reference.  Both see the identical
+    post-coverage announcement sequence, so which addresses resolve --
+    and to which ASN -- never depends on the engine.
+    """
 
     def __init__(
         self,
         announcements: Iterable[Tuple[IPv4Prefix, int]],
         coverage: float = 1.0,
         rng: Optional[np.random.Generator] = None,
+        engine: str = "array",
     ):
         """``coverage`` < 1 drops a random share of announcements,
         simulating an incomplete RIB snapshot."""
@@ -78,17 +186,25 @@ class PyASNResolver:
             raise ValueError(f"coverage must be in (0, 1], got {coverage}")
         if coverage < 1.0 and rng is None:
             raise ValueError("an rng is required when coverage < 1")
-        self._trie = PrefixTrie()
+        if engine not in ("array", "trie"):
+            raise ValueError(f"unknown resolver engine {engine!r}")
+        self._table: "PrefixArrayTable | PrefixTrie"
+        self._table = PrefixArrayTable() if engine == "array" else PrefixTrie()
+        self._engine = engine
         self._dropped = 0
         for prefix, asn in announcements:
             if coverage < 1.0 and rng.random() >= coverage:
                 self._dropped += 1
                 continue
-            self._trie.insert(prefix, asn)
+            self._table.insert(prefix, asn)
+
+    @property
+    def engine(self) -> str:
+        return self._engine
 
     @property
     def announcement_count(self) -> int:
-        return len(self._trie)
+        return len(self._table)
 
     @property
     def dropped_count(self) -> int:
@@ -96,5 +212,23 @@ class PyASNResolver:
 
     def lookup(self, address: int) -> Optional[int]:
         """ASN announcing ``address``, or ``None`` if not in the table."""
-        match = self._trie.longest_match(address)
+        match = self._table.longest_match(address)
         return None if match is None else match[0]
+
+    def lookup_many(
+        self, addresses: "np.ndarray | Sequence[int]"
+    ) -> np.ndarray:
+        """ASNs announcing each address (``-1`` = not in the table).
+
+        One vectorized pass on the array engine; the trie engine falls
+        back to per-address lookups (reference behaviour for parity
+        tests).
+        """
+        if isinstance(self._table, PrefixArrayTable):
+            return self._table.match_many(addresses)[0]
+        results = np.full(len(addresses), -1, dtype=np.int64)
+        for i, address in enumerate(addresses):
+            match = self._table.longest_match(int(address))
+            if match is not None:
+                results[i] = match[0]
+        return results

@@ -87,3 +87,29 @@ class TestTakeaways:
         report = capsys.readouterr().out
         assert "takeaways hold" in report
         assert code in (0, 1)
+
+
+class TestScaleValidation:
+    """--scale outside (0, 1] is rejected at argument-parse time with a
+    clear message, before any world construction starts."""
+
+    @pytest.mark.parametrize("bad_scale", ["0", "-0.5", "1.5", "2"])
+    def test_out_of_range_scale_rejected(self, bad_scale, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["summary", "--scale", bad_scale])
+        assert excinfo.value.code == 2
+        assert "scale must be in (0, 1]" in capsys.readouterr().err
+
+    def test_non_numeric_scale_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["summary", "--scale", "tiny"])
+        assert excinfo.value.code == 2
+        assert "scale must be a number" in capsys.readouterr().err
+
+    def test_boundary_values_accepted(self):
+        """1.0 (the paper's full fleet) and tiny positive scales parse."""
+        from repro.cli import _scale_argument
+
+        assert _scale_argument("1.0") == 1.0
+        assert _scale_argument("1") == 1.0
+        assert _scale_argument("0.0001") == 0.0001

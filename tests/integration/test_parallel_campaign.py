@@ -76,7 +76,9 @@ def serial_faulted_run(tmp_path_factory):
 
 
 class TestParallelByteIdentity:
-    @pytest.mark.parametrize("workers", [1, 2, 4])
+    # workers=3 does not divide the unit count evenly, covering the
+    # uneven-remainder scheduling path.
+    @pytest.mark.parametrize("workers", [1, 2, 3, 4])
     def test_store_matches_serial_golden_digest(
         self, workers, serial_run, tmp_path
     ):

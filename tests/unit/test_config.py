@@ -34,6 +34,19 @@ class TestSimulationConfig:
         with pytest.raises(ValueError, match="scale"):
             SimulationConfig(scale=0.0)
 
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError, match="scale must be in"):
+            SimulationConfig(scale=-0.5)
+
+    def test_scale_above_one_rejected(self):
+        """1.0 is the paper's full deployment; the model is not
+        calibrated beyond it."""
+        with pytest.raises(ValueError, match="not\\s+calibrated beyond"):
+            SimulationConfig(scale=1.5)
+
+    def test_full_scale_accepted(self):
+        assert SimulationConfig(scale=1.0).scale == 1.0
+
     def test_negative_seed_rejected(self):
         with pytest.raises(ValueError, match="seed"):
             SimulationConfig(seed=-3)
@@ -98,3 +111,32 @@ class TestCampaignConfig:
 
     def test_two_week_cycle(self):
         assert CampaignConfig().cycle_days == 14
+
+
+class TestWorldSizeEstimate:
+    def test_full_scale_matches_paper_fleet(self):
+        estimate = SimulationConfig(scale=1.0).world_size()
+        assert estimate.speedchecker_probes == 115_000
+        assert estimate.atlas_probes == 8_500
+        assert estimate.total_probes == 123_500
+        assert estimate.speedchecker_daily_quota == 200_000
+
+    def test_scaled_estimate(self):
+        estimate = SimulationConfig(scale=0.1).world_size()
+        assert estimate.speedchecker_probes == 11_500
+        assert estimate.atlas_probes == 850
+        assert estimate.scale == 0.1
+
+    def test_minimum_floors_apply_at_tiny_scale(self):
+        estimate = SimulationConfig(scale=0.0001).world_size()
+        assert estimate.speedchecker_probes == 200
+        assert estimate.atlas_probes == 100
+
+    def test_rss_model_grows_with_fleet(self):
+        small = SimulationConfig(scale=0.02).world_size()
+        full = SimulationConfig(scale=1.0).world_size()
+        assert small.estimated_build_rss_mb < full.estimated_build_rss_mb
+        # The calibrated model: 38 MB base + 0.6 KB per probe.
+        assert full.estimated_build_rss_mb == pytest.approx(
+            38.0 + 123_500 * 0.6 / 1024.0
+        )

@@ -1,0 +1,269 @@
+"""Batch-vs-scalar parity of the full-scale substrate.
+
+The scale=1.0 fast path rests on three vectorized replacements whose
+pre-optimization implementations stay in-tree as oracles: the valley-free
+array sweep (vs :func:`compute_routes_reference`), the sorted-array LPM
+resolver (vs ``engine="trie"``), and the planner's route-meta cache (vs
+``legacy_prep=True``).  These tests pin each pair bit-identical -- on
+the real topology, on adversarial random graphs, and on the batch
+boundary cases (empty batch, single element, duplicates) that the
+benchmark workloads never hit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.measure.path import PathPlanner
+from repro.net.ip import IPv4Prefix, parse_ip
+from repro.net.relationships import RelationshipGraph
+from repro.net.routing import (
+    RoutePolicy,
+    clear_route_cache,
+    compute_routes,
+    compute_routes_reference,
+)
+from repro.resolve.pyasn import PyASNResolver
+
+
+def assert_tables_identical(graph, array_table, reference_table):
+    """Entry-by-entry equality over every AS in the graph."""
+    assert array_table.destination == reference_table.destination
+    assert len(array_table) == len(reference_table)
+    for asn in sorted(graph.all_asns()):
+        assert array_table.entry(asn) == reference_table.entry(asn), (
+            f"route entry at AS{asn} diverges"
+        )
+        assert array_table.as_path(asn) == reference_table.as_path(asn)
+
+
+class TestRoutingParity:
+    def test_real_topology_all_scoped_tables(self, world):
+        """Every (network, continent) table a campaign day computes."""
+        topo = world.topology
+        continents = sorted(
+            {
+                probe.continent
+                for platform in (world.speedchecker, world.atlas)
+                for probe in platform.probes
+            },
+            key=lambda c: c.value,
+        )
+        networks = sorted(
+            {topo.network_code(region.provider_code) for region in world.catalog}
+        )
+        clear_route_cache()
+        checked = 0
+        for network in networks:
+            destination = topo.peerings[network].cloud_asn
+            for continent in continents:
+                graph = topo.graph_for(network, continent)
+                assert_tables_identical(
+                    graph,
+                    compute_routes(graph, destination),
+                    compute_routes_reference(graph, destination),
+                )
+                checked += 1
+        assert checked == len(networks) * len(continents)
+
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_random_graphs(self, data):
+        """Random provider hierarchies plus random peering edges."""
+        n = data.draw(st.integers(min_value=2, max_value=24))
+        asns = list(range(100, 100 + n))
+        graph = RelationshipGraph()
+        # Random forest of customer->provider edges (acyclic by
+        # construction: providers always precede customers).
+        for i in range(1, n):
+            provider = data.draw(st.integers(min_value=0, max_value=i - 1))
+            graph.add_customer_provider(asns[i], asns[provider])
+        n_peerings = data.draw(st.integers(min_value=0, max_value=n))
+        for _ in range(n_peerings):
+            a = data.draw(st.integers(min_value=0, max_value=n - 1))
+            b = data.draw(st.integers(min_value=0, max_value=n - 1))
+            if a != b and graph.relationship_between(asns[a], asns[b]) is None:
+                graph.add_peering(asns[a], asns[b])
+        destination = asns[data.draw(st.integers(min_value=0, max_value=n - 1))]
+        clear_route_cache()
+        for policy in (RoutePolicy.VALLEY_FREE, RoutePolicy.SHORTEST):
+            assert_tables_identical(
+                graph,
+                compute_routes(graph, destination, policy),
+                compute_routes_reference(graph, destination, policy),
+            )
+
+    def test_route_cache_shares_tables_across_identical_graphs(self):
+        """Byte-identical edge structures share one memoized table."""
+        def build():
+            g = RelationshipGraph()
+            g.add_customer_provider(2, 1)
+            g.add_customer_provider(3, 2)
+            g.add_peering(2, 4)
+            g.add_customer_provider(9, 1)
+            return g
+
+        clear_route_cache()
+        first = compute_routes(build(), 9)
+        second = compute_routes(build(), 9)
+        assert second is first
+        clear_route_cache()
+        assert compute_routes(build(), 9) is not first
+
+
+ANNOUNCEMENTS = [
+    ("11.0.0.0/8", 100),
+    ("11.128.0.0/9", 200),
+    ("11.128.64.0/18", 300),
+    ("13.0.0.0/8", 400),
+    ("13.13.0.0/16", 500),
+    ("0.0.0.0/0", 1),
+]
+
+
+def both_engines(announcements):
+    parsed = [(IPv4Prefix.parse(p), asn) for p, asn in announcements]
+    return (
+        PyASNResolver(parsed, engine="trie"),
+        PyASNResolver(parsed, engine="array"),
+    )
+
+
+class TestResolverEngineParity:
+    def test_scalar_lookup_agrees(self):
+        trie, array = both_engines(ANNOUNCEMENTS)
+        for address in (
+            "11.0.0.1", "11.127.255.255", "11.128.0.0", "11.128.64.1",
+            "11.128.128.0", "13.13.0.7", "13.200.0.1", "200.1.2.3",
+        ):
+            assert array.lookup(parse_ip(address)) == trie.lookup(
+                parse_ip(address)
+            ), address
+
+    def test_empty_batch(self):
+        trie, array = both_engines(ANNOUNCEMENTS)
+        for resolver in (trie, array):
+            result = resolver.lookup_many(np.empty(0, dtype=np.int64))
+            assert result.shape == (0,)
+            assert result.dtype == np.int64
+
+    def test_single_address_batch(self):
+        trie, array = both_engines(ANNOUNCEMENTS)
+        batch = np.array([parse_ip("11.128.64.9")], dtype=np.int64)
+        assert array.lookup_many(batch).tolist() == trie.lookup_many(
+            batch
+        ).tolist() == [300]
+
+    def test_duplicate_prefixes_last_insert_wins(self):
+        """Re-announced prefixes: both engines keep the latest origin."""
+        duplicated = ANNOUNCEMENTS + [("11.128.0.0/9", 999), ("0.0.0.0/0", 2)]
+        trie, array = both_engines(duplicated)
+        assert trie.announcement_count == array.announcement_count == len(
+            ANNOUNCEMENTS
+        )
+        for address in ("11.129.0.1", "200.0.0.1"):
+            expected = 999 if address.startswith("11.") else 2
+            assert trie.lookup(parse_ip(address)) == expected
+            assert array.lookup(parse_ip(address)) == expected
+
+    def test_duplicate_addresses_in_batch(self):
+        trie, array = both_engines(ANNOUNCEMENTS)
+        batch = np.array(
+            [parse_ip("13.13.0.7")] * 3 + [parse_ip("11.0.0.1")] * 2,
+            dtype=np.int64,
+        )
+        assert (array.lookup_many(batch) == trie.lookup_many(batch)).all()
+
+    @given(
+        addresses=st.lists(
+            st.integers(min_value=0, max_value=2**32 - 1),
+            max_size=64,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_batch_matches_trie_on_random_addresses(self, addresses):
+        trie, array = both_engines(ANNOUNCEMENTS[:-1])  # no default route
+        batch = np.asarray(addresses, dtype=np.int64)
+        assert (array.lookup_many(batch) == trie.lookup_many(batch)).all()
+
+
+def paths_identical(a, b):
+    return (
+        a.probe_id == b.probe_id
+        and a.region_id == b.region_id
+        and a.as_path == b.as_path
+        and a.interconnect == b.interconnect
+        and a.base_path_rtt_ms == b.base_path_rtt_ms
+        and a.jitter_sigma == b.jitter_sigma
+        and a.congestion_probability == b.congestion_probability
+        and a.hop_addresses == b.hop_addresses
+        and a.hop_lats == b.hop_lats
+        and a.hop_lons == b.hop_lons
+        and a.hop_base_rtts == b.hop_base_rtts
+    )
+
+
+@pytest.fixture(scope="module")
+def planners(world):
+    def make(legacy):
+        return PathPlanner(
+            topology=world.topology,
+            wans=world.wans,
+            region_addresses=world.region_addresses,
+            config=world.config,
+            countries=world.countries,
+            pair_entropy=world.rngs.seed,
+            legacy_prep=legacy,
+        )
+
+    return make
+
+
+@pytest.fixture(scope="module")
+def sample_pairs(world):
+    regions = list(world.catalog)
+    probes = list(world.atlas.probes)[:120]
+    return [
+        (probe, regions[i % len(regions)]) for i, probe in enumerate(probes)
+    ]
+
+
+class TestPlannerParity:
+    def test_cached_prep_matches_legacy(self, planners, sample_pairs):
+        """Route-meta cached preparation is bit-identical to the
+        per-pair legacy path, across probes, providers and regions."""
+        legacy = planners(True)
+        cached = planners(False)
+        for probe, region in sample_pairs:
+            assert paths_identical(
+                cached.plan(probe, region), legacy.plan(probe, region)
+            ), (probe.probe_id, region.region_id)
+
+    def test_plan_many_matches_scalar_plan(self, planners, sample_pairs):
+        batch_planner = planners(False)
+        scalar_planner = planners(False)
+        batch = batch_planner.plan_many(sample_pairs)
+        for (probe, region), planned in zip(sample_pairs, batch):
+            assert paths_identical(planned, scalar_planner.plan(probe, region))
+
+    def test_empty_batch(self, planners):
+        assert planners(False).plan_many([]) == []
+
+    def test_single_pair_batch(self, planners, sample_pairs):
+        planner = planners(False)
+        (path,) = planner.plan_many(sample_pairs[:1])
+        assert paths_identical(path, planners(False).plan(*sample_pairs[0]))
+
+    def test_duplicate_pairs_in_batch_share_one_path(
+        self, planners, sample_pairs
+    ):
+        """Repeats inside one batch dedupe to a single planned object
+        and consume the pair's RNG draws exactly once."""
+        planner = planners(False)
+        pair = sample_pairs[0]
+        first, second, third = planner.plan_many([pair, pair, pair])
+        assert first is second is third
+        assert paths_identical(first, planners(False).plan(*pair))

@@ -58,6 +58,7 @@ class TestRegistry:
             "PAR001",
             "ROB001",
             "EXE001",
+            "PERF001",
         } <= ids
 
     def test_select_and_ignore(self):
@@ -513,6 +514,69 @@ class TestWorkerExecSafety:
             "    _CACHE[key] = value\n"
         )
         assert lint_with("EXE001", src, filename=TEST_PATH) == []
+
+
+# -- PERF001: per-element loops in batch functions ----------------------
+
+
+class TestBatchLoop:
+    def test_flags_loop_over_element_collection(self):
+        src = (
+            "def plan_many(pairs):\n"
+            "    for pair in pairs:\n"
+            "        process(pair)\n"
+        )
+        violations = lint_with("PERF001", src)
+        assert rule_ids(violations) == ["PERF001"]
+        assert "plan_many" in violations[0].message
+
+    def test_sees_through_enumerate_and_zip(self):
+        src = (
+            "def execute_batch(requests, paths):\n"
+            "    for i, (request, path) in enumerate(zip(requests, paths)):\n"
+            "        process(request, path)\n"
+        )
+        assert rule_ids(lint_with("PERF001", src)) == ["PERF001"]
+
+    def test_sees_through_attribute_and_subscript(self):
+        src = (
+            "def lookup_many(self):\n"
+            "    for address in self.addresses[1:]:\n"
+            "        self.lookup(address)\n"
+        )
+        assert rule_ids(lint_with("PERF001", src)) == ["PERF001"]
+
+    def test_ignores_non_batch_functions(self):
+        src = (
+            "def summarize(pairs):\n"
+            "    for pair in pairs:\n"
+            "        process(pair)\n"
+        )
+        assert lint_with("PERF001", src) == []
+
+    def test_ignores_non_element_iterables(self):
+        src = (
+            "def plan_many(pairs):\n"
+            "    for name in sorted(columns):\n"
+            "        emit(name)\n"
+        )
+        assert lint_with("PERF001", src) == []
+
+    def test_only_applies_to_net_and_measure(self):
+        src = (
+            "def resolve_many(addresses):\n"
+            "    for address in addresses:\n"
+            "        resolve(address)\n"
+        )
+        assert lint_with("PERF001", src, filename=ANALYSIS_PATH) == []
+
+    def test_suppression_comment(self):
+        src = (
+            "def plan_many(pairs):\n"
+            "    for pair in pairs:  # repro-lint: disable=PERF001\n"
+            "        process(pair)\n"
+        )
+        assert lint_with("PERF001", src) == []
 
 
 # -- suppression comments -----------------------------------------------
