@@ -29,15 +29,22 @@ from __future__ import annotations
 from repro.lint.engine import (
     LintContext,
     LintResult,
+    ProjectReporter,
     Rule,
     Violation,
     all_rules,
     lint_paths,
     lint_source,
+    lint_sources,
     register_rule,
     select_rules,
 )
-from repro.lint.reporting import render_json, render_text
+from repro.lint.reporting import (
+    render_catalog,
+    render_json,
+    render_sarif,
+    render_text,
+)
 
 # Importing the rules package registers the built-in ruleset.
 import repro.lint.rules  # noqa: F401  # repro-lint: keep - registration side effect
@@ -45,13 +52,17 @@ import repro.lint.rules  # noqa: F401  # repro-lint: keep - registration side ef
 __all__ = [
     "LintContext",
     "LintResult",
+    "ProjectReporter",
     "Rule",
     "Violation",
     "all_rules",
     "lint_paths",
     "lint_source",
+    "lint_sources",
     "register_rule",
+    "render_catalog",
     "render_json",
+    "render_sarif",
     "render_text",
     "select_rules",
 ]

@@ -1,0 +1,410 @@
+"""Project-wide symbol table and call graph.
+
+The per-file rules see one module at a time; the flow-aware rule
+families (RNG101, WAL001, EXE101) need to follow a value across
+function -- and file -- boundaries.  This module builds the shared
+substrate for that from the ASTs the engine has already parsed:
+
+- a :class:`ModuleInfo` per file: dotted module name (derived from the
+  path the same way the import system would), the import-alias table
+  (reusing the engine's resolution so ``np.random`` and
+  ``numpy.random`` unify), and every function/method defined in it;
+- a :class:`FunctionInfo` per def: qualified name, parameter list, the
+  raw AST, and the call sites found in its body;
+- a :class:`Project` tying them together with call resolution
+  (:meth:`Project.resolve_call`) and bounded reachability
+  (:meth:`Project.reachable_from`).
+
+Resolution is deliberately *sound-for-silence*: when a call target
+cannot be identified statically the edge is simply absent, so the flow
+rules err toward missing a finding rather than inventing one.  Three
+resolution strategies are layered, strongest first: plain names through
+the module's own defs and import aliases, ``self.method`` through the
+lexically enclosing class, and -- for attribute calls on unknown
+receivers -- a unique-method-name match (the attribute resolves only if
+exactly one class in the whole project defines a method of that name).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+#: Path components that start a dotted module name.
+_ROOT_COMPONENTS = ("src", "tests", "benchmarks", "examples")
+
+#: Method names too generic for unique-method resolution: they collide
+#: with builtin container/str methods, so an attribute call on an
+#: unknown receiver must not be assumed to target a project class.
+_GENERIC_METHOD_NAMES = frozenset(
+    {
+        "append",
+        "add",
+        "clear",
+        "close",
+        "copy",
+        "count",
+        "extend",
+        "get",
+        "index",
+        "insert",
+        "items",
+        "join",
+        "keys",
+        "pop",
+        "put",
+        "read",
+        "remove",
+        "replace",
+        "run",
+        "sort",
+        "split",
+        "start",
+        "update",
+        "values",
+        "write",
+    }
+)
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def module_name_for_path(path: str) -> str:
+    """The dotted module name a file path corresponds to.
+
+    ``src/repro/measure/campaign.py`` -> ``repro.measure.campaign``;
+    paths outside a recognised root fall back to their stem, so inline
+    test fixtures still get a usable (if flat) name.
+    """
+    posix = path.replace("\\", "/")
+    parts = [part for part in posix.split("/") if part and part != "."]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    for root in _ROOT_COMPONENTS:
+        if root in parts:
+            start = parts.index(root)
+            tail = parts[start + 1 :] if root == "src" else parts[start:]
+            if tail:
+                parts = tail
+                break
+    else:
+        parts = parts[-1:] if parts else ["<module>"]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1] or ["<module>"]
+    return ".".join(parts)
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function body."""
+
+    node: ast.Call
+    #: Qualified name of the resolved project function, or ``None``.
+    target: Optional[str]
+    #: Trailing attribute name for method-style calls (``x.fork(...)``
+    #: -> ``"fork"``); ``None`` for plain-name calls.
+    attr: Optional[str]
+    #: Dotted name resolved through import aliases (may name something
+    #: outside the project, e.g. ``numpy.random.default_rng``).
+    dotted: Optional[str]
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition in the project."""
+
+    qualname: str
+    name: str
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    module: "ModuleInfo"
+    class_name: Optional[str] = None
+    params: List[str] = field(default_factory=list)
+    calls: List[CallSite] = field(default_factory=list)
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_name is not None
+
+    def param_index(self, name: str) -> Optional[int]:
+        try:
+            return self.params.index(name)
+        except ValueError:
+            return None
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file and its top-level symbol table."""
+
+    path: str
+    name: str
+    tree: ast.Module
+    #: Local name -> fully qualified dotted import path.
+    imports: Dict[str, str] = field(default_factory=dict)
+    #: Qualified name -> function/method info defined in this module.
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: Names of classes defined at module top level.
+    classes: Set[str] = field(default_factory=set)
+
+    @property
+    def posix_path(self) -> str:
+        return self.path.replace("\\", "/")
+
+    def qualified_name(self, node: ast.AST) -> Optional[str]:
+        """Dotted name of a Name/Attribute chain via import aliases."""
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(self.imports.get(node.id, node.id))
+        return ".".join(reversed(parts))
+
+
+def _collect_imports(tree: ast.Module) -> Dict[str, str]:
+    imports: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".", 1)[0]
+                imports[local] = alias.name if alias.asname else local
+                if alias.asname:
+                    imports[alias.asname] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                imports[local] = f"{node.module}.{alias.name}"
+    return imports
+
+
+def _parameter_names(node: ast.AST) -> List[str]:
+    args = node.args  # type: ignore[attr-defined]
+    params = [
+        arg.arg
+        for arg in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+    ]
+    if args.vararg:
+        params.append(args.vararg.arg)
+    if args.kwarg:
+        params.append(args.kwarg.arg)
+    return params
+
+
+class Project:
+    """The whole linted tree: modules, functions, and the call graph."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        #: Module path (as given to the engine) -> ModuleInfo.
+        self.by_path: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        #: Method name -> qualified names of every class method using it.
+        self._methods_by_name: Dict[str, List[str]] = {}
+        #: Caller qualname -> resolved callee qualnames.
+        self._edges: Dict[str, Set[str]] = {}
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def build(cls, files: Sequence[Tuple[str, ast.Module]]) -> "Project":
+        """Build the project from ``(path, parsed tree)`` pairs.
+
+        Building never raises on odd-but-parsable code: anything the
+        symbol pass cannot classify is simply left out of the graph.
+        """
+        project = cls()
+        for path, tree in files:
+            project._add_module(path, tree)
+        for module in project.modules.values():
+            for fn in module.functions.values():
+                project._collect_calls(fn)
+        for fn in project.functions.values():
+            project._edges[fn.qualname] = {
+                site.target for site in fn.calls if site.target is not None
+            }
+        return project
+
+    def _add_module(self, path: str, tree: ast.Module) -> None:
+        name = module_name_for_path(path)
+        if name in self.modules:
+            # Two fixture files mapping to one module name: keep both
+            # reachable by uniquifying with the path.
+            name = f"{name}#{len(self.modules)}"
+        module = ModuleInfo(
+            path=path, name=name, tree=tree, imports=_collect_imports(tree)
+        )
+        self.modules[name] = module
+        self.by_path[path] = module
+        self._collect_definitions(module)
+
+    def _collect_definitions(self, module: ModuleInfo) -> None:
+        def add_function(node: ast.AST, class_name: Optional[str]) -> None:
+            simple = node.name  # type: ignore[attr-defined]
+            qual = (
+                f"{module.name}.{class_name}.{simple}"
+                if class_name
+                else f"{module.name}.{simple}"
+            )
+            info = FunctionInfo(
+                qualname=qual,
+                name=simple,
+                node=node,
+                module=module,
+                class_name=class_name,
+                params=_parameter_names(node),
+            )
+            module.functions[qual] = info
+            self.functions[qual] = info
+            if class_name:
+                self._methods_by_name.setdefault(simple, []).append(qual)
+
+        for statement in module.tree.body:
+            if isinstance(statement, _FUNCTION_NODES):
+                add_function(statement, None)
+            elif isinstance(statement, ast.ClassDef):
+                module.classes.add(statement.name)
+                for member in statement.body:
+                    if isinstance(member, _FUNCTION_NODES):
+                        add_function(member, statement.name)
+
+    def _collect_calls(self, fn: FunctionInfo) -> None:
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            fn.calls.append(
+                CallSite(
+                    node=node,
+                    target=self.resolve_call(node, fn),
+                    attr=(
+                        node.func.attr
+                        if isinstance(node.func, ast.Attribute)
+                        else None
+                    ),
+                    dotted=fn.module.qualified_name(node.func),
+                )
+            )
+
+    # -- resolution ----------------------------------------------------------
+
+    def resolve_name(
+        self, name: str, module: ModuleInfo
+    ) -> Optional[FunctionInfo]:
+        """Resolve a bare identifier to a project function, if possible.
+
+        Looks through the module's own top-level functions first, then
+        the import-alias table (``from repro.exec.pool import
+        parallel_map`` makes the local ``parallel_map`` resolve to
+        ``repro.exec.pool.parallel_map`` when that file is in the
+        linted set).
+        """
+        local = f"{module.name}.{name}"
+        if local in self.functions:
+            return self.functions[local]
+        imported = module.imports.get(name)
+        if imported is not None and imported in self.functions:
+            return self.functions[imported]
+        return None
+
+    def resolve_call(
+        self, call: ast.Call, caller: FunctionInfo
+    ) -> Optional[str]:
+        """The qualified name of the project function a call targets."""
+        func = call.func
+        module = caller.module
+        if isinstance(func, ast.Name):
+            resolved = self.resolve_name(func.id, module)
+            return resolved.qualname if resolved else None
+        if not isinstance(func, ast.Attribute):
+            return None
+        # self.method() / cls.method() inside a class body.
+        receiver = func.value
+        if (
+            isinstance(receiver, ast.Name)
+            and receiver.id in ("self", "cls")
+            and caller.class_name is not None
+        ):
+            qual = f"{module.name}.{caller.class_name}.{func.attr}"
+            if qual in self.functions:
+                return qual
+        # Module-qualified call through an import alias:
+        # ``staging.merge_staged_unit(...)`` or ``Class.method``.
+        dotted = module.qualified_name(func)
+        if dotted is not None and dotted in self.functions:
+            return dotted
+        # Unique-method-name fallback for unknown receivers.
+        if func.attr not in _GENERIC_METHOD_NAMES:
+            candidates = self._methods_by_name.get(func.attr, [])
+            if len(candidates) == 1:
+                return candidates[0]
+        return None
+
+    # -- graph queries -------------------------------------------------------
+
+    def callees(self, qualname: str) -> Set[str]:
+        return set(self._edges.get(qualname, ()))
+
+    def cha_callees(self, qualname: str) -> Set[str]:
+        """Callees under class-hierarchy-style dispatch approximation.
+
+        Unique-name resolution (:meth:`resolve_call`) gives up on
+        duck-typed method calls the moment two classes share the name
+        (``engine.ping_batch`` with both a real and a fault-injecting
+        engine in scope).  For *reachability* questions that precision
+        is the wrong trade -- a worker really will execute one of the
+        candidates -- so this variant adds an edge to every same-named,
+        non-generic method when a call site could not be pinned down.
+        Dataflow rules keep using the precise edges.
+        """
+        edges = set(self._edges.get(qualname, ()))
+        fn = self.functions.get(qualname)
+        if fn is not None:
+            for site in fn.calls:
+                if (
+                    site.target is None
+                    and site.attr is not None
+                    and site.attr not in _GENERIC_METHOD_NAMES
+                ):
+                    edges.update(self._methods_by_name.get(site.attr, ()))
+        return edges
+
+    def reachable_from(
+        self, roots: Iterable[str], max_depth: int = 32, cha: bool = False
+    ) -> Set[str]:
+        """Functions reachable from ``roots`` over resolved call edges.
+
+        Bounded breadth-first walk; cycles are harmless (visited set)
+        and ``max_depth`` keeps pathological graphs cheap.  With
+        ``cha=True`` the walk uses :meth:`cha_callees`, over-
+        approximating duck-typed dispatch.
+        """
+        frontier = [root for root in roots if root in self.functions]
+        seen: Set[str] = set(frontier)
+        for _ in range(max_depth):
+            if not frontier:
+                break
+            next_frontier: List[str] = []
+            for qualname in frontier:
+                callees = (
+                    self.cha_callees(qualname)
+                    if cha
+                    else self._edges.get(qualname, ())
+                )
+                for callee in callees:
+                    if callee not in seen:
+                        seen.add(callee)
+                        next_frontier.append(callee)
+            frontier = next_frontier
+        return seen
+
+    def function_at(self, module: ModuleInfo, node: ast.AST) -> Optional[
+        FunctionInfo
+    ]:
+        """The FunctionInfo wrapping an AST def node, if registered."""
+        for fn in module.functions.values():
+            if fn.node is node:
+                return fn
+        return None

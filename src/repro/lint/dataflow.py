@@ -1,0 +1,407 @@
+"""Intraprocedural dataflow with bounded interprocedural summaries.
+
+The abstract domain is a *tag set* per variable -- the classic
+taint-lattice where join is set union and bottom is the empty set.
+:class:`AbstractInterpreter` evaluates one function body in statement
+order, so the flow rules can ask order-sensitive questions ("was the
+shard written before this journal append?") without building a CFG:
+
+- assignments (plain, annotated, augmented, tuple-unpacking, walrus)
+  propagate the right-hand side's tags to the targets;
+- ``if``/``try`` branches are interpreted on copies of the environment
+  and joined afterwards, so a tag acquired in either branch survives;
+- loop bodies are interpreted twice so loop-carried tags reach the
+  first statements of the body, and the interpreter tracks loop depth
+  (a call made inside a loop is how a parent RNG stream leaks into
+  more than one unit);
+- every expression evaluation funnels calls through
+  :meth:`AbstractInterpreter.eval_call`, the single override point
+  rule families use to model creation sites, sinks, and summaries.
+
+Interprocedural analysis is summary-based and bounded:
+:func:`fixpoint_summaries` repeatedly re-summarises every function
+(each pass may consult the previous pass's summaries of its callees)
+until nothing changes or ``max_rounds`` is hit.  Non-recursive call
+chains of depth <= ``max_rounds`` are therefore fully propagated, and
+recursion simply stops refining -- never diverges.  That bound is ample
+for this codebase and keeps the analyzer total: no input module may
+crash or hang it (the hypothesis fuzz suite holds it to that).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.lint.callgraph import FunctionInfo, Project
+
+#: An abstract value: the set of tags the expression may carry.
+Tags = FrozenSet[str]
+
+EMPTY: Tags = frozenset()
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def tags(*names: str) -> Tags:
+    return frozenset(names)
+
+
+class Env:
+    """Variable name -> tags, with copy/join for branch merging."""
+
+    def __init__(self, initial: Optional[Dict[str, Tags]] = None) -> None:
+        self._vars: Dict[str, Tags] = dict(initial or {})
+
+    def get(self, name: str) -> Tags:
+        return self._vars.get(name, EMPTY)
+
+    def set(self, name: str, value: Tags) -> None:
+        if value:
+            self._vars[name] = value
+        else:
+            self._vars.pop(name, None)
+
+    def join_var(self, name: str, value: Tags) -> None:
+        self.set(name, self.get(name) | value)
+
+    def copy(self) -> "Env":
+        return Env(self._vars)
+
+    def join(self, other: "Env") -> None:
+        for name, value in other._vars.items():
+            self.join_var(name, value)
+
+    def items(self) -> Iterable[Tuple[str, Tags]]:
+        return self._vars.items()
+
+    def tagged(self, tag: str) -> List[str]:
+        return sorted(
+            name for name, value in self._vars.items() if tag in value
+        )
+
+    def add_tag_where(self, have: str, add: str) -> None:
+        """Add ``add`` to every variable already carrying ``have``."""
+        for name, value in list(self._vars.items()):
+            if have in value:
+                self._vars[name] = value | {add}
+
+
+class AbstractInterpreter:
+    """Order-sensitive abstract interpretation of one function body.
+
+    Subclass (or pass hooks to) this to model a rule family: override
+    :meth:`eval_call` to tag call results and observe sinks.  The
+    interpreter itself only moves tags around; it never reports.
+    """
+
+    #: Hard cap on interpreted statements, pathological-input guard.
+    MAX_STEPS = 20_000
+
+    def __init__(self, fn: FunctionInfo, project: Optional[Project] = None) -> None:
+        self.fn = fn
+        self.project = project
+        self.env = Env()
+        self.return_tags: Tags = EMPTY
+        self.loop_depth = 0
+        self._steps = 0
+
+    # -- override points -----------------------------------------------------
+
+    def eval_call(self, node: ast.Call, arg_tags: List[Tags]) -> Tags:
+        """Tags of a call's result; also the sink-observation hook.
+
+        ``arg_tags`` has one entry per positional argument followed by
+        one per keyword argument (in source order).  The default
+        propagates nothing.
+        """
+        return EMPTY
+
+    # -- driving -------------------------------------------------------------
+
+    def run(self, param_tags: Optional[Dict[str, Tags]] = None) -> Tags:
+        """Interpret the whole body; returns the joined return tags."""
+        for index, param in enumerate(self.fn.params):
+            given = (param_tags or {}).get(param, EMPTY)
+            self.env.set(param, given | {f"param:{index}"})
+        body = getattr(self.fn.node, "body", [])
+        self._exec_block(body)
+        return self.return_tags
+
+    # -- statements ----------------------------------------------------------
+
+    def _exec_block(self, statements: Iterable[ast.stmt]) -> None:
+        for statement in statements:
+            self._steps += 1
+            if self._steps > self.MAX_STEPS:
+                return
+            self._exec(statement)
+
+    def _exec(self, node: ast.stmt) -> None:
+        if isinstance(node, ast.Assign):
+            value = self._eval(node.value)
+            for target in node.targets:
+                self._assign(target, value)
+        elif isinstance(node, ast.AnnAssign):
+            if node.value is not None:
+                self._assign(node.target, self._eval(node.value))
+        elif isinstance(node, ast.AugAssign):
+            value = self._eval(node.value)
+            if isinstance(node.target, ast.Name):
+                self.env.join_var(node.target.id, value)
+            else:
+                self._eval(node.target)
+        elif isinstance(node, ast.Return):
+            if node.value is not None:
+                self.return_tags |= self._eval(node.value)
+        elif isinstance(node, ast.Expr):
+            self._eval(node.value)
+        elif isinstance(node, ast.If):
+            self._branch([node.body, node.orelse], condition=node.test)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            iter_tags = self._eval(node.iter)
+            self.loop_depth += 1
+            try:
+                # Two passes let loop-carried tags reach the whole body.
+                for _ in range(2):
+                    self._assign(node.target, iter_tags)
+                    self._exec_block(node.body)
+            finally:
+                self.loop_depth -= 1
+            self._exec_block(node.orelse)
+        elif isinstance(node, ast.While):
+            self._eval(node.test)
+            self.loop_depth += 1
+            try:
+                for _ in range(2):
+                    self._exec_block(node.body)
+            finally:
+                self.loop_depth -= 1
+            self._exec_block(node.orelse)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                value = self._eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._assign(item.optional_vars, value)
+            self._exec_block(node.body)
+        elif isinstance(node, ast.Try):
+            blocks: List[List[ast.stmt]] = [node.body]
+            for handler in node.handlers:
+                blocks.append(list(handler.body))
+            self._branch(blocks)
+            self._exec_block(node.orelse)
+            self._exec_block(node.finalbody)
+        elif isinstance(node, ast.Raise):
+            if node.exc is not None:
+                self._eval(node.exc)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.env.set(target.id, EMPTY)
+        elif isinstance(node, _FUNCTION_NODES + (ast.ClassDef,)):
+            # Nested definitions are not interpreted; the rule families
+            # inspect them separately (closure checks).
+            pass
+        else:
+            # Match statements, assert, import, global, pass, ...: walk
+            # embedded expressions so calls inside them are still seen.
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self._eval(child)
+                elif isinstance(child, ast.stmt):
+                    self._exec(child)
+                else:
+                    for sub in ast.walk(child):
+                        if isinstance(sub, ast.expr):
+                            self._eval(sub)
+                            break
+
+    def _branch(
+        self,
+        blocks: List[List[ast.stmt]],
+        condition: Optional[ast.expr] = None,
+    ) -> None:
+        if condition is not None:
+            self._eval(condition)
+        merged: Optional[Env] = None
+        base = self.env
+        for block in blocks:
+            self.env = base.copy()
+            self._exec_block(block)
+            if merged is None:
+                merged = self.env
+            else:
+                merged.join(self.env)
+        self.env = merged if merged is not None else base
+        # A branch may be skipped entirely at runtime; keep the
+        # pre-branch bindings alive too (union semantics).
+        self.env.join(base)
+
+    def _assign(self, target: ast.expr, value: Tags) -> None:
+        if isinstance(target, ast.Name):
+            self.env.set(target.id, value)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._assign(element, value)
+        elif isinstance(target, ast.Starred):
+            self._assign(target.value, value)
+        elif isinstance(target, (ast.Attribute, ast.Subscript)):
+            # Storing through an attribute/subscript taints the base
+            # object: ``entry["shards"].append`` style flows survive.
+            base = target.value
+            if isinstance(base, ast.Name):
+                self.env.join_var(base.id, value)
+
+    # -- expressions ---------------------------------------------------------
+
+    def _eval(self, node: ast.expr) -> Tags:
+        self._steps += 1
+        if self._steps > self.MAX_STEPS:
+            return EMPTY
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id)
+        if isinstance(node, ast.Attribute):
+            return self._eval(node.value)
+        if isinstance(node, ast.Subscript):
+            value = self._eval(node.value)
+            self._eval(node.slice)
+            return value
+        if isinstance(node, ast.Call):
+            arg_tags = [self._eval(arg) for arg in node.args]
+            arg_tags.extend(self._eval(kw.value) for kw in node.keywords)
+            return self.eval_call(node, arg_tags)
+        if isinstance(node, ast.NamedExpr):
+            value = self._eval(node.value)
+            self._assign(node.target, value)
+            return value
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            combined = EMPTY
+            for element in node.elts:
+                combined |= self._eval(element)
+            return combined
+        if isinstance(node, ast.Dict):
+            combined = EMPTY
+            for key in node.keys:
+                if key is not None:
+                    combined |= self._eval(key)
+            for value_node in node.values:
+                combined |= self._eval(value_node)
+            return combined
+        if isinstance(node, ast.BoolOp):
+            combined = EMPTY
+            for operand in node.values:
+                combined |= self._eval(operand)
+            return combined
+        if isinstance(node, ast.BinOp):
+            return self._eval(node.left) | self._eval(node.right)
+        if isinstance(node, ast.UnaryOp):
+            return self._eval(node.operand)
+        if isinstance(node, ast.Compare):
+            self._eval(node.left)
+            for comparator in node.comparators:
+                self._eval(comparator)
+            return EMPTY
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test)
+            return self._eval(node.body) | self._eval(node.orelse)
+        if isinstance(node, ast.Starred):
+            return self._eval(node.value)
+        if isinstance(node, (ast.JoinedStr, ast.FormattedValue)):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self._eval(child)
+            return EMPTY
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            for generator in node.generators:
+                source = self._eval(generator.iter)
+                self._assign(generator.target, source)
+                for condition in generator.ifs:
+                    self._eval(condition)
+            # The element expression runs once per item: loop context.
+            self.loop_depth += 1
+            try:
+                return self._eval(node.elt)
+            finally:
+                self.loop_depth -= 1
+        if isinstance(node, ast.DictComp):
+            for generator in node.generators:
+                source = self._eval(generator.iter)
+                self._assign(generator.target, source)
+                for condition in generator.ifs:
+                    self._eval(condition)
+            self.loop_depth += 1
+            try:
+                self._eval(node.key)
+                return self._eval(node.value)
+            finally:
+                self.loop_depth -= 1
+        if isinstance(node, ast.Lambda):
+            return EMPTY
+        if isinstance(node, ast.Await):
+            return self._eval(node.value)
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            if node.value is not None:
+                return self._eval(node.value)
+            return EMPTY
+        if isinstance(node, ast.Slice):
+            for part in (node.lower, node.upper, node.step):
+                if part is not None:
+                    self._eval(part)
+            return EMPTY
+        return EMPTY
+
+
+#: A summary computation: (function, previous summaries) -> summary.
+Summarizer = Callable[[FunctionInfo, Dict[str, object]], object]
+
+
+def fixpoint_summaries(
+    project: Project,
+    summarize: Summarizer,
+    max_rounds: int = 6,
+) -> Dict[str, object]:
+    """Bounded interprocedural fixpoint over per-function summaries.
+
+    Each round recomputes every function's summary with the previous
+    round's summaries of its callees visible; iteration stops when a
+    round changes nothing or ``max_rounds`` is reached.  Summaries must
+    define ``__eq__`` (dataclasses do) for convergence detection.
+    """
+    summaries: Dict[str, object] = {}
+    order = sorted(project.functions)
+    for _ in range(max_rounds):
+        changed = False
+        for qualname in order:
+            fn = project.functions[qualname]
+            new = summarize(fn, summaries)
+            if summaries.get(qualname) != new:
+                summaries[qualname] = new
+                changed = True
+        if not changed:
+            break
+    return summaries
+
+
+def keyword_argument_names(call: ast.Call) -> List[Optional[str]]:
+    """Positional slots (``None``) followed by keyword names, matching
+    the ``arg_tags`` layout :meth:`AbstractInterpreter.eval_call` sees."""
+    names: List[Optional[str]] = [None] * len(call.args)
+    names.extend(kw.arg for kw in call.keywords)
+    return names
+
+
+def argument_index_for_param(
+    call: ast.Call, callee: FunctionInfo, flat_index: int
+) -> Optional[int]:
+    """Map a flat argument position at ``call`` to the callee's
+    parameter index (positional by position, keyword by name).
+
+    Returns ``None`` when the mapping cannot be established (``*args``
+    forwarding, unknown keyword, method binding offsets are handled by
+    trying both alignments at the caller)."""
+    if flat_index < len(call.args):
+        return flat_index
+    keyword = call.keywords[flat_index - len(call.args)]
+    if keyword.arg is None:
+        return None
+    return callee.param_index(keyword.arg)

@@ -7,6 +7,16 @@ call targets (``np.random.seed`` -> ``numpy.random.seed``), walks the
 tree once while maintaining the lexical scope stack, and filters the
 collected violations through ``# repro-lint: disable=...`` suppression
 comments before reporting.
+
+On top of the per-file pass sits the *project phase*: after every file
+has been parsed, the engine builds a project-wide symbol table and call
+graph (:mod:`repro.lint.callgraph`) and hands it to rules that override
+:meth:`Rule.check_project`.  Those rules see every module at once and
+can follow values across function and file boundaries with the
+dataflow machinery in :mod:`repro.lint.dataflow` -- the flow-aware
+families (``RNG101``, ``WAL001``, ``EXE101``) are built this way.
+Project findings go through the same per-file suppression filter as
+node findings, so one mechanism governs both.
 """
 
 from __future__ import annotations
@@ -17,6 +27,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Type
 
+from repro.lint.callgraph import ModuleInfo, Project, _collect_imports
 from repro.lint.suppressions import Suppressions, scan_suppressions
 
 #: Rule id used for files the engine cannot parse.
@@ -58,6 +69,28 @@ class LintResult:
         return dict(sorted(counts.items()))
 
 
+def path_matches(posix_path: str, patterns: Sequence[str]) -> bool:
+    """Whether a path matches any fnmatch pattern.
+
+    Patterns are matched against the trailing components of the path,
+    so ``repro/measure/*`` matches both ``src/repro/measure/latency.py``
+    and an inline test fixture named ``repro/measure/latency.py``.
+    """
+    for pattern in patterns:
+        if fnmatch.fnmatch(posix_path, pattern) or fnmatch.fnmatch(
+            posix_path, "*/" + pattern
+        ):
+            return True
+    return False
+
+
+def is_test_path(posix_path: str) -> bool:
+    """Whether a path belongs to the test suite."""
+    parts = posix_path.split("/")
+    name = parts[-1]
+    return "tests" in parts or name.startswith("test_") or name == "conftest.py"
+
+
 class LintContext:
     """Per-file state shared by every rule during one walk.
 
@@ -84,28 +117,11 @@ class LintContext:
     @property
     def is_test_file(self) -> bool:
         """Whether the file belongs to the test suite."""
-        parts = self.posix_path.split("/")
-        name = parts[-1]
-        return (
-            "tests" in parts
-            or name.startswith("test_")
-            or name == "conftest.py"
-        )
+        return is_test_path(self.posix_path)
 
     def path_matches(self, patterns: Sequence[str]) -> bool:
-        """Whether the file path matches any fnmatch pattern.
-
-        Patterns are matched against the trailing components of the
-        path, so ``repro/measure/*`` matches both
-        ``src/repro/measure/latency.py`` and an inline test fixture
-        named ``repro/measure/latency.py``.
-        """
-        for pattern in patterns:
-            if fnmatch.fnmatch(self.posix_path, pattern) or fnmatch.fnmatch(
-                self.posix_path, "*/" + pattern
-            ):
-                return True
-        return False
+        """Whether the file path matches any fnmatch pattern."""
+        return path_matches(self.posix_path, patterns)
 
     # -- scope helpers -------------------------------------------------------
 
@@ -165,6 +181,27 @@ class LintContext:
         )
 
 
+class ProjectReporter:
+    """Routes project-phase findings back to their source files."""
+
+    def __init__(self) -> None:
+        self.by_path: Dict[str, List[Violation]] = {}
+
+    def report(
+        self, rule: "Rule", module: ModuleInfo, node: ast.AST, message: str
+    ) -> None:
+        self.by_path.setdefault(module.path, []).append(
+            Violation(
+                rule_id=rule.rule_id,
+                rule_name=rule.name,
+                path=module.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                message=message,
+            )
+        )
+
+
 class Rule:
     """Base class for lint rules.
 
@@ -173,7 +210,8 @@ class Rule:
     ``--list-rules``), and optionally ``path_patterns`` to scope the
     rule to parts of the tree.  Node-level checks subscribe via
     ``node_types`` and implement :meth:`visit`; whole-module checks
-    implement :meth:`check_module`.
+    implement :meth:`check_module`; whole-project (flow-aware) checks
+    implement :meth:`check_project`.
     """
 
     rule_id: str = ""
@@ -190,11 +228,24 @@ class Rule:
             return True
         return ctx.path_matches(self.path_patterns)
 
+    def applies_to_module(self, module: ModuleInfo) -> bool:
+        """Project-phase scoping twin of :meth:`applies_to`."""
+        if self.path_patterns is None:
+            return True
+        return path_matches(module.posix_path, self.path_patterns)
+
     def visit(self, node: ast.AST, ctx: LintContext) -> None:
         """Called for every node whose type is in ``node_types``."""
 
     def check_module(self, tree: ast.Module, ctx: LintContext) -> None:
         """Called once per module, before the node walk."""
+
+    def check_project(self, project: Project, reporter: ProjectReporter) -> None:
+        """Called once with the whole linted tree's call graph."""
+
+    @property
+    def is_project_rule(self) -> bool:
+        return type(self).check_project is not Rule.check_project
 
 
 #: The global rule registry, keyed by rule id.
@@ -241,22 +292,34 @@ def select_rules(
     return chosen
 
 
-def _collect_imports(tree: ast.Module) -> Dict[str, str]:
-    imports: Dict[str, str] = {}
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                local = alias.asname or alias.name.split(".", 1)[0]
-                imports[local] = alias.name if alias.asname else local
-                if alias.asname:
-                    imports[alias.asname] = alias.name
-        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
-            for alias in node.names:
-                if alias.name == "*":
-                    continue
-                local = alias.asname or alias.name
-                imports[local] = f"{node.module}.{alias.name}"
-    return imports
+def rule_tokens(rules: Iterable[Rule]) -> Set[str]:
+    """Upper-cased id and name tokens for a rule collection."""
+    tokens: Set[str] = set()
+    for rule in rules:
+        tokens.add(rule.rule_id.upper())
+        if rule.name:
+            tokens.add(rule.name.upper())
+    return tokens
+
+
+@register_rule
+class StaleSuppressionRule(Rule):
+    """A suppression that silences nothing is a lie waiting to rot.
+
+    Emitted by the engine itself under ``--strict-suppressions``: a
+    ``# repro-lint: disable[-file]=...`` directive that suppressed no
+    violation this run either outlived the code it excused or carries a
+    typo'd rule id.  Either way it must be removed (or fixed), so the
+    suppression inventory stays an honest list of known, reasoned
+    exceptions.
+    """
+
+    rule_id = "SUP001"
+    name = "stale-suppression"
+    summary = (
+        "with --strict-suppressions, disable comments that no longer "
+        "suppress anything are errors; remove or fix them"
+    )
 
 
 class _Walker:
@@ -282,40 +345,107 @@ class _Walker:
             ctx.scope.pop()
 
 
+def lint_sources(
+    files: Sequence[Tuple[str, str]],
+    rules: Optional[Sequence[Rule]] = None,
+    strict_suppressions: bool = False,
+) -> LintResult:
+    """Lint ``(filename, source)`` pairs as one project.
+
+    The filenames participate in rule path scoping and in the project
+    call graph's module naming, so multi-file fixtures can probe
+    cross-module flows without touching the real tree.
+    """
+    if rules is None:
+        rules = all_rules()
+    result = LintResult(files_checked=len(files))
+    parsed: List[Tuple[str, str, ast.Module]] = []
+    raw_by_path: Dict[str, List[Violation]] = {}
+    for filename, source in files:
+        try:
+            tree = ast.parse(source, filename=filename)
+        except (SyntaxError, ValueError, RecursionError) as exc:
+            lineno = getattr(exc, "lineno", 1) or 1
+            offset = getattr(exc, "offset", 1) or 1
+            message = getattr(exc, "msg", None) or str(exc)
+            result.violations.append(
+                Violation(
+                    rule_id=PARSE_ERROR_ID,
+                    rule_name="syntax-error",
+                    path=filename,
+                    line=lineno,
+                    col=offset - 1,
+                    message=f"cannot parse file: {message}",
+                )
+            )
+            continue
+        parsed.append((filename, source, tree))
+
+    # Per-file phase.
+    for filename, source, tree in parsed:
+        ctx = LintContext(filename, source, tree)
+        active = [rule for rule in rules if rule.applies_to(ctx)]
+        for rule in active:
+            rule.check_module(tree, ctx)
+        _Walker(active, ctx).walk(tree)
+        raw_by_path[filename] = ctx.violations
+
+    # Project phase: flow-aware rules over the whole tree at once.
+    project_rules = [rule for rule in rules if rule.is_project_rule]
+    if project_rules and parsed:
+        project = Project.build([(name, tree) for name, _, tree in parsed])
+        reporter = ProjectReporter()
+        for rule in project_rules:
+            rule.check_project(project, reporter)
+        for path, found in reporter.by_path.items():
+            raw_by_path.setdefault(path, []).extend(found)
+
+    # Suppression filtering (and, in strict mode, the stale audit).
+    active_tokens = rule_tokens(rules)
+    known_tokens = rule_tokens(all_rules())
+    stale_rule = _REGISTRY.get(StaleSuppressionRule.rule_id)
+    for filename, source, _tree in parsed:
+        suppressions = scan_suppressions(source)
+        kept = [
+            violation
+            for violation in raw_by_path.get(filename, [])
+            if not _suppressed(violation, suppressions)
+        ]
+        result.violations.extend(kept)
+        if strict_suppressions and stale_rule is not None:
+            for directive in suppressions.stale_directives(
+                active_tokens, known_tokens
+            ):
+                tokens = ",".join(sorted(directive.tokens))
+                result.violations.append(
+                    Violation(
+                        rule_id=stale_rule.rule_id,
+                        rule_name=stale_rule.name,
+                        path=filename,
+                        line=directive.line,
+                        col=0,
+                        message=(
+                            f"stale suppression '{directive.kind}={tokens}': "
+                            "it no longer suppresses anything; remove it (or "
+                            "fix the rule id)"
+                        ),
+                    )
+                )
+    result.violations.sort(key=Violation.sort_key)
+    return result
+
+
 def lint_source(
     source: str,
     filename: str = "<string>",
     rules: Optional[Sequence[Rule]] = None,
 ) -> List[Violation]:
-    """Lint one source string; the workhorse behind :func:`lint_paths`.
+    """Lint one source string; thin wrapper over :func:`lint_sources`.
 
     ``filename`` participates in rule path scoping, so tests can probe
     path-scoped rules with names like ``src/repro/measure/x.py``.
     """
-    if rules is None:
-        rules = all_rules()
-    try:
-        tree = ast.parse(source, filename=filename)
-    except SyntaxError as exc:
-        return [
-            Violation(
-                rule_id=PARSE_ERROR_ID,
-                rule_name="syntax-error",
-                path=filename,
-                line=exc.lineno or 1,
-                col=(exc.offset or 1) - 1,
-                message=f"cannot parse file: {exc.msg}",
-            )
-        ]
-    ctx = LintContext(filename, source, tree)
-    active = [rule for rule in rules if rule.applies_to(ctx)]
-    for rule in active:
-        rule.check_module(tree, ctx)
-    _Walker(active, ctx).walk(tree)
-    suppressions = scan_suppressions(source)
-    kept = [v for v in ctx.violations if not _suppressed(v, suppressions)]
-    kept.sort(key=Violation.sort_key)
-    return kept
+    return lint_sources([(filename, source)], rules=rules).violations
 
 
 def _suppressed(violation: Violation, suppressions: Suppressions) -> bool:
@@ -348,12 +478,12 @@ def iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
 def lint_paths(
     paths: Iterable[str],
     rules: Optional[Sequence[Rule]] = None,
+    strict_suppressions: bool = False,
 ) -> LintResult:
-    """Lint every Python file under ``paths``."""
-    result = LintResult()
+    """Lint every Python file under ``paths`` as one project."""
+    files: List[Tuple[str, str]] = []
     for path in iter_python_files(paths):
-        source = path.read_text(encoding="utf-8")
-        result.violations.extend(lint_source(source, str(path), rules))
-        result.files_checked += 1
-    result.violations.sort(key=Violation.sort_key)
-    return result
+        files.append((str(path), path.read_text(encoding="utf-8")))
+    return lint_sources(
+        files, rules=rules, strict_suppressions=strict_suppressions
+    )

@@ -1,10 +1,11 @@
-"""Human-readable and JSON reporters for lint results."""
+"""Human-readable, JSON, and SARIF reporters, plus the rule catalog."""
 
 from __future__ import annotations
 
 import json
+from typing import List
 
-from repro.lint.engine import LintResult
+from repro.lint.engine import LintResult, all_rules
 
 
 def render_text(result: LintResult) -> str:
@@ -54,3 +55,95 @@ def render_json(result: LintResult) -> str:
         ],
     }
     return json.dumps(payload, indent=2, sort_keys=False)
+
+
+#: SARIF schema/version pinned to what GitHub code scanning ingests.
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+_SARIF_VERSION = "2.1.0"
+
+
+def render_sarif(result: LintResult) -> str:
+    """The report as SARIF 2.1.0, for GitHub code-scanning upload.
+
+    One run, one driver (``repro-lint``), every registered rule listed
+    in the driver's rule metadata (so code scanning can show the
+    summary even for rules with no findings this run), and one result
+    per violation with a 1-based line/column region.
+    """
+    rules = all_rules()
+    rule_index = {rule.rule_id: index for index, rule in enumerate(rules)}
+    results = []
+    for violation in result.violations:
+        entry = {
+            "ruleId": violation.rule_id,
+            "level": "error",
+            "message": {"text": violation.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": violation.path.replace("\\", "/"),
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": violation.line,
+                            "startColumn": violation.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if violation.rule_id in rule_index:
+            entry["ruleIndex"] = rule_index[violation.rule_id]
+        results.append(entry)
+    payload = {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": [
+                            {
+                                "id": rule.rule_id,
+                                "name": rule.name,
+                                "shortDescription": {"text": rule.summary},
+                                "defaultConfiguration": {"level": "error"},
+                            }
+                            for rule in rules
+                        ],
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)
+
+
+def render_catalog() -> str:
+    """The rule catalog as a markdown table, generated from the registry.
+
+    ``docs/LINTING.md`` embeds this table between markers and a test
+    regenerates it, so the documentation cannot drift from the code.
+    """
+    lines: List[str] = [
+        "| ID | Name | Scope | Summary |",
+        "| --- | --- | --- | --- |",
+    ]
+    for rule in all_rules():
+        scope = (
+            ", ".join(f"`{p}`" for p in rule.path_patterns)
+            if rule.path_patterns
+            else "all files"
+        )
+        summary = " ".join(rule.summary.split())
+        lines.append(
+            f"| {rule.rule_id} | {rule.name} | {scope} | {summary} |"
+        )
+    return "\n".join(lines)

@@ -5,19 +5,25 @@ from __future__ import annotations
 from repro.lint.rules import (
     determinism,
     exec_safety,
+    exe_pure,
     frozen,
     parity,
     perf,
     rng,
+    rng_flow,
     robustness,
+    wal_order,
 )
 
 __all__ = [
     "determinism",
     "exec_safety",
+    "exe_pure",
     "frozen",
     "parity",
     "perf",
     "rng",
+    "rng_flow",
     "robustness",
+    "wal_order",
 ]

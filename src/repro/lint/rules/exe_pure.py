@@ -1,0 +1,403 @@
+"""Escape analysis for worker-executed code (``EXE101``).
+
+``EXE001`` flags shared-mutable-state mutation *inside* the modules
+that host worker entry points (``repro/exec``, ``repro/measure``).
+But a forked worker executes whatever its entry point reaches --
+routing, store, geo, last-mile code included -- and a module-global
+mutated three calls below ``parallel_map``'s target diverges between
+serial and parallel runs just as silently as one mutated at the top.
+
+This rule finds every worker entry point in the project (functions
+handed to ``multiprocessing`` ``Process(target=...)`` or
+:func:`repro.exec.parallel_map`), computes the set of functions
+reachable from them over the call graph, and inside that set flags:
+
+- ``global`` declarations (rebinding is invisible to the parent);
+- in-place mutation of the defining module's mutable globals --
+  mutator method calls, subscript stores/deletes, augmented
+  assignments -- including from closures nested in a reachable
+  function;
+- *reads* of a module-global mutable that function-scope code in the
+  same module mutates: the reader observes parent state at fork time,
+  which is execution-order dependent.
+
+Mutation findings are suppressed inside ``EXE001``'s own scope
+(``repro/exec``, ``repro/measure``) where that rule already reports
+them; reads and everything outside that scope are this rule's.
+Names rebound locally shadow the module global and are skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.lint.callgraph import FunctionInfo, ModuleInfo, Project
+from repro.lint.engine import (
+    ProjectReporter,
+    Rule,
+    is_test_path,
+    path_matches,
+    register_rule,
+)
+from repro.lint.rules.exec_safety import (
+    MUTABLE_FACTORIES,
+    MUTATOR_METHODS,
+    _MUTABLE_DISPLAYS,
+    _POOL_SINKS,
+)
+
+#: Scope where EXE001 already reports function-scope mutations.
+_EXE001_SCOPE = ("repro/exec/*", "repro/measure/*")
+
+
+def _module_mutables(module: ModuleInfo) -> Set[str]:
+    """Names bound at module top level to mutable containers.
+
+    Unlike EXE001's per-file survey this resolves factory calls through
+    the module's import aliases, so ``from collections import
+    OrderedDict`` + ``CACHE = OrderedDict()`` is recognised.
+    """
+    mutables: Set[str] = set()
+    for statement in module.tree.body:
+        targets: List[ast.expr] = []
+        value = None
+        if isinstance(statement, ast.Assign):
+            targets, value = statement.targets, statement.value
+        elif isinstance(statement, ast.AnnAssign) and statement.value:
+            targets, value = [statement.target], statement.value
+        if value is None:
+            continue
+        mutable = isinstance(value, _MUTABLE_DISPLAYS)
+        if not mutable and isinstance(value, ast.Call):
+            name = module.qualified_name(value.func)
+            mutable = name in MUTABLE_FACTORIES
+        if not mutable:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                mutables.add(target.id)
+    return mutables
+
+
+def _spawn_entries(fn: FunctionInfo) -> List[ast.expr]:
+    """Callable expressions handed to a spawn sink inside ``fn``."""
+    entries: List[ast.expr] = []
+    for site in fn.calls:
+        node = site.node
+        dotted = site.dotted or ""
+        name = dotted.rsplit(".", 1)[-1] if dotted else ""
+        if dotted.endswith("Process") or name == "Process":
+            entries.extend(
+                keyword.value
+                for keyword in node.keywords
+                if keyword.arg == "target"
+            )
+        if dotted in _POOL_SINKS or name in _POOL_SINKS:
+            if node.args:
+                entries.append(node.args[0])
+    return entries
+
+
+def _callable_target(
+    expr: ast.expr, fn: FunctionInfo, project: Project
+) -> Optional[str]:
+    """The function a callable expression stands for, if resolvable.
+
+    Handles plain function names, ``ClassName(...)`` instantiations of
+    a project class with ``__call__``, and local names bound to such an
+    instantiation earlier in the function body (the
+    ``executor = CheckpointExecutor(...); dispatch(executor)`` idiom).
+    """
+    module = fn.module
+    if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name):
+        call_qual = f"{module.name}.{expr.func.id}.__call__"
+        if call_qual in project.functions:
+            return call_qual
+        return None
+    if not isinstance(expr, ast.Name):
+        return None
+    resolved = project.resolve_name(expr.id, module)
+    if resolved is not None:
+        return resolved.qualname
+    # A local bound to a callable-class instance.
+    for node in ast.walk(fn.node):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(
+            isinstance(target, ast.Name) and target.id == expr.id
+            for target in node.targets
+        ):
+            continue
+        value = node.value
+        if isinstance(value, ast.Call) and isinstance(value.func, ast.Name):
+            call_qual = f"{module.name}.{value.func.id}.__call__"
+            if call_qual in project.functions:
+                return call_qual
+            imported = module.imports.get(value.func.id)
+            if imported is not None:
+                call_qual = f"{imported}.__call__"
+                if call_qual in project.functions:
+                    return call_qual
+    return None
+
+
+def _worker_roots(project: Project) -> Set[str]:
+    """Qualified names of every statically-resolvable worker entry.
+
+    Two layers: callables handed *directly* to a spawn sink
+    (``Process(target=...)`` / ``parallel_map``), plus callables that
+    *escape into a dispatcher* -- passed as an argument at a call whose
+    resolved callee can itself reach a spawn sink.  The second layer is
+    how campaign unit executors travel: built in the parent, handed to
+    ``execute_plan_parallel``, invoked inside the forked worker.
+    """
+    roots: Set[str] = set()
+    spawners: Set[str] = set()
+    for fn in project.functions.values():
+        entries = _spawn_entries(fn)
+        if entries:
+            spawners.add(fn.qualname)
+        for entry in entries:
+            target = _callable_target(entry, fn, project)
+            if target is not None:
+                roots.add(target)
+    # Dispatchers: every function from which a spawner is reachable
+    # (reverse BFS over the call graph).
+    reverse: Dict[str, Set[str]] = {}
+    for fn in project.functions.values():
+        for callee in project.callees(fn.qualname):
+            reverse.setdefault(callee, set()).add(fn.qualname)
+    dispatchers: Set[str] = set(spawners)
+    frontier = list(spawners)
+    while frontier:
+        current = frontier.pop()
+        for caller in reverse.get(current, ()):
+            if caller not in dispatchers:
+                dispatchers.add(caller)
+                frontier.append(caller)
+    # Callables escaping into a dispatcher call are worker entries too.
+    for fn in project.functions.values():
+        for site in fn.calls:
+            if site.target not in dispatchers:
+                continue
+            arguments = list(site.node.args) + [
+                keyword.value for keyword in site.node.keywords
+            ]
+            for argument in arguments:
+                target = _callable_target(argument, fn, project)
+                if target is not None:
+                    roots.add(target)
+    return roots
+
+
+def _locally_bound_names(fn_node: ast.AST) -> Set[str]:
+    """Names bound inside the function (params, assignments, loops...)."""
+    bound: Set[str] = set()
+    args = getattr(fn_node, "args", None)
+    if args is not None:
+        for arg in (
+            list(args.posonlyargs)
+            + list(args.args)
+            + list(args.kwonlyargs)
+            + ([args.vararg] if args.vararg else [])
+            + ([args.kwarg] if args.kwarg else [])
+        ):
+            bound.add(arg.arg)
+    for node in ast.walk(fn_node):
+        if isinstance(node, ast.Name) and isinstance(
+            node.ctx, (ast.Store, ast.Del)
+        ):
+            bound.add(node.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node is not fn_node:
+                bound.add(node.name)
+        elif isinstance(node, ast.Global):
+            # ``global X`` makes X refer to the module binding again.
+            bound.difference_update(node.names)
+    return bound
+
+
+def _module_mutations(
+    module: ModuleInfo, mutables: Set[str]
+) -> Set[str]:
+    """Mutable globals mutated from function scope anywhere in module."""
+    mutated: Set[str] = set()
+
+    def scan(node: ast.AST, in_function: bool) -> None:
+        if in_function:
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in MUTATOR_METHODS
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in mutables
+                ):
+                    mutated.add(func.value.id)
+            for target in _store_targets(node):
+                base = target.value
+                if isinstance(base, ast.Name) and base.id in mutables:
+                    mutated.add(base.id)
+            if isinstance(node, ast.Global):
+                mutated.update(set(node.names) & mutables)
+        for child in ast.iter_child_nodes(node):
+            scan(
+                child,
+                in_function
+                or isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+                ),
+            )
+
+    scan(module.tree, in_function=False)
+    return mutated
+
+
+def _store_targets(node: ast.AST) -> List[ast.Subscript]:
+    targets: List[ast.expr] = []
+    if isinstance(node, ast.Assign):
+        targets = node.targets
+    elif isinstance(node, ast.AugAssign):
+        targets = [node.target]
+    elif isinstance(node, ast.Delete):
+        targets = node.targets
+    return [t for t in targets if isinstance(t, ast.Subscript)]
+
+
+@register_rule
+class WorkerPurityRule(Rule):
+    """Everything a worker reaches must leave shared state alone."""
+
+    rule_id = "EXE101"
+    name = "worker-purity"
+    summary = (
+        "escape analysis over the call graph: any function reachable "
+        "from a worker entry point (Process target=, parallel_map fn) "
+        "must not mutate -- or read mutated -- module-global mutable "
+        "state; after a fork each worker sees a private, "
+        "execution-order-dependent copy"
+    )
+
+    def check_project(self, project: Project, reporter: ProjectReporter) -> None:
+        roots = _worker_roots(project)
+        if not roots:
+            return
+        reachable = project.reachable_from(roots, cha=True)
+        mutables_by_module: Dict[str, Set[str]] = {}
+        mutated_by_module: Dict[str, Set[str]] = {}
+        for fn in self._reachable_functions(project, reachable):
+            module = fn.module
+            if module.path not in mutables_by_module:
+                mutables = _module_mutables(module)
+                mutables_by_module[module.path] = mutables
+                mutated_by_module[module.path] = _module_mutations(
+                    module, mutables
+                )
+            self._check_function(
+                reporter,
+                fn,
+                mutables_by_module[module.path],
+                mutated_by_module[module.path],
+                in_exe001_scope=path_matches(module.posix_path, _EXE001_SCOPE),
+            )
+
+    def _reachable_functions(
+        self, project: Project, reachable: Set[str]
+    ) -> List[FunctionInfo]:
+        chosen = []
+        for qualname in sorted(reachable):
+            fn = project.functions[qualname]
+            if is_test_path(fn.module.posix_path):
+                continue
+            chosen.append(fn)
+        return chosen
+
+    def _check_function(
+        self,
+        reporter: ProjectReporter,
+        fn: FunctionInfo,
+        mutables: Set[str],
+        mutated: Set[str],
+        in_exe001_scope: bool,
+    ) -> None:
+        module = fn.module
+        bound = _locally_bound_names(fn.node)
+        shadowed = bound & mutables
+        mutation_receivers: Set[int] = set()
+        mutation_nodes: List[Tuple[ast.AST, str]] = []
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Global):
+                names = ", ".join(node.names)
+                mutation_nodes.append(
+                    (
+                        node,
+                        f"{fn.name} declares 'global {names}' while "
+                        "reachable from a worker entry point; rebinding "
+                        "is invisible to the parent after fork -- pass "
+                        "state explicitly",
+                    )
+                )
+                continue
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in MUTATOR_METHODS
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in mutables
+                    and func.value.id not in shadowed
+                ):
+                    mutation_receivers.add(id(func.value))
+                    mutation_nodes.append(
+                        (
+                            node,
+                            f"{fn.name} is reachable from a worker entry "
+                            f"point and mutates module global "
+                            f"{func.value.id!r} in place "
+                            f"({func.value.id}.{func.attr}(...)); each "
+                            "forked worker mutates a private copy -- "
+                            "thread the container through arguments",
+                        )
+                    )
+                continue
+            for target in _store_targets(node):
+                base = target.value
+                if (
+                    isinstance(base, ast.Name)
+                    and base.id in mutables
+                    and base.id not in shadowed
+                ):
+                    mutation_receivers.add(id(base))
+                    mutation_nodes.append(
+                        (
+                            node,
+                            f"{fn.name} is reachable from a worker entry "
+                            f"point and stores into module global "
+                            f"{base.id!r}; each forked worker mutates a "
+                            "private copy -- thread the container "
+                            "through arguments",
+                        )
+                    )
+        if not in_exe001_scope:
+            for node, message in mutation_nodes:
+                reporter.report(self, module, node, message)
+        # Reads of mutated shared state (EXE001 never reports these).
+        for node in ast.walk(fn.node):
+            if (
+                isinstance(node, ast.Name)
+                and isinstance(node.ctx, ast.Load)
+                and node.id in mutated
+                and node.id not in shadowed
+                and id(node) not in mutation_receivers
+            ):
+                reporter.report(
+                    self,
+                    module,
+                    node,
+                    f"{fn.name} is reachable from a worker entry point "
+                    f"and reads module global {node.id!r}, which "
+                    "function-scope code mutates; the worker sees "
+                    "whatever state the parent had at fork time -- pass "
+                    "the value in explicitly",
+                )

@@ -83,11 +83,17 @@ class WorkerExecSafetyRule(Rule):
     name = "worker-exec-safety"
     summary = (
         "worker entry points (Process target=, parallel_map fn) must be "
-        "top-level functions, and code under repro/exec and repro/measure "
-        "must not mutate module-global mutable state from function scope "
-        "-- after a fork each worker mutates a private copy"
+        "top-level functions, and code under repro/exec, repro/measure, "
+        "benchmarks, and examples must not mutate module-global mutable "
+        "state from function scope -- after a fork each worker mutates "
+        "a private copy"
     )
-    path_patterns = ("repro/exec/*", "repro/measure/*")
+    path_patterns = (
+        "repro/exec/*",
+        "repro/measure/*",
+        "benchmarks/*",
+        "examples/*",
+    )
 
     def check_module(self, tree: ast.Module, ctx: LintContext) -> None:
         if ctx.is_test_file:

@@ -1,0 +1,276 @@
+"""Flow-aware RNG-stream discipline (``RNG101``).
+
+The campaign layer's determinism contract (PR 3/5): every random draw
+made while executing a *unit* must come from a generator forked for
+that specific (unit, attempt) via the blessed per-entity helpers --
+``RngStreams.fork(name, index)``, ``fork_*`` wrappers, or
+``Generator.spawn``.  ``RngStreams.stream(name)`` is different: it
+returns the *cached, shared* stream, so a drawn-from stream couples
+every unit that touches it to global draw order, and execution order
+(serial vs parallel, resumed vs fresh) changes the results.
+
+The syntactic rules (RNG001-004) cannot see this: a shared stream is a
+perfectly ordinary ``Generator`` by the time it reaches a sampling
+call, often two or three functions away from its ``.stream(...)``
+creation site.  This rule taint-tracks generators from creation
+(``stream`` / ``fork`` / ``spawn`` / ``default_rng``) through
+assignments, containers, and call boundaries (bounded interprocedural
+summaries record which parameters each function transitively draws
+from), and reports when a *shared-stream* generator reaches a draw in
+unit scope -- directly, or by being passed into a parameter some callee
+draws from.  A shared stream handed to a unit executor from inside a
+loop is called out specifically: that is one parent stream leaking
+into many units.
+
+Scoped to the sampling code the contract protects: ``repro/measure``,
+``repro/exec``, ``repro/faults``, ``repro/core``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set
+
+from repro.lint.callgraph import FunctionInfo, ModuleInfo, Project
+from repro.lint.dataflow import (
+    EMPTY,
+    AbstractInterpreter,
+    Tags,
+    argument_index_for_param,
+    fixpoint_summaries,
+)
+from repro.lint.engine import ProjectReporter, Rule, is_test_path, register_rule
+from repro.lint.rules.rng import GENERATOR_DRAW_METHODS
+
+#: Tag carried by any generator value.
+RNG = "rng"
+#: Tag for generators out of ``RngStreams.stream(...)`` -- shared.
+STREAM = "stream"
+#: Tag for per-entity generators (``fork``/``spawn``/``fork_*``).
+FORKED = "forked"
+
+#: Attribute names that create a *blessed* per-entity generator.
+_FORK_ATTRS = frozenset({"fork", "spawn"})
+
+
+def _is_unit_executor(fn: FunctionInfo) -> bool:
+    """Whether a function is a unit executor by naming convention.
+
+    The campaign layer's executors are ``*_unit`` functions taking the
+    unit id (``_speedchecker_unit``, ``run_unit``); anything with a
+    parameter literally named ``unit`` is treated the same way.
+    """
+    return fn.name.endswith("_unit") or fn.name == "run_unit" or "unit" in fn.params
+
+
+def _callee_param_index(
+    call: ast.Call, callee: FunctionInfo, flat_index: int
+) -> Optional[int]:
+    """Flat argument position -> callee parameter index, with the
+    ``self`` offset applied for attribute-style method calls."""
+    index = argument_index_for_param(call, callee, flat_index)
+    if index is None:
+        return None
+    if flat_index < len(call.args) and callee.is_method:
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            receiver = func.value
+            bound = not (
+                isinstance(receiver, ast.Name)
+                and receiver.id == callee.class_name
+            )
+            if bound:
+                index += 1
+    return index
+
+
+@dataclass(frozen=True)
+class _RngSummary:
+    """What one function does with generators, seen from its callers."""
+
+    #: Parameter indices the function (transitively) draws from.
+    draws_from: FrozenSet[int]
+    #: Non-parameter tags of returned values (e.g. a helper returning
+    #: ``rngs.stream(...)`` has ``{"rng", "stream"}`` here).
+    returns: Tags
+
+
+_EMPTY_SUMMARY = _RngSummary(draws_from=frozenset(), returns=EMPTY)
+
+
+class _RngInterpreter(AbstractInterpreter):
+    """Tags generator creations and observes draws and call-throughs."""
+
+    def __init__(
+        self,
+        fn: FunctionInfo,
+        project: Project,
+        summaries: Dict[str, object],
+    ) -> None:
+        super().__init__(fn, project)
+        self._summaries = summaries
+        self._sites = {site.node: site for site in fn.calls}
+        #: Param indices observed flowing into a draw.
+        self.drawn_params: Set[int] = set()
+        #: ``(call node, kind, in_loop)`` events for the report pass.
+        self.events: List[tuple] = []
+
+    def eval_call(self, node: ast.Call, arg_tags: List[Tags]) -> Tags:
+        func = node.func
+        site = self._sites.get(node)
+        if isinstance(func, ast.Attribute):
+            attr = func.attr
+            if attr in _FORK_ATTRS or attr.startswith("fork_"):
+                return frozenset({RNG, FORKED})
+            if attr == "stream":
+                return frozenset({RNG, STREAM})
+            if attr in GENERATOR_DRAW_METHODS:
+                # Record even for bare param receivers: a parameter is
+                # only "drawn from" in a way that matters when a caller
+                # actually passes a generator into it, at which point
+                # the draw here is genuine.
+                receiver = self._eval(func.value)
+                if receiver:
+                    self._record_draw(node, receiver)
+                return EMPTY
+        dotted = site.dotted if site is not None else None
+        if dotted is not None and dotted.endswith("default_rng"):
+            return frozenset({RNG, "fresh"})
+        if site is not None and site.target is not None:
+            return self._through_callee(node, site.target, arg_tags)
+        return EMPTY
+
+    def _record_draw(self, node: ast.Call, value: Tags) -> None:
+        self._propagate_drawn(value)
+        if STREAM in value:
+            self.events.append((node, "draw", self.loop_depth > 0))
+
+    def _propagate_drawn(self, value: Tags) -> None:
+        for tag in value:
+            if tag.startswith("param:"):
+                self.drawn_params.add(int(tag.split(":", 1)[1]))
+
+    def _through_callee(
+        self, node: ast.Call, target: str, arg_tags: List[Tags]
+    ) -> Tags:
+        assert self.project is not None
+        callee = self.project.functions[target]
+        summary = self._summaries.get(target, _EMPTY_SUMMARY)
+        if not isinstance(summary, _RngSummary):
+            summary = _EMPTY_SUMMARY
+        executor = _is_unit_executor(callee)
+        for flat_index, value in enumerate(arg_tags):
+            if RNG not in value:
+                continue
+            param = _callee_param_index(node, callee, flat_index)
+            drawn = param is not None and param in summary.draws_from
+            if drawn:
+                # Propagate "this param is drawn from" into the caller's
+                # own summary; the event itself is the kind-specific one
+                # appended below, not a second "draw".
+                self._propagate_drawn(value)
+            if STREAM in value and (drawn or executor):
+                kind = "into-executor" if executor else "into-drawing-callee"
+                self.events.append((node, kind, self.loop_depth > 0))
+        return summary.returns
+
+
+@register_rule
+class RngFlowRule(Rule):
+    """Shared RNG streams must not reach draws in unit scope."""
+
+    rule_id = "RNG101"
+    name = "rng-flow"
+    summary = (
+        "taint-tracks numpy Generators across functions: a shared "
+        "RngStreams.stream(...) generator reaching a sampling call in "
+        "unit scope (or handed to a unit executor) breaks per-unit "
+        "determinism -- derive per-(unit, attempt) generators via "
+        "fork/spawn instead"
+    )
+    path_patterns = (
+        "repro/measure/*",
+        "repro/exec/*",
+        "repro/faults/*",
+        "repro/core/*",
+    )
+
+    def check_project(self, project: Project, reporter: ProjectReporter) -> None:
+        def summarize(
+            fn: FunctionInfo, summaries: Dict[str, object]
+        ) -> _RngSummary:
+            interp = _RngInterpreter(fn, project, summaries)
+            returned = interp.run()
+            return _RngSummary(
+                draws_from=frozenset(interp.drawn_params),
+                returns=frozenset(
+                    tag for tag in returned if not tag.startswith("param:")
+                ),
+            )
+
+        summaries = fixpoint_summaries(project, summarize)
+        executors = [
+            fn.qualname
+            for fn in project.functions.values()
+            if _is_unit_executor(fn)
+        ]
+        unit_scope = project.reachable_from(executors)
+        for qualname, fn in sorted(project.functions.items()):
+            module = fn.module
+            if is_test_path(module.posix_path):
+                continue
+            if not self.applies_to_module(module):
+                continue
+            in_unit_scope = qualname in unit_scope
+            interp = _RngInterpreter(fn, project, summaries)
+            interp.run()
+            for node, kind, in_loop in interp.events:
+                self._report_event(
+                    reporter, module, fn, node, kind, in_loop, in_unit_scope
+                )
+
+    def _report_event(
+        self,
+        reporter: ProjectReporter,
+        module: ModuleInfo,
+        fn: FunctionInfo,
+        node: ast.Call,
+        kind: str,
+        in_loop: bool,
+        in_unit_scope: bool,
+    ) -> None:
+        if kind == "into-executor":
+            suffix = (
+                " from inside a loop -- one parent stream leaks into "
+                "every unit of the loop"
+                if in_loop
+                else ""
+            )
+            reporter.report(
+                self,
+                module,
+                node,
+                f"{fn.name} passes a shared RngStreams.stream(...) "
+                f"generator to a unit executor{suffix}; fork a "
+                "per-(unit, attempt) generator with .fork(name, index) "
+                "instead",
+            )
+            return
+        if not in_unit_scope:
+            return
+        if kind == "draw":
+            message = (
+                f"{fn.name} draws from a shared RngStreams.stream(...) "
+                "generator while reachable from a unit executor; unit "
+                "results now depend on global draw order -- use a "
+                "per-(unit, attempt) .fork(name, index) stream"
+            )
+        else:
+            message = (
+                f"{fn.name} passes a shared RngStreams.stream(...) "
+                "generator into a callee that draws from it, while "
+                "reachable from a unit executor -- fork a per-unit "
+                "generator instead"
+            )
+        reporter.report(self, module, node, message)

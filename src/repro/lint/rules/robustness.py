@@ -25,11 +25,11 @@ class ExceptionSwallowRule(Rule):
     rule_id = "ROB001"
     name = "exception-swallow"
     summary = (
-        "no bare except: anywhere in repro, and no except Exception: "
-        "whose body only passes; catch the specific exceptions a "
-        "handler can actually recover from"
+        "no bare except: anywhere in repro, benchmarks, or examples, "
+        "and no except Exception: whose body only passes; catch the "
+        "specific exceptions a handler can actually recover from"
     )
-    path_patterns = ("repro/*",)
+    path_patterns = ("repro/*", "benchmarks/*", "examples/*")
     node_types = (ast.ExceptHandler,)
 
     def visit(self, node: ast.AST, ctx: LintContext) -> None:

@@ -11,6 +11,12 @@ Two directive forms, matching the usual linter conventions:
 Comments are found with :mod:`tokenize` so directives inside string
 literals never count; files that fail to tokenize fall back to a
 line-oriented scan.
+
+Every directive is tracked individually so the engine's
+``--strict-suppressions`` audit can flag *stale* ones: a directive that
+silenced no violation in the run is dead weight -- either the code it
+excused was fixed, or the rule id is a typo -- and strict mode reports
+it as a ``SUP001`` finding.
 """
 
 from __future__ import annotations
@@ -19,7 +25,7 @@ import io
 import re
 import tokenize
 from dataclasses import dataclass, field
-from typing import Dict, Set
+from typing import Dict, List, Set
 
 _DIRECTIVE_RE = re.compile(
     r"#\s*repro-lint:\s*(?P<kind>disable-file|disable)\s*=\s*"
@@ -31,6 +37,17 @@ ALL = "ALL"
 
 
 @dataclass
+class Directive:
+    """One parsed ``disable``/``disable-file`` comment."""
+
+    line: int
+    kind: str  # "disable" | "disable-file"
+    tokens: Set[str]
+    #: Whether this directive silenced at least one violation.
+    used: bool = False
+
+
+@dataclass
 class Suppressions:
     """Parsed suppression directives for one file."""
 
@@ -38,15 +55,57 @@ class Suppressions:
     by_line: Dict[int, Set[str]] = field(default_factory=dict)
     #: Upper-cased rule tokens disabled for the whole file.
     file_level: Set[str] = field(default_factory=set)
+    #: Every directive found, in source order (for the stale audit).
+    directives: List[Directive] = field(default_factory=list)
 
     def is_disabled(self, line: int, rule_id: str, rule_name: str = "") -> bool:
         tokens = {rule_id.upper(), rule_name.upper()} - {""}
+        disabled = False
         if self.file_level & tokens or ALL in self.file_level:
-            return True
+            disabled = True
         line_tokens = self.by_line.get(line)
-        if not line_tokens:
-            return False
-        return bool(line_tokens & tokens) or ALL in line_tokens
+        if line_tokens and (line_tokens & tokens or ALL in line_tokens):
+            disabled = True
+        if disabled:
+            self._mark_used(line, tokens)
+        return disabled
+
+    def _mark_used(self, line: int, tokens: Set[str]) -> None:
+        for directive in self.directives:
+            if directive.used:
+                continue
+            matches = bool(directive.tokens & tokens) or ALL in directive.tokens
+            if not matches:
+                continue
+            if directive.kind == "disable-file" or directive.line == line:
+                directive.used = True
+
+    def stale_directives(
+        self, active_tokens: Set[str], known_tokens: Set[str]
+    ) -> List[Directive]:
+        """Directives that silenced nothing and are auditable now.
+
+        ``active_tokens`` is the upper-cased id/name set of the rules
+        that actually ran; ``known_tokens`` covers every registered
+        rule.  A directive is auditable when each of its tokens either
+        ran this invocation, is ``all``, or names no registered rule at
+        all (a typo that will never suppress anything).  Directives
+        naming only deselected-but-real rules cannot be judged and are
+        skipped, so ``--select`` subsets never produce false staleness.
+        """
+        stale: List[Directive] = []
+        for directive in self.directives:
+            if directive.used:
+                continue
+            judgeable = all(
+                token == ALL
+                or token in active_tokens
+                or token not in known_tokens
+                for token in directive.tokens
+            )
+            if judgeable:
+                stale.append(directive)
+        return stale
 
 
 def _parse_directive(comment: str, line: int, out: Suppressions) -> None:
@@ -56,7 +115,11 @@ def _parse_directive(comment: str, line: int, out: Suppressions) -> None:
             for token in match.group("rules").split(",")
             if token.strip()
         }
-        if match.group("kind") == "disable-file":
+        if not tokens:
+            continue
+        kind = match.group("kind")
+        out.directives.append(Directive(line=line, kind=kind, tokens=tokens))
+        if kind == "disable-file":
             out.file_level |= tokens
         else:
             out.by_line.setdefault(line, set()).update(tokens)

@@ -227,6 +227,15 @@ class ArrayRoutingTable(RoutingTable):
 #: them across worlds (same seed/scale => same scoped graphs) is safe;
 #: the bound is generous -- a full-scale world needs ~8 networks x 6
 #: continents x 2 policies worth of entries.
+#:
+#: EXE101 (worker-purity) rightly observes that this is module-global
+#: mutable state reachable from forked campaign workers.  It is exempt
+#: by design: every entry is a pure function of its key, so whether a
+#: worker hits the parent's COW-prewarmed entry (see
+#: ``_prewarm_route_tables``) or recomputes it in its private copy, the
+#: resulting table is byte-identical -- the memo can never make results
+#: depend on execution order, only on how much work is repeated.
+# repro-lint: disable-file=EXE101
 _SHARED_ROUTE_CACHE: "OrderedDict[Tuple[str, int, RoutePolicy], RoutingTable]"
 _SHARED_ROUTE_CACHE = OrderedDict()
 _SHARED_ROUTE_CACHE_MAX = 512

@@ -1,0 +1,133 @@
+"""Pins the ``python -m repro.lint`` exit-status contract.
+
+CI keys off these codes (see ``.github/workflows/ci.yml``):
+
+- **0** -- clean run;
+- **1** -- findings (violations, parse failures, stale suppressions
+  under ``--strict-suppressions``);
+- **2** -- usage errors *and* analyzer crashes.
+
+The crash->2 leg matters most: a linter bug that escaped as an
+uncaught exception would otherwise read as "red because the code is
+bad" or, worse, pass silently under a ``|| true``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint import cli
+
+CLEAN = "VALUE = 1\n"
+DIRTY = "import numpy as np\n\n\ndef f():\n    np.random.seed(0)\n"
+STALE = "VALUE = 1  # repro-lint: disable=RNG001\n"
+
+
+@pytest.fixture()
+def tree(tmp_path: Path) -> Path:
+    (tmp_path / "src" / "repro" / "measure").mkdir(parents=True)
+    return tmp_path
+
+
+def _write(tree: Path, name: str, source: str) -> Path:
+    path = tree / "src" / "repro" / "measure" / name
+    path.write_text(source, encoding="utf-8")
+    return path
+
+
+class TestExitCodes:
+    def test_clean_is_zero(self, tree, capsys):
+        path = _write(tree, "clean.py", CLEAN)
+        assert cli.main([str(path)]) == 0
+        assert "no violations" in capsys.readouterr().out
+
+    def test_findings_are_one(self, tree, capsys):
+        path = _write(tree, "dirty.py", DIRTY)
+        assert cli.main([str(path)]) == 1
+        assert "RNG001" in capsys.readouterr().out
+
+    def test_parse_failure_is_one(self, tree, capsys):
+        path = _write(tree, "broken.py", "def f(:\n")
+        assert cli.main([str(path)]) == 1
+        assert "PARSE" in capsys.readouterr().out
+
+    def test_stale_suppression_is_one_only_under_strict(self, tree, capsys):
+        path = _write(tree, "stale.py", STALE)
+        assert cli.main([str(path)]) == 0
+        assert cli.main(["--strict-suppressions", str(path)]) == 1
+        assert "SUP001" in capsys.readouterr().out
+
+    def test_unknown_flag_is_two(self, tree, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(["--no-such-flag"])
+        assert excinfo.value.code == 2
+
+    def test_empty_rule_selection_is_two(self, tree):
+        path = _write(tree, "clean.py", CLEAN)
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(["--select", "RNG001", "--ignore", "RNG001", str(path)])
+        assert excinfo.value.code == 2
+
+    def test_unwritable_output_is_two(self, tree, capsys):
+        path = _write(tree, "clean.py", CLEAN)
+        missing = tree / "no" / "such" / "dir" / "report.json"
+        assert cli.main(["--output", str(missing), str(path)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_analyzer_crash_is_two(self, tree, capsys, monkeypatch):
+        path = _write(tree, "clean.py", CLEAN)
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("injected analyzer bug")
+
+        monkeypatch.setattr(cli, "lint_paths", boom)
+        assert cli.main([str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "internal error" in err
+        assert "injected analyzer bug" in err
+
+    def test_crash_beats_findings(self, tree, capsys, monkeypatch):
+        """A crash mid-analysis must not decay into exit 1."""
+        path = _write(tree, "dirty.py", DIRTY)
+
+        def boom(*args, **kwargs):
+            raise ValueError("late crash")
+
+        monkeypatch.setattr(cli, "render_text", boom)
+        assert cli.main([str(path)]) == 2
+
+
+class TestOutputsAndModes:
+    def test_output_file_written(self, tree, capsys):
+        path = _write(tree, "dirty.py", DIRTY)
+        report = tree / "lint-report.json"
+        assert cli.main(["-f", "json", "-o", str(report), str(path)]) == 1
+        payload = json.loads(report.read_text(encoding="utf-8"))
+        assert payload["violations"][0]["rule_id"] == "RNG001"
+        # Report went to the file, not stdout.
+        assert "RNG001" not in capsys.readouterr().out
+
+    def test_sarif_output_is_valid(self, tree, capsys):
+        path = _write(tree, "dirty.py", DIRTY)
+        assert cli.main(["-f", "sarif", str(path)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == "2.1.0"
+        assert payload["runs"][0]["results"][0]["ruleId"] == "RNG001"
+
+    def test_catalog_mode_is_zero(self, tree, capsys):
+        assert cli.main(["--catalog"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("| ID |")
+        assert "RNG101" in out
+
+    def test_list_rules_mode_is_zero(self, tree, capsys):
+        assert cli.main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("RNG001", "RNG101", "WAL001", "EXE101", "SUP001"):
+            assert rule_id in out
+
+    def test_default_paths_cover_ci_scope(self):
+        assert cli.DEFAULT_PATHS == ["src", "benchmarks", "examples"]

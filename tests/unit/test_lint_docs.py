@@ -1,0 +1,59 @@
+"""docs/LINTING.md stays in sync with the rule registry.
+
+The rule catalog table in the docs is generated
+(``python -m repro.lint --catalog``) and embedded between
+``<!-- rule-catalog:begin -->`` / ``<!-- rule-catalog:end -->``
+markers.  These tests fail when a rule is added, removed, rescoped or
+reworded without regenerating the table, and when a rule lacks a prose
+section.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.lint import all_rules, render_catalog
+
+DOCS = Path(__file__).resolve().parents[2] / "docs" / "LINTING.md"
+BEGIN = "<!-- rule-catalog:begin -->"
+END = "<!-- rule-catalog:end -->"
+
+
+def _embedded_table() -> str:
+    text = DOCS.read_text(encoding="utf-8")
+    match = re.search(
+        re.escape(BEGIN) + r"\n(.*?)\n" + re.escape(END), text, re.DOTALL
+    )
+    assert match, f"docs/LINTING.md is missing the {BEGIN} / {END} markers"
+    return match.group(1)
+
+
+def test_catalog_table_matches_registry():
+    embedded = _embedded_table()
+    generated = render_catalog()
+    assert embedded == generated, (
+        "docs/LINTING.md rule catalog is stale; regenerate with\n"
+        "  PYTHONPATH=src python -m repro.lint --catalog\n"
+        "and paste the table between the rule-catalog markers"
+    )
+
+
+def test_every_rule_has_a_prose_section():
+    text = DOCS.read_text(encoding="utf-8")
+    body = text.split(END, 1)[1]
+    for rule in all_rules():
+        assert f"**{rule.rule_id} `{rule.name}`**" in body, (
+            f"docs/LINTING.md has no prose section for {rule.rule_id}"
+        )
+
+
+def test_docs_mention_cli_modes():
+    text = DOCS.read_text(encoding="utf-8")
+    for needle in (
+        "--strict-suppressions",
+        "--catalog",
+        "-f sarif",
+        "test_lint_cli_contract.py",
+    ):
+        assert needle in text, f"docs/LINTING.md no longer mentions {needle}"

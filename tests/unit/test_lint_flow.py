@@ -1,0 +1,698 @@
+"""Tests for the flow-aware analysis substrate and rule families.
+
+Covers the project call graph (``repro.lint.callgraph``), the taint
+dataflow machinery (``repro.lint.dataflow``), the engine's project
+phase and strict-suppression audit, and targeted behaviours of the
+RNG101 / WAL001 / EXE101 families beyond the golden corpus.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import textwrap
+from typing import Dict, List, Tuple
+
+from repro.lint import (
+    LintResult,
+    all_rules,
+    lint_sources,
+    render_catalog,
+    render_sarif,
+)
+from repro.lint.callgraph import Project, module_name_for_path
+from repro.lint.dataflow import (
+    EMPTY,
+    AbstractInterpreter,
+    Env,
+    fixpoint_summaries,
+    tags,
+)
+
+
+def _project(*files: Tuple[str, str]) -> Project:
+    return Project.build(
+        [(path, ast.parse(textwrap.dedent(source))) for path, source in files]
+    )
+
+
+def _lint(
+    *files: Tuple[str, str], strict: bool = False
+) -> LintResult:
+    return lint_sources(
+        [(path, textwrap.dedent(source)) for path, source in files],
+        strict_suppressions=strict,
+    )
+
+
+def _ids(result: LintResult) -> List[str]:
+    return [violation.rule_id for violation in result.violations]
+
+
+class TestModuleNaming:
+    def test_src_prefix_stripped(self):
+        assert (
+            module_name_for_path("src/repro/measure/campaign.py")
+            == "repro.measure.campaign"
+        )
+
+    def test_tests_and_benchmarks_keep_root(self):
+        assert module_name_for_path("tests/unit/test_x.py") == "tests.unit.test_x"
+        assert module_name_for_path("benchmarks/bench_y.py") == "benchmarks.bench_y"
+
+    def test_init_maps_to_package(self):
+        assert module_name_for_path("src/repro/exec/__init__.py") == "repro.exec"
+
+    def test_unrecognised_path_uses_stem(self):
+        assert module_name_for_path("scratch/thing.py") == "thing"
+
+
+class TestCallGraph:
+    def test_bare_name_resolves_to_local_def(self):
+        project = _project(
+            (
+                "src/repro/a.py",
+                """
+                def helper():
+                    return 1
+
+                def caller():
+                    return helper()
+                """,
+            )
+        )
+        assert project.callees("repro.a.caller") == {"repro.a.helper"}
+
+    def test_import_alias_resolves_cross_module(self):
+        project = _project(
+            (
+                "src/repro/a.py",
+                """
+                def helper():
+                    return 1
+                """,
+            ),
+            (
+                "src/repro/b.py",
+                """
+                from repro.a import helper
+
+                def caller():
+                    return helper()
+                """,
+            ),
+        )
+        assert project.callees("repro.b.caller") == {"repro.a.helper"}
+
+    def test_self_method_resolves(self):
+        project = _project(
+            (
+                "src/repro/a.py",
+                """
+                class Thing:
+                    def one(self):
+                        return self.two()
+
+                    def two(self):
+                        return 2
+                """,
+            )
+        )
+        assert project.callees("repro.a.Thing.one") == {"repro.a.Thing.two"}
+
+    def test_unique_method_name_resolves_unknown_receiver(self):
+        project = _project(
+            (
+                "src/repro/a.py",
+                """
+                class Store:
+                    def persist_unit(self, unit):
+                        return unit
+
+                def caller(store):
+                    return store.persist_unit(1)
+                """,
+            )
+        )
+        assert project.callees("repro.a.caller") == {"repro.a.Store.persist_unit"}
+
+    def test_generic_method_names_do_not_resolve(self):
+        project = _project(
+            (
+                "src/repro/a.py",
+                """
+                class Box:
+                    def append(self, item):
+                        return item
+
+                def caller(maybe_list):
+                    maybe_list.append(1)
+                """,
+            )
+        )
+        assert project.callees("repro.a.caller") == set()
+
+    def test_reachability_handles_cycles(self):
+        project = _project(
+            (
+                "src/repro/a.py",
+                """
+                def ping():
+                    return pong()
+
+                def pong():
+                    return ping()
+                """,
+            )
+        )
+        reachable = project.reachable_from(["repro.a.ping"])
+        assert reachable == {"repro.a.ping", "repro.a.pong"}
+
+    def test_cha_adds_duck_typed_candidates(self):
+        project = _project(
+            (
+                "src/repro/a.py",
+                """
+                class Real:
+                    def ping_batch(self, n):
+                        return n
+
+                class Fake:
+                    def ping_batch(self, n):
+                        return 0
+
+                def drive(engine):
+                    return engine.ping_batch(3)
+                """,
+            )
+        )
+        # Two candidates: precise resolution gives up...
+        assert project.callees("repro.a.drive") == set()
+        # ...but CHA reachability links both.
+        assert project.reachable_from(["repro.a.drive"], cha=True) == {
+            "repro.a.drive",
+            "repro.a.Real.ping_batch",
+            "repro.a.Fake.ping_batch",
+        }
+
+
+class TestDataflow:
+    def test_env_join_is_union(self):
+        left = Env({"x": tags("a")})
+        right = Env({"x": tags("b"), "y": tags("c")})
+        left.join(right)
+        assert left.get("x") == tags("a", "b")
+        assert left.get("y") == tags("c")
+
+    def _run(self, source: str, interpreter_cls=AbstractInterpreter):
+        project = _project(("src/repro/m.py", source))
+        fn = next(iter(project.functions.values()))
+        interp = interpreter_cls(fn, project)
+        returned = interp.run()
+        return interp, returned
+
+    def test_branch_tags_join(self):
+        class Tagger(AbstractInterpreter):
+            def eval_call(self, node, arg_tags):
+                if isinstance(node.func, ast.Name):
+                    return tags(node.func.id)
+                return EMPTY
+
+        interp, returned = self._run(
+            """
+            def pick(flag):
+                if flag:
+                    value = left()
+                else:
+                    value = right()
+                return value
+            """,
+            Tagger,
+        )
+        assert returned == tags("left", "right", "param:0") - tags("param:0")
+
+    def test_loop_carried_tags_reach_body_start(self):
+        class Tagger(AbstractInterpreter):
+            def __init__(self, fn, project=None):
+                super().__init__(fn, project)
+                self.seen = set()
+
+            def eval_call(self, node, arg_tags):
+                if isinstance(node.func, ast.Name):
+                    if node.func.id == "taint":
+                        return tags("hot")
+                    if node.func.id == "sink" and arg_tags:
+                        self.seen |= set(arg_tags[0])
+                return EMPTY
+
+        interp, _ = self._run(
+            """
+            def loop(n):
+                value = None
+                for _ in range(n):
+                    sink(value)
+                    value = taint()
+            """,
+            Tagger,
+        )
+        # Pass 1 sees value=None at the sink; pass 2 sees the
+        # loop-carried taint.
+        assert "hot" in interp.seen
+
+    def test_tuple_unpacking_propagates(self):
+        class Tagger(AbstractInterpreter):
+            def eval_call(self, node, arg_tags):
+                return tags("made")
+
+        interp, _ = self._run(
+            """
+            def unpack():
+                a, b = make(), 2
+                c = a
+                return c
+            """,
+            Tagger,
+        )
+        assert "made" in interp.env.get("c")
+
+    def test_fixpoint_converges_on_recursion(self):
+        project = _project(
+            (
+                "src/repro/a.py",
+                """
+                def odd(n):
+                    return even(n - 1)
+
+                def even(n):
+                    return odd(n - 1)
+                """,
+            )
+        )
+        calls = {"count": 0}
+
+        def summarize(fn, summaries):
+            calls["count"] += 1
+            return len(fn.calls)
+
+        summaries = fixpoint_summaries(project, summarize)
+        assert summaries == {"repro.a.odd": 1, "repro.a.even": 1}
+        # One full round plus the convergence check, bounded.
+        assert calls["count"] <= 2 * len(project.functions) * 6
+
+    def test_interpreter_total_on_odd_constructs(self):
+        # Walrus, nested defs, match, try/finally, starred, lambdas:
+        # nothing here may raise.
+        self._run(
+            """
+            def weird(xs):
+                if (n := len(xs)) > 2:
+                    del n
+                def inner():
+                    return xs
+                match xs:
+                    case [first, *rest]:
+                        pass
+                try:
+                    a, *b = xs
+                finally:
+                    c = lambda: a
+                while xs:
+                    break
+                return [y for y in xs if y], {k: v for k, v in xs}
+            """
+        )
+
+
+class TestProjectPhase:
+    def test_project_findings_route_to_source_file(self):
+        result = _lint(
+            (
+                "src/repro/measure/sampling.py",
+                """
+                def pick(world, rng):
+                    return rng.integers(0, 3)
+
+                def run_unit(store, unit, world):
+                    shared = world.rngs.stream("s")
+                    return pick(world, shared)
+                """,
+            )
+        )
+        assert _ids(result) == ["RNG101"]
+        assert result.violations[0].path == "src/repro/measure/sampling.py"
+
+    def test_project_findings_respect_line_suppressions(self):
+        result = _lint(
+            (
+                "src/repro/measure/sampling.py",
+                """
+                def pick(world, rng):
+                    return rng.integers(0, 3)
+
+                def run_unit(store, unit, world):
+                    shared = world.rngs.stream("s")
+                    return pick(world, shared)  # repro-lint: disable=RNG101
+                """,
+            )
+        )
+        assert _ids(result) == []
+
+    def test_cross_file_flow_detected(self):
+        result = _lint(
+            (
+                "src/repro/measure/helpers.py",
+                """
+                def pick(world, rng):
+                    return rng.integers(0, 3)
+                """,
+            ),
+            (
+                "src/repro/measure/units.py",
+                """
+                from repro.measure.helpers import pick
+
+                def run_unit(store, unit, world):
+                    shared = world.rngs.stream("s")
+                    return pick(world, shared)
+                """,
+            ),
+        )
+        assert _ids(result) == ["RNG101"]
+        assert result.violations[0].path == "src/repro/measure/units.py"
+
+
+class TestRngFlow:
+    def test_loop_leak_into_executor_mentions_loop(self):
+        result = _lint(
+            (
+                "src/repro/measure/drive.py",
+                """
+                def one_unit(world, unit, rng):
+                    return rng.integers(0, 3)
+
+                def drive(world, units):
+                    shared = world.rngs.stream("campaign")
+                    return [one_unit(world, unit, shared) for unit in units]
+                """,
+            )
+        )
+        assert _ids(result) == ["RNG101"]
+        assert "loop" in result.violations[0].message
+
+    def test_stream_to_non_drawing_callee_is_clean(self):
+        result = _lint(
+            (
+                "src/repro/measure/wire.py",
+                """
+                def describe(world, rng):
+                    return repr(world)
+
+                def run_unit(store, unit, world):
+                    shared = world.rngs.stream("s")
+                    return describe(world, shared)
+                """,
+            )
+        )
+        assert _ids(result) == []
+
+    def test_fork_wrapper_helpers_are_blessed(self):
+        result = _lint(
+            (
+                "src/repro/measure/forked.py",
+                """
+                def pick(world, rng):
+                    return rng.integers(0, 3)
+
+                def run_unit(store, unit, world):
+                    per_unit = world.rngs.fork_backoff(unit, 0)
+                    return pick(world, per_unit)
+                """,
+            )
+        )
+        assert _ids(result) == []
+
+    def test_helper_returning_stream_tracked_through_return(self):
+        result = _lint(
+            (
+                "src/repro/measure/indirect.py",
+                """
+                def shared_rng(world):
+                    return world.rngs.stream("s")
+
+                def run_unit(store, unit, world):
+                    rng = shared_rng(world)
+                    return rng.integers(0, 3)
+                """,
+            )
+        )
+        assert _ids(result) == ["RNG101"]
+
+
+class TestWalOrder:
+    def test_sink_through_two_call_hops(self):
+        result = _lint(
+            (
+                "src/repro/store/deep.py",
+                """
+                def append_it(journal, entry):
+                    journal.append(entry)
+
+                def forward(journal, entry):
+                    append_it(journal, entry)
+
+                def commit(store, journal, unit, payload):
+                    entry = {"unit": unit, "shards": ["a"]}
+                    forward(journal, entry)
+                    store.write_unit_shards(unit, payload)
+                """,
+            )
+        )
+        assert _ids(result) == ["WAL001"]
+
+    def test_begin_and_skip_entries_exempt(self):
+        result = _lint(
+            (
+                "src/repro/store/meta.py",
+                """
+                BEGIN_ENTRY = "begin"
+
+                def begin_run(journal, plan):
+                    entry = {"type": BEGIN_ENTRY, "plan": dict(plan)}
+                    journal.append(entry)
+                    return entry
+                """,
+            )
+        )
+        assert _ids(result) == []
+
+    def test_durable_writer_summary_propagates(self):
+        result = _lint(
+            (
+                "src/repro/store/viawrite.py",
+                """
+                def persist(store, unit, payload):
+                    store.write_unit_shards(unit, payload)
+
+                def commit(store, journal, unit, payload):
+                    entry = {"unit": unit, "shards": ["a"]}
+                    persist(store, unit, payload)
+                    journal.append(entry)
+                """,
+            )
+        )
+        assert _ids(result) == []
+
+    def test_unit_type_constant_marks_entry(self):
+        result = _lint(
+            (
+                "src/repro/store/typed.py",
+                """
+                UNIT_ENTRY = "unit"
+
+                def commit(journal, unit):
+                    entry = {"type": UNIT_ENTRY, "unit": unit}
+                    journal.append(entry)
+                """,
+            )
+        )
+        assert _ids(result) == ["WAL001"]
+
+
+class TestWorkerPurity:
+    def test_callable_class_executor_is_a_root(self):
+        result = _lint(
+            (
+                "src/repro/net/cachey.py",
+                """
+                _MEMO = {}
+
+                def lookup(key):
+                    _MEMO[key] = key
+                    return _MEMO[key]
+                """,
+            ),
+            (
+                "src/repro/exec/dispatch.py",
+                """
+                from multiprocessing import Process
+
+                from repro.net.cachey import lookup
+
+                class Executor:
+                    def __call__(self, item):
+                        return lookup(item)
+
+                def spawn(items):
+                    p = Process(target=_noop)
+                    run_all(Executor(), items)
+
+                def run_all(execute, items):
+                    p = Process(target=_noop)
+                    return [execute(i) for i in items]
+
+                def _noop():
+                    return None
+                """,
+            ),
+        )
+        assert "EXE101" in _ids(result)
+
+    def test_local_shadow_is_not_a_finding(self):
+        result = _lint(
+            (
+                "src/repro/net/shadow.py",
+                """
+                _CACHE = {}
+
+                def pure(items):
+                    _CACHE = {}
+                    _CACHE["x"] = 1
+                    return _CACHE
+                """,
+            ),
+            (
+                "src/repro/exec/shadowdrive.py",
+                """
+                from multiprocessing import Process
+
+                from repro.net.shadow import pure
+
+                def launch(items):
+                    p = Process(target=pure, args=(items,))
+                    p.start()
+                """,
+            ),
+        )
+        assert "EXE101" not in _ids(result)
+
+    def test_unreachable_mutation_is_not_a_finding(self):
+        result = _lint(
+            (
+                "src/repro/net/island.py",
+                """
+                _CACHE = {}
+
+                def mutate(key):
+                    _CACHE[key] = key
+                """,
+            )
+        )
+        assert "EXE101" not in _ids(result)
+
+
+class TestStrictSuppressions:
+    def test_stale_directive_reported(self):
+        result = _lint(
+            ("src/repro/core/x.py", "VALUE = 1  # repro-lint: disable=RNG001\n"),
+            strict=True,
+        )
+        assert _ids(result) == ["SUP001"]
+
+    def test_used_directive_not_stale(self):
+        result = _lint(
+            (
+                "src/repro/core/x.py",
+                """
+                import numpy as np
+
+                def f():
+                    np.random.seed(0)  # repro-lint: disable=RNG001
+                """,
+            ),
+            strict=True,
+        )
+        assert _ids(result) == []
+
+    def test_typo_rule_id_is_stale(self):
+        result = _lint(
+            ("src/repro/core/x.py", "VALUE = 1  # repro-lint: disable=RNG999\n"),
+            strict=True,
+        )
+        assert _ids(result) == ["SUP001"]
+        assert "RNG999" in result.violations[0].message
+
+    def test_deselected_rule_not_judged(self):
+        from repro.lint import select_rules
+        from repro.lint.engine import lint_sources as engine_lint
+
+        rules = select_rules(ignore=["RNG001"])
+        result = engine_lint(
+            [("src/repro/core/x.py", "VALUE = 1  # repro-lint: disable=RNG001\n")],
+            rules=rules,
+            strict_suppressions=True,
+        )
+        assert _ids(result) == []
+
+    def test_non_strict_ignores_stale(self):
+        result = _lint(
+            ("src/repro/core/x.py", "VALUE = 1  # repro-lint: disable=RNG001\n"),
+        )
+        assert _ids(result) == []
+
+
+class TestReporters:
+    def _result(self) -> LintResult:
+        return _lint(
+            (
+                "src/repro/measure/legacy.py",
+                """
+                import numpy as np
+
+                def f():
+                    np.random.seed(0)
+                """,
+            )
+        )
+
+    def test_sarif_shape(self):
+        payload = json.loads(render_sarif(self._result()))
+        assert payload["version"] == "2.1.0"
+        run = payload["runs"][0]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        listed = {rule["id"] for rule in driver["rules"]}
+        assert listed == {rule.rule_id for rule in all_rules()}
+        finding = run["results"][0]
+        assert finding["ruleId"] == "RNG001"
+        assert finding["level"] == "error"
+        location = finding["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith("legacy.py")
+        assert location["region"]["startLine"] >= 1
+
+    def test_sarif_rule_index_consistent(self):
+        payload = json.loads(render_sarif(self._result()))
+        run = payload["runs"][0]
+        rules = run["tool"]["driver"]["rules"]
+        for finding in run["results"]:
+            index = finding["ruleIndex"]
+            assert rules[index]["id"] == finding["ruleId"]
+
+    def test_catalog_lists_every_rule(self):
+        catalog = render_catalog()
+        for rule in all_rules():
+            assert f"| {rule.rule_id} |" in catalog
+
+    def test_catalog_is_single_table(self):
+        lines = render_catalog().splitlines()
+        assert lines[0].startswith("| ID |")
+        assert all(line.startswith("|") for line in lines)

@@ -1,0 +1,167 @@
+"""Analyzer totality: the linter never crashes on valid Python.
+
+The CLI's exit-code contract reserves 2 for analyzer bugs, which only
+works if those are rare.  These tests drive ``lint_sources`` (and so
+the call graph, the dataflow interpreter, and every registered rule's
+project phase) over hypothesis-generated modules: random-but-valid
+source assembled from the kinds of constructs the flow rules care
+about (generator creation, call chains, loops, dict literals, journal
+appends, module globals, spawns), plus arbitrary text that usually
+fails to parse.  The single property: ``lint_sources`` returns a
+``LintResult`` -- any exception is a bug.
+"""
+
+from __future__ import annotations
+
+import keyword
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.lint import LintResult, lint_sources
+
+# Modest example counts: the structured-module strategy is expensive
+# (each example runs the full project phase), and CI runs this on
+# every commit.  Bump locally when hunting a specific crash.
+_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _identifiers():
+    return st.from_regex(r"[a-z_][a-z0-9_]{0,8}", fullmatch=True).filter(
+        lambda name: not keyword.iskeyword(name)
+    )
+
+
+@st.composite
+def _expressions(draw, depth: int = 0) -> str:
+    name = draw(_identifiers())
+    simple = st.sampled_from(
+        [
+            name,
+            "None",
+            "0",
+            '"s"',
+            "[]",
+            "{}",
+            f"{name}.stream('s')",
+            f"{name}.fork('s', 0)",
+            f"{name}.integers(0, 3)",
+            f"{name}.append({name})",
+            "{'unit': 1, 'shards': []}",
+            f"[{name} for {name} in {name}]",
+            f"lambda: {name}",
+        ]
+    )
+    if depth >= 2:
+        return draw(simple)
+    inner = draw(_expressions(depth=depth + 1))
+    compound = st.sampled_from(
+        [
+            f"{name}({inner})",
+            f"{name}({inner}, rng={inner})",
+            f"({inner}, {inner})",
+            f"{inner} if {name} else {inner}",
+            f"{name}.{draw(_identifiers())}({inner})",
+        ]
+    )
+    return draw(st.one_of(simple, compound))
+
+
+@st.composite
+def _statements(draw, depth: int = 0) -> str:
+    name = draw(_identifiers())
+    expr = draw(_expressions())
+    simple = st.sampled_from(
+        [
+            f"{name} = {expr}",
+            f"{name}, _ = {expr}, {expr}",
+            f"return {expr}",
+            f"{expr}",
+            f"global {name}",
+            f"del {name}" if depth else f"{name} = {expr}",
+            f"assert {expr}",
+        ]
+    )
+    if depth >= 2:
+        return draw(simple)
+    inner = draw(_statements(depth=depth + 1))
+    body = "\n".join("    " + line for line in inner.splitlines())
+    compound = st.sampled_from(
+        [
+            f"if {expr}:\n{body}",
+            f"for {name} in {expr}:\n{body}",
+            f"while {expr}:\n{body}\n    break",
+            f"try:\n{body}\nexcept Exception:\n    pass",
+            f"with {expr} as {name}:\n{body}",
+        ]
+    )
+    return draw(st.one_of(simple, compound))
+
+
+@st.composite
+def _functions(draw) -> str:
+    name = draw(_identifiers())
+    params = draw(
+        st.lists(_identifiers(), min_size=0, max_size=3, unique=True)
+    )
+    statements = draw(st.lists(_statements(), min_size=1, max_size=4))
+    body = "\n".join(
+        "    " + line for stmt in statements for line in stmt.splitlines()
+    )
+    return f"def {name}({', '.join(params)}):\n{body}"
+
+
+@st.composite
+def _modules(draw) -> str:
+    parts = []
+    if draw(st.booleans()):
+        parts.append("from multiprocessing import Process")
+    if draw(st.booleans()):
+        parts.append(f"{draw(_identifiers()).upper()} = {{}}")
+    parts.extend(draw(st.lists(_functions(), min_size=1, max_size=4)))
+    return "\n\n".join(parts) + "\n"
+
+
+@st.composite
+def _paths(draw) -> str:
+    package = draw(
+        st.sampled_from(
+            ["measure", "exec", "store", "net", "faults", "core", "lint"]
+        )
+    )
+    stem = draw(_identifiers())
+    return f"src/repro/{package}/{stem}.py"
+
+
+@given(
+    files=st.lists(
+        st.tuples(_paths(), _modules()), min_size=1, max_size=3, unique_by=lambda f: f[0]
+    ),
+    strict=st.booleans(),
+)
+@_SETTINGS
+def test_lint_total_on_generated_modules(files, strict):
+    result = lint_sources(list(files), strict_suppressions=strict)
+    assert isinstance(result, LintResult)
+    for violation in result.violations:
+        assert violation.rule_id
+        assert violation.path in {path for path, _ in files}
+
+
+@given(source=st.text(max_size=300))
+@_SETTINGS
+def test_lint_total_on_arbitrary_text(source):
+    result = lint_sources([("src/repro/measure/fuzz.py", source)])
+    assert isinstance(result, LintResult)
+
+
+@given(source=st.text(alphabet="()[]{}:=#\n 'x.,", max_size=120))
+@_SETTINGS
+def test_parse_failures_report_not_raise(source):
+    result = lint_sources([("src/repro/core/fuzz.py", source)])
+    assert isinstance(result, LintResult)
+    for violation in result.violations:
+        assert violation.rule_id in {"PARSE"} or violation.rule_id.isalnum()
