@@ -25,37 +25,6 @@ def jsonl_path(dataset, tmp_path_factory):
     return path
 
 
-@pytest.fixture(scope="module")
-def store_dir(dataset, tmp_path_factory):
-    """The campaign dataset re-sharded into a binary store."""
-    from collections import defaultdict
-
-    from repro.measure.results import (
-        ping_block_from_records,
-        trace_block_from_records,
-    )
-
-    run_dir = tmp_path_factory.mktemp("bench-store") / "run"
-    pings_by_unit = defaultdict(list)
-    traces_by_unit = defaultdict(list)
-    for ping in dataset.pings():
-        pings_by_unit[(ping.meta.platform, ping.meta.day)].append(ping)
-    for trace in dataset.traceroutes():
-        traces_by_unit[(trace.meta.platform, trace.meta.day)].append(trace)
-    store = DatasetStore.create(run_dir, source="benchmark")
-    for platform, day in sorted(set(pings_by_unit) | set(traces_by_unit)):
-        store.flush_unit(
-            f"{platform}:{day:03d}",
-            ping_block=ping_block_from_records(
-                pings_by_unit.get((platform, day), [])
-            ),
-            trace_block=trace_block_from_records(
-                traces_by_unit.get((platform, day), [])
-            ),
-        )
-    return run_dir
-
-
 def _load_binary(store_dir):
     """Open a store and touch every block's columns (mmap reads)."""
     store = DatasetStore.open(store_dir)

@@ -8,7 +8,7 @@ probe's own continent for the intra-continental analyses.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.geo.continents import Continent
 from repro.measure.results import MeasurementDataset, PingMeasurement, Protocol
@@ -30,6 +30,103 @@ class NearestMap:
         return len(self.nearest)
 
 
+# -- query-engine fast paths -------------------------------------------------
+#
+# Store-backed datasets answer these aggregations without materializing
+# a single record: the query engine groups memmapped columns by
+# (probe, provider, region) and returns per-group sums/counts plus the
+# `first` tie-break key, which reproduces the legacy loop's first-seen
+# dict-insertion order exactly.  In-memory datasets keep the record
+# loop below.
+
+
+def _best_regions(
+    rows: "List[Dict[str, Any]]",
+) -> Dict[str, Tuple[Tuple[float, Tuple[int, int]], RegionKey]]:
+    """Per-probe winning region from engine group rows.
+
+    Ranked by ``(mean, first_row)``: the legacy loop keeps the first-
+    inserted region on equal means, and first insertion order *is*
+    ascending ``(shard ordinal, row index)`` of each group's first
+    matching record.
+    """
+    best: Dict[str, Tuple[Tuple[float, Tuple[int, int]], RegionKey]] = {}
+    for row in rows:
+        if not row["samples"]:
+            continue
+        group = row["group"]
+        rank = (row["sum"] / row["samples"], tuple(row["first"]))
+        current = best.get(group["probe"])
+        if current is None or rank < current[0]:
+            best[group["probe"]] = (
+                rank,
+                (group["provider"], group["region"]),
+            )
+    return best
+
+
+def _query_nearest(
+    store: Any,
+    platform: str,
+    protocol: Protocol,
+    same_continent_only: bool,
+) -> NearestMap:
+    from repro.query import QuerySpec, execute
+
+    spec = QuerySpec(
+        platform=platform,
+        protocol=protocol.value,
+        same_continent_only=same_continent_only,
+        group_by=("probe", "provider", "region"),
+        aggregates=("samples", "sum", "first"),
+    )
+    best = _best_regions(execute(store, spec).rows)
+    return NearestMap(
+        {probe_id: region for probe_id, (_, region) in best.items()}
+    )
+
+
+def _query_nearest_samples(
+    store: Any,
+    platform: str,
+    protocol: Protocol,
+    group_key: str,
+) -> Dict[str, List[float]]:
+    """Nearest-DC samples grouped by ``group_key`` via one engine query.
+
+    A probe belongs to exactly one country/continent, so adding the key
+    to the group-by does not split the (probe, provider, region) groups
+    the nearest map ranks.  Keys are inserted in legacy first-occurrence
+    order (ascending first matching row among each key's nearest-region
+    groups); sample order *within* a group list differs from the legacy
+    interleaving, which downstream consumers (medians, percentiles,
+    threshold fractions) are invariant to.
+    """
+    from repro.query import QuerySpec, execute
+
+    spec = QuerySpec(
+        platform=platform,
+        protocol=protocol.value,
+        same_continent_only=True,
+        group_by=("probe", "provider", "region", group_key),
+        aggregates=("samples", "sum", "first"),
+        collect=True,
+    )
+    rows = execute(store, spec).rows
+    best = _best_regions(rows)
+    matched = [
+        row
+        for row in rows
+        if best.get(row["group"]["probe"], (None, None))[1]
+        == (row["group"]["provider"], row["group"]["region"])
+    ]
+    matched.sort(key=lambda row: tuple(row["first"]))
+    grouped: Dict[str, List[float]] = {}
+    for row in matched:
+        grouped.setdefault(row["group"][group_key], []).extend(row["values"])
+    return grouped
+
+
 def nearest_by_probe(
     dataset: MeasurementDataset,
     platform: str,
@@ -37,6 +134,13 @@ def nearest_by_probe(
     same_continent_only: bool = True,
 ) -> NearestMap:
     """Estimate each probe's nearest datacenter from its measurements."""
+    from repro.query import store_backing
+
+    store = store_backing(dataset)
+    if store is not None:
+        return _query_nearest(
+            store, platform, Protocol(protocol), same_continent_only
+        )
     sums: Dict[Tuple[str, RegionKey], List[float]] = {}
     for ping in dataset.pings(platform=platform, protocol=protocol):
         meta = ping.meta
@@ -84,6 +188,16 @@ def nearest_samples_by_continent(
     protocol: Protocol = Protocol.TCP,
 ) -> Dict[Continent, List[float]]:
     """All nearest-DC RTT samples grouped by probe continent (Fig. 4)."""
+    from repro.query import store_backing
+
+    store = store_backing(dataset)
+    if store is not None:
+        return {
+            Continent(name): samples
+            for name, samples in _query_nearest_samples(
+                store, platform, Protocol(protocol), "continent"
+            ).items()
+        }
     grouped: Dict[Continent, List[float]] = {}
     for ping, sample in samples_to_nearest(dataset, platform, protocol):
         grouped.setdefault(ping.meta.continent, []).append(sample)
@@ -96,6 +210,13 @@ def nearest_samples_by_country(
     protocol: Protocol = Protocol.TCP,
 ) -> Dict[str, List[float]]:
     """All nearest-DC RTT samples grouped by probe country (Fig. 3)."""
+    from repro.query import store_backing
+
+    store = store_backing(dataset)
+    if store is not None:
+        return _query_nearest_samples(
+            store, platform, Protocol(protocol), "country"
+        )
     grouped: Dict[str, List[float]] = {}
     for ping, sample in samples_to_nearest(dataset, platform, protocol):
         grouped.setdefault(ping.meta.country, []).append(sample)

@@ -1,0 +1,287 @@
+"""Mergeable aggregation sketches for one-pass, incremental analysis.
+
+The paper's headline figures are aggregations -- RTT CDFs per region and
+provider, country-level latency bands, day-over-day medians.  Computing
+them by materializing every measurement record does not scale to the
+full campaign, and recomputing them from scratch as new shards commit
+is wasteful.  The sketches here are the alternative: small summaries
+that absorb NumPy arrays of samples in one pass and **merge** -- the
+summary of two shards is the merge of their summaries -- so any
+filtered aggregate can be computed shard-parallel and updated
+incrementally (see :mod:`repro.query`).
+
+Two sketches cover the query engine's aggregate set:
+
+- :class:`ScalarSummary` -- exact count/sum/min/max (and mean).
+- :class:`QuantileSketch` -- an approximate quantile summary in the
+  t-digest family: a sorted list of (mean, weight) centroids compressed
+  so no centroid carries more than ``epsilon/4`` of the total weight.
+  Quantile queries interpolate centroid mean ranks, giving a rank error
+  bounded by ``epsilon`` (``tests/unit/test_query_sketch.py`` drives
+  the bound with hypothesis against exact ``np.percentile``).  Until a
+  sketch exceeds ``4 / epsilon`` samples it stays uncompressed and its
+  quantiles are *bit-identical* to ``np.percentile(..)`` with linear
+  interpolation.
+
+Both are deterministic: the state after a sequence of ``add_array`` /
+``merge`` calls is a pure function of the call sequence, which is what
+lets parallel scans reproduce serial results byte-for-byte by merging
+partials in canonical shard order.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+#: Default rank-error budget of a :class:`QuantileSketch`.
+DEFAULT_EPSILON = 0.005
+
+ArrayLike = Union[np.ndarray, Sequence[float]]
+
+
+class ScalarSummary:
+    """Exact mergeable count/sum/min/max over a stream of value arrays.
+
+    The sum is accumulated as *one* ``np.sum`` per added array plus one
+    Python float addition per add/merge, so a scan that feeds each
+    shard's per-group values as a single array produces a total whose
+    floating-point reduction structure is reproducible -- the exact
+    oracle (:mod:`repro.query.oracle`) mirrors it to assert equality.
+    """
+
+    __slots__ = ("count", "total", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count: int = 0
+        self.total: float = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def add_array(self, values: ArrayLike) -> None:
+        """Absorb one array of finite values."""
+        array = np.asarray(values, dtype=np.float64)
+        if array.size == 0:
+            return
+        self.count += int(array.size)
+        self.total += float(np.sum(array))
+        low = float(array.min())
+        high = float(array.max())
+        self.minimum = low if self.minimum is None else min(self.minimum, low)
+        self.maximum = high if self.maximum is None else max(self.maximum, high)
+
+    def merge(self, other: "ScalarSummary") -> None:
+        """Absorb another summary (in place)."""
+        self.count += other.count
+        self.total += other.total
+        if other.minimum is not None:
+            self.minimum = (
+                other.minimum
+                if self.minimum is None
+                else min(self.minimum, other.minimum)
+            )
+        if other.maximum is not None:
+            self.maximum = (
+                other.maximum
+                if self.maximum is None
+                else max(self.maximum, other.maximum)
+            )
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ScalarSummary(count={self.count}, total={self.total!r}, "
+            f"min={self.minimum!r}, max={self.maximum!r})"
+        )
+
+
+class QuantileSketch:
+    """A mergeable online quantile sketch with bounded rank error.
+
+    State is a sorted array of centroids ``(mean, weight)`` plus the
+    exact global minimum/maximum and count.  Compression buckets
+    consecutive centroids by cumulative weight so every centroid weighs
+    at most ``epsilon / 4`` of the total (plus one input centroid),
+    keeping the sketch at ~``4 / epsilon`` centroids regardless of how
+    many samples it absorbs.
+    """
+
+    __slots__ = ("epsilon", "means", "weights", "minimum", "maximum", "count")
+
+    def __init__(self, epsilon: float = DEFAULT_EPSILON) -> None:
+        if not 0.0 < epsilon < 1.0:
+            raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+        self.epsilon = float(epsilon)
+        self.means: np.ndarray = np.empty(0, dtype=np.float64)
+        self.weights: np.ndarray = np.empty(0, dtype=np.float64)
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+        self.count: int = 0
+
+    # -- construction ------------------------------------------------------
+
+    def add_array(self, values: ArrayLike) -> None:
+        """Absorb one array of finite values."""
+        array = np.asarray(values, dtype=np.float64).ravel()
+        if array.size == 0:
+            return
+        if not np.all(np.isfinite(array)):
+            raise ValueError("quantile sketch values must be finite")
+        low = float(array.min())
+        high = float(array.max())
+        self.minimum = low if self.minimum is None else min(self.minimum, low)
+        self.maximum = high if self.maximum is None else max(self.maximum, high)
+        self.count += int(array.size)
+        means = np.concatenate([self.means, array])
+        weights = np.concatenate(
+            [self.weights, np.ones(array.size, dtype=np.float64)]
+        )
+        self._absorb(means, weights)
+
+    def merge(self, other: "QuantileSketch") -> None:
+        """Absorb another sketch (in place).
+
+        The result's rank-error budget is the larger of the two
+        epsilons; merging is deterministic but, like all compressing
+        sketches, only associative/commutative *up to* that budget.
+        """
+        if other.count == 0:
+            return
+        self.epsilon = max(self.epsilon, other.epsilon)
+        if other.minimum is not None:
+            self.minimum = (
+                other.minimum
+                if self.minimum is None
+                else min(self.minimum, other.minimum)
+            )
+        if other.maximum is not None:
+            self.maximum = (
+                other.maximum
+                if self.maximum is None
+                else max(self.maximum, other.maximum)
+            )
+        self.count += other.count
+        means = np.concatenate([self.means, other.means])
+        weights = np.concatenate([self.weights, other.weights])
+        self._absorb(means, weights)
+
+    def _absorb(self, means: np.ndarray, weights: np.ndarray) -> None:
+        """Sort combined centroids by mean and recompress."""
+        order = np.argsort(means, kind="stable")
+        means = means[order]
+        weights = weights[order]
+        total = float(weights.sum())
+        cap = self.epsilon * total / 4.0
+        if cap <= 1.0:
+            # Small sketch: keep every centroid; quantiles stay exact.
+            self.means = means
+            self.weights = weights
+            return
+        # Bucket by cumulative-weight start offset: every bucket spans at
+        # most `cap` of cumulative weight (plus the one centroid that
+        # straddles its boundary), so centroid weights stay <= epsilon/4
+        # of the total plus one input centroid.
+        starts = np.cumsum(weights) - weights
+        buckets = np.floor_divide(starts, cap).astype(np.int64)
+        sums = np.bincount(buckets, weights=weights * means)
+        bucket_weights = np.bincount(buckets, weights=weights)
+        keep = bucket_weights > 0
+        self.means = sums[keep] / bucket_weights[keep]
+        self.weights = bucket_weights[keep]
+
+    # -- queries -----------------------------------------------------------
+
+    def quantile(self, q: float) -> float:
+        """The approximate ``q``-th percentile (0-100).
+
+        Interpolates between centroid mean ranks exactly the way
+        ``np.percentile``'s default linear interpolation walks order
+        statistics, clamped to the exact observed min/max.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be within [0, 100], got {q}")
+        if self.count == 0 or self.minimum is None or self.maximum is None:
+            raise ValueError("cannot take a quantile of an empty sketch")
+        # The virtual index and the lerp below replicate np.percentile's
+        # "linear" method operation-for-operation (including its formula
+        # switch at t >= 0.5), so the uncompressed regime -- integer
+        # ranks 0..n-1 over the sorted samples -- is bit-identical to it.
+        target = (self.count - 1) * (q / 100.0)
+        # Mean 0-indexed rank of each centroid, assuming its weight
+        # occupies consecutive ranks.
+        ends = np.cumsum(self.weights)
+        centers = ends - self.weights + (self.weights - 1.0) / 2.0
+        ranks: List[float] = []
+        points: List[float] = []
+        if centers.size == 0 or centers[0] > 0.0:
+            ranks.append(0.0)
+            points.append(self.minimum)
+        ranks.extend(float(c) for c in centers)
+        points.extend(float(m) for m in self.means)
+        last_rank = float(self.count - 1)
+        if not ranks or ranks[-1] < last_rank:
+            ranks.append(last_rank)
+            points.append(self.maximum)
+        if target <= ranks[0]:
+            value = points[0]
+        elif target >= ranks[-1]:
+            value = points[-1]
+        else:
+            hi = int(np.searchsorted(ranks, target, side="right"))
+            low_rank, high_rank = ranks[hi - 1], ranks[hi]
+            low, high = points[hi - 1], points[hi]
+            t = (target - low_rank) / (high_rank - low_rank)
+            diff = high - low
+            value = low + diff * t if t < 0.5 else high - diff * (1.0 - t)
+        return min(max(value, self.minimum), self.maximum)
+
+    def quantiles(self, qs: Sequence[float]) -> List[float]:
+        return [self.quantile(q) for q in qs]
+
+    @property
+    def centroid_count(self) -> int:
+        return int(self.means.size)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-safe snapshot (exact round-trip via :meth:`from_dict`)."""
+        return {
+            "epsilon": self.epsilon,
+            "count": self.count,
+            "min": self.minimum,
+            "max": self.maximum,
+            "means": [float(m) for m in self.means],
+            "weights": [float(w) for w in self.weights],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "QuantileSketch":
+        sketch = cls(epsilon=payload["epsilon"])
+        sketch.count = int(payload["count"])
+        sketch.minimum = payload["min"]
+        sketch.maximum = payload["max"]
+        sketch.means = np.asarray(payload["means"], dtype=np.float64)
+        sketch.weights = np.asarray(payload["weights"], dtype=np.float64)
+        if sketch.count and math.isnan(float(np.sum(sketch.weights))):
+            raise ValueError("corrupt sketch payload")
+        return sketch
+
+    def __repr__(self) -> str:
+        return (
+            f"QuantileSketch(count={self.count}, "
+            f"centroids={self.centroid_count}, epsilon={self.epsilon})"
+        )

@@ -43,9 +43,30 @@ def temporal_report(
     min_samples_per_day: int = 20,
 ) -> TemporalReport:
     """Summarize per-day latency across a campaign."""
-    per_day: Dict[int, List[float]] = {}
-    for ping in dataset.pings(platform=platform, protocol=protocol):
-        per_day.setdefault(ping.meta.day, []).extend(ping.samples)
+    from repro.query import store_backing
+
+    store = store_backing(dataset)
+    if store is not None:
+        # Store-backed fast path: one columnar group-by-day query with
+        # exact collected values.  Medians are permutation-invariant, so
+        # the report is identical to the record-loop's.
+        from repro.query import QuerySpec, execute
+
+        spec = QuerySpec(
+            platform=platform,
+            protocol=Protocol(protocol).value,
+            group_by=("day",),
+            aggregates=("samples",),
+            collect=True,
+        )
+        per_day: Dict[int, List[float]] = {
+            row["group"]["day"]: row["values"]
+            for row in execute(store, spec).rows
+        }
+    else:
+        per_day = {}
+        for ping in dataset.pings(platform=platform, protocol=protocol):
+            per_day.setdefault(ping.meta.day, []).extend(ping.samples)
     daily_median = {
         day: float(np.median(samples))
         for day, samples in sorted(per_day.items())

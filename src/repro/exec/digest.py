@@ -26,6 +26,12 @@ from repro.store.warehouse import JOURNAL_NAME
 #: measured.  Excluded from the canonical digest by definition.
 PROVENANCE_KEYS = ("workers", "merge_digest")
 
+#: Top-level run-dir entries that are derived, rebuildable read-side
+#: artifacts rather than store content: the query-result cache
+#: (:mod:`repro.query.cache`) lives here, and whether a query has been
+#: cached must not change what counts as "the same store".
+DERIVED_DIRS = (".querycache",)
+
 
 def _dump(entry: Dict[str, Any]) -> str:
     """The journal's own canonical JSON serialization."""
@@ -51,7 +57,8 @@ def canonical_store_digest(run_dir: Path) -> Dict[str, str]:
 
     Every file under ``run_dir`` is digested raw except the run
     journal, which is digested in canonical form (see module
-    docstring).  The mapping is keyed by POSIX relative path.
+    docstring).  Derived read-side artifacts (:data:`DERIVED_DIRS`) are
+    skipped entirely.  The mapping is keyed by POSIX relative path.
     """
     run_dir = Path(run_dir)
     digests: Dict[str, str] = {}
@@ -59,6 +66,8 @@ def canonical_store_digest(run_dir: Path) -> Dict[str, str]:
         if not path.is_file():
             continue
         relative = path.relative_to(run_dir).as_posix()
+        if relative.split("/", 1)[0] in DERIVED_DIRS:
+            continue
         if relative == JOURNAL_NAME:
             payload = _canonical_journal_bytes(path)
         else:

@@ -25,11 +25,29 @@ def run_stats(world, dataset=None, context: Optional[StudyContext] = None) -> Ex
     body = format_table(["Confidence", "Margin", "Required n"], rows)
     data = {"paper_requirement": paper_n}
     if dataset is not None:
-        per_country = {}
-        for ping in dataset.pings(platform="speedchecker"):
-            per_country[ping.meta.country] = (
-                per_country.get(ping.meta.country, 0) + len(ping.samples)
+        from repro.query import store_backing
+
+        store = store_backing(dataset)
+        if store is not None:
+            # Store-backed fast path: the per-country sample counts are
+            # one columnar group-by, no record materialization.
+            result = (
+                store.query()
+                .pings()
+                .where(platform="speedchecker")
+                .group_by("country")
+                .aggregate("samples")
+                .run()
             )
+            per_country = {
+                row["group"]["country"]: row["samples"] for row in result.rows
+            }
+        else:
+            per_country = {}
+            for ping in dataset.pings(platform="speedchecker"):
+                per_country[ping.meta.country] = (
+                    per_country.get(ping.meta.country, 0) + len(ping.samples)
+                )
         scaled_bar = max(10, int(paper_n * world.config.scale))
         cleared = sum(1 for count in per_country.values() if count >= scaled_bar)
         body += (

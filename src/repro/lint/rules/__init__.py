@@ -9,6 +9,7 @@ from repro.lint.rules import (
     frozen,
     parity,
     perf,
+    query_agg,
     rng,
     rng_flow,
     robustness,
@@ -22,6 +23,7 @@ __all__ = [
     "frozen",
     "parity",
     "perf",
+    "query_agg",
     "rng",
     "rng_flow",
     "robustness",

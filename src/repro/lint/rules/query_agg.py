@@ -1,0 +1,61 @@
+"""Query-engine usage in analyses (``QRY001``).
+
+The query engine (:mod:`repro.query`) answers filtered aggregations
+over store-backed datasets straight off memmapped columns; walking
+scalar records to recompute count/sum/min/max/mean/median-style
+aggregates in analysis or experiment code re-serializes exactly the
+path the engine vectorizes.  This rule flags calls to the scalar
+record iterators (``iter_scalar_pings()`` / ``iter_scalar_traceroutes()``)
+inside :mod:`repro.analysis` and :mod:`repro.experiments` so every
+scalar walk is a conscious decision -- legitimate record-level passes
+(anything that genuinely needs per-record structure the engine does
+not expose) carry a ``# repro-lint: disable=QRY001`` comment with the
+reason.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.engine import LintContext, Rule, register_rule
+
+#: The scalar record iterators the query engine supersedes for
+#: aggregate computation.
+SCALAR_ITERATORS = frozenset(
+    {"iter_scalar_pings", "iter_scalar_traceroutes"}
+)
+
+QUERY_PATHS = ("repro/analysis/*", "repro/experiments/*")
+
+
+@register_rule
+class ScalarAggregateRule(Rule):
+    """No scalar record walks for engine-provided aggregates."""
+
+    rule_id = "QRY001"
+    name = "scalar-aggregate-walk"
+    summary = (
+        "analysis/experiment code iterating scalar records "
+        "(iter_scalar_pings/iter_scalar_traceroutes) to compute "
+        "aggregates the query engine provides must use repro.query "
+        "or be explicitly suppressed"
+    )
+    path_patterns = QUERY_PATHS
+    node_types = (ast.Call,)
+
+    def visit(self, node: ast.AST, ctx: LintContext) -> None:
+        assert isinstance(node, ast.Call)
+        target = node.func
+        if not isinstance(target, ast.Attribute):
+            return
+        if target.attr not in SCALAR_ITERATORS:
+            return
+        ctx.report(
+            self,
+            node,
+            f"scalar record walk via {target.attr}(); filtered "
+            "aggregates over store-backed datasets belong on the "
+            "columnar query engine (repro.query) -- or mark it "
+            "'# repro-lint: disable=QRY001' with a reason if this "
+            "pass genuinely needs per-record structure",
+        )

@@ -246,12 +246,12 @@ def save_dataset(dataset: MeasurementDataset, path: PathLike) -> int:
         for ping in dataset.iter_scalar_pings():
             fh.write(json.dumps(_ping_to_dict(ping)) + "\n")
             lines += 1
-        for ping_block in dataset.ping_blocks():
+        for ping_block in dataset.iter_ping_blocks():
             lines += _write_ping_block(fh, ping_block)
         for trace in dataset.iter_scalar_traceroutes():
             fh.write(json.dumps(_trace_to_dict(trace)) + "\n")
             lines += 1
-        for trace_block in dataset.trace_blocks():
+        for trace_block in dataset.iter_trace_blocks():
             lines += _write_trace_block(fh, trace_block)
     return lines
 

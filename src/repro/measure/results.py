@@ -339,6 +339,10 @@ class ColumnarPingStore:
     def blocks(self) -> List[PingBlock]:
         return list(self._blocks)
 
+    def iter_blocks(self) -> Iterator[PingBlock]:
+        """Yield blocks without copying the block list."""
+        return iter(self._blocks)
+
     @property
     def request_count(self) -> int:
         return sum(len(block) for block in self._blocks)
@@ -498,6 +502,10 @@ class ColumnarTraceStore:
     @property
     def blocks(self) -> List[TraceBlock]:
         return list(self._blocks)
+
+    def iter_blocks(self) -> Iterator[TraceBlock]:
+        """Yield blocks without copying the block list."""
+        return iter(self._blocks)
 
     @property
     def request_count(self) -> int:
@@ -801,6 +809,15 @@ class MeasurementDataset:
     def trace_blocks(self) -> List[TraceBlock]:
         """The columnar traceroute blocks."""
         return self._trace_store.blocks
+
+    def iter_ping_blocks(self) -> Iterator[PingBlock]:
+        """Yield ping blocks lazily (list-copy-free counterpart of
+        :meth:`ping_blocks`, mirroring the store view's generator)."""
+        return self._ping_store.iter_blocks()
+
+    def iter_trace_blocks(self) -> Iterator[TraceBlock]:
+        """Yield trace blocks lazily."""
+        return self._trace_store.iter_blocks()
 
     def __repr__(self) -> str:
         return (

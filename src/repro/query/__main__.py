@@ -1,0 +1,8 @@
+"""``python -m repro.query`` entry point."""
+
+import sys
+
+from repro.query.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

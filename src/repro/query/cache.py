@@ -1,0 +1,85 @@
+"""The query-result cache.
+
+Query results are pure functions of ``(store contents, query spec)``,
+and the store's contents are fingerprinted by two tiny files: the
+manifest (static identity) and the append-only journal (advances with
+every committed unit).  So the cache key is the triple of digests --
+manifest, journal, canonical query -- and invalidation is free: a new
+commit changes the journal digest, which makes every stale entry miss
+without any bookkeeping.
+
+Entries live under ``run_dir/.querycache/``, one JSON file per query
+digest, written atomically (tmp + rename).  The directory is a derived
+artifact: :data:`repro.exec.digest.DERIVED_DIRS` excludes it from
+canonical store digests, so caching a query never changes what counts
+as "the same store" for the byte-identity contract.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+from repro.query.spec import QuerySpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store.warehouse import DatasetStore
+
+CACHE_DIR_NAME = ".querycache"
+CACHE_FORMAT = "repro-query-cache"
+CACHE_VERSION = 1
+
+
+class QueryCache:
+    """Digest-keyed result cache in a store's run directory."""
+
+    def __init__(self, run_dir: Path) -> None:
+        self.root = Path(run_dir) / CACHE_DIR_NAME
+
+    def path_for(self, spec: QuerySpec) -> Path:
+        return self.root / f"{spec.digest()}.json"
+
+    def get(
+        self, store: "DatasetStore", spec: QuerySpec
+    ) -> Optional[Dict[str, Any]]:
+        """The cached result payload, or ``None`` on miss/stale entry."""
+        path = self.path_for(spec)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if (
+            entry.get("format") != CACHE_FORMAT
+            or entry.get("version") != CACHE_VERSION
+            or entry.get("manifest") != store.manifest_digest()
+            or entry.get("journal") != store.journal_digest()
+        ):
+            return None
+        payload = entry.get("payload")
+        return payload if isinstance(payload, dict) else None
+
+    def put(
+        self,
+        store: "DatasetStore",
+        spec: QuerySpec,
+        payload: Dict[str, Any],
+    ) -> Path:
+        """Store one result payload atomically; returns its path."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "format": CACHE_FORMAT,
+            "version": CACHE_VERSION,
+            "manifest": store.manifest_digest(),
+            "journal": store.journal_digest(),
+            "query": spec.canonical(),
+            "payload": payload,
+        }
+        path = self.path_for(spec)
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(entry, fh, sort_keys=True, separators=(",", ":"))
+        os.replace(tmp, path)
+        return path

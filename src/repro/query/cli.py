@@ -1,0 +1,234 @@
+"""The query-engine command-line interface.
+
+Subcommands::
+
+    python -m repro.query run <run_dir> [filters] [shape] [--workers N]
+    python -m repro.query explain <run_dir> [filters]
+
+``run`` executes a query and prints the canonical result payload as
+JSON; ``explain`` prints the scan plan -- which shards would be read
+and why the rest were pruned -- without touching any column bytes.
+Both build the same :class:`~repro.query.spec.QuerySpec` from flags,
+so an ``explain`` always describes exactly the ``run`` with the same
+arguments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.store.warehouse import DatasetStore, StoreError
+from repro.query.builder import execute
+from repro.query.plan import build_plan
+from repro.query.spec import (
+    GROUP_KEYS,
+    PING_KIND,
+    QUERY_KINDS,
+    SCALAR_AGGREGATES,
+    QueryError,
+    QuerySpec,
+)
+
+
+def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("run_dir", help="store run directory")
+    parser.add_argument(
+        "--kind",
+        choices=QUERY_KINDS,
+        default=PING_KIND,
+        help="record family to scan (default: pings)",
+    )
+    parser.add_argument("--platform", help="probe platform filter")
+    parser.add_argument(
+        "--protocol", choices=("tcp", "icmp"), help="protocol filter"
+    )
+    parser.add_argument(
+        "--country",
+        action="append",
+        default=[],
+        help="probe country filter (repeatable)",
+    )
+    parser.add_argument(
+        "--provider",
+        action="append",
+        default=[],
+        help="target provider filter (repeatable)",
+    )
+    parser.add_argument(
+        "--region",
+        action="append",
+        default=[],
+        help="target region filter (repeatable)",
+    )
+    parser.add_argument(
+        "--continent",
+        action="append",
+        default=[],
+        help="probe continent filter (repeatable)",
+    )
+    parser.add_argument(
+        "--days",
+        nargs=2,
+        type=int,
+        metavar=("FIRST", "LAST"),
+        help="inclusive day range",
+    )
+    parser.add_argument(
+        "--rtt",
+        nargs=2,
+        type=float,
+        metavar=("LOW", "HIGH"),
+        help="inclusive RTT bounds (rows need at least one value inside)",
+    )
+    parser.add_argument(
+        "--same-continent-only",
+        action="store_true",
+        help="keep only probe/region pairs sharing a continent",
+    )
+    parser.add_argument(
+        "--group-by",
+        nargs="+",
+        default=[],
+        choices=GROUP_KEYS,
+        metavar="KEY",
+        help=f"group keys (any of: {', '.join(GROUP_KEYS)})",
+    )
+
+
+def _add_shape_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--agg",
+        nargs="+",
+        dest="aggregates",
+        default=None,
+        choices=SCALAR_AGGREGATES,
+        metavar="AGG",
+        help=f"aggregates (any of: {', '.join(SCALAR_AGGREGATES)})",
+    )
+    parser.add_argument(
+        "--quantiles",
+        nargs="+",
+        type=float,
+        default=[],
+        metavar="Q",
+        help="percentiles to estimate with the mergeable sketch (0-100)",
+    )
+    parser.add_argument(
+        "--epsilon",
+        type=float,
+        default=None,
+        help="sketch rank-error budget (default 0.005)",
+    )
+    parser.add_argument(
+        "--collect",
+        action="store_true",
+        help="also return each group's exact value array",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="scan worker processes (the result is identical at any count)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the digest-keyed result cache",
+    )
+    parser.add_argument(
+        "--indent", type=int, default=2, help="JSON indent (default 2)"
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.query",
+        description="Columnar queries over a binary dataset store",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    run = subparsers.add_parser("run", help="execute a query, print JSON")
+    _add_spec_arguments(run)
+    _add_shape_arguments(run)
+    explain = subparsers.add_parser(
+        "explain", help="print the scan plan without executing"
+    )
+    _add_spec_arguments(explain)
+    explain.add_argument(
+        "--indent", type=int, default=2, help="JSON indent (default 2)"
+    )
+    return parser
+
+
+def _spec_from_args(args: argparse.Namespace) -> QuerySpec:
+    kwargs = {
+        "kind": args.kind,
+        "platform": args.platform,
+        "protocol": args.protocol,
+        "countries": tuple(args.country),
+        "providers": tuple(args.provider),
+        "regions": tuple(args.region),
+        "continents": tuple(args.continent),
+        "day_range": tuple(args.days) if args.days else None,
+        "rtt_range": tuple(args.rtt) if args.rtt else None,
+        "same_continent_only": args.same_continent_only,
+        "group_by": tuple(args.group_by),
+    }
+    if getattr(args, "aggregates", None) is not None:
+        kwargs["aggregates"] = tuple(args.aggregates)
+    if getattr(args, "quantiles", None):
+        kwargs["quantiles"] = tuple(args.quantiles)
+    if getattr(args, "epsilon", None) is not None:
+        kwargs["epsilon"] = args.epsilon
+    if getattr(args, "collect", False):
+        kwargs["collect"] = True
+    spec = QuerySpec(**kwargs)
+    spec.validate()
+    return spec
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    if args.workers < 1:
+        print(
+            f"error: --workers must be >= 1, got {args.workers}",
+            file=sys.stderr,
+        )
+        return 2
+    store = DatasetStore.open(args.run_dir)
+    result = execute(
+        store,
+        _spec_from_args(args),
+        workers=args.workers,
+        cache=not args.no_cache,
+    )
+    print(result.to_json(indent=args.indent))
+    return 0
+
+
+def _command_explain(args: argparse.Namespace) -> int:
+    store = DatasetStore.open(args.run_dir)
+    plan = build_plan(store, _spec_from_args(args))
+    print(json.dumps(plan.as_dict(), indent=args.indent, sort_keys=True))
+    return 0
+
+
+_COMMANDS = {
+    "run": _command_run,
+    "explain": _command_explain,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (QueryError, StoreError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -16,15 +16,20 @@ from repro.store.format import (
 )
 from repro.store.journal import JournalError, RunJournal
 from repro.store.shards import (
+    column_zone,
+    compute_zones,
+    header_zones,
     read_ping_shard,
     read_trace_shard,
     write_ping_shard,
     write_trace_shard,
+    zone_problems,
 )
 from repro.store.view import StoredDataset
 from repro.store.warehouse import (
     Coverage,
     DatasetStore,
+    ShardEntry,
     StoreError,
     report_problems,
 )
@@ -36,9 +41,13 @@ __all__ = [
     "FileOps",
     "JournalError",
     "RunJournal",
+    "ShardEntry",
     "ShardFormatError",
     "StoreError",
     "StoredDataset",
+    "column_zone",
+    "compute_zones",
+    "header_zones",
     "read_columns",
     "read_ping_shard",
     "read_trace_shard",
@@ -48,4 +57,5 @@ __all__ = [
     "write_ping_shard",
     "write_trace_shard",
     "write_shard",
+    "zone_problems",
 ]

@@ -30,6 +30,8 @@ from repro.measure.results import (
     ping_block_from_records,
     trace_block_from_records,
 )
+from repro.store.format import read_header
+from repro.store.shards import header_zones
 from repro.store.warehouse import DatasetStore, StoreError, report_problems
 
 
@@ -42,6 +44,13 @@ def _build_parser() -> argparse.ArgumentParser:
 
     info = subparsers.add_parser("info", help="print a store's inventory")
     info.add_argument("run_dir", help="store run directory")
+    info.add_argument(
+        "--json",
+        dest="as_json",
+        action="store_true",
+        help="emit a machine-readable inventory including each shard's "
+        "per-column zone map (row count, value min/max)",
+    )
 
     verify = subparsers.add_parser(
         "verify", help="checksum every shard and cross-check the journal"
@@ -76,8 +85,46 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _info_json(store: DatasetStore) -> Dict[str, object]:
+    """The machine-readable inventory: manifest, counts, per-shard zones.
+
+    The planner-facing part is ``shards[*].zones``: each shard's
+    per-column zone map straight from its header, so operators can see
+    exactly what ``repro.query`` pruning has to work with.  Shards
+    written before zone maps existed report ``zones: null``.
+    """
+    shards = []
+    for entry in store.shard_entries():
+        header, _ = read_header(entry.path)
+        shards.append(
+            {
+                "unit": entry.unit,
+                "name": entry.name,
+                "kind": entry.kind,
+                "ordinal": entry.ordinal,
+                "bytes": entry.path.stat().st_size,
+                "zones": header_zones(header),
+            }
+        )
+    return {
+        "run_dir": str(store.run_dir),
+        "manifest": store.manifest,
+        "units": len(store.unit_entries()),
+        "coverage": store.coverage().as_dict(),
+        "pings": store.ping_count,
+        "ping_samples": store.ping_sample_count,
+        "traceroutes": store.traceroute_count,
+        "manifest_digest": store.manifest_digest(),
+        "journal_digest": store.journal_digest(),
+        "shards": shards,
+    }
+
+
 def _command_info(args: argparse.Namespace) -> int:
     store = DatasetStore.open(args.run_dir)
+    if args.as_json:
+        print(json.dumps(_info_json(store), indent=2, sort_keys=True))
+        return 0
     manifest = store.manifest
     print(f"store:       {store.run_dir}")
     print(f"format:      {manifest['format']} v{manifest['version']}")

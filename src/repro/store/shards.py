@@ -15,7 +15,7 @@ columns take the binary path.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Mapping, Optional
 
 import numpy as np
 
@@ -41,6 +41,47 @@ from repro.store.format import (
 #: ``kind`` tags in shard headers.
 PING_SHARD_KIND = "pings"
 TRACE_SHARD_KIND = "traces"
+
+#: Header key carrying the per-column zone map (shard version >= zones).
+ZONES_KEY = "zones"
+
+
+def column_zone(array: np.ndarray) -> Dict[str, Any]:
+    """The zone-map entry for one column: row count and value min/max.
+
+    NaN entries (unresponsive-hop RTTs) are ignored; a column that is
+    empty or all-NaN carries ``min``/``max`` of ``None``.  Integer
+    columns keep integer bounds so the JSON round-trips exactly.
+    """
+    array = np.asarray(array)
+    zone: Dict[str, Any] = {"rows": int(array.size)}
+    finite = array
+    if array.dtype.kind == "f":
+        finite = array[~np.isnan(array)]
+    if finite.size == 0:
+        zone["min"] = None
+        zone["max"] = None
+    elif array.dtype.kind == "f":
+        zone["min"] = float(finite.min())
+        zone["max"] = float(finite.max())
+    else:
+        zone["min"] = int(finite.min())
+        zone["max"] = int(finite.max())
+    return zone
+
+
+def compute_zones(columns: Mapping[str, np.ndarray]) -> Dict[str, Dict[str, Any]]:
+    """Zone-map metadata for a set of named columns."""
+    return {name: column_zone(array) for name, array in columns.items()}
+
+
+def header_zones(header: Mapping[str, Any]) -> Optional[Dict[str, Dict[str, Any]]]:
+    """The zone map embedded in a shard header, or ``None`` for shards
+    written before zone maps existed (backward compatible read)."""
+    zones = header.get(ZONES_KEY)
+    if zones is None:
+        return None
+    return dict(zones)
 
 
 def probe_to_dict(probe: Probe) -> Dict[str, Any]:
@@ -103,12 +144,18 @@ def region_from_dict(payload: Dict[str, Any]) -> CloudRegion:
     )
 
 
-def _tables_metadata(kind: str, block: Any, unit: str) -> Dict[str, Any]:
+def _tables_metadata(
+    kind: str,
+    block: Any,
+    unit: str,
+    columns: Mapping[str, np.ndarray],
+) -> Dict[str, Any]:
     return {
         "kind": kind,
         "unit": unit,
         "probes": [probe_to_dict(probe) for probe in block.probes],
         "regions": [region_to_dict(region) for region in block.regions],
+        ZONES_KEY: compute_zones(columns),
     }
 
 
@@ -118,13 +165,18 @@ def write_ping_shard(
     unit: str,
     fileops: "FileOps | None" = None,
 ) -> Dict[str, Any]:
-    """Write one validated ping block as a shard file; returns the header."""
+    """Write one validated ping block as a shard file; returns the header.
+
+    The header carries a per-column zone map (row count, min/max) that
+    the query planner (:mod:`repro.query`) reads to prune shards without
+    touching column bytes.
+    """
     block.validate()
     columns = {name: getattr(block, name) for name in PING_COLUMN_DTYPES}
     return write_shard(
         path,
         columns,
-        _tables_metadata(PING_SHARD_KIND, block, unit),
+        _tables_metadata(PING_SHARD_KIND, block, unit, columns),
         fileops=fileops,
     )
 
@@ -141,9 +193,37 @@ def write_trace_shard(
     return write_shard(
         path,
         columns,
-        _tables_metadata(TRACE_SHARD_KIND, block, unit),
+        _tables_metadata(TRACE_SHARD_KIND, block, unit, columns),
         fileops=fileops,
     )
+
+
+def zone_problems(
+    path: PathLike,
+    header: Mapping[str, Any],
+    columns: Mapping[str, np.ndarray],
+) -> List[str]:
+    """Zone-map inconsistencies between a header and its column contents.
+
+    Recomputes every column's zone entry and compares it with what the
+    header claims; a mismatch means the shard was edited after writing
+    (or the writer is broken), so ``python -m repro.store verify``
+    treats it like any other corruption.  Shards written before zone
+    maps existed carry none and report no problems.
+    """
+    declared = header_zones(header)
+    if declared is None:
+        return []
+    problems: List[str] = []
+    actual = compute_zones(columns)
+    for name in sorted(set(declared) | set(actual)):
+        if declared.get(name) != actual.get(name):
+            problems.append(
+                f"{path}: column {name!r} zone map "
+                f"{declared.get(name)} disagrees with contents "
+                f"{actual.get(name)}"
+            )
+    return problems
 
 
 def _decoded_tables(

@@ -113,12 +113,24 @@ class StoredDataset:
     def iter_scalar_traceroutes(self) -> Iterator[TracerouteMeasurement]:
         return iter(())
 
+    def iter_ping_blocks(self) -> Iterator[PingBlock]:
+        """Yield ping blocks lazily, one decoded shard at a time.
+
+        Shard-at-a-time consumers (JSONL export, columnar analyses)
+        should iterate this instead of :meth:`ping_blocks` so only one
+        block object is resident at a time.
+        """
+        yield from self._store.iter_ping_blocks()
+
+    def iter_trace_blocks(self) -> Iterator[TraceBlock]:
+        """Yield trace blocks lazily, one decoded shard at a time."""
+        yield from self._store.iter_trace_blocks()
+
     def ping_blocks(self) -> List[PingBlock]:
         """All ping blocks.
 
         Note: this materializes every block *object* (columns stay
-        memmapped).  Prefer :meth:`DatasetStore.iter_ping_blocks` when
-        streaming.
+        memmapped).  Prefer :meth:`iter_ping_blocks` when streaming.
         """
         return list(self._store.iter_ping_blocks())
 

@@ -27,11 +27,12 @@ larger than RAM.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.measure.results import (
     MeasurementDataset,
@@ -39,14 +40,24 @@ from repro.measure.results import (
     TraceBlock,
 )
 from repro.store.fileops import FileOps
-from repro.store.format import ShardFormatError, verify_shard_report
+from repro.store.format import (
+    ShardFormatError,
+    read_columns,
+    verify_shard_report,
+)
 from repro.store.journal import BEGIN_ENTRY, SKIP_ENTRY, UNIT_ENTRY, RunJournal
 from repro.store.shards import (
+    PING_SHARD_KIND,
+    TRACE_SHARD_KIND,
     read_ping_shard,
     read_trace_shard,
     write_ping_shard,
     write_trace_shard,
+    zone_problems,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.query.builder import QueryBuilder
 
 PathLike = Union[str, Path]
 
@@ -127,7 +138,8 @@ def report_problems(report: Dict[str, Any]) -> List[str]:
 
 
 def _check_shard(task: Tuple[str, str]) -> Dict[str, Any]:
-    """Verify one shard file: existence, CRCs, decodability, counts.
+    """Verify one shard file: existence, CRCs, decodability, counts,
+    and zone-map consistency.
 
     The unit of work of :meth:`DatasetStore.verify_report` -- a
     top-level function so the parallel verifier can fan shard checks
@@ -157,12 +169,34 @@ def _check_shard(task: Tuple[str, str]) -> Dict[str, Any]:
                 counts["traceroutes"] = len(trace_block)
         except (ShardFormatError, TypeError, ValueError) as exc:
             problems.append(f"{name} fails to decode: {exc}")
+        else:
+            # The zone map the query planner prunes by must agree with
+            # the column contents it summarizes.
+            header, columns = read_columns(path)
+            problems.extend(zone_problems(path, header, columns))
     return {
         "name": name,
         "status": "corrupt" if problems else "ok",
         "problems": problems,
         "counts": counts,
     }
+
+
+@dataclass(frozen=True)
+class ShardEntry:
+    """One journaled shard in canonical (journal) order.
+
+    The scan planner's unit of work: ``kind`` is the shard's record
+    family (``pings``/``traces``), ``ordinal`` its position in the
+    canonical shard sequence of that kind -- the merge order every
+    parallel scan must reproduce.
+    """
+
+    unit: str
+    name: str
+    kind: str
+    ordinal: int
+    path: Path
 
 
 class DatasetStore:
@@ -437,6 +471,61 @@ class DatasetStore:
                 if name.endswith(suffix):
                     paths.append(self.shard_dir / name)
         return paths
+
+    def shard_entries(self, kind: Optional[str] = None) -> List[ShardEntry]:
+        """Every journaled shard in canonical journal order.
+
+        ``kind`` restricts the listing to one record family
+        (:data:`~repro.store.shards.PING_SHARD_KIND` or
+        :data:`~repro.store.shards.TRACE_SHARD_KIND`).  Ordinals number
+        the shards *within* their family, so the canonical merge order
+        of a ping scan is independent of interleaved trace shards.
+        """
+        entries: List[ShardEntry] = []
+        ordinals = {PING_SHARD_KIND: 0, TRACE_SHARD_KIND: 0}
+        for entry in self.unit_entries():
+            for name in entry["shards"]:
+                shard_kind = (
+                    PING_SHARD_KIND
+                    if name.endswith("-pings.shard")
+                    else TRACE_SHARD_KIND
+                )
+                if kind is not None and shard_kind != kind:
+                    continue
+                entries.append(
+                    ShardEntry(
+                        unit=entry["unit"],
+                        name=name,
+                        kind=shard_kind,
+                        ordinal=ordinals[shard_kind],
+                        path=self.shard_dir / name,
+                    )
+                )
+                ordinals[shard_kind] += 1
+        return entries
+
+    def manifest_digest(self) -> str:
+        """sha256 over the manifest file -- the store's static identity."""
+        return hashlib.sha256(
+            (self._run_dir / MANIFEST_NAME).read_bytes()
+        ).hexdigest()
+
+    def journal_digest(self) -> str:
+        """sha256 over the journal file -- advances with every commit.
+
+        The query-result cache keys on this: any appended unit (or a
+        repair rewrite) changes the digest, so cached results are
+        invalidated exactly when the set of journaled shards changes.
+        """
+        if not self._journal.path.exists():
+            return hashlib.sha256(b"").hexdigest()
+        return hashlib.sha256(self._journal.path.read_bytes()).hexdigest()
+
+    def query(self) -> "QueryBuilder":
+        """A :class:`repro.query.QueryBuilder` over this store."""
+        from repro.query.builder import QueryBuilder
+
+        return QueryBuilder(self)
 
     def iter_ping_blocks(self, mmap: bool = True) -> Iterator[PingBlock]:
         """Decode journaled ping shards lazily, one block at a time."""

@@ -1,0 +1,291 @@
+"""Property tests for the mergeable aggregation sketches.
+
+The quantile sketch's contract (``docs/QUERY.md``) is a rank-error
+bound: for any percentile ``q``, the returned value's rank in the
+underlying data is within ``epsilon * n`` of the exact target rank
+(plus one position for the centroid that straddles a bucket boundary).
+Below ``4 / epsilon`` samples the sketch is uncompressed and must be
+bit-identical to ``np.percentile`` with linear interpolation.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.sketch import DEFAULT_EPSILON, QuantileSketch, ScalarSummary
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+value_lists = st.lists(finite_floats, min_size=1, max_size=200)
+percentiles = st.floats(min_value=0.0, max_value=100.0)
+
+
+def rank_error(data: np.ndarray, value: float, q: float) -> float:
+    """Distance (in ranks) from ``value`` to the exact ``q`` target rank."""
+    ordered = np.sort(data)
+    target = q / 100.0 * (data.size - 1)
+    lo = int(np.searchsorted(ordered, value, side="left"))
+    hi = int(np.searchsorted(ordered, value, side="right"))
+    # value occupies ranks [lo, hi - 1] when present; an interpolated
+    # value strictly between neighbours occupies the open gap [hi-1, lo].
+    low_rank = min(lo, hi - 1)
+    high_rank = max(lo, hi - 1)
+    return max(0.0, target - high_rank, low_rank - target)
+
+
+class TestScalarSummary:
+    @given(values=value_lists, splits=st.integers(min_value=1, max_value=5))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_numpy_aggregates(self, values, splits):
+        array = np.asarray(values, dtype=np.float64)
+        summary = ScalarSummary()
+        for chunk in np.array_split(array, splits):
+            summary.add_array(chunk)
+        assert summary.count == array.size
+        assert summary.minimum == float(array.min())
+        assert summary.maximum == float(array.max())
+        assert math.isclose(
+            summary.total, float(np.sum(array)), rel_tol=1e-9, abs_tol=1e-6
+        )
+        assert summary.mean is not None
+
+    @given(values=value_lists, cut=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=60, deadline=None)
+    def test_merge_equals_single_pass(self, values, cut):
+        array = np.asarray(values, dtype=np.float64)
+        cut = min(cut, array.size)
+        left, right = ScalarSummary(), ScalarSummary()
+        left.add_array(array[:cut])
+        right.add_array(array[cut:])
+        left.merge(right)
+        whole = ScalarSummary()
+        whole.add_array(array[:cut])
+        whole.add_array(array[cut:])
+        assert left.as_dict() == whole.as_dict()
+
+    def test_empty_summary(self):
+        summary = ScalarSummary()
+        assert summary.count == 0
+        assert summary.total == 0.0
+        assert summary.minimum is None
+        assert summary.maximum is None
+        assert summary.mean is None
+        other = ScalarSummary()
+        other.add_array(np.asarray([2.0, 4.0]))
+        summary.merge(other)
+        assert summary.as_dict() == other.as_dict()
+
+    def test_add_empty_array_is_noop(self):
+        summary = ScalarSummary()
+        summary.add_array(np.empty(0))
+        assert summary.count == 0 and summary.minimum is None
+
+
+class TestQuantileSketchExactRegime:
+    """Below 4/epsilon samples the sketch never compresses."""
+
+    @given(values=value_lists, q=percentiles)
+    @settings(
+        max_examples=100,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_bit_identical_to_percentile(self, values, q):
+        array = np.asarray(values, dtype=np.float64)
+        sketch = QuantileSketch()
+        sketch.add_array(array)
+        assert array.size <= 4 / DEFAULT_EPSILON
+        assert sketch.quantile(q) == float(np.percentile(array, q))
+
+    @given(value=finite_floats, q=percentiles)
+    @settings(max_examples=40, deadline=None)
+    def test_single_sample(self, value, q):
+        sketch = QuantileSketch()
+        sketch.add_array(np.asarray([value]))
+        assert sketch.count == 1
+        assert sketch.quantile(q) == value
+
+    def test_empty_sketch_raises(self):
+        sketch = QuantileSketch()
+        with pytest.raises(ValueError, match="empty sketch"):
+            sketch.quantile(50.0)
+
+    def test_percentile_range_validated(self):
+        sketch = QuantileSketch()
+        sketch.add_array(np.asarray([1.0]))
+        with pytest.raises(ValueError, match="within"):
+            sketch.quantile(101.0)
+        with pytest.raises(ValueError, match="within"):
+            sketch.quantile(-0.5)
+
+    def test_non_finite_values_rejected(self):
+        sketch = QuantileSketch()
+        with pytest.raises(ValueError, match="finite"):
+            sketch.add_array(np.asarray([1.0, np.nan]))
+        with pytest.raises(ValueError, match="finite"):
+            sketch.add_array(np.asarray([np.inf]))
+
+    def test_epsilon_validated(self):
+        with pytest.raises(ValueError, match="epsilon"):
+            QuantileSketch(epsilon=0.0)
+        with pytest.raises(ValueError, match="epsilon"):
+            QuantileSketch(epsilon=1.5)
+
+
+class TestQuantileSketchCompressed:
+    """Past 4/epsilon samples: bounded rank error, bounded state."""
+
+    EPSILON = 0.05
+
+    @given(
+        values=st.lists(finite_floats, min_size=200, max_size=600),
+        q=percentiles,
+    )
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_rank_error_bounded(self, values, q):
+        array = np.asarray(values, dtype=np.float64)
+        sketch = QuantileSketch(epsilon=self.EPSILON)
+        for chunk in np.array_split(array, 4):
+            sketch.add_array(chunk)
+        error = rank_error(array, sketch.quantile(q), q)
+        assert error <= self.EPSILON * array.size + 1.0
+
+    @given(
+        samples=st.lists(
+            st.integers(min_value=0, max_value=5), min_size=200, max_size=500
+        ),
+        q=percentiles,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_duplicate_heavy_rank_error(self, samples, q):
+        array = np.asarray(samples, dtype=np.float64)
+        sketch = QuantileSketch(epsilon=self.EPSILON)
+        sketch.add_array(array)
+        error = rank_error(array, sketch.quantile(q), q)
+        assert error <= self.EPSILON * array.size + 1.0
+
+    def test_centroid_count_stays_bounded(self):
+        rng = np.random.default_rng(7)
+        sketch = QuantileSketch(epsilon=self.EPSILON)
+        for _ in range(20):
+            sketch.add_array(rng.normal(50.0, 10.0, size=1000))
+        assert sketch.count == 20_000
+        # ~4/epsilon buckets plus the boundary-straddling slack.
+        assert sketch.centroid_count <= 4 / self.EPSILON + 2
+
+    def test_quantiles_clamped_to_observed_range(self):
+        rng = np.random.default_rng(11)
+        array = rng.uniform(10.0, 20.0, size=5000)
+        sketch = QuantileSketch(epsilon=self.EPSILON)
+        sketch.add_array(array)
+        assert sketch.quantile(0.0) == float(array.min())
+        assert sketch.quantile(100.0) == float(array.max())
+
+
+class TestQuantileSketchMerge:
+    EPSILON = 0.05
+
+    @given(
+        left=st.lists(finite_floats, min_size=0, max_size=120),
+        right=st.lists(finite_floats, min_size=1, max_size=120),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_commutative_in_exact_regime(self, left, right):
+        a = np.asarray(left, dtype=np.float64)
+        b = np.asarray(right, dtype=np.float64)
+        ab, ba = QuantileSketch(), QuantileSketch()
+        other_a, other_b = QuantileSketch(), QuantileSketch()
+        other_a.add_array(a)
+        other_b.add_array(b)
+        ab.add_array(a)
+        ab.merge(other_b)
+        ba.add_array(b)
+        ba.merge(other_a)
+        assert ab.to_dict() == ba.to_dict()
+        if a.size or b.size:
+            combined = np.concatenate([a, b])
+            for q in (0.0, 12.5, 50.0, 90.0, 100.0):
+                assert ab.quantile(q) == float(np.percentile(combined, q))
+
+    @given(
+        parts=st.lists(
+            st.lists(finite_floats, min_size=50, max_size=150),
+            min_size=3,
+            max_size=3,
+        ),
+        q=percentiles,
+    )
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_merge_order_within_rank_bound(self, parts, q):
+        arrays = [np.asarray(p, dtype=np.float64) for p in parts]
+        combined = np.concatenate(arrays)
+
+        def sketch_of(array):
+            sketch = QuantileSketch(epsilon=self.EPSILON)
+            sketch.add_array(array)
+            return sketch
+
+        # ((a + b) + c) vs (a + (b + c)): both must satisfy the rank
+        # bound against the exact combined data.
+        left = sketch_of(arrays[0])
+        left.merge(sketch_of(arrays[1]))
+        left.merge(sketch_of(arrays[2]))
+        right_tail = sketch_of(arrays[1])
+        right_tail.merge(sketch_of(arrays[2]))
+        right = sketch_of(arrays[0])
+        right.merge(right_tail)
+        for sketch in (left, right):
+            assert sketch.count == combined.size
+            error = rank_error(combined, sketch.quantile(q), q)
+            assert error <= self.EPSILON * combined.size + 1.0
+
+    def test_merge_empty_is_noop(self):
+        sketch = QuantileSketch()
+        sketch.add_array(np.asarray([3.0, 1.0, 2.0]))
+        before = sketch.to_dict()
+        sketch.merge(QuantileSketch())
+        assert sketch.to_dict() == before
+
+    def test_merge_takes_larger_epsilon(self):
+        coarse = QuantileSketch(epsilon=0.1)
+        coarse.add_array(np.asarray([1.0]))
+        fine = QuantileSketch(epsilon=0.005)
+        fine.add_array(np.asarray([2.0]))
+        fine.merge(coarse)
+        assert fine.epsilon == 0.1
+
+
+class TestQuantileSketchSerialization:
+    @given(values=value_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_is_exact(self, values):
+        sketch = QuantileSketch()
+        sketch.add_array(np.asarray(values, dtype=np.float64))
+        clone = QuantileSketch.from_dict(sketch.to_dict())
+        assert clone.to_dict() == sketch.to_dict()
+        for q in (0.0, 25.0, 50.0, 75.0, 100.0):
+            assert clone.quantile(q) == sketch.quantile(q)
+
+    def test_round_trip_survives_json(self):
+        import json
+
+        sketch = QuantileSketch(epsilon=0.05)
+        sketch.add_array(np.linspace(0.0, 100.0, 500))
+        payload = json.loads(json.dumps(sketch.to_dict()))
+        clone = QuantileSketch.from_dict(payload)
+        assert clone.quantile(50.0) == sketch.quantile(50.0)
+        assert clone.centroid_count == sketch.centroid_count

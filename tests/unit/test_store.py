@@ -26,6 +26,8 @@ from repro.store import (
     RunJournal,
     ShardFormatError,
     StoreError,
+    column_zone,
+    header_zones,
     read_columns,
     read_ping_shard,
     read_trace_shard,
@@ -33,6 +35,7 @@ from repro.store import (
     write_ping_shard,
     write_shard,
     write_trace_shard,
+    zone_problems,
 )
 from repro.store.cli import main as store_cli
 from repro.store.format import ALIGNMENT, MAGIC, read_header
@@ -373,3 +376,81 @@ def test_standin_tables_survive_import(tmp_path):
     probe = loaded.probes[0]
     assert probe.probe_id == "p7"
     assert isinstance(probe.location, GeoPoint)
+
+
+class TestZoneMaps:
+    def _store(self, run_dir):
+        store = DatasetStore.create(run_dir, seed=7, config_hash="z", scale=0.01)
+        store.flush_unit(
+            "speedchecker:000",
+            ping_block=ping_block_from_records(
+                [_ping("p0"), _ping("p1", samples=(5.0, 95.5))]
+            ),
+            trace_block=trace_block_from_records([_trace("p0")]),
+        )
+        return store
+
+    def _rewrite_shard(self, path, mutate):
+        """Rewrite a shard with edited metadata but valid CRCs."""
+        header, columns = read_columns(path, mmap=False)
+        metadata = {
+            key: value
+            for key, value in header.items()
+            if key not in ("columns", "container", "container_version")
+        }
+        mutate(metadata)
+        write_shard(path, columns, metadata)
+
+    def test_written_headers_carry_zones(self, store_run_dir):
+        store = self._store(store_run_dir)
+        entry = store.shard_entries("pings")[0]
+        header, columns = read_columns(entry.path)
+        zones = header_zones(header)
+        assert set(zones) == set(columns)
+        samples = zones["sample_values"]
+        assert samples["rows"] == 5
+        assert samples["min"] == 5.0
+        assert samples["max"] == 95.5
+        days = zones["days"]
+        assert days == {"rows": 2, "min": 0, "max": 0}
+
+    def test_trace_zones_skip_nan_rtts(self, store_run_dir):
+        store = self._store(store_run_dir)
+        entry = store.shard_entries("traces")[0]
+        header, _ = read_columns(entry.path)
+        # _trace has an unresponsive middle hop (NaN rtt); bounds come
+        # from the finite hops only.
+        rtts = header_zones(header)["hop_rtts"]
+        assert rtts["min"] == 4.5
+        assert rtts["max"] == 31.125
+
+    def test_column_zone_edge_cases(self):
+        assert column_zone(np.empty(0, dtype=np.float64)) == {
+            "rows": 0, "min": None, "max": None
+        }
+        all_nan = column_zone(np.array([np.nan, np.nan]))
+        assert all_nan == {"rows": 2, "min": None, "max": None}
+        ints = column_zone(np.array([3, -1, 7], dtype=np.int32))
+        assert ints == {"rows": 3, "min": -1, "max": 7}
+        assert isinstance(ints["min"], int)
+
+    def test_verify_detects_tampered_zone_map(self, store_run_dir):
+        store = self._store(store_run_dir)
+        entry = store.shard_entries("pings")[0]
+
+        def lie(metadata):
+            metadata["zones"]["days"]["max"] = 99
+
+        self._rewrite_shard(entry.path, lie)
+        problems = store.verify()
+        assert problems
+        assert any("zone" in problem for problem in problems)
+
+    def test_zoneless_shard_verifies_clean(self, store_run_dir):
+        store = self._store(store_run_dir)
+        entry = store.shard_entries("pings")[0]
+        self._rewrite_shard(entry.path, lambda meta: meta.pop("zones"))
+        header, columns = read_columns(entry.path)
+        assert header_zones(header) is None
+        assert zone_problems(entry.path, header, columns) == []
+        assert store.verify() == []
