@@ -30,6 +30,7 @@ from repro.experiments import (
 )
 from repro.faults import RetryPolicy, load_fault_config
 from repro.measure.io import load_dataset, save_dataset
+from repro.netfaults import load_netfault_config
 from repro.store import DatasetStore, StoreError
 
 
@@ -104,6 +105,15 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     campaign.add_argument(
+        "--netfault-config",
+        default=None,
+        help=(
+            "JSON file of network event rates (see docs/DYNAMIC_TOPOLOGY.md): "
+            "seeded link failures, peering flaps, and regional outages on a "
+            "virtual-time timeline; requires --store"
+        ),
+    )
+    campaign.add_argument(
         "--max-attempts",
         type=int,
         default=None,
@@ -174,10 +184,14 @@ def _command_list(args) -> int:
 
 def _command_campaign(args) -> int:
     if (
-        args.fault_config or args.max_attempts is not None or args.workers != 1
+        args.fault_config
+        or args.netfault_config
+        or args.max_attempts is not None
+        or args.workers != 1
     ) and not args.store:
         print(
-            "error: --fault-config/--max-attempts/--workers require --store",
+            "error: --fault-config/--netfault-config/--max-attempts/--workers "
+            "require --store",
             file=sys.stderr,
         )
         return 2
@@ -191,9 +205,20 @@ def _command_campaign(args) -> int:
     print(world.summary(), file=sys.stderr)
     started = time.time()
     if args.store:
-        faults = (
-            load_fault_config(args.fault_config) if args.fault_config else None
-        )
+        try:
+            faults = (
+                load_fault_config(args.fault_config)
+                if args.fault_config
+                else None
+            )
+            netfaults = (
+                load_netfault_config(args.netfault_config)
+                if args.netfault_config
+                else None
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         retry = (
             RetryPolicy(max_attempts=args.max_attempts)
             if args.max_attempts is not None
@@ -204,6 +229,7 @@ def _command_campaign(args) -> int:
             args.store,
             days=args.days,
             faults=faults,
+            netfaults=netfaults,
             retry=retry,
             workers=args.workers,
         )

@@ -6,7 +6,8 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.experiments import comparison, density_exp, inventory, lastmile_exp
-from repro.experiments import latency, peering_exp, protocols_exp, stats_exp
+from repro.experiments import latency, netfault_exp, peering_exp
+from repro.experiments import protocols_exp, stats_exp
 from repro.experiments.common import ExperimentResult, StudyContext
 from repro.measure.results import MeasurementDataset
 
@@ -60,6 +61,8 @@ _register("fig17", "Figures 17a/17b", False, peering_exp.run_fig17)
 _register("fig18", "Figures 18a/18b", False, peering_exp.run_fig18)
 _register("fig19", "Figure 19", True, lastmile_exp.run_fig19)
 _register("stats", "Section 3.3", False, stats_exp.run_stats)
+_register("failover", "Dynamic topology", False, netfault_exp.run_failover)
+_register("pathdiv", "Dynamic topology", False, netfault_exp.run_pathdiv)
 
 #: All experiment ids in paper order.
 EXPERIMENT_IDS: Tuple[str, ...] = tuple(_REGISTRY)

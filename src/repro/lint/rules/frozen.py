@@ -1,11 +1,24 @@
-"""Frozen-world safety (``FRZ001``).
+"""Frozen-world safety (``FRZ001``, ``FRZ002``).
 
 A :class:`~repro.core.world.World` and the planner's ``PlannedPath``
 objects are built once and then shared across campaigns, caches, and
 batch engines.  Mutating one mid-campaign desynchronizes every
 component that captured it (the planner cache keeps paths alive for the
 whole run), so attribute assignment on these types is only legal inside
-the types themselves and in their builder functions.
+the types themselves and in their builder functions (``FRZ001``).
+
+The AS-level relationship graphs underneath a ``Topology`` are equally
+shared -- planner route caches, epoch views, and parity oracles all
+hold references to the same :class:`RelationshipGraph` objects.  Under
+dynamic topology the only legal way to change routing is the
+epoch-transition API (``NetworkFaultPlan.view`` /
+``EpochTopologyView`` / ``RelationshipGraph.without_edges``), which
+derives a *new* immutable view instead of editing the shared graph in
+place.  ``FRZ002`` flags direct edge mutation (``add_customer_provider``
+/ ``add_peering`` calls, or pokes at the private adjacency tables)
+outside graph construction: the graph class itself, the topology
+builders in ``repro.net`` / ``repro.core.topology``, the
+``repro.netfaults`` package, ``build_*`` functions, and tests.
 """
 
 from __future__ import annotations
@@ -115,6 +128,118 @@ class FrozenMutationRule(Rule):
             if assigned is not None:
                 return assigned if assigned in FROZEN_TYPES else None
         return FROZEN_NAME_HINTS.get(name)
+
+
+#: Methods that mutate a RelationshipGraph's edge set in place.
+GRAPH_MUTATORS = frozenset({"add_customer_provider", "add_peering"})
+
+#: Private adjacency state of RelationshipGraph; assignment from outside
+#: the class is a topology mutation regardless of the receiver name.
+GRAPH_INTERNALS = frozenset({"_providers", "_customers", "_peers", "_adjacency"})
+
+#: Paths where in-place edge construction is legal: the graph type
+#: itself and the routing substrate, the scoped-graph assembly in the
+#: topology builder, and the epoch-transition package.
+GRAPH_MUTATION_PATHS = (
+    "*/repro/net/*",
+    "*/repro/core/topology.py",
+    "*/repro/netfaults/*",
+)
+
+
+@register_rule
+class TopologyMutationRule(Rule):
+    """Topology edges change only through the epoch-transition API."""
+
+    rule_id = "FRZ002"
+    name = "topology-mutation-outside-epoch-api"
+    summary = (
+        "relationship-graph edges are frozen once the topology is built; "
+        "derive routing changes through the epoch-transition API "
+        "(NetworkFaultPlan.view / EpochTopologyView / without_edges)"
+    )
+    node_types = (ast.Call, ast.Assign, ast.AugAssign, ast.AnnAssign)
+
+    def visit(self, node: ast.AST, ctx: LintContext) -> None:
+        if isinstance(node, ast.Call):
+            self._visit_call(node, ctx)
+        else:
+            self._visit_assign(node, ctx)
+
+    # -- mutator calls -----------------------------------------------------
+
+    def _visit_call(self, node: ast.Call, ctx: LintContext) -> None:
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr not in GRAPH_MUTATORS:
+            return
+        if self._receiver_contradicts_graph(func.value, ctx):
+            return
+        if self._in_allowed_context(ctx):
+            return
+        ctx.report(
+            self,
+            node,
+            f"in-place edge mutation '{func.attr}' on a shared "
+            "relationship graph; campaign-time topology changes must go "
+            "through the epoch-transition API (NetworkFaultPlan.view / "
+            "EpochTopologyView) or RelationshipGraph.without_edges",
+        )
+
+    # -- private-state pokes ----------------------------------------------
+
+    def _visit_assign(self, node: ast.AST, ctx: LintContext) -> None:
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        else:
+            return
+        for target in targets:
+            for attr in FrozenMutationRule._attribute_targets(target):
+                if attr.attr not in GRAPH_INTERNALS:
+                    continue
+                if self._in_allowed_context(ctx):
+                    continue
+                ctx.report(
+                    self,
+                    attr,
+                    f"assignment to RelationshipGraph internal "
+                    f"'{attr.attr}'; adjacency state is frozen outside "
+                    "the graph class -- derive a changed topology with "
+                    "without_edges or an EpochTopologyView instead",
+                )
+
+    # -- context and evidence ---------------------------------------------
+
+    def _in_allowed_context(self, ctx: LintContext) -> bool:
+        if ctx.is_test_file:
+            return True
+        if ctx.path_matches(GRAPH_MUTATION_PATHS):
+            return True
+        current_class = ctx.current_class
+        if current_class is not None and current_class.name == "RelationshipGraph":
+            return True
+        for name in ctx.enclosing_function_names():
+            if name.startswith("build") or name.startswith("_build"):
+                return True
+        return False
+
+    def _receiver_contradicts_graph(
+        self, receiver: ast.AST, ctx: LintContext
+    ) -> bool:
+        """Whether the receiver is annotated as a non-graph type.
+
+        The mutator names are unique to :class:`RelationshipGraph`
+        across the tree, so the method name itself is the evidence; an
+        explicit annotation naming a different type is the only escape.
+        """
+        if not isinstance(receiver, ast.Name):
+            return False
+        function = ctx.current_function
+        if function is None:
+            return False
+        annotated = _annotation_type(function, receiver.id)
+        return annotated is not None and annotated != "RelationshipGraph"
 
 
 def _annotation_name(annotation: Optional[ast.AST]) -> Optional[str]:

@@ -106,9 +106,9 @@ def execute_ping_batch(
             sample_offsets=np.zeros(1, np.int64),
         )
 
-    # Warm the planner cache for every pair in one vectorized pass; the
-    # per-request plan() calls below are then pure dict hits.
-    engine.planner.plan_many(
+    # Plan every pair in one vectorized pass; the loop below reuses the
+    # returned paths directly instead of re-probing the planner cache.
+    paths = engine.planner.plan_many(
         [(request.probe, request.region) for request in requests]
     )
 
@@ -137,7 +137,7 @@ def execute_ping_batch(
 
     # Validation plus dict-based code interning -- inherently sequential
     # (first-seen order defines the codes the RNG draws depend on).
-    for request in requests:  # repro-lint: disable=PERF001
+    for i, request in enumerate(requests):  # repro-lint: disable=PERF001
         if request.samples < 1:
             raise ValueError(f"samples must be >= 1, got {request.samples}")
         probe = request.probe
@@ -160,7 +160,7 @@ def execute_ping_batch(
         key = (probe_code, region_code, proto_code, day)
         row_code = row_by_key.get(key)
         if row_code is None:
-            path = engine.planner.plan(probe, region)
+            path = paths[i]
             multiplier = cycle_multiplier.get(day)
             if multiplier is None:
                 multiplier = congestion_cycle_multiplier(day, config)

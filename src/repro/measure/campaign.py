@@ -41,6 +41,7 @@ from repro.geo.continents import INTERCONTINENTAL_TARGETS, Continent
 from repro.measure.batch import PingRequest, TraceRequest
 from repro.measure.engine import BatchEngine, MeasurementEngine
 from repro.measure.path import PathPlanner
+from repro.measure.pathpolicy import FailoverPathPolicy, PathSelectionPolicy
 from repro.measure.resilience import UnitResult, execute_plan
 from repro.measure.results import (
     MeasurementDataset,
@@ -49,6 +50,9 @@ from repro.measure.results import (
     TracerouteMeasurement,
     trace_block_from_records,
 )
+from repro.netfaults.config import NetworkFaultConfig, netfault_digest
+from repro.netfaults.engine import NetfaultEngine, find_netfault_engine
+from repro.netfaults.plan import NetworkFaultPlan
 from repro.platforms.probe import Probe, city_key_for
 from repro.platforms.protocols import AtlasLike, SpeedcheckerLike
 from repro.platforms.speedchecker import QuotaExhausted
@@ -322,7 +326,9 @@ def plan_units(days: int, platforms: Sequence[str]) -> List[str]:
     return units
 
 
-def _checkpoint_engine(world: "World") -> MeasurementEngine:
+def _checkpoint_engine(
+    world: "World", route_policy: Optional[PathSelectionPolicy] = None
+) -> MeasurementEngine:
     """An engine whose path planning is pair-deterministic.
 
     The world's own planner consumes a shared sequential stream, which
@@ -331,6 +337,10 @@ def _checkpoint_engine(world: "World") -> MeasurementEngine:
     from the pair's stable name, so paths are identical no matter which
     units ran before.  The engine's fallback stream is never used: every
     batch call below passes an explicit per-unit generator.
+
+    ``route_policy`` threads a path-selection policy into the planner
+    (the network-fault runner installs a
+    :class:`~repro.measure.pathpolicy.FailoverPathPolicy` here).
     """
     planner = PathPlanner(
         topology=world.topology,
@@ -339,6 +349,7 @@ def _checkpoint_engine(world: "World") -> MeasurementEngine:
         config=world.config,
         countries=world.countries,
         pair_entropy=world.rngs.seed,
+        route_policy=route_policy,
     )
     return MeasurementEngine(
         planner=planner,
@@ -484,14 +495,26 @@ def _speedchecker_unit(
             issued = platform.charge_up_to(scheduled)
     issued_requests = requests[:issued]
     issued_traces = [trace for index, trace in traces if index < issued]
+    netfault = find_netfault_engine(engine)
+    if netfault is not None:
+        # Discard effects journaled by a failed earlier attempt.
+        netfault.take_events()
     engine_rng = rngs.fork("checkpoint.speedchecker.engine", day)
     ping_block = engine.ping_batch(issued_requests, rng=engine_rng)
     records = engine.traceroute_batch(issued_traces, rng=engine_rng)
+    trace_block = _trace_block(issued_traces, records)
+    netfault_events: List[str] = []
+    if netfault is not None:
+        annotations = netfault.last_trace_annotations
+        if annotations is not None:
+            trace_block.epochs, trace_block.outage_ids = annotations
+        netfault_events = netfault.take_events()
     return UnitResult(
         ping_block=ping_block,
-        trace_block=_trace_block(issued_traces, records),
+        trace_block=trace_block,
         scheduled_pings=scheduled,
         scheduled_traceroutes=len(traces),
+        netfault_events=netfault_events,
     )
 
 
@@ -530,6 +553,10 @@ def _atlas_unit(
                             day=day,
                         )
                     )
+    netfault = find_netfault_engine(engine)
+    if netfault is not None:
+        # Discard effects journaled by a failed earlier attempt.
+        netfault.take_events()
     engine_rng = rngs.fork("checkpoint.atlas.engine", day)
     ping_block = engine.ping_batch(requests, rng=engine_rng)
     traceroute_draws = sched_rng.random(len(pairs))
@@ -539,11 +566,19 @@ def _atlas_unit(
         if draw < campaign.traceroute_share
     ]
     records = engine.traceroute_batch(traces, rng=engine_rng)
+    trace_block = _trace_block(traces, records)
+    netfault_events: List[str] = []
+    if netfault is not None:
+        annotations = netfault.last_trace_annotations
+        if annotations is not None:
+            trace_block.epochs, trace_block.outage_ids = annotations
+        netfault_events = netfault.take_events()
     return UnitResult(
         ping_block=ping_block,
-        trace_block=_trace_block(traces, records),
+        trace_block=trace_block,
         scheduled_pings=len(requests),
         scheduled_traceroutes=len(traces),
+        netfault_events=netfault_events,
     )
 
 
@@ -557,7 +592,7 @@ class CheckpointExecutor:
     crosses units, so any process may execute any unit.
     """
 
-    def __init__(self, world: "World", engine: MeasurementEngine) -> None:
+    def __init__(self, world: "World", engine: BatchEngine) -> None:
         self._world = world
         self._engine = engine
 
@@ -600,6 +635,7 @@ def run_campaign_checkpointed(
     platforms: Sequence[str] = CHECKPOINT_PLATFORMS,
     max_units: Optional[int] = None,
     faults: Optional[FaultConfig] = None,
+    netfaults: Optional[NetworkFaultConfig] = None,
     retry: Optional[RetryPolicy] = None,
     workers: int = 1,
     abort_after_commits: Optional[int] = None,
@@ -622,6 +658,14 @@ def run_campaign_checkpointed(
     passing ``None``: units run on the fault-free fast path and journal
     the exact entries this function has always written.
 
+    ``netfaults`` enables deterministic *network* events (see
+    :mod:`repro.netfaults` and ``docs/DYNAMIC_TOPOLOGY.md``): link
+    failures, peering flaps, and regional outages on a per-day
+    virtual-time timeline, with routes re-converging per epoch and
+    per-row epoch/outage provenance columns on every shard.  As with
+    ``faults``, an inactive (all-zero) config is byte-identical to
+    passing ``None``.
+
     ``workers`` > 1 executes units on that many forked worker processes
     via :mod:`repro.exec`: workers stage into private stores and the
     parent commits in canonical order, so the resulting store is
@@ -640,6 +684,9 @@ def run_campaign_checkpointed(
     units = plan_units(total_days, list(platforms))
     digest = config_digest(config)
     fault_config = faults if faults is not None and faults.active else None
+    net_config = (
+        netfaults if netfaults is not None and netfaults.active else None
+    )
 
     store = DatasetStore.open_or_create(
         Path(run_dir),
@@ -659,6 +706,8 @@ def run_campaign_checkpointed(
     }
     if fault_config is not None:
         plan["fault_digest"] = fault_digest(fault_config)
+    if net_config is not None:
+        plan["netfault_digest"] = netfault_digest(net_config)
     if begin is None:
         store.begin_run(plan)
     else:
@@ -668,12 +717,13 @@ def run_campaign_checkpointed(
                     f"{store.run_dir}: cannot resume -- journal records "
                     f"{key}={begin.get(key)!r}, current run has {plan[key]!r}"
                 )
-        if begin.get("fault_digest") != plan.get("fault_digest"):
-            raise StoreError(
-                f"{store.run_dir}: cannot resume -- journal records "
-                f"fault_digest={begin.get('fault_digest')!r}, current run "
-                f"has {plan.get('fault_digest')!r}"
-            )
+        for digest_key in ("fault_digest", "netfault_digest"):
+            if begin.get(digest_key) != plan.get(digest_key):
+                raise StoreError(
+                    f"{store.run_dir}: cannot resume -- journal records "
+                    f"{digest_key}={begin.get(digest_key)!r}, current run "
+                    f"has {plan.get(digest_key)!r}"
+                )
 
     # Any staging directory is an orphan of a killed parallel run: its
     # units never made the journal, so they re-run deterministically.
@@ -682,7 +732,19 @@ def run_campaign_checkpointed(
     # Skipped units are closed too: resume must not retry a unit the
     # resilient executor already gave up on (repair re-opens them).
     completed = set(store.completed_units()) | set(store.skipped_units())
-    engine = _checkpoint_engine(world)
+    engine: BatchEngine
+    if net_config is not None:
+        route_policy = FailoverPathPolicy()
+        net_plan = NetworkFaultPlan(
+            config.seed, net_config, world.topology, world.catalog
+        )
+        engine = NetfaultEngine(
+            _checkpoint_engine(world, route_policy=route_policy),
+            net_plan,
+            route_policy,
+        )
+    else:
+        engine = _checkpoint_engine(world)
     fault_plan = (
         FaultPlan(config.seed, fault_config) if fault_config is not None else None
     )
@@ -735,6 +797,7 @@ def resume_campaign(
     run_dir: PathLike,
     max_units: Optional[int] = None,
     faults: Optional[FaultConfig] = None,
+    netfaults: Optional[NetworkFaultConfig] = None,
     retry: Optional[RetryPolicy] = None,
     verify: bool = True,
     repair: bool = False,
@@ -789,6 +852,7 @@ def resume_campaign(
         platforms=tuple(begin["platforms"]),
         max_units=max_units,
         faults=faults,
+        netfaults=netfaults,
         retry=retry,
         workers=workers,
     )

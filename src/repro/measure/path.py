@@ -11,7 +11,15 @@ around.
 from __future__ import annotations
 
 from enum import Enum
-from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
+from typing import (
+    Dict,
+    Hashable,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -24,6 +32,7 @@ from repro.core.units import one_way_fiber_ms
 from repro.geo.continents import Continent
 from repro.geo.coords import EARTH_RADIUS_KM, GeoPoint
 from repro.geo.countries import CountryRegistry
+from repro.measure.pathpolicy import BASELINE_TOKEN, PathSelectionPolicy
 from repro.net.asn import AS, ASKind
 from repro.net.ip import parse_ip
 from repro.platforms.probe import Probe
@@ -355,9 +364,15 @@ class PathPlanner:
         countries: Optional[CountryRegistry] = None,
         pair_entropy: Optional[int] = None,
         legacy_prep: bool = False,
+        route_policy: Optional[PathSelectionPolicy] = None,
     ) -> None:
         if rng is None and pair_entropy is None:
             raise ValueError("PathPlanner needs either rng or pair_entropy")
+        if legacy_prep and route_policy is not None:
+            raise ValueError(
+                "legacy_prep is a parity reference and cannot carry a "
+                "route policy"
+            )
         self._topology = topology
         self._wans = wans
         self._region_addresses = region_addresses
@@ -370,9 +385,23 @@ class PathPlanner:
         #: baseline the full-scale benchmark and parity tests compare
         #: against.  Both modes produce bit-identical preps.
         self._legacy_prep = legacy_prep
-        self._cache: Dict[Tuple[str, str, str], PlannedPath] = {}
-        self._meta_cache: Dict[
-            Tuple[int, Continent, Optional[str], str, str], _RouteMeta
+        #: Pluggable path selection.  ``None`` (and a policy sitting at
+        #: its baseline token) plans exactly like the historical planner
+        #: and shares the same cache entries; any other policy state
+        #: namespaces the caches by the policy's token, so no entry is
+        #: ever invalidated -- planned paths are pure functions of
+        #: (pair, token).
+        self._route_policy = route_policy
+        self._cache: Dict[Tuple[Hashable, ...], PlannedPath] = {}
+        self._meta_cache: Dict[Tuple[Hashable, ...], _RouteMeta] = {}
+        #: Per-scope token memo for the *current* policy state: pair
+        #: tokens are pure given (policy token, scope), so the memo is
+        #: dropped whenever the policy's cache token changes (epoch view
+        #: installed, path marked down/up) and hit on every plan
+        #: otherwise.
+        self._pair_token_state: Optional[Hashable] = None
+        self._pair_token_cache: Dict[
+            Tuple[str, Continent], Optional[Hashable]
         ] = {}
         #: Rolling-hash caches for the pair digest: ``name_digest`` is a
         #: linear fold, so the digest of ``"path.<probe>.<prov>.<region>"``
@@ -406,13 +435,109 @@ class PathPlanner:
         )
         return np.random.default_rng(seq)
 
+    # -- path selection policy ---------------------------------------------
+
+    @property
+    def route_policy(self) -> Optional[PathSelectionPolicy]:
+        return self._route_policy
+
+    def _policy_token(self) -> Optional[Hashable]:
+        """The cache namespace of the current policy state.
+
+        ``None`` -- no policy, or a policy at its baseline token -- means
+        "plan exactly like the policy-free planner" and uses the bare
+        historical cache keys, so static runs and event-free epochs share
+        one cache population.
+        """
+        if self._route_policy is None:
+            return None
+        token = self._route_policy.cache_token()
+        if token is BASELINE_TOKEN or token == BASELINE_TOKEN:
+            return None
+        return token
+
+    def _pair_token(
+        self, provider_code: str, source_continent: Continent
+    ) -> Optional[Hashable]:
+        """The cache namespace of one (provider, source continent) scope.
+
+        Finer-grained than :meth:`_policy_token`: a policy that knows an
+        epoch's events never touched this scope's routes (see
+        :meth:`~repro.measure.pathpolicy.PathSelectionPolicy.pair_token`)
+        returns ``None``, and the pair plans against -- and shares cache
+        entries with -- the bare policy-free keys.  Cached entries are
+        interchangeable because a ``None`` token certifies the scope's
+        routing table *is* the baseline table.
+        """
+        policy = self._route_policy
+        if policy is None:
+            return None
+        state = policy.cache_token()
+        if state is not self._pair_token_state:
+            if state != self._pair_token_state:
+                self._pair_token_cache = {}
+            self._pair_token_state = state
+        scope = (provider_code, source_continent)
+        try:
+            return self._pair_token_cache[scope]
+        except KeyError:
+            token = policy.pair_token(
+                self._topology, provider_code, source_continent
+            )
+            self._pair_token_cache[scope] = token
+            return token
+
+    def _ensure_policy(self) -> PathSelectionPolicy:
+        if self._route_policy is None:
+            if self._legacy_prep:
+                raise RuntimeError(
+                    "legacy_prep planners cannot install a route policy"
+                )
+            self._route_policy = PathSelectionPolicy()
+        return self._route_policy
+
+    def mark_path_down(
+        self, isp_asn: int, provider_code: str, source_continent: Continent
+    ) -> None:
+        """Mark one (ISP, provider network, continent) path down.
+
+        Installs the default policy on first use; subsequent plans for
+        the affected triple select the policy's alternate (or fail) and
+        every other plan is untouched -- caches are namespaced by the
+        policy token, never invalidated.
+        """
+        policy = self._ensure_policy()
+        policy.mark_path_down(
+            policy.path_key(
+                self._topology, isp_asn, provider_code, source_continent
+            )
+        )
+
+    def mark_path_up(
+        self, isp_asn: int, provider_code: str, source_continent: Continent
+    ) -> None:
+        """Restore a path marked down via :meth:`mark_path_down`."""
+        policy = self._ensure_policy()
+        policy.mark_path_up(
+            policy.path_key(
+                self._topology, isp_asn, provider_code, source_continent
+            )
+        )
+
     def plan(self, probe: Probe, region: CloudRegion) -> PlannedPath:
         """The planned path for a (probe, region) pair, cached."""
-        key = (probe.probe_id, region.provider_code, region.region_id)
+        token = self._pair_token(region.provider_code, probe.continent)
+        key: Tuple[Hashable, ...] = (
+            probe.probe_id,
+            region.provider_code,
+            region.region_id,
+        )
+        if token is not None:
+            key = key + (token,)
         cached = self._cache.get(key)
         if cached is not None:
             return cached
-        path = self._build(probe, region)
+        path = self._build(probe, region, token)
         self._cache[key] = path
         return path
 
@@ -429,12 +554,29 @@ class PathPlanner:
         """
         results: List[Optional[PlannedPath]] = [None] * len(pairs)
         keys: List[Optional[tuple]] = [None] * len(pairs)
+        tokens: List[Optional[Hashable]] = [None] * len(pairs)
         misses: List[int] = []
         cache = self._cache
+        policy = self._route_policy
+        scope_tokens: Dict[Tuple[str, Continent], Optional[Hashable]] = {}
         # Cache probing is per-pair by design: dict hits cost ~100ns and
         # keep the RNG draw order identical to the scalar plan() path.
         for i, (probe, region) in enumerate(pairs):  # repro-lint: disable=PERF001
-            key = (probe.probe_id, region.provider_code, region.region_id)
+            key: Tuple[Hashable, ...] = (
+                probe.probe_id,
+                region.provider_code,
+                region.region_id,
+            )
+            if policy is not None:
+                scope = (region.provider_code, probe.continent)
+                try:
+                    token = scope_tokens[scope]
+                except KeyError:
+                    token = self._pair_token(*scope)
+                    scope_tokens[scope] = token
+                if token is not None:
+                    key = key + (token,)
+                    tokens[i] = token
             cached = cache.get(key)
             if cached is not None:
                 results[i] = cached
@@ -451,7 +593,10 @@ class PathPlanner:
             if keys[i] not in first_seen:
                 first_seen[keys[i]] = len(unique)
                 unique.append(i)
-        preps = [self._prepare(*pairs[i]) for i in unique]
+        preps = [
+            self._prepare(pairs[i][0], pairs[i][1], tokens[i])
+            for i in unique
+        ]
         placed = self._place_hops(preps)
         lat_list, lon_list, rtt_list, addr_list, offsets = placed
         built: List[PlannedPath] = []
@@ -468,30 +613,55 @@ class PathPlanner:
             results[i] = built[first_seen[keys[i]]]
         return results
 
-    def _build(self, probe: Probe, region: CloudRegion) -> PlannedPath:
-        prep = self._prepare(probe, region)
+    def _build(
+        self,
+        probe: Probe,
+        region: CloudRegion,
+        token: Optional[Hashable],
+    ) -> PlannedPath:
+        prep = self._prepare(probe, region, token)
         lat_list, lon_list, rtt_list, addr_list, _ = self._place_hops([prep])
         columns, base_rtt = self._assemble(
             prep, lat_list, lon_list, rtt_list, addr_list, 0
         )
         return self._finalize(prep, columns, base_rtt)
 
-    def _route_meta(self, probe: Probe, region: CloudRegion) -> _RouteMeta:
-        """The shared (ISP, country, region) prefix of preparation, cached."""
-        key = (
+    def _route_meta(
+        self,
+        probe: Probe,
+        region: CloudRegion,
+        token: Optional[Hashable],
+    ) -> _RouteMeta:
+        """The shared (ISP, country, region) prefix of preparation, cached.
+
+        ``token`` is the pair's scope token (see :meth:`_pair_token`),
+        already resolved by the caller so the hot path never re-derives
+        it per pair.
+        """
+        key: Tuple[Hashable, ...] = (
             probe.isp_asn,
             probe.continent,
             probe.country,
             region.provider_code,
             region.region_id,
         )
+        if token is not None:
+            key = key + (token,)
         meta = self._meta_cache.get(key)
         if meta is not None:
             return meta
         topology = self._topology
         provider_code = region.provider_code
         network = topology.network_code(provider_code)
-        as_path = topology.as_path(probe.isp_asn, provider_code, probe.continent)
+        if token is None:
+            as_path = topology.as_path(
+                probe.isp_asn, provider_code, probe.continent
+            )
+        else:
+            assert self._route_policy is not None
+            as_path = self._route_policy.as_path(
+                topology, probe.isp_asn, provider_code, probe.continent
+            )
         if as_path is None:
             raise RuntimeError(
                 f"no route from AS{probe.isp_asn} to provider {provider_code}"
@@ -541,18 +711,24 @@ class PathPlanner:
         self._meta_cache[key] = meta
         return meta
 
-    def _prepare(self, probe: Probe, region: CloudRegion) -> _PathPrep:
+    def _prepare(
+        self,
+        probe: Probe,
+        region: CloudRegion,
+        token: Optional[Hashable],
+    ) -> _PathPrep:
         """The scalar (per-pair) prefix of path building.
 
         Routing, classification, stretch geography and fixed overheads
         come from the :meth:`_route_meta` cache; only the great-circle
         distance, the distance-dependent jitter sigma, and the RNG draws
-        remain per pair.  Produces preps bit-identical to
-        :meth:`_prepare_legacy` with an identical draw sequence.
+        remain per pair.  ``token`` is the caller-resolved scope token
+        (``None`` for baseline planning).  Produces preps bit-identical
+        to :meth:`_prepare_legacy` with an identical draw sequence.
         """
         if self._legacy_prep:
             return self._prepare_legacy(probe, region)
-        meta = self._route_meta(probe, region)
+        meta = self._route_meta(probe, region, token)
         distance = probe.location.distance_km(region.location)
         sigma = meta.sigma_base + (distance / 1000.0) * meta.sigma_per_1000km
         if self._pair_entropy is not None:

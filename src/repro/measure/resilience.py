@@ -31,7 +31,7 @@ exception is a genuine bug and propagates unchanged.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Set
 
 from repro.faults.config import RetryPolicy
@@ -56,6 +56,10 @@ class UnitResult:
     scheduled_pings: int
     #: Traceroute requests the scheduler assembled.
     scheduled_traceroutes: int
+    #: Network event effects recorded by an active
+    #: :class:`~repro.netfaults.engine.NetfaultEngine` (empty on static
+    #: topology runs).
+    netfault_events: List[str] = field(default_factory=list)
 
     @property
     def partial(self) -> bool:
@@ -133,6 +137,8 @@ def _unit_extra(
         extra["backoff_ms"] = round(backoff_ms, 3)
     if events:
         extra["faults"] = list(events)
+    if result.netfault_events:
+        extra["netfaults"] = list(result.netfault_events)
     return extra or None
 
 

@@ -167,6 +167,8 @@ class PingBlock:
         "protocol_codes",
         "sample_values",
         "sample_offsets",
+        "epochs",
+        "outage_ids",
         "_records",
     )
 
@@ -180,6 +182,8 @@ class PingBlock:
         protocol_codes: np.ndarray,
         sample_values: np.ndarray,
         sample_offsets: np.ndarray,
+        epochs: Optional[np.ndarray] = None,
+        outage_ids: Optional[np.ndarray] = None,
     ) -> None:
         self.probes = list(probes)
         self.regions = list(regions)
@@ -189,6 +193,14 @@ class PingBlock:
         self.protocol_codes = np.asarray(protocol_codes, dtype=np.uint8)
         self.sample_values = np.asarray(sample_values, dtype=np.float64)
         self.sample_offsets = np.asarray(sample_offsets, dtype=np.int64)
+        self.epochs: Optional[np.ndarray] = (
+            None if epochs is None else np.asarray(epochs, dtype=np.int32)
+        )
+        self.outage_ids: Optional[np.ndarray] = (
+            None
+            if outage_ids is None
+            else np.asarray(outage_ids, dtype=np.int32)
+        )
         if len(self.sample_offsets) != len(self.probe_codes) + 1:
             raise ValueError("sample_offsets must have one entry per request + 1")
         self._records: Optional[List[PingMeasurement]] = None
@@ -230,6 +242,7 @@ class PingBlock:
         _validate_columns(
             self, PING_COLUMN_DTYPES, n, "sample_offsets", ("sample_values",)
         )
+        _validate_optional_columns(self, PING_OPTIONAL_COLUMN_DTYPES, n)
         if n:
             if int(self.probe_codes.min()) < 0 or int(
                 self.probe_codes.max()
@@ -270,6 +283,52 @@ TRACE_COLUMN_DTYPES: Dict[str, np.dtype] = {
     "hop_addresses": np.dtype(np.int64),
     "hop_rtts": np.dtype(np.float64),
 }
+
+#: Optional per-request provenance columns carried by blocks produced
+#: under an active network fault plan (:mod:`repro.netfaults`):
+#: ``epochs`` is the routing epoch a request executed in, ``outage_ids``
+#: the network event id that rerouted it (``-1`` when none).  Absent on
+#: blocks from static-world runs, keeping those bytes unchanged.
+PING_OPTIONAL_COLUMN_DTYPES: Dict[str, np.dtype] = {
+    "epochs": np.dtype(np.int32),
+    "outage_ids": np.dtype(np.int32),
+}
+
+#: Optional provenance columns of a :class:`TraceBlock`; see
+#: :data:`PING_OPTIONAL_COLUMN_DTYPES`.
+TRACE_OPTIONAL_COLUMN_DTYPES: Dict[str, np.dtype] = {
+    "epochs": np.dtype(np.int32),
+    "outage_ids": np.dtype(np.int32),
+}
+
+
+def _validate_optional_columns(
+    block: object, schema: Mapping[str, np.dtype], rows: int
+) -> None:
+    """Check optional provenance columns when present (``None`` is valid)."""
+    for name, expected in schema.items():
+        column = getattr(block, name)
+        if column is None:
+            continue
+        if not isinstance(column, np.ndarray):
+            raise TypeError(
+                f"{type(block).__name__}.{name} must be a numpy array or "
+                f"None, got {type(column).__name__}"
+            )
+        if column.dtype != expected:
+            raise TypeError(
+                f"{type(block).__name__}.{name} has dtype {column.dtype}, "
+                f"expected {expected}"
+            )
+        if column.ndim != 1:
+            raise ValueError(
+                f"{type(block).__name__}.{name} must be one-dimensional"
+            )
+        if len(column) != rows:
+            raise ValueError(
+                f"{type(block).__name__}.{name} has {len(column)} entries "
+                f"for {rows} requests"
+            )
 
 
 def _validate_columns(
@@ -390,6 +449,8 @@ class TraceBlock:
         "hop_offsets",
         "hop_addresses",
         "hop_rtts",
+        "epochs",
+        "outage_ids",
         "_records",
     )
 
@@ -406,6 +467,8 @@ class TraceBlock:
         hop_offsets: np.ndarray,
         hop_addresses: np.ndarray,
         hop_rtts: np.ndarray,
+        epochs: Optional[np.ndarray] = None,
+        outage_ids: Optional[np.ndarray] = None,
     ) -> None:
         self.probes = list(probes)
         self.regions = list(regions)
@@ -418,6 +481,14 @@ class TraceBlock:
         self.hop_offsets = np.asarray(hop_offsets, dtype=np.int64)
         self.hop_addresses = np.asarray(hop_addresses, dtype=np.int64)
         self.hop_rtts = np.asarray(hop_rtts, dtype=np.float64)
+        self.epochs: Optional[np.ndarray] = (
+            None if epochs is None else np.asarray(epochs, dtype=np.int32)
+        )
+        self.outage_ids: Optional[np.ndarray] = (
+            None
+            if outage_ids is None
+            else np.asarray(outage_ids, dtype=np.int32)
+        )
         if len(self.hop_offsets) != len(self.probe_codes) + 1:
             raise ValueError("hop_offsets must have one entry per trace + 1")
         self._records: Optional[List[TracerouteMeasurement]] = None
@@ -468,6 +539,7 @@ class TraceBlock:
             "hop_offsets",
             ("hop_addresses", "hop_rtts"),
         )
+        _validate_optional_columns(self, TRACE_OPTIONAL_COLUMN_DTYPES, n)
         if n:
             if int(self.probe_codes.min()) < 0 or int(
                 self.probe_codes.max()

@@ -17,7 +17,7 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -66,6 +66,89 @@ class AdjacencyArrays:
 
     def __len__(self) -> int:
         return len(self.asns)
+
+
+def _packed_edge_keys(
+    adjacency: "AdjacencyArrays", edges: Iterable[Tuple[int, int]]
+) -> np.ndarray:
+    """Directed row-pair keys (``src_row * n + dst_row``, both directions)
+    for every unordered AS pair present in ``adjacency``."""
+    n = len(adjacency)
+    keys: List[int] = []
+    for a, b in edges:
+        row_a = adjacency.index.get(int(a))
+        row_b = adjacency.index.get(int(b))
+        if row_a is None or row_b is None:
+            continue
+        keys.append(row_a * n + row_b)
+        keys.append(row_b * n + row_a)
+    return np.asarray(sorted(keys), dtype=np.int64)
+
+
+def _filter_csr(
+    offsets: np.ndarray,
+    targets: np.ndarray,
+    keys: np.ndarray,
+    n: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Drop every CSR edge whose directed row-pair key is in ``keys``."""
+    counts = np.diff(offsets)
+    sources = np.repeat(np.arange(n, dtype=np.int64), counts)
+    keep = ~np.isin(sources * n + targets, keys, assume_unique=False)
+    kept_targets = targets[keep]
+    kept_counts = np.bincount(sources[keep], minlength=n)
+    new_offsets = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(kept_counts, out=new_offsets[1:])
+    return new_offsets, kept_targets
+
+
+def adjacency_without_edges(
+    adjacency: "AdjacencyArrays", edges: Iterable[Tuple[int, int]]
+) -> "AdjacencyArrays":
+    """An incremental re-convergence input: ``adjacency`` with every
+    relationship on the given unordered AS pairs removed.
+
+    The node set (``asns``/``index``) is shared with the input; only the
+    three relation CSR pairs are filtered, vectorized, and the structure
+    digest is recomputed -- so downed-epoch tables key the shared route
+    cache under their own digest while untouched epochs reuse the
+    baseline's.  Pairs naming ASes absent from the graph are ignored
+    (a scoped graph may not contain every candidate edge endpoint).
+    """
+    keys = _packed_edge_keys(adjacency, edges)
+    if keys.size == 0:
+        return adjacency
+    n = len(adjacency)
+    provider = _filter_csr(
+        adjacency.provider_offsets, adjacency.provider_targets, keys, n
+    )
+    customer = _filter_csr(
+        adjacency.customer_offsets, adjacency.customer_targets, keys, n
+    )
+    peer = _filter_csr(adjacency.peer_offsets, adjacency.peer_targets, keys, n)
+    hasher = hashlib.sha256()
+    for array in (
+        adjacency.asns,
+        provider[0],
+        provider[1],
+        customer[0],
+        customer[1],
+        peer[0],
+        peer[1],
+    ):
+        hasher.update(array.tobytes())
+        hasher.update(b"\0")
+    return AdjacencyArrays(
+        asns=adjacency.asns,
+        index=adjacency.index,
+        provider_offsets=provider[0],
+        provider_targets=provider[1],
+        customer_offsets=customer[0],
+        customer_targets=customer[1],
+        peer_offsets=peer[0],
+        peer_targets=peer[1],
+        digest=hasher.hexdigest(),
+    )
 
 
 def _csr(
@@ -131,6 +214,23 @@ class RelationshipGraph:
         copy._providers = {asn: dict(links) for asn, links in self._providers.items()}
         copy._customers = {asn: dict(links) for asn, links in self._customers.items()}
         copy._peers = {asn: dict(links) for asn, links in self._peers.items()}
+        return copy
+
+    def without_edges(
+        self, edges: Iterable[Tuple[int, int]]
+    ) -> "RelationshipGraph":
+        """A clone with every relationship on the given unordered AS
+        pairs removed -- the graph-level twin of
+        :func:`adjacency_without_edges`, used by the reference parity
+        oracle and the SHORTEST-policy ablation.  Pairs without an
+        existing relationship are ignored."""
+        copy = self.clone()
+        for a, b in edges:
+            for table in (copy._providers, copy._customers, copy._peers):
+                for src, dst in ((a, b), (b, a)):
+                    links = table.get(src)
+                    if links is not None:
+                        links.pop(dst, None)
         return copy
 
     # -- queries ----------------------------------------------------------

@@ -38,11 +38,15 @@ import heapq
 from collections import OrderedDict, deque
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
-from repro.net.relationships import AdjacencyArrays, RelationshipGraph
+from repro.net.relationships import (
+    AdjacencyArrays,
+    RelationshipGraph,
+    adjacency_without_edges,
+)
 
 
 class RoutePolicy(str, Enum):
@@ -270,6 +274,72 @@ def compute_routes(
         _SHARED_ROUTE_CACHE.popitem(last=False)
     _SHARED_ROUTE_CACHE[key] = table
     return table
+
+
+def compute_routes_without_edges(
+    graph: RelationshipGraph,
+    destination: int,
+    policy: RoutePolicy = RoutePolicy.VALLEY_FREE,
+    edges: Iterable[Tuple[int, int]] = (),
+) -> RoutingTable:
+    """Re-converged routes after removing the given unordered AS pairs.
+
+    The epoch-transition entry point of the netfault subsystem: the
+    valley-free sweep runs directly over the incrementally filtered CSR
+    adjacency (:func:`~repro.net.relationships.adjacency_without_edges`),
+    and results share the process-wide memo under the filtered
+    structure's own digest -- epochs with identical downed-edge sets hit
+    the same cached table across days, resumes, and workers.  With no
+    effective removals this is exactly :func:`compute_routes`.
+    """
+    if policy is RoutePolicy.SHORTEST:
+        return compute_routes(graph.without_edges(edges), destination, policy)
+    adjacency = adjacency_without_edges(graph.adjacency(), edges)
+    key = (adjacency.digest, destination, policy)
+    cached = _SHARED_ROUTE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    table = _valley_free_routes_arrays(adjacency, destination)
+    if len(_SHARED_ROUTE_CACHE) >= _SHARED_ROUTE_CACHE_MAX:
+        _SHARED_ROUTE_CACHE.popitem(last=False)
+    _SHARED_ROUTE_CACHE[key] = table
+    return table
+
+
+def table_uses_edges(
+    table: RoutingTable, edges: Iterable[Tuple[int, int]]
+) -> bool:
+    """Whether any selected (source, next-hop) adjacency of ``table``
+    rides one of the unordered AS pairs in ``edges``.
+
+    Sound fast-path test for epoch re-convergence: removing edges only
+    shrinks the candidate route set, so if no selected pair (and hence
+    no edge of any selected path -- paths compose table entries) uses a
+    removed pair, the re-converged table is identical to ``table`` and
+    the sweep can be skipped.
+    """
+    pairs = {
+        (min(int(a), int(b)), max(int(a), int(b))) for a, b in edges
+    }
+    if not pairs:
+        return False
+    if isinstance(table, ArrayRoutingTable):
+        rows = np.nonzero(table._class >= 0)[0]
+        if rows.size == 0:
+            return False
+        src_asns = table._asns[rows]
+        next_asns = table._asns[table._next[rows]]
+        packed = np.minimum(src_asns, next_asns) * np.int64(
+            2**32
+        ) + np.maximum(src_asns, next_asns)
+        wanted = np.asarray(
+            sorted(a * 2**32 + b for a, b in pairs), dtype=np.int64
+        )
+        return bool(np.isin(packed, wanted).any())
+    return any(
+        (min(source, entry.next_hop), max(source, entry.next_hop)) in pairs
+        for source, entry in table._entries.items()
+    )
 
 
 def compute_routes_reference(

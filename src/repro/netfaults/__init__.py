@@ -1,0 +1,46 @@
+"""Deterministic network fault events and route re-convergence.
+
+The network-side counterpart of :mod:`repro.faults`: seeded link
+failures, peering flaps, and regional outages on a virtual-time
+timeline, epoch-versioned topology views that re-converge routes over
+the downed links, and an engine wrapper that reshapes campaign batches
+around the active events.  See ``docs/DYNAMIC_TOPOLOGY.md``.
+"""
+
+from repro.netfaults.config import (
+    NetworkFaultConfig,
+    load_netfault_config,
+    netfault_digest,
+)
+from repro.netfaults.engine import NetfaultEngine
+from repro.netfaults.events import (
+    EVENT_ID_STRIDE,
+    EVENT_KINDS,
+    LINK_FAILURE,
+    PEERING_FLAP,
+    REGIONAL_OUTAGE,
+    SLOTS_PER_DAY,
+    DayTimeline,
+    NetworkEvent,
+    build_timeline,
+)
+from repro.netfaults.plan import NetworkFaultPlan
+from repro.netfaults.view import EpochTopologyView
+
+__all__ = [
+    "EVENT_ID_STRIDE",
+    "EVENT_KINDS",
+    "LINK_FAILURE",
+    "PEERING_FLAP",
+    "REGIONAL_OUTAGE",
+    "SLOTS_PER_DAY",
+    "DayTimeline",
+    "EpochTopologyView",
+    "NetfaultEngine",
+    "NetworkEvent",
+    "NetworkFaultConfig",
+    "NetworkFaultPlan",
+    "build_timeline",
+    "load_netfault_config",
+    "netfault_digest",
+]

@@ -1,0 +1,160 @@
+"""Network fault configuration.
+
+Like :class:`~repro.faults.config.FaultConfig`, a
+:class:`NetworkFaultConfig` is an *overlay*: it is deliberately not part
+of :class:`~repro.core.config.SimulationConfig`, so the simulation
+config digest -- and with it the journal bytes of every existing store --
+is untouched.  An inactive (all-zero-rate) config is equivalent to
+passing no network faults at all, which is what keeps the event-free
+path file-for-file byte-identical to the pre-netfault golden digests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping, Union
+
+from repro.core.config import dataclass_digest
+from repro.netfaults.events import EVENT_ID_STRIDE, SLOTS_PER_DAY
+
+PathLike = Union[str, Path]
+
+_RATE_FIELDS = (
+    "link_failure_rate",
+    "peering_flap_rate",
+    "regional_outage_rate",
+)
+_COUNT_FIELDS = (
+    "max_events_per_day",
+    "min_duration_slots",
+    "max_duration_slots",
+)
+
+
+@dataclass(frozen=True)
+class NetworkFaultConfig:
+    """Per-family network event rates and event-shape parameters.
+
+    Rates are per *candidate draw per day*: each day draws up to
+    ``max_events_per_day`` Bernoulli trials per family, so a
+    ``link_failure_rate`` of 0.5 with the default budget yields roughly
+    1.5 link failures per day.  The realized schedule is a pure function
+    of the campaign seed -- see
+    :class:`~repro.netfaults.plan.NetworkFaultPlan`.
+    """
+
+    #: Probability per daily trial that a regional-transit uplink to a
+    #: Tier-1 carrier fails for a contiguous window.
+    link_failure_rate: float = 0.0
+    #: Probability per daily trial that a cloud peering/transit session
+    #: flaps: two short down-windows separated by a brief recovery.
+    peering_flap_rate: float = 0.0
+    #: Probability per daily trial that one provider network suffers a
+    #: regional outage: measurements towards its regions in one
+    #: continent fail outright while the window is active.
+    regional_outage_rate: float = 0.0
+    #: Bernoulli trials per family per day; also caps the total number
+    #: of events a single day can carry.
+    max_events_per_day: int = 3
+    #: Bounds of the drawn event duration, in virtual day slots
+    #: (1..SLOTS_PER_DAY).  Flap windows split the drawn duration.
+    min_duration_slots: int = 2
+    max_duration_slots: int = 8
+
+    def __post_init__(self) -> None:
+        for name in _RATE_FIELDS:
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if not 1 <= self.max_events_per_day <= EVENT_ID_STRIDE // 2:
+            raise ValueError(
+                "max_events_per_day must be in "
+                f"[1, {EVENT_ID_STRIDE // 2}], got {self.max_events_per_day}"
+            )
+        for name in ("min_duration_slots", "max_duration_slots"):
+            value = getattr(self, name)
+            if not 1 <= value <= SLOTS_PER_DAY:
+                raise ValueError(
+                    f"{name} must be in [1, {SLOTS_PER_DAY}], got {value}"
+                )
+        if self.min_duration_slots > self.max_duration_slots:
+            raise ValueError(
+                "min_duration_slots must not exceed max_duration_slots "
+                f"({self.min_duration_slots} > {self.max_duration_slots})"
+            )
+
+    @property
+    def active(self) -> bool:
+        """Whether any event family can fire.  An inactive config is
+        treated exactly like no network fault injection at all."""
+        return (
+            self.link_failure_rate
+            + self.peering_flap_rate
+            + self.regional_outage_rate
+            > 0.0
+        )
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "NetworkFaultConfig":
+        """Build a config from a plain mapping with schema validation.
+
+        Rejects unknown keys, non-numeric rates, and non-integer counts
+        with field-specific messages; range violations surface through
+        ``__post_init__`` with equally specific messages.
+        """
+        known = {config_field.name for config_field in dataclasses.fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown network fault config keys: {', '.join(unknown)}"
+            )
+        kwargs: dict[str, Any] = {}
+        for key, value in payload.items():
+            if key in _RATE_FIELDS:
+                if isinstance(value, bool) or not isinstance(
+                    value, (int, float)
+                ):
+                    raise ValueError(
+                        f"{key} must be a number in [0, 1], "
+                        f"got {value!r}"
+                    )
+                kwargs[key] = float(value)
+            else:
+                if isinstance(value, bool) or not isinstance(value, int):
+                    raise ValueError(
+                        f"{key} must be an integer, got {value!r}"
+                    )
+                kwargs[key] = int(value)
+        return cls(**kwargs)
+
+
+def load_netfault_config(path: PathLike) -> NetworkFaultConfig:
+    """Load a :class:`NetworkFaultConfig` from a JSON file of overrides."""
+    with open(Path(path), "r", encoding="utf-8") as fh:
+        try:
+            payload = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"{path}: network fault config is not valid JSON: {exc}"
+            ) from None
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path}: network fault config must be a JSON object")
+    try:
+        return NetworkFaultConfig.from_dict(payload)
+    except ValueError as exc:
+        raise ValueError(f"{path}: {exc}") from None
+
+
+def netfault_digest(config: NetworkFaultConfig) -> str:
+    """A stable hex digest of a network fault config.
+
+    Journaled in the ``begin`` entry of event-injected runs and checked
+    on resume, so a campaign can only be continued under the exact event
+    schedule that started it.
+    """
+    return dataclass_digest(config)

@@ -1,0 +1,133 @@
+"""Network fault events and the per-day virtual-time timeline.
+
+A campaign day is divided into :data:`SLOTS_PER_DAY` virtual time slots.
+Each :class:`NetworkEvent` occupies one or more half-open slot windows
+``[start, end)`` within its day; the union of window boundaries across a
+day's events partitions the day into *epochs* -- maximal intervals over
+which the set of active events (and therefore the effective topology) is
+constant.  Routing re-converges at epoch boundaries, never inside one.
+
+Events are drawn by :class:`~repro.netfaults.plan.NetworkFaultPlan`; this
+module only defines the data model and the slot/epoch arithmetic, both of
+which are pure and deterministic.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Tuple
+
+from repro.geo.continents import Continent
+
+#: Virtual time slots per campaign day.  Requests issued by a unit are
+#: spread uniformly over the day's slots, so a window of ``k`` slots
+#: affects roughly ``k / SLOTS_PER_DAY`` of the day's measurements.
+SLOTS_PER_DAY = 24
+
+#: Event-id stride per day: ``event_id = day * EVENT_ID_STRIDE + index``.
+#: Bounds ``max_events_per_day`` (see config validation) so ids are
+#: globally unique and sort by (day, index).
+EVENT_ID_STRIDE = 32
+
+LINK_FAILURE = "link-failure"
+PEERING_FLAP = "peering-flap"
+REGIONAL_OUTAGE = "regional-outage"
+
+EVENT_KINDS = (LINK_FAILURE, PEERING_FLAP, REGIONAL_OUTAGE)
+
+
+@dataclass(frozen=True)
+class NetworkEvent:
+    """One drawn network fault, pinned to its day and slot windows.
+
+    ``edge`` is set for graph-level events (link failures and peering
+    flaps): the unordered AS pair whose relationship drops while the
+    event is active.  ``network``/``continent`` are set for regional
+    outages: measurements towards that provider network from -- and to
+    regions in -- that continent are unreachable while active.
+    """
+
+    kind: str
+    event_id: int
+    day: int
+    windows: Tuple[Tuple[int, int], ...]
+    edge: Optional[Tuple[int, int]] = None
+    network: Optional[str] = None
+    continent: Optional[Continent] = None
+
+    def active_at(self, slot: int) -> bool:
+        return any(start <= slot < end for start, end in self.windows)
+
+    def describe(self) -> str:
+        """Deterministic human-readable target, used in journal events."""
+        if self.edge is not None:
+            return f"AS{self.edge[0]}-AS{self.edge[1]}"
+        return f"{self.network}:{self.continent.value if self.continent else '?'}"
+
+    def label(self) -> str:
+        """Journal label, e.g. ``link-failure:AS200003-AS3356@d1s4-s12``."""
+        spans = "+".join(f"s{start}-s{end}" for start, end in self.windows)
+        return f"{self.kind}:{self.describe()}@d{self.day}{spans}"
+
+
+@dataclass(frozen=True)
+class DayTimeline:
+    """The epoch partition of one day under a fixed set of events.
+
+    ``boundaries[i]`` is the first slot of epoch ``i`` (``boundaries[0]``
+    is always ``0``); epoch ``i`` covers ``[boundaries[i],
+    boundaries[i + 1])`` with the last epoch running to
+    :data:`SLOTS_PER_DAY`.  ``active[i]`` holds the events active during
+    epoch ``i``, in event-id order.
+    """
+
+    day: int
+    events: Tuple[NetworkEvent, ...]
+    boundaries: Tuple[int, ...]
+    active: Tuple[Tuple[NetworkEvent, ...], ...]
+
+    @property
+    def epoch_count(self) -> int:
+        return len(self.boundaries)
+
+    def epoch_at(self, slot: int) -> int:
+        """The epoch index covering ``slot``."""
+        if not 0 <= slot < SLOTS_PER_DAY:
+            raise ValueError(f"slot must be in [0, {SLOTS_PER_DAY}), got {slot}")
+        return bisect_right(self.boundaries, slot) - 1
+
+    def removed_edges(self, epoch: int) -> FrozenSet[Tuple[int, int]]:
+        """Unordered AS pairs whose links are down during ``epoch``."""
+        return frozenset(
+            event.edge
+            for event in self.active[epoch]
+            if event.edge is not None
+        )
+
+    def outages(self, epoch: int) -> Tuple[NetworkEvent, ...]:
+        """Regional outages active during ``epoch``, in event-id order."""
+        return tuple(
+            event
+            for event in self.active[epoch]
+            if event.kind == REGIONAL_OUTAGE
+        )
+
+
+def build_timeline(day: int, events: Tuple[NetworkEvent, ...]) -> DayTimeline:
+    """Partition ``day`` into epochs from its events' window boundaries."""
+    cuts = {0}
+    for event in events:
+        for start, end in event.windows:
+            cuts.add(start)
+            if end < SLOTS_PER_DAY:
+                cuts.add(end)
+    boundaries = tuple(sorted(cuts))
+    ordered = tuple(sorted(events, key=lambda event: event.event_id))
+    active = tuple(
+        tuple(event for event in ordered if event.active_at(start))
+        for start in boundaries
+    )
+    return DayTimeline(
+        day=day, events=ordered, boundaries=boundaries, active=active
+    )

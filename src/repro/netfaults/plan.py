@@ -1,0 +1,241 @@
+"""Deterministic network event schedules.
+
+:class:`NetworkFaultPlan` extends the :class:`~repro.faults.plan.FaultPlan`
+discipline from the harness to the network itself: ``(seed,
+NetworkFaultConfig, topology)`` maps to a per-day timeline of
+:class:`~repro.netfaults.events.NetworkEvent` via forked RNG streams --
+
+- the *family* draws of day ``d`` (how many link failures / peering
+  flaps / regional outages fire) come from ``fork("netfaults.day", d)``;
+- the *parameters* of event ``k`` of day ``d`` (target, start slot,
+  duration) come from ``fork(f"netfaults.event.{d}", k)``;
+
+so the full event schedule is a pure function of seed + config +
+topology, independent of unit execution order, worker count, and
+resume points.  Candidate targets are derived deterministically from the
+topology: link failures hit regional-transit uplinks to Tier-1 carriers,
+peering flaps hit cloud interconnect sessions (transit, PNI, or direct
+ISP peering), and regional outages hit one (provider network, continent)
+footprint.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cloud.regions import RegionCatalog
+from repro.core.rng import RngStreams
+from repro.core.topology import Topology
+from repro.geo.continents import Continent
+from repro.net.asn import ASKind
+from repro.netfaults.config import NetworkFaultConfig
+from repro.netfaults.events import (
+    EVENT_ID_STRIDE,
+    LINK_FAILURE,
+    PEERING_FLAP,
+    REGIONAL_OUTAGE,
+    SLOTS_PER_DAY,
+    DayTimeline,
+    NetworkEvent,
+    build_timeline,
+)
+from repro.netfaults.view import EpochTopologyView
+
+
+def _link_candidates(topology: Topology) -> List[Tuple[int, int]]:
+    """Regional-transit uplinks to Tier-1 carriers, sorted."""
+    adjacency = topology.base_graph.adjacency()
+    asns = adjacency.asns
+    candidates: List[Tuple[int, int]] = []
+    for asn_obj in topology.registry.of_kind(ASKind.TRANSIT):
+        row = adjacency.index.get(asn_obj.asn)
+        if row is None:
+            continue
+        start = int(adjacency.provider_offsets[row])
+        end = int(adjacency.provider_offsets[row + 1])
+        for target in adjacency.provider_targets[start:end].tolist():
+            candidates.append((asn_obj.asn, int(asns[target])))
+    return sorted(candidates)
+
+
+def _flap_candidates(topology: Topology) -> List[Tuple[int, int]]:
+    """Cloud interconnect sessions (transit, PNI, direct ISP), sorted."""
+    candidates: set = set()
+    for network in sorted(topology.peerings):
+        peering = topology.peerings[network]
+        cloud = peering.cloud_asn
+        for tier1 in peering.transit_tier1s:
+            candidates.add((cloud, int(tier1)))
+        for continent in Continent:
+            for carrier in peering.pni_in(continent):
+                candidates.add((cloud, int(carrier)))
+        for isp_asn in peering.direct_isps:
+            candidates.add((cloud, int(isp_asn)))
+    return sorted(candidates)
+
+
+def _outage_candidates(
+    topology: Topology, catalog: RegionCatalog
+) -> List[Tuple[str, Continent]]:
+    """(provider network, continent) footprints with regions, sorted."""
+    candidates: set = set()
+    for region in catalog:
+        network = topology.network_code(region.provider_code)
+        candidates.add((network, Continent(region.continent)))
+    return sorted(candidates, key=lambda item: (item[0], item[1].value))
+
+
+class NetworkFaultPlan:
+    """Seeded factory of per-day network event timelines."""
+
+    def __init__(
+        self,
+        seed: int,
+        config: NetworkFaultConfig,
+        topology: Topology,
+        catalog: RegionCatalog,
+    ) -> None:
+        self._rngs = RngStreams(seed)
+        self._config = config
+        self._topology = topology
+        self._links = _link_candidates(topology)
+        self._flaps = _flap_candidates(topology)
+        self._outages = _outage_candidates(topology, catalog)
+        self._timelines: Dict[int, DayTimeline] = {}
+        self._views: Dict[FrozenSet[Tuple[int, int]], EpochTopologyView] = {}
+
+    @property
+    def seed(self) -> int:
+        return self._rngs.seed
+
+    @property
+    def config(self) -> NetworkFaultConfig:
+        return self._config
+
+    @property
+    def topology(self) -> Topology:
+        return self._topology
+
+    @property
+    def active(self) -> bool:
+        return self._config.active
+
+    def timeline(self, day: int) -> DayTimeline:
+        """The (cached) event timeline of ``day``.
+
+        Pure: the same plan always yields the same timeline for a day,
+        whatever order days are asked for in -- family draws fork a
+        fresh per-day stream and event parameters fork per-(day, event)
+        streams, exactly the :class:`~repro.faults.plan.FaultPlan`
+        discipline.
+        """
+        cached = self._timelines.get(day)
+        if cached is not None:
+            return cached
+        day_rng = self._rngs.fork("netfaults.day", int(day))
+        budget = self._config.max_events_per_day
+        families = (
+            (LINK_FAILURE, self._config.link_failure_rate, len(self._links)),
+            (PEERING_FLAP, self._config.peering_flap_rate, len(self._flaps)),
+            (
+                REGIONAL_OUTAGE,
+                self._config.regional_outage_rate,
+                len(self._outages),
+            ),
+        )
+        events: List[NetworkEvent] = []
+        index = 0
+        for kind, rate, pool_size in families:
+            # Fixed-order family draws: every family consumes its trials
+            # from the day stream even when inactive, so enabling one
+            # family never perturbs another's schedule.
+            draws = day_rng.random(budget)
+            if rate <= 0.0 or pool_size == 0:
+                continue
+            fired = int(np.count_nonzero(draws < rate))
+            for _ in range(fired):
+                if len(events) >= budget:
+                    break
+                events.append(self._draw_event(int(day), kind, index))
+                index += 1
+        timeline = build_timeline(int(day), tuple(events))
+        self._timelines[day] = timeline
+        return timeline
+
+    def _draw_event(self, day: int, kind: str, index: int) -> NetworkEvent:
+        rng = self._rngs.fork(f"netfaults.event.{day}", index)
+        config = self._config
+        duration = int(
+            rng.integers(
+                config.min_duration_slots, config.max_duration_slots + 1
+            )
+        )
+        start = int(rng.integers(0, SLOTS_PER_DAY - duration + 1))
+        event_id = day * EVENT_ID_STRIDE + index
+        if kind == LINK_FAILURE:
+            edge = self._links[int(rng.integers(0, len(self._links)))]
+            windows = ((start, start + duration),)
+            return NetworkEvent(
+                kind=kind,
+                event_id=event_id,
+                day=day,
+                windows=windows,
+                edge=edge,
+            )
+        if kind == PEERING_FLAP:
+            edge = self._flaps[int(rng.integers(0, len(self._flaps)))]
+            # A flap is two down-windows split around a short recovery.
+            first = max(1, duration // 2)
+            gap = int(rng.integers(1, 4))
+            second_start = start + first + gap
+            windows = ((start, start + first),)
+            if second_start < SLOTS_PER_DAY:
+                second_end = min(
+                    SLOTS_PER_DAY, second_start + max(1, duration - first)
+                )
+                windows = windows + ((second_start, second_end),)
+            return NetworkEvent(
+                kind=kind,
+                event_id=event_id,
+                day=day,
+                windows=windows,
+                edge=edge,
+            )
+        network, continent = self._outages[
+            int(rng.integers(0, len(self._outages)))
+        ]
+        return NetworkEvent(
+            kind=REGIONAL_OUTAGE,
+            event_id=event_id,
+            day=day,
+            windows=((start, start + duration),),
+            network=network,
+            continent=continent,
+        )
+
+    def view(
+        self, removed_edges: FrozenSet[Tuple[int, int]]
+    ) -> EpochTopologyView:
+        """The (cached) epoch topology view for a downed-edge set.
+
+        Views are memoized per removed-edge set, not per epoch: epochs
+        with the same downed links -- across days -- share one view and
+        therefore one set of re-converged tables.
+        """
+        key = frozenset(
+            (min(a, b), max(a, b)) for a, b in removed_edges
+        )
+        view = self._views.get(key)
+        if view is None:
+            view = EpochTopologyView(self._topology, key)
+            self._views[key] = view
+        return view
+
+    def __repr__(self) -> str:
+        return (
+            f"NetworkFaultPlan(seed={self.seed}, active={self.active}, "
+            f"candidates=({len(self._links)} links, {len(self._flaps)} "
+            f"flaps, {len(self._outages)} footprints))"
+        )

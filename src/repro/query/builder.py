@@ -240,6 +240,24 @@ class QueryBuilder:
         """Inclusive RTT bounds (row predicate + value filter)."""
         return self._with(rtt_range=(float(low), float(high)))
 
+    def epochs(self, first: int, last: int) -> "QueryBuilder":
+        """Inclusive routing-epoch range (dynamic-topology provenance).
+
+        Rows from static-topology shards count as epoch 0.
+        """
+        return self._with(epoch_range=(int(first), int(last)))
+
+    def outages(self, *ids: int) -> "QueryBuilder":
+        """Keep rows attributed to these network event ids.
+
+        ``-1`` selects rows no event touched (all rows of static runs).
+        Repeated calls accumulate.
+        """
+        return self._with(
+            outage_ids=tuple(self._spec.outage_ids)
+            + tuple(int(oid) for oid in ids)
+        )
+
     # -- shape -------------------------------------------------------------
 
     def group_by(self, *keys: str) -> "QueryBuilder":

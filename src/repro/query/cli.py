@@ -84,6 +84,20 @@ def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
         help="inclusive RTT bounds (rows need at least one value inside)",
     )
     parser.add_argument(
+        "--epochs",
+        nargs=2,
+        type=int,
+        metavar=("FIRST", "LAST"),
+        help="inclusive routing-epoch range (static shards read as epoch 0)",
+    )
+    parser.add_argument(
+        "--outage",
+        action="append",
+        type=int,
+        default=[],
+        help="network event id filter, repeatable (-1 = unaffected rows)",
+    )
+    parser.add_argument(
         "--same-continent-only",
         action="store_true",
         help="keep only probe/region pairs sharing a continent",
@@ -173,6 +187,8 @@ def _spec_from_args(args: argparse.Namespace) -> QuerySpec:
         "continents": tuple(args.continent),
         "day_range": tuple(args.days) if args.days else None,
         "rtt_range": tuple(args.rtt) if args.rtt else None,
+        "epoch_range": tuple(args.epochs) if args.epochs else None,
+        "outage_ids": tuple(args.outage),
         "same_continent_only": args.same_continent_only,
         "group_by": tuple(args.group_by),
     }

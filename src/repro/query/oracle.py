@@ -33,9 +33,31 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 Record = Union[PingMeasurement, TracerouteMeasurement]
 
 
-def _row_matches(spec: QuerySpec, record: Record) -> bool:
+def _block_provenance(
+    block: Any, n: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-row (epoch, outage id) arrays, defaulting static blocks to
+    epoch 0 / outage ``-1`` exactly as the vectorized scan does."""
+    epochs = block.epochs
+    if epochs is None:
+        epochs = np.zeros(n, dtype=np.int32)
+    outage_ids = block.outage_ids
+    if outage_ids is None:
+        outage_ids = np.full(n, -1, dtype=np.int32)
+    return epochs, outage_ids
+
+
+def _row_matches(
+    spec: QuerySpec, record: Record, epoch: int, outage: int
+) -> bool:
     """The spec's row predicates, evaluated on one record view."""
     meta = record.meta
+    if spec.epoch_range is not None and not (
+        spec.epoch_range[0] <= epoch <= spec.epoch_range[1]
+    ):
+        return False
+    if spec.outage_ids and outage not in spec.outage_ids:
+        return False
     if spec.platform is not None and meta.platform != spec.platform:
         return False
     if spec.protocol is not None and record.protocol.value != spec.protocol:
@@ -70,11 +92,17 @@ def _record_values(spec: QuerySpec, record: Record) -> List[float]:
     return values
 
 
-def _group_key(spec: QuerySpec, record: Record) -> GroupKey:
+def _group_key(
+    spec: QuerySpec, record: Record, epoch: int, outage: int
+) -> GroupKey:
     meta = record.meta
     parts: List[Any] = []
     for key in spec.group_by:
-        if key == "country":
+        if key == "epoch":
+            parts.append(epoch)
+        elif key == "outage":
+            parts.append(outage)
+        elif key == "country":
             parts.append(meta.country)
         elif key == "provider":
             parts.append(meta.provider_code)
@@ -114,14 +142,17 @@ def oracle_execute(store: "DatasetStore", spec: QuerySpec) -> QueryResult:
         else:
             block = read_trace_shard(shard.path)
         per_shard: Dict[GroupKey, Tuple[int, List[float]]] = {}
+        epochs, outage_ids = _block_provenance(block, len(block))
         for index in range(len(block)):
             record = block.record(index)
-            if not _row_matches(spec, record):
+            epoch = int(epochs[index])
+            outage = int(outage_ids[index])
+            if not _row_matches(spec, record, epoch, outage):
                 continue
             values = _record_values(spec, record)
             if spec.rtt_range is not None and not values:
                 continue
-            key = _group_key(spec, record)
+            key = _group_key(spec, record, epoch, outage)
             state = merged.get(key)
             if state is None:
                 state = merged[key] = GroupState(

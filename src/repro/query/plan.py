@@ -164,6 +164,29 @@ def _prune_reason(
             and protocol_zone["min"] != wanted
         ):
             return f"shard carries no {spec.protocol!r} rows"
+    if spec.epoch_range is not None:
+        # Shards without an `epochs` column are static-topology shards:
+        # every row reads as epoch 0, so they carry the synthetic zone
+        # [0, 0] for pruning purposes.
+        epoch_zone = zones.get("epochs", {"min": 0, "max": 0})
+        if _ranges_disjoint(
+            epoch_zone, spec.epoch_range[0], spec.epoch_range[1]
+        ):
+            return (
+                f"epoch range {list(spec.epoch_range)} outside shard epochs "
+                f"[{epoch_zone['min']}, {epoch_zone['max']}]"
+            )
+    if spec.outage_ids:
+        # Static shards read as all-(-1); the wanted-set check is the
+        # conservative interval [min(wanted), max(wanted)].
+        outage_zone = zones.get("outage_ids", {"min": -1, "max": -1})
+        if _ranges_disjoint(
+            outage_zone, min(spec.outage_ids), max(spec.outage_ids)
+        ):
+            return (
+                f"outage ids {list(spec.outage_ids)} outside shard outages "
+                f"[{outage_zone['min']}, {outage_zone['max']}]"
+            )
     if spec.rtt_range is not None:
         value_zone = zones.get(VALUE_COLUMNS[spec.kind])
         if value_zone is not None:

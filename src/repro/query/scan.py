@@ -86,6 +86,26 @@ def _table_column(table: Sequence[Dict[str, Any]], attr: str) -> np.ndarray:
     return np.array([row[attr] for row in table])
 
 
+def _epoch_column(
+    columns: Dict[str, np.ndarray], n: int
+) -> np.ndarray:
+    """The routing-epoch column, defaulting static shards to epoch 0."""
+    epochs = columns.get("epochs")
+    if epochs is None:
+        return np.zeros(n, dtype=np.int32)
+    return epochs
+
+
+def _outage_column(
+    columns: Dict[str, np.ndarray], n: int
+) -> np.ndarray:
+    """The outage-id column, defaulting static shards to ``-1``."""
+    outage_ids = columns.get("outage_ids")
+    if outage_ids is None:
+        return np.full(n, -1, dtype=np.int32)
+    return outage_ids
+
+
 def _row_mask(
     spec: QuerySpec,
     header: Dict[str, Any],
@@ -130,6 +150,16 @@ def _row_mask(
     if spec.protocol is not None:
         wanted = PROTOCOL_CODES[Protocol(spec.protocol)]
         mask &= columns["protocol_codes"] == wanted
+    if spec.epoch_range is not None:
+        epochs = _epoch_column(columns, len(probe_codes))
+        mask &= (epochs >= spec.epoch_range[0]) & (
+            epochs <= spec.epoch_range[1]
+        )
+    if spec.outage_ids:
+        outage_ids = _outage_column(columns, len(probe_codes))
+        mask &= np.isin(
+            outage_ids, np.asarray(spec.outage_ids, dtype=np.int32)
+        )
     return mask
 
 
@@ -245,6 +275,14 @@ def _group_columns(
                 [protocol.value for protocol in PROTOCOL_BY_CODE]
             )
             out.append(protocol_values[columns["protocol_codes"][selected]])
+        elif key == "epoch":
+            out.append(
+                _epoch_column(columns, len(columns["probe_codes"]))[selected]
+            )
+        elif key == "outage":
+            out.append(
+                _outage_column(columns, len(columns["probe_codes"]))[selected]
+            )
         else:  # pragma: no cover - spec.validate() rejects unknown keys
             raise AssertionError(f"unhandled group key {key!r}")
     return out

@@ -27,8 +27,10 @@ QUERY_KINDS = (PING_KIND, TRACE_KIND)
 
 #: Group keys the engine can factorize, in canonical column order.
 #: ``country``/``continent``/``platform``/``probe`` come from the probe
-#: table, ``provider``/``region`` from the region table, ``day`` and
-#: ``protocol`` from row columns.
+#: table, ``provider``/``region`` from the region table, ``day``,
+#: ``protocol``, ``epoch`` and ``outage`` from row columns.  Shards
+#: written by static-topology runs carry no ``epochs``/``outage_ids``
+#: columns; their rows read as epoch ``0`` / outage ``-1``.
 GROUP_KEYS = (
     "country",
     "provider",
@@ -38,6 +40,8 @@ GROUP_KEYS = (
     "continent",
     "probe",
     "protocol",
+    "epoch",
+    "outage",
 )
 
 #: Scalar aggregates.  ``count`` counts matching rows (requests);
@@ -99,6 +103,13 @@ class QuerySpec:
     continents: Tuple[str, ...] = ()
     day_range: Optional[Tuple[int, int]] = None
     rtt_range: Optional[Tuple[float, float]] = None
+    #: Inclusive routing-epoch bounds (dynamic-topology provenance).
+    #: Rows from shards without an ``epochs`` column count as epoch 0.
+    epoch_range: Optional[Tuple[int, int]] = None
+    #: Keep only rows attributed to these network event ids; ``-1``
+    #: selects rows no event touched.  Rows from shards without an
+    #: ``outage_ids`` column count as ``-1``.
+    outage_ids: Tuple[int, ...] = ()
     same_continent_only: bool = False
     group_by: Tuple[str, ...] = ()
     aggregates: Tuple[str, ...] = field(default=DEFAULT_AGGREGATES)
@@ -131,6 +142,16 @@ class QuerySpec:
         if self.rtt_range is not None:
             lo, hi = self.rtt_range
             object.__setattr__(self, "rtt_range", (float(lo), float(hi)))
+        if self.epoch_range is not None:
+            lo, hi = self.epoch_range
+            object.__setattr__(self, "epoch_range", (int(lo), int(hi)))
+        if isinstance(self.outage_ids, int):
+            object.__setattr__(self, "outage_ids", (self.outage_ids,))
+        object.__setattr__(
+            self,
+            "outage_ids",
+            tuple(sorted(set(int(oid) for oid in self.outage_ids))),
+        )
 
     # -- validation --------------------------------------------------------
 
@@ -179,6 +200,19 @@ class QuerySpec:
             raise QueryError(f"empty day_range {self.day_range}")
         if self.rtt_range is not None and self.rtt_range[0] > self.rtt_range[1]:
             raise QueryError(f"empty rtt_range {self.rtt_range}")
+        if self.epoch_range is not None:
+            if self.epoch_range[0] > self.epoch_range[1]:
+                raise QueryError(f"empty epoch_range {self.epoch_range}")
+            if self.epoch_range[0] < 0:
+                raise QueryError(
+                    f"epoch_range bounds must be >= 0, got {self.epoch_range}"
+                )
+        for oid in self.outage_ids:
+            if oid < -1:
+                raise QueryError(
+                    f"outage id {oid} invalid; event ids are >= 0 and -1 "
+                    f"selects unaffected rows"
+                )
         if not 0.0 < self.epsilon < 1.0:
             raise QueryError(
                 f"epsilon must be in (0, 1), got {self.epsilon}"
@@ -210,6 +244,8 @@ class QuerySpec:
             "continents": list(self.continents),
             "day_range": list(self.day_range) if self.day_range else None,
             "rtt_range": list(self.rtt_range) if self.rtt_range else None,
+            "epoch_range": list(self.epoch_range) if self.epoch_range else None,
+            "outage_ids": list(self.outage_ids),
             "same_continent_only": self.same_continent_only,
             "group_by": list(self.group_by),
             "aggregates": list(self.aggregates),
@@ -237,6 +273,10 @@ class QuerySpec:
             kwargs["day_range"] = tuple(kwargs["day_range"])
         if kwargs.get("rtt_range") is not None:
             kwargs["rtt_range"] = tuple(kwargs["rtt_range"])
+        if kwargs.get("epoch_range") is not None:
+            kwargs["epoch_range"] = tuple(kwargs["epoch_range"])
+        if kwargs.get("outage_ids") is not None:
+            kwargs["outage_ids"] = tuple(kwargs["outage_ids"])
         spec = cls(**kwargs)
         spec.validate()
         return spec

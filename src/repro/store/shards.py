@@ -25,7 +25,9 @@ from repro.geo.coords import GeoPoint
 from repro.lastmile.base import AccessKind
 from repro.measure.results import (
     PING_COLUMN_DTYPES,
+    PING_OPTIONAL_COLUMN_DTYPES,
     TRACE_COLUMN_DTYPES,
+    TRACE_OPTIONAL_COLUMN_DTYPES,
     PingBlock,
     TraceBlock,
 )
@@ -173,6 +175,10 @@ def write_ping_shard(
     """
     block.validate()
     columns = {name: getattr(block, name) for name in PING_COLUMN_DTYPES}
+    for name in PING_OPTIONAL_COLUMN_DTYPES:
+        column = getattr(block, name)
+        if column is not None:
+            columns[name] = column
     return write_shard(
         path,
         columns,
@@ -190,6 +196,10 @@ def write_trace_shard(
     """Write one validated trace block as a shard file; returns the header."""
     block.validate()
     columns = {name: getattr(block, name) for name in TRACE_COLUMN_DTYPES}
+    for name in TRACE_OPTIONAL_COLUMN_DTYPES:
+        column = getattr(block, name)
+        if column is not None:
+            columns[name] = column
     return write_shard(
         path,
         columns,
@@ -251,6 +261,11 @@ def read_ping_shard(path: PathLike, mmap: bool = True) -> PingBlock:
         probes=probes,
         regions=regions,
         **{name: columns[name] for name in PING_COLUMN_DTYPES},
+        **{
+            name: columns[name]
+            for name in PING_OPTIONAL_COLUMN_DTYPES
+            if name in columns
+        },
     )
     block.validate()
     return block
@@ -264,6 +279,11 @@ def read_trace_shard(path: PathLike, mmap: bool = True) -> TraceBlock:
         probes=probes,
         regions=regions,
         **{name: columns[name] for name in TRACE_COLUMN_DTYPES},
+        **{
+            name: columns[name]
+            for name in TRACE_OPTIONAL_COLUMN_DTYPES
+            if name in columns
+        },
     )
     block.validate()
     return block

@@ -17,6 +17,8 @@ class TestRegistry:
             "fig6b", "fig7a", "fig7b", "fig8", "fig9", "fig10", "fig11",
             "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
             "fig19", "stats",
+            # Dynamic-topology studies beyond the paper's static week.
+            "failover", "pathdiv",
         }
         assert set(EXPERIMENT_IDS) == expected
 

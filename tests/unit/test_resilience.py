@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.scenario import build_world
+from repro import build_world
 from repro.faults import (
     FaultConfig,
     FaultPlan,
@@ -13,12 +13,22 @@ from repro.faults import (
     PlatformTimeout,
     RetryPolicy,
 )
-from repro.measure.campaign import _checkpoint_engine, _speedchecker_unit
-from repro.measure.resilience import CircuitBreaker, UnitResult, execute_plan
+from repro.measure.campaign import (
+    _checkpoint_engine,
+    _speedchecker_unit,
+    run_campaign_checkpointed,
+)
+from repro.measure.resilience import (
+    CircuitBreaker,
+    UnitResult,
+    _unit_extra,
+    execute_plan,
+)
 from repro.measure.results import (
     ping_block_from_records,
     trace_block_from_records,
 )
+from repro.netfaults import NetworkFaultConfig
 from repro.store import DatasetStore
 
 
@@ -343,3 +353,95 @@ class TestQuotaRaceRegression:
         finally:
             platform._daily_quota = original_quota
             platform.refresh_quota()
+
+
+#: Every drawn event is a regional outage spanning the whole virtual
+#: day, so some (platform, day) units are guaranteed to lose the
+#: requests aimed at the downed footprints.
+FULL_DAY_OUTAGES = NetworkFaultConfig(
+    regional_outage_rate=1.0,
+    min_duration_slots=24,
+    max_duration_slots=24,
+)
+
+
+class TestNetfaultOutageDegradation:
+    """Satellite: outages degrade units via coverage, never breakers.
+
+    A regional outage makes measurements *disappear*, it does not make
+    units *fail*: dropped requests surface as partial units reconciled
+    by coverage accounting, while the per-platform circuit breakers --
+    which exist for harness faults -- must never see an outage as a
+    failure, no matter how total or long-lived the outage is.
+    """
+
+    def test_outage_degrades_units_without_tripping_breakers(
+        self, quota_world, tmp_path
+    ):
+        store = run_campaign_checkpointed(
+            quota_world,
+            tmp_path / "run",
+            days=2,
+            netfaults=FULL_DAY_OUTAGES,
+        )
+        coverage = store.coverage()
+        assert coverage.partial > 0, "full-day outages must drop requests"
+        assert coverage.skipped == 0
+        assert coverage.completed + coverage.partial == coverage.planned
+        assert store.skip_entries() == []
+        partials = [
+            entry
+            for entry in store.unit_entries()
+            if entry.get("status") == "partial"
+        ]
+        assert partials
+        for entry in partials:
+            # Outage provenance rides the journal; nothing looks like a
+            # harness fault, so nothing can feed a breaker.
+            assert any(
+                "regional-outage:" in event for event in entry["netfaults"]
+            )
+            assert "faults" not in entry
+
+    def test_outage_partial_units_never_feed_armed_breakers(self, tmp_path):
+        # Breakers armed (fault plan present) at the hairiest trigger
+        # setting: threshold=1, where a single unit miscounted as a
+        # failure would skip every subsequent unit as circuit-open.
+        # Units degraded by an outage are successes with fewer rows.
+        store = DatasetStore.create(tmp_path / "run")
+
+        def execute(unit, day, faults):
+            result = _empty_result(scheduled_pings=5)
+            result.netfault_events = [
+                "regional-outage:GOOG-EU@d0s0-s24 dropped=5"
+            ]
+            return result
+
+        units = [f"stub:{index:03d}" for index in range(4)]
+        processed = execute_plan(
+            store,
+            units,
+            set(),
+            execute,
+            plan=_plan(),
+            retry=RetryPolicy(breaker_threshold=1),
+        )
+        assert processed == 4
+        assert store.skip_entries() == []
+        entries = store.unit_entries()
+        assert [entry["unit"] for entry in entries] == units
+        for entry in entries:
+            assert entry["status"] == "partial"
+            assert entry["netfaults"] == [
+                "regional-outage:GOOG-EU@d0s0-s24 dropped=5"
+            ]
+
+    def test_netfault_events_ride_the_unit_extra(self):
+        result = _empty_result()
+        result.netfault_events = ["regional-outage:X@d0s0-s24 dropped=3"]
+        extra = _unit_extra(result, [], 1, 0.0)
+        assert extra == {
+            "netfaults": ["regional-outage:X@d0s0-s24 dropped=3"]
+        }
+        clean = _empty_result()
+        assert _unit_extra(clean, [], 1, 0.0) is None
