@@ -165,6 +165,19 @@ def _build_parser() -> argparse.ArgumentParser:
         help="dataset file or store run directory from 'repro campaign'",
     )
 
+    service = subparsers.add_parser(
+        "service",
+        help=(
+            "run the live measurement service: HTTP/JSON campaign "
+            "submission, NDJSON streaming, warehouse queries "
+            "(see docs/SERVICE.md)"
+        ),
+        add_help=False,
+    )
+    service.add_argument(
+        "service_args", nargs=argparse.REMAINDER, help=argparse.SUPPRESS
+    )
+
     return parser
 
 
@@ -303,6 +316,14 @@ def _command_takeaways(args) -> int:
     return 0 if all(check.holds for check in checks) else 1
 
 
+def _command_service(args) -> int:
+    # Delegates to the service's own parser so `python -m repro service`
+    # and `python -m repro.service` accept identical arguments.
+    from repro.service.__main__ import main as service_main
+
+    return service_main(args.service_args)
+
+
 _COMMANDS = {
     "summary": _command_summary,
     "list": _command_list,
@@ -310,12 +331,21 @@ _COMMANDS = {
     "experiment": _command_experiment,
     "reproduce": _command_reproduce,
     "takeaways": _command_takeaways,
+    "service": _command_service,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
-    args = _build_parser().parse_args(argv)
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments[:1] == ["service"]:
+        # The service owns its flags; argparse.REMAINDER cannot capture
+        # a leading option token, so hand everything over before the
+        # top-level parser sees (and rejects) it.
+        from repro.service.__main__ import main as service_main
+
+        return service_main(arguments[1:])
+    args = _build_parser().parse_args(arguments)
     try:
         return _COMMANDS[args.command](args)
     except StoreError as exc:

@@ -52,7 +52,12 @@ from repro.exec.staging import (
 )
 from repro.faults.config import RetryPolicy
 from repro.faults.plan import FaultPlan
-from repro.measure.resilience import CircuitBreaker, UnitExecutor, run_unit
+from repro.measure.resilience import (
+    CircuitBreaker,
+    CommitHook,
+    UnitExecutor,
+    run_unit,
+)
 from repro.store.journal import BEGIN_ENTRY, SKIP_ENTRY, UNIT_ENTRY
 from repro.store.warehouse import DatasetStore
 
@@ -118,6 +123,7 @@ def _commit_unit(
     breakers: Optional[Dict[str, CircuitBreaker]],
     policy: RetryPolicy,
     ledger: QuotaLedger,
+    on_commit: Optional[CommitHook] = None,
 ) -> None:
     """Publish one staged outcome, replaying the serial breaker logic."""
     platform = unit_platform(unit)
@@ -129,15 +135,19 @@ def _commit_unit(
         if not breaker.allow():
             # A serial run would never have executed this unit; discard
             # the staged result and journal the same skip entry.
-            store.journal_skip(unit, reason="circuit-open", attempts=0)
+            skipped = store.journal_skip(unit, reason="circuit-open", attempts=0)
+            if on_commit is not None:
+                on_commit(skipped)
             return
         if entry["type"] == UNIT_ENTRY:
             merge_staged_unit(store, staging_dir, entry)
-            store.journal_unit(entry)
+            journaled = store.journal_unit(entry)
             ledger.record(unit, int(entry["pings"]))
             breaker.record_success()
+            if on_commit is not None:
+                on_commit(journaled)
         else:
-            store.journal_skip(
+            skipped = store.journal_skip(
                 unit,
                 reason=str(entry["reason"]),
                 attempts=int(entry["attempts"]),
@@ -145,14 +155,18 @@ def _commit_unit(
                 faults=entry.get("faults"),
             )
             breaker.record_failure()
+            if on_commit is not None:
+                on_commit(skipped)
         return
     if entry["type"] != UNIT_ENTRY:
         raise ExecError(
             f"unit {unit!r} staged a skip entry on the fault-free path"
         )
     merge_staged_unit(store, staging_dir, entry)
-    store.journal_unit(entry)
+    journaled = store.journal_unit(entry)
     ledger.record(unit, int(entry["pings"]))
+    if on_commit is not None:
+        on_commit(journaled)
 
 
 def execute_plan_parallel(
@@ -166,6 +180,7 @@ def execute_plan_parallel(
     max_units: Optional[int] = None,
     unit_budgets: Optional[Dict[str, int]] = None,
     abort_after_commits: Optional[int] = None,
+    on_commit: Optional[CommitHook] = None,
 ) -> int:
     """Drive a unit list through the staged parallel executor.
 
@@ -195,7 +210,13 @@ def execute_plan_parallel(
         from repro.measure.resilience import execute_plan
 
         return execute_plan(
-            store, pending, set(), execute, plan=plan, retry=retry
+            store,
+            pending,
+            set(),
+            execute,
+            plan=plan,
+            retry=retry,
+            on_commit=on_commit,
         )
 
     import multiprocessing
@@ -277,6 +298,7 @@ def execute_plan_parallel(
                     breakers,
                     policy,
                     ledger,
+                    on_commit=on_commit,
                 )
                 next_index += 1
                 commits += 1

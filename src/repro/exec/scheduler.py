@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from repro.measure.quota import QuotaLedger as _SharedQuotaLedger
+
 
 class ExecError(RuntimeError):
     """A parallel execution invariant was violated."""
@@ -80,52 +82,15 @@ class UnitScheduler:
         )
 
 
-class QuotaLedger:
+class QuotaLedger(_SharedQuotaLedger):
     """Parent-side per-platform issue accounting for a parallel run.
 
-    ``budgets`` maps platform name to the maximum requests one unit may
-    issue (``min(rate cap, daily quota)`` for Speedchecker; platforms
-    without quota are simply absent).  :meth:`record` is called once per
-    committed unit with the number of requests the unit actually
-    issued; exceeding the per-unit budget, or committing a unit twice,
-    raises :class:`ExecError` -- quota can never be over-issued across
-    workers without the commit phase noticing.
+    The accounting itself lives in the shared
+    :class:`repro.measure.quota.QuotaLedger` (the measurement service
+    runs the same ledger per tenant); this subclass pins the violation
+    error to :class:`ExecError` so the parallel runner's failure
+    contract is unchanged.
     """
 
     def __init__(self, budgets: Optional[Dict[str, int]] = None) -> None:
-        self._budgets: Dict[str, int] = dict(budgets or {})
-        self._issued_by_platform: Dict[str, int] = {}
-        self._issued_by_unit: Dict[str, int] = {}
-
-    def budget(self, platform: str) -> Optional[int]:
-        """The per-unit issue budget of ``platform`` (None = unmetered)."""
-        return self._budgets.get(platform)
-
-    def record(self, unit: str, issued: int) -> None:
-        """Account one committed unit's issued request count."""
-        if unit in self._issued_by_unit:
-            raise ExecError(f"unit {unit!r} committed twice")
-        if issued < 0:
-            raise ExecError(f"unit {unit!r} reports negative issue count")
-        platform = unit_platform(unit)
-        budget = self._budgets.get(platform)
-        if budget is not None and issued > budget:
-            raise ExecError(
-                f"unit {unit!r} issued {issued} requests, over the "
-                f"per-unit budget of {budget} for platform {platform!r}"
-            )
-        self._issued_by_unit[unit] = issued
-        self._issued_by_platform[platform] = (
-            self._issued_by_platform.get(platform, 0) + issued
-        )
-
-    def issued(self, platform: str) -> int:
-        """Total requests committed for ``platform`` so far."""
-        return self._issued_by_platform.get(platform, 0)
-
-    def issued_by_unit(self) -> Dict[str, int]:
-        return dict(self._issued_by_unit)
-
-    def as_dict(self) -> Dict[str, int]:
-        """Per-platform totals, sorted by platform name."""
-        return dict(sorted(self._issued_by_platform.items()))
+        super().__init__(budgets, error_type=ExecError)

@@ -13,6 +13,7 @@ from repro.lint.rules import (
     rng,
     rng_flow,
     robustness,
+    service_async,
     wal_order,
 )
 
@@ -27,5 +28,6 @@ __all__ = [
     "rng",
     "rng_flow",
     "robustness",
+    "service_async",
     "wal_order",
 ]

@@ -42,7 +42,7 @@ from repro.measure.batch import PingRequest, TraceRequest
 from repro.measure.engine import BatchEngine, MeasurementEngine
 from repro.measure.path import PathPlanner
 from repro.measure.pathpolicy import FailoverPathPolicy, PathSelectionPolicy
-from repro.measure.resilience import UnitResult, execute_plan
+from repro.measure.resilience import CommitHook, UnitResult, execute_plan
 from repro.measure.results import (
     MeasurementDataset,
     Protocol,
@@ -639,6 +639,7 @@ def run_campaign_checkpointed(
     retry: Optional[RetryPolicy] = None,
     workers: int = 1,
     abort_after_commits: Optional[int] = None,
+    on_commit: Optional[CommitHook] = None,
 ) -> DatasetStore:
     """Run a campaign with per-unit checkpointing into a dataset store.
 
@@ -676,6 +677,12 @@ def run_campaign_checkpointed(
     unit executes.  ``abort_after_commits`` is the parallel runner's
     kill-mid-commit testing hook (see
     :func:`repro.exec.execute_plan_parallel`).
+
+    ``on_commit`` observes every journaled entry (unit, skip) right
+    after its durable append, in canonical commit order at any worker
+    count -- the measurement service's streaming hook.  The hook is an
+    observer only: it cannot alter what is written, so the store stays
+    byte-identical with or without it.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -765,6 +772,7 @@ def run_campaign_checkpointed(
                 plan=fault_plan,
                 retry=retry,
                 max_units=max_units,
+                on_commit=on_commit,
             )
         else:
             # Fork-based workers inherit the parent's address space:
@@ -785,6 +793,7 @@ def run_campaign_checkpointed(
                     "speedchecker": _speedchecker_unit_budget(world)
                 },
                 abort_after_commits=abort_after_commits,
+                on_commit=on_commit,
             )
     finally:
         if was_enabled:
@@ -802,6 +811,7 @@ def resume_campaign(
     verify: bool = True,
     repair: bool = False,
     workers: int = 1,
+    on_commit: Optional[CommitHook] = None,
 ) -> DatasetStore:
     """Resume an interrupted checkpointed campaign from its journal.
 
@@ -855,6 +865,7 @@ def resume_campaign(
         netfaults=netfaults,
         retry=retry,
         workers=workers,
+        on_commit=on_commit,
     )
 
 

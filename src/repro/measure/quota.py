@@ -1,0 +1,225 @@
+"""Shared quota accounting and rate limiting.
+
+Two consumers sit on this module:
+
+- the parallel campaign runner's parent-side commit phase
+  (:class:`repro.exec.scheduler.QuotaLedger` is the :class:`QuotaLedger`
+  here, pinned to raise :class:`~repro.exec.scheduler.ExecError`), which
+  re-checks every committed unit against its platform's per-unit issue
+  budget so workers can never silently over-issue a daily quota;
+- the measurement service (:mod:`repro.service`), which runs the same
+  ledger per tenant plus a :class:`TokenBucket` request rate limiter and
+  a :class:`TenantLedger` lifetime quota, mirroring how commercial probe
+  platforms meter API consumers.
+
+Nothing here reads the wall clock: the token bucket takes an explicit
+``now`` callable, so the service can run it on its transport-edge clock
+shim and tests (including the hypothesis limiter properties) can drive
+it from a virtual clock.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Type
+
+
+class QuotaError(RuntimeError):
+    """A quota or rate-limit invariant was violated."""
+
+
+class QuotaLedger:
+    """Per-platform issue accounting for committed units.
+
+    ``budgets`` maps platform name to the maximum requests one unit may
+    issue (``min(rate cap, daily quota)`` for Speedchecker; platforms
+    without quota are simply absent).  :meth:`record` is called once per
+    committed unit with the number of requests the unit actually
+    issued; exceeding the per-unit budget, or committing a unit twice,
+    raises ``error_type`` -- quota can never be over-issued across
+    workers (or service jobs) without the commit phase noticing.
+
+    ``error_type`` exists so the exec scheduler can keep raising its
+    :class:`~repro.exec.scheduler.ExecError` contract unchanged while
+    the service raises :class:`QuotaError`.
+    """
+
+    def __init__(
+        self,
+        budgets: Optional[Dict[str, int]] = None,
+        error_type: Type[Exception] = QuotaError,
+    ) -> None:
+        self._budgets: Dict[str, int] = dict(budgets or {})
+        self._issued_by_platform: Dict[str, int] = {}
+        self._issued_by_unit: Dict[str, int] = {}
+        self._error_type = error_type
+
+    def budget(self, platform: str) -> Optional[int]:
+        """The per-unit issue budget of ``platform`` (None = unmetered)."""
+        return self._budgets.get(platform)
+
+    def record(self, unit: str, issued: int) -> None:
+        """Account one committed unit's issued request count."""
+        if unit in self._issued_by_unit:
+            raise self._error_type(f"unit {unit!r} committed twice")
+        if issued < 0:
+            raise self._error_type(f"unit {unit!r} reports negative issue count")
+        platform = unit.split(":", 1)[0]
+        budget = self._budgets.get(platform)
+        if budget is not None and issued > budget:
+            raise self._error_type(
+                f"unit {unit!r} issued {issued} requests, over the "
+                f"per-unit budget of {budget} for platform {platform!r}"
+            )
+        self._issued_by_unit[unit] = issued
+        self._issued_by_platform[platform] = (
+            self._issued_by_platform.get(platform, 0) + issued
+        )
+
+    def issued(self, platform: str) -> int:
+        """Total requests committed for ``platform`` so far."""
+        return self._issued_by_platform.get(platform, 0)
+
+    def issued_by_unit(self) -> Dict[str, int]:
+        return dict(self._issued_by_unit)
+
+    def as_dict(self) -> Dict[str, int]:
+        """Per-platform totals, sorted by platform name."""
+        return dict(sorted(self._issued_by_platform.items()))
+
+
+class TokenBucket:
+    """A classic token-bucket rate limiter on an explicit clock.
+
+    The bucket starts full at ``capacity`` tokens and refills at
+    ``rate`` tokens per second of the supplied ``now`` clock.  Two
+    invariants (hypothesis-tested in ``tests/unit/test_quota.py``):
+
+    - no burst ever exceeds ``capacity`` tokens;
+    - over any window ``[t0, t1]`` the tokens issued are bounded by
+      ``capacity + rate * (t1 - t0)``.
+
+    The clock is expected to be monotonic; a backwards step is clamped
+    (treated as zero elapsed time) rather than minting tokens.
+    """
+
+    def __init__(
+        self,
+        capacity: float,
+        rate: float,
+        now: Callable[[], float],
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be > 0, got {capacity}")
+        if rate < 0:
+            raise ValueError(f"rate must be >= 0, got {rate}")
+        self._capacity = float(capacity)
+        self._rate = float(rate)
+        self._now = now
+        self._tokens = float(capacity)
+        self._updated = now()
+
+    @property
+    def capacity(self) -> float:
+        return self._capacity
+
+    @property
+    def rate(self) -> float:
+        return self._rate
+
+    def _refill(self) -> None:
+        now = self._now()
+        elapsed = now - self._updated
+        if elapsed > 0:
+            self._tokens = min(self._capacity, self._tokens + elapsed * self._rate)
+        self._updated = max(self._updated, now)
+
+    @property
+    def tokens(self) -> float:
+        """Tokens currently available (after refilling to now)."""
+        self._refill()
+        return self._tokens
+
+    def try_acquire(self, amount: float = 1.0) -> bool:
+        """Take ``amount`` tokens if available; never blocks."""
+        if amount <= 0:
+            raise ValueError(f"amount must be > 0, got {amount}")
+        self._refill()
+        if self._tokens + 1e-9 >= amount:
+            self._tokens -= amount
+            return True
+        return False
+
+    def retry_after(self, amount: float = 1.0) -> float:
+        """Seconds until ``amount`` tokens could be available.
+
+        ``0.0`` when they already are; ``inf`` when the bucket can never
+        refill that far (``rate == 0`` or ``amount > capacity``).
+        """
+        if amount <= 0:
+            raise ValueError(f"amount must be > 0, got {amount}")
+        self._refill()
+        deficit = amount - self._tokens
+        if deficit <= 0:
+            return 0.0
+        if self._rate <= 0 or amount > self._capacity:
+            return float("inf")
+        return deficit / self._rate
+
+
+class TenantLedger:
+    """Lifetime request-quota accounting for one service tenant.
+
+    ``limit`` is the total units the tenant may ever have issued
+    (``None`` = unmetered).  :meth:`charge` is called once per accepted
+    job with the number of units that job will execute; over-charging or
+    double-charging a job raises :class:`QuotaError`, so concurrent
+    submissions can never over-issue the quota without the accounting
+    noticing.  :meth:`refund` returns a failed job's unexecuted units.
+    """
+
+    def __init__(self, limit: Optional[int] = None) -> None:
+        if limit is not None and limit < 0:
+            raise ValueError(f"limit must be >= 0, got {limit}")
+        self._limit = limit
+        self._issued = 0
+        self._by_job: Dict[str, int] = {}
+
+    @property
+    def limit(self) -> Optional[int]:
+        return self._limit
+
+    @property
+    def issued(self) -> int:
+        return self._issued
+
+    @property
+    def remaining(self) -> Optional[int]:
+        if self._limit is None:
+            return None
+        return max(0, self._limit - self._issued)
+
+    def can_charge(self, amount: int) -> bool:
+        return self._limit is None or self._issued + amount <= self._limit
+
+    def charge(self, job: str, amount: int) -> None:
+        """Account one accepted job's planned unit count."""
+        if amount < 0:
+            raise QuotaError(f"job {job!r} charges negative amount {amount}")
+        if job in self._by_job:
+            raise QuotaError(f"job {job!r} charged twice")
+        if not self.can_charge(amount):
+            raise QuotaError(
+                f"job {job!r} needs {amount} unit(s), tenant has "
+                f"{self.remaining} of {self._limit} left"
+            )
+        self._by_job[job] = amount
+        self._issued += amount
+
+    def refund(self, job: str) -> int:
+        """Return a charged job's units (job failed before executing)."""
+        amount = self._by_job.pop(job, 0)
+        self._issued -= amount
+        return amount
+
+    def charged_jobs(self) -> Dict[str, int]:
+        return dict(self._by_job)

@@ -142,6 +142,14 @@ def _unit_extra(
     return extra or None
 
 
+#: Observes each committed journal entry (``unit`` or ``skip``) right
+#: after it is durable, in commit order.  The measurement service uses
+#: this to stream results to clients as units land; the hook sees the
+#: exact journaled entry, so streamed events and the store can never
+#: disagree.
+CommitHook = Callable[[Dict[str, object]], None]
+
+
 def run_unit(
     store: DatasetStore,
     unit: str,
@@ -149,6 +157,7 @@ def run_unit(
     execute: UnitExecutor,
     plan: Optional[FaultPlan],
     policy: RetryPolicy,
+    on_commit: Optional[CommitHook] = None,
 ) -> bool:
     """Execute one unit to completion, retrying injected faults.
 
@@ -167,7 +176,9 @@ def run_unit(
         entry = store.write_unit_shards(
             unit, ping_block=clean.ping_block, trace_block=clean.trace_block
         )
-        store.journal_unit(entry, extra=_unit_extra(clean, [], 1, 0.0))
+        journaled = store.journal_unit(entry, extra=_unit_extra(clean, [], 1, 0.0))
+        if on_commit is not None:
+            on_commit(journaled)
         return True
 
     from repro.faults.injectors import FaultyFileOps
@@ -204,18 +215,22 @@ def run_unit(
                 )
             continue
         events.extend(faults.events)
-        store.journal_unit(
+        journaled = store.journal_unit(
             entry,
             extra=_unit_extra(result, events, attempt + 1, total_backoff),
         )
+        if on_commit is not None:
+            on_commit(journaled)
         return True
-    store.journal_skip(
+    skipped = store.journal_skip(
         unit,
         reason=failure,
         attempts=policy.max_attempts,
         backoff_ms=total_backoff,
         faults=events,
     )
+    if on_commit is not None:
+        on_commit(skipped)
     return False
 
 
@@ -227,13 +242,16 @@ def execute_plan(
     plan: Optional[FaultPlan] = None,
     retry: Optional[RetryPolicy] = None,
     max_units: Optional[int] = None,
+    on_commit: Optional[CommitHook] = None,
 ) -> int:
     """Drive a unit list through the resilient executor.
 
     ``completed`` units are skipped silently (the resume path);
     ``max_units`` bounds the number of units *processed* this call
     (executed, degraded, or breaker-skipped), the interruption hook the
-    crash-resume tests use.  Returns the processed count.
+    crash-resume tests use.  ``on_commit`` observes each journaled
+    entry -- unit, skip, or breaker-skip -- right after its durable
+    append, in commit order.  Returns the processed count.
     """
     policy = retry if retry is not None else RetryPolicy()
     breakers: Dict[str, CircuitBreaker] = {}
@@ -252,16 +270,34 @@ def execute_plan(
                 ),
             )
             if not breaker.allow():
-                store.journal_skip(unit, reason="circuit-open", attempts=0)
+                skipped = store.journal_skip(
+                    unit, reason="circuit-open", attempts=0
+                )
+                if on_commit is not None:
+                    on_commit(skipped)
                 processed += 1
                 continue
-            if run_unit(store, unit, int(unit.split(":")[1]), execute, plan, policy):
+            if run_unit(
+                store,
+                unit,
+                int(unit.split(":")[1]),
+                execute,
+                plan,
+                policy,
+                on_commit=on_commit,
+            ):
                 breaker.record_success()
             else:
                 breaker.record_failure()
         else:
             run_unit(
-                store, unit, int(unit.split(":")[1]), execute, None, policy
+                store,
+                unit,
+                int(unit.split(":")[1]),
+                execute,
+                None,
+                policy,
+                on_commit=on_commit,
             )
         processed += 1
     return processed

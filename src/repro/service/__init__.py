@@ -1,0 +1,54 @@
+"""repro.service: the live measurement-service layer.
+
+A long-running asyncio service that turns the batch reproduction into a
+measurement *platform* in the style of Globalping and RIPE Atlas:
+clients submit measurement requests over an HTTP/JSON API, the service
+validates them into the existing campaign/unit vocabulary, schedules
+them onto the :mod:`repro.exec` fork pool behind per-tenant token-bucket
+rate limits and unit quotas, and streams results back as NDJSON as
+units commit.  A query endpoint serves :mod:`repro.query` specs from
+the ``.querycache``-backed warehouse.
+
+Determinism contract (tested end-to-end): a request run to completion
+produces a store byte-identical (canonical digest) to the equivalent
+offline :func:`repro.measure.campaign.run_campaign_checkpointed` call,
+and the streamed event sequence is a pure function of (spec, seed,
+commit order).  Wall-clock exists only at the transport edge, behind
+:mod:`repro.service.clock`.
+
+See ``docs/SERVICE.md`` for the API reference, and
+``python -m repro service --help`` to run one.
+"""
+
+from repro.service.app import DEFAULT_TENANT, ServiceApp
+from repro.service.bridge import ExecutorBridge
+from repro.service.client import ServiceClient
+from repro.service.clock import Clock, SystemClock, VirtualClock
+from repro.service.requests import CampaignRequest, QueryRequest, RequestError
+from repro.service.scheduler import Job, ServiceScheduler, job_id_for
+from repro.service.tenants import (
+    RateLimited,
+    TenantPolicy,
+    TenantRegistry,
+    TenantState,
+)
+
+__all__ = [
+    "CampaignRequest",
+    "Clock",
+    "DEFAULT_TENANT",
+    "ExecutorBridge",
+    "Job",
+    "QueryRequest",
+    "RateLimited",
+    "RequestError",
+    "ServiceApp",
+    "ServiceClient",
+    "ServiceScheduler",
+    "SystemClock",
+    "TenantPolicy",
+    "TenantRegistry",
+    "TenantState",
+    "VirtualClock",
+    "job_id_for",
+]

@@ -1,0 +1,91 @@
+"""``python -m repro.service`` -- run a measurement service instance."""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.service.app import ServiceApp
+from repro.service.tenants import TenantPolicy
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.service",
+        description=(
+            "Run the live measurement service: HTTP/JSON campaign "
+            "submission, NDJSON result streaming, and warehouse queries "
+            "(see docs/SERVICE.md)"
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8137)
+    parser.add_argument(
+        "--store-root",
+        default="service-data",
+        help="directory for per-job store run directories",
+    )
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=50.0,
+        help="per-tenant sustained request rate (requests/second)",
+    )
+    parser.add_argument(
+        "--burst",
+        type=float,
+        default=100.0,
+        help="per-tenant burst capacity (token-bucket size)",
+    )
+    parser.add_argument(
+        "--unit-quota",
+        type=int,
+        default=None,
+        help="per-tenant lifetime campaign-unit quota (default unmetered)",
+    )
+    parser.add_argument(
+        "--concurrency",
+        type=int,
+        default=1,
+        help="campaigns executed concurrently (default 1)",
+    )
+    return parser
+
+
+async def _serve(args: argparse.Namespace) -> int:
+    app = ServiceApp(
+        Path(args.store_root),
+        default_policy=TenantPolicy(
+            rate=args.rate, burst=args.burst, unit_quota=args.unit_quota
+        ),
+        concurrency=args.concurrency,
+    )
+    port = await app.start(args.host, args.port)
+    print(
+        f"repro.service listening on http://{args.host}:{port} "
+        f"(store root: {args.store_root})",
+        file=sys.stderr,
+    )
+    try:
+        while True:
+            await asyncio.sleep(3600)
+    except asyncio.CancelledError:  # pragma: no cover - shutdown path
+        raise
+    finally:
+        await app.close()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        asyncio.run(_serve(args))
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""The designated async/blocking executor bridge.
+
+The service's handlers run on one asyncio event loop and must never
+block it -- lint rule ``SVC001`` rejects any blocking call (campaign
+execution, store reads, query scans, file I/O) reachable from an
+``async def`` handler.  All such work is dispatched here instead:
+:func:`run_blocking` hands the callable to a thread pool and awaits the
+result, keeping the loop free to accept connections and stream events.
+
+Campaign execution itself still fans out through the :mod:`repro.exec`
+fork pool *inside* the dispatched call; the bridge threads are only the
+seam between the event loop and that synchronous world.  Determinism is
+unaffected: the bridged call runs the exact same code an offline
+invocation would, and nothing on this path reads a clock.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class ExecutorBridge:
+    """Dispatches blocking calls from async handlers onto worker threads."""
+
+    def __init__(self, max_workers: int = 4) -> None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._max_workers = max_workers
+
+    def _pool(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self._max_workers,
+                thread_name_prefix="repro-service",
+            )
+        return self._executor
+
+    async def run_blocking(
+        self, fn: Callable[..., T], *args: Any, **kwargs: Any
+    ) -> T:
+        """Run ``fn(*args, **kwargs)`` off-loop and await its result.
+
+        The one sanctioned way for service handlers to reach blocking
+        code (``SVC001``): the callable is never invoked on the event
+        loop thread.
+        """
+        loop = asyncio.get_running_loop()
+        if kwargs:
+            call = lambda: fn(*args, **kwargs)  # noqa: E731
+            return await loop.run_in_executor(self._pool(), call)
+        return await loop.run_in_executor(self._pool(), fn, *args)
+
+    def shutdown(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None

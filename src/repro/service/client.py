@@ -1,0 +1,176 @@
+"""A minimal asyncio HTTP client for the measurement service.
+
+Used by the integration tests and the load benchmark -- stdlib only,
+speaking exactly the subset of HTTP/1.1 the service emits: JSON bodies
+with ``Content-Length``, NDJSON streams with chunked transfer encoding,
+keep-alive connections.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, AsyncIterator, Dict, List, Optional, Tuple
+
+
+class ClientError(RuntimeError):
+    """The server's response could not be parsed."""
+
+
+class ServiceClient:
+    """One keep-alive connection to a service instance.
+
+    Not safe for concurrent use -- run one client per task (the load
+    benchmark runs 64 of them).
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        self._host = host
+        self._port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def _connect(self) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        if self._reader is None or self._writer is None or self._writer.is_closing():
+            self._reader, self._writer = await asyncio.open_connection(
+                self._host, self._port
+            )
+        return self._reader, self._writer
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self._reader = None
+            self._writer = None
+
+    async def _send(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Any],
+        headers: Optional[Dict[str, str]],
+    ) -> None:
+        reader, writer = await self._connect()
+        del reader
+        payload = (
+            json.dumps(body, sort_keys=True).encode("utf-8")
+            if body is not None
+            else b""
+        )
+        lines = [f"{method} {path} HTTP/1.1", f"Host: {self._host}"]
+        for name, value in (headers or {}).items():
+            lines.append(f"{name}: {value}")
+        lines.append(f"Content-Length: {len(payload)}")
+        if payload:
+            lines.append("Content-Type: application/json")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        writer.write(head + payload)
+        await writer.drain()
+
+    async def _read_head(self) -> Tuple[int, Dict[str, str]]:
+        assert self._reader is not None
+        head = await self._reader.readuntil(b"\r\n\r\n")
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split(" ", 2)
+        if len(parts) < 2 or not parts[0].startswith("HTTP/1."):
+            raise ClientError(f"malformed status line: {lines[0]!r}")
+        status = int(parts[1])
+        headers: Dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return status, headers
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Any] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Tuple[int, Dict[str, str], Any]:
+        """One buffered exchange; returns (status, headers, parsed body)."""
+        await self._send(method, path, body, headers)
+        status, response_headers = await self._read_head()
+        assert self._reader is not None
+        if response_headers.get("transfer-encoding") == "chunked":
+            raw = b"".join([chunk async for chunk in self._chunks()])
+        else:
+            length = int(response_headers.get("content-length", "0"))
+            raw = await self._reader.readexactly(length) if length else b""
+        if response_headers.get("connection") == "close":
+            await self.close()
+        parsed = json.loads(raw) if raw else None
+        return status, response_headers, parsed
+
+    async def stream(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Any] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Tuple[int, Dict[str, str], AsyncIterator[Dict[str, Any]]]:
+        """One streaming exchange; the iterator yields NDJSON objects.
+
+        The iterator must be consumed to completion (or the client
+        closed) before the connection can carry another request.
+        """
+        await self._send(method, path, body, headers)
+        status, response_headers = await self._read_head()
+        if response_headers.get("transfer-encoding") != "chunked":
+            # Error responses are buffered JSON; surface them as a
+            # one-item stream so callers can branch on status alone.
+            assert self._reader is not None
+            length = int(response_headers.get("content-length", "0"))
+            raw = await self._reader.readexactly(length) if length else b""
+            if response_headers.get("connection") == "close":
+                await self.close()
+
+            async def _single() -> AsyncIterator[Dict[str, Any]]:
+                if raw:
+                    yield json.loads(raw)
+
+            return status, response_headers, _single()
+        return status, response_headers, self._ndjson_lines()
+
+    async def _chunks(self) -> AsyncIterator[bytes]:
+        assert self._reader is not None
+        while True:
+            size_line = await self._reader.readline()
+            size = int(size_line.strip(), 16)
+            if size == 0:
+                await self._reader.readexactly(2)
+                return
+            chunk = await self._reader.readexactly(size)
+            await self._reader.readexactly(2)
+            yield chunk
+
+    async def _ndjson_lines(self) -> AsyncIterator[Dict[str, Any]]:
+        buffer = b""
+        async for chunk in self._chunks():
+            buffer += chunk
+            while b"\n" in buffer:
+                line, _, buffer = buffer.partition(b"\n")
+                if line.strip():
+                    yield json.loads(line)
+        if buffer.strip():
+            yield json.loads(buffer)
+
+    async def collect(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Any] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Tuple[int, Dict[str, str], List[Dict[str, Any]]]:
+        """Stream an endpoint and gather every NDJSON object."""
+        status, response_headers, lines = await self.stream(
+            method, path, body, headers
+        )
+        events = [event async for event in lines]
+        return status, response_headers, events

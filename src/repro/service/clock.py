@@ -1,0 +1,65 @@
+"""The service's transport-edge clock shim.
+
+Everything below the HTTP edge is deterministic: campaigns, journals and
+streamed event payloads carry no timestamps, and the token-bucket rate
+limiter (:class:`repro.measure.quota.TokenBucket`) takes an explicit
+``now`` callable.  Wall-clock therefore enters the service in exactly
+one place -- the :class:`Clock` instance the application is built with:
+
+- :class:`SystemClock` (production): monotonic time, real sleeps.
+- :class:`VirtualClock` (tests, load harnesses): time advances only via
+  :meth:`VirtualClock.advance`; ``sleep`` never blocks the event loop,
+  it just releases it once.  Rate-limit tests drive the bucket forward
+  deterministically instead of waiting out real seconds.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+
+class Clock:
+    """The minimal clock interface the service consumes."""
+
+    def now(self) -> float:
+        """Seconds on this clock's timeline (monotonic)."""
+        raise NotImplementedError
+
+    async def sleep(self, seconds: float) -> None:
+        """Suspend the calling task for ``seconds`` of this timeline."""
+        raise NotImplementedError
+
+
+class SystemClock(Clock):
+    """Real time: :func:`time.monotonic` + :func:`asyncio.sleep`."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    async def sleep(self, seconds: float) -> None:
+        await asyncio.sleep(seconds)
+
+
+class VirtualClock(Clock):
+    """A clock that moves only when told to.
+
+    ``sleep`` yields control once (so other tasks run) but consumes no
+    wall time; tests call :meth:`advance` to refill rate limiters or
+    expire Retry-After windows at exactly the instant under test.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"cannot advance backwards ({seconds})")
+        self._now += seconds
+
+    async def sleep(self, seconds: float) -> None:
+        self._now += max(0.0, seconds)
+        await asyncio.sleep(0)

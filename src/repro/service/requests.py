@@ -1,0 +1,228 @@
+"""Request vocabulary: JSON bodies -> validated campaign/query specs.
+
+A campaign request is the service-side mirror of an offline
+:func:`repro.measure.campaign.run_campaign_checkpointed` call: the same
+(seed, scale, days, platforms) coordinates, the same optional fault and
+netfault configs (validated through their own ``from_dict`` parsers),
+the same retry and worker knobs.  :meth:`CampaignRequest.digest` is the
+request's canonical identity -- two clients submitting the same spec
+address the same deterministic job, and the determinism contract
+(``docs/SERVICE.md``) is stated in terms of it.
+
+Query requests reuse :class:`repro.query.spec.QuerySpec` verbatim: the
+``spec`` object in a query body is exactly what ``QuerySpec.from_dict``
+accepts, so every probe-selection predicate the offline query engine
+knows (platform, countries, providers, regions, continents, day ranges,
+RTT windows, outage ids) is a service-side selection filter too.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.faults.config import FaultConfig, RetryPolicy
+from repro.measure.campaign import CHECKPOINT_PLATFORMS, plan_units
+from repro.netfaults.config import NetworkFaultConfig
+from repro.query.spec import QuerySpec
+
+
+class RequestError(ValueError):
+    """A request body failed validation (HTTP 400)."""
+
+
+_CAMPAIGN_FIELDS = {
+    "seed",
+    "scale",
+    "days",
+    "platforms",
+    "workers",
+    "max_attempts",
+    "faults",
+    "netfaults",
+}
+
+
+@dataclass(frozen=True)
+class CampaignRequest:
+    """One validated measurement-campaign submission."""
+
+    seed: int = 7
+    scale: float = 0.02
+    days: int = 2
+    platforms: Tuple[str, ...] = CHECKPOINT_PLATFORMS
+    workers: int = 1
+    max_attempts: Optional[int] = None
+    faults: Optional[Dict[str, Any]] = field(default=None)
+    netfaults: Optional[Dict[str, Any]] = field(default=None)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "CampaignRequest":
+        """Validate a JSON body into a request, or raise :class:`RequestError`."""
+        if not isinstance(payload, Mapping):
+            raise RequestError("request body must be a JSON object")
+        unknown = sorted(set(payload) - _CAMPAIGN_FIELDS)
+        if unknown:
+            raise RequestError(f"unknown campaign request fields: {unknown}")
+        try:
+            request = cls(
+                seed=int(payload.get("seed", 7)),
+                scale=float(payload.get("scale", 0.02)),
+                days=int(payload.get("days", 2)),
+                platforms=tuple(payload.get("platforms", CHECKPOINT_PLATFORMS)),
+                workers=int(payload.get("workers", 1)),
+                max_attempts=(
+                    int(payload["max_attempts"])
+                    if payload.get("max_attempts") is not None
+                    else None
+                ),
+                faults=(
+                    dict(payload["faults"])
+                    if payload.get("faults") is not None
+                    else None
+                ),
+                netfaults=(
+                    dict(payload["netfaults"])
+                    if payload.get("netfaults") is not None
+                    else None
+                ),
+            )
+        except (TypeError, ValueError) as exc:
+            raise RequestError(f"malformed campaign request: {exc}") from exc
+        request.validate()
+        return request
+
+    def validate(self) -> None:
+        if not 0.0 < self.scale <= 1.0:
+            raise RequestError(f"scale must be in (0, 1], got {self.scale}")
+        if self.days < 1:
+            raise RequestError(f"days must be >= 1, got {self.days}")
+        if self.workers < 1:
+            raise RequestError(f"workers must be >= 1, got {self.workers}")
+        if self.max_attempts is not None and self.max_attempts < 1:
+            raise RequestError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if not self.platforms:
+            raise RequestError("platforms must not be empty")
+        for platform in self.platforms:
+            if platform not in CHECKPOINT_PLATFORMS:
+                raise RequestError(
+                    f"unknown platform {platform!r}; "
+                    f"choose from {sorted(CHECKPOINT_PLATFORMS)}"
+                )
+        if len(set(self.platforms)) != len(self.platforms):
+            raise RequestError("platforms must not repeat")
+        # Fault configs validate through the same parsers the offline
+        # CLI uses, so a request can never smuggle in rates the batch
+        # path would reject.
+        try:
+            self.fault_config()
+            self.netfault_config()
+        except (TypeError, ValueError) as exc:
+            raise RequestError(f"invalid fault config: {exc}") from exc
+
+    def fault_config(self) -> Optional[FaultConfig]:
+        if self.faults is None:
+            return None
+        return FaultConfig.from_dict(self.faults)
+
+    def netfault_config(self) -> Optional[NetworkFaultConfig]:
+        if self.netfaults is None:
+            return None
+        return NetworkFaultConfig.from_dict(self.netfaults)
+
+    def retry_policy(self) -> Optional[RetryPolicy]:
+        if self.max_attempts is None:
+            return None
+        return RetryPolicy(max_attempts=self.max_attempts)
+
+    def planned_units(self) -> List[str]:
+        """The campaign's unit ids -- what tenant quota is charged for."""
+        return plan_units(self.days, list(self.platforms))
+
+    def canonical(self) -> Dict[str, Any]:
+        """The sorted, JSON-safe form that defines request identity.
+
+        ``workers`` is deliberately included even though the store it
+        produces is byte-identical at any worker count: it is an
+        execution knob of *this* job, and resubmitting with a different
+        worker count is still the same measurement (clients comparing
+        digests should compare :meth:`spec_digest`).
+        """
+        return {
+            "seed": self.seed,
+            "scale": self.scale,
+            "days": self.days,
+            "platforms": list(self.platforms),
+            "workers": self.workers,
+            "max_attempts": self.max_attempts,
+            "faults": self.faults,
+            "netfaults": self.netfaults,
+        }
+
+    def _digest_of(self, payload: Dict[str, Any]) -> str:
+        return hashlib.sha256(
+            json.dumps(payload, sort_keys=True, separators=(",", ":")).encode(
+                "utf-8"
+            )
+        ).hexdigest()
+
+    def digest(self) -> str:
+        """sha256 over the canonical request (execution identity)."""
+        return self._digest_of(self.canonical())
+
+    def spec_digest(self) -> str:
+        """Identity of the *measurement* alone: excludes ``workers``.
+
+        Two requests with equal spec digests are guaranteed (and tested)
+        to produce byte-identical stores.
+        """
+        payload = self.canonical()
+        del payload["workers"]
+        return self._digest_of(payload)
+
+
+_QUERY_FIELDS = {"job", "store", "spec", "workers"}
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One validated query submission against a store or finished job."""
+
+    spec: QuerySpec
+    job: Optional[str] = None
+    store: Optional[str] = None
+    workers: int = 1
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "QueryRequest":
+        if not isinstance(payload, Mapping):
+            raise RequestError("request body must be a JSON object")
+        unknown = sorted(set(payload) - _QUERY_FIELDS)
+        if unknown:
+            raise RequestError(f"unknown query request fields: {unknown}")
+        if "spec" not in payload or not isinstance(payload["spec"], Mapping):
+            raise RequestError("query request needs a 'spec' object")
+        job = payload.get("job")
+        store = payload.get("store")
+        if (job is None) == (store is None):
+            raise RequestError(
+                "query request needs exactly one of 'job' or 'store'"
+            )
+        try:
+            spec = QuerySpec.from_dict(dict(payload["spec"]))
+            spec.validate()
+            workers = int(payload.get("workers", 1))
+        except (TypeError, ValueError) as exc:
+            raise RequestError(f"malformed query request: {exc}") from exc
+        if workers < 1:
+            raise RequestError(f"workers must be >= 1, got {workers}")
+        return cls(
+            spec=spec,
+            job=str(job) if job is not None else None,
+            store=str(store) if store is not None else None,
+            workers=workers,
+        )

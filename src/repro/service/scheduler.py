@@ -1,0 +1,284 @@
+"""The async campaign scheduler: job queue, event buffers, determinism.
+
+Jobs are campaigns.  A submitted :class:`~repro.service.requests.
+CampaignRequest` becomes a :class:`Job` whose id is derived from
+(tenant, canonical request) -- resubmitting the same spec addresses the
+same job (idempotent submit: the existing event buffer replays instead
+of re-running the campaign), and two service instances given the same
+submissions produce byte-identical job ids and event streams.
+
+Execution happens off-loop through the
+:class:`~repro.service.bridge.ExecutorBridge`: the dispatched call is a
+plain :func:`repro.measure.campaign.run_campaign_checkpointed` -- the
+same function, arguments and store layout as an offline run, which is
+what makes the service's store byte-identical (canonical digest) to the
+offline equivalent.  The campaign's ``on_commit`` hook forwards each
+journaled entry to the event loop via ``call_soon_threadsafe``, so
+subscribers stream units in canonical commit order while the campaign
+is still running.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import threading
+import traceback
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, AsyncIterator, Dict, List, Optional, Tuple
+
+from repro.exec.digest import store_digest
+from repro.measure.campaign import run_campaign_checkpointed
+from repro.service.bridge import ExecutorBridge
+from repro.service.requests import CampaignRequest
+from repro.service.streams import (
+    Event,
+    accepted_event,
+    commit_event,
+    done_event,
+    error_event,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.world import World
+
+#: Job lifecycle states.
+PENDING = "pending"
+RUNNING = "running"
+DONE = "done"
+ERROR = "error"
+
+_TERMINAL_EVENTS = ("done", "error")
+
+
+def job_id_for(tenant: str, request: CampaignRequest) -> str:
+    """The deterministic job id of (tenant, request).
+
+    Derived from the canonical request digest plus the tenant name, so
+    identical submissions address the same job while two tenants
+    running the same spec get separate jobs (and separate quota
+    charges).
+    """
+    seed = f"{tenant}\n{request.digest()}".encode("utf-8")
+    return hashlib.sha256(seed).hexdigest()[:12]
+
+
+class Job:
+    """One scheduled campaign: request, run directory, event buffer."""
+
+    def __init__(
+        self,
+        job_id: str,
+        tenant: str,
+        request: CampaignRequest,
+        run_dir: Path,
+        loop: asyncio.AbstractEventLoop,
+    ) -> None:
+        self.id = job_id
+        self.tenant = tenant
+        self.request = request
+        self.run_dir = run_dir
+        self.state = PENDING
+        self.store_digest: Optional[str] = None
+        self.coverage: Optional[Dict[str, int]] = None
+        self.error: Optional[str] = None
+        self._loop = loop
+        self._events: List[Event] = []
+        self._changed: "asyncio.Future[None]" = loop.create_future()
+
+    # -- event buffer (loop thread only) ------------------------------------
+
+    def push_event(self, event: Event) -> None:
+        """Append one event and wake every subscriber.
+
+        Must run on the event-loop thread; off-loop producers (the
+        campaign's commit hook) get here via ``call_soon_threadsafe``.
+        """
+        self._events.append(event)
+        changed, self._changed = self._changed, self._loop.create_future()
+        changed.set_result(None)
+
+    @property
+    def events_so_far(self) -> List[Event]:
+        return list(self._events)
+
+    @property
+    def finished(self) -> bool:
+        return self.state in (DONE, ERROR)
+
+    async def events(self) -> AsyncIterator[Event]:
+        """Replay buffered events, then follow live ones until terminal.
+
+        Every subscriber -- no matter how late it attaches -- sees the
+        identical sequence: the buffer is append-only and the terminal
+        event is always last.
+        """
+        index = 0
+        while True:
+            while index < len(self._events):
+                event = self._events[index]
+                index += 1
+                yield event
+                if event["event"] in _TERMINAL_EVENTS:
+                    return
+            changed = self._changed
+            await changed
+
+    def as_dict(self) -> Dict[str, Any]:
+        summary: Dict[str, Any] = {
+            "job": self.id,
+            "tenant": self.tenant,
+            "state": self.state,
+            "request": self.request.canonical(),
+            "events": len(self._events),
+        }
+        if self.store_digest is not None:
+            summary["store_digest"] = self.store_digest
+        if self.coverage is not None:
+            summary["coverage"] = self.coverage
+        if self.error is not None:
+            summary["error"] = self.error
+        return summary
+
+
+class ServiceScheduler:
+    """Owns the job table, the async queue, and the campaign workers."""
+
+    def __init__(
+        self,
+        store_root: Path,
+        bridge: Optional[ExecutorBridge] = None,
+        concurrency: int = 1,
+    ) -> None:
+        if concurrency < 1:
+            raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+        self.store_root = Path(store_root)
+        self.bridge = bridge if bridge is not None else ExecutorBridge()
+        self._concurrency = concurrency
+        self._jobs: Dict[str, Job] = {}
+        self._queue: "asyncio.Queue[Job]" = asyncio.Queue()
+        self._workers: List["asyncio.Task[None]"] = []
+        self._worlds: Dict[Tuple[int, float], "World"] = {}
+        self._world_lock = threading.Lock()
+        self._started = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for _ in range(self._concurrency):
+            self._workers.append(asyncio.create_task(self._worker_loop()))
+
+    async def close(self) -> None:
+        for worker in self._workers:
+            worker.cancel()
+        for worker in self._workers:
+            try:
+                await worker
+            except asyncio.CancelledError:
+                pass
+        self._workers.clear()
+        self._started = False
+        self.bridge.shutdown()
+
+    # -- submission (loop thread) --------------------------------------------
+
+    def submit(self, tenant: str, request: CampaignRequest) -> Tuple[Job, bool]:
+        """Register (or find) the job for (tenant, request).
+
+        Returns ``(job, created)``; a resubmission of an identical
+        request returns the existing job with ``created=False`` --
+        callers charge quota only for created jobs.
+        """
+        job_id = job_id_for(tenant, request)
+        existing = self._jobs.get(job_id)
+        if existing is not None:
+            return existing, False
+        job = Job(
+            job_id,
+            tenant,
+            request,
+            self.store_root / "jobs" / job_id,
+            asyncio.get_running_loop(),
+        )
+        self._jobs[job_id] = job
+        job.push_event(
+            accepted_event(job.id, request.canonical(), request.planned_units())
+        )
+        self._queue.put_nowait(job)
+        return job, True
+
+    def job(self, job_id: str) -> Optional[Job]:
+        return self._jobs.get(job_id)
+
+    def jobs(self) -> List[Job]:
+        return list(self._jobs.values())
+
+    # -- execution -----------------------------------------------------------
+
+    def _world(self, seed: int, scale: float) -> "World":
+        """Build (or reuse) the world for (seed, scale).
+
+        Called from bridge threads; the lock makes concurrent jobs on
+        the same coordinates share one world build.  Worlds are
+        deterministic in (seed, scale), so sharing is safe.
+        """
+        from repro import build_world
+
+        key = (seed, scale)
+        with self._world_lock:
+            world = self._worlds.get(key)
+            if world is None:
+                world = build_world(seed=seed, scale=scale)
+                self._worlds[key] = world
+            return world
+
+    def _execute(self, job: Job) -> Tuple[str, Dict[str, int]]:
+        """Run one campaign to completion (bridge thread).
+
+        Exactly the offline call: same world construction, same
+        checkpointed runner, same store layout.  The only addition is
+        the commit hook relaying journal entries to the event loop.
+        """
+        request = job.request
+        world = self._world(request.seed, request.scale)
+        loop = job._loop
+
+        def on_commit(entry: Dict[str, Any]) -> None:
+            event = commit_event(job.id, dict(entry))
+            loop.call_soon_threadsafe(job.push_event, event)
+
+        store = run_campaign_checkpointed(
+            world,
+            job.run_dir,
+            days=request.days,
+            platforms=request.platforms,
+            faults=request.fault_config(),
+            netfaults=request.netfault_config(),
+            retry=request.retry_policy(),
+            workers=request.workers,
+            on_commit=on_commit,
+        )
+        return store_digest(job.run_dir), store.coverage().as_dict()
+
+    async def _worker_loop(self) -> None:
+        while True:
+            job = await self._queue.get()
+            job.state = RUNNING
+            try:
+                digest, coverage = await self.bridge.run_blocking(
+                    self._execute, job
+                )
+            except Exception:
+                job.state = ERROR
+                job.error = traceback.format_exc(limit=8)
+                job.push_event(error_event(job.id, job.error))
+            else:
+                job.state = DONE
+                job.store_digest = digest
+                job.coverage = coverage
+                job.push_event(done_event(job.id, digest, coverage))
+            finally:
+                self._queue.task_done()

@@ -1,0 +1,129 @@
+"""Multi-tenant rate limiting and quota accounting.
+
+Mirrors how commercial probe platforms (RIPE Atlas credits,
+Speedchecker API quotas) meter consumers: each tenant gets
+
+- a **token-bucket rate limit** on request admission (capacity = burst,
+  rate = sustained requests/second).  An empty bucket yields HTTP 429
+  with a ``Retry-After`` computed from the same bucket -- the client is
+  told exactly when the next token exists.
+- a **lifetime unit quota** charged at job acceptance with the
+  campaign's planned unit count (:class:`repro.measure.quota.
+  TenantLedger`, the same ledger class the exec commit phase runs per
+  platform).  Charging happens atomically inside the accept path, so N
+  concurrent clients can never over-issue a tenant's quota; a job that
+  fails before executing refunds its units.
+
+Both meters run on the service clock shim, so tests and load harnesses
+drive them on a virtual clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.measure.quota import QuotaError, TenantLedger, TokenBucket
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Per-tenant limits; one policy may be shared by many tenants."""
+
+    #: Sustained request admission rate (requests/second).
+    rate: float = 50.0
+    #: Burst capacity (requests admitted from a full bucket).
+    burst: float = 100.0
+    #: Lifetime campaign-unit quota (None = unmetered).
+    unit_quota: Optional[int] = None
+
+
+class RateLimited(Exception):
+    """Request rejected by the rate limiter (HTTP 429)."""
+
+    def __init__(self, tenant: str, retry_after: float) -> None:
+        super().__init__(
+            f"tenant {tenant!r} rate-limited; retry after {retry_after:.3f}s"
+        )
+        self.tenant = tenant
+        self.retry_after = retry_after
+
+
+class TenantState:
+    """One tenant's live meters."""
+
+    def __init__(
+        self, name: str, policy: TenantPolicy, now: Callable[[], float]
+    ) -> None:
+        self.name = name
+        self.policy = policy
+        self.bucket = TokenBucket(policy.burst, policy.rate, now)
+        self.ledger = TenantLedger(policy.unit_quota)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "tenant": self.name,
+            "rate": self.policy.rate,
+            "burst": self.policy.burst,
+            "unit_quota": self.policy.unit_quota,
+            "units_issued": self.ledger.issued,
+            "units_remaining": self.ledger.remaining,
+        }
+
+
+class TenantRegistry:
+    """All tenants the service has seen, created lazily on first request.
+
+    Everything here runs on the event-loop thread (handlers call it
+    directly, never through the executor bridge), so admission + quota
+    charge is atomic with respect to other requests without any lock.
+    """
+
+    def __init__(
+        self,
+        now: Callable[[], float],
+        default_policy: Optional[TenantPolicy] = None,
+        policies: Optional[Dict[str, TenantPolicy]] = None,
+    ) -> None:
+        self._now = now
+        self._default_policy = default_policy or TenantPolicy()
+        self._policies = dict(policies or {})
+        self._tenants: Dict[str, TenantState] = {}
+
+    def tenant(self, name: str) -> TenantState:
+        state = self._tenants.get(name)
+        if state is None:
+            policy = self._policies.get(name, self._default_policy)
+            state = TenantState(name, policy, self._now)
+            self._tenants[name] = state
+        return state
+
+    def admit(self, name: str) -> TenantState:
+        """Charge one admission token, or raise :class:`RateLimited`."""
+        state = self.tenant(name)
+        if not state.bucket.try_acquire(1.0):
+            raise RateLimited(name, state.bucket.retry_after(1.0))
+        return state
+
+    def charge_units(self, name: str, job: str, units: int) -> None:
+        """Charge a job's planned units against the tenant quota.
+
+        Raises :class:`repro.measure.quota.QuotaError` (HTTP 403) when
+        the tenant's remaining quota cannot cover the campaign.
+        """
+        self.tenant(name).ledger.charge(job, units)
+
+    def refund_units(self, name: str, job: str) -> int:
+        return self.tenant(name).ledger.refund(job)
+
+    def states(self) -> Dict[str, TenantState]:
+        return dict(self._tenants)
+
+
+__all__ = [
+    "QuotaError",
+    "RateLimited",
+    "TenantPolicy",
+    "TenantRegistry",
+    "TenantState",
+]

@@ -14,7 +14,12 @@ from repro.store.format import (
     verify_shard_report,
     write_shard,
 )
-from repro.store.journal import JournalError, RunJournal
+from repro.store.journal import (
+    JournalError,
+    JournalSnapshot,
+    JournalTailer,
+    RunJournal,
+)
 from repro.store.shards import (
     column_zone,
     compute_zones,
@@ -40,6 +45,8 @@ __all__ = [
     "DatasetStore",
     "FileOps",
     "JournalError",
+    "JournalSnapshot",
+    "JournalTailer",
     "RunJournal",
     "ShardEntry",
     "ShardFormatError",

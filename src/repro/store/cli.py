@@ -121,7 +121,11 @@ def _info_json(store: DatasetStore) -> Dict[str, object]:
 
 
 def _command_info(args: argparse.Namespace) -> int:
-    store = DatasetStore.open(args.run_dir)
+    # Pin one journal prefix up front: info touches the journal through
+    # many accessors, and a live campaign appending between them would
+    # otherwise yield a mixed-commit-state inventory (counts from one
+    # prefix, digest from another).
+    store = DatasetStore.open(args.run_dir).snapshot()
     if args.as_json:
         print(json.dumps(_info_json(store), indent=2, sort_keys=True))
         return 0
@@ -162,7 +166,9 @@ def _command_info(args: argparse.Namespace) -> int:
 
 
 def _command_verify(args: argparse.Namespace) -> int:
-    store = DatasetStore.open(args.run_dir)
+    # Same pinning as info: shards are write-ahead, so every shard the
+    # pinned journal references is durable even mid-campaign.
+    store = DatasetStore.open(args.run_dir).snapshot()
     if args.workers < 1:
         print(f"error: --workers must be >= 1, got {args.workers}", file=sys.stderr)
         return 2

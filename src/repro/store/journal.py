@@ -27,6 +27,7 @@ tests rely on.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from pathlib import Path
@@ -42,6 +43,39 @@ SKIP_ENTRY = "skip"
 
 class JournalError(ValueError):
     """The journal is malformed beyond a torn trailing line."""
+
+
+def _well_formed_prefix(data: bytes) -> bytes:
+    """The journal bytes up to (and including) the last newline.
+
+    A writer crash -- or a *live* writer caught mid-append -- leaves a
+    torn final line with no trailing newline; everything before it is a
+    complete, durable prefix.  All consistent reads (entries, digests,
+    snapshots, tailing) operate on this prefix, so a reader racing an
+    appender sees some valid prefix of the journal, never a half line.
+    """
+    end = data.rfind(b"\n")
+    return data[: end + 1] if end >= 0 else b""
+
+
+def _parse_prefix(path: Path, prefix: bytes) -> List[Dict[str, Any]]:
+    """Parse a well-formed journal prefix into tagged entries."""
+    entries: List[Dict[str, Any]] = []
+    for number, raw in enumerate(prefix.split(b"\n"), start=1):
+        if not raw:
+            continue
+        try:
+            entry = json.loads(raw.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise JournalError(
+                f"{path}:{number}: corrupt journal line: {exc}"
+            ) from exc
+        if not isinstance(entry, dict) or "type" not in entry:
+            raise JournalError(
+                f"{path}:{number}: journal line is not a tagged object"
+            )
+        entries.append(entry)
+    return entries
 
 
 class RunJournal:
@@ -79,36 +113,50 @@ class RunJournal:
             fh.flush()
             os.fsync(fh.fileno())
 
+    def _read_prefix(self) -> bytes:
+        """One consistent read of the well-formed journal prefix."""
+        if not self._path.exists():
+            return b""
+        return _well_formed_prefix(self._path.read_bytes())
+
     def entries(self) -> List[Dict[str, Any]]:
         """All well-formed entries, in append order.
 
-        A torn final line (crash mid-append) is silently dropped; a
-        malformed line anywhere *before* the end means real corruption
-        and raises :class:`JournalError`.
+        A torn final line (crash mid-append, or a live writer caught
+        between write and newline) is silently dropped; a malformed line
+        anywhere *before* the end means real corruption and raises
+        :class:`JournalError`.
         """
-        if not self._path.exists():
-            return []
-        with open(self._path, "r", encoding="utf-8") as fh:
-            lines = fh.read().split("\n")
-        # A complete journal ends with "\n", so the final split element
-        # is empty; anything else there is a torn append and is dropped.
-        lines.pop()
-        entries: List[Dict[str, Any]] = []
-        for number, line in enumerate(lines, start=1):
-            if not line:
-                continue
-            try:
-                entry = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise JournalError(
-                    f"{self._path}:{number}: corrupt journal line: {exc}"
-                ) from exc
-            if not isinstance(entry, dict) or "type" not in entry:
-                raise JournalError(
-                    f"{self._path}:{number}: journal line is not a tagged object"
-                )
-            entries.append(entry)
-        return entries
+        return _parse_prefix(self._path, self._read_prefix())
+
+    def digest(self) -> str:
+        """sha256 over the well-formed journal prefix.
+
+        Complete journals always end with a newline, so for a quiescent
+        store this is the digest of the whole file; on a journal with an
+        in-flight append only the durable prefix is hashed, keeping the
+        digest consistent with what :meth:`entries` returns.
+        """
+        return hashlib.sha256(self._read_prefix()).hexdigest()
+
+    def pin(self) -> "JournalSnapshot":
+        """Freeze one consistent view of the journal.
+
+        The file is read exactly once; every accessor of the returned
+        snapshot (entries, units, digest) answers from that single read,
+        so a reader racing a live writer gets internally consistent
+        results -- entry lists, coverage and digest all describe the
+        same journal prefix.  :meth:`entries` alone already tolerates a
+        torn tail, but two *separate* calls may straddle a commit; the
+        snapshot is how multi-accessor readers (``repro.store verify`` /
+        ``info --json``, the service's live result tail) stay coherent.
+        """
+        prefix = self._read_prefix()
+        return JournalSnapshot(
+            self._path,
+            _parse_prefix(self._path, prefix),
+            hashlib.sha256(prefix).hexdigest(),
+        )
 
     def begin_entry(self) -> Optional[Dict[str, Any]]:
         """The run's ``begin`` entry, or ``None`` for an empty journal."""
@@ -174,3 +222,86 @@ class RunJournal:
 
     def __repr__(self) -> str:
         return f"RunJournal({str(self._path)!r})"
+
+
+class JournalSnapshot(RunJournal):
+    """A read-only, internally consistent view of one journal prefix.
+
+    Produced by :meth:`RunJournal.pin`.  All read accessors answer from
+    the single read taken at pin time; the write side is disabled, so a
+    snapshot can never be confused for the live journal.
+    """
+
+    def __init__(
+        self, path: Path, entries: List[Dict[str, Any]], digest: str
+    ) -> None:
+        super().__init__(path)
+        self._entries = entries
+        self._digest = digest
+
+    def entries(self) -> List[Dict[str, Any]]:
+        return list(self._entries)
+
+    def digest(self) -> str:
+        return self._digest
+
+    def pin(self) -> "JournalSnapshot":
+        return self
+
+    def append(self, entry: Dict[str, Any]) -> None:
+        raise JournalError(f"{self._path}: journal snapshot is read-only")
+
+    def rewrite(self, entries: List[Dict[str, Any]]) -> None:
+        raise JournalError(f"{self._path}: journal snapshot is read-only")
+
+    def __repr__(self) -> str:
+        return (
+            f"JournalSnapshot({str(self._path)!r}, "
+            f"entries={len(self._entries)})"
+        )
+
+
+class JournalTailer:
+    """Incremental reader of a journal that is still being written.
+
+    Each :meth:`poll` returns the entries that became durable (newline-
+    terminated) since the previous poll, tolerating a torn final line
+    exactly like :meth:`RunJournal.entries`.  The tailer tracks a byte
+    offset, so polling is O(new bytes), not O(journal): the measurement
+    service polls one tailer per running campaign to stream unit/skip
+    events to clients as they commit.
+
+    If the journal shrinks between polls (an atomic
+    :meth:`RunJournal.rewrite`, e.g. quarantine), the tailer resets and
+    re-emits from the start -- callers that need exactly-once delivery
+    on top of a rewrite should deduplicate on unit id.
+    """
+
+    def __init__(self, path: PathLike) -> None:
+        self._path = Path(path)
+        self._offset = 0
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    @property
+    def offset(self) -> int:
+        """Bytes of journal consumed so far."""
+        return self._offset
+
+    def poll(self) -> List[Dict[str, Any]]:
+        """Entries appended (and newline-terminated) since the last poll."""
+        if not self._path.exists():
+            return []
+        with open(self._path, "rb") as fh:
+            size = fh.seek(0, os.SEEK_END)
+            if size < self._offset:
+                self._offset = 0
+            fh.seek(self._offset)
+            chunk = fh.read()
+        prefix = _well_formed_prefix(chunk)
+        if not prefix:
+            return []
+        self._offset += len(prefix)
+        return _parse_prefix(self._path, prefix)

@@ -511,15 +511,28 @@ class DatasetStore:
         ).hexdigest()
 
     def journal_digest(self) -> str:
-        """sha256 over the journal file -- advances with every commit.
+        """sha256 over the journal's well-formed prefix.
 
         The query-result cache keys on this: any appended unit (or a
         repair rewrite) changes the digest, so cached results are
         invalidated exactly when the set of journaled shards changes.
+        A complete journal ends with a newline, so for quiescent stores
+        this is the whole-file digest; on a live store an in-flight torn
+        tail is excluded, matching what the entry accessors return.
         """
-        if not self._journal.path.exists():
-            return hashlib.sha256(b"").hexdigest()
-        return hashlib.sha256(self._journal.path.read_bytes()).hexdigest()
+        return self._journal.digest()
+
+    def snapshot(self) -> "DatasetStore":
+        """A read view of this store pinned to one journal prefix.
+
+        Every journal-derived accessor of the returned store (units,
+        coverage, digests, verify) answers from a single consistent read
+        taken now, so inspecting a store *while a campaign is writing to
+        it* can never mix two commit states.  Shards are write-ahead
+        (durable before their journal entry), so every shard the pinned
+        journal references exists on disk.
+        """
+        return DatasetStore(self._run_dir, self._journal.pin(), self._manifest)
 
     def query(self) -> "QueryBuilder":
         """A :class:`repro.query.QueryBuilder` over this store."""

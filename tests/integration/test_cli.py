@@ -113,3 +113,30 @@ class TestScaleValidation:
         assert _scale_argument("1.0") == 1.0
         assert _scale_argument("1") == 1.0
         assert _scale_argument("0.0001") == 0.0001
+
+
+class TestServiceDelegation:
+    """`repro service ...` must hand its flags to the service parser.
+
+    argparse.REMAINDER cannot capture a leading option token, so the
+    dispatch happens before the top-level parser runs -- a leading
+    `--port` (or `--help`) must reach repro.service, not be rejected
+    as an unrecognized top-level argument.
+    """
+
+    def test_service_help_routes_to_service_parser(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["service", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "--store-root" in out
+        assert "--unit-quota" in out
+
+    def test_service_flags_not_rejected_by_top_level_parser(self, capsys):
+        # A bad *service* flag errors through the service parser (its
+        # prog name, not repro's usage string).
+        with pytest.raises(SystemExit) as excinfo:
+            main(["service", "--no-such-flag"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "repro.service" in err

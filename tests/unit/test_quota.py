@@ -1,0 +1,269 @@
+"""Unit + property tests for the shared quota layer (repro.measure.quota).
+
+The token-bucket properties here are the executable form of the
+docstring invariants: no burst exceeds capacity, and over any window
+``[t0, t1]`` a tenant is issued at most ``capacity + rate * (t1 - t0)``
+tokens, no matter how adversarially the acquire/advance sequence is
+interleaved.  The clock is always a virtual one -- the bucket itself
+never reads wall time.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.exec.scheduler import ExecError, QuotaLedger as ExecQuotaLedger
+from repro.measure.quota import (
+    QuotaError,
+    QuotaLedger,
+    TenantLedger,
+    TokenBucket,
+)
+
+
+class ManualClock:
+    """The smallest possible clock shim: a number you advance."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.time = start
+
+    def __call__(self) -> float:
+        return self.time
+
+    def advance(self, seconds: float) -> None:
+        self.time += seconds
+
+
+class TestQuotaLedger:
+    def test_records_per_platform_totals(self):
+        ledger = QuotaLedger({"speedchecker": 10})
+        ledger.record("speedchecker:000", 4)
+        ledger.record("speedchecker:001", 6)
+        ledger.record("atlas:000", 9)
+        assert ledger.issued("speedchecker") == 10
+        assert ledger.issued("atlas") == 9
+        assert ledger.as_dict() == {"atlas": 9, "speedchecker": 10}
+        assert ledger.issued_by_unit()["speedchecker:001"] == 6
+
+    def test_budget_lookup(self):
+        ledger = QuotaLedger({"speedchecker": 3})
+        assert ledger.budget("speedchecker") == 3
+        assert ledger.budget("atlas") is None
+
+    def test_double_commit_raises(self):
+        ledger = QuotaLedger()
+        ledger.record("atlas:000", 1)
+        with pytest.raises(QuotaError, match="committed twice"):
+            ledger.record("atlas:000", 1)
+
+    def test_negative_issue_raises(self):
+        with pytest.raises(QuotaError, match="negative"):
+            QuotaLedger().record("atlas:000", -1)
+
+    def test_over_budget_raises(self):
+        ledger = QuotaLedger({"speedchecker": 5})
+        with pytest.raises(QuotaError, match="over the per-unit budget"):
+            ledger.record("speedchecker:000", 6)
+
+    def test_exec_subclass_raises_exec_error(self):
+        """The exec scheduler's ledger keeps its ExecError contract."""
+        ledger = ExecQuotaLedger({"speedchecker": 5})
+        with pytest.raises(ExecError, match="over the per-unit budget"):
+            ledger.record("speedchecker:000", 6)
+        assert isinstance(ledger, QuotaLedger)
+
+
+class TestTokenBucket:
+    def test_starts_full_and_drains(self):
+        bucket = TokenBucket(3, 1.0, ManualClock())
+        assert bucket.tokens == 3.0
+        assert bucket.try_acquire(2.0)
+        assert bucket.try_acquire(1.0)
+        assert not bucket.try_acquire(1.0)
+
+    def test_refills_at_rate_and_caps_at_capacity(self):
+        clock = ManualClock()
+        bucket = TokenBucket(4, 2.0, clock)
+        assert bucket.try_acquire(4.0)
+        clock.advance(1.0)
+        assert bucket.tokens == pytest.approx(2.0)
+        clock.advance(100.0)
+        assert bucket.tokens == pytest.approx(4.0)
+
+    def test_retry_after_is_exact(self):
+        clock = ManualClock()
+        bucket = TokenBucket(2, 0.5, clock)
+        assert bucket.try_acquire(2.0)
+        assert bucket.retry_after(1.0) == pytest.approx(2.0)
+        clock.advance(bucket.retry_after(1.0))
+        assert bucket.try_acquire(1.0)
+
+    def test_retry_after_zero_when_available(self):
+        bucket = TokenBucket(2, 1.0, ManualClock())
+        assert bucket.retry_after(1.0) == 0.0
+
+    def test_retry_after_inf_when_unreachable(self):
+        clock = ManualClock()
+        zero_rate = TokenBucket(2, 0.0, clock)
+        assert zero_rate.try_acquire(2.0)
+        assert math.isinf(zero_rate.retry_after(1.0))
+        small = TokenBucket(1, 1.0, clock)
+        assert math.isinf(small.retry_after(2.0))
+
+    def test_backwards_clock_mints_nothing(self):
+        clock = ManualClock(start=10.0)
+        bucket = TokenBucket(2, 1000.0, clock)
+        assert bucket.try_acquire(2.0)
+        clock.advance(-5.0)
+        assert bucket.tokens == pytest.approx(0.0)
+        assert not bucket.try_acquire(1.0)
+
+    def test_rejects_nonpositive_parameters(self):
+        with pytest.raises(ValueError, match="capacity"):
+            TokenBucket(0, 1.0, ManualClock())
+        with pytest.raises(ValueError, match="rate"):
+            TokenBucket(1, -1.0, ManualClock())
+        bucket = TokenBucket(1, 1.0, ManualClock())
+        with pytest.raises(ValueError, match="amount"):
+            bucket.try_acquire(0)
+        with pytest.raises(ValueError, match="amount"):
+            bucket.retry_after(-1)
+
+    @given(
+        capacity=st.floats(min_value=0.5, max_value=50),
+        rate=st.floats(min_value=0.0, max_value=20),
+        steps=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=5.0),  # clock advance
+                st.floats(min_value=0.1, max_value=10.0),  # acquire amount
+            ),
+            max_size=60,
+        ),
+    )
+    @settings(
+        max_examples=60,
+        suppress_health_check=[HealthCheck.too_slow],
+        deadline=None,
+    )
+    def test_issued_tokens_never_exceed_capacity_plus_rate_times_elapsed(
+        self, capacity, rate, steps
+    ):
+        clock = ManualClock()
+        bucket = TokenBucket(capacity, rate, clock)
+        granted = 0.0
+        elapsed = 0.0
+        for advance, amount in steps:
+            clock.advance(advance)
+            elapsed += advance
+            if bucket.try_acquire(amount):
+                granted += amount
+            # The window invariant: nothing the caller does can mint
+            # more than the initial burst plus the refill over elapsed.
+            assert granted <= capacity + rate * elapsed + 1e-6
+            assert bucket.tokens <= capacity + 1e-9
+
+    @given(
+        capacity=st.floats(min_value=1.0, max_value=20),
+        rate=st.floats(min_value=0.1, max_value=10),
+        drains=st.lists(
+            st.floats(min_value=0.1, max_value=5.0), max_size=20
+        ),
+    )
+    @settings(
+        max_examples=60,
+        suppress_health_check=[HealthCheck.too_slow],
+        deadline=None,
+    )
+    def test_retry_after_is_sufficient(self, capacity, rate, drains):
+        """Waiting exactly retry_after always makes the acquire succeed."""
+        clock = ManualClock()
+        bucket = TokenBucket(capacity, rate, clock)
+        for amount in drains:
+            bucket.try_acquire(amount)
+        wait = bucket.retry_after(1.0)
+        if math.isinf(wait):
+            assert rate == 0 or 1.0 > capacity
+            return
+        clock.advance(wait)
+        assert bucket.try_acquire(1.0)
+
+
+class TestTenantLedger:
+    def test_charge_and_remaining(self):
+        ledger = TenantLedger(limit=10)
+        ledger.charge("job-a", 4)
+        assert ledger.issued == 4
+        assert ledger.remaining == 6
+        assert ledger.can_charge(6)
+        assert not ledger.can_charge(7)
+        assert ledger.charged_jobs() == {"job-a": 4}
+
+    def test_unmetered_tenant_always_charges(self):
+        ledger = TenantLedger()
+        ledger.charge("job-a", 10**9)
+        assert ledger.remaining is None
+        assert ledger.can_charge(10**9)
+
+    def test_over_quota_raises(self):
+        ledger = TenantLedger(limit=5)
+        ledger.charge("job-a", 3)
+        with pytest.raises(QuotaError, match="unit"):
+            ledger.charge("job-b", 3)
+        # The failed charge must not have consumed anything.
+        assert ledger.issued == 3
+
+    def test_double_charge_raises(self):
+        ledger = TenantLedger(limit=5)
+        ledger.charge("job-a", 1)
+        with pytest.raises(QuotaError, match="charged twice"):
+            ledger.charge("job-a", 1)
+
+    def test_negative_charge_raises(self):
+        with pytest.raises(QuotaError, match="negative"):
+            TenantLedger(limit=5).charge("job-a", -1)
+
+    def test_refund_returns_units(self):
+        ledger = TenantLedger(limit=5)
+        ledger.charge("job-a", 4)
+        assert ledger.refund("job-a") == 4
+        assert ledger.issued == 0
+        ledger.charge("job-a", 5)  # refunded job may be re-charged
+        assert ledger.refund("missing") == 0
+
+    def test_rejects_negative_limit(self):
+        with pytest.raises(ValueError, match="limit"):
+            TenantLedger(limit=-1)
+
+    @given(
+        limit=st.integers(min_value=0, max_value=50),
+        charges=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=99),  # job number
+                st.integers(min_value=0, max_value=20),  # amount
+                st.booleans(),  # refund afterwards
+            ),
+            max_size=40,
+        ),
+    )
+    @settings(
+        max_examples=60,
+        suppress_health_check=[HealthCheck.too_slow],
+        deadline=None,
+    )
+    def test_issued_never_exceeds_limit(self, limit, charges):
+        """No interleaving of charges and refunds over-issues the quota."""
+        ledger = TenantLedger(limit=limit)
+        for job_number, amount, refund in charges:
+            job = f"job-{job_number}"
+            try:
+                ledger.charge(job, amount)
+            except QuotaError:
+                pass
+            assert 0 <= ledger.issued <= limit
+            if refund:
+                ledger.refund(job)
+            assert 0 <= ledger.issued <= limit
